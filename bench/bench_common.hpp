@@ -1,0 +1,67 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Each binary regenerates one table or figure from the paper's evaluation
+// (§4) against the simulated testbed and prints it in the paper's layout,
+// followed by a SHAPE CHECK block stating which qualitative properties of
+// the original result hold. Absolute numbers are NOT expected to match the
+// 2009-era Nehalem testbed; orderings, rough factors and crossovers are.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fmeter/fmeter.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace fmeter::bench {
+
+/// Times `iterations` runs of `op`, repeated `repetitions` times; returns
+/// per-iteration microseconds as samples.
+inline std::vector<double> time_op_us(const std::function<void()>& op,
+                                      int iterations, int repetitions) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repetitions));
+  // Warmup pass.
+  for (int i = 0; i < iterations / 2 + 1; ++i) op();
+  for (int r = 0; r < repetitions; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iterations; ++i) op();
+    const auto elapsed = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    samples.push_back(elapsed / iterations);
+  }
+  return samples;
+}
+
+/// Prints the standard header for a reproduction binary.
+inline void print_banner(const char* experiment, const char* paper_summary) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper reference: %s\n", paper_summary);
+  std::printf("================================================================\n\n");
+}
+
+struct ShapeCheck {
+  std::string description;
+  bool holds;
+};
+
+/// Prints the SHAPE CHECK block and returns 0 iff all checks hold.
+inline int print_shape_checks(const std::vector<ShapeCheck>& checks) {
+  std::printf("\nSHAPE CHECK (paper-qualitative properties):\n");
+  int failures = 0;
+  for (const auto& check : checks) {
+    std::printf("  [%s] %s\n", check.holds ? "PASS" : "FAIL",
+                check.description.c_str());
+    failures += !check.holds;
+  }
+  std::printf("\n");
+  return failures;
+}
+
+}  // namespace fmeter::bench

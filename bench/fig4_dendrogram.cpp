@@ -1,0 +1,76 @@
+// Figure 4: single-linkage agglomerative hierarchical clustering of 20
+// randomly chosen signatures — 10 scp (ids 0-9) and 10 kcompile (ids 10-19).
+//
+// Paper result: the two workloads separate perfectly at the level
+// immediately below the dendrogram root.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fmeter;
+  bench::print_banner(
+      "Figure 4 — Hierarchical single-linkage clustering of 20 signatures",
+      "signatures 0-9 are scp, 10-19 kcompile; perfect class split "
+      "immediately below the root");
+
+  core::MonitoredSystem system;
+  core::SignatureGenConfig gen;
+  gen.signatures_per_workload = 60;
+  gen.units_per_interval = 8;
+  gen.interval_jitter = 0.4;
+  const workloads::WorkloadKind kinds[] = {workloads::WorkloadKind::kScp,
+                                           workloads::WorkloadKind::kKcompile};
+  const auto corpus = core::collect_signatures(system, kinds, gen);
+  const auto signatures = core::signatures_from(corpus);
+
+  // Sample 10 of each class without replacement, scp first (leaf ids 0-9).
+  util::Rng rng(0xf16u);
+  std::vector<vsm::SparseVector> sample;
+  std::vector<int> labels;
+  for (const auto* label : {"scp", "kcompile"}) {
+    auto indices = corpus.indices_with_label(label);
+    rng.shuffle(std::span<std::size_t>(indices));
+    for (std::size_t i = 0; i < 10; ++i) {
+      sample.push_back(signatures[indices[i]]);
+      labels.push_back(label == std::string("scp") ? 0 : 1);
+    }
+  }
+
+  const auto tree = ml::agglomerate(sample);
+  std::printf("dendrogram (nested-pair notation, as in the paper's figure):\n\n");
+  std::printf("%s\n\n", tree.to_paren_string().c_str());
+
+  // Examine the split immediately below the root.
+  const auto& root = tree.merges.back();
+  auto left = tree.leaves_under(root.left);
+  auto right = tree.leaves_under(root.right);
+  std::sort(left.begin(), left.end());
+  std::sort(right.begin(), right.end());
+
+  auto render = [](const std::vector<std::size_t>& leaves) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      out += (i ? ", " : "") + std::to_string(leaves[i]);
+    }
+    return out + "}";
+  };
+  std::printf("root split: %s | %s\n", render(left).c_str(),
+              render(right).c_str());
+
+  const bool perfect_split =
+      (left.size() == 10 &&
+       std::all_of(left.begin(), left.end(), [](std::size_t l) { return l < 10; })) ||
+      (right.size() == 10 &&
+       std::all_of(right.begin(), right.end(),
+                   [](std::size_t l) { return l < 10; }));
+  const auto cut2 = tree.cut(2);
+  const double purity = ml::cluster_purity(cut2, labels);
+  std::printf("purity of the 2-cluster cut: %.3f\n", purity);
+  std::printf("(paper: perfect separation below the root)\n");
+
+  return bench::print_shape_checks({
+      {"perfect scp/kcompile split immediately below the root", perfect_split},
+      {"2-cluster cut purity is 1.0", purity == 1.0},
+  });
+}

@@ -1,0 +1,148 @@
+// Micro benchmarks (google-benchmark) for the analysis-side primitives:
+// tf-idf transform, sparse vector kernels, K-means iterations and SVM
+// training — the costs an operator pays per signature and per query.
+#include <benchmark/benchmark.h>
+
+#include "fmeter/fmeter.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fmeter;
+
+vsm::Corpus synthetic_corpus(std::size_t docs, std::size_t vocabulary,
+                             std::size_t terms_per_doc, std::uint64_t seed) {
+  util::Rng rng(seed);
+  vsm::Corpus corpus;
+  for (std::size_t d = 0; d < docs; ++d) {
+    std::vector<std::pair<vsm::CountDocument::TermId,
+                          vsm::CountDocument::Count>> counts;
+    for (std::size_t t = 0; t < terms_per_doc; ++t) {
+      counts.emplace_back(
+          static_cast<vsm::CountDocument::TermId>(rng.below(vocabulary)),
+          1 + rng.below(1000));
+    }
+    corpus.add(vsm::CountDocument::from_counts(std::move(counts),
+                                               d % 2 ? "a" : "b"));
+  }
+  return corpus;
+}
+
+void BM_TfIdfFit(benchmark::State& state) {
+  const auto corpus = synthetic_corpus(
+      static_cast<std::size_t>(state.range(0)), 3815, 400, 1);
+  for (auto _ : state) {
+    vsm::TfIdfModel model;
+    model.fit(corpus);
+    benchmark::DoNotOptimize(model.vocabulary_size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TfIdfFit)->Arg(100)->Arg(500);
+
+void BM_TfIdfTransformOneSignature(benchmark::State& state) {
+  const auto corpus = synthetic_corpus(250, 3815, 400, 2);
+  vsm::TfIdfModel model;
+  model.fit(corpus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.transform(corpus[0]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TfIdfTransformOneSignature);
+
+void BM_SparseDot(benchmark::State& state) {
+  const auto corpus = synthetic_corpus(2, 3815, 400, 3);
+  vsm::TfIdfModel model;
+  model.fit(corpus);
+  const auto a = model.transform(corpus[0]);
+  const auto b = model.transform(corpus[1]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.dot(b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparseDot);
+
+void BM_CosineSimilaritySearch(benchmark::State& state) {
+  // One query against a database of `range(0)` signatures.
+  const auto corpus = synthetic_corpus(
+      static_cast<std::size_t>(state.range(0)), 3815, 400, 4);
+  vsm::TfIdfModel model;
+  model.fit(corpus);
+  core::SignatureDatabase db;
+  for (const auto& doc : corpus.documents()) {
+    db.add(model.transform(doc), doc.label);
+  }
+  const auto query = model.transform(corpus[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.search(query, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CosineSimilaritySearch)->Arg(250)->Arg(1000);
+
+void BM_KMeansFit(benchmark::State& state) {
+  const auto corpus = synthetic_corpus(
+      static_cast<std::size_t>(state.range(0)), 3815, 400, 5);
+  vsm::TfIdfModel model;
+  const auto signatures = model.fit_transform(corpus);
+  for (auto _ : state) {
+    ml::KMeansConfig config;
+    config.k = 3;
+    config.seed = 42;
+    benchmark::DoNotOptimize(ml::KMeans(config).fit(signatures));
+  }
+}
+BENCHMARK(BM_KMeansFit)->Arg(60)->Arg(220)->Unit(benchmark::kMillisecond);
+
+void BM_HierarchicalAgglomerate(benchmark::State& state) {
+  const auto corpus = synthetic_corpus(
+      static_cast<std::size_t>(state.range(0)), 3815, 400, 6);
+  vsm::TfIdfModel model;
+  const auto signatures = model.fit_transform(corpus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::agglomerate(signatures));
+  }
+}
+BENCHMARK(BM_HierarchicalAgglomerate)
+    ->Arg(20)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SvmTrain(benchmark::State& state) {
+  const auto corpus = synthetic_corpus(
+      static_cast<std::size_t>(state.range(0)), 3815, 400, 7);
+  vsm::TfIdfModel model;
+  const auto signatures = model.fit_transform(corpus);
+  ml::Dataset data;
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    data.push_back({signatures[i], corpus[i].label == "a" ? +1 : -1});
+  }
+  for (auto _ : state) {
+    ml::SvmConfig config;
+    config.c = 10.0;
+    benchmark::DoNotOptimize(ml::train_svm(data, config));
+  }
+}
+BENCHMARK(BM_SvmTrain)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_SvmPredict(benchmark::State& state) {
+  const auto corpus = synthetic_corpus(200, 3815, 400, 8);
+  vsm::TfIdfModel model;
+  const auto signatures = model.fit_transform(corpus);
+  ml::Dataset data;
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    data.push_back({signatures[i], corpus[i].label == "a" ? +1 : -1});
+  }
+  const auto svm = ml::train_svm(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svm.predict(signatures[0]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SvmPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

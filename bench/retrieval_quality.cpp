@@ -1,0 +1,86 @@
+// Similarity-based search quality (paper §1/§2.2: "similarity based search
+// against a database of previously labeled signatures").
+//
+// Builds a forensic archive from five behavior classes (three workloads plus
+// two driver variants), then queries it with held-out signatures of each
+// class and reports precision@10, mean reciprocal rank and top-1 accuracy —
+// the searchable-history capability the paper motivates Fmeter with.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fmeter;
+  bench::print_banner(
+      "Retrieval — similarity search against a labeled signature archive",
+      "querying system history by signature similarity (the paper's "
+      "operator workflow); no figure in the paper, capability per §2.2");
+
+  core::MonitoredSystem system;
+  core::SignatureGenConfig gen;
+  gen.signatures_per_workload = 120;
+  gen.units_per_interval = 8;
+  gen.interval_jitter = 0.4;
+  const workloads::WorkloadKind kinds[] = {
+      workloads::WorkloadKind::kScp,
+      workloads::WorkloadKind::kKcompile,
+      workloads::WorkloadKind::kDbench,
+      workloads::WorkloadKind::kNetperf151,
+      workloads::WorkloadKind::kNetperf151NoLro,
+  };
+  std::printf("building archive: %zu signatures x 5 behavior classes...\n\n",
+              gen.signatures_per_workload);
+  const auto corpus = core::collect_signatures(system, kinds, gen);
+  vsm::TfIdfModel model;
+  const auto signatures = core::signatures_from(corpus, {}, &model);
+
+  // 80/20 split per class: archive vs held-out queries.
+  core::SignatureDatabase db;
+  std::vector<core::RetrievalQuery> queries;
+  for (const auto& label : corpus.labels()) {
+    const auto indices = corpus.indices_with_label(label);
+    const std::size_t cut = indices.size() * 4 / 5;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      if (i < cut) {
+        db.add(signatures[indices[i]], label);
+      } else {
+        queries.push_back({signatures[indices[i]], label});
+      }
+    }
+  }
+  std::printf("archive: %zu signatures   queries: %zu\n\n", db.size(),
+              queries.size());
+
+  util::TextTable table({"Metric", "cosine", "euclidean"});
+  core::RetrievalQuality cosine =
+      core::evaluate_retrieval(db, queries, 10, core::SimilarityMetric::kCosine);
+  core::RetrievalQuality euclidean = core::evaluate_retrieval(
+      db, queries, 10, core::SimilarityMetric::kEuclidean);
+  table.add_row({"precision@10", util::fixed(cosine.precision_at_k, 4),
+                 util::fixed(euclidean.precision_at_k, 4)});
+  table.add_row({"mean reciprocal rank",
+                 util::fixed(cosine.mean_reciprocal_rank, 4),
+                 util::fixed(euclidean.mean_reciprocal_rank, 4)});
+  table.add_row({"top-1 accuracy", util::fixed(cosine.top1_accuracy, 4),
+                 util::fixed(euclidean.top1_accuracy, 4)});
+  std::printf("%s", table.to_string().c_str());
+
+  // Per-class top-1 (which class is hardest to retrieve?).
+  std::printf("\nper-class top-1 accuracy (cosine):\n");
+  for (const auto& label : corpus.labels()) {
+    std::vector<core::RetrievalQuery> class_queries;
+    for (const auto& query : queries) {
+      if (query.true_label == label) class_queries.push_back(query);
+    }
+    const auto quality = core::evaluate_retrieval(db, class_queries, 1);
+    std::printf("  %-28s %.3f\n", label.c_str(), quality.top1_accuracy);
+  }
+
+  return bench::print_shape_checks({
+      {"precision@10 high (>= 0.9)", cosine.precision_at_k >= 0.9},
+      {"first relevant hit essentially immediate (MRR >= 0.95)",
+       cosine.mean_reciprocal_rank >= 0.95},
+      {"nearest neighbor nearly always right (top-1 >= 0.95)",
+       cosine.top1_accuracy >= 0.95},
+      {"both metrics retrieve well (euclidean P@10 >= 0.85)",
+       euclidean.precision_at_k >= 0.85},
+  });
+}

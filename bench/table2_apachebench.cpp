@@ -1,0 +1,68 @@
+// Table 2: apachebench requests/second under vanilla, Fmeter and Ftrace.
+//
+// Paper result (512 concurrent connections, 1400-byte file, client and
+// server co-located): vanilla 14215 req/s, Fmeter -24.07%, Ftrace -61.13%.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fmeter;
+  bench::print_banner(
+      "Table 2 — apachebench: requests per second by kernel configuration",
+      "vanilla 14215 req/s; Fmeter 24% slower; Ftrace 61% slower");
+
+  core::MonitoredSystem system;
+  auto& cpu = system.kernel().cpu(0);
+  auto workload = workloads::make_workload(
+      workloads::WorkloadKind::kApachebench, system.ops());
+  workload->warmup(cpu);
+
+  constexpr int kRequestsPerRun = 1500;
+  constexpr int kRuns = 16;  // paper: 16 repetitions per configuration
+
+  struct Config {
+    core::TracerKind kind;
+    const char* label;
+    double mean_rps = 0.0;
+    double sem_rps = 0.0;
+  };
+  std::vector<Config> configs = {{core::TracerKind::kVanilla, "vanilla"},
+                                 {core::TracerKind::kFmeter, "fmeter"},
+                                 {core::TracerKind::kFtrace, "ftrace"}};
+
+  for (auto& config : configs) {
+    system.select_tracer(config.kind);
+    std::vector<double> rps;
+    for (int w = 0; w < kRequestsPerRun / 4; ++w) workload->run_unit(cpu);
+    for (int run = 0; run < kRuns; ++run) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < kRequestsPerRun; ++r) workload->run_unit(cpu);
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      rps.push_back(kRequestsPerRun / seconds);
+    }
+    config.mean_rps = util::mean(rps);
+    config.sem_rps = util::sem(rps);
+  }
+
+  const double vanilla_rps = configs[0].mean_rps;
+  util::TextTable table({"Configuration", "Requests per second", "Slowdown"});
+  for (const auto& config : configs) {
+    const double slowdown = 100.0 * (1.0 - config.mean_rps / vanilla_rps);
+    table.add_row({config.label,
+                   util::mean_sem(config.mean_rps, config.sem_rps, 1),
+                   util::percent(slowdown)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\n(paper: vanilla 14215.2 +- 69.7, fmeter -24.07%%, ftrace -61.13%%)\n");
+
+  const double fmeter_slow = 1.0 - configs[1].mean_rps / vanilla_rps;
+  const double ftrace_slow = 1.0 - configs[2].mean_rps / vanilla_rps;
+  return bench::print_shape_checks({
+      {"Fmeter costs measurable throughput (> 5%)", fmeter_slow > 0.05},
+      {"Fmeter stays moderate (< 45% slowdown)", fmeter_slow < 0.45},
+      {"Ftrace loses far more than Fmeter", ftrace_slow > fmeter_slow * 1.7},
+      {"Ftrace loses roughly half or more of the throughput",
+       ftrace_slow > 0.4},
+  });
+}

@@ -1,0 +1,130 @@
+// Table 4: SVMlight-style classification of scp / kcompile / dbench
+// signatures — accuracy, precision and recall over 10-fold cross-validation
+// for all six class groupings.
+//
+// Paper result: 99.4-100% accuracy/precision/recall on every grouping
+// against baselines of 50-68%.
+//
+// Run with --ablate to additionally report the tf-idf ablation (raw counts
+// vs tf-only vs tf-idf) on the hardest grouping.
+#include <cstring>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace fmeter;
+
+struct Grouping {
+  std::string description;
+  std::vector<std::string> positives;
+  std::vector<std::string> negatives;
+  std::size_t folds = 10;
+};
+
+ml::CrossValidationConfig cv_config() {
+  ml::CrossValidationConfig config;
+  config.num_folds = 10;
+  config.c_grid = {1.0, 10.0, 100.0};
+  return config;
+}
+
+struct RowResult {
+  double baseline = 0.0;
+  ml::CrossValidationResult cv;
+};
+
+RowResult evaluate_grouping(const vsm::Corpus& corpus,
+                            const std::vector<vsm::SparseVector>& signatures,
+                            const Grouping& grouping) {
+  const auto positives =
+      core::binary_dataset(corpus, signatures, grouping.positives, {});
+  const auto negatives =
+      core::binary_dataset(corpus, signatures, {}, grouping.negatives);
+  auto config = cv_config();
+  config.num_folds = grouping.folds;
+  RowResult result;
+  result.cv = ml::cross_validate_svm(positives, negatives, config);
+  result.baseline = result.cv.baseline_accuracy;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool ablate = argc > 1 && std::strcmp(argv[1], "--ablate") == 0;
+
+  bench::print_banner(
+      "Table 4 — SVM on workload signatures (10-fold cross-validation)",
+      "99.4-100% accuracy/precision/recall on all six groupings; "
+      "baselines 50.6-68.0%");
+
+  core::MonitoredSystem system;
+  core::SignatureGenConfig gen;
+  gen.signatures_per_workload = 250;  // paper: ~250 signatures per workload
+  gen.units_per_interval = 8;
+  gen.interval_jitter = 0.4;
+  const workloads::WorkloadKind kinds[] = {workloads::WorkloadKind::kScp,
+                                           workloads::WorkloadKind::kKcompile,
+                                           workloads::WorkloadKind::kDbench};
+  std::printf("collecting %zu signatures per workload "
+              "(10s intervals in the paper)...\n\n",
+              gen.signatures_per_workload);
+  const auto corpus = core::collect_signatures(system, kinds, gen);
+  const auto signatures = core::signatures_from(corpus);
+
+  const std::vector<Grouping> groupings = {
+      {"dbench(+1), kcompile(-1)", {"dbench"}, {"kcompile"}},
+      {"scp(+1), kcompile(-1)", {"scp"}, {"kcompile"}},
+      {"scp(+1), dbench(-1)", {"scp"}, {"dbench"}},
+      {"dbench(+1), kcompile+scp(-1)", {"dbench"}, {"kcompile", "scp"}},
+      {"scp(+1), kcompile+dbench(-1)", {"scp"}, {"kcompile", "dbench"}},
+      {"kcompile(+1), scp+dbench(-1)", {"kcompile"}, {"scp", "dbench"}},
+  };
+
+  util::TextTable table({"Signature grouping", "Baseline acc %", "Accuracy %",
+                         "Precision %", "Recall %"});
+  double min_accuracy = 1.0;
+  double max_baseline = 0.0;
+  for (const auto& grouping : groupings) {
+    const auto result = evaluate_grouping(corpus, signatures, grouping);
+    min_accuracy = std::min(min_accuracy, result.cv.mean_accuracy());
+    max_baseline = std::max(max_baseline, result.baseline);
+    table.add_row(
+        {grouping.description, util::fixed(100.0 * result.baseline, 3),
+         util::mean_sem(100.0 * result.cv.mean_accuracy(),
+                        100.0 * result.cv.stddev_accuracy(), 2),
+         util::mean_sem(100.0 * result.cv.mean_precision(),
+                        100.0 * result.cv.stddev_precision(), 2),
+         util::mean_sem(100.0 * result.cv.mean_recall(),
+                        100.0 * result.cv.stddev_recall(), 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\n(paper: every grouping 99.39-100%% accuracy; baselines "
+              "50.6-68.0%%)\n");
+
+  if (ablate) {
+    std::printf("\n--- Ablation: weighting scheme on scp vs kcompile+dbench ---\n");
+    util::TextTable ab({"Weighting", "Accuracy %"});
+    const Grouping hard = {"scp vs rest", {"scp"}, {"kcompile", "dbench"}};
+    for (const auto& [label, weighting] :
+         std::vector<std::pair<const char*, vsm::Weighting>>{
+             {"raw counts", vsm::Weighting::kRawCount},
+             {"tf only", vsm::Weighting::kTf},
+             {"tf-idf (paper)", vsm::Weighting::kTfIdf}}) {
+      vsm::TfIdfOptions options;
+      options.weighting = weighting;
+      const auto ablated = core::signatures_from(corpus, options);
+      const auto result = evaluate_grouping(corpus, ablated, hard);
+      ab.add_row({label, util::fixed(100.0 * result.cv.mean_accuracy(), 2)});
+    }
+    std::printf("%s", ab.to_string().c_str());
+  }
+
+  return bench::print_shape_checks({
+      {"every grouping classified near-perfectly (>= 97% accuracy)",
+       min_accuracy >= 0.97},
+      {"accuracies massively beat the majority baselines",
+       min_accuracy > max_baseline + 0.25},
+  });
+}

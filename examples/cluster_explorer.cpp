@@ -1,0 +1,113 @@
+// Example: unsupervised exploration of unlabeled signatures (paper §2.2,
+// §4.2.2) — clustering, syndrome extraction, and the recursive
+// meta-clustering the paper proposes for cache-aware task placement.
+//
+// An operator dumps a day of unlabeled signatures from a machine that ran a
+// mix of workloads. Without any labels they can: (1) discover how many
+// distinct behaviors there were, (2) extract a syndrome per behavior,
+// (3) meta-cluster the syndromes to see which *classes* of behavior use the
+// kernel similarly (candidates for sharing a cache domain).
+//
+// Build & run:  ./build/examples/cluster_explorer
+#include <cstdio>
+#include <map>
+
+#include "fmeter/fmeter.hpp"
+
+using namespace fmeter;
+
+int main() {
+  core::MonitoredSystem system;
+
+  core::SignatureGenConfig gen;
+  gen.signatures_per_workload = 50;
+  gen.units_per_interval = 8;
+  gen.interval_jitter = 0.4;
+  const workloads::WorkloadKind kinds[] = {
+      workloads::WorkloadKind::kScp,
+      workloads::WorkloadKind::kKcompile,
+      workloads::WorkloadKind::kDbench,
+      workloads::WorkloadKind::kApachebench,
+  };
+  std::printf("collecting a day of signatures (4 unlabeled behaviors)...\n\n");
+  const auto corpus = core::collect_signatures(system, kinds, gen);
+  const auto signatures = core::signatures_from(corpus);
+
+  // (1) How many behaviors? Sweep K and watch inertia for the elbow.
+  std::printf("K-sweep (inertia elbow suggests the behavior count):\n");
+  double previous = 0.0;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    ml::KMeansConfig config;
+    config.k = k;
+    config.seed = 7;
+    const auto result = ml::KMeans(config).fit(signatures);
+    std::printf("  K=%zu  inertia %8.3f%s\n", k, result.inertia,
+                k > 1 && previous > 0.0 && result.inertia > previous * 0.7
+                    ? "   <- diminishing returns"
+                    : "");
+    previous = result.inertia;
+  }
+
+  // (2) Cluster at K=4 and inspect composition against the hidden truth.
+  ml::KMeansConfig config;
+  config.k = 4;
+  config.seed = 7;
+  const auto clustering = ml::KMeans(config).fit(signatures);
+  std::printf("\ncluster composition (hidden ground truth, for the reader):\n");
+  for (std::size_t c = 0; c < 4; ++c) {
+    std::map<std::string, int> histogram;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      if (clustering.assignments[i] == c) ++histogram[corpus[i].label];
+    }
+    std::printf("  cluster %zu:", c);
+    for (const auto& [label, count] : histogram) {
+      std::printf("  %s x%d", label.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  std::vector<int> truth;
+  const std::vector<std::string> names = {"scp", "kcompile", "dbench",
+                                          "apachebench"};
+  for (const auto& doc : corpus.documents()) {
+    truth.push_back(static_cast<int>(
+        std::find(names.begin(), names.end(), doc.label) - names.begin()));
+  }
+  const double purity = ml::cluster_purity(clustering.assignments, truth);
+  std::printf("  purity vs hidden truth: %.3f\n", purity);
+
+  // (3) Meta-clustering: which behavior classes use the kernel similarly?
+  // Store per-cluster centroids as syndromes and cluster THEM into 2 groups.
+  core::SignatureDatabase db;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    db.add(signatures[i],
+           "behavior-" + std::to_string(clustering.assignments[i]));
+  }
+  const auto meta = db.meta_cluster(2, 11);
+  const auto syndromes = db.syndromes();
+  std::printf("\nmeta-clustering of syndromes into 2 cache-affinity groups:\n");
+  for (std::size_t s = 0; s < syndromes.size(); ++s) {
+    // Describe each syndrome by its dominant true label.
+    std::map<std::string, int> histogram;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      if ("behavior-" + std::to_string(clustering.assignments[i]) ==
+          syndromes[s].label) {
+        ++histogram[corpus[i].label];
+      }
+    }
+    std::string dominant;
+    int best = 0;
+    for (const auto& [label, count] : histogram) {
+      if (count > best) {
+        best = count;
+        dominant = label;
+      }
+    }
+    std::printf("  group %zu: %s (mostly %s, %zu signatures)\n", meta[s],
+                syndromes[s].label.c_str(), dominant.c_str(),
+                syndromes[s].support);
+  }
+  std::printf("\nschedulers can co-locate behaviors within a group on a "
+              "shared L3 domain (paper §2.2/§6)\n");
+
+  return purity >= 0.9 ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+#include "fmeter/anomaly.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace fmeter::core {
+
+void AnomalyDetector::fit(std::span<const vsm::SparseVector> normal) {
+  if (normal.size() < 2) {
+    throw std::invalid_argument("AnomalyDetector::fit: need >= 2 signatures");
+  }
+  vsm::SparseVector sum;
+  for (const auto& signature : normal) sum = sum.plus(signature);
+  centroid_ = sum.scaled(1.0 / static_cast<double>(normal.size()));
+  fitted_ = true;  // score() needs the centroid from here on
+
+  std::vector<double> distances;
+  distances.reserve(normal.size());
+  for (const auto& signature : normal) distances.push_back(score(signature));
+  threshold_ = util::percentile(distances, 100.0 * config_.calibration_quantile) *
+               config_.threshold_slack;
+}
+
+double AnomalyDetector::score(const vsm::SparseVector& signature) const {
+  if (!fitted_) throw std::logic_error("AnomalyDetector: score before fit");
+  switch (config_.metric) {
+    case AnomalyMetric::kCosineDistance:
+      return 1.0 - vsm::cosine_similarity(signature, centroid_);
+    case AnomalyMetric::kEuclidean:
+      return vsm::euclidean_distance(signature, centroid_);
+  }
+  return 0.0;
+}
+
+}  // namespace fmeter::core

@@ -1,0 +1,62 @@
+// Anomaly detection over signatures (paper §7.4's "anomaly-based
+// aberrations", and the detection workflow of §2.2).
+//
+// The detector is calibrated on signatures of known-normal behavior only:
+// it stores their centroid and sets the alarm threshold at a configurable
+// quantile of the training signatures' own distances to that centroid. A
+// fresh signature whose distance exceeds the threshold is flagged — no
+// labeled anomalies are needed, which is the operationally common case.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::core {
+
+enum class AnomalyMetric {
+  kCosineDistance,  ///< 1 - cosine similarity (scale-free; the default)
+  kEuclidean,
+};
+
+struct AnomalyDetectorConfig {
+  AnomalyMetric metric = AnomalyMetric::kCosineDistance;
+  /// Training-distance quantile that sets the threshold; 0.99 tolerates 1%
+  /// false alarms on data like the training set.
+  double calibration_quantile = 0.99;
+  /// Multiplicative headroom on the calibrated threshold.
+  double threshold_slack = 1.25;
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(AnomalyDetectorConfig config = {})
+      : config_(config) {}
+
+  /// Calibrates on known-normal signatures. Requires at least 2 vectors.
+  void fit(std::span<const vsm::SparseVector> normal);
+
+  bool fitted() const noexcept { return fitted_; }
+
+  /// Distance of `signature` from the normal centroid (the anomaly score).
+  double score(const vsm::SparseVector& signature) const;
+
+  /// True iff score exceeds the calibrated threshold.
+  bool is_anomalous(const vsm::SparseVector& signature) const {
+    return score(signature) > threshold_;
+  }
+
+  double threshold() const noexcept { return threshold_; }
+  const vsm::SparseVector& centroid() const noexcept { return centroid_; }
+  const AnomalyDetectorConfig& config() const noexcept { return config_; }
+
+ private:
+  AnomalyDetectorConfig config_;
+  vsm::SparseVector centroid_;
+  double threshold_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fmeter::core

@@ -1,0 +1,41 @@
+#include "fmeter/collector.hpp"
+
+#include <stdexcept>
+
+namespace fmeter::core {
+
+SignatureCollector::SignatureCollector(trace::DebugFs& fs,
+                                       std::string counters_path)
+    : fs_(fs), counters_path_(std::move(counters_path)) {}
+
+trace::CounterSnapshot SignatureCollector::read_counters() const {
+  // The daemon pays the full serialize/parse round trip per reading, exactly
+  // like reading a debugfs file from user space.
+  return trace::CounterSnapshot::deserialize(fs_.read(counters_path_));
+}
+
+void SignatureCollector::begin_interval() { before_ = read_counters(); }
+
+vsm::CountDocument SignatureCollector::end_interval(std::string label,
+                                                    double duration_s) {
+  if (!before_.has_value()) {
+    throw std::logic_error("SignatureCollector: no open interval");
+  }
+  const trace::CounterSnapshot after = read_counters();
+  const trace::CounterSnapshot delta = after.diff(*before_);
+  before_.reset();
+  return delta.to_document(std::move(label), duration_s);
+}
+
+vsm::CountDocument SignatureCollector::roll_interval(std::string label,
+                                                     double duration_s) {
+  if (!before_.has_value()) {
+    throw std::logic_error("SignatureCollector: no open interval");
+  }
+  const trace::CounterSnapshot after = read_counters();
+  const trace::CounterSnapshot delta = after.diff(*before_);
+  before_ = after;
+  return delta.to_document(std::move(label), duration_s);
+}
+
+}  // namespace fmeter::core

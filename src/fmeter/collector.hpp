@@ -1,0 +1,47 @@
+// The user-space logging daemon (paper §3, last paragraph).
+//
+// "The logging daemon reads all kernel function invocation counts twice
+// (before and after the time interval) and generates the difference between
+// them." The collector does exactly that — through the debugfs text
+// interface, like the real daemon — and emits one CountDocument per interval.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/debugfs.hpp"
+#include "trace/snapshot.hpp"
+#include "vsm/document.hpp"
+
+namespace fmeter::core {
+
+class SignatureCollector {
+ public:
+  /// Reads counters from `fs` at `counters_path` (default: where
+  /// FmeterTracer::register_debugfs puts them).
+  explicit SignatureCollector(trace::DebugFs& fs,
+                              std::string counters_path = "fmeter/counters");
+
+  /// Snapshots the "before" reading. Must precede end_interval().
+  void begin_interval();
+
+  /// True between begin_interval() and end_interval().
+  bool interval_open() const noexcept { return before_.has_value(); }
+
+  /// Snapshots the "after" reading and returns the diffed interval counts.
+  /// Throws std::logic_error without a matching begin_interval().
+  vsm::CountDocument end_interval(std::string label, double duration_s);
+
+  /// Convenience for back-to-back intervals: ends the current interval and
+  /// reuses the "after" reading as the next interval's "before".
+  vsm::CountDocument roll_interval(std::string label, double duration_s);
+
+ private:
+  trace::CounterSnapshot read_counters() const;
+
+  trace::DebugFs& fs_;
+  std::string counters_path_;
+  std::optional<trace::CounterSnapshot> before_;
+};
+
+}  // namespace fmeter::core

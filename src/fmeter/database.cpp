@@ -1,0 +1,103 @@
+#include "fmeter/database.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fmeter::core {
+
+std::size_t SignatureDatabase::add(vsm::SparseVector signature,
+                                   std::string label) {
+  signatures_.push_back(std::move(signature));
+  labels_.push_back(std::move(label));
+  return signatures_.size() - 1;
+}
+
+std::vector<std::string> SignatureDatabase::distinct_labels() const {
+  std::vector<std::string> out;
+  for (const auto& label : labels_) {
+    if (std::find(out.begin(), out.end(), label) == out.end()) {
+      out.push_back(label);
+    }
+  }
+  return out;
+}
+
+std::vector<SearchHit> SignatureDatabase::search(
+    const vsm::SparseVector& query, std::size_t k,
+    SimilarityMetric metric) const {
+  std::vector<SearchHit> hits;
+  hits.reserve(signatures_.size());
+  for (std::size_t id = 0; id < signatures_.size(); ++id) {
+    SearchHit hit;
+    hit.id = id;
+    hit.label = labels_[id];
+    hit.score = metric == SimilarityMetric::kCosine
+                    ? vsm::cosine_similarity(query, signatures_[id])
+                    : -vsm::euclidean_distance(query, signatures_[id]);
+    hits.push_back(std::move(hit));
+  }
+  const std::size_t top = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<std::ptrdiff_t>(top),
+                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
+                      return a.score > b.score;
+                    });
+  hits.resize(top);
+  return hits;
+}
+
+std::vector<Syndrome> SignatureDatabase::syndromes() const {
+  std::vector<Syndrome> out;
+  for (const auto& label : distinct_labels()) {
+    Syndrome syndrome;
+    syndrome.label = label;
+    vsm::SparseVector sum;
+    for (std::size_t id = 0; id < signatures_.size(); ++id) {
+      if (labels_[id] != label) continue;
+      sum = sum.plus(signatures_[id]);
+      ++syndrome.support;
+    }
+    if (syndrome.support > 0) {
+      syndrome.centroid =
+          sum.scaled(1.0 / static_cast<double>(syndrome.support));
+    }
+    out.push_back(std::move(syndrome));
+  }
+  return out;
+}
+
+std::string SignatureDatabase::classify_by_syndrome(
+    const vsm::SparseVector& query, SimilarityMetric metric) const {
+  std::string best_label;
+  double best_score = -std::numeric_limits<double>::max();
+  for (const auto& syndrome : syndromes()) {
+    const double score =
+        metric == SimilarityMetric::kCosine
+            ? vsm::cosine_similarity(query, syndrome.centroid)
+            : -vsm::euclidean_distance(query, syndrome.centroid);
+    if (score > best_score) {
+      best_score = score;
+      best_label = syndrome.label;
+    }
+  }
+  return best_label;
+}
+
+std::vector<std::size_t> SignatureDatabase::meta_cluster(
+    std::size_t k, std::uint64_t seed) const {
+  const auto all = syndromes();
+  if (all.size() < k) {
+    throw std::invalid_argument("meta_cluster: fewer syndromes than clusters");
+  }
+  std::vector<vsm::SparseVector> centroids;
+  centroids.reserve(all.size());
+  for (const auto& syndrome : all) centroids.push_back(syndrome.centroid);
+
+  ml::KMeansConfig config;
+  config.k = k;
+  config.seed = seed;
+  const auto result = ml::KMeans(config).fit(centroids);
+  return result.assignments;
+}
+
+}  // namespace fmeter::core

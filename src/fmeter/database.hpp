@@ -1,0 +1,79 @@
+// Labeled signature database (paper §2.2).
+//
+// "We envision an environment in which an operator has access to a database
+// of labeled low-level system signatures describing many instances of normal
+// and abnormal behavior." The database stores tf-idf signatures with string
+// labels, answers similarity queries (cosine or L2), maintains per-label
+// syndrome centroids, classifies unknown signatures by nearest syndrome, and
+// supports the paper's recursive meta-clustering of syndromes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/kmeans.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::core {
+
+enum class SimilarityMetric { kCosine, kEuclidean };
+
+struct SearchHit {
+  std::size_t id = 0;      ///< database entry id
+  std::string label;
+  double score = 0.0;      ///< cosine similarity or negative L2 distance
+};
+
+struct Syndrome {
+  std::string label;
+  vsm::SparseVector centroid;   ///< mean signature of the label
+  std::size_t support = 0;      ///< number of member signatures
+};
+
+class SignatureDatabase {
+ public:
+  /// Inserts a signature; returns its id. Signatures are expected to be
+  /// tf-idf weight vectors (typically L2-normalised).
+  std::size_t add(vsm::SparseVector signature, std::string label);
+
+  std::size_t size() const noexcept { return signatures_.size(); }
+  bool empty() const noexcept { return signatures_.empty(); }
+
+  const vsm::SparseVector& signature(std::size_t id) const {
+    return signatures_.at(id);
+  }
+  const std::string& label(std::size_t id) const { return labels_.at(id); }
+
+  std::vector<std::string> distinct_labels() const;
+
+  /// Top-k most similar stored signatures. Cosine hits carry the similarity
+  /// in [−1, 1]; Euclidean hits carry -distance so that larger is better in
+  /// both metrics.
+  std::vector<SearchHit> search(const vsm::SparseVector& query, std::size_t k,
+                                SimilarityMetric metric =
+                                    SimilarityMetric::kCosine) const;
+
+  /// Per-label centroid syndromes ("the centroid of a cluster of signatures
+  /// can then be used as a syndrome", §2.2).
+  std::vector<Syndrome> syndromes() const;
+
+  /// Label of the syndrome closest to `query` (empty string on an empty
+  /// database). The majority-vote alternative to a trained classifier.
+  std::string classify_by_syndrome(const vsm::SparseVector& query,
+                                   SimilarityMetric metric =
+                                       SimilarityMetric::kCosine) const;
+
+  /// Meta-clustering (paper §2.2/§6): clusters the per-label syndromes into
+  /// `k` groups, revealing which whole classes of behavior are similar.
+  /// Returns, per syndrome, its meta-cluster index, aligned with syndromes().
+  std::vector<std::size_t> meta_cluster(std::size_t k,
+                                        std::uint64_t seed = 0x5eedULL) const;
+
+ private:
+  std::vector<vsm::SparseVector> signatures_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace fmeter::core

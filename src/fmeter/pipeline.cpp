@@ -1,0 +1,57 @@
+#include "fmeter/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fmeter::core {
+
+std::vector<vsm::SparseVector> signatures_from(const vsm::Corpus& corpus,
+                                               const vsm::TfIdfOptions& options,
+                                               vsm::TfIdfModel* out_model) {
+  vsm::TfIdfModel model(options);
+  auto vectors = model.fit_transform(corpus);
+  if (out_model != nullptr) *out_model = model;
+  return vectors;
+}
+
+namespace {
+bool contains(std::span<const std::string> haystack, const std::string& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+}  // namespace
+
+ml::Dataset binary_dataset(const vsm::Corpus& corpus,
+                           std::span<const vsm::SparseVector> vectors,
+                           std::span<const std::string> positive_labels,
+                           std::span<const std::string> negative_labels) {
+  if (vectors.size() != corpus.size()) {
+    throw std::invalid_argument("binary_dataset: corpus/vector misalignment");
+  }
+  ml::Dataset out;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto& label = corpus[i].label;
+    if (contains(positive_labels, label)) {
+      out.push_back({vectors[i], +1});
+    } else if (contains(negative_labels, label)) {
+      out.push_back({vectors[i], -1});
+    }
+  }
+  return out;
+}
+
+ml::Dataset multiclass_dataset(const vsm::Corpus& corpus,
+                               std::span<const vsm::SparseVector> vectors,
+                               std::span<const std::string> labels) {
+  if (vectors.size() != corpus.size()) {
+    throw std::invalid_argument("multiclass_dataset: corpus/vector misalignment");
+  }
+  ml::Dataset out;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto it = std::find(labels.begin(), labels.end(), corpus[i].label);
+    if (it == labels.end()) continue;
+    out.push_back({vectors[i], static_cast<int>(it - labels.begin())});
+  }
+  return out;
+}
+
+}  // namespace fmeter::core

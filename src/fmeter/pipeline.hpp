@@ -1,0 +1,38 @@
+// Corpus-to-dataset plumbing shared by the evaluation benches, the examples
+// and the tests: raw count documents -> tf-idf signatures -> labeled ML
+// datasets in the paper's +1/-1 convention.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "vsm/document.hpp"
+#include "vsm/sparse_vector.hpp"
+#include "vsm/tfidf.hpp"
+
+namespace fmeter::core {
+
+/// Fits tf-idf on `corpus` and transforms every document, preserving order.
+/// If `out_model` is non-null the fitted model is copied there (to transform
+/// future, unseen signatures consistently).
+std::vector<vsm::SparseVector> signatures_from(
+    const vsm::Corpus& corpus, const vsm::TfIdfOptions& options = {},
+    vsm::TfIdfModel* out_model = nullptr);
+
+/// Builds a binary dataset: documents whose label is in `positive_labels`
+/// become +1, those in `negative_labels` -1; all others are dropped.
+/// `vectors` must be aligned with `corpus` (as from signatures_from).
+ml::Dataset binary_dataset(const vsm::Corpus& corpus,
+                           std::span<const vsm::SparseVector> vectors,
+                           std::span<const std::string> positive_labels,
+                           std::span<const std::string> negative_labels);
+
+/// Multi-class dataset: label index = position of the document label in
+/// `labels`; documents with other labels are dropped.
+ml::Dataset multiclass_dataset(const vsm::Corpus& corpus,
+                               std::span<const vsm::SparseVector> vectors,
+                               std::span<const std::string> labels);
+
+}  // namespace fmeter::core

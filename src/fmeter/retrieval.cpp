@@ -1,0 +1,49 @@
+#include "fmeter/retrieval.hpp"
+
+#include <stdexcept>
+
+namespace fmeter::core {
+
+RetrievalQuality evaluate_retrieval(const SignatureDatabase& db,
+                                    const std::vector<RetrievalQuery>& queries,
+                                    std::size_t k, SimilarityMetric metric) {
+  if (db.empty()) throw std::invalid_argument("evaluate_retrieval: empty db");
+  if (queries.empty()) {
+    throw std::invalid_argument("evaluate_retrieval: no queries");
+  }
+  if (k == 0) throw std::invalid_argument("evaluate_retrieval: k must be >= 1");
+
+  RetrievalQuality quality;
+  quality.k = k;
+  quality.num_queries = queries.size();
+
+  double precision_sum = 0.0;
+  double reciprocal_rank_sum = 0.0;
+  std::size_t top1_hits = 0;
+
+  for (const auto& query : queries) {
+    const auto hits = db.search(query.signature, k, metric);
+    std::size_t relevant = 0;
+    std::size_t first_relevant_rank = 0;  // 1-based; 0 = none
+    for (std::size_t rank = 0; rank < hits.size(); ++rank) {
+      if (hits[rank].label == query.true_label) {
+        ++relevant;
+        if (first_relevant_rank == 0) first_relevant_rank = rank + 1;
+      }
+    }
+    precision_sum +=
+        static_cast<double>(relevant) / static_cast<double>(k);
+    if (first_relevant_rank > 0) {
+      reciprocal_rank_sum += 1.0 / static_cast<double>(first_relevant_rank);
+    }
+    top1_hits += !hits.empty() && hits.front().label == query.true_label;
+  }
+
+  const auto n = static_cast<double>(queries.size());
+  quality.precision_at_k = precision_sum / n;
+  quality.mean_reciprocal_rank = reciprocal_rank_sum / n;
+  quality.top1_accuracy = static_cast<double>(top1_hits) / n;
+  return quality;
+}
+
+}  // namespace fmeter::core

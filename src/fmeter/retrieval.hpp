@@ -1,0 +1,45 @@
+// Retrieval quality evaluation for the signature database.
+//
+// The paper positions similarity search against a labeled signature archive
+// as a primary use case (§1, §2.2): given a fresh signature, find past
+// diagnosed incidents that looked alike. This module scores that capability
+// with the standard IR measures — precision@k and mean reciprocal rank —
+// treating a retrieved signature as relevant iff it carries the query's
+// true label.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fmeter/database.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::core {
+
+struct RetrievalQuery {
+  vsm::SparseVector signature;
+  std::string true_label;
+};
+
+struct RetrievalQuality {
+  /// Mean over queries of (relevant in top-k) / k.
+  double precision_at_k = 0.0;
+  /// Mean over queries of 1 / rank of the first relevant hit (0 if none).
+  double mean_reciprocal_rank = 0.0;
+  /// Fraction of queries whose single nearest neighbor is relevant.
+  double top1_accuracy = 0.0;
+  std::size_t num_queries = 0;
+  std::size_t k = 0;
+};
+
+/// Runs every query against the database and aggregates the measures.
+/// Queries must not be pre-inserted in the database (no self-hits are
+/// excluded). Throws std::invalid_argument on empty inputs or k == 0.
+RetrievalQuality evaluate_retrieval(const SignatureDatabase& db,
+                                    const std::vector<RetrievalQuery>& queries,
+                                    std::size_t k,
+                                    SimilarityMetric metric =
+                                        SimilarityMetric::kCosine);
+
+}  // namespace fmeter::core

@@ -1,0 +1,61 @@
+#include "fmeter/signature_gen.hpp"
+
+#include <algorithm>
+
+#include "fmeter/collector.hpp"
+#include "util/rng.hpp"
+
+namespace fmeter::core {
+
+vsm::Corpus collect_signatures(MonitoredSystem& system,
+                               workloads::WorkloadKind kind,
+                               const SignatureGenConfig& config) {
+  const TracerKind previous = system.active_tracer();
+  system.select_tracer(TracerKind::kFmeter);
+
+  simkern::CpuContext& cpu = system.kernel().cpu(config.cpu);
+  auto workload = workloads::make_workload(kind, system.ops());
+  workload->warmup(cpu);
+
+  util::Rng rng(config.seed ^ static_cast<std::uint64_t>(kind));
+  SignatureCollector collector(system.debugfs());
+  vsm::Corpus corpus;
+
+  const auto mean_units = static_cast<double>(config.units_per_interval);
+  const double jitter = std::clamp(config.interval_jitter, 0.0, 0.95);
+
+  collector.begin_interval();
+  for (std::size_t s = 0; s < config.signatures_per_workload; ++s) {
+    const auto units = static_cast<std::uint64_t>(std::max(
+        1.0, rng.uniform(mean_units * (1.0 - jitter), mean_units * (1.0 + jitter))));
+    for (std::uint64_t u = 0; u < units; ++u) workload->run_unit(cpu);
+
+    // Ambient activity shares every interval with the workload; its volume
+    // varies widely so rare functions reach only a subset of documents.
+    const auto noise_calls =
+        static_cast<std::uint64_t>(rng.uniform(200.0, 2500.0));
+    system.ops().background_noise(cpu, noise_calls);
+
+    // The logging daemon perturbs the system it measures (paper §5): writing
+    // the previous signature to disk is itself kernel activity.
+    system.ops().create_write_close(cpu, 1);
+
+    corpus.add(collector.roll_interval(workload->name(),
+                                       config.interval_duration_s));
+  }
+
+  system.select_tracer(previous);
+  return corpus;
+}
+
+vsm::Corpus collect_signatures(MonitoredSystem& system,
+                               std::span<const workloads::WorkloadKind> kinds,
+                               const SignatureGenConfig& config) {
+  vsm::Corpus corpus;
+  for (const auto kind : kinds) {
+    corpus.append(collect_signatures(system, kind, config));
+  }
+  return corpus;
+}
+
+}  // namespace fmeter::core

@@ -1,0 +1,46 @@
+// Labeled signature corpus generation (the setup of paper §4.2).
+//
+// Runs each requested workload on an Fmeter-armed system, collecting one
+// CountDocument per monitoring interval ("The Fmeter logging daemon collected
+// the signatures every 10 seconds ... roughly 250 distinct signatures per
+// workload"). Interval lengths are jittered so signatures carry the natural
+// variance the tf normalisation must absorb.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fmeter/system.hpp"
+#include "vsm/document.hpp"
+#include "workloads/workload.hpp"
+
+namespace fmeter::core {
+
+struct SignatureGenConfig {
+  /// Signatures (monitoring intervals) per workload. Paper: ~250.
+  std::size_t signatures_per_workload = 250;
+  /// Mean workload units per interval ("10 seconds" of activity).
+  std::uint64_t units_per_interval = 30;
+  /// Interval length jitter: units drawn uniformly from
+  /// [units*(1-jitter), units*(1+jitter)].
+  double interval_jitter = 0.25;
+  /// Simulated CPU the workload runs on.
+  simkern::CpuId cpu = 0;
+  /// Nominal interval duration recorded in the documents, seconds.
+  double interval_duration_s = 10.0;
+  std::uint64_t seed = 0xc0117ec7ULL;
+};
+
+/// Collects `config.signatures_per_workload` labeled documents for one
+/// workload kind on `system` (arms the Fmeter tracer for the duration).
+vsm::Corpus collect_signatures(MonitoredSystem& system,
+                               workloads::WorkloadKind kind,
+                               const SignatureGenConfig& config);
+
+/// Collects for several workloads into one corpus (labels = workload names).
+vsm::Corpus collect_signatures(MonitoredSystem& system,
+                               std::span<const workloads::WorkloadKind> kinds,
+                               const SignatureGenConfig& config);
+
+}  // namespace fmeter::core

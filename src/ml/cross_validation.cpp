@@ -1,0 +1,151 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fmeter::ml {
+
+namespace {
+
+/// Splits `data` into `k` nearly equal chunks after a seeded shuffle.
+std::vector<Dataset> split_folds(const Dataset& data, std::size_t k,
+                                 util::Rng& rng) {
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(std::span<std::size_t>(order));
+  std::vector<Dataset> folds(k);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    folds[i % k].push_back(data[order[i]]);
+  }
+  return folds;
+}
+
+ConfusionCounts evaluate(const SvmModel& model, const Dataset& data) {
+  ConfusionCounts counts;
+  for (const auto& example : data) {
+    counts.add(example.label, model.predict(example.x));
+  }
+  return counts;
+}
+
+template <typename Getter>
+std::vector<double> per_fold(const std::vector<FoldOutcome>& folds,
+                             Getter getter) {
+  std::vector<double> out;
+  out.reserve(folds.size());
+  for (const auto& fold : folds) out.push_back(getter(fold));
+  return out;
+}
+
+}  // namespace
+
+double CrossValidationResult::mean_accuracy() const {
+  const auto xs = per_fold(
+      folds, [](const FoldOutcome& f) { return f.test_confusion.accuracy(); });
+  return util::mean(xs);
+}
+double CrossValidationResult::stddev_accuracy() const {
+  const auto xs = per_fold(
+      folds, [](const FoldOutcome& f) { return f.test_confusion.accuracy(); });
+  return util::stddev(xs);
+}
+double CrossValidationResult::mean_precision() const {
+  const auto xs = per_fold(
+      folds, [](const FoldOutcome& f) { return f.test_confusion.precision(); });
+  return util::mean(xs);
+}
+double CrossValidationResult::stddev_precision() const {
+  const auto xs = per_fold(
+      folds, [](const FoldOutcome& f) { return f.test_confusion.precision(); });
+  return util::stddev(xs);
+}
+double CrossValidationResult::mean_recall() const {
+  const auto xs = per_fold(
+      folds, [](const FoldOutcome& f) { return f.test_confusion.recall(); });
+  return util::mean(xs);
+}
+double CrossValidationResult::stddev_recall() const {
+  const auto xs = per_fold(
+      folds, [](const FoldOutcome& f) { return f.test_confusion.recall(); });
+  return util::stddev(xs);
+}
+
+CrossValidationResult cross_validate_svm(const Dataset& positives,
+                                         const Dataset& negatives,
+                                         const CrossValidationConfig& config) {
+  const std::size_t k = config.num_folds;
+  if (k < 3) {
+    throw std::invalid_argument(
+        "cross_validate_svm: need >= 3 folds (train/validation/test)");
+  }
+  if (positives.size() < k || negatives.size() < k) {
+    throw std::invalid_argument("cross_validate_svm: too few examples");
+  }
+  if (config.c_grid.empty()) {
+    throw std::invalid_argument("cross_validate_svm: empty C grid");
+  }
+  for (const auto& example : positives) {
+    if (example.label != +1) {
+      throw std::invalid_argument("cross_validate_svm: positives must be +1");
+    }
+  }
+  for (const auto& example : negatives) {
+    if (example.label != -1) {
+      throw std::invalid_argument("cross_validate_svm: negatives must be -1");
+    }
+  }
+
+  util::Rng rng(config.seed);
+  const auto pos_folds = split_folds(positives, k, rng);
+  const auto neg_folds = split_folds(negatives, k, rng);
+
+  // fold_i = positives_i  U  negatives_i (paper's construction).
+  std::vector<Dataset> folds(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    folds[i] = pos_folds[i];
+    folds[i].insert(folds[i].end(), neg_folds[i].begin(), neg_folds[i].end());
+  }
+
+  CrossValidationResult result;
+  {
+    Dataset all = positives;
+    all.insert(all.end(), negatives.begin(), negatives.end());
+    result.baseline_accuracy = majority_baseline(all);
+  }
+
+  for (std::size_t test_index = 0; test_index < k; ++test_index) {
+    const std::size_t val_index = (test_index + 1) % k;
+    Dataset train;
+    for (std::size_t f = 0; f < k; ++f) {
+      if (f == test_index || f == val_index) continue;
+      train.insert(train.end(), folds[f].begin(), folds[f].end());
+    }
+
+    FoldOutcome outcome;
+    SvmModel best_model;
+    double best_val_accuracy = -1.0;
+    for (const double c : config.c_grid) {
+      SvmConfig svm_config;
+      svm_config.kernel = config.kernel;
+      svm_config.c = c;
+      svm_config.seed = rng();
+      SvmModel model = train_svm(train, svm_config);
+      const double val_accuracy = evaluate(model, folds[val_index]).accuracy();
+      if (val_accuracy > best_val_accuracy) {
+        best_val_accuracy = val_accuracy;
+        best_model = std::move(model);
+        outcome.chosen_c = c;
+      }
+    }
+    outcome.validation_accuracy = best_val_accuracy;
+    // Single, final evaluation on the held-out test fold.
+    outcome.test_confusion = evaluate(best_model, folds[test_index]);
+    result.folds.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace fmeter::ml

@@ -1,0 +1,50 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fmeter::ml {
+
+Dataset sample_without_replacement(const Dataset& population, std::size_t n,
+                                   util::Rng& rng) {
+  if (n > population.size()) {
+    throw std::invalid_argument("sample_without_replacement: n > population");
+  }
+  std::vector<std::size_t> indices(population.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.shuffle(std::span<std::size_t>(indices));
+  Dataset out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(population[indices[i]]);
+  return out;
+}
+
+Dataset with_label(const Dataset& data, int label) {
+  Dataset out;
+  for (const auto& example : data) {
+    if (example.label == label) out.push_back(example);
+  }
+  return out;
+}
+
+std::vector<int> distinct_labels(const Dataset& data) {
+  std::vector<int> out;
+  for (const auto& example : data) {
+    if (std::find(out.begin(), out.end(), example.label) == out.end()) {
+      out.push_back(example.label);
+    }
+  }
+  return out;
+}
+
+double majority_baseline(const Dataset& data) {
+  if (data.empty()) return 0.0;
+  std::unordered_map<int, std::size_t> counts;
+  for (const auto& example : data) ++counts[example.label];
+  std::size_t best = 0;
+  for (const auto& [label, count] : counts) best = std::max(best, count);
+  return static_cast<double>(best) / static_cast<double>(data.size());
+}
+
+}  // namespace fmeter::ml

@@ -1,0 +1,38 @@
+// Labeled vector datasets for the statistical analysis layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::ml {
+
+/// One training/evaluation example: a signature and its class label.
+/// For binary classifiers the label is +1 / -1 (the paper's convention);
+/// clustering uses arbitrary small integers.
+struct LabeledVector {
+  vsm::SparseVector x;
+  int label = 0;
+};
+
+using Dataset = std::vector<LabeledVector>;
+
+/// Samples `n` elements without replacement; throws if n > population.
+Dataset sample_without_replacement(const Dataset& population, std::size_t n,
+                                   util::Rng& rng);
+
+/// Returns the subset carrying `label`.
+Dataset with_label(const Dataset& data, int label);
+
+/// Distinct labels in first-seen order.
+std::vector<int> distinct_labels(const Dataset& data);
+
+/// Fraction of examples carrying the majority label — the paper's "baseline
+/// accuracy" of a classifier that always answers with the majority class.
+double majority_baseline(const Dataset& data);
+
+}  // namespace fmeter::ml

@@ -1,0 +1,251 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace fmeter::ml {
+
+int DecisionTree::predict(const vsm::SparseVector& x) const noexcept {
+  if (nodes_.empty()) return +1;
+  std::size_t index = 0;
+  while (nodes_[index].feature != Node::kLeaf) {
+    const Node& node = nodes_[index];
+    index = static_cast<std::size_t>(x.at(node.feature) <= node.threshold
+                                         ? node.left
+                                         : node.right);
+  }
+  return nodes_[index].label;
+}
+
+double DecisionTree::decision_value(const vsm::SparseVector& x) const noexcept {
+  if (nodes_.empty()) return 0.0;
+  std::size_t index = 0;
+  while (nodes_[index].feature != Node::kLeaf) {
+    const Node& node = nodes_[index];
+    index = static_cast<std::size_t>(x.at(node.feature) <= node.threshold
+                                         ? node.left
+                                         : node.right);
+  }
+  return nodes_[index].label * nodes_[index].confidence;
+}
+
+namespace {
+
+double entropy(double positive_weight, double total_weight) {
+  if (total_weight <= 0.0) return 0.0;
+  const double p = positive_weight / total_weight;
+  double h = 0.0;
+  if (p > 0.0) h -= p * std::log(p);
+  if (p < 1.0) h -= (1.0 - p) * std::log(1.0 - p);
+  return h;
+}
+
+struct Split {
+  std::uint32_t feature = 0;
+  double threshold = 0.0;
+  double gain_ratio = 0.0;
+  bool valid = false;
+};
+
+struct Builder {
+  const Dataset& data;
+  const DecisionTreeConfig& config;
+  std::span<const double> weights;
+  std::vector<DecisionTree::Node>& nodes;
+  util::Rng rng;
+  std::size_t max_depth_reached = 0;
+
+  double weight_of(std::size_t example) const {
+    return weights.empty() ? 1.0 : weights[example];
+  }
+
+  /// Distinct features present among the node's examples.
+  std::vector<std::uint32_t> candidate_features(
+      std::span<const std::size_t> members) {
+    std::set<std::uint32_t> present;
+    for (const std::size_t example : members) {
+      for (const auto index : data[example].x.indices()) present.insert(index);
+    }
+    std::vector<std::uint32_t> features(present.begin(), present.end());
+    if (config.feature_subsample > 0 &&
+        features.size() > config.feature_subsample) {
+      rng.shuffle(std::span<std::uint32_t>(features));
+      features.resize(config.feature_subsample);
+      std::sort(features.begin(), features.end());
+    }
+    return features;
+  }
+
+  /// Enumerates every candidate threshold of every candidate feature,
+  /// invoking `visit(feature, threshold, gain, gain_ratio)` per candidate.
+  template <typename Visitor>
+  void for_each_candidate(std::span<const std::size_t> members,
+                          std::span<const std::uint32_t> features,
+                          Visitor&& visit) {
+    double total_weight = 0.0;
+    double total_positive = 0.0;
+    for (const std::size_t example : members) {
+      total_weight += weight_of(example);
+      if (data[example].label > 0) total_positive += weight_of(example);
+    }
+    const double parent_entropy = entropy(total_positive, total_weight);
+
+    std::vector<std::pair<double, std::size_t>> ordered;  // (value, example)
+    for (const std::uint32_t feature : features) {
+      ordered.clear();
+      ordered.reserve(members.size());
+      for (const std::size_t example : members) {
+        ordered.emplace_back(data[example].x.at(feature), example);
+      }
+      std::sort(ordered.begin(), ordered.end());
+
+      // Sweep thresholds between distinct adjacent values.
+      double left_weight = 0.0;
+      double left_positive = 0.0;
+      for (std::size_t i = 0; i + 1 < ordered.size(); ++i) {
+        const auto [value, example] = ordered[i];
+        left_weight += weight_of(example);
+        if (data[example].label > 0) left_positive += weight_of(example);
+        const double next_value = ordered[i + 1].first;
+        if (next_value <= value) continue;  // no boundary here
+
+        const double right_weight = total_weight - left_weight;
+        const double right_positive = total_positive - left_positive;
+        const double children_entropy =
+            (left_weight / total_weight) * entropy(left_positive, left_weight) +
+            (right_weight / total_weight) *
+                entropy(right_positive, right_weight);
+        const double gain = parent_entropy - children_entropy;
+        // C4.5 normalizes gain by the split's own entropy to avoid bias
+        // toward fine-grained splits.
+        const double split_info = entropy(left_weight, total_weight);
+        const double gain_ratio = split_info > 1e-12 ? gain / split_info : 0.0;
+        visit(feature, 0.5 * (value + next_value), gain, gain_ratio);
+      }
+    }
+  }
+
+  Split best_split(std::span<const std::size_t> members) {
+    const auto features = candidate_features(members);
+
+    // Pass 1 — Quinlan's guard: the gain ratio alone favors near-trivial
+    // splits (tiny split-info denominators), so C4.5 only ranks by gain
+    // ratio among candidates whose raw gain is at least the average gain.
+    double gain_sum = 0.0;
+    std::size_t gain_count = 0;
+    for_each_candidate(members, features,
+                       [&](std::uint32_t, double, double gain, double) {
+                         if (gain > config.min_gain) {
+                           gain_sum += gain;
+                           ++gain_count;
+                         }
+                       });
+    if (gain_count == 0) return {};
+    const double average_gain = gain_sum / static_cast<double>(gain_count);
+
+    // Pass 2: max gain ratio subject to gain >= average gain.
+    Split best;
+    for_each_candidate(
+        members, features,
+        [&](std::uint32_t feature, double threshold, double gain,
+            double gain_ratio) {
+          if (gain + 1e-12 < average_gain || gain <= config.min_gain) return;
+          if (gain_ratio > best.gain_ratio) {
+            best.valid = true;
+            best.feature = feature;
+            best.threshold = threshold;
+            best.gain_ratio = gain_ratio;
+          }
+        });
+    return best;
+  }
+
+  std::int32_t build(std::vector<std::size_t> members, std::size_t depth) {
+    max_depth_reached = std::max(max_depth_reached, depth);
+
+    double total_weight = 0.0;
+    double positive_weight = 0.0;
+    for (const std::size_t example : members) {
+      total_weight += weight_of(example);
+      if (data[example].label > 0) positive_weight += weight_of(example);
+    }
+
+    const auto make_leaf = [&]() -> std::int32_t {
+      DecisionTree::Node leaf;
+      leaf.feature = DecisionTree::Node::kLeaf;
+      leaf.label = positive_weight * 2.0 >= total_weight ? +1 : -1;
+      const double majority =
+          std::max(positive_weight, total_weight - positive_weight);
+      leaf.confidence = total_weight > 0.0 ? majority / total_weight : 1.0;
+      nodes.push_back(leaf);
+      return static_cast<std::int32_t>(nodes.size() - 1);
+    };
+
+    const bool pure =
+        positive_weight <= 0.0 || positive_weight >= total_weight;
+    if (pure || depth >= config.max_depth ||
+        members.size() < 2 * config.min_samples_leaf) {
+      return make_leaf();
+    }
+
+    const Split split = best_split(members);
+    if (!split.valid) return make_leaf();
+
+    std::vector<std::size_t> left_members;
+    std::vector<std::size_t> right_members;
+    for (const std::size_t example : members) {
+      if (data[example].x.at(split.feature) <= split.threshold) {
+        left_members.push_back(example);
+      } else {
+        right_members.push_back(example);
+      }
+    }
+    if (left_members.size() < config.min_samples_leaf ||
+        right_members.size() < config.min_samples_leaf) {
+      return make_leaf();
+    }
+
+    // Reserve this node's index before recursing (children append after).
+    const auto index = static_cast<std::int32_t>(nodes.size());
+    nodes.emplace_back();
+    nodes[static_cast<std::size_t>(index)].feature = split.feature;
+    nodes[static_cast<std::size_t>(index)].threshold = split.threshold;
+    const std::int32_t left = build(std::move(left_members), depth + 1);
+    const std::int32_t right = build(std::move(right_members), depth + 1);
+    nodes[static_cast<std::size_t>(index)].left = left;
+    nodes[static_cast<std::size_t>(index)].right = right;
+    return index;
+  }
+};
+
+}  // namespace
+
+DecisionTree train_decision_tree(const Dataset& data,
+                                 const DecisionTreeConfig& config,
+                                 std::span<const double> weights) {
+  if (data.empty()) {
+    throw std::invalid_argument("train_decision_tree: empty dataset");
+  }
+  if (!weights.empty() && weights.size() != data.size()) {
+    throw std::invalid_argument("train_decision_tree: weight arity mismatch");
+  }
+  for (const auto& example : data) {
+    if (example.label != +1 && example.label != -1) {
+      throw std::invalid_argument("train_decision_tree: labels must be +1/-1");
+    }
+  }
+
+  DecisionTree tree;
+  Builder builder{data, config, weights, tree.nodes_, util::Rng(config.seed)};
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  builder.build(std::move(all), 0);
+  tree.depth_ = builder.max_depth_reached;
+  return tree;
+}
+
+}  // namespace fmeter::ml

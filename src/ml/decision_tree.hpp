@@ -1,0 +1,71 @@
+// C4.5-style decision tree classification over sparse signature vectors.
+//
+// The paper (§4.2.1) mentions a "hand-crafted C4.5 decision tree package
+// that supports high dimension vectors and is capable of performing boosting
+// and bagging" as the authors' in-progress alternative to the SVM. This is
+// that package: axis-aligned threshold splits chosen by C4.5's gain ratio,
+// built directly on the sparse representation (absent features read as 0,
+// which in tf-idf space means "function not called"), plus the ensemble
+// wrappers in ml/ensemble.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace fmeter::ml {
+
+struct DecisionTreeConfig {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  /// Minimum information gain (nats) for a split to be kept.
+  double min_gain = 1e-6;
+  /// Candidate features per node: 0 = all features present in the node's
+  /// examples (exact C4.5); otherwise a random subset of that size (used by
+  /// the bagged forest for decorrelation).
+  std::size_t feature_subsample = 0;
+  std::uint64_t seed = 0x7ee5ULL;
+};
+
+/// A trained binary decision tree (+1/-1 labels).
+class DecisionTree {
+ public:
+  struct Node {
+    // Leaf when feature == kLeaf.
+    static constexpr std::uint32_t kLeaf = 0xffffffffu;
+    std::uint32_t feature = kLeaf;
+    double threshold = 0.0;      ///< go left if x[feature] <= threshold
+    std::int32_t left = -1;      ///< node indices
+    std::int32_t right = -1;
+    int label = +1;              ///< leaf prediction
+    double confidence = 1.0;     ///< leaf majority fraction
+  };
+
+  int predict(const vsm::SparseVector& x) const noexcept;
+
+  /// Signed score: confidence with the predicted label's sign (for ensemble
+  /// averaging).
+  double decision_value(const vsm::SparseVector& x) const noexcept;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+ private:
+  friend DecisionTree train_decision_tree(const Dataset&,
+                                          const DecisionTreeConfig&,
+                                          std::span<const double>);
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+};
+
+/// Trains a tree with C4.5 gain-ratio splits. `weights` (optional) gives a
+/// per-example weight, used by boosting; empty means uniform.
+DecisionTree train_decision_tree(const Dataset& data,
+                                 const DecisionTreeConfig& config = {},
+                                 std::span<const double> weights = {});
+
+}  // namespace fmeter::ml

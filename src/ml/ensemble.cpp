@@ -1,0 +1,109 @@
+#include "ml/ensemble.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace fmeter::ml {
+
+int BaggedTrees::predict(const vsm::SparseVector& x) const noexcept {
+  return decision_value(x) >= 0.0 ? +1 : -1;
+}
+
+double BaggedTrees::decision_value(const vsm::SparseVector& x) const noexcept {
+  if (trees_.empty()) return 0.0;
+  double votes = 0.0;
+  for (const auto& tree : trees_) votes += tree.predict(x);
+  return votes / static_cast<double>(trees_.size());
+}
+
+BaggedTrees train_bagged_trees(const Dataset& data,
+                               const BaggingConfig& config) {
+  if (data.empty()) {
+    throw std::invalid_argument("train_bagged_trees: empty dataset");
+  }
+  if (config.num_trees == 0) {
+    throw std::invalid_argument("train_bagged_trees: need >= 1 tree");
+  }
+  util::Rng rng(config.seed);
+  const auto sample_size = static_cast<std::size_t>(
+      std::max(1.0, config.sample_fraction * static_cast<double>(data.size())));
+
+  BaggedTrees ensemble;
+  ensemble.trees_.reserve(config.num_trees);
+  for (std::size_t t = 0; t < config.num_trees; ++t) {
+    Dataset bootstrap;
+    bootstrap.reserve(sample_size);
+    for (std::size_t i = 0; i < sample_size; ++i) {
+      bootstrap.push_back(data[rng.below(data.size())]);
+    }
+    DecisionTreeConfig tree_config = config.tree;
+    tree_config.seed = rng();
+    ensemble.trees_.push_back(train_decision_tree(bootstrap, tree_config));
+  }
+  return ensemble;
+}
+
+double AdaBoost::decision_value(const vsm::SparseVector& x) const noexcept {
+  double score = 0.0;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    score += alphas_[t] * trees_[t].predict(x);
+  }
+  return score;
+}
+
+AdaBoost train_adaboost(const Dataset& data, const AdaBoostConfig& config) {
+  if (data.empty()) throw std::invalid_argument("train_adaboost: empty dataset");
+  if (config.num_rounds == 0) {
+    throw std::invalid_argument("train_adaboost: need >= 1 round");
+  }
+
+  const std::size_t n = data.size();
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  util::Rng rng(config.seed);
+
+  AdaBoost ensemble;
+  for (std::size_t round = 0; round < config.num_rounds; ++round) {
+    DecisionTreeConfig weak_config = config.weak;
+    weak_config.seed = rng();
+    DecisionTree tree = train_decision_tree(data, weak_config, weights);
+
+    double error = 0.0;
+    std::vector<int> predictions(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      predictions[i] = tree.predict(data[i].x);
+      if (predictions[i] != data[i].label) error += weights[i];
+    }
+
+    if (error <= 1e-12) {
+      // Perfect weak learner: give it a large, finite say and stop.
+      ensemble.trees_.push_back(std::move(tree));
+      ensemble.alphas_.push_back(10.0);
+      break;
+    }
+    if (error >= 0.5) break;  // no better than chance under these weights
+
+    const double alpha = 0.5 * std::log((1.0 - error) / error);
+    ensemble.trees_.push_back(std::move(tree));
+    ensemble.alphas_.push_back(alpha);
+
+    // Re-weight: misclassified examples gain mass.
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] *= std::exp(-alpha * data[i].label * predictions[i]);
+      total += weights[i];
+    }
+    for (auto& weight : weights) weight /= total;
+  }
+
+  if (ensemble.trees_.empty()) {
+    // Degenerate input (first weak learner at chance): fall back to a single
+    // unweighted tree so the classifier still answers.
+    ensemble.trees_.push_back(train_decision_tree(data, config.weak));
+    ensemble.alphas_.push_back(1.0);
+  }
+  return ensemble;
+}
+
+}  // namespace fmeter::ml

@@ -1,0 +1,71 @@
+// Ensemble methods over the C4.5 trees: bagging and AdaBoost (paper §4.2.1
+// mentions both as capabilities of the authors' tree package).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace fmeter::ml {
+
+// --- Bagging -----------------------------------------------------------------
+
+struct BaggingConfig {
+  std::size_t num_trees = 15;
+  DecisionTreeConfig tree;
+  /// Bootstrap sample size as a fraction of the training set.
+  double sample_fraction = 1.0;
+  std::uint64_t seed = 0xba66ULL;
+};
+
+/// Bootstrap-aggregated trees; prediction by majority vote.
+class BaggedTrees {
+ public:
+  int predict(const vsm::SparseVector& x) const noexcept;
+  /// Mean signed vote in [-1, 1].
+  double decision_value(const vsm::SparseVector& x) const noexcept;
+  std::size_t size() const noexcept { return trees_.size(); }
+
+ private:
+  friend BaggedTrees train_bagged_trees(const Dataset&, const BaggingConfig&);
+  std::vector<DecisionTree> trees_;
+};
+
+BaggedTrees train_bagged_trees(const Dataset& data,
+                               const BaggingConfig& config = {});
+
+// --- AdaBoost ----------------------------------------------------------------
+
+struct AdaBoostConfig {
+  std::size_t num_rounds = 30;
+  /// Weak learners are shallow trees; depth 2 gives classic "stumps plus".
+  DecisionTreeConfig weak;
+  std::uint64_t seed = 0xb005ULL;
+
+  AdaBoostConfig() {
+    weak.max_depth = 2;
+    weak.min_samples_leaf = 1;
+  }
+};
+
+/// Discrete AdaBoost over weighted C4.5 trees.
+class AdaBoost {
+ public:
+  int predict(const vsm::SparseVector& x) const noexcept {
+    return decision_value(x) >= 0.0 ? +1 : -1;
+  }
+  /// Weighted committee score.
+  double decision_value(const vsm::SparseVector& x) const noexcept;
+  std::size_t rounds() const noexcept { return trees_.size(); }
+
+ private:
+  friend AdaBoost train_adaboost(const Dataset&, const AdaBoostConfig&);
+  std::vector<DecisionTree> trees_;
+  std::vector<double> alphas_;
+};
+
+AdaBoost train_adaboost(const Dataset& data, const AdaBoostConfig& config = {});
+
+}  // namespace fmeter::ml

@@ -1,0 +1,179 @@
+#include "ml/hierarchical.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fmeter::ml {
+
+const char* linkage_name(Linkage linkage) noexcept {
+  switch (linkage) {
+    case Linkage::kSingle: return "single";
+    case Linkage::kComplete: return "complete";
+    case Linkage::kAverage: return "average";
+  }
+  return "unknown";
+}
+
+std::vector<double> pairwise_distances(
+    std::span<const vsm::SparseVector> points) {
+  const std::size_t n = points.size();
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = vsm::euclidean_distance(points[i], points[j]);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+  return dist;
+}
+
+Dendrogram agglomerate(std::span<const vsm::SparseVector> points,
+                       const HierarchicalConfig& config) {
+  const std::size_t n = points.size();
+  if (n == 0) throw std::invalid_argument("agglomerate: no points");
+
+  Dendrogram tree;
+  tree.num_leaves = n;
+  if (n == 1) return tree;
+
+  // active clusters: node id + member leaves; cluster-to-cluster distances
+  // maintained via Lance-Williams style recomputation from leaf distances.
+  const std::vector<double> leaf_dist = pairwise_distances(points);
+  struct Cluster {
+    std::size_t node;
+    std::vector<std::size_t> leaves;
+  };
+  std::vector<Cluster> active;
+  active.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) active.push_back({i, {i}});
+
+  auto linkage_distance = [&](const Cluster& a, const Cluster& b) {
+    double best = config.linkage == Linkage::kComplete
+                      ? 0.0
+                      : std::numeric_limits<double>::max();
+    double sum = 0.0;
+    for (const std::size_t i : a.leaves) {
+      for (const std::size_t j : b.leaves) {
+        const double d = leaf_dist[i * n + j];
+        switch (config.linkage) {
+          case Linkage::kSingle:
+            best = std::min(best, d);
+            break;
+          case Linkage::kComplete:
+            best = std::max(best, d);
+            break;
+          case Linkage::kAverage:
+            sum += d;
+            break;
+        }
+      }
+    }
+    if (config.linkage == Linkage::kAverage) {
+      return sum / (static_cast<double>(a.leaves.size()) *
+                    static_cast<double>(b.leaves.size()));
+    }
+    return best;
+  };
+
+  std::size_t next_node = n;
+  while (active.size() > 1) {
+    // Find the closest pair of active clusters.
+    double best = std::numeric_limits<double>::max();
+    std::size_t bi = 0;
+    std::size_t bj = 1;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        const double d = linkage_distance(active[i], active[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    MergeStep step;
+    step.id = next_node++;
+    step.left = active[bi].node;
+    step.right = active[bj].node;
+    step.height = best;
+    tree.merges.push_back(step);
+
+    // Merge bj into bi; drop bj.
+    active[bi].node = step.id;
+    active[bi].leaves.insert(active[bi].leaves.end(), active[bj].leaves.begin(),
+                             active[bj].leaves.end());
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+  return tree;
+}
+
+std::vector<std::size_t> Dendrogram::leaves_under(std::size_t node) const {
+  if (node < num_leaves) return {node};
+  const std::size_t merge_index = node - num_leaves;
+  if (merge_index >= merges.size()) {
+    throw std::out_of_range("Dendrogram::leaves_under: bad node id");
+  }
+  std::vector<std::size_t> out = leaves_under(merges[merge_index].left);
+  const auto right = leaves_under(merges[merge_index].right);
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+std::vector<std::size_t> Dendrogram::cut(std::size_t k) const {
+  if (k == 0 || k > num_leaves) {
+    throw std::invalid_argument("Dendrogram::cut: k out of range");
+  }
+  // The cluster roots after undoing the last k-1 merges are: every node
+  // created by merges[0 .. n-1-k) that is not consumed by another merge in
+  // that prefix, plus unconsumed leaves.
+  const std::size_t prefix = merges.size() + 1 - k;  // merges to keep
+  std::vector<bool> consumed(num_leaves + merges.size(), false);
+  for (std::size_t m = 0; m < prefix; ++m) {
+    consumed[merges[m].left] = true;
+    consumed[merges[m].right] = true;
+  }
+  std::vector<std::size_t> assignments(num_leaves, 0);
+  std::size_t cluster = 0;
+  for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+    if (!consumed[leaf]) {
+      assignments[leaf] = cluster++;
+    }
+  }
+  for (std::size_t m = 0; m < prefix; ++m) {
+    const std::size_t node = merges[m].id;
+    if (!consumed[node]) {
+      for (const std::size_t leaf : leaves_under(node)) {
+        assignments[leaf] = cluster;
+      }
+      ++cluster;
+    }
+  }
+  return assignments;
+}
+
+namespace {
+void render(const Dendrogram& tree, std::size_t node, std::string& out) {
+  if (node < tree.num_leaves) {
+    out += std::to_string(node);
+    return;
+  }
+  const MergeStep& step = tree.merges[node - tree.num_leaves];
+  out += '(';
+  render(tree, step.left, out);
+  out += ", ";
+  render(tree, step.right, out);
+  out += ')';
+}
+}  // namespace
+
+std::string Dendrogram::to_paren_string() const {
+  if (num_leaves == 0) return "()";
+  if (merges.empty()) return "0";
+  std::string out;
+  render(*this, merges.back().id, out);
+  return out;
+}
+
+}  // namespace fmeter::ml

@@ -1,0 +1,61 @@
+// Agglomerative hierarchical clustering (paper §4.2.2, Figure 4).
+//
+// Bottom-up merging under the Euclidean distance with single-, complete- or
+// average-linkage (the paper reports single-linkage; the others behave
+// similarly on its data). The merge tree can be rendered in the nested-pair
+// notation of Figure 4 — e.g. "((0, 9), (2, 5))" — and cut into k flat
+// clusters for comparison against K-means.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::ml {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+const char* linkage_name(Linkage linkage) noexcept;
+
+/// One merge step: nodes `left` and `right` join into node `id` at `height`.
+/// Leaves are nodes [0, n); internal nodes are [n, 2n-1).
+struct MergeStep {
+  std::size_t id = 0;
+  std::size_t left = 0;
+  std::size_t right = 0;
+  double height = 0.0;
+};
+
+struct Dendrogram {
+  std::size_t num_leaves = 0;
+  std::vector<MergeStep> merges;  // in merge order; merges.size() == n-1
+
+  /// Flat clustering with `k` clusters (undo the last k-1 merges).
+  /// Returns assignments[leaf] in [0, k).
+  std::vector<std::size_t> cut(std::size_t k) const;
+
+  /// Figure 4's nested-pair rendering of the whole tree, leaves printed by
+  /// index: "(((4, (3, (1, 7))), ...), (18, ...))".
+  std::string to_paren_string() const;
+
+  /// Children of the root (the "level immediately below the aggregation tree
+  /// root" the paper examines for the two-class split).
+  std::vector<std::size_t> leaves_under(std::size_t node) const;
+};
+
+struct HierarchicalConfig {
+  Linkage linkage = Linkage::kSingle;
+};
+
+/// O(n^3 / n^2 memory) naive agglomeration — ample for the paper's 20-220
+/// signature inputs. Requires at least one point.
+Dendrogram agglomerate(std::span<const vsm::SparseVector> points,
+                       const HierarchicalConfig& config = {});
+
+/// Convenience: pairwise Euclidean distance matrix (row-major, n x n).
+std::vector<double> pairwise_distances(std::span<const vsm::SparseVector> points);
+
+}  // namespace fmeter::ml

@@ -1,0 +1,185 @@
+#include "ml/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fmeter::ml {
+
+double distance_sq_to_centroid(const vsm::SparseVector& point,
+                               std::span<const double> centroid) noexcept {
+  // ||p - c||^2 = ||c||^2 + sum_i (p_i^2 - 2 p_i c_i); iterate the sparse
+  // entries and add the centroid's full norm once.
+  double centroid_norm_sq = 0.0;
+  for (const double c : centroid) centroid_norm_sq += c * c;
+  double acc = centroid_norm_sq;
+  const auto indices = point.indices();
+  const auto values = point.values();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const double p = values[i];
+    const double c = indices[i] < centroid.size() ? centroid[indices[i]] : 0.0;
+    acc += p * p - 2.0 * p * c;
+  }
+  return acc < 0.0 ? 0.0 : acc;
+}
+
+std::vector<std::vector<double>> compute_centroids(
+    std::span<const vsm::SparseVector> points,
+    std::span<const std::size_t> assignments, std::size_t k,
+    std::size_t dimension) {
+  std::vector<std::vector<double>> centroids(k,
+                                             std::vector<double>(dimension, 0.0));
+  std::vector<std::size_t> sizes(k, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::size_t cluster = assignments[i];
+    points[i].add_to(centroids[cluster]);
+    ++sizes[cluster];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (sizes[c] == 0) continue;
+    const double inv = 1.0 / static_cast<double>(sizes[c]);
+    for (double& value : centroids[c]) value *= inv;
+  }
+  return centroids;
+}
+
+KMeansResult KMeans::fit(std::span<const vsm::SparseVector> points) const {
+  const std::size_t k = config_.k;
+  if (k == 0) throw std::invalid_argument("KMeans: k must be >= 1");
+  if (points.size() < k) {
+    throw std::invalid_argument("KMeans: fewer points than clusters");
+  }
+  const std::size_t restarts = std::max<std::size_t>(1, config_.restarts);
+  util::Rng seeder(config_.seed);
+  KMeansResult best;
+  bool have_best = false;
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    KMeansResult result = fit_once(points, seeder());
+    if (!have_best || result.inertia < best.inertia) {
+      best = std::move(result);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+KMeansResult KMeans::fit_once(std::span<const vsm::SparseVector> points,
+                              std::uint64_t seed) const {
+  const std::size_t k = config_.k;
+
+  std::size_t dimension = 0;
+  for (const auto& point : points) {
+    dimension = std::max(dimension, point.dimension_bound());
+  }
+
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+
+  if (config_.plus_plus_init) {
+    // k-means++: first centroid uniform, then proportional to D^2.
+    centroids.push_back(
+        points[rng.below(points.size())].to_dense(dimension));
+    std::vector<double> dist_sq(points.size(),
+                                std::numeric_limits<double>::max());
+    while (centroids.size() < k) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const double d = distance_sq_to_centroid(points[i], centroids.back());
+        dist_sq[i] = std::min(dist_sq[i], d);
+        total += dist_sq[i];
+      }
+      double target = rng.uniform() * total;
+      std::size_t chosen = points.size() - 1;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        target -= dist_sq[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+      centroids.push_back(points[chosen].to_dense(dimension));
+    }
+  } else {
+    // Uniform distinct random seeding.
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(std::span<std::size_t>(order));
+    for (std::size_t c = 0; c < k; ++c) {
+      centroids.push_back(points[order[c]].to_dense(dimension));
+    }
+  }
+
+  KMeansResult result;
+  result.assignments.assign(points.size(), 0);
+
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    bool changed = false;
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_cluster = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = distance_sq_to_centroid(points[i], centroids[c]);
+        if (d < best) {
+          best = d;
+          best_cluster = c;
+        }
+      }
+      if (result.assignments[i] != best_cluster) {
+        result.assignments[i] = best_cluster;
+        changed = true;
+      }
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    auto updated = compute_centroids(points, result.assignments, k, dimension);
+    // Re-seed empty clusters with the point farthest from its centroid, the
+    // standard fix that keeps K distinct clusters alive.
+    std::vector<bool> non_empty(k, false);
+    for (const std::size_t a : result.assignments) non_empty[a] = true;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (non_empty[c]) continue;
+      double worst = -1.0;
+      std::size_t worst_point = 0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const double d = distance_sq_to_centroid(
+            points[i], updated[result.assignments[i]]);
+        if (d > worst) {
+          worst = d;
+          worst_point = i;
+        }
+      }
+      updated[c] = points[worst_point].to_dense(dimension);
+      result.assignments[worst_point] = c;
+      changed = true;
+    }
+
+    // Convergence check on centroid movement.
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      double move_sq = 0.0;
+      for (std::size_t d = 0; d < dimension; ++d) {
+        const double delta = updated[c][d] - centroids[c][d];
+        move_sq += delta * delta;
+      }
+      movement += std::sqrt(move_sq);
+    }
+    centroids = std::move(updated);
+
+    if (!changed || movement < config_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace fmeter::ml

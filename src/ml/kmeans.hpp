@@ -1,0 +1,70 @@
+// K-means clustering over signature vectors (paper §4.2.2).
+//
+// The paper's primary unsupervised method: Lloyd's algorithm under the
+// Euclidean (L2-induced) distance, with the cluster count K given. Centroids
+// are kept dense (they are means of sparse vectors and fill in quickly);
+// points stay sparse.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::ml {
+
+struct KMeansConfig {
+  std::size_t k = 2;
+  std::size_t max_iterations = 100;
+  /// Convergence threshold on total centroid movement (L2).
+  double tolerance = 1e-9;
+  /// k-means++ seeding (true) vs uniform random point seeding (false).
+  bool plus_plus_init = true;
+  /// Independent restarts; the run with the lowest inertia wins. Lloyd's
+  /// algorithm only finds local minima, so a handful of restarts is the
+  /// standard guard against degenerate splits.
+  std::size_t restarts = 5;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+struct KMeansResult {
+  /// assignments[i] = cluster of points[i], in [0, k).
+  std::vector<std::size_t> assignments;
+  /// Dense centroids, one per cluster, dimension = max over points.
+  std::vector<std::vector<double>> centroids;
+  /// Sum of squared distances of points to their centroid.
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+class KMeans {
+ public:
+  explicit KMeans(KMeansConfig config = {}) : config_(config) {}
+
+  /// Clusters the points. Requires points.size() >= k >= 1.
+  KMeansResult fit(std::span<const vsm::SparseVector> points) const;
+
+  const KMeansConfig& config() const noexcept { return config_; }
+
+ private:
+  KMeansResult fit_once(std::span<const vsm::SparseVector> points,
+                        std::uint64_t seed) const;
+
+  KMeansConfig config_;
+};
+
+/// Squared L2 distance from a sparse point to a dense centroid.
+double distance_sq_to_centroid(const vsm::SparseVector& point,
+                               std::span<const double> centroid) noexcept;
+
+/// Means of the vectors assigned to each cluster; empty clusters give zero
+/// vectors. Exposed for the meta-clustering path (clustering of centroids).
+std::vector<std::vector<double>> compute_centroids(
+    std::span<const vsm::SparseVector> points,
+    std::span<const std::size_t> assignments, std::size_t k,
+    std::size_t dimension);
+
+}  // namespace fmeter::ml

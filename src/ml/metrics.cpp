@@ -1,0 +1,140 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace fmeter::ml {
+
+void ConfusionCounts::add(int actual, int predicted) noexcept {
+  if (actual > 0) {
+    if (predicted > 0) {
+      ++true_positive;
+    } else {
+      ++false_negative;
+    }
+  } else {
+    if (predicted > 0) {
+      ++false_positive;
+    } else {
+      ++true_negative;
+    }
+  }
+}
+
+double ConfusionCounts::accuracy() const noexcept {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double ConfusionCounts::precision() const noexcept {
+  const std::size_t denom = true_positive + false_positive;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::recall() const noexcept {
+  const std::size_t denom = true_positive + false_negative;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+namespace {
+
+/// cluster -> (label -> count) contingency table.
+std::map<std::size_t, std::map<int, std::size_t>> contingency(
+    std::span<const std::size_t> assignments, std::span<const int> labels) {
+  if (assignments.size() != labels.size()) {
+    throw std::invalid_argument("metrics: assignments/labels size mismatch");
+  }
+  std::map<std::size_t, std::map<int, std::size_t>> table;
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    ++table[assignments[i]][labels[i]];
+  }
+  return table;
+}
+
+}  // namespace
+
+double cluster_purity(std::span<const std::size_t> assignments,
+                      std::span<const int> labels) {
+  if (assignments.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& [cluster, by_label] : contingency(assignments, labels)) {
+    std::size_t best = 0;
+    for (const auto& [label, count] : by_label) best = std::max(best, count);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(assignments.size());
+}
+
+double normalized_mutual_information(std::span<const std::size_t> assignments,
+                                     std::span<const int> labels) {
+  if (assignments.empty()) return 0.0;
+  const auto table = contingency(assignments, labels);
+  const auto n = static_cast<double>(assignments.size());
+
+  std::map<std::size_t, double> cluster_totals;
+  std::map<int, double> label_totals;
+  for (const auto& [cluster, by_label] : table) {
+    for (const auto& [label, count] : by_label) {
+      cluster_totals[cluster] += static_cast<double>(count);
+      label_totals[label] += static_cast<double>(count);
+    }
+  }
+
+  double mi = 0.0;
+  for (const auto& [cluster, by_label] : table) {
+    for (const auto& [label, count] : by_label) {
+      const auto joint = static_cast<double>(count) / n;
+      const double pc = cluster_totals[cluster] / n;
+      const double pl = label_totals[label] / n;
+      if (joint > 0.0) mi += joint * std::log(joint / (pc * pl));
+    }
+  }
+
+  double h_cluster = 0.0;
+  for (const auto& [cluster, total] : cluster_totals) {
+    const double p = total / n;
+    h_cluster -= p * std::log(p);
+  }
+  double h_label = 0.0;
+  for (const auto& [label, total] : label_totals) {
+    const double p = total / n;
+    h_label -= p * std::log(p);
+  }
+  const double denom = std::sqrt(h_cluster * h_label);
+  if (denom == 0.0) return h_cluster == h_label ? 1.0 : 0.0;
+  return mi / denom;
+}
+
+double rand_index(std::span<const std::size_t> assignments,
+                  std::span<const int> labels) {
+  if (assignments.size() != labels.size()) {
+    throw std::invalid_argument("rand_index: size mismatch");
+  }
+  const std::size_t n = assignments.size();
+  if (n < 2) return 1.0;
+  std::size_t agree = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_cluster = assignments[i] == assignments[j];
+      const bool same_label = labels[i] == labels[j];
+      agree += (same_cluster == same_label);
+      ++pairs;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(pairs);
+}
+
+}  // namespace fmeter::ml

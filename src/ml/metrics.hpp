@@ -1,0 +1,48 @@
+// Classification and clustering quality metrics (paper §4.2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fmeter::ml {
+
+/// Binary confusion counts for the +1/-1 labeling convention.
+struct ConfusionCounts {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const noexcept {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+
+  void add(int actual, int predicted) noexcept;
+
+  /// (tp + tn) / total; 0 when empty.
+  double accuracy() const noexcept;
+  /// tp / (tp + fp); 1 when no positives were predicted (vacuously precise).
+  double precision() const noexcept;
+  /// tp / (tp + fn); 1 when there were no positives to find.
+  double recall() const noexcept;
+  /// Harmonic mean of precision and recall.
+  double f1() const noexcept;
+};
+
+/// Cluster purity (paper §4.2.2): assign each cluster its most frequent true
+/// class, then the fraction of points that agree with their cluster's class.
+/// `assignments[i]` is the cluster of point i; `labels[i]` its true class.
+double cluster_purity(std::span<const std::size_t> assignments,
+                      std::span<const int> labels);
+
+/// Normalized mutual information between a clustering and the true labels —
+/// the alternative metric the paper mentions; ranges [0, 1].
+double normalized_mutual_information(std::span<const std::size_t> assignments,
+                                     std::span<const int> labels);
+
+/// Rand index: fraction of point pairs on which clustering and labels agree.
+double rand_index(std::span<const std::size_t> assignments,
+                  std::span<const int> labels);
+
+}  // namespace fmeter::ml

@@ -1,0 +1,138 @@
+#include "ml/multiclass.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fmeter::ml {
+
+void OneVsRestSvm::fit(const std::vector<Example>& examples,
+                       const SvmConfig& config) {
+  classes_.clear();
+  models_.clear();
+  for (const auto& example : examples) {
+    if (std::find(classes_.begin(), classes_.end(), example.label) ==
+        classes_.end()) {
+      classes_.push_back(example.label);
+    }
+  }
+  if (classes_.size() < 2) {
+    throw std::invalid_argument("OneVsRestSvm: need >= 2 distinct labels");
+  }
+  for (const auto& positive : classes_) {
+    Dataset binary;
+    binary.reserve(examples.size());
+    for (const auto& example : examples) {
+      binary.push_back({example.x, example.label == positive ? +1 : -1});
+    }
+    models_.push_back(train_svm(binary, config));
+  }
+}
+
+const std::string& OneVsRestSvm::classify(const vsm::SparseVector& x) const {
+  if (!fitted()) throw std::logic_error("OneVsRestSvm: classify before fit");
+  std::size_t best = 0;
+  double best_value = -std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < models_.size(); ++c) {
+    const double value = models_[c].decision_value(x);
+    if (value > best_value) {
+      best_value = value;
+      best = c;
+    }
+  }
+  return classes_[best];
+}
+
+double OneVsRestSvm::decision_value(const vsm::SparseVector& x,
+                                    const std::string& label) const {
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (classes_[c] == label) return models_[c].decision_value(x);
+  }
+  throw std::out_of_range("OneVsRestSvm: unknown label " + label);
+}
+
+ConfusionMatrix::ConfusionMatrix(std::vector<std::string> classes)
+    : classes_(std::move(classes)),
+      counts_(classes_.size() * classes_.size(), 0) {
+  if (classes_.empty()) {
+    throw std::invalid_argument("ConfusionMatrix: need >= 1 class");
+  }
+}
+
+std::size_t ConfusionMatrix::index_of(const std::string& label) const {
+  const auto it = std::find(classes_.begin(), classes_.end(), label);
+  if (it == classes_.end()) {
+    throw std::out_of_range("ConfusionMatrix: unknown class " + label);
+  }
+  return static_cast<std::size_t>(it - classes_.begin());
+}
+
+void ConfusionMatrix::add(const std::string& actual,
+                          const std::string& predicted) {
+  ++counts_[index_of(actual) * classes_.size() + index_of(predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(const std::string& actual,
+                                   const std::string& predicted) const {
+  return counts_[index_of(actual) * classes_.size() + index_of(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diagonal = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    diagonal += counts_[c * classes_.size() + c];
+  }
+  return static_cast<double>(diagonal) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(const std::string& label) const {
+  const std::size_t column = index_of(label);
+  std::size_t predicted = 0;
+  for (std::size_t row = 0; row < classes_.size(); ++row) {
+    predicted += counts_[row * classes_.size() + column];
+  }
+  if (predicted == 0) return 1.0;
+  return static_cast<double>(counts_[column * classes_.size() + column]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(const std::string& label) const {
+  const std::size_t row = index_of(label);
+  std::size_t actual = 0;
+  for (std::size_t column = 0; column < classes_.size(); ++column) {
+    actual += counts_[row * classes_.size() + column];
+  }
+  if (actual == 0) return 1.0;
+  return static_cast<double>(counts_[row * classes_.size() + row]) /
+         static_cast<double>(actual);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (const auto& label : classes_) {
+    const double p = precision(label);
+    const double r = recall(label);
+    sum += (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  return sum / static_cast<double>(classes_.size());
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream out;
+  out << "actual \\ predicted";
+  for (const auto& label : classes_) out << '\t' << label;
+  out << '\n';
+  for (std::size_t row = 0; row < classes_.size(); ++row) {
+    out << classes_[row];
+    for (std::size_t column = 0; column < classes_.size(); ++column) {
+      out << '\t' << counts_[row * classes_.size() + column];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fmeter::ml

@@ -1,0 +1,77 @@
+// Multiclass classification utilities.
+//
+// The paper's classifier is binary ("our classifier expects only two
+// distinct classes labeled +1 and -1", §4.2.1) and handles three workloads
+// through pairwise and one-vs-rest groupings. This module packages the
+// one-vs-rest construction as a reusable classifier, plus the multiclass
+// confusion matrix used to report per-class quality.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/svm.hpp"
+
+namespace fmeter::ml {
+
+/// One-vs-rest committee of binary C-SVMs over string-labeled examples.
+class OneVsRestSvm {
+ public:
+  struct Example {
+    vsm::SparseVector x;
+    std::string label;
+  };
+
+  /// Trains one binary SVM per distinct label (that label vs all others).
+  /// Requires at least two distinct labels.
+  void fit(const std::vector<Example>& examples, const SvmConfig& config = {});
+
+  bool fitted() const noexcept { return !models_.empty(); }
+  const std::vector<std::string>& classes() const noexcept { return classes_; }
+
+  /// Label whose one-vs-rest decision value is largest.
+  const std::string& classify(const vsm::SparseVector& x) const;
+
+  /// Decision value for one class (ranking / confidence inspection).
+  double decision_value(const vsm::SparseVector& x,
+                        const std::string& label) const;
+
+ private:
+  std::vector<std::string> classes_;
+  std::vector<SvmModel> models_;
+};
+
+/// Square confusion matrix over string classes.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::vector<std::string> classes);
+
+  void add(const std::string& actual, const std::string& predicted);
+
+  std::size_t count(const std::string& actual,
+                    const std::string& predicted) const;
+  std::size_t total() const noexcept { return total_; }
+
+  double accuracy() const;
+  /// Per-class precision/recall (one-vs-rest reading of the matrix).
+  double precision(const std::string& label) const;
+  double recall(const std::string& label) const;
+  /// Unweighted mean of per-class F1 scores.
+  double macro_f1() const;
+
+  const std::vector<std::string>& classes() const noexcept { return classes_; }
+
+  /// Plain-text rendering with row = actual, column = predicted.
+  std::string to_string() const;
+
+ private:
+  std::size_t index_of(const std::string& label) const;
+
+  std::vector<std::string> classes_;
+  std::vector<std::size_t> counts_;  // row-major classes x classes
+  std::size_t total_ = 0;
+};
+
+}  // namespace fmeter::ml

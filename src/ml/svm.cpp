@@ -1,0 +1,167 @@
+#include "ml/svm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace fmeter::ml {
+
+double SvmKernel::operator()(const vsm::SparseVector& a,
+                             const vsm::SparseVector& b) const noexcept {
+  switch (type) {
+    case SvmKernelType::kLinear:
+      return a.dot(b);
+    case SvmKernelType::kPolynomial: {
+      const double base = gamma * a.dot(b) + coef0;
+      double pow = 1.0;
+      for (int d = 0; d < degree; ++d) pow *= base;
+      return pow;
+    }
+    case SvmKernelType::kRbf: {
+      const double dist = vsm::euclidean_distance(a, b);
+      return std::exp(-gamma * dist * dist);
+    }
+  }
+  return 0.0;
+}
+
+SvmModel::SvmModel(SvmKernel kernel,
+                   std::vector<vsm::SparseVector> support_vectors,
+                   std::vector<double> coefficients, double bias)
+    : kernel_(kernel),
+      support_vectors_(std::move(support_vectors)),
+      coefficients_(std::move(coefficients)),
+      bias_(bias) {
+  if (support_vectors_.size() != coefficients_.size()) {
+    throw std::invalid_argument("SvmModel: sv/coefficient arity mismatch");
+  }
+}
+
+double SvmModel::decision_value(const vsm::SparseVector& x) const noexcept {
+  double f = bias_;
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+    f += coefficients_[i] * kernel_(support_vectors_[i], x);
+  }
+  return f;
+}
+
+SvmModel train_svm(const Dataset& data, const SvmConfig& config) {
+  const std::size_t n = data.size();
+  bool has_positive = false;
+  bool has_negative = false;
+  for (const auto& example : data) {
+    if (example.label == +1) {
+      has_positive = true;
+    } else if (example.label == -1) {
+      has_negative = true;
+    } else {
+      throw std::invalid_argument("train_svm: labels must be +1/-1");
+    }
+  }
+  if (!has_positive || !has_negative) {
+    throw std::invalid_argument("train_svm: need both classes");
+  }
+
+  // Precompute the Gram matrix: n is a few hundred in every experiment, and
+  // SMO touches each entry many times.
+  std::vector<double> gram(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = config.kernel(data[i].x, data[j].x);
+      gram[i * n + j] = k;
+      gram[j * n + i] = k;
+    }
+  }
+  const auto K = [&gram, n](std::size_t i, std::size_t j) {
+    return gram[i * n + j];
+  };
+
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = static_cast<double>(data[i].label);
+  double b = 0.0;
+
+  // Error cache: margins[i] = sum_k alpha_k y_k K(k, i) (b kept separate);
+  // updated in O(n) per successful pair step instead of recomputed.
+  std::vector<double> margins(n, 0.0);
+
+  util::Rng rng(config.seed);
+  const double C = config.c;
+  const double tol = config.tolerance;
+  std::size_t passes = 0;
+  std::size_t sweeps = 0;
+
+  while (passes < config.max_passes && sweeps < config.max_sweeps) {
+    ++sweeps;
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e_i = margins[i] + b - y[i];
+      const bool violates_kkt = (y[i] * e_i < -tol && alpha[i] < C) ||
+                                (y[i] * e_i > tol && alpha[i] > 0.0);
+      if (!violates_kkt) continue;
+
+      std::size_t j = rng.below(n - 1);
+      if (j >= i) ++j;  // uniform over indices != i
+      const double e_j = margins[j] + b - y[j];
+
+      const double alpha_i_old = alpha[i];
+      const double alpha_j_old = alpha[j];
+      double lo = 0.0;
+      double hi = 0.0;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, alpha[j] - alpha[i]);
+        hi = std::min(C, C + alpha[j] - alpha[i]);
+      } else {
+        lo = std::max(0.0, alpha[i] + alpha[j] - C);
+        hi = std::min(C, alpha[i] + alpha[j]);
+      }
+      if (lo >= hi) continue;
+
+      const double eta = 2.0 * K(i, j) - K(i, i) - K(j, j);
+      if (eta >= 0.0) continue;
+
+      double aj = alpha_j_old - y[j] * (e_i - e_j) / eta;
+      aj = std::min(hi, std::max(lo, aj));
+      if (std::abs(aj - alpha_j_old) < 1e-6) continue;
+      const double ai = alpha_i_old + y[i] * y[j] * (alpha_j_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      // Propagate the pair update through the error cache.
+      const double di = y[i] * (ai - alpha_i_old);
+      const double dj = y[j] * (aj - alpha_j_old);
+      for (std::size_t k = 0; k < n; ++k) {
+        margins[k] += di * K(i, k) + dj * K(j, k);
+      }
+
+      const double b1 = b - e_i - y[i] * (ai - alpha_i_old) * K(i, i) -
+                        y[j] * (aj - alpha_j_old) * K(i, j);
+      const double b2 = b - e_j - y[i] * (ai - alpha_i_old) * K(i, j) -
+                        y[j] * (aj - alpha_j_old) * K(j, j);
+      if (ai > 0.0 && ai < C) {
+        b = b1;
+      } else if (aj > 0.0 && aj < C) {
+        b = b2;
+      } else {
+        b = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  // Extract support vectors.
+  std::vector<vsm::SparseVector> support_vectors;
+  std::vector<double> coefficients;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-10) {
+      support_vectors.push_back(data[i].x);
+      coefficients.push_back(alpha[i] * y[i]);
+    }
+  }
+  return SvmModel(config.kernel, std::move(support_vectors),
+                  std::move(coefficients), b);
+}
+
+}  // namespace fmeter::ml

@@ -1,0 +1,78 @@
+#include "simkern/kernel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fmeter::simkern {
+
+Kernel::Kernel(const KernelConfig& config)
+    : config_(config), symbols_(config.symbols), module_rng_(config.seed ^ 0x6d6f64756c65ULL) {
+  if (config.num_cpus == 0) {
+    throw std::invalid_argument("Kernel: need at least one CPU");
+  }
+  util::Rng seeder(config.seed);
+  cpus_.reserve(config.num_cpus);
+  for (std::uint32_t i = 0; i < config.num_cpus; ++i) {
+    cpus_.push_back(std::make_unique<CpuContext>(i, seeder()));
+  }
+}
+
+Module& Kernel::load_module(const ModuleBlueprint& blueprint) {
+  std::vector<Module::Function> functions;
+  functions.reserve(blueprint.functions.size());
+  std::uint32_t offset = 0;
+  for (const auto& spec : blueprint.functions) {
+    Module::Function fn;
+    fn.name = spec.name;
+    fn.offset = offset;
+    fn.body_cost = spec.body_cost;
+    fn.core_calls.reserve(spec.core_calls.size());
+    for (const auto& symbol : spec.core_calls) {
+      fn.core_calls.push_back(symbols_.by_name(symbol).id);
+    }
+    // Subsequent offsets shift with this function's text size — the exact
+    // property that defeats (module, version, offset) identification.
+    offset += std::max<std::uint32_t>(16, spec.text_bytes);
+    functions.push_back(std::move(fn));
+  }
+  // Relocation: modules land at a randomized, page-aligned address.
+  const Address load_address =
+      kModuleAreaBase + (module_rng_.below(1 << 16) << 12);
+  modules_.push_back(std::make_unique<Module>(
+      blueprint.name, blueprint.version, load_address, std::move(functions)));
+  return *modules_.back();
+}
+
+void Kernel::unload_module(std::string_view name) {
+  modules_.erase(std::remove_if(modules_.begin(), modules_.end(),
+                                [&](const std::unique_ptr<Module>& module) {
+                                  return module->name() == name;
+                                }),
+                 modules_.end());
+}
+
+Module* Kernel::find_module(std::string_view name) noexcept {
+  for (const auto& module : modules_) {
+    if (module->name() == name) return module.get();
+  }
+  return nullptr;
+}
+
+void Kernel::invoke_module_function(CpuContext& cpu, const Module& module,
+                                    std::size_t fn_index) noexcept {
+  const Module::Function& fn = module.function(fn_index);
+  // No trace hook here: module text has no mcount sites under Fmeter.
+  cpu.consume_work(fn.body_cost * config_.body_work_scale);
+  for (const FunctionId core_fn : fn.core_calls) {
+    invoke(cpu, core_fn);
+  }
+}
+
+std::size_t Module::function_index(std::string_view name) const {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].name == name) return i;
+  }
+  throw std::out_of_range("Module: unknown function " + std::string(name));
+}
+
+}  // namespace fmeter::simkern

@@ -1,0 +1,80 @@
+// Runtime-loadable kernel modules.
+//
+// Fmeter deliberately does not instrument functions living in modules: module
+// text is relocated at load time and even tiny code changes shift every
+// subsequent function offset, so (module, version, offset) tuples are not
+// stable identifiers (paper §3). The simulator reproduces both properties:
+// module-local functions are invisible to the trace hook, and their offsets
+// depend on the byte sizes of all preceding functions, which differ across
+// versions. Modules affect signatures only through the core-kernel calls they
+// make — exactly the channel the paper's myri10ge experiment relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simkern/types.hpp"
+
+namespace fmeter::simkern {
+
+/// Declarative description of one module-local function.
+struct ModuleFunctionSpec {
+  std::string name;
+  /// Size of the function's text in bytes; determines successor offsets.
+  std::uint32_t text_bytes = 256;
+  /// Simulated body cost (work units) when the function runs.
+  std::uint32_t body_cost = 2;
+  /// Core-kernel symbols this function calls (by name), in call order.
+  /// Resolved against the symbol table at load time, like relocation records.
+  std::vector<std::string> core_calls;
+};
+
+/// Declarative description of a loadable module.
+struct ModuleBlueprint {
+  std::string name;
+  std::string version;
+  std::vector<ModuleFunctionSpec> functions;
+};
+
+/// A loaded module instance (resolved, relocated).
+class Module {
+ public:
+  struct Function {
+    std::string name;
+    std::uint32_t offset = 0;  ///< byte offset of the function inside the module
+    std::uint32_t body_cost = 2;
+    std::vector<FunctionId> core_calls;  ///< resolved relocations
+  };
+
+  Module(std::string name, std::string version, Address load_address,
+         std::vector<Function> functions)
+      : name_(std::move(name)),
+        version_(std::move(version)),
+        load_address_(load_address),
+        functions_(std::move(functions)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& version() const noexcept { return version_; }
+  Address load_address() const noexcept { return load_address_; }
+
+  std::size_t function_count() const noexcept { return functions_.size(); }
+  const Function& function(std::size_t i) const { return functions_.at(i); }
+
+  /// Index of a module-local function by name; throws std::out_of_range.
+  std::size_t function_index(std::string_view name) const;
+
+  /// Absolute (relocated) address of a module function.
+  Address function_address(std::size_t i) const {
+    return load_address_ + functions_.at(i).offset;
+  }
+
+ private:
+  std::string name_;
+  std::string version_;
+  Address load_address_;
+  std::vector<Function> functions_;
+};
+
+}  // namespace fmeter::simkern

@@ -1,0 +1,1870 @@
+#include "simkern/ops.hpp"
+
+#include <algorithm>
+
+#include "util/zipf.hpp"
+
+namespace fmeter::simkern {
+
+// Pre-resolved symbol ids, grouped the way the path models use them. Every
+// name below is a curated symbol in the table; resolution failures throw at
+// construction, which turns a path-model typo into an immediate test failure.
+struct KernelOps::Ids {
+  // syscall entry / accounting
+  FunctionId fget_light, fput, security_file_permission, rw_verify_area;
+  FunctionId account_system_time, cpuacct_charge;
+
+  // scheduler
+  FunctionId schedule, schedule_, pick_next_task_fair, put_prev_task_fair;
+  FunctionId enqueue_task_fair, dequeue_task_fair, update_curr, update_rq_clock;
+  FunctionId try_to_wake_up, ttwu_do_activate, activate_task, deactivate_task;
+  FunctionId scheduler_tick, task_tick_fair, check_preempt_wakeup, resched_task;
+  FunctionId sched_clock, set_next_entity, pick_next_entity, enqueue_entity_;
+  FunctionId dequeue_entity_, place_entity, sched_slice, finish_task_switch;
+  FunctionId context_switch_, prepare_task_switch, switch_mm, sched_info_switch;
+  FunctionId sys_sched_yield, account_entity_enqueue, account_entity_dequeue;
+
+  // timers / ticks
+  FunctionId apic_timer_interrupt, smp_apic_timer_interrupt, irq_enter, irq_exit;
+  FunctionId hrtimer_interrupt, tick_sched_timer, tick_do_update_jiffies64;
+  FunctionId do_timer, update_wall_time, update_process_times;
+  FunctionId account_process_tick, account_user_time, run_posix_cpu_timers;
+  FunctionId run_timer_softirq, run_timers_, mod_timer, del_timer;
+  FunctionId internal_add_timer, ktime_get, getnstimeofday, read_tsc;
+  FunctionId native_sched_clock, clockevents_program_event, lapic_next_event;
+  FunctionId hrtimer_forward, schedule_timeout, process_timeout;
+
+  // softirq / rcu
+  FunctionId do_softirq, do_softirq_, raise_softirq, rcu_check_callbacks;
+  FunctionId rcu_process_callbacks, rcu_process_callbacks_, call_rcu, rcu_do_batch;
+
+  // mm / page cache
+  FunctionId handle_mm_fault, do_page_fault, do_fault_, handle_pte_fault;
+  FunctionId do_anonymous_page, do_wp_page, alloc_pages_current;
+  FunctionId alloc_pages_nodemask_, get_page_from_freelist, buffered_rmqueue;
+  FunctionId free_hot_cold_page, free_pages_, find_vma, do_mmap_pgoff;
+  FunctionId mmap_region, do_munmap, unmap_region, sys_mmap, sys_munmap;
+  FunctionId find_get_page, find_lock_page, add_to_page_cache_lru;
+  FunctionId page_cache_alloc, mark_page_accessed, lru_cache_add_lru;
+  FunctionId kmem_cache_alloc, kmem_cache_free, kmalloc, kfree, kmalloc_;
+  FunctionId cache_alloc_refill, copy_to_user, copy_from_user, might_fault;
+  FunctionId pte_alloc_one, zap_pte_range, unmap_vmas, free_pgtables;
+  FunctionId anon_vma_prepare, vm_normal_page, expand_stack, flush_tlb_page;
+  FunctionId flush_tlb_mm, page_add_new_anon_rmap, radix_tree_lookup;
+  FunctionId radix_tree_insert, memcpy_, memset_, get_user_pages;
+
+  // vfs
+  FunctionId sys_read, sys_write, sys_open, sys_close, sys_stat, sys_fstat;
+  FunctionId sys_lseek, sys_fcntl, vfs_read, vfs_write, vfs_stat, vfs_fstat;
+  FunctionId vfs_getattr, do_sys_open, do_filp_open, open_namei, path_lookup_;
+  FunctionId path_walk, link_path_walk_, do_lookup, d_lookup, d_lookup_;
+  FunctionId d_alloc, d_instantiate, dput, dget, iget_locked, iput;
+  FunctionId generic_file_aio_read, generic_file_aio_write, do_sync_read;
+  FunctionId do_sync_write, generic_file_buffered_write, generic_perform_write;
+  FunctionId file_read_actor, do_generic_file_read, fget_, get_unused_fd_flags;
+  FunctionId fd_install, filp_close, get_empty_filp, alloc_fd, expand_files;
+  FunctionId cp_new_stat, generic_fillattr, touch_atime, file_update_time;
+  FunctionId getname, putname, do_select, core_sys_select, sys_select;
+  FunctionId pipe_read, pipe_write, pipe_poll, sys_pipe, do_pipe_flags;
+  FunctionId do_fcntl, fcntl_setlk, posix_lock_file, posix_lock_file_;
+  FunctionId locks_alloc_lock, locks_free_lock, do_fsync, vfs_fsync_range;
+  FunctionId sys_fsync, sys_getdents, vfs_readdir, sys_unlink, vfs_unlink;
+  FunctionId mnt_want_write, mnt_drop_write, security_inode_permission;
+  FunctionId security_inode_getattr, security_dentry_open, security_file_alloc;
+  FunctionId security_file_free, sys_access, generic_file_llseek;
+
+  // ext3 / jbd
+  FunctionId ext3_readpage, ext3_readpages, ext3_writepage, ext3_write_begin;
+  FunctionId ext3_write_end, ext3_get_block, ext3_get_blocks_handle;
+  FunctionId ext3_new_blocks, ext3_lookup, ext3_find_entry, ext3_add_entry;
+  FunctionId ext3_create, ext3_unlink, ext3_getattr, ext3_dirty_inode;
+  FunctionId ext3_mark_inode_dirty, ext3_journal_start_sb, ext3_journal_stop;
+  FunctionId ext3_sync_file, journal_start, journal_stop;
+  FunctionId journal_get_write_access, journal_dirty_metadata;
+  FunctionId journal_commit_transaction, do_get_write_access, start_this_handle;
+  FunctionId ext3_block_to_path, ext3_get_branch, ext3_alloc_branch;
+  FunctionId ext3_splice_branch, ext3_truncate, ext3_delete_inode;
+  FunctionId ext3_orphan_add, ext3_orphan_del;
+
+  // block
+  FunctionId submit_bio, generic_make_request, generic_make_request_;
+  FunctionId make_request_, elv_insert, elv_next_request, elv_completed_request;
+  FunctionId cfq_insert_request, cfq_dispatch_requests, cfq_completed_request;
+  FunctionId cfq_set_request, get_request, blk_plug_device, blk_run_queue;
+  FunctionId blk_run_queue_, blk_start_request, blk_end_request;
+  FunctionId blk_update_request, bio_alloc, bio_alloc_bioset, bio_put;
+  FunctionId bio_endio, bio_add_page, submit_bh, end_buffer_read_sync;
+  FunctionId end_buffer_write_sync, getblk_, find_get_block_, bread_;
+  FunctionId mark_buffer_dirty, ll_rw_block, sync_dirty_buffer;
+  FunctionId alloc_buffer_head, free_buffer_head, scsi_request_fn;
+  FunctionId scsi_dispatch_cmd, scsi_done, scsi_io_completion, sd_prep_fn;
+  FunctionId sd_done, blk_complete_request, blk_done_softirq, part_round_stats;
+  FunctionId block_read_full_page, dma_map_single, dma_unmap_single;
+
+  // net core
+  FunctionId netif_receive_skb, netif_receive_skb_, net_rx_action;
+  FunctionId process_backlog, napi_gro_receive, napi_complete, napi_schedule_;
+  FunctionId dev_queue_xmit, dev_hard_start_xmit, sch_direct_xmit;
+  FunctionId pfifo_fast_enqueue, pfifo_fast_dequeue, qdisc_restart, qdisc_run_;
+  FunctionId alloc_skb, alloc_skb_, netdev_alloc_skb_, kfree_skb, kfree_skb_;
+  FunctionId consume_skb, skb_release_data, skb_put, skb_pull, skb_copy_bits;
+  FunctionId skb_clone, skb_copy_datagram_iovec, csum_partial, eth_type_trans;
+  FunctionId skb_gro_receive, napi_skb_finish, dst_release, neigh_resolve_output;
+  FunctionId net_tx_action, dev_kfree_skb_irq, do_IRQ, handle_irq;
+  FunctionId handle_edge_irq, handle_IRQ_event, note_interrupt, ack_apic_edge;
+
+  // tcp/ip
+  FunctionId tcp_v4_rcv, tcp_v4_do_rcv, tcp_rcv_established, tcp_data_queue;
+  FunctionId tcp_queue_rcv, tcp_event_data_recv, tcp_ack, tcp_clean_rtx_queue;
+  FunctionId tcp_sendmsg, tcp_recvmsg, tcp_push, tcp_push_pending_frames_;
+  FunctionId tcp_write_xmit, tcp_transmit_skb, tcp_v4_send_check;
+  FunctionId tcp_established_options, tcp_options_write, tcp_select_window;
+  FunctionId tcp_select_window_, tcp_current_mss, tcp_send_ack;
+  FunctionId tcp_send_delayed_ack, tcp_rcv_space_adjust, tcp_check_space;
+  FunctionId tcp_init_tso_segs, tcp_v4_connect, tcp_connect, inet_csk_accept;
+  FunctionId tcp_close, tcp_send_fin, ip_rcv, ip_rcv_finish, ip_local_deliver;
+  FunctionId ip_local_deliver_finish, ip_route_input, ip_queue_xmit;
+  FunctionId ip_local_out, ip_output, ip_finish_output, ip_route_output_key_;
+  FunctionId inet_sendmsg, inet_recvmsg, lro_receive_skb, lro_flush;
+  FunctionId lro_gen_skb, tcp_grow_window, tcp_rcv_state_process;
+  FunctionId tcp_make_synack, tcp_v4_syn_recv_sock, tcp_create_openreq_child;
+  FunctionId secure_tcp_sequence_number;
+
+  // sockets
+  FunctionId sys_socket, sys_connect, sys_accept, sys_bind, sys_listen;
+  FunctionId sys_sendto, sys_recvfrom, sys_shutdown, sock_create, sock_alloc;
+  FunctionId sock_release, sock_sendmsg, sock_recvmsg, sock_aio_read;
+  FunctionId sock_aio_write, sock_poll, sockfd_lookup_light, sock_alloc_file;
+  FunctionId sock_map_fd, sk_alloc, sk_free, sock_init_data, sock_wfree;
+  FunctionId sock_rfree, sk_stream_wait_memory, sk_wait_data, release_sock;
+  FunctionId lock_sock_nested, release_sock_, sock_def_readable;
+  FunctionId sk_stream_write_space, unix_stream_sendmsg, unix_stream_recvmsg;
+  FunctionId unix_stream_connect, unix_accept, unix_create, unix_release_sock;
+  FunctionId unix_write_space, scm_send, scm_recv, move_addr_to_kernel;
+  FunctionId security_socket_create, security_socket_connect;
+  FunctionId security_socket_accept, security_socket_sendmsg;
+  FunctionId security_socket_recvmsg, security_sk_alloc;
+
+  // process lifecycle
+  FunctionId do_fork, copy_process, dup_mm, dup_task_struct, wake_up_new_task;
+  FunctionId do_exit, exit_mm, exit_files, release_task, do_wait, sys_wait4;
+  FunctionId do_execve, search_binary_handler, load_elf_binary, sys_clone;
+  FunctionId do_group_exit, copy_thread, flush_old_exec, setup_new_exec;
+  FunctionId mm_release, put_task_struct, free_task, prepare_creds;
+  FunctionId commit_creds, security_task_create, security_bprm_set_creds;
+  FunctionId security_bprm_check, pgd_alloc;
+
+  // signals
+  FunctionId get_signal_to_deliver, do_signal, handle_signal, sys_rt_sigaction;
+  FunctionId do_sigaction, sys_rt_sigprocmask, force_sig_info, send_signal;
+  FunctionId send_signal_, complete_signal, signal_wake_up;
+
+  // ipc / locking
+  FunctionId sys_semop, do_semtimedop, try_atomic_semop, update_queue;
+  FunctionId sem_lock, sem_unlock, ipc_lock, ipc_unlock, futex_wait;
+  FunctionId futex_wake, do_futex, sys_futex, get_futex_key, hash_futex;
+  FunctionId mutex_lock_slowpath, mutex_unlock_slowpath, down_read_, up_read_;
+  FunctionId wait_for_completion, complete;
+  FunctionId futex_wait_setup, queue_me, unqueue_me;
+  FunctionId sys_epoll_wait, sys_epoll_ctl, ep_poll, ep_send_events, ep_insert;
+  FunctionId sys_shmget, sys_shmat, do_shmat, sys_shmdt, shm_open, shm_close;
+  FunctionId newseg, sys_msgsnd, sys_msgrcv, do_msgsnd, do_msgrcv, load_msg;
+  FunctionId store_msg, ss_wakeup, ipcget, ipc_addid;
+  FunctionId sys_nanosleep, hrtimer_nanosleep, do_nanosleep;
+  FunctionId hrtimer_start_range_ns, hrtimer_cancel;
+
+  // crypto / entropy
+  FunctionId get_random_bytes, extract_entropy, mix_pool_bytes, sha1_update;
+  FunctionId sha1_transform, crypto_shash_update, crypto_shash_digest;
+
+  // misc
+  FunctionId capable, cap_capable, avc_has_perm, avc_has_perm_noaudit;
+  FunctionId avc_lookup, inode_has_perm, file_has_perm;
+  FunctionId strlen_, memcmp_, rb_insert_color, rb_erase, idr_find;
+
+  explicit Ids(const SymbolTable& sym) {
+    const auto id = [&sym](const char* name) { return sym.by_name(name).id; };
+
+    fget_light = id("fget_light");
+    fput = id("fput");
+    security_file_permission = id("security_file_permission");
+    rw_verify_area = id("rw_verify_area");
+    account_system_time = id("account_system_time");
+    cpuacct_charge = id("cpuacct_charge");
+
+    schedule = id("schedule");
+    schedule_ = id("__schedule");
+    pick_next_task_fair = id("pick_next_task_fair");
+    put_prev_task_fair = id("put_prev_task_fair");
+    enqueue_task_fair = id("enqueue_task_fair");
+    dequeue_task_fair = id("dequeue_task_fair");
+    update_curr = id("update_curr");
+    update_rq_clock = id("update_rq_clock");
+    try_to_wake_up = id("try_to_wake_up");
+    ttwu_do_activate = id("ttwu_do_activate");
+    activate_task = id("activate_task");
+    deactivate_task = id("deactivate_task");
+    scheduler_tick = id("scheduler_tick");
+    task_tick_fair = id("task_tick_fair");
+    check_preempt_wakeup = id("check_preempt_wakeup");
+    resched_task = id("resched_task");
+    sched_clock = id("sched_clock");
+    set_next_entity = id("set_next_entity");
+    pick_next_entity = id("pick_next_entity");
+    enqueue_entity_ = id("__enqueue_entity");
+    dequeue_entity_ = id("__dequeue_entity");
+    place_entity = id("place_entity");
+    sched_slice = id("sched_slice");
+    finish_task_switch = id("finish_task_switch");
+    context_switch_ = id("context_switch");
+    prepare_task_switch = id("prepare_task_switch");
+    switch_mm = id("switch_mm");
+    sched_info_switch = id("sched_info_switch");
+    sys_sched_yield = id("sys_sched_yield");
+    account_entity_enqueue = id("account_entity_enqueue");
+    account_entity_dequeue = id("account_entity_dequeue");
+
+    apic_timer_interrupt = id("apic_timer_interrupt");
+    smp_apic_timer_interrupt = id("smp_apic_timer_interrupt");
+    irq_enter = id("irq_enter");
+    irq_exit = id("irq_exit");
+    hrtimer_interrupt = id("hrtimer_interrupt");
+    tick_sched_timer = id("tick_sched_timer");
+    tick_do_update_jiffies64 = id("tick_do_update_jiffies64");
+    do_timer = id("do_timer");
+    update_wall_time = id("update_wall_time");
+    update_process_times = id("update_process_times");
+    account_process_tick = id("account_process_tick");
+    account_user_time = id("account_user_time");
+    run_posix_cpu_timers = id("run_posix_cpu_timers");
+    run_timer_softirq = id("run_timer_softirq");
+    run_timers_ = id("__run_timers");
+    mod_timer = id("mod_timer");
+    del_timer = id("del_timer");
+    internal_add_timer = id("internal_add_timer");
+    ktime_get = id("ktime_get");
+    getnstimeofday = id("getnstimeofday");
+    read_tsc = id("read_tsc");
+    native_sched_clock = id("native_sched_clock");
+    clockevents_program_event = id("clockevents_program_event");
+    lapic_next_event = id("lapic_next_event");
+    hrtimer_forward = id("hrtimer_forward");
+    schedule_timeout = id("schedule_timeout");
+    process_timeout = id("process_timeout");
+
+    do_softirq = id("do_softirq");
+    do_softirq_ = id("__do_softirq");
+    raise_softirq = id("raise_softirq");
+    rcu_check_callbacks = id("rcu_check_callbacks");
+    rcu_process_callbacks = id("rcu_process_callbacks");
+    rcu_process_callbacks_ = id("__rcu_process_callbacks");
+    call_rcu = id("call_rcu");
+    rcu_do_batch = id("rcu_do_batch");
+
+    handle_mm_fault = id("handle_mm_fault");
+    do_page_fault = id("do_page_fault");
+    do_fault_ = id("__do_fault");
+    handle_pte_fault = id("handle_pte_fault");
+    do_anonymous_page = id("do_anonymous_page");
+    do_wp_page = id("do_wp_page");
+    alloc_pages_current = id("alloc_pages_current");
+    alloc_pages_nodemask_ = id("__alloc_pages_nodemask");
+    get_page_from_freelist = id("get_page_from_freelist");
+    buffered_rmqueue = id("buffered_rmqueue");
+    free_hot_cold_page = id("free_hot_cold_page");
+    free_pages_ = id("__free_pages");
+    find_vma = id("find_vma");
+    do_mmap_pgoff = id("do_mmap_pgoff");
+    mmap_region = id("mmap_region");
+    do_munmap = id("do_munmap");
+    unmap_region = id("unmap_region");
+    sys_mmap = id("sys_mmap");
+    sys_munmap = id("sys_munmap");
+    find_get_page = id("find_get_page");
+    find_lock_page = id("find_lock_page");
+    add_to_page_cache_lru = id("add_to_page_cache_lru");
+    page_cache_alloc = id("page_cache_alloc");
+    mark_page_accessed = id("mark_page_accessed");
+    lru_cache_add_lru = id("lru_cache_add_lru");
+    kmem_cache_alloc = id("kmem_cache_alloc");
+    kmem_cache_free = id("kmem_cache_free");
+    kmalloc = id("kmalloc");
+    kfree = id("kfree");
+    kmalloc_ = id("__kmalloc");
+    cache_alloc_refill = id("cache_alloc_refill");
+    copy_to_user = id("copy_to_user");
+    copy_from_user = id("copy_from_user");
+    might_fault = id("might_fault");
+    pte_alloc_one = id("pte_alloc_one");
+    zap_pte_range = id("zap_pte_range");
+    unmap_vmas = id("unmap_vmas");
+    free_pgtables = id("free_pgtables");
+    anon_vma_prepare = id("anon_vma_prepare");
+    vm_normal_page = id("vm_normal_page");
+    expand_stack = id("expand_stack");
+    flush_tlb_page = id("flush_tlb_page");
+    flush_tlb_mm = id("flush_tlb_mm");
+    page_add_new_anon_rmap = id("page_add_new_anon_rmap");
+    radix_tree_lookup = id("radix_tree_lookup");
+    radix_tree_insert = id("radix_tree_insert");
+    memcpy_ = id("memcpy");
+    memset_ = id("memset");
+    get_user_pages = id("get_user_pages");
+
+    sys_read = id("sys_read");
+    sys_write = id("sys_write");
+    sys_open = id("sys_open");
+    sys_close = id("sys_close");
+    sys_stat = id("sys_stat");
+    sys_fstat = id("sys_fstat");
+    sys_lseek = id("sys_lseek");
+    sys_fcntl = id("sys_fcntl");
+    vfs_read = id("vfs_read");
+    vfs_write = id("vfs_write");
+    vfs_stat = id("vfs_stat");
+    vfs_fstat = id("vfs_fstat");
+    vfs_getattr = id("vfs_getattr");
+    do_sys_open = id("do_sys_open");
+    do_filp_open = id("do_filp_open");
+    open_namei = id("open_namei");
+    path_lookup_ = id("path_lookup");
+    path_walk = id("path_walk");
+    link_path_walk_ = id("__link_path_walk");
+    do_lookup = id("do_lookup");
+    d_lookup = id("d_lookup");
+    d_lookup_ = id("__d_lookup");
+    d_alloc = id("d_alloc");
+    d_instantiate = id("d_instantiate");
+    dput = id("dput");
+    dget = id("dget");
+    iget_locked = id("iget_locked");
+    iput = id("iput");
+    generic_file_aio_read = id("generic_file_aio_read");
+    generic_file_aio_write = id("generic_file_aio_write");
+    do_sync_read = id("do_sync_read");
+    do_sync_write = id("do_sync_write");
+    generic_file_buffered_write = id("generic_file_buffered_write");
+    generic_perform_write = id("generic_perform_write");
+    file_read_actor = id("file_read_actor");
+    do_generic_file_read = id("do_generic_file_read");
+    fget_ = id("fget");
+    get_unused_fd_flags = id("get_unused_fd_flags");
+    fd_install = id("fd_install");
+    filp_close = id("filp_close");
+    get_empty_filp = id("get_empty_filp");
+    alloc_fd = id("alloc_fd");
+    expand_files = id("expand_files");
+    cp_new_stat = id("cp_new_stat");
+    generic_fillattr = id("generic_fillattr");
+    touch_atime = id("touch_atime");
+    file_update_time = id("file_update_time");
+    getname = id("getname");
+    putname = id("putname");
+    do_select = id("do_select");
+    core_sys_select = id("core_sys_select");
+    sys_select = id("sys_select");
+    pipe_read = id("pipe_read");
+    pipe_write = id("pipe_write");
+    pipe_poll = id("pipe_poll");
+    sys_pipe = id("sys_pipe");
+    do_pipe_flags = id("do_pipe_flags");
+    do_fcntl = id("do_fcntl");
+    fcntl_setlk = id("fcntl_setlk");
+    posix_lock_file = id("posix_lock_file");
+    posix_lock_file_ = id("__posix_lock_file");
+    locks_alloc_lock = id("locks_alloc_lock");
+    locks_free_lock = id("locks_free_lock");
+    do_fsync = id("do_fsync");
+    vfs_fsync_range = id("vfs_fsync_range");
+    sys_fsync = id("sys_fsync");
+    sys_getdents = id("sys_getdents");
+    vfs_readdir = id("vfs_readdir");
+    sys_unlink = id("sys_unlink");
+    vfs_unlink = id("vfs_unlink");
+    mnt_want_write = id("mnt_want_write");
+    mnt_drop_write = id("mnt_drop_write");
+    security_inode_permission = id("security_inode_permission");
+    security_inode_getattr = id("security_inode_getattr");
+    security_dentry_open = id("security_dentry_open");
+    security_file_alloc = id("security_file_alloc");
+    security_file_free = id("security_file_free");
+    sys_access = id("sys_access");
+    generic_file_llseek = id("generic_file_llseek");
+
+    ext3_readpage = id("ext3_readpage");
+    ext3_readpages = id("ext3_readpages");
+    ext3_writepage = id("ext3_writepage");
+    ext3_write_begin = id("ext3_write_begin");
+    ext3_write_end = id("ext3_write_end");
+    ext3_get_block = id("ext3_get_block");
+    ext3_get_blocks_handle = id("ext3_get_blocks_handle");
+    ext3_new_blocks = id("ext3_new_blocks");
+    ext3_lookup = id("ext3_lookup");
+    ext3_find_entry = id("ext3_find_entry");
+    ext3_add_entry = id("ext3_add_entry");
+    ext3_create = id("ext3_create");
+    ext3_unlink = id("ext3_unlink");
+    ext3_getattr = id("ext3_getattr");
+    ext3_dirty_inode = id("ext3_dirty_inode");
+    ext3_mark_inode_dirty = id("ext3_mark_inode_dirty");
+    ext3_journal_start_sb = id("ext3_journal_start_sb");
+    ext3_journal_stop = id("ext3_journal_stop");
+    ext3_sync_file = id("ext3_sync_file");
+    journal_start = id("journal_start");
+    journal_stop = id("journal_stop");
+    journal_get_write_access = id("journal_get_write_access");
+    journal_dirty_metadata = id("journal_dirty_metadata");
+    journal_commit_transaction = id("journal_commit_transaction");
+    do_get_write_access = id("do_get_write_access");
+    start_this_handle = id("start_this_handle");
+    ext3_block_to_path = id("ext3_block_to_path");
+    ext3_get_branch = id("ext3_get_branch");
+    ext3_alloc_branch = id("ext3_alloc_branch");
+    ext3_splice_branch = id("ext3_splice_branch");
+    ext3_truncate = id("ext3_truncate");
+    ext3_delete_inode = id("ext3_delete_inode");
+    ext3_orphan_add = id("ext3_orphan_add");
+    ext3_orphan_del = id("ext3_orphan_del");
+
+    submit_bio = id("submit_bio");
+    generic_make_request = id("generic_make_request");
+    generic_make_request_ = id("__generic_make_request");
+    make_request_ = id("__make_request");
+    elv_insert = id("elv_insert");
+    elv_next_request = id("elv_next_request");
+    elv_completed_request = id("elv_completed_request");
+    cfq_insert_request = id("cfq_insert_request");
+    cfq_dispatch_requests = id("cfq_dispatch_requests");
+    cfq_completed_request = id("cfq_completed_request");
+    cfq_set_request = id("cfq_set_request");
+    get_request = id("get_request");
+    blk_plug_device = id("blk_plug_device");
+    blk_run_queue = id("blk_run_queue");
+    blk_run_queue_ = id("__blk_run_queue");
+    blk_start_request = id("blk_start_request");
+    blk_end_request = id("blk_end_request");
+    blk_update_request = id("blk_update_request");
+    bio_alloc = id("bio_alloc");
+    bio_alloc_bioset = id("bio_alloc_bioset");
+    bio_put = id("bio_put");
+    bio_endio = id("bio_endio");
+    bio_add_page = id("bio_add_page");
+    submit_bh = id("submit_bh");
+    end_buffer_read_sync = id("end_buffer_read_sync");
+    end_buffer_write_sync = id("end_buffer_write_sync");
+    getblk_ = id("__getblk");
+    find_get_block_ = id("__find_get_block");
+    bread_ = id("__bread");
+    mark_buffer_dirty = id("mark_buffer_dirty");
+    ll_rw_block = id("ll_rw_block");
+    sync_dirty_buffer = id("sync_dirty_buffer");
+    alloc_buffer_head = id("alloc_buffer_head");
+    free_buffer_head = id("free_buffer_head");
+    scsi_request_fn = id("scsi_request_fn");
+    scsi_dispatch_cmd = id("scsi_dispatch_cmd");
+    scsi_done = id("scsi_done");
+    scsi_io_completion = id("scsi_io_completion");
+    sd_prep_fn = id("sd_prep_fn");
+    sd_done = id("sd_done");
+    blk_complete_request = id("blk_complete_request");
+    blk_done_softirq = id("blk_done_softirq");
+    part_round_stats = id("part_round_stats");
+    block_read_full_page = id("block_read_full_page");
+    dma_map_single = id("dma_map_single");
+    dma_unmap_single = id("dma_unmap_single");
+
+    netif_receive_skb = id("netif_receive_skb");
+    netif_receive_skb_ = id("__netif_receive_skb");
+    net_rx_action = id("net_rx_action");
+    process_backlog = id("process_backlog");
+    napi_gro_receive = id("napi_gro_receive");
+    napi_complete = id("napi_complete");
+    napi_schedule_ = id("__napi_schedule");
+    dev_queue_xmit = id("dev_queue_xmit");
+    dev_hard_start_xmit = id("dev_hard_start_xmit");
+    sch_direct_xmit = id("sch_direct_xmit");
+    pfifo_fast_enqueue = id("pfifo_fast_enqueue");
+    pfifo_fast_dequeue = id("pfifo_fast_dequeue");
+    qdisc_restart = id("qdisc_restart");
+    qdisc_run_ = id("__qdisc_run");
+    alloc_skb = id("alloc_skb");
+    alloc_skb_ = id("__alloc_skb");
+    netdev_alloc_skb_ = id("__netdev_alloc_skb");
+    kfree_skb = id("kfree_skb");
+    kfree_skb_ = id("__kfree_skb");
+    consume_skb = id("consume_skb");
+    skb_release_data = id("skb_release_data");
+    skb_put = id("skb_put");
+    skb_pull = id("skb_pull");
+    skb_copy_bits = id("skb_copy_bits");
+    skb_clone = id("skb_clone");
+    skb_copy_datagram_iovec = id("skb_copy_datagram_iovec");
+    csum_partial = id("csum_partial");
+    eth_type_trans = id("eth_type_trans");
+    skb_gro_receive = id("skb_gro_receive");
+    napi_skb_finish = id("napi_skb_finish");
+    dst_release = id("dst_release");
+    neigh_resolve_output = id("neigh_resolve_output");
+    net_tx_action = id("net_tx_action");
+    dev_kfree_skb_irq = id("dev_kfree_skb_irq");
+    do_IRQ = id("do_IRQ");
+    handle_irq = id("handle_irq");
+    handle_edge_irq = id("handle_edge_irq");
+    handle_IRQ_event = id("handle_IRQ_event");
+    note_interrupt = id("note_interrupt");
+    ack_apic_edge = id("ack_apic_edge");
+
+    tcp_v4_rcv = id("tcp_v4_rcv");
+    tcp_v4_do_rcv = id("tcp_v4_do_rcv");
+    tcp_rcv_established = id("tcp_rcv_established");
+    tcp_data_queue = id("tcp_data_queue");
+    tcp_queue_rcv = id("tcp_queue_rcv");
+    tcp_event_data_recv = id("tcp_event_data_recv");
+    tcp_ack = id("tcp_ack");
+    tcp_clean_rtx_queue = id("tcp_clean_rtx_queue");
+    tcp_sendmsg = id("tcp_sendmsg");
+    tcp_recvmsg = id("tcp_recvmsg");
+    tcp_push = id("tcp_push");
+    tcp_push_pending_frames_ = id("__tcp_push_pending_frames");
+    tcp_write_xmit = id("tcp_write_xmit");
+    tcp_transmit_skb = id("tcp_transmit_skb");
+    tcp_v4_send_check = id("tcp_v4_send_check");
+    tcp_established_options = id("tcp_established_options");
+    tcp_options_write = id("tcp_options_write");
+    tcp_select_window = id("tcp_select_window");
+    tcp_select_window_ = id("__tcp_select_window");
+    tcp_current_mss = id("tcp_current_mss");
+    tcp_send_ack = id("tcp_send_ack");
+    tcp_send_delayed_ack = id("tcp_send_delayed_ack");
+    tcp_rcv_space_adjust = id("tcp_rcv_space_adjust");
+    tcp_check_space = id("tcp_check_space");
+    tcp_init_tso_segs = id("tcp_init_tso_segs");
+    tcp_v4_connect = id("tcp_v4_connect");
+    tcp_connect = id("tcp_connect");
+    inet_csk_accept = id("inet_csk_accept");
+    tcp_close = id("tcp_close");
+    tcp_send_fin = id("tcp_send_fin");
+    ip_rcv = id("ip_rcv");
+    ip_rcv_finish = id("ip_rcv_finish");
+    ip_local_deliver = id("ip_local_deliver");
+    ip_local_deliver_finish = id("ip_local_deliver_finish");
+    ip_route_input = id("ip_route_input");
+    ip_queue_xmit = id("ip_queue_xmit");
+    ip_local_out = id("ip_local_out");
+    ip_output = id("ip_output");
+    ip_finish_output = id("ip_finish_output");
+    ip_route_output_key_ = id("__ip_route_output_key");
+    inet_sendmsg = id("inet_sendmsg");
+    inet_recvmsg = id("inet_recvmsg");
+    lro_receive_skb = id("lro_receive_skb");
+    lro_flush = id("lro_flush");
+    lro_gen_skb = id("lro_gen_skb");
+    tcp_grow_window = id("tcp_grow_window");
+    tcp_rcv_state_process = id("tcp_rcv_state_process");
+    tcp_make_synack = id("tcp_make_synack");
+    tcp_v4_syn_recv_sock = id("tcp_v4_syn_recv_sock");
+    tcp_create_openreq_child = id("tcp_create_openreq_child");
+    secure_tcp_sequence_number = id("secure_tcp_sequence_number");
+
+    sys_socket = id("sys_socket");
+    sys_connect = id("sys_connect");
+    sys_accept = id("sys_accept");
+    sys_bind = id("sys_bind");
+    sys_listen = id("sys_listen");
+    sys_sendto = id("sys_sendto");
+    sys_recvfrom = id("sys_recvfrom");
+    sys_shutdown = id("sys_shutdown");
+    sock_create = id("sock_create");
+    sock_alloc = id("sock_alloc");
+    sock_release = id("sock_release");
+    sock_sendmsg = id("sock_sendmsg");
+    sock_recvmsg = id("sock_recvmsg");
+    sock_aio_read = id("sock_aio_read");
+    sock_aio_write = id("sock_aio_write");
+    sock_poll = id("sock_poll");
+    sockfd_lookup_light = id("sockfd_lookup_light");
+    sock_alloc_file = id("sock_alloc_file");
+    sock_map_fd = id("sock_map_fd");
+    sk_alloc = id("sk_alloc");
+    sk_free = id("sk_free");
+    sock_init_data = id("sock_init_data");
+    sock_wfree = id("sock_wfree");
+    sock_rfree = id("sock_rfree");
+    sk_stream_wait_memory = id("sk_stream_wait_memory");
+    sk_wait_data = id("sk_wait_data");
+    release_sock = id("release_sock");
+    lock_sock_nested = id("lock_sock_nested");
+    release_sock_ = id("__release_sock");
+    sock_def_readable = id("sock_def_readable");
+    sk_stream_write_space = id("sk_stream_write_space");
+    unix_stream_sendmsg = id("unix_stream_sendmsg");
+    unix_stream_recvmsg = id("unix_stream_recvmsg");
+    unix_stream_connect = id("unix_stream_connect");
+    unix_accept = id("unix_accept");
+    unix_create = id("unix_create");
+    unix_release_sock = id("unix_release_sock");
+    unix_write_space = id("unix_write_space");
+    scm_send = id("scm_send");
+    scm_recv = id("scm_recv");
+    move_addr_to_kernel = id("move_addr_to_kernel");
+    security_socket_create = id("security_socket_create");
+    security_socket_connect = id("security_socket_connect");
+    security_socket_accept = id("security_socket_accept");
+    security_socket_sendmsg = id("security_socket_sendmsg");
+    security_socket_recvmsg = id("security_socket_recvmsg");
+    security_sk_alloc = id("security_sk_alloc");
+
+    do_fork = id("do_fork");
+    copy_process = id("copy_process");
+    dup_mm = id("dup_mm");
+    dup_task_struct = id("dup_task_struct");
+    wake_up_new_task = id("wake_up_new_task");
+    do_exit = id("do_exit");
+    exit_mm = id("exit_mm");
+    exit_files = id("exit_files");
+    release_task = id("release_task");
+    do_wait = id("do_wait");
+    sys_wait4 = id("sys_wait4");
+    do_execve = id("do_execve");
+    search_binary_handler = id("search_binary_handler");
+    load_elf_binary = id("load_elf_binary");
+    sys_clone = id("sys_clone");
+    do_group_exit = id("do_group_exit");
+    copy_thread = id("copy_thread");
+    flush_old_exec = id("flush_old_exec");
+    setup_new_exec = id("setup_new_exec");
+    mm_release = id("mm_release");
+    put_task_struct = id("put_task_struct");
+    free_task = id("free_task");
+    prepare_creds = id("prepare_creds");
+    commit_creds = id("commit_creds");
+    security_task_create = id("security_task_create");
+    security_bprm_set_creds = id("security_bprm_set_creds");
+    security_bprm_check = id("security_bprm_check");
+    pgd_alloc = id("pgd_alloc");
+
+    get_signal_to_deliver = id("get_signal_to_deliver");
+    do_signal = id("do_signal");
+    handle_signal = id("handle_signal");
+    sys_rt_sigaction = id("sys_rt_sigaction");
+    do_sigaction = id("do_sigaction");
+    sys_rt_sigprocmask = id("sys_rt_sigprocmask");
+    force_sig_info = id("force_sig_info");
+    send_signal = id("send_signal");
+    send_signal_ = id("__send_signal");
+    complete_signal = id("complete_signal");
+    signal_wake_up = id("signal_wake_up");
+
+    sys_semop = id("sys_semop");
+    do_semtimedop = id("do_semtimedop");
+    try_atomic_semop = id("try_atomic_semop");
+    update_queue = id("update_queue");
+    sem_lock = id("sem_lock");
+    sem_unlock = id("sem_unlock");
+    ipc_lock = id("ipc_lock");
+    ipc_unlock = id("ipc_unlock");
+    futex_wait = id("futex_wait");
+    futex_wake = id("futex_wake");
+    do_futex = id("do_futex");
+    sys_futex = id("sys_futex");
+    get_futex_key = id("get_futex_key");
+    hash_futex = id("hash_futex");
+    mutex_lock_slowpath = id("mutex_lock_slowpath");
+    mutex_unlock_slowpath = id("mutex_unlock_slowpath");
+    down_read_ = id("__down_read");
+    up_read_ = id("__up_read");
+    wait_for_completion = id("wait_for_completion");
+    complete = id("complete");
+    futex_wait_setup = id("futex_wait_setup");
+    queue_me = id("queue_me");
+    unqueue_me = id("unqueue_me");
+    sys_epoll_wait = id("sys_epoll_wait");
+    sys_epoll_ctl = id("sys_epoll_ctl");
+    ep_poll = id("ep_poll");
+    ep_send_events = id("ep_send_events");
+    ep_insert = id("ep_insert");
+    sys_shmget = id("sys_shmget");
+    sys_shmat = id("sys_shmat");
+    do_shmat = id("do_shmat");
+    sys_shmdt = id("sys_shmdt");
+    shm_open = id("shm_open");
+    shm_close = id("shm_close");
+    newseg = id("newseg");
+    sys_msgsnd = id("sys_msgsnd");
+    sys_msgrcv = id("sys_msgrcv");
+    do_msgsnd = id("do_msgsnd");
+    do_msgrcv = id("do_msgrcv");
+    load_msg = id("load_msg");
+    store_msg = id("store_msg");
+    ss_wakeup = id("ss_wakeup");
+    ipcget = id("ipcget");
+    ipc_addid = id("ipc_addid");
+    sys_nanosleep = id("sys_nanosleep");
+    hrtimer_nanosleep = id("hrtimer_nanosleep");
+    do_nanosleep = id("do_nanosleep");
+    hrtimer_start_range_ns = id("hrtimer_start_range_ns");
+    hrtimer_cancel = id("hrtimer_cancel");
+
+    get_random_bytes = id("get_random_bytes");
+    extract_entropy = id("extract_entropy");
+    mix_pool_bytes = id("mix_pool_bytes");
+    sha1_update = id("sha1_update");
+    sha1_transform = id("sha1_transform");
+    crypto_shash_update = id("crypto_shash_update");
+    crypto_shash_digest = id("crypto_shash_digest");
+
+    capable = id("capable");
+    cap_capable = id("cap_capable");
+    avc_has_perm = id("avc_has_perm");
+    avc_has_perm_noaudit = id("avc_has_perm_noaudit");
+    avc_lookup = id("avc_lookup");
+    inode_has_perm = id("inode_has_perm");
+    file_has_perm = id("file_has_perm");
+    strlen_ = id("strlen");
+    memcmp_ = id("memcmp");
+    rb_insert_color = id("rb_insert_color");
+    rb_erase = id("rb_erase");
+    idr_find = id("idr_find");
+  }
+};
+
+KernelOps::KernelOps(Kernel& kernel)
+    : kernel_(kernel), ids_(std::make_unique<const Ids>(kernel.symbols())) {
+  // Stable "which functions do the ambient daemons touch" ranking.
+  noise_rank_.resize(kernel.symbols().size());
+  for (std::size_t i = 0; i < noise_rank_.size(); ++i) {
+    noise_rank_[i] = static_cast<FunctionId>(i);
+  }
+  util::Rng perm_rng(kernel.config().seed ^ 0xba5eba11ULL);
+  perm_rng.shuffle(std::span<FunctionId>(noise_rank_));
+}
+
+KernelOps::~KernelOps() = default;
+
+// --- private helpers ---------------------------------------------------------
+
+void KernelOps::slab_alloc(CpuContext& cpu) {
+  call(cpu, ids_->kmem_cache_alloc);
+  // Roughly one allocation in 64 falls through to the slab refill slow path.
+  if (cpu.rng().bernoulli(1.0 / 64.0)) {
+    call(cpu, ids_->cache_alloc_refill);
+    call(cpu, ids_->alloc_pages_current);
+    call(cpu, ids_->get_page_from_freelist);
+  }
+}
+
+void KernelOps::slab_free(CpuContext& cpu) { call(cpu, ids_->kmem_cache_free); }
+
+void KernelOps::skb_alloc(CpuContext& cpu) {
+  call(cpu, ids_->alloc_skb_);
+  slab_alloc(cpu);
+  call(cpu, ids_->memset_);
+}
+
+void KernelOps::skb_free(CpuContext& cpu) {
+  call(cpu, ids_->kfree_skb_);
+  call(cpu, ids_->skb_release_data);
+  slab_free(cpu);
+}
+
+void KernelOps::fd_lookup(CpuContext& cpu) { call(cpu, ids_->fget_light); }
+
+// --- micro paths --------------------------------------------------------------
+
+void KernelOps::syscall_entry(CpuContext& cpu) {
+  // Entry stub cost is folded into the first function's body; the visible
+  // part is the accounting the 2.6.28 syscall path always performs.
+  call(cpu, ids_->native_sched_clock);
+}
+
+void KernelOps::context_switch(CpuContext& cpu) {
+  call(cpu, ids_->schedule);
+  call(cpu, ids_->schedule_);
+  call(cpu, ids_->update_rq_clock);
+  call(cpu, ids_->deactivate_task);
+  call(cpu, ids_->dequeue_task_fair);
+  call(cpu, ids_->dequeue_entity_);
+  call(cpu, ids_->account_entity_dequeue);
+  call(cpu, ids_->update_curr);
+  call(cpu, ids_->pick_next_task_fair);
+  call(cpu, ids_->pick_next_entity);
+  call(cpu, ids_->set_next_entity);
+  call(cpu, ids_->prepare_task_switch);
+  call(cpu, ids_->sched_info_switch);
+  call(cpu, ids_->context_switch_);
+  if (cpu.rng().bernoulli(0.6)) call(cpu, ids_->switch_mm);
+  call(cpu, ids_->finish_task_switch);
+}
+
+void KernelOps::timer_tick(CpuContext& cpu) {
+  call(cpu, ids_->apic_timer_interrupt);
+  call(cpu, ids_->smp_apic_timer_interrupt);
+  call(cpu, ids_->irq_enter);
+  call(cpu, ids_->hrtimer_interrupt);
+  call(cpu, ids_->ktime_get);
+  call(cpu, ids_->tick_sched_timer);
+  call(cpu, ids_->tick_do_update_jiffies64);
+  call(cpu, ids_->do_timer);
+  call(cpu, ids_->update_wall_time);
+  call(cpu, ids_->update_process_times);
+  call(cpu, ids_->account_process_tick);
+  if (cpu.rng().bernoulli(0.5)) {
+    call(cpu, ids_->account_user_time);
+  } else {
+    call(cpu, ids_->account_system_time);
+    call(cpu, ids_->cpuacct_charge);
+  }
+  call(cpu, ids_->run_posix_cpu_timers);
+  call(cpu, ids_->scheduler_tick);
+  call(cpu, ids_->task_tick_fair);
+  call(cpu, ids_->update_curr);
+  call(cpu, ids_->rcu_check_callbacks);
+  call(cpu, ids_->hrtimer_forward);
+  call(cpu, ids_->clockevents_program_event);
+  call(cpu, ids_->lapic_next_event);
+  call(cpu, ids_->irq_exit);
+  softirq_tail(cpu);
+}
+
+void KernelOps::softirq_tail(CpuContext& cpu) {
+  call(cpu, ids_->do_softirq);
+  call(cpu, ids_->do_softirq_);
+  call(cpu, ids_->run_timer_softirq);
+  call(cpu, ids_->run_timers_);
+  if (cpu.rng().bernoulli(0.3)) {
+    call(cpu, ids_->rcu_process_callbacks);
+    call(cpu, ids_->rcu_process_callbacks_);
+    call(cpu, ids_->rcu_do_batch);
+  }
+}
+
+void KernelOps::page_cache_read(CpuContext& cpu, int pages, double hit_ratio) {
+  for (int p = 0; p < pages; ++p) {
+    call(cpu, ids_->find_get_page);
+    call(cpu, ids_->radix_tree_lookup);
+    if (cpu.rng().bernoulli(hit_ratio)) {
+      call(cpu, ids_->mark_page_accessed);
+    } else {
+      // Cache miss: allocate, insert, read from disk.
+      call(cpu, ids_->page_cache_alloc);
+      call(cpu, ids_->alloc_pages_current);
+      call(cpu, ids_->alloc_pages_nodemask_);
+      call(cpu, ids_->get_page_from_freelist);
+      call(cpu, ids_->add_to_page_cache_lru);
+      call(cpu, ids_->radix_tree_insert);
+      call(cpu, ids_->lru_cache_add_lru);
+      call(cpu, ids_->ext3_readpage);
+      call(cpu, ids_->block_read_full_page);
+      call(cpu, ids_->ext3_get_block);
+      call(cpu, ids_->ext3_block_to_path);
+      call(cpu, ids_->ext3_get_branch);
+      block_read(cpu, 1);
+    }
+    call(cpu, ids_->file_read_actor);
+    call(cpu, ids_->copy_to_user);
+  }
+}
+
+void KernelOps::page_cache_write(CpuContext& cpu, int pages) {
+  for (int p = 0; p < pages; ++p) {
+    call(cpu, ids_->generic_perform_write);
+    call(cpu, ids_->ext3_write_begin);
+    call(cpu, ids_->ext3_journal_start_sb);
+    call(cpu, ids_->journal_start);
+    call(cpu, ids_->start_this_handle);
+    call(cpu, ids_->find_lock_page);
+    call(cpu, ids_->radix_tree_lookup);
+    if (cpu.rng().bernoulli(0.2)) {
+      call(cpu, ids_->page_cache_alloc);
+      call(cpu, ids_->add_to_page_cache_lru);
+      call(cpu, ids_->radix_tree_insert);
+    }
+    call(cpu, ids_->ext3_get_block);
+    if (cpu.rng().bernoulli(0.25)) {
+      call(cpu, ids_->ext3_get_blocks_handle);
+      call(cpu, ids_->ext3_new_blocks);
+      call(cpu, ids_->ext3_alloc_branch);
+      call(cpu, ids_->ext3_splice_branch);
+    }
+    call(cpu, ids_->copy_from_user);
+    call(cpu, ids_->ext3_write_end);
+    call(cpu, ids_->journal_get_write_access);
+    call(cpu, ids_->do_get_write_access);
+    call(cpu, ids_->journal_dirty_metadata);
+    call(cpu, ids_->mark_buffer_dirty);
+    call(cpu, ids_->ext3_dirty_inode);
+    call(cpu, ids_->ext3_mark_inode_dirty);
+    call(cpu, ids_->ext3_journal_stop);
+    call(cpu, ids_->journal_stop);
+  }
+}
+
+void KernelOps::block_read(CpuContext& cpu, int blocks) {
+  for (int b = 0; b < blocks; ++b) {
+    call(cpu, ids_->submit_bh);
+    call(cpu, ids_->bio_alloc);
+    call(cpu, ids_->bio_alloc_bioset);
+    call(cpu, ids_->bio_add_page);
+    call(cpu, ids_->submit_bio);
+    call(cpu, ids_->generic_make_request);
+    call(cpu, ids_->generic_make_request_);
+    call(cpu, ids_->make_request_);
+    call(cpu, ids_->cfq_set_request);
+    call(cpu, ids_->get_request);
+    call(cpu, ids_->elv_insert);
+    call(cpu, ids_->cfq_insert_request);
+    call(cpu, ids_->blk_plug_device);
+    call(cpu, ids_->blk_run_queue_);
+    call(cpu, ids_->cfq_dispatch_requests);
+    call(cpu, ids_->elv_next_request);
+    call(cpu, ids_->sd_prep_fn);
+    call(cpu, ids_->scsi_request_fn);
+    call(cpu, ids_->scsi_dispatch_cmd);
+    call(cpu, ids_->dma_map_single);
+    // Completion side (interrupt + softirq).
+    call(cpu, ids_->do_IRQ);
+    call(cpu, ids_->handle_irq);
+    call(cpu, ids_->handle_edge_irq);
+    call(cpu, ids_->handle_IRQ_event);
+    call(cpu, ids_->scsi_done);
+    call(cpu, ids_->blk_complete_request);
+    call(cpu, ids_->blk_done_softirq);
+    call(cpu, ids_->scsi_io_completion);
+    call(cpu, ids_->sd_done);
+    call(cpu, ids_->dma_unmap_single);
+    call(cpu, ids_->blk_end_request);
+    call(cpu, ids_->blk_update_request);
+    call(cpu, ids_->elv_completed_request);
+    call(cpu, ids_->cfq_completed_request);
+    call(cpu, ids_->part_round_stats);
+    call(cpu, ids_->bio_endio);
+    call(cpu, ids_->end_buffer_read_sync);
+    call(cpu, ids_->bio_put);
+  }
+}
+
+void KernelOps::block_write(CpuContext& cpu, int blocks) {
+  for (int b = 0; b < blocks; ++b) {
+    call(cpu, ids_->ll_rw_block);
+    call(cpu, ids_->submit_bh);
+    call(cpu, ids_->bio_alloc);
+    call(cpu, ids_->bio_add_page);
+    call(cpu, ids_->submit_bio);
+    call(cpu, ids_->generic_make_request);
+    call(cpu, ids_->make_request_);
+    call(cpu, ids_->elv_insert);
+    call(cpu, ids_->cfq_insert_request);
+    call(cpu, ids_->cfq_dispatch_requests);
+    call(cpu, ids_->scsi_dispatch_cmd);
+    call(cpu, ids_->scsi_done);
+    call(cpu, ids_->blk_end_request);
+    call(cpu, ids_->bio_endio);
+    call(cpu, ids_->end_buffer_write_sync);
+    call(cpu, ids_->bio_put);
+    if ((b & 7) == 7) journal_commit(cpu);
+  }
+}
+
+void KernelOps::journal_commit(CpuContext& cpu) {
+  call(cpu, ids_->journal_commit_transaction);
+  const int metadata_buffers = 2 + static_cast<int>(cpu.rng().below(4));
+  for (int i = 0; i < metadata_buffers; ++i) {
+    call(cpu, ids_->journal_get_write_access);
+    call(cpu, ids_->sync_dirty_buffer);
+    call(cpu, ids_->submit_bh);
+  }
+  call(cpu, ids_->end_buffer_write_sync);
+}
+
+void KernelOps::path_lookup(CpuContext& cpu, int components, double dcache_hit) {
+  call(cpu, ids_->getname);
+  call(cpu, ids_->path_lookup_);
+  call(cpu, ids_->path_walk);
+  call(cpu, ids_->link_path_walk_);
+  for (int c = 0; c < components; ++c) {
+    call(cpu, ids_->do_lookup);
+    call(cpu, ids_->d_lookup_);
+    call(cpu, ids_->security_inode_permission);
+    if (!cpu.rng().bernoulli(dcache_hit)) {
+      // dcache miss: on-disk directory lookup + new dentry.
+      call(cpu, ids_->d_lookup);
+      call(cpu, ids_->ext3_lookup);
+      call(cpu, ids_->ext3_find_entry);
+      call(cpu, ids_->bread_);
+      call(cpu, ids_->getblk_);
+      call(cpu, ids_->find_get_block_);
+      call(cpu, ids_->d_alloc);
+      call(cpu, ids_->iget_locked);
+      call(cpu, ids_->d_instantiate);
+    }
+    call(cpu, ids_->dget);
+    call(cpu, ids_->dput);
+  }
+  call(cpu, ids_->putname);
+}
+
+void KernelOps::tcp_rx_segment(CpuContext& cpu, int segments) {
+  for (int s = 0; s < segments; ++s) {
+    call(cpu, ids_->netif_receive_skb);
+    call(cpu, ids_->netif_receive_skb_);
+    call(cpu, ids_->eth_type_trans);
+    call(cpu, ids_->ip_rcv);
+    call(cpu, ids_->ip_rcv_finish);
+    call(cpu, ids_->ip_route_input);
+    call(cpu, ids_->ip_local_deliver);
+    call(cpu, ids_->ip_local_deliver_finish);
+    call(cpu, ids_->tcp_v4_rcv);
+    call(cpu, ids_->tcp_v4_do_rcv);
+    call(cpu, ids_->tcp_rcv_established);
+    call(cpu, ids_->tcp_event_data_recv);
+    call(cpu, ids_->tcp_data_queue);
+    call(cpu, ids_->tcp_queue_rcv);
+    call(cpu, ids_->sock_def_readable);
+    if (cpu.rng().bernoulli(0.5)) {
+      call(cpu, ids_->tcp_send_ack);  // every other segment acks
+      call(cpu, ids_->tcp_transmit_skb);
+      call(cpu, ids_->tcp_v4_send_check);
+      call(cpu, ids_->ip_queue_xmit);
+      call(cpu, ids_->ip_local_out);
+      call(cpu, ids_->ip_output);
+      call(cpu, ids_->ip_finish_output);
+      call(cpu, ids_->dev_queue_xmit);
+    } else {
+      call(cpu, ids_->tcp_send_delayed_ack);
+    }
+    if (cpu.rng().bernoulli(0.1)) call(cpu, ids_->tcp_grow_window);
+  }
+}
+
+void KernelOps::tcp_tx_segment(CpuContext& cpu, int segments) {
+  for (int s = 0; s < segments; ++s) {
+    call(cpu, ids_->tcp_write_xmit);
+    call(cpu, ids_->tcp_current_mss);
+    call(cpu, ids_->tcp_init_tso_segs);
+    call(cpu, ids_->tcp_transmit_skb);
+    call(cpu, ids_->skb_clone);
+    call(cpu, ids_->tcp_established_options);
+    call(cpu, ids_->tcp_options_write);
+    call(cpu, ids_->tcp_select_window);
+    call(cpu, ids_->tcp_select_window_);
+    call(cpu, ids_->tcp_v4_send_check);
+    call(cpu, ids_->csum_partial);
+    call(cpu, ids_->ip_queue_xmit);
+    call(cpu, ids_->ip_local_out);
+    call(cpu, ids_->ip_output);
+    call(cpu, ids_->ip_finish_output);
+    call(cpu, ids_->neigh_resolve_output);
+    call(cpu, ids_->dev_queue_xmit);
+    call(cpu, ids_->pfifo_fast_enqueue);
+    call(cpu, ids_->qdisc_run_);
+    call(cpu, ids_->qdisc_restart);
+    call(cpu, ids_->pfifo_fast_dequeue);
+    call(cpu, ids_->sch_direct_xmit);
+    call(cpu, ids_->dev_hard_start_xmit);
+    call(cpu, ids_->dma_map_single);
+    // ACK processing for roughly half the transmitted segments.
+    if (cpu.rng().bernoulli(0.5)) {
+      call(cpu, ids_->tcp_ack);
+      call(cpu, ids_->tcp_clean_rtx_queue);
+      call(cpu, ids_->tcp_check_space);
+      call(cpu, ids_->sk_stream_write_space);
+      skb_free(cpu);
+    }
+  }
+}
+
+void KernelOps::crypto_checksum(CpuContext& cpu, int blocks) {
+  for (int b = 0; b < blocks; ++b) {
+    call(cpu, ids_->crypto_shash_update);
+    call(cpu, ids_->sha1_update);
+    call(cpu, ids_->sha1_transform);
+  }
+  call(cpu, ids_->crypto_shash_digest);
+  if (cpu.rng().bernoulli(0.05)) {
+    call(cpu, ids_->get_random_bytes);
+    call(cpu, ids_->extract_entropy);
+    call(cpu, ids_->mix_pool_bytes);
+  }
+}
+
+// --- lmbench-grade ops ---------------------------------------------------------
+
+void KernelOps::simple_syscall(CpuContext& cpu) {
+  syscall_entry(cpu);
+  // getppid-class syscall: entry/exit only.
+}
+
+void KernelOps::simple_read(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_read);
+  fd_lookup(cpu);
+  call(cpu, ids_->vfs_read);
+  call(cpu, ids_->rw_verify_area);
+  call(cpu, ids_->security_file_permission);
+  call(cpu, ids_->do_sync_read);
+  call(cpu, ids_->generic_file_aio_read);
+  call(cpu, ids_->do_generic_file_read);
+  call(cpu, ids_->find_get_page);
+  call(cpu, ids_->file_read_actor);
+  call(cpu, ids_->copy_to_user);
+  call(cpu, ids_->touch_atime);
+  call(cpu, ids_->fput);
+}
+
+void KernelOps::simple_write(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_write);
+  fd_lookup(cpu);
+  call(cpu, ids_->vfs_write);
+  call(cpu, ids_->rw_verify_area);
+  call(cpu, ids_->security_file_permission);
+  call(cpu, ids_->do_sync_write);
+  // /dev/null-style write: no page cache involvement.
+  call(cpu, ids_->copy_from_user);
+  call(cpu, ids_->fput);
+}
+
+void KernelOps::simple_stat(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_stat);
+  path_lookup(cpu, 3, 0.99);
+  call(cpu, ids_->vfs_stat);
+  call(cpu, ids_->vfs_getattr);
+  call(cpu, ids_->security_inode_getattr);
+  call(cpu, ids_->ext3_getattr);
+  call(cpu, ids_->generic_fillattr);
+  call(cpu, ids_->cp_new_stat);
+  call(cpu, ids_->copy_to_user);
+}
+
+void KernelOps::simple_fstat(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_fstat);
+  fd_lookup(cpu);
+  call(cpu, ids_->vfs_fstat);
+  call(cpu, ids_->vfs_getattr);
+  call(cpu, ids_->security_inode_getattr);
+  call(cpu, ids_->generic_fillattr);
+  call(cpu, ids_->cp_new_stat);
+  call(cpu, ids_->copy_to_user);
+  call(cpu, ids_->fput);
+}
+
+void KernelOps::simple_open_close(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_open);
+  call(cpu, ids_->do_sys_open);
+  call(cpu, ids_->get_unused_fd_flags);
+  call(cpu, ids_->alloc_fd);
+  call(cpu, ids_->do_filp_open);
+  call(cpu, ids_->open_namei);
+  path_lookup(cpu, 3, 0.99);
+  call(cpu, ids_->get_empty_filp);
+  call(cpu, ids_->security_file_alloc);
+  call(cpu, ids_->security_dentry_open);
+  call(cpu, ids_->fd_install);
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_close);
+  call(cpu, ids_->filp_close);
+  call(cpu, ids_->security_file_free);
+  call(cpu, ids_->fput);
+  call(cpu, ids_->dput);
+}
+
+void KernelOps::select_fds(CpuContext& cpu, int nfds, bool tcp) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_select);
+  call(cpu, ids_->core_sys_select);
+  call(cpu, ids_->copy_from_user);
+  call(cpu, ids_->do_select);
+  for (int fd = 0; fd < nfds; ++fd) {
+    fd_lookup(cpu);
+    if (tcp) {
+      call(cpu, ids_->sock_poll);
+    } else {
+      call(cpu, ids_->pipe_poll);
+    }
+    call(cpu, ids_->fput);
+  }
+  call(cpu, ids_->copy_to_user);
+}
+
+void KernelOps::signal_install(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_rt_sigaction);
+  call(cpu, ids_->copy_from_user);
+  call(cpu, ids_->do_sigaction);
+  call(cpu, ids_->copy_to_user);
+}
+
+void KernelOps::signal_deliver(CpuContext& cpu) {
+  call(cpu, ids_->force_sig_info);
+  call(cpu, ids_->send_signal);
+  call(cpu, ids_->send_signal_);
+  call(cpu, ids_->complete_signal);
+  call(cpu, ids_->signal_wake_up);
+  call(cpu, ids_->get_signal_to_deliver);
+  call(cpu, ids_->do_signal);
+  call(cpu, ids_->handle_signal);
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_rt_sigprocmask);  // sigreturn path restores the mask
+}
+
+void KernelOps::protection_fault(CpuContext& cpu) {
+  call(cpu, ids_->do_page_fault);
+  call(cpu, ids_->find_vma);
+  call(cpu, ids_->force_sig_info);
+  call(cpu, ids_->send_signal);
+  call(cpu, ids_->send_signal_);
+  call(cpu, ids_->signal_wake_up);
+}
+
+void KernelOps::pipe_ping_pong(CpuContext& cpu) {
+  // writer -> reader -> writer: two wakeups, two context switches.
+  for (int leg = 0; leg < 2; ++leg) {
+    syscall_entry(cpu);
+    call(cpu, ids_->sys_write);
+    fd_lookup(cpu);
+    call(cpu, ids_->vfs_write);
+    call(cpu, ids_->pipe_write);
+    call(cpu, ids_->copy_from_user);
+    call(cpu, ids_->try_to_wake_up);
+    call(cpu, ids_->ttwu_do_activate);
+    call(cpu, ids_->activate_task);
+    call(cpu, ids_->enqueue_task_fair);
+    call(cpu, ids_->check_preempt_wakeup);
+    call(cpu, ids_->fput);
+    syscall_entry(cpu);
+    call(cpu, ids_->sys_read);
+    fd_lookup(cpu);
+    call(cpu, ids_->vfs_read);
+    call(cpu, ids_->pipe_read);
+    call(cpu, ids_->copy_to_user);
+    call(cpu, ids_->fput);
+    context_switch(cpu);
+  }
+}
+
+void KernelOps::af_unix_ping_pong(CpuContext& cpu) {
+  for (int leg = 0; leg < 2; ++leg) {
+    syscall_entry(cpu);
+    call(cpu, ids_->sys_sendto);
+    call(cpu, ids_->sockfd_lookup_light);
+    call(cpu, ids_->sock_sendmsg);
+    call(cpu, ids_->security_socket_sendmsg);
+    call(cpu, ids_->unix_stream_sendmsg);
+    call(cpu, ids_->scm_send);
+    skb_alloc(cpu);
+    call(cpu, ids_->skb_put);
+    call(cpu, ids_->copy_from_user);
+    call(cpu, ids_->sock_def_readable);
+    call(cpu, ids_->try_to_wake_up);
+    call(cpu, ids_->ttwu_do_activate);
+    call(cpu, ids_->enqueue_task_fair);
+    syscall_entry(cpu);
+    call(cpu, ids_->sys_recvfrom);
+    call(cpu, ids_->sockfd_lookup_light);
+    call(cpu, ids_->sock_recvmsg);
+    call(cpu, ids_->security_socket_recvmsg);
+    call(cpu, ids_->unix_stream_recvmsg);
+    call(cpu, ids_->skb_copy_datagram_iovec);
+    call(cpu, ids_->copy_to_user);
+    call(cpu, ids_->scm_recv);
+    skb_free(cpu);
+    context_switch(cpu);
+  }
+}
+
+void KernelOps::unix_connection(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_socket);
+  call(cpu, ids_->sock_create);
+  call(cpu, ids_->security_socket_create);
+  call(cpu, ids_->sock_alloc);
+  call(cpu, ids_->unix_create);
+  call(cpu, ids_->sk_alloc);
+  call(cpu, ids_->security_sk_alloc);
+  call(cpu, ids_->sock_init_data);
+  call(cpu, ids_->sock_map_fd);
+  call(cpu, ids_->sock_alloc_file);
+  call(cpu, ids_->get_unused_fd_flags);
+  call(cpu, ids_->fd_install);
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_connect);
+  call(cpu, ids_->sockfd_lookup_light);
+  call(cpu, ids_->move_addr_to_kernel);
+  call(cpu, ids_->copy_from_user);
+  call(cpu, ids_->security_socket_connect);
+  call(cpu, ids_->unix_stream_connect);
+  path_lookup(cpu, 2, 0.99);
+  call(cpu, ids_->sk_alloc);
+  call(cpu, ids_->sock_init_data);
+  call(cpu, ids_->sock_def_readable);
+  call(cpu, ids_->try_to_wake_up);
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_accept);
+  call(cpu, ids_->sockfd_lookup_light);
+  call(cpu, ids_->security_socket_accept);
+  call(cpu, ids_->unix_accept);
+  call(cpu, ids_->sock_alloc);
+  call(cpu, ids_->sock_map_fd);
+  call(cpu, ids_->sock_alloc_file);
+  call(cpu, ids_->fd_install);
+  // Teardown both ends.
+  for (int end = 0; end < 2; ++end) {
+    syscall_entry(cpu);
+    call(cpu, ids_->sys_close);
+    call(cpu, ids_->filp_close);
+    call(cpu, ids_->fput);
+    call(cpu, ids_->sock_release);
+    call(cpu, ids_->unix_release_sock);
+    call(cpu, ids_->sk_free);
+  }
+}
+
+void KernelOps::fcntl_lock(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_fcntl);
+  fd_lookup(cpu);
+  call(cpu, ids_->do_fcntl);
+  call(cpu, ids_->fcntl_setlk);
+  call(cpu, ids_->copy_from_user);
+  call(cpu, ids_->locks_alloc_lock);
+  slab_alloc(cpu);
+  call(cpu, ids_->posix_lock_file);
+  call(cpu, ids_->posix_lock_file_);
+  call(cpu, ids_->locks_free_lock);
+  slab_free(cpu);
+  call(cpu, ids_->fput);
+}
+
+void KernelOps::semaphore_op(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_semop);
+  call(cpu, ids_->do_semtimedop);
+  call(cpu, ids_->copy_from_user);
+  call(cpu, ids_->ipc_lock);
+  call(cpu, ids_->sem_lock);
+  call(cpu, ids_->try_atomic_semop);
+  call(cpu, ids_->update_queue);
+  call(cpu, ids_->sem_unlock);
+  call(cpu, ids_->ipc_unlock);
+}
+
+void KernelOps::futex_contend(CpuContext& cpu) {
+  // Waiter side: FUTEX_WAIT on a contended word.
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_futex);
+  call(cpu, ids_->do_futex);
+  call(cpu, ids_->get_futex_key);
+  call(cpu, ids_->hash_futex);
+  call(cpu, ids_->futex_wait);
+  call(cpu, ids_->futex_wait_setup);
+  call(cpu, ids_->queue_me);
+  context_switch(cpu);
+  // Owner side: FUTEX_WAKE.
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_futex);
+  call(cpu, ids_->do_futex);
+  call(cpu, ids_->get_futex_key);
+  call(cpu, ids_->hash_futex);
+  call(cpu, ids_->futex_wake);
+  call(cpu, ids_->unqueue_me);
+  call(cpu, ids_->try_to_wake_up);
+  call(cpu, ids_->ttwu_do_activate);
+  call(cpu, ids_->activate_task);
+  call(cpu, ids_->enqueue_task_fair);
+}
+
+void KernelOps::epoll_wait_cycle(CpuContext& cpu, int ready) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_epoll_wait);
+  call(cpu, ids_->ep_poll);
+  if (ready == 0) {
+    call(cpu, ids_->schedule_timeout);
+    context_switch(cpu);
+    return;
+  }
+  call(cpu, ids_->ep_send_events);
+  for (int e = 0; e < ready; ++e) {
+    call(cpu, ids_->sock_poll);
+    call(cpu, ids_->copy_to_user);
+  }
+  // Interest-set churn happens occasionally (new connections).
+  if (cpu.rng().bernoulli(0.15)) {
+    syscall_entry(cpu);
+    call(cpu, ids_->sys_epoll_ctl);
+    call(cpu, ids_->ep_insert);
+    slab_alloc(cpu);
+  }
+}
+
+void KernelOps::nanosleep_op(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_nanosleep);
+  call(cpu, ids_->hrtimer_nanosleep);
+  call(cpu, ids_->hrtimer_start_range_ns);
+  call(cpu, ids_->do_nanosleep);
+  context_switch(cpu);
+  // Expiry: hrtimer interrupt wakes the sleeper.
+  call(cpu, ids_->hrtimer_interrupt);
+  call(cpu, ids_->ktime_get);
+  call(cpu, ids_->try_to_wake_up);
+  call(cpu, ids_->ttwu_do_activate);
+  call(cpu, ids_->enqueue_task_fair);
+  call(cpu, ids_->hrtimer_cancel);
+}
+
+void KernelOps::shm_cycle(CpuContext& cpu) {
+  if (cpu.rng().bernoulli(0.1)) {
+    // Segment creation is rare relative to attach/detach.
+    syscall_entry(cpu);
+    call(cpu, ids_->sys_shmget);
+    call(cpu, ids_->ipcget);
+    call(cpu, ids_->newseg);
+    call(cpu, ids_->ipc_addid);
+    slab_alloc(cpu);
+  }
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_shmat);
+  call(cpu, ids_->do_shmat);
+  call(cpu, ids_->ipc_lock);
+  call(cpu, ids_->shm_open);
+  call(cpu, ids_->ipc_unlock);
+  call(cpu, ids_->do_mmap_pgoff);
+  call(cpu, ids_->mmap_region);
+  pagefaults(cpu, 2 + static_cast<int>(cpu.rng().below(4)));
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_shmdt);
+  call(cpu, ids_->shm_close);
+  call(cpu, ids_->do_munmap);
+  call(cpu, ids_->unmap_region);
+}
+
+void KernelOps::msgq_send_recv(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_msgsnd);
+  call(cpu, ids_->do_msgsnd);
+  call(cpu, ids_->ipc_lock);
+  call(cpu, ids_->load_msg);
+  call(cpu, ids_->copy_from_user);
+  call(cpu, ids_->ss_wakeup);
+  call(cpu, ids_->ipc_unlock);
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_msgrcv);
+  call(cpu, ids_->do_msgrcv);
+  call(cpu, ids_->ipc_lock);
+  call(cpu, ids_->store_msg);
+  call(cpu, ids_->copy_to_user);
+  call(cpu, ids_->ipc_unlock);
+  slab_free(cpu);
+}
+
+void KernelOps::fork_exit(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_clone);
+  call(cpu, ids_->do_fork);
+  call(cpu, ids_->copy_process);
+  call(cpu, ids_->security_task_create);
+  call(cpu, ids_->prepare_creds);
+  call(cpu, ids_->dup_task_struct);
+  slab_alloc(cpu);
+  call(cpu, ids_->copy_thread);
+  call(cpu, ids_->dup_mm);
+  call(cpu, ids_->pgd_alloc);
+  const int vmas = 8 + static_cast<int>(cpu.rng().below(8));
+  for (int v = 0; v < vmas; ++v) {
+    slab_alloc(cpu);
+    call(cpu, ids_->pte_alloc_one);
+    call(cpu, ids_->memcpy_);
+  }
+  call(cpu, ids_->commit_creds);
+  call(cpu, ids_->wake_up_new_task);
+  call(cpu, ids_->try_to_wake_up);
+  call(cpu, ids_->activate_task);
+  call(cpu, ids_->enqueue_task_fair);
+  context_switch(cpu);
+  // Child exits immediately.
+  call(cpu, ids_->do_exit);
+  call(cpu, ids_->do_group_exit);
+  call(cpu, ids_->exit_mm);
+  call(cpu, ids_->mm_release);
+  call(cpu, ids_->unmap_vmas);
+  call(cpu, ids_->zap_pte_range);
+  call(cpu, ids_->free_pgtables);
+  call(cpu, ids_->flush_tlb_mm);
+  call(cpu, ids_->exit_files);
+  call(cpu, ids_->put_task_struct);
+  // Parent reaps.
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_wait4);
+  call(cpu, ids_->do_wait);
+  call(cpu, ids_->release_task);
+  call(cpu, ids_->free_task);
+  slab_free(cpu);
+  context_switch(cpu);
+}
+
+void KernelOps::fork_execve(CpuContext& cpu) {
+  // fork half (identical to fork_exit up to the child running).
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_clone);
+  call(cpu, ids_->do_fork);
+  call(cpu, ids_->copy_process);
+  call(cpu, ids_->security_task_create);
+  call(cpu, ids_->dup_task_struct);
+  slab_alloc(cpu);
+  call(cpu, ids_->copy_thread);
+  call(cpu, ids_->dup_mm);
+  call(cpu, ids_->pgd_alloc);
+  const int vmas = 8 + static_cast<int>(cpu.rng().below(8));
+  for (int v = 0; v < vmas; ++v) {
+    slab_alloc(cpu);
+    call(cpu, ids_->pte_alloc_one);
+  }
+  call(cpu, ids_->wake_up_new_task);
+  call(cpu, ids_->try_to_wake_up);
+  context_switch(cpu);
+  // execve in the child.
+  syscall_entry(cpu);
+  call(cpu, ids_->do_execve);
+  open_read_close(cpu, 2, 0.95);  // binary + interpreter headers
+  call(cpu, ids_->security_bprm_set_creds);
+  call(cpu, ids_->security_bprm_check);
+  call(cpu, ids_->search_binary_handler);
+  call(cpu, ids_->load_elf_binary);
+  call(cpu, ids_->flush_old_exec);
+  call(cpu, ids_->mm_release);
+  call(cpu, ids_->exit_mm);
+  call(cpu, ids_->unmap_vmas);
+  call(cpu, ids_->free_pgtables);
+  call(cpu, ids_->setup_new_exec);
+  const int maps = 6 + static_cast<int>(cpu.rng().below(4));
+  for (int m = 0; m < maps; ++m) {
+    call(cpu, ids_->do_mmap_pgoff);
+    call(cpu, ids_->mmap_region);
+    slab_alloc(cpu);
+  }
+  pagefaults(cpu, 12 + static_cast<int>(cpu.rng().below(12)));
+  // Child exits, parent reaps.
+  call(cpu, ids_->do_exit);
+  call(cpu, ids_->exit_mm);
+  call(cpu, ids_->unmap_vmas);
+  call(cpu, ids_->exit_files);
+  call(cpu, ids_->put_task_struct);
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_wait4);
+  call(cpu, ids_->do_wait);
+  call(cpu, ids_->release_task);
+  call(cpu, ids_->free_task);
+  context_switch(cpu);
+}
+
+void KernelOps::fork_sh(CpuContext& cpu) {
+  // /bin/sh -c "cmd" = fork + exec of the shell + the shell forking the
+  // command: two exec cycles plus extra shell startup faults.
+  fork_execve(cpu);
+  pagefaults(cpu, 24 + static_cast<int>(cpu.rng().below(16)));
+  fork_execve(cpu);
+}
+
+void KernelOps::mmap_file(CpuContext& cpu, int pages) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_mmap);
+  call(cpu, ids_->do_mmap_pgoff);
+  call(cpu, ids_->mmap_region);
+  slab_alloc(cpu);
+  call(cpu, ids_->rb_insert_color);
+  pagefaults(cpu, pages);
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_munmap);
+  call(cpu, ids_->do_munmap);
+  call(cpu, ids_->unmap_region);
+  call(cpu, ids_->unmap_vmas);
+  call(cpu, ids_->zap_pte_range);
+  call(cpu, ids_->free_pgtables);
+  call(cpu, ids_->flush_tlb_mm);
+  call(cpu, ids_->rb_erase);
+  slab_free(cpu);
+}
+
+void KernelOps::pagefaults(CpuContext& cpu, int faults) {
+  for (int f = 0; f < faults; ++f) {
+    call(cpu, ids_->do_page_fault);
+    call(cpu, ids_->find_vma);
+    call(cpu, ids_->handle_mm_fault);
+    call(cpu, ids_->handle_pte_fault);
+    if (cpu.rng().bernoulli(0.7)) {
+      // file-backed: fault in from page cache
+      call(cpu, ids_->do_fault_);
+      call(cpu, ids_->find_get_page);
+      call(cpu, ids_->radix_tree_lookup);
+      call(cpu, ids_->vm_normal_page);
+    } else {
+      call(cpu, ids_->do_anonymous_page);
+      call(cpu, ids_->anon_vma_prepare);
+      call(cpu, ids_->alloc_pages_current);
+      call(cpu, ids_->get_page_from_freelist);
+      call(cpu, ids_->page_add_new_anon_rmap);
+      call(cpu, ids_->memset_);
+    }
+    call(cpu, ids_->flush_tlb_page);
+  }
+}
+
+// --- workload-grade ops ---------------------------------------------------------
+
+void KernelOps::open_read_close(CpuContext& cpu, int pages, double cache_hit) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_open);
+  call(cpu, ids_->do_sys_open);
+  call(cpu, ids_->get_unused_fd_flags);
+  call(cpu, ids_->alloc_fd);
+  call(cpu, ids_->do_filp_open);
+  call(cpu, ids_->open_namei);
+  path_lookup(cpu, 2 + static_cast<int>(cpu.rng().below(3)), 0.9);
+  call(cpu, ids_->get_empty_filp);
+  call(cpu, ids_->security_file_alloc);
+  call(cpu, ids_->security_dentry_open);
+  call(cpu, ids_->fd_install);
+  const int reads = std::max(1, pages / 4);  // 16KB read() calls
+  for (int r = 0; r < reads; ++r) {
+    syscall_entry(cpu);
+    call(cpu, ids_->sys_read);
+    fd_lookup(cpu);
+    call(cpu, ids_->vfs_read);
+    call(cpu, ids_->rw_verify_area);
+    call(cpu, ids_->security_file_permission);
+    call(cpu, ids_->do_sync_read);
+    call(cpu, ids_->generic_file_aio_read);
+    call(cpu, ids_->do_generic_file_read);
+    page_cache_read(cpu, std::min(4, pages - r * 4), cache_hit);
+    call(cpu, ids_->touch_atime);
+    call(cpu, ids_->fput);
+  }
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_close);
+  call(cpu, ids_->filp_close);
+  call(cpu, ids_->security_file_free);
+  call(cpu, ids_->fput);
+  call(cpu, ids_->dput);
+}
+
+void KernelOps::create_write_close(CpuContext& cpu, int pages) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_open);
+  call(cpu, ids_->do_sys_open);
+  call(cpu, ids_->get_unused_fd_flags);
+  call(cpu, ids_->do_filp_open);
+  call(cpu, ids_->open_namei);
+  path_lookup(cpu, 2, 0.9);
+  call(cpu, ids_->mnt_want_write);
+  call(cpu, ids_->ext3_create);
+  call(cpu, ids_->ext3_journal_start_sb);
+  call(cpu, ids_->journal_start);
+  call(cpu, ids_->ext3_add_entry);
+  call(cpu, ids_->journal_get_write_access);
+  call(cpu, ids_->journal_dirty_metadata);
+  call(cpu, ids_->ext3_mark_inode_dirty);
+  call(cpu, ids_->ext3_journal_stop);
+  call(cpu, ids_->d_instantiate);
+  call(cpu, ids_->mnt_drop_write);
+  call(cpu, ids_->fd_install);
+  const int writes = std::max(1, pages / 4);
+  for (int w = 0; w < writes; ++w) {
+    syscall_entry(cpu);
+    call(cpu, ids_->sys_write);
+    fd_lookup(cpu);
+    call(cpu, ids_->vfs_write);
+    call(cpu, ids_->rw_verify_area);
+    call(cpu, ids_->security_file_permission);
+    call(cpu, ids_->do_sync_write);
+    call(cpu, ids_->generic_file_aio_write);
+    call(cpu, ids_->generic_file_buffered_write);
+    page_cache_write(cpu, std::min(4, pages - w * 4));
+    call(cpu, ids_->file_update_time);
+    call(cpu, ids_->fput);
+  }
+  // Background writeback for a fraction of dirtied data.
+  if (cpu.rng().bernoulli(0.3)) block_write(cpu, std::max(1, pages / 2));
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_close);
+  call(cpu, ids_->filp_close);
+  call(cpu, ids_->security_file_free);
+  call(cpu, ids_->fput);
+}
+
+void KernelOps::unlink_file(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_unlink);
+  path_lookup(cpu, 2, 0.9);
+  call(cpu, ids_->mnt_want_write);
+  call(cpu, ids_->vfs_unlink);
+  call(cpu, ids_->ext3_unlink);
+  call(cpu, ids_->ext3_journal_start_sb);
+  call(cpu, ids_->journal_start);
+  call(cpu, ids_->ext3_find_entry);
+  call(cpu, ids_->journal_get_write_access);
+  call(cpu, ids_->journal_dirty_metadata);
+  call(cpu, ids_->ext3_orphan_add);
+  call(cpu, ids_->ext3_journal_stop);
+  call(cpu, ids_->mnt_drop_write);
+  call(cpu, ids_->dput);
+  call(cpu, ids_->iput);
+  call(cpu, ids_->ext3_delete_inode);
+  call(cpu, ids_->ext3_truncate);
+  call(cpu, ids_->ext3_orphan_del);
+}
+
+void KernelOps::stat_file(CpuContext& cpu) { simple_stat(cpu); }
+
+void KernelOps::fsync_file(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_fsync);
+  fd_lookup(cpu);
+  call(cpu, ids_->do_fsync);
+  call(cpu, ids_->vfs_fsync_range);
+  call(cpu, ids_->ext3_sync_file);
+  journal_commit(cpu);
+  block_write(cpu, 2 + static_cast<int>(cpu.rng().below(4)));
+  call(cpu, ids_->wait_for_completion);
+  call(cpu, ids_->fput);
+}
+
+void KernelOps::readdir_dir(CpuContext& cpu) {
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_getdents);
+  fd_lookup(cpu);
+  call(cpu, ids_->vfs_readdir);
+  call(cpu, ids_->security_file_permission);
+  const int blocks = 1 + static_cast<int>(cpu.rng().below(3));
+  for (int b = 0; b < blocks; ++b) {
+    call(cpu, ids_->bread_);
+    call(cpu, ids_->find_get_block_);
+    call(cpu, ids_->copy_to_user);
+  }
+  call(cpu, ids_->fput);
+}
+
+void KernelOps::http_request(CpuContext& cpu, int file_pages, double cache_hit) {
+  // accept
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_accept);
+  call(cpu, ids_->sockfd_lookup_light);
+  call(cpu, ids_->security_socket_accept);
+  call(cpu, ids_->inet_csk_accept);
+  call(cpu, ids_->sock_alloc);
+  call(cpu, ids_->sock_map_fd);
+  call(cpu, ids_->sock_alloc_file);
+  call(cpu, ids_->get_unused_fd_flags);
+  call(cpu, ids_->fd_install);
+  // SYN/ACK handshake happened in softirq context:
+  call(cpu, ids_->tcp_rcv_state_process);
+  call(cpu, ids_->tcp_v4_syn_recv_sock);
+  call(cpu, ids_->tcp_create_openreq_child);
+  call(cpu, ids_->tcp_make_synack);
+  call(cpu, ids_->secure_tcp_sequence_number);
+  // read request
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_recvfrom);
+  call(cpu, ids_->sockfd_lookup_light);
+  call(cpu, ids_->sock_recvmsg);
+  call(cpu, ids_->security_socket_recvmsg);
+  call(cpu, ids_->inet_recvmsg);
+  call(cpu, ids_->tcp_recvmsg);
+  tcp_rx_segment(cpu, 1);
+  call(cpu, ids_->skb_copy_datagram_iovec);
+  call(cpu, ids_->copy_to_user);
+  call(cpu, ids_->tcp_rcv_space_adjust);
+  // stat + open + read the file
+  stat_file(cpu);
+  open_read_close(cpu, file_pages, cache_hit);
+  // send response
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_sendto);
+  call(cpu, ids_->sockfd_lookup_light);
+  call(cpu, ids_->sock_sendmsg);
+  call(cpu, ids_->security_socket_sendmsg);
+  call(cpu, ids_->inet_sendmsg);
+  call(cpu, ids_->tcp_sendmsg);
+  skb_alloc(cpu);
+  call(cpu, ids_->skb_put);
+  call(cpu, ids_->copy_from_user);
+  call(cpu, ids_->tcp_push);
+  call(cpu, ids_->tcp_push_pending_frames_);
+  tcp_tx_segment(cpu, std::max(1, file_pages));
+  // close connection
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_close);
+  call(cpu, ids_->filp_close);
+  call(cpu, ids_->fput);
+  call(cpu, ids_->sock_release);
+  call(cpu, ids_->tcp_close);
+  call(cpu, ids_->tcp_send_fin);
+  tcp_tx_segment(cpu, 1);
+  call(cpu, ids_->sk_free);
+}
+
+void KernelOps::scp_chunk(CpuContext& cpu, int pages) {
+  // Read the next file chunk (mostly cold on first pass).
+  open_read_close(cpu, pages, 0.55);
+  // ssh checksums/encrypts in user space but drives kernel entropy + TCP.
+  crypto_checksum(cpu, pages * 2);
+  syscall_entry(cpu);
+  call(cpu, ids_->sys_sendto);
+  call(cpu, ids_->sockfd_lookup_light);
+  call(cpu, ids_->sock_sendmsg);
+  call(cpu, ids_->security_socket_sendmsg);
+  call(cpu, ids_->inet_sendmsg);
+  call(cpu, ids_->tcp_sendmsg);
+  call(cpu, ids_->lock_sock_nested);
+  skb_alloc(cpu);
+  call(cpu, ids_->skb_put);
+  call(cpu, ids_->copy_from_user);
+  if (cpu.rng().bernoulli(0.1)) call(cpu, ids_->sk_stream_wait_memory);
+  call(cpu, ids_->tcp_push);
+  call(cpu, ids_->tcp_push_pending_frames_);
+  tcp_tx_segment(cpu, pages);  // ~4KB per segment with TSO batching
+  call(cpu, ids_->release_sock);
+  call(cpu, ids_->release_sock_);
+  // select() loop between chunks.
+  select_fds(cpu, 2, true);
+}
+
+void KernelOps::background_noise(CpuContext& cpu, std::uint64_t calls) {
+  auto& rng = cpu.rng();
+
+  // Structured housekeeping: pdflush writeback, a cron/monitoring stat pass,
+  // sshd keepalive traffic — each present in most but not all intervals.
+  if (rng.bernoulli(0.6)) block_write(cpu, 1 + static_cast<int>(rng.below(3)));
+  if (rng.bernoulli(0.5)) {
+    for (int i = 0; i < 3; ++i) stat_file(cpu);
+    open_read_close(cpu, 1, 0.9);
+  }
+  if (rng.bernoulli(0.3)) {
+    tcp_tx_segment(cpu, 1);
+    tcp_rx_segment(cpu, 1);
+  }
+  if (rng.bernoulli(0.1)) fork_execve(cpu);
+
+  // Unstructured tail: a Zipf sprinkle over the fixed daemon slice. The head
+  // of the ranking recurs every interval; how deep into the tail an interval
+  // reaches depends on `calls`, which the caller varies.
+  const util::ZipfDistribution zipf(noise_rank_.size(), 1.1);
+  for (std::uint64_t i = 0; i < calls; ++i) {
+    call(cpu, noise_rank_[zipf.sample(rng)]);
+  }
+}
+
+void KernelOps::boot_init_sweep(CpuContext& cpu, std::uint64_t calls,
+                                double zipf_exponent) {
+  const util::ZipfDistribution zipf(kernel_.symbols().size(), zipf_exponent);
+  for (std::uint64_t i = 0; i < calls; ++i) {
+    const auto rank = static_cast<FunctionId>(zipf.sample(cpu.rng()));
+    // Rank r maps to function id r: curated hot functions get the head of the
+    // distribution, generated helpers the tail — matching Figure 1's shape.
+    call(cpu, rank);
+  }
+}
+
+}  // namespace fmeter::simkern

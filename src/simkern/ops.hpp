@@ -1,0 +1,172 @@
+// Kernel operation path models.
+//
+// Each method issues the sequence of core-kernel function invocations a real
+// Linux 2.6.28 kernel executes for one logical operation (a syscall, a fault,
+// a softirq round, ...). The sequences were modeled after the actual call
+// chains of that kernel's hot paths; stochastic branches (cache hits, slab
+// refills, scheduler interleavings) draw from the CPU's private RNG so that
+// repeated operations produce realistically varied — but seed-reproducible —
+// signatures.
+//
+// The workload drivers in src/workloads compose these operations; nothing
+// outside this file needs to know individual kernel symbols.
+#pragma once
+
+#include <memory>
+
+#include "simkern/kernel.hpp"
+
+namespace fmeter::simkern {
+
+class KernelOps {
+ public:
+  explicit KernelOps(Kernel& kernel);
+  ~KernelOps();  // out of line: Ids is incomplete here
+
+  KernelOps(const KernelOps&) = delete;
+  KernelOps& operator=(const KernelOps&) = delete;
+
+  Kernel& kernel() noexcept { return kernel_; }
+
+  // --- Micro paths (composed by the ops below and by workloads) ------------
+
+  /// Syscall entry/exit boilerplate: entry stub, security hook, accounting.
+  void syscall_entry(CpuContext& cpu);
+
+  /// Full context switch through the CFS pick path.
+  void context_switch(CpuContext& cpu);
+
+  /// One scheduler/timer tick (the background every CPU pays ~HZ times/s).
+  void timer_tick(CpuContext& cpu);
+
+  /// RCU + softirq bookkeeping that trails interrupts.
+  void softirq_tail(CpuContext& cpu);
+
+  /// Page-cache lookup for `pages` pages; misses go to the block layer.
+  void page_cache_read(CpuContext& cpu, int pages, double hit_ratio);
+
+  /// Dirty `pages` pages through the buffered write path.
+  void page_cache_write(CpuContext& cpu, int pages);
+
+  /// Read `blocks` blocks through bio submission + completion.
+  void block_read(CpuContext& cpu, int blocks);
+
+  /// Write `blocks` blocks; roughly one in eight triggers a journal commit.
+  void block_write(CpuContext& cpu, int blocks);
+
+  /// ext3/jbd journal commit.
+  void journal_commit(CpuContext& cpu);
+
+  /// Path lookup of `components` directory entries (dcache hits vs misses).
+  void path_lookup(CpuContext& cpu, int components, double dcache_hit);
+
+  /// Receive `segments` TCP segments through the generic (non-module) rx
+  /// path: netif_receive_skb -> ip_rcv -> tcp_v4_rcv -> socket queue.
+  void tcp_rx_segment(CpuContext& cpu, int segments);
+
+  /// Transmit `segments` TCP segments: tcp_sendmsg -> ip -> dev_queue_xmit.
+  void tcp_tx_segment(CpuContext& cpu, int segments);
+
+  /// Crypto transform over `blocks` cipher blocks (scp's kernel-visible part
+  /// is small — most of OpenSSL runs in user space — but entropy and
+  /// checksum paths do fire).
+  void crypto_checksum(CpuContext& cpu, int blocks);
+
+  // --- lmbench-grade operations (Table 1) ----------------------------------
+
+  void simple_syscall(CpuContext& cpu);
+  void simple_read(CpuContext& cpu);
+  void simple_write(CpuContext& cpu);
+  void simple_stat(CpuContext& cpu);
+  void simple_fstat(CpuContext& cpu);
+  void simple_open_close(CpuContext& cpu);
+  /// select() on `nfds` descriptors; TCP sockets walk the sock poll path.
+  void select_fds(CpuContext& cpu, int nfds, bool tcp);
+  void signal_install(CpuContext& cpu);
+  void signal_deliver(CpuContext& cpu);
+  void protection_fault(CpuContext& cpu);
+  /// One round-trip token through a pipe (two context switches).
+  void pipe_ping_pong(CpuContext& cpu);
+  /// One round-trip over a connected AF_UNIX stream pair.
+  void af_unix_ping_pong(CpuContext& cpu);
+  /// socket+connect+accept+teardown over AF_UNIX.
+  void unix_connection(CpuContext& cpu);
+  void fcntl_lock(CpuContext& cpu);
+  void semaphore_op(CpuContext& cpu);
+  /// One futex contention round: waiter blocks, owner wakes it.
+  void futex_contend(CpuContext& cpu);
+  /// One epoll_wait cycle delivering `ready` socket events.
+  void epoll_wait_cycle(CpuContext& cpu, int ready);
+  /// nanosleep: hrtimer arm, block, expiry, wakeup.
+  void nanosleep_op(CpuContext& cpu);
+  /// SysV shared memory attach/detach cycle (with occasional segment create).
+  void shm_cycle(CpuContext& cpu);
+  /// SysV message queue send + receive pair.
+  void msgq_send_recv(CpuContext& cpu);
+  void fork_exit(CpuContext& cpu);
+  void fork_execve(CpuContext& cpu);
+  /// fork + /bin/sh -c (an execve of the shell, then of the target).
+  void fork_sh(CpuContext& cpu);
+  /// mmap a file of `pages` pages and touch each one.
+  void mmap_file(CpuContext& cpu, int pages);
+  /// `faults` minor faults against a mapped file.
+  void pagefaults(CpuContext& cpu, int faults);
+
+  // --- Workload-grade operations -------------------------------------------
+
+  /// open -> read `pages` pages -> close (kcompile's bread and butter).
+  void open_read_close(CpuContext& cpu, int pages, double cache_hit);
+
+  /// creat -> write `pages` pages -> close (compiler output, dbench writes).
+  void create_write_close(CpuContext& cpu, int pages);
+
+  void unlink_file(CpuContext& cpu);
+  void stat_file(CpuContext& cpu);
+  void fsync_file(CpuContext& cpu);
+  void readdir_dir(CpuContext& cpu);
+
+  /// Accept + serve one HTTP request for a file of `pages` pages.
+  void http_request(CpuContext& cpu, int file_pages, double cache_hit);
+
+  /// scp sender inner loop: read file pages, checksum, push to TCP.
+  void scp_chunk(CpuContext& cpu, int pages);
+
+  /// Boot-time subsystem initialisation sweep (Figure 1's long tail): calls
+  /// `calls` functions sampled Zipf-style across the whole table.
+  void boot_init_sweep(CpuContext& cpu, std::uint64_t calls, double zipf_exponent);
+
+  /// Ambient system activity that runs no matter which workload is measured:
+  /// periodic writeback, daemon housekeeping, and a Zipf-shaped sprinkle over
+  /// a fixed pseudo-random slice of the symbol table. The slice is stable
+  /// across intervals (the same daemons keep running) but its per-interval
+  /// reach varies with `calls`, so rarely-touched functions appear in only
+  /// some documents — keeping their document frequency, and hence idf,
+  /// informative (paper §5 discusses exactly this attenuation).
+  void background_noise(CpuContext& cpu, std::uint64_t calls);
+
+ private:
+  /// Invocation shorthand.
+  void call(CpuContext& cpu, FunctionId fn) noexcept { kernel_.invoke(cpu, fn); }
+
+  /// Slab allocation pair with occasional refill slow path.
+  void slab_alloc(CpuContext& cpu);
+  void slab_free(CpuContext& cpu);
+  /// skb alloc/free pair.
+  void skb_alloc(CpuContext& cpu);
+  void skb_free(CpuContext& cpu);
+  /// fd lookup fast path.
+  void fd_lookup(CpuContext& cpu);
+
+  Kernel& kernel_;
+
+  /// Pre-resolved symbol ids: resolving by name on the hot path would cost
+  /// more than the traced work itself.
+  struct Ids;
+  const std::unique_ptr<const Ids> ids_;
+
+  /// Popularity-ranked permutation of the symbol table used by
+  /// background_noise(); built once from the kernel seed.
+  std::vector<FunctionId> noise_rank_;
+};
+
+}  // namespace fmeter::simkern

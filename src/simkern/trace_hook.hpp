@@ -1,0 +1,44 @@
+// The mcount seam between the simulated kernel and the tracers.
+//
+// In the real system every core-kernel function compiled with -pg begins with
+// a call to mcount; Ftrace rewrites those call sites at boot into nops and can
+// re-arm any of them to dispatch into a tracer. Our simulator funnels every
+// core-kernel function invocation through Kernel::invoke(), which forwards to
+// the installed TraceHook — a faithful stand-in for an armed mcount site.
+// A null hook corresponds to the vanilla kernel (call sites nopped out).
+#pragma once
+
+#include "simkern/types.hpp"
+
+namespace fmeter::simkern {
+
+class CpuContext;
+
+/// Receiver of function-entry events. Implementations must be safe to call
+/// concurrently from distinct CPU contexts (one thread per simulated CPU);
+/// the kernel never invokes the hook twice concurrently for the *same* CPU.
+class TraceHook {
+ public:
+  virtual ~TraceHook() = default;
+
+  /// Called on entry to a core-kernel function, before its body runs.
+  /// `parent` is the caller's function id or kNoFunction for entry points.
+  virtual void on_function_entry(CpuContext& cpu, FunctionId fn,
+                                 FunctionId parent) noexcept = 0;
+
+  /// Called after the function's body, but only when wants_exit_events() is
+  /// true — the graph tracer's return trampoline. Plain function tracers
+  /// never see exits (their call sites are entry-only), so the default is a
+  /// no-op and the kernel skips the dispatch entirely.
+  virtual void on_function_exit(CpuContext& /*cpu*/,
+                                FunctionId /*fn*/) noexcept {}
+
+  /// Opt-in for exit events; checked once at install time.
+  virtual bool wants_exit_events() const noexcept { return false; }
+
+  /// Identifies the tracer in logs and bench output ("vanilla" is spelled by
+  /// the absence of a hook, so implementations return "fmeter", "ftrace", ...).
+  virtual const char* name() const noexcept = 0;
+};
+
+}  // namespace fmeter::simkern

@@ -1,0 +1,56 @@
+// Shared plain types for the simulated kernel.
+#pragma once
+
+#include <cstdint>
+
+namespace fmeter::simkern {
+
+/// Dense identifier of a core-kernel function. Doubles as the term id of the
+/// vector space model: the set of core-kernel functions is the orthonormal
+/// basis signatures live in (paper §2.1).
+using FunctionId = std::uint32_t;
+
+/// Virtual address of a function's first instruction. The paper identifies
+/// functions by start address because names are ambiguous (duplicate statics)
+/// and core-kernel symbols load at stable addresses across reboots.
+using Address = std::uint64_t;
+
+/// Simulated CPU number.
+using CpuId = std::uint32_t;
+
+/// Sentinel for "no function" (e.g. no parent frame).
+inline constexpr FunctionId kNoFunction = 0xffffffffu;
+
+/// Kernel text section base, mirroring x86-64 Linux's default.
+inline constexpr Address kKernelTextBase = 0xffffffff81000000ULL;
+
+/// Module area base (modules relocate somewhere in this region at load time).
+inline constexpr Address kModuleAreaBase = 0xffffffffa0000000ULL;
+
+/// Major kernel subsystems; used to lay out the symbol table and to give the
+/// workload drivers vocabulary pools with realistic structure.
+enum class Subsystem : std::uint8_t {
+  kCore,      // kernel/: scheduler entry, fork, exit, signals
+  kSched,     // scheduler internals
+  kMm,        // memory management, page cache
+  kVfs,       // virtual filesystem switch
+  kExt3,      // on-disk filesystem
+  kBlock,     // block layer, elevator
+  kNet,       // net core
+  kTcpIp,     // ipv4/tcp
+  kSock,      // socket layer
+  kIpc,       // SysV ipc, pipes, futex
+  kIrq,       // interrupts, softirq
+  kTimer,     // timers, hrtimers, clockevents
+  kLib,       // lib/: string, radix tree, crc
+  kSecurity,  // LSM hooks, capabilities
+  kCrypto,    // crypto core
+  kDriverBase // driver core, sysfs-ish plumbing
+};
+
+inline constexpr std::size_t kNumSubsystems = 16;
+
+/// Human-readable subsystem name ("vfs", "tcp_ip", ...).
+const char* subsystem_name(Subsystem subsystem) noexcept;
+
+}  // namespace fmeter::simkern

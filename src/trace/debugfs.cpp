@@ -1,0 +1,40 @@
+#include "trace/debugfs.hpp"
+
+namespace fmeter::trace {
+
+void DebugFs::register_file(std::string path, ReadHandler on_read) {
+  nodes_[std::move(path)] = Node{std::move(on_read), {}};
+}
+
+void DebugFs::register_file(std::string path, ReadHandler on_read,
+                            WriteHandler on_write) {
+  nodes_[std::move(path)] = Node{std::move(on_read), std::move(on_write)};
+}
+
+void DebugFs::unregister(const std::string& path) { nodes_.erase(path); }
+
+bool DebugFs::exists(const std::string& path) const noexcept {
+  return nodes_.contains(path);
+}
+
+std::string DebugFs::read(const std::string& path) const {
+  const auto it = nodes_.find(path);
+  if (it == nodes_.end()) throw DebugFsError("debugfs: no such file: " + path);
+  return it->second.on_read();
+}
+
+void DebugFs::write(const std::string& path, std::string_view data) {
+  const auto it = nodes_.find(path);
+  if (it == nodes_.end()) throw DebugFsError("debugfs: no such file: " + path);
+  if (!it->second.on_write) throw DebugFsError("debugfs: read-only file: " + path);
+  it->second.on_write(data);
+}
+
+std::vector<std::string> DebugFs::list() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [path, node] : nodes_) out.push_back(path);
+  return out;
+}
+
+}  // namespace fmeter::trace

@@ -1,0 +1,61 @@
+// An in-memory stand-in for the kernel's debugfs pseudo-filesystem.
+//
+// Both Ftrace and Fmeter export their state to user space through debugfs
+// (paper §3). The simulator's tracers register file handlers here and the
+// user-space components (logging daemon, tests) read them back as text —
+// preserving the interface contract, including the serialization cost the
+// real system pays on every read.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fmeter::trace {
+
+/// Thrown when a path is absent or an operation is unsupported on it.
+class DebugFsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Path-keyed registry of read/write handlers. Not thread-safe: like the real
+/// debugfs, registration happens at init time and readers are external
+/// processes (the collector), which the simulator serializes.
+class DebugFs {
+ public:
+  using ReadHandler = std::function<std::string()>;
+  using WriteHandler = std::function<void(std::string_view)>;
+
+  /// Registers a read-only file; replaces an existing registration.
+  void register_file(std::string path, ReadHandler on_read);
+
+  /// Registers a read-write file.
+  void register_file(std::string path, ReadHandler on_read,
+                     WriteHandler on_write);
+
+  void unregister(const std::string& path);
+
+  bool exists(const std::string& path) const noexcept;
+
+  /// Reads the file's current contents; throws DebugFsError if absent.
+  std::string read(const std::string& path) const;
+
+  /// Writes to a control file; throws DebugFsError if absent or read-only.
+  void write(const std::string& path, std::string_view data);
+
+  /// All registered paths in lexicographic order (like ls -R).
+  std::vector<std::string> list() const;
+
+ private:
+  struct Node {
+    ReadHandler on_read;
+    WriteHandler on_write;  // empty for read-only files
+  };
+  std::map<std::string, Node> nodes_;
+};
+
+}  // namespace fmeter::trace

@@ -1,0 +1,113 @@
+// The Fmeter tracer: per-CPU function-to-slot counting (paper §3, Figure 3).
+//
+// Design, mirrored from the paper:
+//   * At "boot" (construction) a mapping from every core-kernel function to a
+//     (page, slot) index pair is built. Each per-CPU index is a series of
+//     pages; each page holds an array of 8-byte counters.
+//   * The per-function "stub" embeds the two indices; invoking the function
+//     disables preemption, follows page->slot, increments, re-enables
+//     preemption. No locks, no atomic RMW, no cross-CPU cache traffic: each
+//     slot has exactly one writer (its CPU).
+//   * User space reads the counters through debugfs; the snapshot sums the
+//     per-CPU slots per function.
+//
+// The single-writer discipline lets increments be relaxed load+store pairs
+// (compiling to plain mov/inc/mov), while concurrent snapshot readers still
+// observe well-defined values — the C++ rendering of the paper's "cheaper
+// than lock;inc" argument.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simkern/cpu.hpp"
+#include "simkern/symbol_table.hpp"
+#include "simkern/trace_hook.hpp"
+#include "trace/debugfs.hpp"
+#include "trace/snapshot.hpp"
+
+namespace fmeter::trace {
+
+struct FmeterTracerConfig {
+  /// Counters per page: 4096-byte pages of 8-byte slots, like the prototype.
+  std::uint32_t slots_per_page = 512;
+
+  /// The paper's §6 "future work" optimization: a small per-CPU cache that
+  /// holds the counters of the N hottest functions in a single compact
+  /// array, cutting the cache pollution of the page/slot pointer chase for
+  /// the overwhelming majority of calls (function popularity is Zipf-like,
+  /// Figure 1). Functions listed here are counted in the hot array; all
+  /// others take the regular page/slot path. Empty = optimization off.
+  std::vector<simkern::FunctionId> hot_functions;
+};
+
+class FmeterTracer final : public simkern::TraceHook {
+ public:
+  /// Builds the function-to-slot mapping for `num_cpus` CPUs covering every
+  /// function in `symbols` (boot-time introspection step).
+  FmeterTracer(const simkern::SymbolTable& symbols, std::uint32_t num_cpus,
+               const FmeterTracerConfig& config = {});
+
+  // TraceHook
+  void on_function_entry(simkern::CpuContext& cpu, simkern::FunctionId fn,
+                         simkern::FunctionId parent) noexcept override;
+  const char* name() const noexcept override { return "fmeter"; }
+
+  /// The (page, slot) pair embedded in a function's stub. Hot-cached
+  /// functions carry page == kHotPage and their hot-array index as slot.
+  struct SlotIndex {
+    std::uint32_t page;
+    std::uint32_t slot;
+  };
+  static constexpr std::uint32_t kHotPage = 0xffffffffu;
+  SlotIndex slot_of(simkern::FunctionId fn) const { return slot_index_.at(fn); }
+
+  /// Number of hot-cached functions (0 when the optimization is off).
+  std::size_t hot_set_size() const noexcept { return hot_functions_.size(); }
+
+  std::uint32_t num_cpus() const noexcept {
+    return static_cast<std::uint32_t>(per_cpu_.size());
+  }
+  std::size_t num_functions() const noexcept { return slot_index_.size(); }
+  std::size_t pages_per_cpu() const noexcept;
+
+  /// Cumulative count for one function on one CPU.
+  std::uint64_t count_on_cpu(simkern::CpuId cpu, simkern::FunctionId fn) const;
+
+  /// Cumulative count for one function summed over CPUs.
+  std::uint64_t count(simkern::FunctionId fn) const;
+
+  /// Full snapshot (sums per-CPU slots). Safe to call while CPUs are running;
+  /// values are per-slot consistent, not globally instantaneous — the same
+  /// guarantee the real debugfs read gives.
+  CounterSnapshot snapshot() const;
+
+  /// Zeroes every slot (corresponds to echoing into a reset control file).
+  void reset() noexcept;
+
+  /// Registers "fmeter/counters" and "fmeter/reset" under `prefix`.
+  void register_debugfs(DebugFs& fs, const std::string& prefix = "fmeter");
+
+ private:
+  /// One 4096-byte page of counters. Aligned so a page never straddles the
+  /// cache lines of its neighbours in the per-CPU page list.
+  struct alignas(64) Page {
+    explicit Page(std::uint32_t slots) : counters(slots) {}
+    std::vector<std::atomic<std::uint64_t>> counters;
+  };
+
+  struct PerCpu {
+    std::vector<std::unique_ptr<Page>> pages;
+    /// Compact hot-function counters (few cache lines total).
+    std::vector<std::atomic<std::uint64_t>> hot;
+  };
+
+  FmeterTracerConfig config_;
+  std::vector<SlotIndex> slot_index_;  // indexed by FunctionId ("the stubs")
+  std::vector<simkern::FunctionId> hot_functions_;  // hot index -> function
+  std::vector<PerCpu> per_cpu_;
+};
+
+}  // namespace fmeter::trace

@@ -1,0 +1,110 @@
+#include "trace/graph_tracer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fmeter::trace {
+
+GraphTracer::GraphTracer(const simkern::SymbolTable& symbols,
+                         std::uint32_t num_cpus)
+    : symbols_(symbols) {
+  if (num_cpus == 0) throw std::invalid_argument("GraphTracer: no CPUs");
+  per_cpu_.reserve(num_cpus);
+  for (std::uint32_t c = 0; c < num_cpus; ++c) {
+    auto cpu = std::make_unique<PerCpu>();
+    cpu->stats.resize(symbols.size());
+    cpu->entry_ns.resize(symbols.size(), 0);
+    per_cpu_.push_back(std::move(cpu));
+  }
+}
+
+void GraphTracer::on_function_entry(simkern::CpuContext& cpu,
+                                    simkern::FunctionId fn,
+                                    simkern::FunctionId /*parent*/) noexcept {
+  PerCpu& local = *per_cpu_[cpu.id()];
+  local.entry_ns[fn] = now_ns();
+  ++local.open;
+}
+
+void GraphTracer::on_function_exit(simkern::CpuContext& cpu,
+                                   simkern::FunctionId fn) noexcept {
+  PerCpu& local = *per_cpu_[cpu.id()];
+  const std::uint64_t entry = local.entry_ns[fn];
+  if (entry == 0) return;  // spurious exit (tracer armed mid-call)
+  const std::uint64_t duration = now_ns() - entry;
+  local.entry_ns[fn] = 0;
+  --local.open;
+
+  FunctionStats& stats = local.stats[fn];
+  if (stats.calls == 0) {
+    stats.min_ns = duration;
+    stats.max_ns = duration;
+  } else {
+    stats.min_ns = std::min(stats.min_ns, duration);
+    stats.max_ns = std::max(stats.max_ns, duration);
+  }
+  ++stats.calls;
+  stats.total_ns += duration;
+}
+
+GraphTracer::FunctionStats GraphTracer::stats(simkern::FunctionId fn) const {
+  FunctionStats merged;
+  for (const auto& cpu : per_cpu_) {
+    const FunctionStats& local = cpu->stats.at(fn);
+    if (local.calls == 0) continue;
+    if (merged.calls == 0) {
+      merged.min_ns = local.min_ns;
+      merged.max_ns = local.max_ns;
+    } else {
+      merged.min_ns = std::min(merged.min_ns, local.min_ns);
+      merged.max_ns = std::max(merged.max_ns, local.max_ns);
+    }
+    merged.calls += local.calls;
+    merged.total_ns += local.total_ns;
+  }
+  return merged;
+}
+
+CounterSnapshot GraphTracer::counts() const {
+  CounterSnapshot snap;
+  snap.counts.assign(symbols_.size(), 0);
+  for (const auto& cpu : per_cpu_) {
+    for (std::size_t fn = 0; fn < cpu->stats.size(); ++fn) {
+      snap.counts[fn] += cpu->stats[fn].calls;
+    }
+  }
+  return snap;
+}
+
+std::uint64_t GraphTracer::open_frames() const noexcept {
+  std::uint64_t open = 0;
+  for (const auto& cpu : per_cpu_) open += cpu->open;
+  return open;
+}
+
+std::string GraphTracer::report(std::size_t top) const {
+  std::vector<std::pair<std::uint64_t, simkern::FunctionId>> by_total;
+  for (simkern::FunctionId fn = 0; fn < symbols_.size(); ++fn) {
+    const auto merged = stats(fn);
+    if (merged.calls > 0) by_total.emplace_back(merged.total_ns, fn);
+  }
+  std::sort(by_total.rbegin(), by_total.rend());
+
+  std::ostringstream out;
+  out << "function                                 calls    total(ns)   "
+         "avg(ns)\n";
+  for (std::size_t i = 0; i < std::min(top, by_total.size()); ++i) {
+    const auto fn = by_total[i].second;
+    const auto merged = stats(fn);
+    out << symbols_.by_id(fn).name;
+    for (std::size_t pad = symbols_.by_id(fn).name.size(); pad < 40; ++pad) {
+      out << ' ';
+    }
+    out << ' ' << merged.calls << ' ' << merged.total_ns << ' '
+        << merged.total_ns / merged.calls << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fmeter::trace

@@ -1,0 +1,64 @@
+#include "trace/kprobes_tracer.hpp"
+
+#include <stdexcept>
+
+namespace fmeter::trace {
+
+KprobesTracer::KprobesTracer(const simkern::SymbolTable& symbols,
+                             std::uint32_t num_cpus,
+                             const KprobesTracerConfig& config)
+    : config_(config) {
+  if (num_cpus == 0) throw std::invalid_argument("KprobesTracer: no CPUs");
+  probes_.reserve(symbols.size());
+  address_of_.reserve(symbols.size());
+  for (const auto& fn : symbols.functions()) {
+    probes_.emplace(fn.address, Probe{fn.id});
+    address_of_.push_back(fn.address);
+  }
+  per_cpu_counts_.resize(num_cpus);
+  for (auto& counts : per_cpu_counts_) {
+    counts = std::vector<std::atomic<std::uint64_t>>(symbols.size());
+  }
+}
+
+void KprobesTracer::on_function_entry(simkern::CpuContext& cpu,
+                                      simkern::FunctionId fn,
+                                      simkern::FunctionId /*parent*/) noexcept {
+  // Trap #1: the int3 breakpoint fires; exception entry, register save.
+  cpu.consume_work(config_.trap_cost_units);
+
+  // The dispatcher resolves the probe from the faulting address. Unlike the
+  // Fmeter stub (which has its indices baked in), this is a genuine hash
+  // lookup on every hit.
+  const auto it = probes_.find(address_of_[fn]);
+  if (it != probes_.end()) {
+    auto& slot = per_cpu_counts_[cpu.id()][it->second.fn];
+    slot.store(slot.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  }
+  probe_hits_.fetch_add(1, std::memory_order_relaxed);
+
+  // Trap #2: single-step the displaced instruction, then resume.
+  cpu.consume_work(config_.trap_cost_units);
+}
+
+std::uint64_t KprobesTracer::count(simkern::FunctionId fn) const {
+  std::uint64_t total = 0;
+  for (const auto& counts : per_cpu_counts_) {
+    total += counts[fn].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+CounterSnapshot KprobesTracer::snapshot() const {
+  CounterSnapshot snap;
+  snap.counts.assign(address_of_.size(), 0);
+  for (const auto& counts : per_cpu_counts_) {
+    for (std::size_t fn = 0; fn < counts.size(); ++fn) {
+      snap.counts[fn] += counts[fn].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+}  // namespace fmeter::trace

@@ -1,0 +1,67 @@
+// A Kprobes-style counting tracer (paper §3's rejected design point).
+//
+// Kernel Dynamic Probes graft an int3 breakpoint onto the probed
+// instruction; every hit takes a trap into the kprobes dispatcher, which
+// looks the probe up by address, runs the handler, then single-steps the
+// displaced original instruction — a second trap. That is flexible (probes
+// can be added at runtime, handlers live in modules) but each hit costs two
+// exception round-trips plus a hash lookup, which is why Fmeter builds on
+// the mcount machinery instead. This implementation reproduces the cost
+// structure so the trade-off can be measured: the handler does exactly what
+// Fmeter's stub does (bump a per-CPU counter), but pays the kprobes entry
+// sequence to get there.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "simkern/cpu.hpp"
+#include "simkern/symbol_table.hpp"
+#include "simkern/trace_hook.hpp"
+#include "trace/snapshot.hpp"
+
+namespace fmeter::trace {
+
+struct KprobesTracerConfig {
+  /// Work units burned per exception round-trip (trap entry + iret). Two are
+  /// paid per probe hit (breakpoint + single-step), dwarfing the handler.
+  std::uint32_t trap_cost_units = 40;
+};
+
+class KprobesTracer final : public simkern::TraceHook {
+ public:
+  /// Registers one probe per core-kernel function (by start address).
+  KprobesTracer(const simkern::SymbolTable& symbols, std::uint32_t num_cpus,
+                const KprobesTracerConfig& config = {});
+
+  // TraceHook
+  void on_function_entry(simkern::CpuContext& cpu, simkern::FunctionId fn,
+                         simkern::FunctionId parent) noexcept override;
+  const char* name() const noexcept override { return "kprobes"; }
+
+  std::uint64_t count(simkern::FunctionId fn) const;
+  CounterSnapshot snapshot() const;
+
+  /// Total probe hits dispatched (for overhead accounting).
+  std::uint64_t probe_hits() const noexcept {
+    return probe_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Probe {
+    simkern::FunctionId fn;
+  };
+
+  KprobesTracerConfig config_;
+  /// Address-keyed probe table — the dispatcher really does hash on the
+  /// faulting address, and that lookup is part of the per-hit cost.
+  std::unordered_map<simkern::Address, Probe> probes_;
+  std::vector<simkern::Address> address_of_;  // fn -> probe address
+  std::vector<std::vector<std::atomic<std::uint64_t>>> per_cpu_counts_;
+  std::atomic<std::uint64_t> probe_hits_{0};
+};
+
+}  // namespace fmeter::trace

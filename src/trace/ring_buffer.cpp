@@ -1,0 +1,60 @@
+#include "trace/ring_buffer.hpp"
+
+#include <stdexcept>
+
+namespace fmeter::trace {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TraceRingBuffer::TraceRingBuffer(std::size_t capacity) {
+  if (capacity < 2) {
+    throw std::invalid_argument("TraceRingBuffer: capacity must be >= 2");
+  }
+  const std::size_t cap = round_up_pow2(capacity);
+  events_.resize(cap);
+  mask_ = cap - 1;
+}
+
+void TraceRingBuffer::push(const TraceEvent& event) noexcept {
+  lock();
+  if (count_ == events_.size()) {
+    // Overwrite mode: advance the tail past the oldest event.
+    tail_ = (tail_ + 1) & mask_;
+    --count_;
+    overruns_.fetch_add(1, std::memory_order_relaxed);
+  }
+  events_[head_] = event;
+  head_ = (head_ + 1) & mask_;
+  ++count_;
+  entries_written_.fetch_add(1, std::memory_order_relaxed);
+  unlock();
+}
+
+std::vector<TraceEvent> TraceRingBuffer::drain(std::size_t max_events) {
+  std::vector<TraceEvent> out;
+  lock();
+  const std::size_t n = count_ < max_events ? count_ : max_events;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(events_[tail_]);
+    tail_ = (tail_ + 1) & mask_;
+  }
+  count_ -= n;
+  unlock();
+  return out;
+}
+
+std::size_t TraceRingBuffer::size() const noexcept {
+  lock();
+  const std::size_t n = count_;
+  unlock();
+  return n;
+}
+
+}  // namespace fmeter::trace

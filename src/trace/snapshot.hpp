@@ -1,0 +1,47 @@
+// Counter snapshots: the raw material the logging daemon works with.
+//
+// The Fmeter user-space daemon reads all function invocation counts twice —
+// before and after a monitoring interval — and diffs them (paper §3). A
+// CounterSnapshot is one such reading; diff() produces the per-interval counts
+// that become a CountDocument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simkern/types.hpp"
+#include "vsm/document.hpp"
+
+namespace fmeter::trace {
+
+/// Dense per-function cumulative invocation counts at one instant.
+struct CounterSnapshot {
+  std::vector<std::uint64_t> counts;  // indexed by FunctionId
+
+  std::size_t size() const noexcept { return counts.size(); }
+
+  /// Sum over all functions.
+  std::uint64_t total() const noexcept;
+
+  /// Number of functions with a non-zero count.
+  std::size_t nonzero() const noexcept;
+
+  /// Per-interval difference `after - before` (this = after). Counters are
+  /// monotonic, so negative deltas indicate tracer restarts; they saturate
+  /// to zero rather than wrap.
+  CounterSnapshot diff(const CounterSnapshot& before) const;
+
+  /// Converts the (usually diffed) snapshot into a count document.
+  vsm::CountDocument to_document(std::string label = {},
+                                 double duration_s = 0.0) const;
+
+  /// Serializes as "fn_id count" lines — the debugfs wire format.
+  std::string serialize() const;
+
+  /// Parses the debugfs wire format; throws std::invalid_argument on
+  /// malformed input.
+  static CounterSnapshot deserialize(const std::string& text);
+};
+
+}  // namespace fmeter::trace

@@ -1,0 +1,58 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fmeter::util {
+
+double Rng::sqrt_neg2_log(double s) noexcept {
+  return std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse-CDF; 1 - uniform() avoids log(0).
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::gamma(double shape) noexcept {
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia-Tsang augmentation).
+    const double u = uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // simulator's event counts and keeps sampling O(1).
+    const double x = normal(mean, std::sqrt(mean));
+    return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = uniform();
+  std::uint64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+}  // namespace fmeter::util

@@ -1,0 +1,68 @@
+// Descriptive statistics used by the benchmark harnesses and the evaluation.
+//
+// The paper reports "average ± standard error of the mean" throughout; this
+// module provides exactly those reductions plus the percentile helpers the
+// micro benchmarks use.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fmeter::util {
+
+/// Mean of a sample; 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased (n-1) sample variance; 0 for fewer than two points.
+double variance(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (sqrt of unbiased variance).
+double stddev(std::span<const double> xs) noexcept;
+
+/// Standard error of the mean: stddev / sqrt(n); 0 for fewer than two points.
+double sem(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile; `p` in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+/// Min / max over a non-empty span.
+double min(std::span<const double> xs) noexcept;
+double max(std::span<const double> xs) noexcept;
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Incremental mean/variance accumulator (Welford). Useful when a benchmark
+/// loop should not retain every observation.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double sem() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ordinary least squares fit y = a + b*x; returns {intercept, slope}.
+/// Used by the power-law figure to report the fitted log-log slope.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace fmeter::util

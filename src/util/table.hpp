@@ -1,0 +1,49 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every table/figure binary in bench/ prints rows in the same layout the paper
+// uses; this helper keeps column alignment and numeric formatting consistent.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fmeter::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, append rows of strings, render.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  /// Appends one row; pads or throws if the arity mismatches the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column separators.
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+/// Formats `value` with `digits` decimal places (fixed notation).
+std::string fixed(double value, int digits);
+
+/// Formats the paper's "mean ± sem" cell.
+std::string mean_sem(double mean, double sem, int digits);
+
+/// Formats a ratio like "5.748" or a percentage like "24.07 %".
+std::string ratio(double value);
+std::string percent(double value, int digits = 2);
+
+}  // namespace fmeter::util

@@ -1,0 +1,40 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmeter::util {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent)
+    : exponent_(exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be >= 1");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+std::vector<double> zipf_weights(std::size_t n, double exponent) {
+  ZipfDistribution dist(n, exponent);
+  std::vector<double> weights(n);
+  for (std::size_t k = 0; k < n; ++k) weights[k] = dist.pmf(k);
+  return weights;
+}
+
+}  // namespace fmeter::util

@@ -1,0 +1,44 @@
+// Zipf / power-law sampling.
+//
+// Kernel function invocation frequencies follow a heavy-tailed, power-law-like
+// distribution (paper Figure 1). The simulator assigns per-function base
+// popularity with a Zipf law and workload drivers sample call mixes from it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fmeter::util {
+
+/// Samples ranks in [0, n) with P(rank = k) proportional to 1 / (k+1)^s.
+///
+/// Construction is O(n) (builds the cumulative distribution); sampling is
+/// O(log n) by binary search. Suitable for the simulator's ~4k-element
+/// function space.
+class ZipfDistribution {
+ public:
+  /// @param n Number of ranks; must be >= 1.
+  /// @param exponent The `s` parameter; 1.0 gives the classic Zipf law.
+  ZipfDistribution(std::size_t n, double exponent);
+
+  /// Draws one rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return exponent_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); cdf_.back() == 1.0
+  double exponent_ = 1.0;
+};
+
+/// Returns `n` weights following a Zipf law with the given exponent,
+/// normalised to sum to 1. weights[0] is the most popular rank.
+std::vector<double> zipf_weights(std::size_t n, double exponent);
+
+}  // namespace fmeter::util

@@ -1,0 +1,88 @@
+#include "vsm/corpus_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fmeter::vsm {
+
+namespace {
+constexpr const char* kMagic = "fmeter-corpus v1";
+
+/// Labels are written verbatim; forbid the separators the parser relies on.
+void validate_label(const std::string& label) {
+  if (label.find('\n') != std::string::npos ||
+      label.find(' ') != std::string::npos) {
+    throw std::invalid_argument(
+        "write_corpus: labels must not contain spaces or newlines: '" + label +
+        "'");
+  }
+}
+}  // namespace
+
+void write_corpus(std::ostream& out, const Corpus& corpus) {
+  out << kMagic << '\n';
+  for (const auto& doc : corpus.documents()) {
+    validate_label(doc.label);
+    out << "doc " << (doc.label.empty() ? "-" : doc.label) << ' '
+        << doc.duration_s << ' ' << doc.counts.size() << '\n';
+    for (const auto& [term, count] : doc.counts) {
+      out << term << ' ' << count << '\n';
+    }
+  }
+  if (!out) throw std::ios_base::failure("write_corpus: stream failure");
+}
+
+Corpus read_corpus(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::invalid_argument("read_corpus: bad magic line");
+  }
+  Corpus corpus;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream header(line);
+    std::string keyword;
+    std::string label;
+    double duration = 0.0;
+    std::size_t nnz = 0;
+    header >> keyword >> label >> duration >> nnz;
+    if (!header || keyword != "doc") {
+      throw std::invalid_argument("read_corpus: malformed doc header: " + line);
+    }
+    if (label == "-") label.clear();
+
+    std::vector<std::pair<CountDocument::TermId, CountDocument::Count>> counts;
+    counts.reserve(nnz);
+    for (std::size_t i = 0; i < nnz; ++i) {
+      if (!std::getline(in, line)) {
+        throw std::invalid_argument("read_corpus: truncated document");
+      }
+      std::istringstream entry(line);
+      CountDocument::TermId term = 0;
+      CountDocument::Count count = 0;
+      entry >> term >> count;
+      if (!entry) {
+        throw std::invalid_argument("read_corpus: malformed entry: " + line);
+      }
+      counts.emplace_back(term, count);
+    }
+    corpus.add(CountDocument::from_counts(std::move(counts), std::move(label),
+                                          duration));
+  }
+  return corpus;
+}
+
+void save_corpus(const std::string& path, const Corpus& corpus) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_corpus: cannot open " + path);
+  write_corpus(out, corpus);
+}
+
+Corpus load_corpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_corpus: cannot open " + path);
+  return read_corpus(in);
+}
+
+}  // namespace fmeter::vsm

@@ -1,0 +1,32 @@
+// Corpus persistence.
+//
+// The Fmeter daemon logs per-interval counts to disk; analysts load them
+// later to build models and databases (paper §2.2's forensic archive). The
+// format is a line-oriented text format, versioned, diff-friendly, and
+// deliberately close to the debugfs wire format:
+//
+//   fmeter-corpus v1
+//   doc <label> <duration_s> <nnz>
+//   <term> <count>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "vsm/document.hpp"
+
+namespace fmeter::vsm {
+
+/// Writes a corpus to a stream; throws std::ios_base::failure on I/O errors.
+void write_corpus(std::ostream& out, const Corpus& corpus);
+
+/// Reads a corpus; throws std::invalid_argument on malformed input.
+Corpus read_corpus(std::istream& in);
+
+/// Convenience file wrappers; throw std::runtime_error when the file cannot
+/// be opened.
+void save_corpus(const std::string& path, const Corpus& corpus);
+Corpus load_corpus(const std::string& path);
+
+}  // namespace fmeter::vsm

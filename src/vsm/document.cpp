@@ -1,0 +1,77 @@
+#include "vsm/document.hpp"
+
+#include <algorithm>
+
+namespace fmeter::vsm {
+
+CountDocument CountDocument::from_counts(
+    std::vector<std::pair<TermId, Count>> raw, std::string label,
+    double duration_s) {
+  std::sort(raw.begin(), raw.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  CountDocument doc;
+  doc.label = std::move(label);
+  doc.duration_s = duration_s;
+  doc.counts.reserve(raw.size());
+  for (const auto& [term, count] : raw) {
+    if (count == 0) continue;
+    if (!doc.counts.empty() && doc.counts.back().first == term) {
+      doc.counts.back().second += count;
+    } else {
+      doc.counts.emplace_back(term, count);
+    }
+  }
+  return doc;
+}
+
+CountDocument::Count CountDocument::total() const noexcept {
+  Count total = 0;
+  for (const auto& [term, count] : counts) total += count;
+  return total;
+}
+
+CountDocument::Count CountDocument::count_of(TermId term) const noexcept {
+  const auto it = std::lower_bound(
+      counts.begin(), counts.end(), term,
+      [](const auto& entry, TermId t) { return entry.first < t; });
+  if (it == counts.end() || it->first != term) return 0;
+  return it->second;
+}
+
+std::vector<std::string> Corpus::labels() const {
+  std::vector<std::string> out;
+  for (const auto& doc : documents_) {
+    if (doc.label.empty()) continue;
+    if (std::find(out.begin(), out.end(), doc.label) == out.end()) {
+      out.push_back(doc.label);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> Corpus::indices_with_label(const std::string& label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < documents_.size(); ++i) {
+    if (documents_[i].label == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Corpus::dimension_bound() const noexcept {
+  std::size_t bound = 0;
+  for (const auto& doc : documents_) {
+    if (!doc.counts.empty()) {
+      bound = std::max(bound,
+                       static_cast<std::size_t>(doc.counts.back().first) + 1);
+    }
+  }
+  return bound;
+}
+
+void Corpus::append(Corpus other) {
+  documents_.insert(documents_.end(),
+                    std::make_move_iterator(other.documents_.begin()),
+                    std::make_move_iterator(other.documents_.end()));
+}
+
+}  // namespace fmeter::vsm

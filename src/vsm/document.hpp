@@ -1,0 +1,78 @@
+// Count documents: the raw material of the vector space model.
+//
+// In Fmeter a "document" is one monitoring interval; a "term" is a core-kernel
+// function identified by its start address (mapped to a dense term id by the
+// trace layer). A CountDocument records how many times each term fired during
+// the interval, before any tf-idf weighting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fmeter::vsm {
+
+/// One monitoring interval's worth of kernel-function invocation counts.
+struct CountDocument {
+  using TermId = std::uint32_t;
+  using Count = std::uint64_t;
+
+  /// Sorted by term id, counts strictly positive.
+  std::vector<std::pair<TermId, Count>> counts;
+
+  /// Free-form class label ("scp", "kcompile", ...); empty when unlabeled.
+  std::string label;
+
+  /// Wall-clock length of the interval, seconds (informational; tf
+  /// normalisation makes signatures insensitive to it).
+  double duration_s = 0.0;
+
+  /// Builds from unsorted (term, count) pairs; merges duplicates, drops zeros.
+  static CountDocument from_counts(
+      std::vector<std::pair<TermId, Count>> raw, std::string label = {},
+      double duration_s = 0.0);
+
+  /// Total number of term occurrences (the document "length", sum_k n_kj).
+  Count total() const noexcept;
+
+  /// Number of distinct terms.
+  std::size_t distinct_terms() const noexcept { return counts.size(); }
+
+  /// Count for one term (0 if absent). O(log n).
+  Count count_of(TermId term) const noexcept;
+
+  bool operator==(const CountDocument& other) const noexcept = default;
+};
+
+/// A labeled collection of count documents (the "corpus", paper §2.1).
+class Corpus {
+ public:
+  Corpus() = default;
+
+  void add(CountDocument doc) { documents_.push_back(std::move(doc)); }
+
+  std::size_t size() const noexcept { return documents_.size(); }
+  bool empty() const noexcept { return documents_.empty(); }
+
+  std::span<const CountDocument> documents() const noexcept { return documents_; }
+  const CountDocument& operator[](std::size_t i) const { return documents_.at(i); }
+
+  /// Distinct labels in first-seen order.
+  std::vector<std::string> labels() const;
+
+  /// Indices of documents carrying `label`.
+  std::vector<std::size_t> indices_with_label(const std::string& label) const;
+
+  /// Highest term id used plus one (the dimensionality of the space).
+  std::size_t dimension_bound() const noexcept;
+
+  /// Merges another corpus into this one.
+  void append(Corpus other);
+
+ private:
+  std::vector<CountDocument> documents_;
+};
+
+}  // namespace fmeter::vsm

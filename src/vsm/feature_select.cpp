@@ -1,0 +1,104 @@
+#include "vsm/feature_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fmeter::vsm {
+
+const char* feature_score_name(FeatureScore score) noexcept {
+  switch (score) {
+    case FeatureScore::kDocumentFrequency: return "document-frequency";
+    case FeatureScore::kVariance: return "variance";
+    case FeatureScore::kMeanWeight: return "mean-weight";
+  }
+  return "unknown";
+}
+
+std::vector<SparseVector::Index> select_features(
+    std::span<const SparseVector> vectors, std::size_t k, FeatureScore score) {
+  if (vectors.empty()) {
+    throw std::invalid_argument("select_features: no vectors");
+  }
+  if (k == 0) throw std::invalid_argument("select_features: k must be >= 1");
+
+  // Accumulate per-term presence, sum and sum of squares in one pass.
+  struct Accumulator {
+    std::size_t present = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+  };
+  std::unordered_map<SparseVector::Index, Accumulator> stats;
+  for (const auto& vector : vectors) {
+    const auto indices = vector.indices();
+    const auto values = vector.values();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      auto& acc = stats[indices[i]];
+      ++acc.present;
+      acc.sum += values[i];
+      acc.sum_sq += values[i] * values[i];
+    }
+  }
+
+  const auto n = static_cast<double>(vectors.size());
+  std::vector<std::pair<double, SparseVector::Index>> scored;
+  scored.reserve(stats.size());
+  for (const auto& [term, acc] : stats) {
+    double value = 0.0;
+    switch (score) {
+      case FeatureScore::kDocumentFrequency:
+        value = static_cast<double>(acc.present);
+        break;
+      case FeatureScore::kVariance: {
+        // Absent entries are zeros: include them in the moments.
+        const double mean = acc.sum / n;
+        value = acc.sum_sq / n - mean * mean;
+        break;
+      }
+      case FeatureScore::kMeanWeight:
+        value = std::abs(acc.sum) / n;
+        break;
+    }
+    scored.emplace_back(value, term);
+  }
+
+  const std::size_t keep = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;  // deterministic tie-break
+                    });
+  std::vector<SparseVector::Index> out;
+  out.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) out.push_back(scored[i].second);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SparseVector project(const SparseVector& vector,
+                     std::span<const SparseVector::Index> keep) {
+  std::vector<SparseVector::Entry> entries;
+  const auto indices = vector.indices();
+  const auto values = vector.values();
+  std::size_t cursor = 0;  // merge join over two sorted sequences
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    while (cursor < keep.size() && keep[cursor] < indices[i]) ++cursor;
+    if (cursor < keep.size() && keep[cursor] == indices[i]) {
+      entries.emplace_back(indices[i], values[i]);
+    }
+  }
+  return SparseVector::from_entries(std::move(entries));
+}
+
+std::vector<SparseVector> project_all(
+    std::span<const SparseVector> vectors,
+    std::span<const SparseVector::Index> keep) {
+  std::vector<SparseVector> out;
+  out.reserve(vectors.size());
+  for (const auto& vector : vectors) out.push_back(project(vector, keep));
+  return out;
+}
+
+}  // namespace fmeter::vsm

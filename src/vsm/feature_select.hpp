@@ -1,0 +1,45 @@
+// Feature selection over the signature space.
+//
+// The paper justifies dropping module functions as dimensionality reduction
+// and notes that "it is common to select only the most important features
+// ... and prune out low-impact features" (§3). This module provides the
+// standard selectors for that trade-off: keep the top-k terms by document
+// frequency, by weight variance, or by mean weight, and project signatures
+// onto the kept subspace. The classifier ablation bench quantifies how much
+// of the 3815-dimensional space the classifiers actually need.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::vsm {
+
+enum class FeatureScore {
+  kDocumentFrequency,  ///< in how many vectors the term is non-zero
+  kVariance,           ///< variance of the term's weight across vectors
+  kMeanWeight,         ///< mean absolute weight across vectors
+};
+
+const char* feature_score_name(FeatureScore score) noexcept;
+
+/// Scores every term across `vectors` and returns the indices of the top-k,
+/// sorted ascending (ready for project()). k is clamped to the number of
+/// distinct terms present. Throws std::invalid_argument on empty input or
+/// k == 0.
+std::vector<SparseVector::Index> select_features(
+    std::span<const SparseVector> vectors, std::size_t k, FeatureScore score);
+
+/// Keeps only the entries whose index appears in `keep` (must be sorted
+/// ascending); other coordinates are zeroed (dropped).
+SparseVector project(const SparseVector& vector,
+                     std::span<const SparseVector::Index> keep);
+
+/// project() over a whole set, preserving order.
+std::vector<SparseVector> project_all(
+    std::span<const SparseVector> vectors,
+    std::span<const SparseVector::Index> keep);
+
+}  // namespace fmeter::vsm

@@ -1,0 +1,91 @@
+// Sparse feature vectors for the vector space model.
+//
+// A signature lives in a space whose orthonormal basis is the set of distinct
+// core-kernel functions (paper §2.1). With ~3.8k dimensions and most workloads
+// touching only a few hundred functions per interval, a sorted sparse
+// representation keeps both the tf-idf transform and the distance kernels
+// cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fmeter::vsm {
+
+/// Immutable-ish sparse vector: parallel arrays of strictly increasing term
+/// indices and their (typically non-zero) values.
+class SparseVector {
+ public:
+  using Index = std::uint32_t;
+  using Entry = std::pair<Index, double>;
+
+  SparseVector() = default;
+
+  /// Builds from unsorted (index, value) pairs; duplicate indices are summed,
+  /// zero-valued entries are dropped.
+  static SparseVector from_entries(std::vector<Entry> entries);
+
+  /// Builds from a dense vector, dropping zeros.
+  static SparseVector from_dense(std::span<const double> dense);
+
+  std::size_t nnz() const noexcept { return indices_.size(); }
+  bool empty() const noexcept { return indices_.empty(); }
+
+  std::span<const Index> indices() const noexcept { return indices_; }
+  std::span<const double> values() const noexcept { return values_; }
+
+  /// Value at a term index (0 if absent). O(log nnz).
+  double at(Index index) const noexcept;
+
+  /// Largest index present plus one; 0 for the empty vector.
+  std::size_t dimension_bound() const noexcept;
+
+  /// Dot product with another sparse vector (merge join).
+  double dot(const SparseVector& other) const noexcept;
+
+  /// Lp norms.
+  double norm_l1() const noexcept;
+  double norm_l2() const noexcept;
+  double norm_lp(double p) const;
+
+  /// Returns a copy scaled by `factor`.
+  SparseVector scaled(double factor) const;
+
+  /// Returns a copy with unit L2 norm ("scaled into the unit ball", §4.2.1);
+  /// the zero vector is returned unchanged.
+  SparseVector l2_normalized() const;
+
+  /// Element-wise sum / difference.
+  SparseVector plus(const SparseVector& other) const;
+  SparseVector minus(const SparseVector& other) const;
+
+  /// Accumulates this vector into a dense buffer (used for centroids).
+  /// The buffer must be at least dimension_bound() long.
+  void add_to(std::span<double> dense, double weight = 1.0) const;
+
+  /// Densifies into a vector of length `dimension` (>= dimension_bound()).
+  std::vector<double> to_dense(std::size_t dimension) const;
+
+  bool operator==(const SparseVector& other) const noexcept = default;
+
+  /// Debug rendering like "{3: 0.5, 17: 0.25}".
+  std::string to_string() const;
+
+ private:
+  std::vector<Index> indices_;
+  std::vector<double> values_;
+};
+
+/// Euclidean (L2) distance between sparse vectors.
+double euclidean_distance(const SparseVector& a, const SparseVector& b) noexcept;
+
+/// Minkowski distance induced by the Lp norm (paper §2.1). Requires p >= 1.
+double minkowski_distance(const SparseVector& a, const SparseVector& b, double p);
+
+/// Cosine of the angle between two vectors; 0 if either is the zero vector.
+double cosine_similarity(const SparseVector& a, const SparseVector& b) noexcept;
+
+}  // namespace fmeter::vsm

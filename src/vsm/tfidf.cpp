@@ -1,0 +1,73 @@
+#include "vsm/tfidf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fmeter::vsm {
+
+void TfIdfModel::fit(const Corpus& corpus) {
+  if (corpus.empty()) throw std::invalid_argument("TfIdfModel::fit: empty corpus");
+  num_documents_ = corpus.size();
+  doc_freq_.clear();
+  for (const auto& doc : corpus.documents()) {
+    for (const auto& [term, count] : doc.counts) {
+      if (count > 0) ++doc_freq_[term];
+    }
+  }
+}
+
+std::size_t TfIdfModel::document_frequency(CountDocument::TermId term) const noexcept {
+  const auto it = doc_freq_.find(term);
+  return it == doc_freq_.end() ? 0 : it->second;
+}
+
+double TfIdfModel::idf(CountDocument::TermId term) const noexcept {
+  const std::size_t df = document_frequency(term);
+  if (df == 0 || num_documents_ == 0) return 0.0;
+  const double ratio = static_cast<double>(num_documents_) / static_cast<double>(df);
+  return options_.smooth_idf ? std::log(1.0 + ratio) : std::log(ratio);
+}
+
+SparseVector TfIdfModel::transform(const CountDocument& doc) const {
+  if (!fitted()) throw std::logic_error("TfIdfModel::transform before fit");
+  const auto total = static_cast<double>(doc.total());
+  std::vector<SparseVector::Entry> entries;
+  entries.reserve(doc.counts.size());
+  for (const auto& [term, count] : doc.counts) {
+    if (count == 0) continue;
+    double weight = 0.0;
+    switch (options_.weighting) {
+      case Weighting::kRawCount:
+        weight = static_cast<double>(count);
+        break;
+      case Weighting::kTf:
+      case Weighting::kTfIdf: {
+        double tf = total > 0.0 ? static_cast<double>(count) / total : 0.0;
+        if (options_.sublinear_tf && count > 0) {
+          tf = (1.0 + std::log(static_cast<double>(count))) /
+               (total > 0.0 ? total : 1.0);
+        }
+        weight = tf;
+        if (options_.weighting == Weighting::kTfIdf) weight *= idf(term);
+        break;
+      }
+    }
+    if (weight != 0.0) entries.emplace_back(term, weight);
+  }
+  SparseVector v = SparseVector::from_entries(std::move(entries));
+  return options_.l2_normalize ? v.l2_normalized() : v;
+}
+
+std::vector<SparseVector> TfIdfModel::transform(const Corpus& corpus) const {
+  std::vector<SparseVector> out;
+  out.reserve(corpus.size());
+  for (const auto& doc : corpus.documents()) out.push_back(transform(doc));
+  return out;
+}
+
+std::vector<SparseVector> TfIdfModel::fit_transform(const Corpus& corpus) {
+  fit(corpus);
+  return transform(corpus);
+}
+
+}  // namespace fmeter::vsm

@@ -1,0 +1,86 @@
+// Term frequency–inverse document frequency weighting (paper §2.1).
+//
+// The weight of term i in document j is
+//     w_ij = tf_ij * idf_i,   tf_ij = n_ij / sum_k n_kj,
+//     idf_i = log(|D| / |{d : t_i in d}|),
+// exactly as the paper defines it. Variants (raw counts, tf-only, smoothed
+// idf, sublinear tf) are kept behind options so the ablation benches can
+// quantify what each piece buys.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "vsm/document.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::vsm {
+
+/// Which weighting to apply when transforming a document into a vector.
+enum class Weighting {
+  kRawCount,  ///< w_ij = n_ij (ablation baseline)
+  kTf,        ///< w_ij = tf_ij (ablation: no idf attenuation)
+  kTfIdf,     ///< the paper's scheme
+};
+
+/// Options for TfIdfModel; defaults reproduce the paper exactly.
+struct TfIdfOptions {
+  Weighting weighting = Weighting::kTfIdf;
+
+  /// Replace tf with (1 + log n_ij) / doc_total — a common IR variant.
+  bool sublinear_tf = false;
+
+  /// Use log(1 + |D|/df) so that corpus-wide terms keep a small positive
+  /// weight instead of exactly zero.
+  bool smooth_idf = false;
+
+  /// Scale every output vector onto the unit L2 ball (required by the SVM and
+  /// recommended for K-means; paper §4.2.1).
+  bool l2_normalize = true;
+};
+
+/// Fits document frequencies on a corpus and transforms documents to weight
+/// vectors. Terms never seen during fit() get weight zero (their idf is
+/// undefined), mirroring how an IR index treats out-of-vocabulary terms.
+class TfIdfModel {
+ public:
+  explicit TfIdfModel(TfIdfOptions options = {}) : options_(options) {}
+
+  /// Computes |D| and per-term document frequencies.
+  void fit(const Corpus& corpus);
+
+  /// True once fit() has seen at least one document.
+  bool fitted() const noexcept { return num_documents_ > 0; }
+
+  /// Number of documents the model was fitted on (|D|).
+  std::size_t num_documents() const noexcept { return num_documents_; }
+
+  /// Number of distinct terms with non-zero document frequency.
+  std::size_t vocabulary_size() const noexcept { return doc_freq_.size(); }
+
+  /// Document frequency of a term (0 if unseen).
+  std::size_t document_frequency(CountDocument::TermId term) const noexcept;
+
+  /// idf_i per the configured scheme; 0 for unseen terms.
+  double idf(CountDocument::TermId term) const noexcept;
+
+  /// Transforms one document into a weight vector. Requires fitted().
+  SparseVector transform(const CountDocument& doc) const;
+
+  /// Transforms every document of a corpus.
+  std::vector<SparseVector> transform(const Corpus& corpus) const;
+
+  /// fit() followed by transform() on the same corpus.
+  std::vector<SparseVector> fit_transform(const Corpus& corpus);
+
+  const TfIdfOptions& options() const noexcept { return options_; }
+
+ private:
+  TfIdfOptions options_;
+  std::size_t num_documents_ = 0;
+  std::unordered_map<CountDocument::TermId, std::size_t> doc_freq_;
+};
+
+}  // namespace fmeter::vsm

@@ -1,0 +1,26 @@
+#include "workloads/apachebench.hpp"
+
+namespace fmeter::workloads {
+
+void ApachebenchWorkload::run_unit(simkern::CpuContext& cpu) {
+  auto& rng = cpu.rng();
+
+  // 1400-byte target file: one page, hot in the page cache after the first
+  // few requests.
+  ops_.http_request(cpu, /*file_pages=*/1, /*cache_hit=*/0.995);
+
+  // The client half lives on the same machine (paper: no network artifacts):
+  // its connect + send + recv also run through this kernel.
+  ops_.tcp_tx_segment(cpu, 1);
+  ops_.tcp_rx_segment(cpu, 1);
+
+  // httpd worker pool churn: the event MPM's epoll loop, APR mutex
+  // contention under load, and an occasional access-log write.
+  ops_.epoll_wait_cycle(cpu, 1 + static_cast<int>(rng.below(4)));
+  if (rng.bernoulli(0.2)) ops_.futex_contend(cpu);
+  if (++units_done_ % 32 == 0) ops_.create_write_close(cpu, 1);
+  if (rng.bernoulli(0.1)) ops_.timer_tick(cpu);
+  ops_.context_switch(cpu);
+}
+
+}  // namespace fmeter::workloads

@@ -1,0 +1,26 @@
+// apachebench HTTP workload (paper Table 2).
+//
+// The paper drives apache httpd with 512 concurrent connections fetching a
+// single 1400-byte file, client and server co-located. One unit serves one
+// request: accept, read request, stat+serve the (hot-cached) file, respond,
+// tear down. Throughput = units per wall second.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace fmeter::workloads {
+
+class ApachebenchWorkload final : public Workload {
+ public:
+  explicit ApachebenchWorkload(simkern::KernelOps& ops) : ops_(ops) {}
+
+  const char* name() const noexcept override { return "apachebench"; }
+  void run_unit(simkern::CpuContext& cpu) override;
+  std::uint32_t user_work_per_unit() const noexcept override { return 900; }
+
+ private:
+  simkern::KernelOps& ops_;
+  std::uint64_t units_done_ = 0;
+};
+
+}  // namespace fmeter::workloads

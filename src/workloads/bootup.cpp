@@ -1,0 +1,46 @@
+#include "workloads/bootup.hpp"
+
+namespace fmeter::workloads {
+
+void BootupWorkload::run_unit(simkern::CpuContext& cpu) {
+  auto& rng = cpu.rng();
+
+  // The bulk of boot: driver probes, memory initialisation, cache priming —
+  // a Zipf-shaped sweep over the whole symbol population whose head (vm
+  // internals, slab) towers over a one-shot tail (Figure 1's shape: ~1e6+
+  // calls at rank 1 down to single calls past rank ~3000).
+  ops_.boot_init_sweep(cpu, 45000, /*zipf_exponent=*/1.5);
+
+  // Structured late-boot activity on top of the sweep.
+  const std::uint64_t phase = units_done_++ % kBootUnits;
+  if (phase < 8) {
+    // initramfs + rootfs mount: metadata storm.
+    for (int i = 0; i < 12; ++i) ops_.stat_file(cpu);
+    ops_.readdir_dir(cpu);
+    ops_.open_read_close(cpu, 2, 0.3);
+  } else if (phase < 32) {
+    // init scripts: fork+exec chains and config file reads.
+    ops_.fork_sh(cpu);
+    for (int i = 0; i < 6; ++i) {
+      ops_.open_read_close(cpu, 1 + static_cast<int>(rng.below(3)), 0.5);
+    }
+  } else if (phase < 48) {
+    // daemons starting: sockets, pipes, early network chatter.
+    ops_.unix_connection(cpu);
+    ops_.tcp_tx_segment(cpu, 2);
+    ops_.tcp_rx_segment(cpu, 2);
+    ops_.fork_execve(cpu);
+  } else {
+    // getty/login: mostly idle ticking with some page-cache fill; daemons
+    // settle into their IPC (SysV queues, shm segments, periodic sleeps).
+    ops_.pagefaults(cpu, 20);
+    ops_.open_read_close(cpu, 4, 0.7);
+    ops_.msgq_send_recv(cpu);
+    if (rng.bernoulli(0.5)) ops_.shm_cycle(cpu);
+    ops_.nanosleep_op(cpu);
+  }
+  for (int t = 0; t < 4; ++t) ops_.timer_tick(cpu);
+  ops_.context_switch(cpu);
+}
+
+}  // namespace fmeter::workloads

@@ -1,0 +1,30 @@
+// Boot-up workload (paper Figure 1).
+//
+// Reproduces the call-count-vs-rank measurement: from the late boot stage to
+// the login prompt the kernel executes a heavy-tailed mix over ~3815
+// functions (memory-management internals at the head, one-shot init helpers
+// at the tail). One unit is one boot "phase slice"; a full boot is
+// kBootUnits units.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace fmeter::workloads {
+
+class BootupWorkload final : public Workload {
+ public:
+  /// Units in one complete boot sequence.
+  static constexpr std::uint64_t kBootUnits = 64;
+
+  explicit BootupWorkload(simkern::KernelOps& ops) : ops_(ops) {}
+
+  const char* name() const noexcept override { return "bootup"; }
+  void run_unit(simkern::CpuContext& cpu) override;
+  std::uint32_t user_work_per_unit() const noexcept override { return 2000; }
+
+ private:
+  simkern::KernelOps& ops_;
+  std::uint64_t units_done_ = 0;
+};
+
+}  // namespace fmeter::workloads

@@ -1,0 +1,43 @@
+#include "workloads/dbench.hpp"
+
+namespace fmeter::workloads {
+
+void DbenchWorkload::run_unit(simkern::CpuContext& cpu) {
+  auto& rng = cpu.rng();
+
+  // Reflected random walks for the trace's phase structure.
+  auto drift = [&rng](double value, double step, double lo, double hi) {
+    value += rng.normal(0.0, step);
+    if (value < lo) value = 2.0 * lo - value;
+    if (value > hi) value = 2.0 * hi - value;
+    return value;
+  };
+  cache_heat_ = drift(cache_heat_, 0.04, 0.35, 0.95);
+  write_ratio_ = drift(write_ratio_, 0.02, 0.20, 0.50);
+
+  // A dbench "flowop" batch, mix modeled on the client.txt trace profile:
+  // writes dominate, then reads, metadata, and periodic flushes.
+  const int flowops = 12 + static_cast<int>(rng.below(8));
+  for (int f = 0; f < flowops; ++f) {
+    const double dice = rng.uniform();
+    if (dice < write_ratio_) {
+      ops_.create_write_close(cpu, 2 + static_cast<int>(rng.below(14)));
+    } else if (dice < 0.58) {
+      ops_.open_read_close(cpu, 2 + static_cast<int>(rng.below(10)), cache_heat_);
+    } else if (dice < 0.74) {
+      ops_.stat_file(cpu);
+    } else if (dice < 0.84) {
+      ops_.readdir_dir(cpu);
+    } else if (dice < 0.94) {
+      ops_.unlink_file(cpu);
+    } else {
+      ops_.fsync_file(cpu);
+    }
+  }
+  // tdb databases are mmap-shared between smbd-style processes.
+  if (rng.bernoulli(0.1)) ops_.shm_cycle(cpu);
+  if (rng.bernoulli(0.2)) ops_.timer_tick(cpu);
+  ops_.context_switch(cpu);
+}
+
+}  // namespace fmeter::workloads

@@ -1,0 +1,32 @@
+// dbench disk-throughput workload (paper §4: "dbench").
+//
+// dbench replays a NetBench-derived fileserver trace: a churn of creates,
+// writes, reads, stats, directory scans, unlinks and flushes. One unit is one
+// trace step batch. Nearly all time is sys time — the opposite balance of
+// kcompile — which is what makes the pair a good classification contrast.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace fmeter::workloads {
+
+class DbenchWorkload final : public Workload {
+ public:
+  explicit DbenchWorkload(simkern::KernelOps& ops) : ops_(ops) {}
+
+  const char* name() const noexcept override { return "dbench"; }
+  void run_unit(simkern::CpuContext& cpu) override;
+  std::uint32_t user_work_per_unit() const noexcept override { return 400; }
+
+ private:
+  simkern::KernelOps& ops_;
+  /// Cache heat drift in [0.35, 0.95]: dbench's working set cycles between
+  /// freshly-created (hot) and aged (cold) files, moving the read mix between
+  /// page-cache hits and block-layer traffic across monitoring intervals.
+  double cache_heat_ = 0.65;
+  /// Write-intensity drift in [0.2, 0.5] (NetBench phases alternate between
+  /// write bursts and metadata scans).
+  double write_ratio_ = 0.34;
+};
+
+}  // namespace fmeter::workloads

@@ -1,0 +1,62 @@
+#include "workloads/kcompile.hpp"
+
+namespace fmeter::workloads {
+
+void KcompileWorkload::run_unit(simkern::CpuContext& cpu) {
+  auto& rng = cpu.rng();
+
+  // Reflected random walk through the build's phases (compile <-> link).
+  phase_ += rng.normal(0.0, 0.05);
+  if (phase_ < 0.0) phase_ = -phase_;
+  if (phase_ > 1.0) phase_ = 2.0 - phase_;
+
+  // make spawns sh -c 'cc ...' for the unit.
+  ops_.fork_execve(cpu);
+
+  // cc1 stats the source and slurps headers: many small, hot-cache reads.
+  ops_.stat_file(cpu);
+  const int headers =
+      static_cast<int>((1.0 - 0.6 * phase_) * (18.0 + static_cast<double>(rng.below(30))));
+  for (int h = 0; h < headers; ++h) {
+    ops_.open_read_close(cpu, 1 + static_cast<int>(rng.below(4)), 0.97);
+  }
+  // The source file itself is bigger and colder.
+  ops_.open_read_close(cpu, 4 + static_cast<int>(rng.below(12)), 0.80);
+
+  // Compiler working set grows: anonymous faults + a few brk-driven mmaps.
+  ops_.pagefaults(cpu, 30 + static_cast<int>(rng.below(40)));
+  if (rng.bernoulli(0.3)) ops_.mmap_file(cpu, 8);
+
+  // Assembler + object write (through ext3 + journal); bigger toward the
+  // link-heavy end of the phase walk.
+  ops_.create_write_close(
+      cpu, static_cast<int>((1.0 + 2.0 * phase_) *
+                            (4.0 + static_cast<double>(rng.below(8)))));
+  if (rng.bernoulli(0.15)) ops_.unlink_file(cpu);  // temp files
+
+  // make re-stats dependencies between rules.
+  const int stats = 4 + static_cast<int>(rng.below(8));
+  for (int s = 0; s < stats; ++s) ops_.stat_file(cpu);
+
+  // Archive/link step: big fan-in read, one large write; dominant while the
+  // phase walk sits near 1. Monitoring intervals that catch this phase look
+  // far more I/O-bound than compile-phase intervals — the within-class
+  // variance real kcompile signatures exhibit.
+  if (++units_done_ % 64 == 0 || rng.bernoulli(0.25 * phase_)) {
+    ops_.fork_execve(cpu);
+    const int objects = 16 + static_cast<int>(32.0 * phase_);
+    for (int o = 0; o < objects; ++o) ops_.open_read_close(cpu, 4, 0.9);
+    ops_.create_write_close(cpu, 24 + static_cast<int>(40.0 * phase_));
+    ops_.fsync_file(cpu);
+  }
+
+  // make -jN coordination: jobserver pipe + glibc malloc arena futexes.
+  if (rng.bernoulli(0.3)) ops_.futex_contend(cpu);
+
+  // Timer ticks accumulated while the compiler ran (CPU-bound => several).
+  const int ticks = 3 + static_cast<int>(rng.below(3));
+  for (int t = 0; t < ticks; ++t) ops_.timer_tick(cpu);
+  ops_.context_switch(cpu);
+}
+
+}  // namespace fmeter::workloads

@@ -1,0 +1,60 @@
+#include "workloads/lmbench.hpp"
+
+namespace fmeter::workloads {
+
+std::vector<LmbenchOp> lmbench_catalog() {
+  using simkern::CpuContext;
+  using simkern::KernelOps;
+  std::vector<LmbenchOp> ops;
+  ops.reserve(23);
+
+  ops.push_back({"AF_UNIX sock stream latency",
+                 [](KernelOps& k, CpuContext& c) { k.af_unix_ping_pong(c); }});
+  ops.push_back({"Fcntl lock latency",
+                 [](KernelOps& k, CpuContext& c) { k.fcntl_lock(c); }});
+  ops.push_back({"Memory map linux.tar.bz2",
+                 [](KernelOps& k, CpuContext& c) { k.mmap_file(c, 64); }});
+  ops.push_back({"Pagefaults on linux.tar.bz2",
+                 [](KernelOps& k, CpuContext& c) { k.pagefaults(c, 1); }});
+  ops.push_back({"Pipe latency",
+                 [](KernelOps& k, CpuContext& c) { k.pipe_ping_pong(c); }});
+  ops.push_back({"Process fork+/bin/sh -c",
+                 [](KernelOps& k, CpuContext& c) { k.fork_sh(c); }});
+  ops.push_back({"Process fork+execve",
+                 [](KernelOps& k, CpuContext& c) { k.fork_execve(c); }});
+  ops.push_back({"Process fork+exit",
+                 [](KernelOps& k, CpuContext& c) { k.fork_exit(c); }});
+  ops.push_back({"Protection fault",
+                 [](KernelOps& k, CpuContext& c) { k.protection_fault(c); }});
+  ops.push_back({"Select on 10 fd's",
+                 [](KernelOps& k, CpuContext& c) { k.select_fds(c, 10, false); }});
+  ops.push_back({"Select on 10 tcp fd's",
+                 [](KernelOps& k, CpuContext& c) { k.select_fds(c, 10, true); }});
+  ops.push_back({"Select on 100 fd's",
+                 [](KernelOps& k, CpuContext& c) { k.select_fds(c, 100, false); }});
+  ops.push_back({"Select on 100 tcp fd's",
+                 [](KernelOps& k, CpuContext& c) { k.select_fds(c, 100, true); }});
+  ops.push_back({"Semaphore latency",
+                 [](KernelOps& k, CpuContext& c) { k.semaphore_op(c); }});
+  ops.push_back({"Signal handler installation",
+                 [](KernelOps& k, CpuContext& c) { k.signal_install(c); }});
+  ops.push_back({"Signal handler overhead",
+                 [](KernelOps& k, CpuContext& c) { k.signal_deliver(c); }});
+  ops.push_back({"Simple fstat",
+                 [](KernelOps& k, CpuContext& c) { k.simple_fstat(c); }});
+  ops.push_back({"Simple open/close",
+                 [](KernelOps& k, CpuContext& c) { k.simple_open_close(c); }});
+  ops.push_back({"Simple read",
+                 [](KernelOps& k, CpuContext& c) { k.simple_read(c); }});
+  ops.push_back({"Simple stat",
+                 [](KernelOps& k, CpuContext& c) { k.simple_stat(c); }});
+  ops.push_back({"Simple syscall",
+                 [](KernelOps& k, CpuContext& c) { k.simple_syscall(c); }});
+  ops.push_back({"Simple write",
+                 [](KernelOps& k, CpuContext& c) { k.simple_write(c); }});
+  ops.push_back({"UNIX connection cost",
+                 [](KernelOps& k, CpuContext& c) { k.unix_connection(c); }});
+  return ops;
+}
+
+}  // namespace fmeter::workloads

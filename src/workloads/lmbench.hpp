@@ -1,0 +1,27 @@
+// The lmbench micro-operation catalog (paper Table 1).
+//
+// Each entry names one of the 23 lmbench latency tests the paper runs and
+// binds it to the simulated kernel path that test exercises. The Table 1
+// bench iterates this catalog under each tracer configuration.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simkern/cpu.hpp"
+#include "simkern/ops.hpp"
+
+namespace fmeter::workloads {
+
+struct LmbenchOp {
+  /// Paper row label, e.g. "Simple syscall".
+  std::string name;
+  /// Executes one iteration of the micro-op.
+  std::function<void(simkern::KernelOps&, simkern::CpuContext&)> run;
+};
+
+/// The 23 rows of Table 1, in the paper's order.
+std::vector<LmbenchOp> lmbench_catalog();
+
+}  // namespace fmeter::workloads

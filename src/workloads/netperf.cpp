@@ -1,0 +1,215 @@
+#include "workloads/netperf.hpp"
+
+#include <stdexcept>
+
+namespace fmeter::workloads {
+
+const char* myri10ge_variant_name(Myri10geVariant variant) noexcept {
+  switch (variant) {
+    case Myri10geVariant::kV151: return "myri10ge-1.5.1";
+    case Myri10geVariant::kV143: return "myri10ge-1.4.3";
+    case Myri10geVariant::kV151NoLro: return "myri10ge-1.5.1-nolro";
+  }
+  return "myri10ge-unknown";
+}
+
+simkern::ModuleBlueprint myri10ge_blueprint(Myri10geVariant variant) {
+  using simkern::ModuleFunctionSpec;
+  const bool v143 = variant == Myri10geVariant::kV143;
+
+  simkern::ModuleBlueprint bp;
+  bp.name = "myri10ge";
+  bp.version = v143 ? "1.4.3" : "1.5.1";
+
+  // Interrupt handler: ack the NIC, schedule NAPI.
+  bp.functions.push_back(ModuleFunctionSpec{
+      "myri10ge_intr",
+      v143 ? 312u : 288u,  // function text differs across versions...
+      2,
+      {"note_interrupt", "__napi_schedule"}});
+
+  // NAPI poll loop entry.
+  bp.functions.push_back(ModuleFunctionSpec{
+      "myri10ge_poll",
+      v143 ? 540u : 610u,  // ...so every later offset shifts (paper §3)
+      3,
+      {"napi_complete"}});
+
+  // Rx cleanup walks the DMA ring.
+  bp.functions.push_back(ModuleFunctionSpec{
+      "myri10ge_clean_rx_done", v143 ? 488u : 452u, 3, {"dma_unmap_single"}});
+
+  // Per-frame rx: 1.4.3 copybreaks every frame into a fresh skb (alloc +
+  // memcpy); 1.5.1 attaches page frags (page allocator, no copy).
+  if (v143) {
+    bp.functions.push_back(ModuleFunctionSpec{
+        "myri10ge_rx_done",
+        624,
+        4,
+        {"__alloc_skb", "skb_put", "memcpy", "eth_type_trans"}});
+    // Removed in 1.5.1: LRO header parse helper (paper: the one function
+    // deleted between the versions).
+    bp.functions.push_back(ModuleFunctionSpec{
+        "myri10ge_get_frag_header", 196, 2, {"csum_partial"}});
+  } else {
+    bp.functions.push_back(ModuleFunctionSpec{
+        "myri10ge_rx_done",
+        688,
+        4,
+        {"alloc_pages_current", "get_page_from_freelist", "eth_type_trans"}});
+  }
+
+  // Rx buffer refill.
+  bp.functions.push_back(ModuleFunctionSpec{
+      "myri10ge_alloc_rx_pages",
+      v143 ? 420u : 380u,
+      3,
+      {"alloc_pages_current", "get_page_from_freelist", "dma_map_single"}});
+
+  // Tx path (ACKs flow back to the sender).
+  bp.functions.push_back(ModuleFunctionSpec{
+      "myri10ge_xmit", v143 ? 732u : 756u, 3, {"dma_map_single", "skb_put"}});
+
+  // Added in 1.5.1 (one of the 11 new functions; the only one our workload
+  // exercises, matching the paper's disassembly finding).
+  if (!v143) {
+    bp.functions.push_back(
+        ModuleFunctionSpec{"myri10ge_select_queue", 112, 1, {}});
+  }
+
+  // Housekeeping functions that exist in both versions but with different
+  // sizes; they round out the module's symbol population.
+  bp.functions.push_back(ModuleFunctionSpec{
+      "myri10ge_watchdog", v143 ? 388u : 402u, 2, {"mod_timer"}});
+  bp.functions.push_back(ModuleFunctionSpec{
+      "myri10ge_get_stats", v143 ? 148u : 166u, 1, {}});
+  bp.functions.push_back(ModuleFunctionSpec{
+      "myri10ge_change_mtu", v143 ? 214u : 238u, 1, {}});
+
+  return bp;
+}
+
+NetperfWorkload::NetperfWorkload(simkern::KernelOps& ops,
+                                 Myri10geVariant variant)
+    : ops_(ops), variant_(variant) {
+  simkern::Kernel& kernel = ops.kernel();
+  // Reloading the driver replaces any previously loaded variant, mirroring
+  // rmmod+insmod between the paper's scenarios.
+  kernel.unload_module("myri10ge");
+  module_ = &kernel.load_module(myri10ge_blueprint(variant));
+
+  fn_intr_ = module_->function_index("myri10ge_intr");
+  fn_poll_ = module_->function_index("myri10ge_poll");
+  fn_clean_rx_ = module_->function_index("myri10ge_clean_rx_done");
+  fn_rx_done_ = module_->function_index("myri10ge_rx_done");
+  fn_alloc_rx_ = module_->function_index("myri10ge_alloc_rx_pages");
+  fn_xmit_ = module_->function_index("myri10ge_xmit");
+  if (variant == Myri10geVariant::kV143) {
+    fn_get_frag_header_ = module_->function_index("myri10ge_get_frag_header");
+  } else {
+    fn_select_queue_ = module_->function_index("myri10ge_select_queue");
+  }
+}
+
+NetperfWorkload::~NetperfWorkload() = default;
+
+const char* NetperfWorkload::name() const noexcept {
+  return myri10ge_variant_name(variant_);
+}
+
+void NetperfWorkload::warmup(simkern::CpuContext& cpu) {
+  // netperf control connection + TCP_STREAM data connection establishment.
+  ops_.tcp_tx_segment(cpu, 2);
+  ops_.tcp_rx_segment(cpu, 2);
+  ops_.kernel().invoke_module_function(cpu, *module_, fn_alloc_rx_);
+}
+
+void NetperfWorkload::receive_burst_lro(simkern::CpuContext& cpu, int frames,
+                                        bool v143) {
+  simkern::Kernel& kernel = ops_.kernel();
+  const simkern::FunctionId lro_receive = kernel.id_of("lro_receive_skb");
+  const simkern::FunctionId lro_flush = kernel.id_of("lro_flush");
+  const simkern::FunctionId lro_gen_skb = kernel.id_of("lro_gen_skb");
+
+  int aggregated = 0;
+  for (int f = 0; f < frames; ++f) {
+    kernel.invoke_module_function(cpu, *module_, fn_rx_done_);
+    if (v143) {
+      // 1.4.3 parses headers through its own helper on every frame.
+      kernel.invoke_module_function(cpu, *module_, fn_get_frag_header_);
+    }
+    kernel.invoke(cpu, lro_receive);
+    if (++aggregated == 8 || f + 1 == frames) {
+      // Aggregation flush: one skb enters the core stack for ~8 frames.
+      kernel.invoke(cpu, lro_flush);
+      kernel.invoke(cpu, lro_gen_skb);
+      ops_.tcp_rx_segment(cpu, 1);
+      aggregated = 0;
+    }
+    if ((f & 15) == 15) {
+      kernel.invoke_module_function(cpu, *module_, fn_alloc_rx_);
+    }
+  }
+}
+
+void NetperfWorkload::receive_burst_no_lro(simkern::CpuContext& cpu,
+                                           int frames) {
+  simkern::Kernel& kernel = ops_.kernel();
+  for (int f = 0; f < frames; ++f) {
+    kernel.invoke_module_function(cpu, *module_, fn_rx_done_);
+    // No aggregation: every single MTU frame runs the full TCP/IP receive
+    // path — the per-segment cost the paper's "DDOS-prone" scenario models.
+    ops_.tcp_rx_segment(cpu, 1);
+    if ((f & 15) == 15) {
+      kernel.invoke_module_function(cpu, *module_, fn_alloc_rx_);
+    }
+  }
+}
+
+void NetperfWorkload::transmit_acks(simkern::CpuContext& cpu, int acks) {
+  simkern::Kernel& kernel = ops_.kernel();
+  for (int a = 0; a < acks; ++a) {
+    if (variant_ != Myri10geVariant::kV143) {
+      // 1.5.1 picks a tx queue per packet (multiqueue support).
+      kernel.invoke_module_function(cpu, *module_, fn_select_queue_);
+    }
+    ops_.tcp_tx_segment(cpu, 1);
+    kernel.invoke_module_function(cpu, *module_, fn_xmit_);
+  }
+}
+
+void NetperfWorkload::run_unit(simkern::CpuContext& cpu) {
+  simkern::Kernel& kernel = ops_.kernel();
+  auto& rng = cpu.rng();
+
+  // One unit = one interrupt-driven burst of ~64KB (44 MTU frames) at line
+  // rate, plus the napi poll that drains it.
+  const int frames = 40 + static_cast<int>(rng.below(9));
+  kernel.invoke(cpu, kernel.id_of("do_IRQ"));
+  kernel.invoke(cpu, kernel.id_of("handle_irq"));
+  kernel.invoke(cpu, kernel.id_of("handle_edge_irq"));
+  kernel.invoke(cpu, kernel.id_of("handle_IRQ_event"));
+  kernel.invoke_module_function(cpu, *module_, fn_intr_);
+  kernel.invoke(cpu, kernel.id_of("net_rx_action"));
+  kernel.invoke_module_function(cpu, *module_, fn_poll_);
+  kernel.invoke_module_function(cpu, *module_, fn_clean_rx_);
+
+  switch (variant_) {
+    case Myri10geVariant::kV151:
+      receive_burst_lro(cpu, frames, /*v143=*/false);
+      break;
+    case Myri10geVariant::kV143:
+      receive_burst_lro(cpu, frames, /*v143=*/true);
+      break;
+    case Myri10geVariant::kV151NoLro:
+      receive_burst_no_lro(cpu, frames);
+      break;
+  }
+
+  // netserver drains the socket; ACK clocking back to the sender.
+  transmit_acks(cpu, frames / 8 + 1);
+  if (rng.bernoulli(0.15)) ops_.timer_tick(cpu);
+  if (rng.bernoulli(0.3)) ops_.context_switch(cpu);
+}
+
+}  // namespace fmeter::workloads

@@ -1,0 +1,69 @@
+// Netperf TCP_STREAM receive workload over the myri10ge driver (paper §4.2.1,
+// Table 5).
+//
+// The receiver runs an Fmeter-instrumented kernel while the NIC driver lives
+// in an UN-instrumented loadable module. Three variants reproduce the paper's
+// scenarios:
+//   * v1.5.1, defaults     — LRO on: frames aggregate ~8:1 before entering
+//     the core TCP/IP stack (the "normal" baseline).
+//   * v1.4.3, defaults     — older receive path: per-frame skb copy
+//     (copybreak) instead of page frags, an extra get_frag_header pass per
+//     aggregation, no multi-queue tx selection.
+//   * v1.5.1, LRO disabled — every MTU frame walks the full per-segment
+//     TCP/IP receive path (the "compromised/DDOS-prone" scenario).
+// The variants differ only in module code and load-time parameters; Fmeter
+// sees them exclusively through the core-kernel functions they call — which
+// is precisely the signal the paper's classifier feeds on.
+#pragma once
+
+#include "simkern/module.hpp"
+#include "workloads/workload.hpp"
+
+namespace fmeter::workloads {
+
+enum class Myri10geVariant {
+  kV151,       ///< 1.5.1, default load-time parameters (LRO enabled)
+  kV143,       ///< 1.4.3, default load-time parameters
+  kV151NoLro,  ///< 1.5.1 with myri10ge_lro=0
+};
+
+const char* myri10ge_variant_name(Myri10geVariant variant) noexcept;
+
+/// Builds the loadable-module blueprint for a driver variant. Function text
+/// sizes differ across versions, so offsets of common functions shift — the
+/// property that made the paper abandon module instrumentation.
+simkern::ModuleBlueprint myri10ge_blueprint(Myri10geVariant variant);
+
+class NetperfWorkload final : public Workload {
+ public:
+  NetperfWorkload(simkern::KernelOps& ops, Myri10geVariant variant);
+  ~NetperfWorkload() override;
+
+  const char* name() const noexcept override;
+  void run_unit(simkern::CpuContext& cpu) override;
+  std::uint32_t user_work_per_unit() const noexcept override { return 300; }
+  void warmup(simkern::CpuContext& cpu) override;
+
+  const simkern::Module& module() const noexcept { return *module_; }
+
+ private:
+  void receive_burst_lro(simkern::CpuContext& cpu, int frames, bool v143);
+  void receive_burst_no_lro(simkern::CpuContext& cpu, int frames);
+  void transmit_acks(simkern::CpuContext& cpu, int acks);
+
+  simkern::KernelOps& ops_;
+  Myri10geVariant variant_;
+  simkern::Module* module_ = nullptr;  // owned by the kernel
+
+  // Module-local function indices, resolved once at construction.
+  std::size_t fn_intr_ = 0;
+  std::size_t fn_poll_ = 0;
+  std::size_t fn_clean_rx_ = 0;
+  std::size_t fn_rx_done_ = 0;
+  std::size_t fn_alloc_rx_ = 0;
+  std::size_t fn_xmit_ = 0;
+  std::size_t fn_select_queue_ = 0;     // 1.5.1 only
+  std::size_t fn_get_frag_header_ = 0;  // 1.4.3 only
+};
+
+}  // namespace fmeter::workloads

@@ -1,0 +1,39 @@
+#include "workloads/scp.hpp"
+
+namespace fmeter::workloads {
+
+void ScpWorkload::warmup(simkern::CpuContext& cpu) {
+  // ssh connection establishment: TCP connect + key exchange entropy.
+  ops_.unix_connection(cpu);  // local agent socket
+  ops_.crypto_checksum(cpu, 64);
+  ops_.tcp_tx_segment(cpu, 4);
+  ops_.tcp_rx_segment(cpu, 4);
+}
+
+void ScpWorkload::run_unit(simkern::CpuContext& cpu) {
+  auto& rng = cpu.rng();
+
+  // Reflected random walk through the source tree's file-size regimes.
+  streaming_ += rng.normal(0.0, 0.05);
+  if (streaming_ < 0.0) streaming_ = -streaming_;
+  if (streaming_ > 1.0) streaming_ = 2.0 - streaming_;
+
+  // One chunk: 2 pages when crawling small files, up to ~14 when streaming.
+  const int pages = 2 + static_cast<int>(12.0 * streaming_);
+  ops_.scp_chunk(cpu, pages);
+
+  // Small-file regime: frequent end-of-file metadata churn.
+  const double new_file_p = 0.02 + 0.3 * (1.0 - streaming_);
+  if (rng.bernoulli(new_file_p) || ++units_done_ % 256 == 0) {
+    ops_.stat_file(cpu);
+    ops_.open_read_close(cpu, 1, 0.5);
+  }
+
+  // The receiver's ACK clock keeps the softirq path warm.
+  ops_.tcp_rx_segment(cpu, 1 + static_cast<int>(rng.below(2)));
+
+  if (rng.bernoulli(0.25)) ops_.timer_tick(cpu);
+  if (rng.bernoulli(0.5)) ops_.context_switch(cpu);
+}
+
+}  // namespace fmeter::workloads

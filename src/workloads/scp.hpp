@@ -1,0 +1,31 @@
+// Secure-copy workload (paper §4: "scp").
+//
+// One unit pushes one ~32KB file chunk: read from the page cache / disk,
+// user-mode encryption (OpenSSL runs in user space; the kernel sees entropy
+// and checksum helpers), then a TCP send burst, with the ssh select() loop
+// in between. Network-heavy with a moderate user-mode component.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace fmeter::workloads {
+
+class ScpWorkload final : public Workload {
+ public:
+  explicit ScpWorkload(simkern::KernelOps& ops) : ops_(ops) {}
+
+  const char* name() const noexcept override { return "scp"; }
+  void run_unit(simkern::CpuContext& cpu) override;
+  std::uint32_t user_work_per_unit() const noexcept override { return 6000; }
+  void warmup(simkern::CpuContext& cpu) override;
+
+ private:
+  simkern::KernelOps& ops_;
+  std::uint64_t units_done_ = 0;
+  /// File-size regime drift in [0, 1]: 0 = many small files (metadata and
+  /// connection churn dominate), 1 = one large file streaming at full rate.
+  /// A recursive scp of a mixed tree wanders between the two.
+  double streaming_ = 0.7;
+};
+
+}  // namespace fmeter::workloads

@@ -1,0 +1,51 @@
+#include "workloads/workload.hpp"
+
+#include <stdexcept>
+
+#include "workloads/apachebench.hpp"
+#include "workloads/bootup.hpp"
+#include "workloads/dbench.hpp"
+#include "workloads/kcompile.hpp"
+#include "workloads/netperf.hpp"
+#include "workloads/scp.hpp"
+
+namespace fmeter::workloads {
+
+const char* workload_kind_name(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::kKcompile: return "kcompile";
+    case WorkloadKind::kScp: return "scp";
+    case WorkloadKind::kDbench: return "dbench";
+    case WorkloadKind::kApachebench: return "apachebench";
+    case WorkloadKind::kNetperf151: return "netperf-myri10ge-1.5.1";
+    case WorkloadKind::kNetperf143: return "netperf-myri10ge-1.4.3";
+    case WorkloadKind::kNetperf151NoLro: return "netperf-myri10ge-1.5.1-nolro";
+    case WorkloadKind::kBootup: return "bootup";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Workload> make_workload(WorkloadKind kind,
+                                        simkern::KernelOps& ops) {
+  switch (kind) {
+    case WorkloadKind::kKcompile:
+      return std::make_unique<KcompileWorkload>(ops);
+    case WorkloadKind::kScp:
+      return std::make_unique<ScpWorkload>(ops);
+    case WorkloadKind::kDbench:
+      return std::make_unique<DbenchWorkload>(ops);
+    case WorkloadKind::kApachebench:
+      return std::make_unique<ApachebenchWorkload>(ops);
+    case WorkloadKind::kNetperf151:
+      return std::make_unique<NetperfWorkload>(ops, Myri10geVariant::kV151);
+    case WorkloadKind::kNetperf143:
+      return std::make_unique<NetperfWorkload>(ops, Myri10geVariant::kV143);
+    case WorkloadKind::kNetperf151NoLro:
+      return std::make_unique<NetperfWorkload>(ops, Myri10geVariant::kV151NoLro);
+    case WorkloadKind::kBootup:
+      return std::make_unique<BootupWorkload>(ops);
+  }
+  throw std::invalid_argument("make_workload: unknown kind");
+}
+
+}  // namespace fmeter::workloads

@@ -1,0 +1,57 @@
+// Workload driver interface.
+//
+// A workload issues logical units of application work against the simulated
+// kernel (one compiled translation unit, one HTTP request, one scp chunk...).
+// Workloads only talk to KernelOps — they never see tracers or counters —
+// so the identical instruction stream runs under vanilla, Ftrace and Fmeter
+// configurations, exactly like re-running the paper's benchmarks on
+// differently-instrumented kernels.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "simkern/cpu.hpp"
+#include "simkern/ops.hpp"
+
+namespace fmeter::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Runs one logical unit of the workload on the given CPU.
+  virtual void run_unit(simkern::CpuContext& cpu) = 0;
+
+  /// Abstract user-mode CPU work per unit (burned and accounted as `user`
+  /// time by the harness; invisible to tracers, like real user-mode code).
+  /// kcompile is dominated by it; dbench barely has any.
+  virtual std::uint32_t user_work_per_unit() const noexcept { return 0; }
+
+  /// One-time setup (establish connections, load driver modules, warm
+  /// caches). Default: nothing.
+  virtual void warmup(simkern::CpuContext& /*cpu*/) {}
+};
+
+/// Identifier for the workload factory.
+enum class WorkloadKind {
+  kKcompile,
+  kScp,
+  kDbench,
+  kApachebench,
+  kNetperf151,        ///< myri10ge 1.5.1, default parameters (LRO on)
+  kNetperf143,        ///< myri10ge 1.4.3, default parameters
+  kNetperf151NoLro,   ///< myri10ge 1.5.1, LRO disabled at load time
+  kBootup,
+};
+
+const char* workload_kind_name(WorkloadKind kind) noexcept;
+
+/// Creates a workload bound to `ops` (and through it the kernel).
+std::unique_ptr<Workload> make_workload(WorkloadKind kind,
+                                        simkern::KernelOps& ops);
+
+}  // namespace fmeter::workloads

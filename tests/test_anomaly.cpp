@@ -1,0 +1,96 @@
+#include "fmeter/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fmeter::core {
+namespace {
+
+std::vector<vsm::SparseVector> cluster(double center, std::size_t n,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<vsm::SparseVector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<vsm::SparseVector::Entry> entries;
+    for (int d = 0; d < 8; ++d) {
+      entries.emplace_back(d, center + rng.normal(0.0, 0.05));
+    }
+    out.push_back(vsm::SparseVector::from_entries(std::move(entries))
+                      .l2_normalized());
+  }
+  return out;
+}
+
+TEST(AnomalyDetector, NormalDataScoresBelowThreshold) {
+  AnomalyDetector detector;
+  const auto normal = cluster(1.0, 50, 1);
+  detector.fit(normal);
+  std::size_t alarms = 0;
+  for (const auto& signature : cluster(1.0, 50, 2)) {
+    alarms += detector.is_anomalous(signature);
+  }
+  EXPECT_LE(alarms, 3u);  // ~calibration quantile worth of false alarms
+}
+
+TEST(AnomalyDetector, ShiftedBehaviorFlagged) {
+  AnomalyDetector detector;
+  detector.fit(cluster(1.0, 50, 3));
+  // A genuinely different direction in signature space.
+  std::vector<vsm::SparseVector::Entry> odd;
+  for (int d = 8; d < 16; ++d) odd.emplace_back(d, 1.0);
+  const auto anomaly =
+      vsm::SparseVector::from_entries(std::move(odd)).l2_normalized();
+  EXPECT_TRUE(detector.is_anomalous(anomaly));
+  EXPECT_GT(detector.score(anomaly), detector.threshold() * 2);
+}
+
+TEST(AnomalyDetector, ScoreMonotoneInDistance) {
+  AnomalyDetector detector;
+  detector.fit(cluster(1.0, 30, 4));
+  // Blend increasing amounts of an orthogonal direction into a normal point.
+  const auto normal = cluster(1.0, 1, 5)[0];
+  double previous = -1.0;
+  for (const double mix : {0.0, 0.3, 0.7, 1.5}) {
+    auto blended = normal.plus(
+        vsm::SparseVector::from_entries({{20, mix}}));
+    const double s = detector.score(blended.l2_normalized());
+    EXPECT_GT(s, previous);
+    previous = s;
+  }
+}
+
+TEST(AnomalyDetector, EuclideanMetricWorks) {
+  AnomalyDetectorConfig config;
+  config.metric = AnomalyMetric::kEuclidean;
+  AnomalyDetector detector(config);
+  detector.fit(cluster(1.0, 30, 6));
+  EXPECT_FALSE(detector.is_anomalous(cluster(1.0, 1, 7)[0]));
+  std::vector<vsm::SparseVector::Entry> far = {{30, 1.0}};
+  EXPECT_TRUE(detector.is_anomalous(
+      vsm::SparseVector::from_entries(std::move(far)).l2_normalized()));
+}
+
+TEST(AnomalyDetector, QuantileControlsThreshold) {
+  const auto normal = cluster(1.0, 60, 8);
+  AnomalyDetectorConfig strict;
+  strict.calibration_quantile = 0.5;
+  AnomalyDetectorConfig lax;
+  lax.calibration_quantile = 1.0;
+  AnomalyDetector strict_detector(strict);
+  AnomalyDetector lax_detector(lax);
+  strict_detector.fit(normal);
+  lax_detector.fit(normal);
+  EXPECT_LT(strict_detector.threshold(), lax_detector.threshold());
+}
+
+TEST(AnomalyDetector, ErrorsOnMisuse) {
+  AnomalyDetector detector;
+  EXPECT_THROW(detector.score(vsm::SparseVector{}), std::logic_error);
+  const auto one = cluster(1.0, 1, 9);
+  EXPECT_THROW(detector.fit(one), std::invalid_argument);
+  EXPECT_FALSE(detector.fitted());
+}
+
+}  // namespace
+}  // namespace fmeter::core

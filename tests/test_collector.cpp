@@ -1,0 +1,93 @@
+#include "fmeter/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fmeter/system.hpp"
+
+namespace fmeter::core {
+namespace {
+
+SystemConfig small_system() {
+  SystemConfig config;
+  config.kernel.symbols.total_functions = 900;
+  config.kernel.num_cpus = 2;
+  return config;
+}
+
+class CollectorTest : public ::testing::Test {
+ protected:
+  CollectorTest() : system_(small_system()), collector_(system_.debugfs()) {}
+
+  MonitoredSystem system_;
+  SignatureCollector collector_;
+};
+
+TEST_F(CollectorTest, IntervalDiffMatchesActivity) {
+  auto& kernel = system_.kernel();
+  auto& cpu = kernel.cpu(0);
+  const auto fn = kernel.id_of("vfs_read");
+
+  // Activity before the interval must not leak in.
+  for (int i = 0; i < 50; ++i) kernel.invoke(cpu, fn);
+
+  collector_.begin_interval();
+  for (int i = 0; i < 7; ++i) kernel.invoke(cpu, fn);
+  const auto doc = collector_.end_interval("test", 10.0);
+
+  EXPECT_EQ(doc.count_of(fn), 7u);
+  EXPECT_EQ(doc.label, "test");
+  EXPECT_DOUBLE_EQ(doc.duration_s, 10.0);
+}
+
+TEST_F(CollectorTest, EndWithoutBeginThrows) {
+  EXPECT_THROW(collector_.end_interval("x", 1.0), std::logic_error);
+  EXPECT_FALSE(collector_.interval_open());
+}
+
+TEST_F(CollectorTest, IntervalOpenLifecycle) {
+  collector_.begin_interval();
+  EXPECT_TRUE(collector_.interval_open());
+  collector_.end_interval("x", 1.0);
+  EXPECT_FALSE(collector_.interval_open());
+}
+
+TEST_F(CollectorTest, RollIntervalChainsWithoutGaps) {
+  auto& kernel = system_.kernel();
+  auto& cpu = kernel.cpu(0);
+  const auto fn = kernel.id_of("kmalloc");
+
+  collector_.begin_interval();
+  for (int i = 0; i < 3; ++i) kernel.invoke(cpu, fn);
+  const auto first = collector_.roll_interval("a", 1.0);
+  for (int i = 0; i < 5; ++i) kernel.invoke(cpu, fn);
+  const auto second = collector_.roll_interval("b", 1.0);
+
+  EXPECT_EQ(first.count_of(fn), 3u);
+  EXPECT_EQ(second.count_of(fn), 5u);
+  EXPECT_TRUE(collector_.interval_open());  // still rolling
+}
+
+TEST_F(CollectorTest, MultiCpuActivityAggregated) {
+  auto& kernel = system_.kernel();
+  const auto fn = kernel.id_of("schedule");
+  collector_.begin_interval();
+  kernel.invoke(kernel.cpu(0), fn);
+  kernel.invoke(kernel.cpu(1), fn);
+  const auto doc = collector_.end_interval("smp", 1.0);
+  EXPECT_EQ(doc.count_of(fn), 2u);
+}
+
+TEST_F(CollectorTest, QuiescentIntervalIsEmptyDocument) {
+  collector_.begin_interval();
+  const auto doc = collector_.end_interval("idle", 1.0);
+  EXPECT_EQ(doc.total(), 0u);
+}
+
+TEST(Collector, MissingDebugfsPathThrows) {
+  trace::DebugFs fs;
+  SignatureCollector collector(fs, "does/not/exist");
+  EXPECT_THROW(collector.begin_interval(), trace::DebugFsError);
+}
+
+}  // namespace
+}  // namespace fmeter::core

@@ -1,0 +1,87 @@
+#include "vsm/corpus_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fmeter::vsm {
+namespace {
+
+Corpus sample_corpus() {
+  Corpus corpus;
+  corpus.add(CountDocument::from_counts({{0, 5}, {17, 2}}, "scp", 10.0));
+  corpus.add(CountDocument::from_counts({{3, 1}}, "kcompile", 2.5));
+  corpus.add(CountDocument::from_counts({}, "", 0.0));  // empty, unlabeled
+  return corpus;
+}
+
+TEST(CorpusIo, StreamRoundTrip) {
+  const Corpus original = sample_corpus();
+  std::stringstream buffer;
+  write_corpus(buffer, original);
+  const Corpus loaded = read_corpus(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]) << "doc " << i;
+  }
+}
+
+TEST(CorpusIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/corpus_io_test.fmc";
+  const Corpus original = sample_corpus();
+  save_corpus(path, original);
+  const Corpus loaded = load_corpus(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded[0], original[0]);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, RejectsBadMagic) {
+  std::stringstream buffer("not-a-corpus\n");
+  EXPECT_THROW(read_corpus(buffer), std::invalid_argument);
+}
+
+TEST(CorpusIo, RejectsTruncatedDocument) {
+  std::stringstream buffer("fmeter-corpus v1\ndoc a 1.0 3\n1 2\n");
+  EXPECT_THROW(read_corpus(buffer), std::invalid_argument);
+}
+
+TEST(CorpusIo, RejectsMalformedHeader) {
+  std::stringstream buffer("fmeter-corpus v1\ndoc onlylabel\n");
+  EXPECT_THROW(read_corpus(buffer), std::invalid_argument);
+}
+
+TEST(CorpusIo, RejectsMalformedEntry) {
+  std::stringstream buffer("fmeter-corpus v1\ndoc a 1.0 1\nx y\n");
+  EXPECT_THROW(read_corpus(buffer), std::invalid_argument);
+}
+
+TEST(CorpusIo, RejectsLabelWithSpace) {
+  Corpus corpus;
+  corpus.add(CountDocument::from_counts({{0, 1}}, "two words"));
+  std::stringstream buffer;
+  EXPECT_THROW(write_corpus(buffer, corpus), std::invalid_argument);
+}
+
+TEST(CorpusIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_corpus("/definitely/not/here.fmc"), std::runtime_error);
+}
+
+TEST(CorpusIo, EmptyCorpusRoundTrips) {
+  std::stringstream buffer;
+  write_corpus(buffer, Corpus{});
+  EXPECT_EQ(read_corpus(buffer).size(), 0u);
+}
+
+TEST(CorpusIo, PreservesDurations) {
+  Corpus corpus;
+  corpus.add(CountDocument::from_counts({{1, 1}}, "x", 3.25));
+  std::stringstream buffer;
+  write_corpus(buffer, corpus);
+  EXPECT_DOUBLE_EQ(read_corpus(buffer)[0].duration_s, 3.25);
+}
+
+}  // namespace
+}  // namespace fmeter::vsm

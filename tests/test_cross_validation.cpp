@@ -1,0 +1,159 @@
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fmeter::ml {
+namespace {
+
+Dataset gaussian_class(std::size_t n, double center, int label,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<vsm::SparseVector::Entry> entries;
+    for (int d = 0; d < 5; ++d) {
+      entries.emplace_back(d, center + rng.normal(0.0, 0.3));
+    }
+    data.push_back(
+        {vsm::SparseVector::from_entries(std::move(entries)).l2_normalized(),
+         label});
+  }
+  return data;
+}
+
+TEST(CrossValidation, PerfectOnSeparableData) {
+  const Dataset positives = gaussian_class(40, 2.0, +1, 1);
+  const Dataset negatives = gaussian_class(40, -2.0, -1, 2);
+  CrossValidationConfig config;
+  config.num_folds = 10;
+  const auto result = cross_validate_svm(positives, negatives, config);
+  ASSERT_EQ(result.folds.size(), 10u);
+  EXPECT_DOUBLE_EQ(result.mean_accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_precision(), 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_recall(), 1.0);
+  EXPECT_DOUBLE_EQ(result.stddev_accuracy(), 0.0);
+}
+
+TEST(CrossValidation, BaselineIsMajorityFraction) {
+  const Dataset positives = gaussian_class(30, 1.0, +1, 3);
+  const Dataset negatives = gaussian_class(60, -1.0, -1, 4);
+  CrossValidationConfig config;
+  config.num_folds = 5;
+  const auto result = cross_validate_svm(positives, negatives, config);
+  EXPECT_NEAR(result.baseline_accuracy, 60.0 / 90.0, 1e-12);
+}
+
+TEST(CrossValidation, EveryFoldTestedOnce) {
+  const Dataset positives = gaussian_class(30, 2.0, +1, 5);
+  const Dataset negatives = gaussian_class(30, -2.0, -1, 6);
+  CrossValidationConfig config;
+  config.num_folds = 6;
+  const auto result = cross_validate_svm(positives, negatives, config);
+  std::size_t total_tested = 0;
+  for (const auto& fold : result.folds) {
+    total_tested += fold.test_confusion.total();
+  }
+  // The union of test folds is the whole dataset, each example exactly once.
+  EXPECT_EQ(total_tested, positives.size() + negatives.size());
+}
+
+TEST(CrossValidation, ChosenCFromGrid) {
+  const Dataset positives = gaussian_class(20, 2.0, +1, 7);
+  const Dataset negatives = gaussian_class(20, -2.0, -1, 8);
+  CrossValidationConfig config;
+  config.num_folds = 4;
+  config.c_grid = {0.5, 7.0};
+  const auto result = cross_validate_svm(positives, negatives, config);
+  for (const auto& fold : result.folds) {
+    EXPECT_TRUE(fold.chosen_c == 0.5 || fold.chosen_c == 7.0);
+    EXPECT_GE(fold.validation_accuracy, 0.5);
+  }
+}
+
+TEST(CrossValidation, TooFewFoldsThrows) {
+  const Dataset positives = gaussian_class(10, 1.0, +1, 9);
+  const Dataset negatives = gaussian_class(10, -1.0, -1, 10);
+  CrossValidationConfig config;
+  config.num_folds = 2;  // no room for train/validation/test split
+  EXPECT_THROW(cross_validate_svm(positives, negatives, config),
+               std::invalid_argument);
+}
+
+TEST(CrossValidation, TooFewExamplesThrows) {
+  const Dataset positives = gaussian_class(3, 1.0, +1, 11);
+  const Dataset negatives = gaussian_class(30, -1.0, -1, 12);
+  CrossValidationConfig config;
+  config.num_folds = 10;
+  EXPECT_THROW(cross_validate_svm(positives, negatives, config),
+               std::invalid_argument);
+}
+
+TEST(CrossValidation, WrongLabelsThrow) {
+  Dataset positives = gaussian_class(10, 1.0, +1, 13);
+  Dataset negatives = gaussian_class(10, -1.0, -1, 14);
+  positives[0].label = -1;
+  CrossValidationConfig config;
+  config.num_folds = 3;
+  EXPECT_THROW(cross_validate_svm(positives, negatives, config),
+               std::invalid_argument);
+  positives[0].label = +1;
+  negatives[0].label = +1;
+  EXPECT_THROW(cross_validate_svm(positives, negatives, config),
+               std::invalid_argument);
+}
+
+TEST(CrossValidation, EmptyCGridThrows) {
+  const Dataset positives = gaussian_class(10, 1.0, +1, 15);
+  const Dataset negatives = gaussian_class(10, -1.0, -1, 16);
+  CrossValidationConfig config;
+  config.num_folds = 3;
+  config.c_grid = {};
+  EXPECT_THROW(cross_validate_svm(positives, negatives, config),
+               std::invalid_argument);
+}
+
+TEST(CrossValidation, DeterministicForSeed) {
+  const Dataset positives = gaussian_class(20, 1.5, +1, 17);
+  const Dataset negatives = gaussian_class(20, -1.5, -1, 18);
+  CrossValidationConfig config;
+  config.num_folds = 4;
+  config.seed = 77;
+  const auto a = cross_validate_svm(positives, negatives, config);
+  const auto b = cross_validate_svm(positives, negatives, config);
+  EXPECT_EQ(a.mean_accuracy(), b.mean_accuracy());
+  EXPECT_EQ(a.folds[0].chosen_c, b.folds[0].chosen_c);
+}
+
+TEST(Dataset, SampleWithoutReplacement) {
+  util::Rng rng(1);
+  Dataset population = gaussian_class(20, 0.0, +1, 19);
+  const Dataset sample = sample_without_replacement(population, 5, rng);
+  EXPECT_EQ(sample.size(), 5u);
+  EXPECT_THROW(sample_without_replacement(population, 21, rng),
+               std::invalid_argument);
+}
+
+TEST(Dataset, WithLabelAndDistinct) {
+  Dataset data = gaussian_class(5, 0.0, +1, 20);
+  Dataset negatives = gaussian_class(3, 0.0, -1, 21);
+  data.insert(data.end(), negatives.begin(), negatives.end());
+  EXPECT_EQ(with_label(data, +1).size(), 5u);
+  EXPECT_EQ(with_label(data, -1).size(), 3u);
+  const auto labels = distinct_labels(data);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], +1);
+  EXPECT_EQ(labels[1], -1);
+}
+
+TEST(Dataset, MajorityBaseline) {
+  Dataset data = gaussian_class(7, 0.0, +1, 22);
+  Dataset negatives = gaussian_class(3, 0.0, -1, 23);
+  data.insert(data.end(), negatives.begin(), negatives.end());
+  EXPECT_DOUBLE_EQ(majority_baseline(data), 0.7);
+  EXPECT_EQ(majority_baseline({}), 0.0);
+}
+
+}  // namespace
+}  // namespace fmeter::ml

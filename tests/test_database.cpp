@@ -1,0 +1,111 @@
+#include "fmeter/database.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmeter::core {
+namespace {
+
+vsm::SparseVector vec(std::vector<vsm::SparseVector::Entry> entries) {
+  return vsm::SparseVector::from_entries(std::move(entries)).l2_normalized();
+}
+
+SignatureDatabase three_class_db() {
+  SignatureDatabase db;
+  // Class "a" lives on axis 0, "b" on axis 1, "c" on axis 2, with jitter.
+  db.add(vec({{0, 1.0}, {1, 0.05}}), "a");
+  db.add(vec({{0, 1.0}, {2, 0.04}}), "a");
+  db.add(vec({{1, 1.0}, {0, 0.06}}), "b");
+  db.add(vec({{1, 1.0}, {2, 0.05}}), "b");
+  db.add(vec({{2, 1.0}, {0, 0.03}}), "c");
+  db.add(vec({{2, 1.0}, {1, 0.02}}), "c");
+  return db;
+}
+
+TEST(SignatureDatabase, AddAndAccess) {
+  SignatureDatabase db;
+  const auto id = db.add(vec({{0, 1.0}}), "label");
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.label(0), "label");
+  EXPECT_FALSE(db.empty());
+}
+
+TEST(SignatureDatabase, DistinctLabelsFirstSeenOrder) {
+  const auto db = three_class_db();
+  const auto labels = db.distinct_labels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "a");
+  EXPECT_EQ(labels[1], "b");
+  EXPECT_EQ(labels[2], "c");
+}
+
+TEST(SignatureDatabase, SearchReturnsNearestFirst) {
+  const auto db = three_class_db();
+  const auto hits = db.search(vec({{1, 1.0}}), 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].label, "b");
+  EXPECT_EQ(hits[1].label, "b");
+  EXPECT_GE(hits[0].score, hits[1].score);
+  EXPECT_GE(hits[1].score, hits[2].score);
+}
+
+TEST(SignatureDatabase, SearchKLargerThanDbClamps) {
+  const auto db = three_class_db();
+  EXPECT_EQ(db.search(vec({{0, 1.0}}), 100).size(), db.size());
+}
+
+TEST(SignatureDatabase, EuclideanSearchAgrees) {
+  const auto db = three_class_db();
+  const auto hits =
+      db.search(vec({{2, 1.0}}), 2, SimilarityMetric::kEuclidean);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].label, "c");
+  EXPECT_LE(hits[0].score, 0.0);  // negative distance convention
+}
+
+TEST(SignatureDatabase, SyndromesArePerLabelCentroids) {
+  const auto db = three_class_db();
+  const auto syndromes = db.syndromes();
+  ASSERT_EQ(syndromes.size(), 3u);
+  for (const auto& syndrome : syndromes) {
+    EXPECT_EQ(syndrome.support, 2u);
+    EXPECT_FALSE(syndrome.centroid.empty());
+  }
+  // Centroid of "a" must point mostly along axis 0.
+  EXPECT_GT(syndromes[0].centroid.at(0), 0.9);
+}
+
+TEST(SignatureDatabase, ClassifyBySyndrome) {
+  const auto db = three_class_db();
+  EXPECT_EQ(db.classify_by_syndrome(vec({{0, 1.0}, {1, 0.1}})), "a");
+  EXPECT_EQ(db.classify_by_syndrome(vec({{1, 1.0}})), "b");
+  EXPECT_EQ(db.classify_by_syndrome(vec({{2, 1.0}}),
+                                    SimilarityMetric::kEuclidean),
+            "c");
+}
+
+TEST(SignatureDatabase, ClassifyOnEmptyDbIsEmpty) {
+  SignatureDatabase db;
+  EXPECT_EQ(db.classify_by_syndrome(vec({{0, 1.0}})), "");
+}
+
+TEST(SignatureDatabase, MetaClusterGroupsSimilarClasses) {
+  SignatureDatabase db;
+  // Two "file I/O-ish" classes on overlapping axes, one networking class.
+  db.add(vec({{0, 1.0}, {1, 0.8}}), "dbench");
+  db.add(vec({{0, 0.9}, {1, 1.0}}), "kcompile-link");
+  db.add(vec({{5, 1.0}, {6, 0.7}}), "netperf");
+  const auto assignments = db.meta_cluster(2, 1);
+  ASSERT_EQ(assignments.size(), 3u);
+  EXPECT_EQ(assignments[0], assignments[1]);  // the two I/O classes merge
+  EXPECT_NE(assignments[0], assignments[2]);  // networking stands apart
+}
+
+TEST(SignatureDatabase, MetaClusterTooFewSyndromesThrows) {
+  SignatureDatabase db;
+  db.add(vec({{0, 1.0}}), "only");
+  EXPECT_THROW(db.meta_cluster(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmeter::core

@@ -1,0 +1,78 @@
+#include "trace/debugfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmeter::trace {
+namespace {
+
+TEST(DebugFs, RegisterAndRead) {
+  DebugFs fs;
+  fs.register_file("a/b", [] { return std::string("hello"); });
+  EXPECT_TRUE(fs.exists("a/b"));
+  EXPECT_EQ(fs.read("a/b"), "hello");
+}
+
+TEST(DebugFs, ReadMissingThrows) {
+  DebugFs fs;
+  EXPECT_THROW(fs.read("nope"), DebugFsError);
+}
+
+TEST(DebugFs, WriteHandlerInvoked) {
+  DebugFs fs;
+  std::string captured;
+  fs.register_file(
+      "ctl", [] { return std::string("state"); },
+      [&captured](std::string_view data) { captured = std::string(data); });
+  fs.write("ctl", "42");
+  EXPECT_EQ(captured, "42");
+}
+
+TEST(DebugFs, WriteToReadOnlyThrows) {
+  DebugFs fs;
+  fs.register_file("ro", [] { return std::string(); });
+  EXPECT_THROW(fs.write("ro", "x"), DebugFsError);
+}
+
+TEST(DebugFs, WriteMissingThrows) {
+  DebugFs fs;
+  EXPECT_THROW(fs.write("missing", "x"), DebugFsError);
+}
+
+TEST(DebugFs, ReRegistrationReplaces) {
+  DebugFs fs;
+  fs.register_file("f", [] { return std::string("one"); });
+  fs.register_file("f", [] { return std::string("two"); });
+  EXPECT_EQ(fs.read("f"), "two");
+}
+
+TEST(DebugFs, Unregister) {
+  DebugFs fs;
+  fs.register_file("gone", [] { return std::string(); });
+  fs.unregister("gone");
+  EXPECT_FALSE(fs.exists("gone"));
+}
+
+TEST(DebugFs, ListSorted) {
+  DebugFs fs;
+  fs.register_file("z", [] { return std::string(); });
+  fs.register_file("a", [] { return std::string(); });
+  fs.register_file("m", [] { return std::string(); });
+  const auto paths = fs.list();
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], "a");
+  EXPECT_EQ(paths[1], "m");
+  EXPECT_EQ(paths[2], "z");
+}
+
+TEST(DebugFs, ReadReflectsLiveState) {
+  DebugFs fs;
+  int counter = 0;
+  fs.register_file("counter",
+                   [&counter] { return std::to_string(counter); });
+  EXPECT_EQ(fs.read("counter"), "0");
+  counter = 7;
+  EXPECT_EQ(fs.read("counter"), "7");
+}
+
+}  // namespace
+}  // namespace fmeter::trace

@@ -1,0 +1,86 @@
+#include "vsm/document.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmeter::vsm {
+namespace {
+
+TEST(CountDocument, FromCountsSortsMergesDropsZeros) {
+  const auto doc = CountDocument::from_counts(
+      {{7, 2}, {3, 1}, {7, 3}, {5, 0}}, "label", 10.0);
+  ASSERT_EQ(doc.counts.size(), 2u);
+  EXPECT_EQ(doc.counts[0].first, 3u);
+  EXPECT_EQ(doc.counts[0].second, 1u);
+  EXPECT_EQ(doc.counts[1].first, 7u);
+  EXPECT_EQ(doc.counts[1].second, 5u);
+  EXPECT_EQ(doc.label, "label");
+  EXPECT_DOUBLE_EQ(doc.duration_s, 10.0);
+}
+
+TEST(CountDocument, TotalAndDistinct) {
+  const auto doc = CountDocument::from_counts({{1, 10}, {2, 20}, {9, 5}});
+  EXPECT_EQ(doc.total(), 35u);
+  EXPECT_EQ(doc.distinct_terms(), 3u);
+}
+
+TEST(CountDocument, CountOf) {
+  const auto doc = CountDocument::from_counts({{4, 9}});
+  EXPECT_EQ(doc.count_of(4), 9u);
+  EXPECT_EQ(doc.count_of(5), 0u);
+}
+
+TEST(CountDocument, EmptyDocument) {
+  const auto doc = CountDocument::from_counts({});
+  EXPECT_EQ(doc.total(), 0u);
+  EXPECT_EQ(doc.distinct_terms(), 0u);
+}
+
+TEST(Corpus, LabelsInFirstSeenOrder) {
+  Corpus corpus;
+  corpus.add(CountDocument::from_counts({{0, 1}}, "b"));
+  corpus.add(CountDocument::from_counts({{0, 1}}, "a"));
+  corpus.add(CountDocument::from_counts({{0, 1}}, "b"));
+  const auto labels = corpus.labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], "b");
+  EXPECT_EQ(labels[1], "a");
+}
+
+TEST(Corpus, UnlabeledDocumentsIgnoredByLabels) {
+  Corpus corpus;
+  corpus.add(CountDocument::from_counts({{0, 1}}));
+  EXPECT_TRUE(corpus.labels().empty());
+}
+
+TEST(Corpus, IndicesWithLabel) {
+  Corpus corpus;
+  corpus.add(CountDocument::from_counts({{0, 1}}, "x"));
+  corpus.add(CountDocument::from_counts({{0, 1}}, "y"));
+  corpus.add(CountDocument::from_counts({{0, 1}}, "x"));
+  const auto indices = corpus.indices_with_label("x");
+  ASSERT_EQ(indices.size(), 2u);
+  EXPECT_EQ(indices[0], 0u);
+  EXPECT_EQ(indices[1], 2u);
+}
+
+TEST(Corpus, DimensionBound) {
+  Corpus corpus;
+  EXPECT_EQ(corpus.dimension_bound(), 0u);
+  corpus.add(CountDocument::from_counts({{3, 1}}));
+  corpus.add(CountDocument::from_counts({{17, 1}}));
+  EXPECT_EQ(corpus.dimension_bound(), 18u);
+}
+
+TEST(Corpus, AppendMerges) {
+  Corpus a;
+  a.add(CountDocument::from_counts({{0, 1}}, "a"));
+  Corpus b;
+  b.add(CountDocument::from_counts({{0, 1}}, "b"));
+  b.add(CountDocument::from_counts({{0, 1}}, "c"));
+  a.append(std::move(b));
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2].label, "c");
+}
+
+}  // namespace
+}  // namespace fmeter::vsm

@@ -1,0 +1,135 @@
+#include "ml/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fmeter::ml {
+namespace {
+
+vsm::SparseVector vec2(double x, double y) {
+  return vsm::SparseVector::from_entries({{0, x}, {1, y}});
+}
+
+Dataset noisy_classes(std::size_t per_class, double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    const int pos = rng.bernoulli(noise) ? -1 : +1;
+    const int neg = rng.bernoulli(noise) ? +1 : -1;
+    data.push_back(
+        {vec2(1.0 + rng.normal(0.0, 0.4), rng.normal(0.0, 0.4)), pos});
+    data.push_back(
+        {vec2(-1.0 + rng.normal(0.0, 0.4), rng.normal(0.0, 0.4)), neg});
+  }
+  return data;
+}
+
+template <typename Model>
+double accuracy(const Model& model, const Dataset& data) {
+  std::size_t correct = 0;
+  for (const auto& example : data) {
+    correct += model.predict(example.x) == example.label;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+TEST(Bagging, LearnsCleanData) {
+  const Dataset data = noisy_classes(40, 0.0, 1);
+  const BaggedTrees forest = train_bagged_trees(data);
+  EXPECT_EQ(forest.size(), 15u);
+  EXPECT_GE(accuracy(forest, data), 0.97);
+}
+
+TEST(Bagging, GeneralizesBetterThanSingleTreeOnNoise) {
+  // Train on noisy data, evaluate on a clean holdout drawn from the same
+  // distribution: bagging's variance reduction should not lose to a single
+  // deep tree (and usually wins).
+  const Dataset train = noisy_classes(60, 0.12, 2);
+  const Dataset clean = noisy_classes(60, 0.0, 3);
+  DecisionTreeConfig deep;
+  deep.max_depth = 16;
+  deep.min_samples_leaf = 1;
+  const DecisionTree single = train_decision_tree(train, deep);
+  BaggingConfig config;
+  config.tree = deep;
+  config.num_trees = 21;
+  const BaggedTrees forest = train_bagged_trees(train, config);
+  EXPECT_GE(accuracy(forest, clean) + 0.02, accuracy(single, clean));
+}
+
+TEST(Bagging, DecisionValueBounded) {
+  const Dataset data = noisy_classes(20, 0.0, 4);
+  const BaggedTrees forest = train_bagged_trees(data);
+  for (const auto& example : data) {
+    const double value = forest.decision_value(example.x);
+    EXPECT_GE(value, -1.0);
+    EXPECT_LE(value, 1.0);
+  }
+}
+
+TEST(Bagging, InvalidConfigThrows) {
+  const Dataset data = noisy_classes(5, 0.0, 5);
+  BaggingConfig config;
+  config.num_trees = 0;
+  EXPECT_THROW(train_bagged_trees(data, config), std::invalid_argument);
+  EXPECT_THROW(train_bagged_trees({}, {}), std::invalid_argument);
+}
+
+TEST(AdaBoost, BoostsStumpsTowardDiagonalBoundary) {
+  // A diagonal boundary (x + y > 0): a single axis-aligned stump caps out
+  // well below 90%, while a boosted committee of stumps approximates the
+  // diagonal as a staircase — the classic AdaBoost demonstration.
+  util::Rng rng(6);
+  Dataset data;
+  for (int i = 0; i < 240; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    if (std::abs(x + y) < 0.1) continue;  // margin for determinism
+    data.push_back({vec2(x, y), x + y > 0.0 ? +1 : -1});
+  }
+  DecisionTreeConfig stump;
+  stump.max_depth = 1;
+  stump.min_samples_leaf = 1;
+  const DecisionTree single = train_decision_tree(data, stump);
+
+  AdaBoostConfig config;
+  config.num_rounds = 60;
+  config.weak = stump;
+  const AdaBoost boosted = train_adaboost(data, config);
+
+  EXPECT_LE(accuracy(single, data), 0.9);
+  EXPECT_GE(accuracy(boosted, data), 0.95);
+  EXPECT_GT(boosted.rounds(), 5u);
+  EXPECT_GT(accuracy(boosted, data), accuracy(single, data) + 0.05);
+}
+
+TEST(AdaBoost, PerfectWeakLearnerShortCircuits) {
+  const Dataset data = noisy_classes(30, 0.0, 7);
+  AdaBoostConfig config;
+  config.num_rounds = 50;
+  config.weak.max_depth = 6;  // strong enough to be perfect on round one
+  const AdaBoost boosted = train_adaboost(data, config);
+  EXPECT_EQ(boosted.rounds(), 1u);
+  EXPECT_DOUBLE_EQ(accuracy(boosted, data), 1.0);
+}
+
+TEST(AdaBoost, InvalidConfigThrows) {
+  AdaBoostConfig config;
+  config.num_rounds = 0;
+  const Dataset data = noisy_classes(5, 0.0, 8);
+  EXPECT_THROW(train_adaboost(data, config), std::invalid_argument);
+  EXPECT_THROW(train_adaboost({}, {}), std::invalid_argument);
+}
+
+TEST(AdaBoost, HandlesLabelNoiseGracefully) {
+  const Dataset train = noisy_classes(60, 0.1, 9);
+  const Dataset clean = noisy_classes(60, 0.0, 10);
+  const AdaBoost boosted = train_adaboost(train);
+  EXPECT_GE(accuracy(boosted, clean), 0.9);
+}
+
+}  // namespace
+}  // namespace fmeter::ml

@@ -1,0 +1,100 @@
+#include "vsm/feature_select.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmeter::vsm {
+namespace {
+
+SparseVector vec(std::vector<SparseVector::Entry> entries) {
+  return SparseVector::from_entries(std::move(entries));
+}
+
+std::vector<SparseVector> sample_vectors() {
+  // term 0: in all 4 (df 4), constant value (variance 0)
+  // term 1: in 2, large varying values
+  // term 2: in 3, small values
+  // term 9: in 1, huge value
+  return {
+      vec({{0, 1.0}, {1, 8.0}, {2, 0.1}}),
+      vec({{0, 1.0}, {2, 0.2}}),
+      vec({{0, 1.0}, {1, 2.0}, {2, 0.1}}),
+      vec({{0, 1.0}, {9, 50.0}}),
+  };
+}
+
+TEST(FeatureSelect, DocumentFrequencyOrder) {
+  const auto vectors = sample_vectors();
+  const auto top2 =
+      select_features(vectors, 2, FeatureScore::kDocumentFrequency);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 0u);  // df 4
+  EXPECT_EQ(top2[1], 2u);  // df 3
+}
+
+TEST(FeatureSelect, VarianceIgnoresConstantTerms) {
+  const auto vectors = sample_vectors();
+  const auto top2 = select_features(vectors, 2, FeatureScore::kVariance);
+  // term 9 (one 50, three 0) and term 1 (8, 0, 2, 0) vary most; term 0 not
+  // at all.
+  EXPECT_EQ(top2[0], 1u);
+  EXPECT_EQ(top2[1], 9u);
+}
+
+TEST(FeatureSelect, MeanWeightFavorsHeavyTerms) {
+  const auto vectors = sample_vectors();
+  const auto top1 = select_features(vectors, 1, FeatureScore::kMeanWeight);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0], 9u);  // mean 12.5 beats everything
+}
+
+TEST(FeatureSelect, KClampsToVocabulary) {
+  const auto vectors = sample_vectors();
+  const auto all =
+      select_features(vectors, 100, FeatureScore::kDocumentFrequency);
+  EXPECT_EQ(all.size(), 4u);  // only 4 distinct terms exist
+}
+
+TEST(FeatureSelect, ResultSortedAscending) {
+  const auto vectors = sample_vectors();
+  const auto kept = select_features(vectors, 3, FeatureScore::kVariance);
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_LT(kept[i - 1], kept[i]);
+  }
+}
+
+TEST(FeatureSelect, InvalidInputsThrow) {
+  EXPECT_THROW(select_features({}, 2, FeatureScore::kVariance),
+               std::invalid_argument);
+  const auto vectors = sample_vectors();
+  EXPECT_THROW(select_features(vectors, 0, FeatureScore::kVariance),
+               std::invalid_argument);
+}
+
+TEST(FeatureSelect, ProjectKeepsOnlySelected) {
+  const auto v = vec({{0, 1.0}, {3, 2.0}, {7, 3.0}});
+  const std::vector<SparseVector::Index> keep = {3, 8};
+  const auto projected = project(v, keep);
+  EXPECT_EQ(projected.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(projected.at(3), 2.0);
+  EXPECT_EQ(projected.at(0), 0.0);
+  EXPECT_EQ(projected.at(7), 0.0);
+}
+
+TEST(FeatureSelect, ProjectAllPreservesOrder) {
+  const auto vectors = sample_vectors();
+  const std::vector<SparseVector::Index> keep = {0, 1};
+  const auto projected = project_all(vectors, keep);
+  ASSERT_EQ(projected.size(), vectors.size());
+  EXPECT_DOUBLE_EQ(projected[0].at(1), 8.0);
+  EXPECT_EQ(projected[3].at(9), 0.0);
+}
+
+TEST(FeatureSelect, ScoreNames) {
+  EXPECT_STREQ(feature_score_name(FeatureScore::kDocumentFrequency),
+               "document-frequency");
+  EXPECT_STREQ(feature_score_name(FeatureScore::kVariance), "variance");
+  EXPECT_STREQ(feature_score_name(FeatureScore::kMeanWeight), "mean-weight");
+}
+
+}  // namespace
+}  // namespace fmeter::vsm

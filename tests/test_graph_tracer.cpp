@@ -1,0 +1,108 @@
+#include "trace/graph_tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "simkern/kernel.hpp"
+#include "trace/fmeter_tracer.hpp"
+
+namespace fmeter::trace {
+namespace {
+
+simkern::KernelConfig small_config() {
+  simkern::KernelConfig config;
+  config.symbols.total_functions = 900;
+  config.num_cpus = 2;
+  return config;
+}
+
+TEST(GraphTracer, CountsMatchInvocations) {
+  simkern::Kernel kernel(small_config());
+  GraphTracer tracer(kernel.symbols(), kernel.num_cpus());
+  kernel.install_tracer(&tracer);
+  const auto fn = kernel.id_of("vfs_read");
+  for (int i = 0; i < 25; ++i) kernel.invoke(kernel.cpu(0), fn);
+  EXPECT_EQ(tracer.stats(fn).calls, 25u);
+  EXPECT_EQ(tracer.counts().counts[fn], 25u);
+}
+
+TEST(GraphTracer, EntryExitPairingBalances) {
+  simkern::Kernel kernel(small_config());
+  GraphTracer tracer(kernel.symbols(), kernel.num_cpus());
+  kernel.install_tracer(&tracer);
+  for (int i = 0; i < 500; ++i) {
+    kernel.invoke(kernel.cpu(i % 2), static_cast<simkern::FunctionId>(i % 90));
+  }
+  EXPECT_EQ(tracer.open_frames(), 0u);
+}
+
+TEST(GraphTracer, DurationsPositiveAndOrdered) {
+  simkern::Kernel kernel(small_config());
+  GraphTracer tracer(kernel.symbols(), kernel.num_cpus());
+  kernel.install_tracer(&tracer);
+  const auto fn = kernel.id_of("schedule");
+  for (int i = 0; i < 100; ++i) kernel.invoke(kernel.cpu(0), fn);
+  const auto stats = tracer.stats(fn);
+  EXPECT_GT(stats.total_ns, 0u);
+  EXPECT_LE(stats.min_ns, stats.max_ns);
+  EXPECT_LE(stats.min_ns * stats.calls, stats.total_ns);
+  EXPECT_LE(stats.total_ns, stats.max_ns * stats.calls);
+}
+
+TEST(GraphTracer, WantsExitEventsOnlyForGraph) {
+  simkern::Kernel kernel(small_config());
+  GraphTracer graph(kernel.symbols(), 2);
+  FmeterTracer fmeter(kernel.symbols(), 2);
+  EXPECT_TRUE(graph.wants_exit_events());
+  EXPECT_FALSE(fmeter.wants_exit_events());
+}
+
+TEST(GraphTracer, SpuriousExitIgnored) {
+  simkern::Kernel kernel(small_config());
+  GraphTracer tracer(kernel.symbols(), 2);
+  // Exit without entry (tracer armed mid-call on the real system).
+  tracer.on_function_exit(kernel.cpu(0), 5);
+  EXPECT_EQ(tracer.stats(5).calls, 0u);
+  EXPECT_EQ(tracer.open_frames(), 0u);
+}
+
+TEST(GraphTracer, ReportListsHotFunctions) {
+  simkern::Kernel kernel(small_config());
+  GraphTracer tracer(kernel.symbols(), kernel.num_cpus());
+  kernel.install_tracer(&tracer);
+  for (int i = 0; i < 50; ++i) kernel.invoke(kernel.cpu(0), kernel.id_of("kmalloc"));
+  const std::string report = tracer.report(5);
+  EXPECT_NE(report.find("kmalloc"), std::string::npos);
+}
+
+TEST(GraphTracer, CostsMoreThanCountingTracer) {
+  simkern::Kernel kernel(small_config());
+  GraphTracer graph(kernel.symbols(), kernel.num_cpus());
+  FmeterTracer fmeter(kernel.symbols(), kernel.num_cpus());
+  auto& cpu = kernel.cpu(0);
+
+  auto time_with = [&](simkern::TraceHook* hook) {
+    kernel.install_tracer(hook);
+    for (int i = 0; i < 5000; ++i) kernel.invoke(cpu, 1);  // warm
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 50000; ++i) {
+      kernel.invoke(cpu, static_cast<simkern::FunctionId>(i % 800));
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const double fmeter_time = time_with(&fmeter);
+  const double graph_time = time_with(&graph);
+  // Two clock reads + two dispatches per call vs one plain increment.
+  EXPECT_GT(graph_time, fmeter_time * 1.5);
+}
+
+TEST(GraphTracer, ZeroCpusThrows) {
+  simkern::Kernel kernel(small_config());
+  EXPECT_THROW(GraphTracer(kernel.symbols(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmeter::trace

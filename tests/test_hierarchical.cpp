@@ -1,0 +1,163 @@
+#include "ml/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace fmeter::ml {
+namespace {
+
+std::vector<vsm::SparseVector> two_blobs(std::size_t per_blob,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<vsm::SparseVector> points;
+  for (int blob = 0; blob < 2; ++blob) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      std::vector<vsm::SparseVector::Entry> entries;
+      for (int d = 0; d < 6; ++d) {
+        entries.emplace_back(d, (blob == 0 ? 0.0 : 10.0) + rng.normal(0.0, 0.4));
+      }
+      points.push_back(vsm::SparseVector::from_entries(std::move(entries)));
+    }
+  }
+  return points;
+}
+
+TEST(Hierarchical, SinglePointDegenerateTree) {
+  const auto tree = agglomerate(two_blobs(1, 1));  // 2 points actually
+  EXPECT_EQ(tree.num_leaves, 2u);
+  EXPECT_EQ(tree.merges.size(), 1u);
+}
+
+TEST(Hierarchical, EmptyThrows) {
+  EXPECT_THROW(agglomerate({}), std::invalid_argument);
+}
+
+TEST(Hierarchical, MergeCountIsNMinusOne) {
+  const auto points = two_blobs(10, 2);
+  const auto tree = agglomerate(points);
+  EXPECT_EQ(tree.merges.size(), points.size() - 1);
+}
+
+// Figure 4's headline property: with two well-separated classes, the split
+// immediately below the root separates them perfectly.
+TEST(Hierarchical, PerfectRootSplitOnTwoClasses) {
+  const auto points = two_blobs(10, 3);
+  const auto tree = agglomerate(points);
+  const auto& root = tree.merges.back();
+  const auto left = tree.leaves_under(root.left);
+  const auto right = tree.leaves_under(root.right);
+  // One side must be exactly {0..9}, the other {10..19}.
+  auto is_first_blob = [](std::span<const std::size_t> leaves) {
+    return std::all_of(leaves.begin(), leaves.end(),
+                       [](std::size_t leaf) { return leaf < 10; });
+  };
+  EXPECT_TRUE((is_first_blob(left) && !is_first_blob(right) &&
+               left.size() == 10) ||
+              (is_first_blob(right) && !is_first_blob(left) &&
+               right.size() == 10));
+}
+
+TEST(Hierarchical, CutTwoMatchesClasses) {
+  const auto points = two_blobs(8, 4);
+  std::vector<int> labels(16);
+  for (int i = 0; i < 16; ++i) labels[i] = i < 8 ? 0 : 1;
+  for (const auto linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    HierarchicalConfig config;
+    config.linkage = linkage;
+    const auto tree = agglomerate(points, config);
+    const auto assignments = tree.cut(2);
+    EXPECT_DOUBLE_EQ(cluster_purity(assignments, labels), 1.0)
+        << linkage_name(linkage);
+  }
+}
+
+TEST(Hierarchical, CutKProducesKClusters) {
+  const auto points = two_blobs(10, 5);
+  const auto tree = agglomerate(points);
+  for (std::size_t k = 1; k <= points.size(); ++k) {
+    const auto assignments = tree.cut(k);
+    std::set<std::size_t> used(assignments.begin(), assignments.end());
+    EXPECT_EQ(used.size(), k) << "k=" << k;
+  }
+}
+
+TEST(Hierarchical, CutOutOfRangeThrows) {
+  const auto tree = agglomerate(two_blobs(3, 6));
+  EXPECT_THROW(tree.cut(0), std::invalid_argument);
+  EXPECT_THROW(tree.cut(7), std::invalid_argument);
+}
+
+TEST(Hierarchical, SingleLinkageHeightsNonDecreasing) {
+  const auto points = two_blobs(10, 7);
+  const auto tree = agglomerate(points);
+  for (std::size_t m = 1; m < tree.merges.size(); ++m) {
+    EXPECT_GE(tree.merges[m].height, tree.merges[m - 1].height - 1e-12);
+  }
+}
+
+TEST(Hierarchical, CompleteLinkageGrowsFasterThanSingle) {
+  const auto points = two_blobs(8, 8);
+  HierarchicalConfig single;
+  single.linkage = Linkage::kSingle;
+  HierarchicalConfig complete;
+  complete.linkage = Linkage::kComplete;
+  const auto s = agglomerate(points, single);
+  const auto c = agglomerate(points, complete);
+  EXPECT_LE(s.merges.back().height, c.merges.back().height + 1e-12);
+}
+
+TEST(Hierarchical, ParenStringContainsAllLeaves) {
+  const auto points = two_blobs(5, 9);
+  const auto tree = agglomerate(points);
+  const std::string rendered = tree.to_paren_string();
+  for (std::size_t leaf = 0; leaf < points.size(); ++leaf) {
+    EXPECT_NE(rendered.find(std::to_string(leaf)), std::string::npos)
+        << rendered;
+  }
+  // Balanced parentheses, n-1 pairs.
+  const auto opens = std::count(rendered.begin(), rendered.end(), '(');
+  const auto closes = std::count(rendered.begin(), rendered.end(), ')');
+  EXPECT_EQ(opens, closes);
+  EXPECT_EQ(static_cast<std::size_t>(opens), tree.merges.size());
+}
+
+TEST(Hierarchical, LeavesUnderRootIsEverything) {
+  const auto points = two_blobs(6, 10);
+  const auto tree = agglomerate(points);
+  auto leaves = tree.leaves_under(tree.merges.back().id);
+  std::sort(leaves.begin(), leaves.end());
+  ASSERT_EQ(leaves.size(), points.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) EXPECT_EQ(leaves[i], i);
+}
+
+TEST(Hierarchical, LeavesUnderBadNodeThrows) {
+  const auto tree = agglomerate(two_blobs(3, 11));
+  EXPECT_THROW(tree.leaves_under(999), std::out_of_range);
+}
+
+TEST(PairwiseDistances, SymmetricZeroDiagonal) {
+  const auto points = two_blobs(4, 12);
+  const auto dist = pairwise_distances(points);
+  const std::size_t n = points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(dist[i * n + i], 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(dist[i * n + j], dist[j * n + i]);
+    }
+  }
+}
+
+TEST(LinkageName, AllNamed) {
+  EXPECT_STREQ(linkage_name(Linkage::kSingle), "single");
+  EXPECT_STREQ(linkage_name(Linkage::kComplete), "complete");
+  EXPECT_STREQ(linkage_name(Linkage::kAverage), "average");
+}
+
+}  // namespace
+}  // namespace fmeter::ml

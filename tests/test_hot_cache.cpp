@@ -1,0 +1,114 @@
+// Tests for the §6 hot-function counter cache in FmeterTracer.
+#include <gtest/gtest.h>
+
+#include "simkern/kernel.hpp"
+#include "trace/fmeter_tracer.hpp"
+#include "util/rng.hpp"
+
+namespace fmeter::trace {
+namespace {
+
+simkern::KernelConfig small_config() {
+  simkern::KernelConfig config;
+  config.symbols.total_functions = 900;
+  config.num_cpus = 2;
+  return config;
+}
+
+FmeterTracerConfig hot_config(std::vector<simkern::FunctionId> hot) {
+  FmeterTracerConfig config;
+  config.hot_functions = std::move(hot);
+  return config;
+}
+
+TEST(HotCache, DisabledByDefault) {
+  simkern::Kernel kernel(small_config());
+  FmeterTracer tracer(kernel.symbols(), 2);
+  EXPECT_EQ(tracer.hot_set_size(), 0u);
+}
+
+TEST(HotCache, StubsPointAtHotArray) {
+  simkern::Kernel kernel(small_config());
+  FmeterTracer tracer(kernel.symbols(), 2, hot_config({5, 10, 20}));
+  EXPECT_EQ(tracer.hot_set_size(), 3u);
+  EXPECT_EQ(tracer.slot_of(5).page, FmeterTracer::kHotPage);
+  EXPECT_EQ(tracer.slot_of(10).page, FmeterTracer::kHotPage);
+  EXPECT_EQ(tracer.slot_of(10).slot, 1u);
+  EXPECT_NE(tracer.slot_of(6).page, FmeterTracer::kHotPage);
+}
+
+TEST(HotCache, DuplicatesDeduplicated) {
+  simkern::Kernel kernel(small_config());
+  FmeterTracer tracer(kernel.symbols(), 2, hot_config({7, 7, 7}));
+  EXPECT_EQ(tracer.hot_set_size(), 1u);
+}
+
+TEST(HotCache, OutOfRangeThrows) {
+  simkern::Kernel kernel(small_config());
+  EXPECT_THROW(FmeterTracer(kernel.symbols(), 2, hot_config({900})),
+               std::invalid_argument);
+}
+
+TEST(HotCache, CountingRemainsExactAcrossHotAndColdFunctions) {
+  simkern::Kernel kernel(small_config());
+  FmeterTracer tracer(kernel.symbols(), kernel.num_cpus(),
+                      hot_config({0, 1, 2, 3, 4, 5, 6, 7}));
+  kernel.install_tracer(&tracer);
+  auto& cpu = kernel.cpu(0);
+
+  util::Rng rng(3);
+  std::vector<std::uint64_t> expected(900, 0);
+  for (int i = 0; i < 50000; ++i) {
+    // Zipf-ish bias toward the hot set, plus a cold tail.
+    const auto fn = static_cast<simkern::FunctionId>(
+        rng.bernoulli(0.8) ? rng.below(8) : rng.below(900));
+    kernel.invoke(cpu, fn);
+    ++expected[fn];
+  }
+  const auto snap = tracer.snapshot();
+  for (std::size_t fn = 0; fn < 900; ++fn) {
+    EXPECT_EQ(snap.counts[fn], expected[fn]) << "fn " << fn;
+  }
+}
+
+TEST(HotCache, PerCpuIsolationHolds) {
+  simkern::Kernel kernel(small_config());
+  FmeterTracer tracer(kernel.symbols(), kernel.num_cpus(), hot_config({42}));
+  kernel.install_tracer(&tracer);
+  kernel.invoke(kernel.cpu(0), 42);
+  kernel.invoke(kernel.cpu(1), 42);
+  kernel.invoke(kernel.cpu(1), 42);
+  EXPECT_EQ(tracer.count_on_cpu(0, 42), 1u);
+  EXPECT_EQ(tracer.count_on_cpu(1, 42), 2u);
+}
+
+TEST(HotCache, ResetClearsHotCounters) {
+  simkern::Kernel kernel(small_config());
+  FmeterTracer tracer(kernel.symbols(), kernel.num_cpus(), hot_config({1}));
+  kernel.install_tracer(&tracer);
+  kernel.invoke(kernel.cpu(0), 1);
+  tracer.reset();
+  EXPECT_EQ(tracer.count(1), 0u);
+}
+
+TEST(HotCache, SnapshotEquivalentWithAndWithoutCache) {
+  // The optimization must be invisible in the data: identical call streams
+  // produce identical snapshots with the cache on or off.
+  simkern::Kernel kernel_a(small_config());
+  simkern::Kernel kernel_b(small_config());
+  FmeterTracer plain(kernel_a.symbols(), 1);
+  FmeterTracer cached(kernel_b.symbols(), 1,
+                      hot_config({0, 10, 20, 30, 40, 50}));
+  kernel_a.install_tracer(&plain);
+  kernel_b.install_tracer(&cached);
+  util::Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    const auto fn = static_cast<simkern::FunctionId>(rng.below(900));
+    kernel_a.invoke(kernel_a.cpu(0), fn);
+    kernel_b.invoke(kernel_b.cpu(0), fn);
+  }
+  EXPECT_EQ(plain.snapshot().counts, cached.snapshot().counts);
+}
+
+}  // namespace
+}  // namespace fmeter::trace

@@ -1,0 +1,226 @@
+// End-to-end integration tests: the paper's full pipeline on reduced scales.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "fmeter/fmeter.hpp"
+
+namespace fmeter {
+namespace {
+
+core::SystemConfig test_system() {
+  core::SystemConfig config;
+  config.kernel.num_cpus = 2;
+  return config;
+}
+
+core::SignatureGenConfig small_gen(std::size_t signatures = 30) {
+  core::SignatureGenConfig gen;
+  gen.signatures_per_workload = signatures;
+  gen.units_per_interval = 6;
+  gen.interval_jitter = 0.4;
+  return gen;
+}
+
+TEST(Integration, CollectedSignaturesCarryWorkloadLabels) {
+  core::MonitoredSystem system(test_system());
+  const auto corpus = core::collect_signatures(
+      system, workloads::WorkloadKind::kDbench, small_gen(10));
+  ASSERT_EQ(corpus.size(), 10u);
+  for (const auto& doc : corpus.documents()) {
+    EXPECT_EQ(doc.label, "dbench");
+    EXPECT_GT(doc.total(), 0u);
+    EXPECT_DOUBLE_EQ(doc.duration_s, 10.0);
+  }
+}
+
+TEST(Integration, TracerRestoredAfterCollection) {
+  core::MonitoredSystem system(test_system());
+  system.select_tracer(core::TracerKind::kVanilla);
+  core::collect_signatures(system, workloads::WorkloadKind::kScp, small_gen(3));
+  EXPECT_EQ(system.active_tracer(), core::TracerKind::kVanilla);
+}
+
+TEST(Integration, SameClassSignaturesMoreSimilarThanCrossClass) {
+  core::MonitoredSystem system(test_system());
+  const workloads::WorkloadKind kinds[] = {workloads::WorkloadKind::kScp,
+                                           workloads::WorkloadKind::kKcompile};
+  const auto corpus = core::collect_signatures(system, kinds, small_gen(20));
+  const auto signatures = core::signatures_from(corpus);
+  const auto scp = corpus.indices_with_label("scp");
+  const auto kcompile = corpus.indices_with_label("kcompile");
+  const double same =
+      vsm::cosine_similarity(signatures[scp[0]], signatures[scp[1]]);
+  const double cross =
+      vsm::cosine_similarity(signatures[scp[0]], signatures[kcompile[0]]);
+  EXPECT_GT(same, cross + 0.3);
+}
+
+// The paper's normalization claim (§3/§5): the collection interval length is
+// a daemon configuration parameter that does NOT majorly influence the
+// signatures, because tf normalizes by document length. Individual intervals
+// still carry phase noise, so the systematic effect is what must vanish:
+// the *centroid* of short-interval signatures must stay close to the
+// centroid of long-interval signatures of the same behavior, and far from a
+// different behavior's centroid.
+TEST(Integration, SignaturesInsensitiveToIntervalLength) {
+  core::MonitoredSystem system(test_system());
+  auto gen_short = small_gen(16);
+  gen_short.units_per_interval = 5;
+  auto gen_long = small_gen(16);
+  gen_long.units_per_interval = 20;
+
+  auto corpus = core::collect_signatures(
+      system, workloads::WorkloadKind::kApachebench, gen_short);
+  corpus.append(core::collect_signatures(
+      system, workloads::WorkloadKind::kApachebench, gen_long));
+  corpus.append(core::collect_signatures(
+      system, workloads::WorkloadKind::kKcompile, gen_short));
+  const auto signatures = core::signatures_from(corpus);
+
+  auto centroid = [&](std::size_t begin, std::size_t end) {
+    vsm::SparseVector sum;
+    for (std::size_t i = begin; i < end; ++i) sum = sum.plus(signatures[i]);
+    return sum.scaled(1.0 / static_cast<double>(end - begin));
+  };
+  const auto short_centroid = centroid(0, 16);
+  const auto long_centroid = centroid(16, 32);
+  const auto other_class = centroid(32, 48);
+
+  const double same_behavior =
+      vsm::cosine_similarity(short_centroid, long_centroid);
+  const double different_behavior =
+      vsm::cosine_similarity(short_centroid, other_class);
+  EXPECT_GT(same_behavior, 0.7);
+  EXPECT_GT(same_behavior, different_behavior + 0.3);
+}
+
+TEST(Integration, SvmDistinguishesWorkloadsEndToEnd) {
+  core::MonitoredSystem system(test_system());
+  const workloads::WorkloadKind kinds[] = {workloads::WorkloadKind::kScp,
+                                           workloads::WorkloadKind::kDbench};
+  const auto corpus = core::collect_signatures(system, kinds, small_gen(24));
+  const auto signatures = core::signatures_from(corpus);
+  const std::vector<std::string> pos = {"scp"};
+  const std::vector<std::string> neg = {"dbench"};
+  const auto positives = core::binary_dataset(corpus, signatures, pos, {});
+  const auto negatives = core::binary_dataset(corpus, signatures, {}, neg);
+
+  ml::CrossValidationConfig cv;
+  cv.num_folds = 4;
+  cv.c_grid = {1.0, 10.0};
+  const auto result = ml::cross_validate_svm(positives, negatives, cv);
+  EXPECT_GE(result.mean_accuracy(), 0.95);
+  EXPECT_GT(result.mean_accuracy(), result.baseline_accuracy);
+}
+
+TEST(Integration, KMeansClustersWorkloadsEndToEnd) {
+  core::MonitoredSystem system(test_system());
+  const workloads::WorkloadKind kinds[] = {workloads::WorkloadKind::kScp,
+                                           workloads::WorkloadKind::kKcompile};
+  const auto corpus = core::collect_signatures(system, kinds, small_gen(20));
+  const auto signatures = core::signatures_from(corpus);
+
+  std::vector<int> labels;
+  for (const auto& doc : corpus.documents()) {
+    labels.push_back(doc.label == "scp" ? 0 : 1);
+  }
+  ml::KMeansConfig config;
+  config.k = 2;
+  const auto result = ml::KMeans(config).fit(signatures);
+  EXPECT_GE(ml::cluster_purity(result.assignments, labels), 0.9);
+}
+
+TEST(Integration, DatabaseRoundTripClassification) {
+  core::MonitoredSystem system(test_system());
+  const workloads::WorkloadKind kinds[] = {workloads::WorkloadKind::kDbench,
+                                           workloads::WorkloadKind::kApachebench};
+  const auto corpus = core::collect_signatures(system, kinds, small_gen(15));
+  vsm::TfIdfModel model;
+  const auto signatures = core::signatures_from(corpus, {}, &model);
+
+  core::SignatureDatabase db;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    db.add(signatures[i], corpus[i].label);
+  }
+
+  // Fresh, unseen signatures classify to their own class.
+  auto probe_gen = small_gen(3);
+  probe_gen.seed ^= 0x1234;
+  const auto probes = core::collect_signatures(
+      system, workloads::WorkloadKind::kApachebench, probe_gen);
+  for (const auto& doc : probes.documents()) {
+    EXPECT_EQ(db.classify_by_syndrome(model.transform(doc)), "apachebench");
+  }
+}
+
+TEST(Integration, TracerOverheadOrdering) {
+  // vanilla <= fmeter << ftrace on identical instruction streams.
+  core::MonitoredSystem system(test_system());
+  auto& cpu = system.kernel().cpu(0);
+  auto workload = workloads::make_workload(workloads::WorkloadKind::kDbench,
+                                           system.ops());
+
+  auto time_units = [&](core::TracerKind kind, int units) {
+    system.select_tracer(kind);
+    for (int u = 0; u < units / 4; ++u) workload->run_unit(cpu);  // warm
+    const auto start = std::chrono::steady_clock::now();
+    for (int u = 0; u < units; ++u) workload->run_unit(cpu);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  const int units = 60;
+  const double vanilla = time_units(core::TracerKind::kVanilla, units);
+  const double fmeter = time_units(core::TracerKind::kFmeter, units);
+  const double ftrace = time_units(core::TracerKind::kFtrace, units);
+  // Generous bounds: timing on shared CI hardware is noisy.
+  EXPECT_LT(vanilla, ftrace);
+  EXPECT_LT(fmeter, ftrace);
+}
+
+TEST(Integration, FmeterCountsSurviveWhereFtraceOverruns) {
+  // Sustained load: the Ftrace ring loses events, Fmeter's counters cannot.
+  core::SystemConfig config = test_system();
+  config.ftrace.buffer_events_per_cpu = 512;  // deliberately tiny
+  core::MonitoredSystem system(config);
+  auto& cpu = system.kernel().cpu(0);
+  auto workload = workloads::make_workload(workloads::WorkloadKind::kDbench,
+                                           system.ops());
+
+  system.select_tracer(core::TracerKind::kFtrace);
+  for (int u = 0; u < 20; ++u) workload->run_unit(cpu);
+  EXPECT_GT(system.ftrace().overruns(), 0u);
+
+  system.select_tracer(core::TracerKind::kFmeter);
+  const auto snap_before = system.fmeter().snapshot();
+  const auto dispatched_before = cpu.calls_dispatched();
+  for (int u = 0; u < 20; ++u) workload->run_unit(cpu);
+  // Every single dispatched call was counted — no "events flying under the
+  // radar" (paper §1), unlike the overrunning ring buffer above.
+  EXPECT_EQ(system.fmeter().snapshot().total() - snap_before.total(),
+            cpu.calls_dispatched() - dispatched_before);
+}
+
+TEST(Integration, ModuleOpacityEndToEnd) {
+  // Driver-variant signatures register only core-kernel terms, and the
+  // variants remain distinguishable through that channel alone (Table 5).
+  core::MonitoredSystem system(test_system());
+  const workloads::WorkloadKind kinds[] = {
+      workloads::WorkloadKind::kNetperf151,
+      workloads::WorkloadKind::kNetperf151NoLro};
+  const auto corpus = core::collect_signatures(system, kinds, small_gen(15));
+  const auto signatures = core::signatures_from(corpus);
+
+  const auto with_lro = corpus.indices_with_label("myri10ge-1.5.1");
+  const auto no_lro = corpus.indices_with_label("myri10ge-1.5.1-nolro");
+  const double same = vsm::cosine_similarity(signatures[with_lro[0]],
+                                             signatures[with_lro[1]]);
+  const double cross = vsm::cosine_similarity(signatures[with_lro[0]],
+                                              signatures[no_lro[0]]);
+  EXPECT_GT(same, cross);
+}
+
+}  // namespace
+}  // namespace fmeter

@@ -1,0 +1,202 @@
+#include "simkern/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simkern/trace_hook.hpp"
+
+namespace fmeter::simkern {
+namespace {
+
+/// Records every hook invocation for inspection.
+class RecordingHook final : public TraceHook {
+ public:
+  void on_function_entry(CpuContext& cpu, FunctionId fn,
+                         FunctionId parent) noexcept override {
+    events.push_back({cpu.id(), fn, parent});
+  }
+  const char* name() const noexcept override { return "recording"; }
+
+  struct Event {
+    CpuId cpu;
+    FunctionId fn;
+    FunctionId parent;
+  };
+  std::vector<Event> events;
+};
+
+KernelConfig small_config() {
+  KernelConfig config;
+  config.symbols.total_functions = 900;
+  config.num_cpus = 4;
+  return config;
+}
+
+TEST(Kernel, ConstructsWithConfiguredCpus) {
+  Kernel kernel(small_config());
+  EXPECT_EQ(kernel.num_cpus(), 4u);
+  EXPECT_EQ(kernel.symbols().size(), 900u);
+}
+
+TEST(Kernel, ZeroCpusThrows) {
+  KernelConfig config = small_config();
+  config.num_cpus = 0;
+  EXPECT_THROW(Kernel{config}, std::invalid_argument);
+}
+
+TEST(Kernel, InvokeDispatchesToInstalledTracer) {
+  Kernel kernel(small_config());
+  RecordingHook hook;
+  kernel.install_tracer(&hook);
+  const FunctionId fn = kernel.id_of("vfs_read");
+  kernel.invoke(kernel.cpu(1), fn, kernel.id_of("sys_read"));
+  ASSERT_EQ(hook.events.size(), 1u);
+  EXPECT_EQ(hook.events[0].cpu, 1u);
+  EXPECT_EQ(hook.events[0].fn, fn);
+  EXPECT_EQ(hook.events[0].parent, kernel.id_of("sys_read"));
+}
+
+TEST(Kernel, VanillaInvokesNothing) {
+  Kernel kernel(small_config());
+  RecordingHook hook;
+  kernel.install_tracer(&hook);
+  kernel.install_tracer(nullptr);
+  kernel.invoke(kernel.cpu(0), 0);
+  EXPECT_TRUE(hook.events.empty());
+}
+
+TEST(Kernel, InvokeCountsDispatches) {
+  Kernel kernel(small_config());
+  auto& cpu = kernel.cpu(0);
+  const auto before = cpu.calls_dispatched();
+  for (int i = 0; i < 10; ++i) kernel.invoke(cpu, 3);
+  EXPECT_EQ(cpu.calls_dispatched(), before + 10);
+}
+
+TEST(Kernel, InvokeBurnsWork) {
+  Kernel kernel(small_config());
+  auto& cpu = kernel.cpu(0);
+  const auto before = cpu.work_sink();
+  kernel.invoke(cpu, 0);
+  EXPECT_NE(cpu.work_sink(), before);
+}
+
+TEST(Kernel, IdOfUnknownThrows) {
+  Kernel kernel(small_config());
+  EXPECT_THROW(kernel.id_of("not_a_symbol"), std::out_of_range);
+}
+
+TEST(CpuContext, PreemptCountBalance) {
+  CpuContext cpu(0, 1);
+  EXPECT_EQ(cpu.preempt_count(), 0u);
+  cpu.preempt_disable();
+  cpu.preempt_disable();
+  EXPECT_EQ(cpu.preempt_count(), 2u);
+  cpu.preempt_enable();
+  cpu.preempt_enable();
+  EXPECT_EQ(cpu.preempt_count(), 0u);
+}
+
+TEST(CpuContext, IndependentRngStreams) {
+  Kernel kernel(small_config());
+  auto& a = kernel.cpu(0).rng();
+  auto& b = kernel.cpu(1).rng();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+// --- module behavior ----------------------------------------------------------
+
+ModuleBlueprint test_module(std::uint32_t first_fn_bytes = 100) {
+  ModuleBlueprint bp;
+  bp.name = "testmod";
+  bp.version = "1.0";
+  bp.functions.push_back({"mod_fn_a", first_fn_bytes, 2, {"kmalloc", "memcpy"}});
+  bp.functions.push_back({"mod_fn_b", 200, 1, {"kfree"}});
+  return bp;
+}
+
+TEST(Kernel, LoadModuleResolvesRelocations) {
+  Kernel kernel(small_config());
+  Module& module = kernel.load_module(test_module());
+  EXPECT_EQ(module.name(), "testmod");
+  EXPECT_EQ(module.function_count(), 2u);
+  const auto& fn = module.function(module.function_index("mod_fn_a"));
+  ASSERT_EQ(fn.core_calls.size(), 2u);
+  EXPECT_EQ(fn.core_calls[0], kernel.id_of("kmalloc"));
+  EXPECT_EQ(fn.core_calls[1], kernel.id_of("memcpy"));
+}
+
+TEST(Kernel, LoadModuleUnknownRelocationThrows) {
+  Kernel kernel(small_config());
+  ModuleBlueprint bp = test_module();
+  bp.functions[0].core_calls.push_back("missing_symbol");
+  EXPECT_THROW(kernel.load_module(bp), std::out_of_range);
+}
+
+TEST(Kernel, ModuleLoadsInModuleArea) {
+  Kernel kernel(small_config());
+  Module& module = kernel.load_module(test_module());
+  EXPECT_GE(module.load_address(), kModuleAreaBase);
+}
+
+TEST(Kernel, FindAndUnloadModule) {
+  Kernel kernel(small_config());
+  kernel.load_module(test_module());
+  EXPECT_NE(kernel.find_module("testmod"), nullptr);
+  EXPECT_EQ(kernel.module_count(), 1u);
+  kernel.unload_module("testmod");
+  EXPECT_EQ(kernel.find_module("testmod"), nullptr);
+  EXPECT_EQ(kernel.module_count(), 0u);
+}
+
+TEST(Kernel, UnloadAbsentModuleIsNoop) {
+  Kernel kernel(small_config());
+  kernel.unload_module("ghost");
+  EXPECT_EQ(kernel.module_count(), 0u);
+}
+
+// Code changes shift every subsequent offset — the paper's reason for not
+// instrumenting modules (§3).
+TEST(Module, OffsetsShiftWhenEarlierFunctionChangesSize) {
+  Kernel kernel(small_config());
+  Module& v1 = kernel.load_module(test_module(100));
+  ModuleBlueprint changed = test_module(132);  // "slight modification"
+  changed.version = "1.1";
+  Module& v2 = kernel.load_module(changed);
+  const auto b1 = v1.function(v1.function_index("mod_fn_b")).offset;
+  const auto b2 = v2.function(v2.function_index("mod_fn_b")).offset;
+  EXPECT_NE(b1, b2);
+}
+
+TEST(Module, FunctionIndexThrowsForUnknown) {
+  Kernel kernel(small_config());
+  Module& module = kernel.load_module(test_module());
+  EXPECT_THROW(module.function_index("nope"), std::out_of_range);
+}
+
+TEST(Module, FunctionAddressesRelocated) {
+  Kernel kernel(small_config());
+  Module& module = kernel.load_module(test_module());
+  EXPECT_EQ(module.function_address(0), module.load_address());
+  EXPECT_GT(module.function_address(1), module.function_address(0));
+}
+
+// Module-local functions are invisible to the hook; their core-kernel calls
+// are not (the myri10ge experiment's channel, §4.2.1).
+TEST(Kernel, ModuleFunctionsInvisibleButCoreCallsTraced) {
+  Kernel kernel(small_config());
+  Module& module = kernel.load_module(test_module());
+  RecordingHook hook;
+  kernel.install_tracer(&hook);
+  kernel.invoke_module_function(kernel.cpu(0), module,
+                                module.function_index("mod_fn_a"));
+  ASSERT_EQ(hook.events.size(), 2u);  // kmalloc + memcpy, NOT mod_fn_a
+  EXPECT_EQ(hook.events[0].fn, kernel.id_of("kmalloc"));
+  EXPECT_EQ(hook.events[1].fn, kernel.id_of("memcpy"));
+}
+
+}  // namespace
+}  // namespace fmeter::simkern

@@ -1,0 +1,153 @@
+#include "ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace fmeter::ml {
+namespace {
+
+/// Two well-separated Gaussian blobs in a 10-dimensional space.
+std::pair<std::vector<vsm::SparseVector>, std::vector<int>> two_blobs(
+    std::size_t per_blob, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<vsm::SparseVector> points;
+  std::vector<int> labels;
+  for (int blob = 0; blob < 2; ++blob) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      std::vector<vsm::SparseVector::Entry> entries;
+      for (int d = 0; d < 10; ++d) {
+        const double center = blob == 0 ? 0.0 : 8.0;
+        entries.emplace_back(d, center + rng.normal(0.0, 0.5));
+      }
+      points.push_back(vsm::SparseVector::from_entries(std::move(entries)));
+      labels.push_back(blob);
+    }
+  }
+  return {points, labels};
+}
+
+TEST(KMeans, SeparatesTwoBlobsPerfectly) {
+  const auto [points, labels] = two_blobs(30, 1);
+  KMeansConfig config;
+  config.k = 2;
+  const auto result = KMeans(config).fit(points);
+  EXPECT_DOUBLE_EQ(cluster_purity(result.assignments, labels), 1.0);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(KMeans, AssignmentsWithinRange) {
+  const auto [points, labels] = two_blobs(10, 2);
+  KMeansConfig config;
+  config.k = 3;
+  const auto result = KMeans(config).fit(points);
+  ASSERT_EQ(result.assignments.size(), points.size());
+  for (const auto a : result.assignments) EXPECT_LT(a, 3u);
+}
+
+TEST(KMeans, KEqualsNPutsEachPointAlone) {
+  const auto [points, labels] = two_blobs(5, 3);
+  KMeansConfig config;
+  config.k = points.size();
+  const auto result = KMeans(config).fit(points);
+  std::set<std::size_t> used(result.assignments.begin(),
+                             result.assignments.end());
+  EXPECT_EQ(used.size(), points.size());
+  // Purity degenerates to 1.0 (paper §4.2.2's caveat about raising K).
+  EXPECT_DOUBLE_EQ(cluster_purity(result.assignments, labels), 1.0);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, DeterministicForSameSeed) {
+  const auto [points, labels] = two_blobs(20, 4);
+  KMeansConfig config;
+  config.k = 2;
+  config.seed = 99;
+  const auto a = KMeans(config).fit(points);
+  const auto b = KMeans(config).fit(points);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, CentroidsAreClusterMeans) {
+  const auto [points, labels] = two_blobs(20, 5);
+  KMeansConfig config;
+  config.k = 2;
+  const auto result = KMeans(config).fit(points);
+  const std::size_t dim = result.centroids[0].size();
+  const auto recomputed =
+      compute_centroids(points, result.assignments, 2, dim);
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      EXPECT_NEAR(result.centroids[c][d], recomputed[c][d], 1e-9);
+    }
+  }
+}
+
+TEST(KMeans, RandomInitAlsoWorksOnEasyData) {
+  const auto [points, labels] = two_blobs(25, 6);
+  KMeansConfig config;
+  config.k = 2;
+  config.plus_plus_init = false;
+  const auto result = KMeans(config).fit(points);
+  EXPECT_GE(cluster_purity(result.assignments, labels), 0.95);
+}
+
+TEST(KMeans, ZeroKThrows) {
+  const auto [points, labels] = two_blobs(5, 7);
+  KMeansConfig config;
+  config.k = 0;
+  EXPECT_THROW(KMeans(config).fit(points), std::invalid_argument);
+}
+
+TEST(KMeans, MorePointsThanClustersRequired) {
+  const auto [points, labels] = two_blobs(1, 8);  // 2 points
+  KMeansConfig config;
+  config.k = 5;
+  EXPECT_THROW(KMeans(config).fit(points), std::invalid_argument);
+}
+
+TEST(KMeans, AllClustersPopulated) {
+  const auto [points, labels] = two_blobs(30, 9);
+  KMeansConfig config;
+  config.k = 4;
+  const auto result = KMeans(config).fit(points);
+  std::set<std::size_t> used(result.assignments.begin(),
+                             result.assignments.end());
+  EXPECT_EQ(used.size(), 4u);  // empty-cluster reseeding keeps K alive
+}
+
+TEST(DistanceSqToCentroid, MatchesExplicitComputation) {
+  const auto p = vsm::SparseVector::from_entries({{0, 1.0}, {2, 3.0}});
+  const std::vector<double> centroid = {2.0, 1.0, 1.0};
+  // (1-2)^2 + (0-1)^2 + (3-1)^2 = 1 + 1 + 4
+  EXPECT_NEAR(distance_sq_to_centroid(p, centroid), 6.0, 1e-12);
+}
+
+TEST(DistanceSqToCentroid, PointBeyondCentroidDimension) {
+  const auto p = vsm::SparseVector::from_entries({{5, 2.0}});
+  const std::vector<double> centroid = {1.0};
+  EXPECT_NEAR(distance_sq_to_centroid(p, centroid), 1.0 + 4.0, 1e-12);
+}
+
+// Inertia is non-increasing in K on the same data (parameterized sweep).
+class KMeansInertiaSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansInertiaSweep, InertiaShrinksWithMoreClusters) {
+  const auto [points, labels] = two_blobs(25, 10);
+  KMeansConfig small;
+  small.k = GetParam();
+  KMeansConfig large;
+  large.k = GetParam() + 4;
+  const double inertia_small = KMeans(small).fit(points).inertia;
+  const double inertia_large = KMeans(large).fit(points).inertia;
+  EXPECT_LE(inertia_large, inertia_small * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansInertiaSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace fmeter::ml

@@ -1,0 +1,124 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fmeter::ml {
+namespace {
+
+TEST(ConfusionCounts, AddRoutesCorrectly) {
+  ConfusionCounts counts;
+  counts.add(+1, +1);  // tp
+  counts.add(+1, -1);  // fn
+  counts.add(-1, +1);  // fp
+  counts.add(-1, -1);  // tn
+  EXPECT_EQ(counts.true_positive, 1u);
+  EXPECT_EQ(counts.false_negative, 1u);
+  EXPECT_EQ(counts.false_positive, 1u);
+  EXPECT_EQ(counts.true_negative, 1u);
+  EXPECT_EQ(counts.total(), 4u);
+}
+
+TEST(ConfusionCounts, MetricsHandComputed) {
+  ConfusionCounts counts;
+  counts.true_positive = 8;
+  counts.false_positive = 2;
+  counts.true_negative = 9;
+  counts.false_negative = 1;
+  EXPECT_DOUBLE_EQ(counts.accuracy(), 17.0 / 20.0);
+  EXPECT_DOUBLE_EQ(counts.precision(), 8.0 / 10.0);
+  EXPECT_DOUBLE_EQ(counts.recall(), 8.0 / 9.0);
+  const double p = 0.8;
+  const double r = 8.0 / 9.0;
+  EXPECT_DOUBLE_EQ(counts.f1(), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionCounts, EmptyEdgeCases) {
+  ConfusionCounts counts;
+  EXPECT_EQ(counts.accuracy(), 0.0);
+  EXPECT_EQ(counts.precision(), 1.0);  // vacuously precise
+  EXPECT_EQ(counts.recall(), 1.0);
+  EXPECT_EQ(counts.f1(), 1.0);
+}
+
+TEST(ClusterPurity, HandExample) {
+  // Cluster 0: labels {1,1,2} -> 2 correct; cluster 1: {2,2} -> 2 correct.
+  const std::vector<std::size_t> assignments = {0, 0, 0, 1, 1};
+  const std::vector<int> labels = {1, 1, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(cluster_purity(assignments, labels), 4.0 / 5.0);
+}
+
+TEST(ClusterPurity, PerfectClustering) {
+  const std::vector<std::size_t> assignments = {0, 0, 1, 1};
+  const std::vector<int> labels = {7, 7, 9, 9};
+  EXPECT_DOUBLE_EQ(cluster_purity(assignments, labels), 1.0);
+}
+
+TEST(ClusterPurity, OneClusterPerPointIsAlwaysPure) {
+  // The paper's caveat: purity -> 1.0 as K -> n.
+  const std::vector<std::size_t> assignments = {0, 1, 2, 3};
+  const std::vector<int> labels = {1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(cluster_purity(assignments, labels), 1.0);
+}
+
+TEST(ClusterPurity, SingleClusterGivesMajorityFraction) {
+  const std::vector<std::size_t> assignments = {0, 0, 0, 0};
+  const std::vector<int> labels = {1, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(cluster_purity(assignments, labels), 0.75);
+}
+
+TEST(ClusterPurity, EmptyIsZero) {
+  EXPECT_EQ(cluster_purity({}, {}), 0.0);
+}
+
+TEST(ClusterPurity, SizeMismatchThrows) {
+  const std::vector<std::size_t> assignments = {0};
+  const std::vector<int> labels = {1, 2};
+  EXPECT_THROW(cluster_purity(assignments, labels), std::invalid_argument);
+}
+
+TEST(Nmi, PerfectAgreementIsOne) {
+  const std::vector<std::size_t> assignments = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> labels = {5, 5, 6, 6, 7, 7};
+  EXPECT_NEAR(normalized_mutual_information(assignments, labels), 1.0, 1e-9);
+}
+
+TEST(Nmi, SingleClusterAgainstManyLabelsIsZero) {
+  const std::vector<std::size_t> assignments = {0, 0, 0, 0};
+  const std::vector<int> labels = {1, 2, 1, 2};
+  EXPECT_NEAR(normalized_mutual_information(assignments, labels), 0.0, 1e-9);
+}
+
+TEST(Nmi, BetweenZeroAndOne) {
+  const std::vector<std::size_t> assignments = {0, 0, 1, 1, 0, 1};
+  const std::vector<int> labels = {1, 1, 1, 2, 2, 2};
+  const double nmi = normalized_mutual_information(assignments, labels);
+  EXPECT_GE(nmi, 0.0);
+  EXPECT_LE(nmi, 1.0);
+}
+
+TEST(RandIndex, PerfectAgreement) {
+  const std::vector<std::size_t> assignments = {0, 0, 1, 1};
+  const std::vector<int> labels = {3, 3, 4, 4};
+  EXPECT_DOUBLE_EQ(rand_index(assignments, labels), 1.0);
+}
+
+TEST(RandIndex, HandExample) {
+  // points: a=(c0,l1) b=(c0,l1) c=(c1,l1) d=(c1,l2)
+  // pairs: ab agree(same,same)=1, ac (diff,same)=0, ad (diff,diff)=1,
+  //        bc 0, bd 1, cd (same,diff)=0  => 3/6
+  const std::vector<std::size_t> assignments = {0, 0, 1, 1};
+  const std::vector<int> labels = {1, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(rand_index(assignments, labels), 0.5);
+}
+
+TEST(RandIndex, TrivialSizes) {
+  EXPECT_DOUBLE_EQ(rand_index({}, {}), 1.0);
+  const std::vector<std::size_t> one = {0};
+  const std::vector<int> one_label = {5};
+  EXPECT_DOUBLE_EQ(rand_index(one, one_label), 1.0);
+}
+
+}  // namespace
+}  // namespace fmeter::ml

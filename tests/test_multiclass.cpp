@@ -1,0 +1,140 @@
+#include "ml/multiclass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fmeter::ml {
+namespace {
+
+std::vector<OneVsRestSvm::Example> three_class_data(std::size_t per_class,
+                                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<OneVsRestSvm::Example> out;
+  const char* labels[] = {"alpha", "beta", "gamma"};
+  for (int cls = 0; cls < 3; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      std::vector<vsm::SparseVector::Entry> entries;
+      for (int d = 0; d < 4; ++d) {
+        const double center = d == cls ? 2.0 : 0.0;
+        entries.emplace_back(d, center + rng.normal(0.0, 0.2));
+      }
+      out.push_back({vsm::SparseVector::from_entries(std::move(entries))
+                         .l2_normalized(),
+                     labels[cls]});
+    }
+  }
+  return out;
+}
+
+TEST(OneVsRestSvm, ClassifiesThreeSeparableClasses) {
+  const auto data = three_class_data(25, 1);
+  OneVsRestSvm classifier;
+  classifier.fit(data);
+  EXPECT_EQ(classifier.classes().size(), 3u);
+  std::size_t correct = 0;
+  for (const auto& example : data) {
+    correct += classifier.classify(example.x) == example.label;
+  }
+  EXPECT_EQ(correct, data.size());
+}
+
+TEST(OneVsRestSvm, GeneralizesToUnseenPoints) {
+  OneVsRestSvm classifier;
+  classifier.fit(three_class_data(25, 2));
+  const auto fresh = three_class_data(10, 3);
+  std::size_t correct = 0;
+  for (const auto& example : fresh) {
+    correct += classifier.classify(example.x) == example.label;
+  }
+  EXPECT_GE(correct, fresh.size() - 2);
+}
+
+TEST(OneVsRestSvm, DecisionValueHighestForOwnClass) {
+  const auto data = three_class_data(20, 4);
+  OneVsRestSvm classifier;
+  classifier.fit(data);
+  const auto& example = data.front();  // class "alpha"
+  const double own = classifier.decision_value(example.x, "alpha");
+  EXPECT_GT(own, classifier.decision_value(example.x, "beta"));
+  EXPECT_GT(own, classifier.decision_value(example.x, "gamma"));
+}
+
+TEST(OneVsRestSvm, ErrorsOnMisuse) {
+  OneVsRestSvm classifier;
+  EXPECT_THROW(classifier.classify(vsm::SparseVector{}), std::logic_error);
+  std::vector<OneVsRestSvm::Example> one_class = {
+      {vsm::SparseVector::from_entries({{0, 1.0}}), "only"},
+      {vsm::SparseVector::from_entries({{1, 1.0}}), "only"},
+  };
+  EXPECT_THROW(classifier.fit(one_class), std::invalid_argument);
+  classifier.fit(three_class_data(10, 5));
+  EXPECT_THROW(classifier.decision_value(vsm::SparseVector{}, "nope"),
+               std::out_of_range);
+}
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix matrix({"a", "b"});
+  matrix.add("a", "a");
+  matrix.add("a", "a");
+  matrix.add("a", "b");
+  matrix.add("b", "b");
+  EXPECT_EQ(matrix.count("a", "a"), 2u);
+  EXPECT_EQ(matrix.count("a", "b"), 1u);
+  EXPECT_EQ(matrix.total(), 4u);
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, PerClassPrecisionRecall) {
+  ConfusionMatrix matrix({"a", "b"});
+  // a: 8 right, 2 predicted as b; b: 9 right, 1 predicted as a.
+  for (int i = 0; i < 8; ++i) matrix.add("a", "a");
+  for (int i = 0; i < 2; ++i) matrix.add("a", "b");
+  for (int i = 0; i < 9; ++i) matrix.add("b", "b");
+  matrix.add("b", "a");
+  EXPECT_DOUBLE_EQ(matrix.recall("a"), 0.8);
+  EXPECT_DOUBLE_EQ(matrix.precision("a"), 8.0 / 9.0);
+  EXPECT_DOUBLE_EQ(matrix.recall("b"), 0.9);
+  EXPECT_DOUBLE_EQ(matrix.precision("b"), 9.0 / 11.0);
+  EXPECT_GT(matrix.macro_f1(), 0.8);
+  EXPECT_LE(matrix.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, EmptyClassConventions) {
+  ConfusionMatrix matrix({"a", "b"});
+  matrix.add("a", "a");
+  // 'b' never appears: vacuous precision/recall of 1.
+  EXPECT_DOUBLE_EQ(matrix.precision("b"), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.recall("b"), 1.0);
+}
+
+TEST(ConfusionMatrix, UnknownLabelThrows) {
+  ConfusionMatrix matrix({"a"});
+  EXPECT_THROW(matrix.add("x", "a"), std::out_of_range);
+  EXPECT_THROW(matrix.count("a", "x"), std::out_of_range);
+  EXPECT_THROW(ConfusionMatrix({}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, RenderingContainsAllClasses) {
+  ConfusionMatrix matrix({"scp", "dbench"});
+  matrix.add("scp", "dbench");
+  const std::string text = matrix.to_string();
+  EXPECT_NE(text.find("scp"), std::string::npos);
+  EXPECT_NE(text.find("dbench"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, EndToEndWithClassifier) {
+  const auto train = three_class_data(25, 6);
+  const auto test = three_class_data(12, 7);
+  OneVsRestSvm classifier;
+  classifier.fit(train);
+  ConfusionMatrix matrix(classifier.classes());
+  for (const auto& example : test) {
+    matrix.add(example.label, classifier.classify(example.x));
+  }
+  EXPECT_GE(matrix.accuracy(), 0.9);
+  EXPECT_GE(matrix.macro_f1(), 0.9);
+}
+
+}  // namespace
+}  // namespace fmeter::ml

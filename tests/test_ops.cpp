@@ -1,0 +1,271 @@
+#include "simkern/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "simkern/trace_hook.hpp"
+
+namespace fmeter::simkern {
+namespace {
+
+class CountingHook final : public TraceHook {
+ public:
+  void on_function_entry(CpuContext&, FunctionId fn,
+                         FunctionId) noexcept override {
+    ++counts[fn];
+    ++total;
+  }
+  const char* name() const noexcept override { return "counting"; }
+
+  std::map<FunctionId, std::uint64_t> counts;
+  std::uint64_t total = 0;
+};
+
+class OpsTest : public ::testing::Test {
+ protected:
+  OpsTest() : kernel_(make_config()), ops_(kernel_) {
+    kernel_.install_tracer(&hook_);
+  }
+
+  static KernelConfig make_config() {
+    KernelConfig config;
+    config.num_cpus = 2;
+    return config;
+  }
+
+  std::set<FunctionId> run_and_collect(
+      const std::function<void(KernelOps&, CpuContext&)>& op) {
+    hook_.counts.clear();
+    hook_.total = 0;
+    op(ops_, kernel_.cpu(0));
+    std::set<FunctionId> seen;
+    for (const auto& [fn, count] : hook_.counts) seen.insert(fn);
+    return seen;
+  }
+
+  Kernel kernel_;
+  KernelOps ops_;
+  CountingHook hook_;
+};
+
+TEST_F(OpsTest, EveryOpIssuesCalls) {
+  const std::vector<std::function<void(KernelOps&, CpuContext&)>> all_ops = {
+      [](KernelOps& o, CpuContext& c) { o.simple_syscall(c); },
+      [](KernelOps& o, CpuContext& c) { o.simple_read(c); },
+      [](KernelOps& o, CpuContext& c) { o.simple_write(c); },
+      [](KernelOps& o, CpuContext& c) { o.simple_stat(c); },
+      [](KernelOps& o, CpuContext& c) { o.simple_fstat(c); },
+      [](KernelOps& o, CpuContext& c) { o.simple_open_close(c); },
+      [](KernelOps& o, CpuContext& c) { o.select_fds(c, 10, false); },
+      [](KernelOps& o, CpuContext& c) { o.select_fds(c, 10, true); },
+      [](KernelOps& o, CpuContext& c) { o.signal_install(c); },
+      [](KernelOps& o, CpuContext& c) { o.signal_deliver(c); },
+      [](KernelOps& o, CpuContext& c) { o.protection_fault(c); },
+      [](KernelOps& o, CpuContext& c) { o.pipe_ping_pong(c); },
+      [](KernelOps& o, CpuContext& c) { o.af_unix_ping_pong(c); },
+      [](KernelOps& o, CpuContext& c) { o.unix_connection(c); },
+      [](KernelOps& o, CpuContext& c) { o.fcntl_lock(c); },
+      [](KernelOps& o, CpuContext& c) { o.semaphore_op(c); },
+      [](KernelOps& o, CpuContext& c) { o.fork_exit(c); },
+      [](KernelOps& o, CpuContext& c) { o.fork_execve(c); },
+      [](KernelOps& o, CpuContext& c) { o.fork_sh(c); },
+      [](KernelOps& o, CpuContext& c) { o.mmap_file(c, 4); },
+      [](KernelOps& o, CpuContext& c) { o.pagefaults(c, 4); },
+      [](KernelOps& o, CpuContext& c) { o.open_read_close(c, 4, 0.9); },
+      [](KernelOps& o, CpuContext& c) { o.create_write_close(c, 4); },
+      [](KernelOps& o, CpuContext& c) { o.unlink_file(c); },
+      [](KernelOps& o, CpuContext& c) { o.stat_file(c); },
+      [](KernelOps& o, CpuContext& c) { o.fsync_file(c); },
+      [](KernelOps& o, CpuContext& c) { o.readdir_dir(c); },
+      [](KernelOps& o, CpuContext& c) { o.http_request(c, 1, 0.9); },
+      [](KernelOps& o, CpuContext& c) { o.scp_chunk(c, 4); },
+      [](KernelOps& o, CpuContext& c) { o.timer_tick(c); },
+      [](KernelOps& o, CpuContext& c) { o.context_switch(c); },
+      [](KernelOps& o, CpuContext& c) { o.tcp_rx_segment(c, 2); },
+      [](KernelOps& o, CpuContext& c) { o.tcp_tx_segment(c, 2); },
+      [](KernelOps& o, CpuContext& c) { o.crypto_checksum(c, 2); },
+      [](KernelOps& o, CpuContext& c) { o.background_noise(c, 50); },
+      [](KernelOps& o, CpuContext& c) { o.futex_contend(c); },
+      [](KernelOps& o, CpuContext& c) { o.epoll_wait_cycle(c, 4); },
+      [](KernelOps& o, CpuContext& c) { o.epoll_wait_cycle(c, 0); },
+      [](KernelOps& o, CpuContext& c) { o.nanosleep_op(c); },
+      [](KernelOps& o, CpuContext& c) { o.shm_cycle(c); },
+      [](KernelOps& o, CpuContext& c) { o.msgq_send_recv(c); },
+  };
+  for (std::size_t i = 0; i < all_ops.size(); ++i) {
+    const auto seen = run_and_collect(all_ops[i]);
+    EXPECT_GT(seen.size(), 0u) << "op " << i << " issued no calls";
+  }
+}
+
+TEST_F(OpsTest, ReadHitsVfsReadPath) {
+  const auto seen = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.simple_read(c); });
+  EXPECT_TRUE(seen.contains(kernel_.id_of("sys_read")));
+  EXPECT_TRUE(seen.contains(kernel_.id_of("vfs_read")));
+  EXPECT_TRUE(seen.contains(kernel_.id_of("copy_to_user")));
+}
+
+TEST_F(OpsTest, WritePathDistinctFromReadPath) {
+  const auto reads = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.simple_read(c); });
+  const auto writes = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.simple_write(c); });
+  EXPECT_TRUE(writes.contains(kernel_.id_of("vfs_write")));
+  EXPECT_FALSE(writes.contains(kernel_.id_of("vfs_read")));
+  EXPECT_FALSE(reads.contains(kernel_.id_of("vfs_write")));
+}
+
+TEST_F(OpsTest, ForkPathsTouchProcessLifecycle) {
+  const auto seen = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.fork_exit(c); });
+  for (const char* name : {"do_fork", "copy_process", "do_exit", "sys_wait4",
+                           "release_task"}) {
+    EXPECT_TRUE(seen.contains(kernel_.id_of(name))) << name;
+  }
+}
+
+TEST_F(OpsTest, ExecveLoadsElf) {
+  const auto seen = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.fork_execve(c); });
+  EXPECT_TRUE(seen.contains(kernel_.id_of("do_execve")));
+  EXPECT_TRUE(seen.contains(kernel_.id_of("load_elf_binary")));
+}
+
+TEST_F(OpsTest, TcpRxWalksFullStack) {
+  const auto seen = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.tcp_rx_segment(c, 8); });
+  for (const char* name : {"netif_receive_skb", "ip_rcv", "tcp_v4_rcv",
+                           "tcp_rcv_established", "tcp_data_queue"}) {
+    EXPECT_TRUE(seen.contains(kernel_.id_of(name))) << name;
+  }
+}
+
+TEST_F(OpsTest, SelectScalesWithFdCount) {
+  run_and_collect([](KernelOps& o, CpuContext& c) { o.select_fds(c, 10, false); });
+  const auto total_10 = hook_.total;
+  run_and_collect([](KernelOps& o, CpuContext& c) { o.select_fds(c, 100, false); });
+  const auto total_100 = hook_.total;
+  EXPECT_GT(total_100, total_10 * 5);
+}
+
+TEST_F(OpsTest, TcpSelectUsesSockPoll) {
+  const auto tcp = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.select_fds(c, 10, true); });
+  EXPECT_TRUE(tcp.contains(kernel_.id_of("sock_poll")));
+  const auto pipe = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.select_fds(c, 10, false); });
+  EXPECT_FALSE(pipe.contains(kernel_.id_of("sock_poll")));
+}
+
+TEST_F(OpsTest, ColdReadsReachBlockLayer) {
+  const auto seen = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.open_read_close(c, 64, 0.0); });
+  EXPECT_TRUE(seen.contains(kernel_.id_of("submit_bio")));
+  EXPECT_TRUE(seen.contains(kernel_.id_of("scsi_dispatch_cmd")));
+}
+
+TEST_F(OpsTest, HotReadsAvoidBlockLayer) {
+  const auto seen = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.open_read_close(c, 8, 1.0); });
+  EXPECT_FALSE(seen.contains(kernel_.id_of("scsi_dispatch_cmd")));
+}
+
+TEST_F(OpsTest, WritesJournalThroughExt3) {
+  const auto seen = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.create_write_close(c, 16); });
+  EXPECT_TRUE(seen.contains(kernel_.id_of("ext3_write_begin")));
+  EXPECT_TRUE(seen.contains(kernel_.id_of("journal_start")));
+}
+
+TEST_F(OpsTest, PreemptCountBalancedAfterEveryOp) {
+  auto& cpu = kernel_.cpu(0);
+  ops_.fork_sh(cpu);
+  ops_.http_request(cpu, 2, 0.5);
+  ops_.scp_chunk(cpu, 8);
+  ops_.timer_tick(cpu);
+  ops_.futex_contend(cpu);
+  ops_.shm_cycle(cpu);
+  EXPECT_EQ(cpu.preempt_count(), 0u);
+}
+
+TEST_F(OpsTest, FutexPathTouchesHashAndWake) {
+  const auto seen = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.futex_contend(c); });
+  EXPECT_TRUE(seen.contains(kernel_.id_of("hash_futex")));
+  EXPECT_TRUE(seen.contains(kernel_.id_of("futex_wait")));
+  EXPECT_TRUE(seen.contains(kernel_.id_of("futex_wake")));
+}
+
+TEST_F(OpsTest, EpollIdleCycleBlocksInsteadOfDelivering) {
+  const auto idle = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.epoll_wait_cycle(c, 0); });
+  EXPECT_TRUE(idle.contains(kernel_.id_of("schedule_timeout")));
+  EXPECT_FALSE(idle.contains(kernel_.id_of("ep_send_events")));
+  const auto busy = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.epoll_wait_cycle(c, 8); });
+  EXPECT_TRUE(busy.contains(kernel_.id_of("ep_send_events")));
+}
+
+TEST_F(OpsTest, ShmCycleMapsAndUnmaps) {
+  const auto seen = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.shm_cycle(c); });
+  EXPECT_TRUE(seen.contains(kernel_.id_of("do_shmat")));
+  EXPECT_TRUE(seen.contains(kernel_.id_of("do_mmap_pgoff")));
+  EXPECT_TRUE(seen.contains(kernel_.id_of("do_munmap")));
+}
+
+TEST_F(OpsTest, MsgQueueRoundTrip) {
+  const auto seen = run_and_collect(
+      [](KernelOps& o, CpuContext& c) { o.msgq_send_recv(c); });
+  EXPECT_TRUE(seen.contains(kernel_.id_of("load_msg")));
+  EXPECT_TRUE(seen.contains(kernel_.id_of("store_msg")));
+}
+
+TEST_F(OpsTest, DeterministicForSameSeed) {
+  Kernel kernel_a(make_config());
+  Kernel kernel_b(make_config());
+  KernelOps ops_a(kernel_a);
+  KernelOps ops_b(kernel_b);
+  CountingHook hook_a;
+  CountingHook hook_b;
+  kernel_a.install_tracer(&hook_a);
+  kernel_b.install_tracer(&hook_b);
+  for (int i = 0; i < 10; ++i) {
+    ops_a.http_request(kernel_a.cpu(0), 2, 0.7);
+    ops_b.http_request(kernel_b.cpu(0), 2, 0.7);
+  }
+  EXPECT_EQ(hook_a.counts, hook_b.counts);
+}
+
+TEST_F(OpsTest, BootSweepIsHeavyTailed) {
+  hook_.counts.clear();
+  ops_.boot_init_sweep(kernel_.cpu(0), 200000, 1.5);
+  // Rank 0 towers over the median rank (Figure 1 shape).
+  const auto head = hook_.counts[0];
+  EXPECT_GT(head, 1000u);
+  const auto mid = hook_.counts.contains(1900) ? hook_.counts[1900] : 0;
+  EXPECT_GT(head, mid * 50);
+}
+
+TEST_F(OpsTest, BackgroundNoiseHeadStableAcrossIntervals) {
+  // The head of the noise ranking should recur; deep-tail functions only
+  // sometimes. Run two "intervals" and compare supports.
+  hook_.counts.clear();
+  ops_.background_noise(kernel_.cpu(0), 500);
+  const auto first = hook_.counts;
+  hook_.counts.clear();
+  ops_.background_noise(kernel_.cpu(0), 500);
+  const auto second = hook_.counts;
+  std::size_t in_both = 0;
+  for (const auto& [fn, count] : first) in_both += second.contains(fn);
+  EXPECT_GT(in_both, first.size() / 4);  // substantial recurring core
+  EXPECT_LT(in_both, first.size());      // but not identical support
+}
+
+}  // namespace
+}  // namespace fmeter::simkern

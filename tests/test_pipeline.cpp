@@ -1,0 +1,82 @@
+#include "fmeter/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmeter::core {
+namespace {
+
+vsm::Corpus labeled_corpus() {
+  vsm::Corpus corpus;
+  corpus.add(vsm::CountDocument::from_counts({{0, 5}, {1, 1}}, "scp"));
+  corpus.add(vsm::CountDocument::from_counts({{1, 4}, {2, 2}}, "kcompile"));
+  corpus.add(vsm::CountDocument::from_counts({{0, 2}, {2, 7}}, "dbench"));
+  corpus.add(vsm::CountDocument::from_counts({{0, 1}, {1, 1}}, "scp"));
+  return corpus;
+}
+
+TEST(Pipeline, SignaturesAlignedWithCorpus) {
+  const auto corpus = labeled_corpus();
+  const auto vectors = signatures_from(corpus);
+  EXPECT_EQ(vectors.size(), corpus.size());
+}
+
+TEST(Pipeline, ModelCopiedOut) {
+  const auto corpus = labeled_corpus();
+  vsm::TfIdfModel model;
+  signatures_from(corpus, {}, &model);
+  EXPECT_TRUE(model.fitted());
+  EXPECT_EQ(model.num_documents(), corpus.size());
+}
+
+TEST(Pipeline, OptionsPropagate) {
+  const auto corpus = labeled_corpus();
+  vsm::TfIdfOptions options;
+  options.l2_normalize = false;
+  options.weighting = vsm::Weighting::kRawCount;
+  const auto vectors = signatures_from(corpus, options);
+  EXPECT_DOUBLE_EQ(vectors[0].at(0), 5.0);
+}
+
+TEST(Pipeline, BinaryDatasetMapsLabels) {
+  const auto corpus = labeled_corpus();
+  const auto vectors = signatures_from(corpus);
+  const std::vector<std::string> pos = {"scp"};
+  const std::vector<std::string> neg = {"kcompile", "dbench"};
+  const auto data = binary_dataset(corpus, vectors, pos, neg);
+  ASSERT_EQ(data.size(), 4u);
+  EXPECT_EQ(data[0].label, +1);
+  EXPECT_EQ(data[1].label, -1);
+  EXPECT_EQ(data[2].label, -1);
+  EXPECT_EQ(data[3].label, +1);
+}
+
+TEST(Pipeline, BinaryDatasetDropsOtherLabels) {
+  const auto corpus = labeled_corpus();
+  const auto vectors = signatures_from(corpus);
+  const std::vector<std::string> pos = {"scp"};
+  const std::vector<std::string> neg = {"kcompile"};
+  const auto data = binary_dataset(corpus, vectors, pos, neg);
+  EXPECT_EQ(data.size(), 3u);  // dbench dropped
+}
+
+TEST(Pipeline, BinaryDatasetMisalignmentThrows) {
+  const auto corpus = labeled_corpus();
+  std::vector<vsm::SparseVector> wrong(2);
+  const std::vector<std::string> pos = {"scp"};
+  const std::vector<std::string> neg = {"kcompile"};
+  EXPECT_THROW(binary_dataset(corpus, wrong, pos, neg), std::invalid_argument);
+}
+
+TEST(Pipeline, MulticlassDatasetIndicesMatchLabelOrder) {
+  const auto corpus = labeled_corpus();
+  const auto vectors = signatures_from(corpus);
+  const std::vector<std::string> labels = {"kcompile", "scp"};
+  const auto data = multiclass_dataset(corpus, vectors, labels);
+  ASSERT_EQ(data.size(), 3u);  // dbench dropped
+  EXPECT_EQ(data[0].label, 1);  // scp
+  EXPECT_EQ(data[1].label, 0);  // kcompile
+  EXPECT_EQ(data[2].label, 1);  // scp
+}
+
+}  // namespace
+}  // namespace fmeter::core

@@ -1,0 +1,85 @@
+#include "fmeter/retrieval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmeter::core {
+namespace {
+
+vsm::SparseVector vec(std::vector<vsm::SparseVector::Entry> entries) {
+  return vsm::SparseVector::from_entries(std::move(entries)).l2_normalized();
+}
+
+SignatureDatabase axis_db() {
+  SignatureDatabase db;
+  db.add(vec({{0, 1.0}, {1, 0.05}}), "a");
+  db.add(vec({{0, 1.0}, {2, 0.04}}), "a");
+  db.add(vec({{0, 0.9}, {1, 0.10}}), "a");
+  db.add(vec({{1, 1.0}, {0, 0.06}}), "b");
+  db.add(vec({{1, 1.0}, {2, 0.02}}), "b");
+  db.add(vec({{1, 0.95}, {0, 0.03}}), "b");
+  return db;
+}
+
+TEST(Retrieval, PerfectSeparationScoresPerfectly) {
+  const auto db = axis_db();
+  const std::vector<RetrievalQuery> queries = {
+      {vec({{0, 1.0}}), "a"},
+      {vec({{1, 1.0}}), "b"},
+  };
+  const auto quality = evaluate_retrieval(db, queries, 3);
+  EXPECT_DOUBLE_EQ(quality.precision_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(quality.mean_reciprocal_rank, 1.0);
+  EXPECT_DOUBLE_EQ(quality.top1_accuracy, 1.0);
+  EXPECT_EQ(quality.num_queries, 2u);
+  EXPECT_EQ(quality.k, 3u);
+}
+
+TEST(Retrieval, WrongLabelScoresZero) {
+  const auto db = axis_db();
+  const std::vector<RetrievalQuery> queries = {
+      {vec({{0, 1.0}}), "no-such-label"},
+  };
+  const auto quality = evaluate_retrieval(db, queries, 3);
+  EXPECT_DOUBLE_EQ(quality.precision_at_k, 0.0);
+  EXPECT_DOUBLE_EQ(quality.mean_reciprocal_rank, 0.0);
+  EXPECT_DOUBLE_EQ(quality.top1_accuracy, 0.0);
+}
+
+TEST(Retrieval, PartialPrecisionHandComputed) {
+  // Query near axis 0 but k=5 > the 3 'a' entries: 3 relevant of 5.
+  const auto db = axis_db();
+  const std::vector<RetrievalQuery> queries = {{vec({{0, 1.0}}), "a"}};
+  const auto quality = evaluate_retrieval(db, queries, 5);
+  EXPECT_DOUBLE_EQ(quality.precision_at_k, 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(quality.mean_reciprocal_rank, 1.0);
+}
+
+TEST(Retrieval, ReciprocalRankBelowOneWhenFirstHitWrong) {
+  SignatureDatabase db;
+  db.add(vec({{0, 1.0}}), "other");           // exact match, wrong label
+  db.add(vec({{0, 0.9}, {1, 0.3}}), "right"); // near match, right label
+  const std::vector<RetrievalQuery> queries = {{vec({{0, 1.0}}), "right"}};
+  const auto quality = evaluate_retrieval(db, queries, 2);
+  EXPECT_DOUBLE_EQ(quality.mean_reciprocal_rank, 0.5);
+  EXPECT_DOUBLE_EQ(quality.top1_accuracy, 0.0);
+}
+
+TEST(Retrieval, EuclideanMetricSupported) {
+  const auto db = axis_db();
+  const std::vector<RetrievalQuery> queries = {{vec({{1, 1.0}}), "b"}};
+  const auto quality =
+      evaluate_retrieval(db, queries, 3, SimilarityMetric::kEuclidean);
+  EXPECT_DOUBLE_EQ(quality.precision_at_k, 1.0);
+}
+
+TEST(Retrieval, InvalidInputsThrow) {
+  const auto db = axis_db();
+  const std::vector<RetrievalQuery> queries = {{vec({{0, 1.0}}), "a"}};
+  EXPECT_THROW(evaluate_retrieval(SignatureDatabase{}, queries, 3),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_retrieval(db, {}, 3), std::invalid_argument);
+  EXPECT_THROW(evaluate_retrieval(db, queries, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmeter::core

@@ -1,0 +1,125 @@
+#include "trace/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace fmeter::trace {
+namespace {
+
+TraceEvent event(std::uint32_t fn) {
+  TraceEvent e;
+  e.timestamp_ns = fn * 10;
+  e.fn = fn;
+  e.parent = fn + 1;
+  return e;
+}
+
+TEST(TraceRingBuffer, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRingBuffer(100).capacity(), 128u);
+  EXPECT_EQ(TraceRingBuffer(64).capacity(), 64u);
+  EXPECT_EQ(TraceRingBuffer(2).capacity(), 2u);
+}
+
+TEST(TraceRingBuffer, TinyCapacityThrows) {
+  EXPECT_THROW(TraceRingBuffer(0), std::invalid_argument);
+  EXPECT_THROW(TraceRingBuffer(1), std::invalid_argument);
+}
+
+TEST(TraceRingBuffer, FifoOrder) {
+  TraceRingBuffer buffer(8);
+  for (std::uint32_t i = 0; i < 5; ++i) buffer.push(event(i));
+  const auto drained = buffer.drain();
+  ASSERT_EQ(drained.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(drained[i].fn, i);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(TraceRingBuffer, OverwritesOldestWhenFull) {
+  TraceRingBuffer buffer(4);
+  for (std::uint32_t i = 0; i < 6; ++i) buffer.push(event(i));
+  EXPECT_EQ(buffer.overruns(), 2u);
+  const auto drained = buffer.drain();
+  ASSERT_EQ(drained.size(), 4u);
+  EXPECT_EQ(drained.front().fn, 2u);  // 0 and 1 overwritten
+  EXPECT_EQ(drained.back().fn, 5u);
+}
+
+TEST(TraceRingBuffer, EntriesWrittenCountsEverything) {
+  TraceRingBuffer buffer(4);
+  for (std::uint32_t i = 0; i < 10; ++i) buffer.push(event(i));
+  EXPECT_EQ(buffer.entries_written(), 10u);
+}
+
+TEST(TraceRingBuffer, DrainRespectsMaxEvents) {
+  TraceRingBuffer buffer(16);
+  for (std::uint32_t i = 0; i < 10; ++i) buffer.push(event(i));
+  const auto first = buffer.drain(3);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].fn, 0u);
+  EXPECT_EQ(buffer.size(), 7u);
+  const auto rest = buffer.drain();
+  EXPECT_EQ(rest.size(), 7u);
+  EXPECT_EQ(rest.front().fn, 3u);
+}
+
+TEST(TraceRingBuffer, DrainEmptyIsEmpty) {
+  TraceRingBuffer buffer(4);
+  EXPECT_TRUE(buffer.drain().empty());
+}
+
+TEST(TraceRingBuffer, WrapAroundManyTimesStaysConsistent) {
+  TraceRingBuffer buffer(8);
+  for (std::uint32_t i = 0; i < 1000; ++i) buffer.push(event(i));
+  EXPECT_EQ(buffer.size(), 8u);
+  const auto drained = buffer.drain();
+  ASSERT_EQ(drained.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(drained[i].fn, 992u + i);
+  }
+  EXPECT_EQ(buffer.entries_written(), 1000u);
+  EXPECT_EQ(buffer.overruns(), 992u);
+}
+
+TEST(TraceRingBuffer, EventPayloadPreserved) {
+  TraceRingBuffer buffer(4);
+  TraceEvent e;
+  e.timestamp_ns = 12345;
+  e.fn = 7;
+  e.parent = 8;
+  e.cpu = 3;
+  buffer.push(e);
+  const auto drained = buffer.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].timestamp_ns, 12345u);
+  EXPECT_EQ(drained[0].fn, 7u);
+  EXPECT_EQ(drained[0].parent, 8u);
+  EXPECT_EQ(drained[0].cpu, 3u);
+}
+
+// Writer/reader race: the lock must keep the invariant
+// drained + buffered + overrun == written.
+TEST(TraceRingBuffer, ConcurrentWriterAndReader) {
+  TraceRingBuffer buffer(64);
+  constexpr std::uint32_t kEvents = 100000;
+  std::atomic<bool> done{false};
+  std::uint64_t drained_count = 0;
+
+  std::thread writer([&] {
+    for (std::uint32_t i = 0; i < kEvents; ++i) buffer.push(event(i));
+    done.store(true);
+  });
+  std::thread reader([&] {
+    while (!done.load()) drained_count += buffer.drain(16).size();
+    drained_count += buffer.drain().size();
+  });
+  writer.join();
+  reader.join();
+
+  EXPECT_EQ(buffer.entries_written(), kEvents);
+  EXPECT_EQ(drained_count + buffer.overruns(), kEvents);
+}
+
+}  // namespace
+}  // namespace fmeter::trace

@@ -1,0 +1,78 @@
+#include "trace/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmeter::trace {
+namespace {
+
+CounterSnapshot snap(std::vector<std::uint64_t> counts) {
+  CounterSnapshot s;
+  s.counts = std::move(counts);
+  return s;
+}
+
+TEST(CounterSnapshot, TotalAndNonzero) {
+  const auto s = snap({0, 5, 0, 7});
+  EXPECT_EQ(s.total(), 12u);
+  EXPECT_EQ(s.nonzero(), 2u);
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(CounterSnapshot, DiffComputesInterval) {
+  const auto before = snap({1, 10, 3});
+  const auto after = snap({4, 10, 9});
+  const auto delta = after.diff(before);
+  EXPECT_EQ(delta.counts, (std::vector<std::uint64_t>{3, 0, 6}));
+}
+
+TEST(CounterSnapshot, DiffSaturatesOnCounterReset) {
+  const auto before = snap({5});
+  const auto after = snap({2});  // tracer was reset mid-interval
+  EXPECT_EQ(after.diff(before).counts[0], 0u);
+}
+
+TEST(CounterSnapshot, DiffSizeMismatchThrows) {
+  EXPECT_THROW(snap({1}).diff(snap({1, 2})), std::invalid_argument);
+}
+
+TEST(CounterSnapshot, ToDocumentSkipsZeros) {
+  const auto doc = snap({0, 3, 0, 4}).to_document("label", 10.0);
+  ASSERT_EQ(doc.counts.size(), 2u);
+  EXPECT_EQ(doc.counts[0], (std::pair<std::uint32_t, std::uint64_t>{1, 3}));
+  EXPECT_EQ(doc.counts[1], (std::pair<std::uint32_t, std::uint64_t>{3, 4}));
+  EXPECT_EQ(doc.label, "label");
+  EXPECT_DOUBLE_EQ(doc.duration_s, 10.0);
+}
+
+TEST(CounterSnapshot, SerializeDeserializeRoundTrip) {
+  const auto original = snap({0, 42, 0, 0, 7, 199});
+  const auto parsed = CounterSnapshot::deserialize(original.serialize());
+  EXPECT_EQ(parsed.counts, original.counts);
+}
+
+TEST(CounterSnapshot, SerializeIsSparse) {
+  const auto s = snap({0, 0, 0, 5});
+  const std::string text = s.serialize();
+  // Header + a single "3 5" line.
+  EXPECT_EQ(text, "4\n3 5\n");
+}
+
+TEST(CounterSnapshot, DeserializeEmptySnapshot) {
+  const auto parsed = CounterSnapshot::deserialize("3\n");
+  EXPECT_EQ(parsed.counts, (std::vector<std::uint64_t>{0, 0, 0}));
+}
+
+TEST(CounterSnapshot, DeserializeMalformedThrows) {
+  EXPECT_THROW(CounterSnapshot::deserialize("abc"), std::invalid_argument);
+  EXPECT_THROW(CounterSnapshot::deserialize("2\n5 1\n"), std::invalid_argument);
+  EXPECT_THROW(CounterSnapshot::deserialize("2\n0 x\n"), std::invalid_argument);
+}
+
+TEST(CounterSnapshot, RoundTripLargeValues) {
+  const auto original = snap({0, 0xffffffffffffffffULL});
+  const auto parsed = CounterSnapshot::deserialize(original.serialize());
+  EXPECT_EQ(parsed.counts[1], 0xffffffffffffffffULL);
+}
+
+}  // namespace
+}  // namespace fmeter::trace

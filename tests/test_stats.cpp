@@ -1,0 +1,141 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fmeter::util {
+namespace {
+
+TEST(Stats, MeanOfKnownSample) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, VarianceUnbiased) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // mean 5, sum squared deviations 32, n-1 = 7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs = {3.0};
+  EXPECT_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, StddevIsRootVariance) {
+  const std::vector<double> xs = {1.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(variance(xs)));
+}
+
+TEST(Stats, SemShrinksWithN) {
+  const std::vector<double> small = {1.0, 2.0, 3.0};
+  std::vector<double> large;
+  for (int r = 0; r < 100; ++r) {
+    large.insert(large.end(), small.begin(), small.end());
+  }
+  EXPECT_GT(sem(small), sem(large));
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(Stats, PercentileEmptyThrows) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_EQ(min(xs), -1.0);
+  EXPECT_EQ(max(xs), 7.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {10.0, 20.0, 30.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {30.0, 20.0, 10.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Rng rng(1);
+  std::vector<double> xs;
+  RunningStats running;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    xs.push_back(x);
+    running.add(x);
+  }
+  EXPECT_NEAR(running.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(running.variance(), variance(xs), 1e-9);
+  EXPECT_NEAR(running.sem(), sem(xs), 1e-9);
+  EXPECT_EQ(running.count(), xs.size());
+  EXPECT_EQ(running.min(), min(xs));
+  EXPECT_EQ(running.max(), max(xs));
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  Rng rng(2);
+  RunningStats a;
+  RunningStats b;
+  RunningStats whole;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(Stats, FitLineExact) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};  // y = 1 + 2x
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineRequiresTwoPoints) {
+  EXPECT_THROW(fit_line(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmeter::util

@@ -1,0 +1,198 @@
+#include "ml/svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fmeter::ml {
+namespace {
+
+vsm::SparseVector vec2(double x, double y) {
+  return vsm::SparseVector::from_entries({{0, x}, {1, y}});
+}
+
+Dataset linearly_separable(std::size_t per_class, std::uint64_t seed,
+                           double noise = 0.0) {
+  util::Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    const int flip_pos = noise > 0.0 && rng.bernoulli(noise) ? -1 : 1;
+    const int flip_neg = noise > 0.0 && rng.bernoulli(noise) ? -1 : 1;
+    data.push_back(
+        {vec2(1.0 + rng.normal(0.0, 0.2), 1.0 + rng.normal(0.0, 0.2)),
+         +1 * flip_pos});
+    data.push_back(
+        {vec2(-1.0 + rng.normal(0.0, 0.2), -1.0 + rng.normal(0.0, 0.2)),
+         -1 * flip_neg});
+  }
+  return data;
+}
+
+double train_accuracy(const SvmModel& model, const Dataset& data) {
+  std::size_t correct = 0;
+  for (const auto& example : data) {
+    correct += model.predict(example.x) == example.label;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+TEST(Svm, LinearKernelSeparatesLinearData) {
+  const Dataset data = linearly_separable(40, 1);
+  SvmConfig config;
+  config.kernel.type = SvmKernelType::kLinear;
+  config.c = 10.0;
+  const SvmModel model = train_svm(data, config);
+  EXPECT_DOUBLE_EQ(train_accuracy(model, data), 1.0);
+}
+
+TEST(Svm, PolynomialKernelSeparatesLinearData) {
+  const Dataset data = linearly_separable(40, 2);
+  SvmConfig config;  // default polynomial, like SVMlight -t 1
+  config.c = 10.0;
+  const SvmModel model = train_svm(data, config);
+  EXPECT_DOUBLE_EQ(train_accuracy(model, data), 1.0);
+}
+
+// XOR is the classic non-linearly-separable pattern: the linear kernel must
+// fail, the polynomial kernel must succeed.
+TEST(Svm, XorNeedsNonLinearKernel) {
+  util::Rng rng(3);
+  Dataset data;
+  for (int i = 0; i < 30; ++i) {
+    auto jitter = [&rng] { return rng.normal(0.0, 0.1); };
+    data.push_back({vec2(1.0 + jitter(), 1.0 + jitter()), +1});
+    data.push_back({vec2(-1.0 + jitter(), -1.0 + jitter()), +1});
+    data.push_back({vec2(1.0 + jitter(), -1.0 + jitter()), -1});
+    data.push_back({vec2(-1.0 + jitter(), 1.0 + jitter()), -1});
+  }
+  SvmConfig linear;
+  linear.kernel.type = SvmKernelType::kLinear;
+  linear.c = 10.0;
+  const double linear_accuracy = train_accuracy(train_svm(data, linear), data);
+  EXPECT_LE(linear_accuracy, 0.8);  // a hyperplane can get at most ~3/4 of XOR
+
+  SvmConfig poly;
+  poly.kernel.type = SvmKernelType::kPolynomial;
+  poly.kernel.degree = 2;
+  poly.c = 10.0;
+  const double poly_accuracy = train_accuracy(train_svm(data, poly), data);
+  EXPECT_GE(poly_accuracy, 0.97);
+}
+
+TEST(Svm, RbfKernelHandlesXor) {
+  util::Rng rng(4);
+  Dataset data;
+  for (int i = 0; i < 25; ++i) {
+    auto jitter = [&rng] { return rng.normal(0.0, 0.1); };
+    data.push_back({vec2(1.0 + jitter(), 1.0 + jitter()), +1});
+    data.push_back({vec2(-1.0 + jitter(), -1.0 + jitter()), +1});
+    data.push_back({vec2(1.0 + jitter(), -1.0 + jitter()), -1});
+    data.push_back({vec2(-1.0 + jitter(), 1.0 + jitter()), -1});
+  }
+  SvmConfig config;
+  config.kernel.type = SvmKernelType::kRbf;
+  config.kernel.gamma = 1.0;
+  config.c = 10.0;
+  EXPECT_GE(train_accuracy(train_svm(data, config), data), 0.97);
+}
+
+TEST(Svm, DecisionValueSignMatchesPrediction) {
+  const Dataset data = linearly_separable(20, 5);
+  const SvmModel model = train_svm(data);
+  for (const auto& example : data) {
+    const double value = model.decision_value(example.x);
+    EXPECT_EQ(model.predict(example.x), value >= 0.0 ? +1 : -1);
+  }
+}
+
+TEST(Svm, SupportVectorsAreSubsetOfTraining) {
+  const Dataset data = linearly_separable(30, 6);
+  const SvmModel model = train_svm(data);
+  EXPECT_GT(model.num_support_vectors(), 0u);
+  EXPECT_LE(model.num_support_vectors(), data.size());
+  // On clean, well-separated data most points are NOT support vectors.
+  EXPECT_LT(model.num_support_vectors(), data.size() / 2);
+}
+
+TEST(Svm, NoisyDataStillMostlyCorrectWithSoftMargin) {
+  const Dataset data = linearly_separable(50, 7, /*noise=*/0.05);
+  SvmConfig config;
+  config.kernel.type = SvmKernelType::kLinear;
+  config.c = 1.0;
+  const SvmModel model = train_svm(data, config);
+  EXPECT_GE(train_accuracy(model, data), 0.9);
+}
+
+TEST(Svm, SingleClassThrows) {
+  Dataset data;
+  data.push_back({vec2(1, 1), +1});
+  data.push_back({vec2(2, 2), +1});
+  EXPECT_THROW(train_svm(data), std::invalid_argument);
+}
+
+TEST(Svm, NonBinaryLabelThrows) {
+  Dataset data;
+  data.push_back({vec2(1, 1), +1});
+  data.push_back({vec2(2, 2), 0});
+  EXPECT_THROW(train_svm(data), std::invalid_argument);
+}
+
+TEST(Svm, DeterministicForSameSeed) {
+  const Dataset data = linearly_separable(25, 8);
+  SvmConfig config;
+  config.seed = 42;
+  const SvmModel a = train_svm(data, config);
+  const SvmModel b = train_svm(data, config);
+  EXPECT_EQ(a.num_support_vectors(), b.num_support_vectors());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+  EXPECT_DOUBLE_EQ(a.decision_value(vec2(0.3, -0.2)),
+                   b.decision_value(vec2(0.3, -0.2)));
+}
+
+TEST(SvmKernel, LinearIsDotProduct) {
+  SvmKernel kernel;
+  kernel.type = SvmKernelType::kLinear;
+  EXPECT_DOUBLE_EQ(kernel(vec2(1, 2), vec2(3, 4)), 11.0);
+}
+
+TEST(SvmKernel, PolynomialMatchesFormula) {
+  SvmKernel kernel;  // (1*a.b + 1)^3
+  EXPECT_DOUBLE_EQ(kernel(vec2(1, 0), vec2(1, 0)), 8.0);  // (1+1)^3
+  kernel.degree = 2;
+  kernel.coef0 = 0.0;
+  kernel.gamma = 2.0;
+  EXPECT_DOUBLE_EQ(kernel(vec2(1, 1), vec2(1, 1)), 16.0);  // (2*2)^2
+}
+
+TEST(SvmKernel, RbfBounds) {
+  SvmKernel kernel;
+  kernel.type = SvmKernelType::kRbf;
+  kernel.gamma = 0.5;
+  EXPECT_NEAR(kernel(vec2(1, 2), vec2(1, 2)), 1.0, 1e-12);
+  const double far = kernel(vec2(0, 0), vec2(10, 10));
+  EXPECT_GT(far, 0.0);
+  EXPECT_LT(far, 1e-6);
+}
+
+TEST(SvmModel, MismatchedArityThrows) {
+  EXPECT_THROW(SvmModel(SvmKernel{}, {vec2(1, 1)}, {1.0, 2.0}, 0.0),
+               std::invalid_argument);
+}
+
+// Parameterized sweep: increasing C on noisy data never hurts training
+// accuracy much (harder margin fits the noise).
+class SvmCSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvmCSweep, TrainingAccuracyReasonableAcrossC) {
+  const Dataset data = linearly_separable(30, 9, /*noise=*/0.03);
+  SvmConfig config;
+  config.kernel.type = SvmKernelType::kLinear;
+  config.c = GetParam();
+  EXPECT_GE(train_accuracy(train_svm(data, config), data), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cs, SvmCSweep,
+                         ::testing::Values(0.1, 1.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace fmeter::ml

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmeter::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, RowArityMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, AlignmentArityMismatchThrows) {
+  EXPECT_THROW(TextTable({"a", "b"}, {Align::kLeft}), std::invalid_argument);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable table({"x", "y"});
+  table.add_row({"longlabel", "1"});
+  table.add_row({"s", "2"});
+  const std::string out = table.to_string();
+  // Each line has the same length (pad to column widths).
+  std::size_t expected = std::string::npos;
+  std::size_t start = 0;
+  int checked = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t length = end - start;
+    if (expected == std::string::npos) expected = length;
+    if (out[start] != '-') {
+      EXPECT_EQ(length, expected);
+    }
+    start = end + 1;
+    ++checked;
+  }
+  EXPECT_GE(checked, 4);
+}
+
+TEST(TableFormat, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 3), "2.000");
+}
+
+TEST(TableFormat, MeanSem) {
+  EXPECT_EQ(mean_sem(4.828, 0.585, 3), "4.828 ± 0.585");
+}
+
+TEST(TableFormat, RatioAndPercent) {
+  EXPECT_EQ(ratio(5.748), "5.748");
+  EXPECT_EQ(percent(24.07), "24.07 %");
+  EXPECT_EQ(percent(61.125, 1), "61.1 %");
+}
+
+}  // namespace
+}  // namespace fmeter::util

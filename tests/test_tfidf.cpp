@@ -1,0 +1,229 @@
+#include "vsm/tfidf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "vsm/document.hpp"
+
+namespace fmeter::vsm {
+namespace {
+
+CountDocument doc(std::vector<std::pair<CountDocument::TermId,
+                                        CountDocument::Count>> counts,
+                  std::string label = {}, double duration = 0.0) {
+  return CountDocument::from_counts(std::move(counts), std::move(label),
+                                    duration);
+}
+
+Corpus tiny_corpus() {
+  Corpus corpus;
+  corpus.add(doc({{0, 4}, {1, 4}}, "a"));
+  corpus.add(doc({{0, 2}, {2, 6}}, "b"));
+  corpus.add(doc({{0, 1}, {1, 1}, {2, 2}}, "c"));
+  return corpus;
+}
+
+TEST(TfIdf, FitCountsDocumentFrequencies) {
+  TfIdfModel model;
+  model.fit(tiny_corpus());
+  EXPECT_EQ(model.num_documents(), 3u);
+  EXPECT_EQ(model.document_frequency(0), 3u);
+  EXPECT_EQ(model.document_frequency(1), 2u);
+  EXPECT_EQ(model.document_frequency(2), 2u);
+  EXPECT_EQ(model.document_frequency(99), 0u);
+  EXPECT_EQ(model.vocabulary_size(), 3u);
+}
+
+TEST(TfIdf, FitEmptyCorpusThrows) {
+  TfIdfModel model;
+  EXPECT_THROW(model.fit(Corpus{}), std::invalid_argument);
+}
+
+TEST(TfIdf, TransformBeforeFitThrows) {
+  TfIdfModel model;
+  EXPECT_THROW(model.transform(doc({{0, 1}})), std::logic_error);
+}
+
+TEST(TfIdf, IdfFormulaExact) {
+  TfIdfModel model;
+  model.fit(tiny_corpus());
+  // idf_i = log(|D| / df_i), paper §2.1.
+  EXPECT_NEAR(model.idf(1), std::log(3.0 / 2.0), 1e-12);
+  EXPECT_NEAR(model.idf(0), std::log(3.0 / 3.0), 1e-12);
+}
+
+TEST(TfIdf, TermInEveryDocumentHasZeroWeight) {
+  TfIdfOptions options;
+  options.l2_normalize = false;
+  TfIdfModel model(options);
+  model.fit(tiny_corpus());
+  const auto v = model.transform(doc({{0, 100}, {1, 1}}));
+  // Term 0 appears in all documents => idf = 0 => weight 0.
+  EXPECT_EQ(v.at(0), 0.0);
+  EXPECT_GT(v.at(1), 0.0);
+}
+
+TEST(TfIdf, UnseenTermGetsZeroWeight) {
+  TfIdfOptions options;
+  options.l2_normalize = false;
+  TfIdfModel model(options);
+  model.fit(tiny_corpus());
+  const auto v = model.transform(doc({{55, 10}, {1, 1}}));
+  EXPECT_EQ(v.at(55), 0.0);
+}
+
+TEST(TfIdf, TfIsNormalizedByDocumentLength) {
+  TfIdfOptions options;
+  options.weighting = Weighting::kTf;
+  options.l2_normalize = false;
+  TfIdfModel model(options);
+  model.fit(tiny_corpus());
+  const auto v = model.transform(doc({{1, 3}, {2, 1}}));
+  EXPECT_NEAR(v.at(1), 0.75, 1e-12);
+  EXPECT_NEAR(v.at(2), 0.25, 1e-12);
+}
+
+// The paper's key normalization property: scaling every count by the same
+// factor (a longer run of the same behavior) leaves tf — and hence the
+// signature — unchanged.
+TEST(TfIdf, DurationInvariance) {
+  TfIdfModel model;
+  model.fit(tiny_corpus());
+  const auto short_run = model.transform(doc({{1, 3}, {2, 9}}));
+  const auto long_run = model.transform(doc({{1, 30}, {2, 90}}));
+  EXPECT_NEAR(cosine_similarity(short_run, long_run), 1.0, 1e-12);
+}
+
+TEST(TfIdf, RawCountWeighting) {
+  TfIdfOptions options;
+  options.weighting = Weighting::kRawCount;
+  options.l2_normalize = false;
+  TfIdfModel model(options);
+  model.fit(tiny_corpus());
+  const auto v = model.transform(doc({{1, 7}, {2, 2}}));
+  EXPECT_DOUBLE_EQ(v.at(1), 7.0);
+  EXPECT_DOUBLE_EQ(v.at(2), 2.0);
+}
+
+TEST(TfIdf, L2NormalizeProducesUnitVectors) {
+  TfIdfModel model;  // default: tf-idf + normalize
+  model.fit(tiny_corpus());
+  const auto v = model.transform(doc({{1, 3}, {2, 1}}));
+  EXPECT_NEAR(v.norm_l2(), 1.0, 1e-12);
+}
+
+TEST(TfIdf, SmoothIdfKeepsUbiquitousTerms) {
+  TfIdfOptions options;
+  options.smooth_idf = true;
+  options.l2_normalize = false;
+  TfIdfModel model(options);
+  model.fit(tiny_corpus());
+  // log(1 + 3/3) = log 2 > 0: the term survives.
+  EXPECT_NEAR(model.idf(0), std::log(2.0), 1e-12);
+}
+
+TEST(TfIdf, SublinearTfDampensHeavyTerms) {
+  TfIdfOptions plain;
+  plain.weighting = Weighting::kTf;
+  plain.l2_normalize = false;
+  TfIdfOptions sublinear = plain;
+  sublinear.sublinear_tf = true;
+
+  TfIdfModel plain_model(plain);
+  TfIdfModel sub_model(sublinear);
+  Corpus corpus = tiny_corpus();
+  plain_model.fit(corpus);
+  sub_model.fit(corpus);
+
+  const auto heavy = doc({{1, 1000}, {2, 1}});
+  const double plain_ratio =
+      plain_model.transform(heavy).at(1) / plain_model.transform(heavy).at(2);
+  const double sub_ratio =
+      sub_model.transform(heavy).at(1) / sub_model.transform(heavy).at(2);
+  EXPECT_GT(plain_ratio, sub_ratio);
+}
+
+TEST(TfIdf, TransformCorpusPreservesOrder) {
+  TfIdfModel model;
+  const Corpus corpus = tiny_corpus();
+  const auto vectors = model.fit_transform(corpus);
+  ASSERT_EQ(vectors.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(vectors[i], model.transform(corpus[i])) << "doc " << i;
+  }
+}
+
+TEST(TfIdf, FitTransformEqualsFitThenTransform) {
+  TfIdfModel a;
+  TfIdfModel b;
+  const Corpus corpus = tiny_corpus();
+  const auto via_fit_transform = a.fit_transform(corpus);
+  b.fit(corpus);
+  const auto via_two_steps = b.transform(corpus);
+  EXPECT_EQ(via_fit_transform, via_two_steps);
+}
+
+// Parameterized property sweep over random corpora.
+class TfIdfProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Corpus random_corpus(util::Rng& rng, std::size_t docs = 12,
+                       std::size_t terms = 40) {
+    Corpus corpus;
+    for (std::size_t d = 0; d < docs; ++d) {
+      std::vector<std::pair<CountDocument::TermId, CountDocument::Count>> counts;
+      for (std::size_t t = 0; t < terms; ++t) {
+        if (rng.bernoulli(0.3)) {
+          counts.emplace_back(static_cast<CountDocument::TermId>(t),
+                              1 + rng.below(100));
+        }
+      }
+      if (counts.empty()) counts.emplace_back(0, 1);
+      corpus.add(CountDocument::from_counts(std::move(counts)));
+    }
+    return corpus;
+  }
+};
+
+TEST_P(TfIdfProperties, WeightsNonNegative) {
+  util::Rng rng(GetParam());
+  TfIdfModel model;
+  const auto corpus = random_corpus(rng);
+  for (const auto& v : model.fit_transform(corpus)) {
+    for (const double value : v.values()) EXPECT_GE(value, 0.0);
+  }
+}
+
+TEST_P(TfIdfProperties, IdfMonotoneInDocumentFrequency) {
+  util::Rng rng(GetParam() ^ 0x55ULL);
+  TfIdfModel model;
+  model.fit(random_corpus(rng));
+  // Any pair of seen terms: higher df => lower-or-equal idf.
+  for (CountDocument::TermId a = 0; a < 40; ++a) {
+    for (CountDocument::TermId b = 0; b < 40; ++b) {
+      const auto dfa = model.document_frequency(a);
+      const auto dfb = model.document_frequency(b);
+      if (dfa == 0 || dfb == 0) continue;
+      if (dfa > dfb) {
+        EXPECT_LE(model.idf(a), model.idf(b) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(TfIdfProperties, NormalizedVectorsOnUnitBall) {
+  util::Rng rng(GetParam() ^ 0x77ULL);
+  TfIdfModel model;
+  for (const auto& v : model.fit_transform(random_corpus(rng))) {
+    if (!v.empty()) {
+      EXPECT_NEAR(v.norm_l2(), 1.0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TfIdfProperties,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace fmeter::vsm

@@ -1,0 +1,236 @@
+#include "workloads/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "simkern/trace_hook.hpp"
+#include "workloads/lmbench.hpp"
+#include "workloads/netperf.hpp"
+
+namespace fmeter::workloads {
+namespace {
+
+simkern::KernelConfig two_cpu_config() {
+  simkern::KernelConfig config;
+  config.num_cpus = 2;
+  return config;
+}
+
+class CountingHook final : public simkern::TraceHook {
+ public:
+  void on_function_entry(simkern::CpuContext&, simkern::FunctionId fn,
+                         simkern::FunctionId) noexcept override {
+    ++counts[fn];
+  }
+  const char* name() const noexcept override { return "counting"; }
+  std::map<simkern::FunctionId, std::uint64_t> counts;
+};
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : kernel_(two_cpu_config()), ops_(kernel_) {
+    kernel_.install_tracer(&hook_);
+  }
+
+  std::map<simkern::FunctionId, std::uint64_t> run(WorkloadKind kind,
+                                                   int units = 5) {
+    hook_.counts.clear();
+    auto workload = make_workload(kind, ops_);
+    workload->warmup(kernel_.cpu(0));
+    for (int u = 0; u < units; ++u) workload->run_unit(kernel_.cpu(0));
+    return hook_.counts;
+  }
+
+  simkern::Kernel kernel_;
+  simkern::KernelOps ops_;
+  CountingHook hook_;
+};
+
+TEST_F(WorkloadTest, EveryWorkloadProducesActivity) {
+  for (const auto kind :
+       {WorkloadKind::kKcompile, WorkloadKind::kScp, WorkloadKind::kDbench,
+        WorkloadKind::kApachebench, WorkloadKind::kNetperf151,
+        WorkloadKind::kNetperf143, WorkloadKind::kNetperf151NoLro,
+        WorkloadKind::kBootup}) {
+    const auto counts = run(kind, 2);
+    EXPECT_GT(counts.size(), 10u) << workload_kind_name(kind);
+  }
+}
+
+TEST_F(WorkloadTest, FactoryNamesConsistent) {
+  EXPECT_STREQ(workload_kind_name(WorkloadKind::kKcompile), "kcompile");
+  auto workload = make_workload(WorkloadKind::kScp, ops_);
+  EXPECT_STREQ(workload->name(), "scp");
+  auto netperf = make_workload(WorkloadKind::kNetperf143, ops_);
+  EXPECT_STREQ(netperf->name(), "myri10ge-1.4.3");
+}
+
+TEST_F(WorkloadTest, KcompileIsUserTimeDominated) {
+  auto kcompile = make_workload(WorkloadKind::kKcompile, ops_);
+  auto dbench = make_workload(WorkloadKind::kDbench, ops_);
+  EXPECT_GT(kcompile->user_work_per_unit(), 10 * dbench->user_work_per_unit());
+}
+
+TEST_F(WorkloadTest, ScpTouchesCryptoAndTcp) {
+  const auto counts = run(WorkloadKind::kScp);
+  EXPECT_TRUE(counts.contains(kernel_.id_of("sha1_transform")));
+  EXPECT_TRUE(counts.contains(kernel_.id_of("tcp_sendmsg")));
+}
+
+TEST_F(WorkloadTest, DbenchTouchesJournalNotCrypto) {
+  const auto counts = run(WorkloadKind::kDbench);
+  EXPECT_TRUE(counts.contains(kernel_.id_of("journal_start")));
+  EXPECT_FALSE(counts.contains(kernel_.id_of("sha1_transform")));
+}
+
+TEST_F(WorkloadTest, KcompileTouchesExecPath) {
+  const auto counts = run(WorkloadKind::kKcompile);
+  EXPECT_TRUE(counts.contains(kernel_.id_of("load_elf_binary")));
+}
+
+TEST_F(WorkloadTest, ApachebenchAcceptsAndServes) {
+  const auto counts = run(WorkloadKind::kApachebench);
+  EXPECT_TRUE(counts.contains(kernel_.id_of("inet_csk_accept")));
+  EXPECT_TRUE(counts.contains(kernel_.id_of("tcp_sendmsg")));
+}
+
+TEST_F(WorkloadTest, WorkloadsHaveDistinctProfiles) {
+  const auto scp = run(WorkloadKind::kScp, 10);
+  const auto kcompile = run(WorkloadKind::kKcompile, 10);
+  // Symmetric difference of supports must be substantial.
+  std::size_t only_one = 0;
+  for (const auto& [fn, count] : scp) only_one += !kcompile.contains(fn);
+  for (const auto& [fn, count] : kcompile) only_one += !scp.contains(fn);
+  EXPECT_GT(only_one, 30u);
+}
+
+TEST_F(WorkloadTest, DeterministicAcrossIdenticalSystems) {
+  simkern::Kernel kernel_b(two_cpu_config());
+  simkern::KernelOps ops_b(kernel_b);
+  CountingHook hook_b;
+  kernel_b.install_tracer(&hook_b);
+  auto wa = make_workload(WorkloadKind::kDbench, ops_);
+  auto wb = make_workload(WorkloadKind::kDbench, ops_b);
+  hook_.counts.clear();
+  for (int u = 0; u < 5; ++u) {
+    wa->run_unit(kernel_.cpu(0));
+    wb->run_unit(kernel_b.cpu(0));
+  }
+  EXPECT_EQ(hook_.counts, hook_b.counts);
+}
+
+// --- myri10ge module behavior (Table 5 setup) --------------------------------
+
+TEST_F(WorkloadTest, NetperfLoadsDriverModule) {
+  NetperfWorkload workload(ops_, Myri10geVariant::kV151);
+  EXPECT_NE(kernel_.find_module("myri10ge"), nullptr);
+  EXPECT_EQ(workload.module().version(), "1.5.1");
+}
+
+TEST_F(WorkloadTest, DriverReloadReplacesVariant) {
+  NetperfWorkload v151(ops_, Myri10geVariant::kV151);
+  NetperfWorkload v143(ops_, Myri10geVariant::kV143);
+  EXPECT_EQ(kernel_.module_count(), 1u);
+  EXPECT_EQ(kernel_.find_module("myri10ge")->version(), "1.4.3");
+}
+
+TEST(Myri10geBlueprint, VersionFunctionDeltasMatchPaper) {
+  const auto v143 = myri10ge_blueprint(Myri10geVariant::kV143);
+  const auto v151 = myri10ge_blueprint(Myri10geVariant::kV151);
+  auto has = [](const simkern::ModuleBlueprint& bp, const char* name) {
+    for (const auto& fn : bp.functions) {
+      if (fn.name == name) return true;
+    }
+    return false;
+  };
+  // Removed between 1.4.3 and 1.5.1 (paper §4.2.1):
+  EXPECT_TRUE(has(v143, "myri10ge_get_frag_header"));
+  EXPECT_FALSE(has(v151, "myri10ge_get_frag_header"));
+  // Added in 1.5.1 and exercised by the workload:
+  EXPECT_TRUE(has(v151, "myri10ge_select_queue"));
+  EXPECT_FALSE(has(v143, "myri10ge_select_queue"));
+}
+
+TEST(Myri10geBlueprint, LroVariantSharesCodeWithDefault) {
+  const auto a = myri10ge_blueprint(Myri10geVariant::kV151);
+  const auto b = myri10ge_blueprint(Myri10geVariant::kV151NoLro);
+  // Same driver binary, different load-time parameter: identical blueprint.
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  for (std::size_t i = 0; i < a.functions.size(); ++i) {
+    EXPECT_EQ(a.functions[i].name, b.functions[i].name);
+    EXPECT_EQ(a.functions[i].text_bytes, b.functions[i].text_bytes);
+  }
+}
+
+TEST_F(WorkloadTest, ModuleFunctionsNeverAppearInSignatures) {
+  // No module-local symbol resolves to a core-kernel term id: the counted
+  // set is closed over the symbol table by construction. Run the workload
+  // and check every counted id is a valid core-kernel function.
+  const auto counts = run(WorkloadKind::kNetperf143, 10);
+  for (const auto& [fn, count] : counts) {
+    EXPECT_LT(fn, kernel_.symbols().size());
+  }
+}
+
+TEST_F(WorkloadTest, LroVariantsDifferInTcpPathIntensity) {
+  const auto with_lro = run(WorkloadKind::kNetperf151, 20);
+  const auto no_lro = run(WorkloadKind::kNetperf151NoLro, 20);
+  const auto tcp_rcv = kernel_.id_of("tcp_v4_rcv");
+  const auto lro_fn = kernel_.id_of("lro_receive_skb");
+  // LRO aggregation: ~8x fewer per-segment TCP entries per byte.
+  ASSERT_TRUE(no_lro.contains(tcp_rcv));
+  ASSERT_TRUE(with_lro.contains(tcp_rcv));
+  EXPECT_GT(no_lro.at(tcp_rcv), 3 * with_lro.at(tcp_rcv));
+  // And the LRO helpers only fire when LRO is on.
+  EXPECT_TRUE(with_lro.contains(lro_fn));
+  EXPECT_FALSE(no_lro.contains(lro_fn));
+}
+
+TEST_F(WorkloadTest, DriverVersionsDifferInAllocationPath) {
+  const auto v143 = run(WorkloadKind::kNetperf143, 20);
+  const auto v151 = run(WorkloadKind::kNetperf151, 20);
+  const auto alloc_skb = kernel_.id_of("__alloc_skb");
+  // 1.4.3 copybreaks into fresh skbs per frame; 1.5.1 uses page frags.
+  const auto v143_allocs = v143.contains(alloc_skb) ? v143.at(alloc_skb) : 0;
+  const auto v151_allocs = v151.contains(alloc_skb) ? v151.at(alloc_skb) : 0;
+  EXPECT_GT(v143_allocs, 2 * v151_allocs);
+}
+
+TEST(Lmbench, CatalogHas23PaperRows) {
+  const auto catalog = lmbench_catalog();
+  EXPECT_EQ(catalog.size(), 23u);
+  std::set<std::string> names;
+  for (const auto& op : catalog) names.insert(op.name);
+  EXPECT_EQ(names.size(), 23u);
+  EXPECT_TRUE(names.contains("Simple syscall"));
+  EXPECT_TRUE(names.contains("Select on 100 tcp fd's"));
+  EXPECT_TRUE(names.contains("Process fork+/bin/sh -c"));
+}
+
+TEST(Lmbench, EveryOpRuns) {
+  simkern::Kernel kernel(two_cpu_config());
+  simkern::KernelOps ops(kernel);
+  CountingHook hook;
+  kernel.install_tracer(&hook);
+  for (const auto& op : lmbench_catalog()) {
+    hook.counts.clear();
+    op.run(ops, kernel.cpu(0));
+    EXPECT_FALSE(hook.counts.empty()) << op.name;
+  }
+}
+
+TEST(Bootup, SweepsDeepIntoSymbolTable) {
+  simkern::Kernel kernel(two_cpu_config());
+  simkern::KernelOps ops(kernel);
+  CountingHook hook;
+  kernel.install_tracer(&hook);
+  auto workload = make_workload(WorkloadKind::kBootup, ops);
+  for (int u = 0; u < 8; ++u) workload->run_unit(kernel.cpu(0));
+  // Boot touches a large share of the whole function population (Figure 1).
+  EXPECT_GT(hook.counts.size(), kernel.symbols().size() / 3);
+}
+
+}  // namespace
+}  // namespace fmeter::workloads

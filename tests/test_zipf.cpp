@@ -1,0 +1,89 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace fmeter::util {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution dist(100, 1.0);
+  double total = 0.0;
+  for (std::size_t k = 0; k < dist.size(); ++k) total += dist.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfMonotonicallyDecreasing) {
+  ZipfDistribution dist(50, 1.2);
+  for (std::size_t k = 1; k < dist.size(); ++k) {
+    EXPECT_LT(dist.pmf(k), dist.pmf(k - 1)) << "rank " << k;
+  }
+}
+
+TEST(Zipf, PmfOutOfRangeIsZero) {
+  ZipfDistribution dist(10, 1.0);
+  EXPECT_EQ(dist.pmf(10), 0.0);
+  EXPECT_EQ(dist.pmf(1000), 0.0);
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  ZipfDistribution dist(37, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(dist.sample(rng), 37u);
+}
+
+TEST(Zipf, HeadDominatesEmpirically) {
+  ZipfDistribution dist(1000, 1.0);
+  Rng rng(2);
+  std::vector<int> histogram(1000, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[dist.sample(rng)];
+  // Rank 0 should appear roughly pmf(0)*n times.
+  EXPECT_NEAR(histogram[0], dist.pmf(0) * n, 0.1 * dist.pmf(0) * n);
+  EXPECT_GT(histogram[0], histogram[10]);
+  EXPECT_GT(histogram[10], histogram[500]);
+}
+
+TEST(Zipf, HigherExponentConcentratesMass) {
+  ZipfDistribution flat(100, 0.5);
+  ZipfDistribution steep(100, 2.0);
+  EXPECT_GT(steep.pmf(0), flat.pmf(0));
+  EXPECT_LT(steep.pmf(99), flat.pmf(99));
+}
+
+TEST(Zipf, SingleRankAlwaysSampled) {
+  ZipfDistribution dist(1, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(rng), 0u);
+}
+
+TEST(Zipf, ZeroRanksThrows) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, WeightsMatchPmf) {
+  const auto weights = zipf_weights(20, 1.3);
+  ZipfDistribution dist(20, 1.3);
+  ASSERT_EQ(weights.size(), 20u);
+  for (std::size_t k = 0; k < 20; ++k) {
+    EXPECT_NEAR(weights[k], dist.pmf(k), 1e-12);
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// The power-law property Figure 1 depends on: log-log rank/frequency is
+// near-linear with slope ~ -exponent.
+TEST(Zipf, LogLogSlopeMatchesExponent) {
+  const double exponent = 1.5;
+  ZipfDistribution dist(2000, exponent);
+  // slope between rank 1 and rank 100 in log-log space:
+  const double slope = (std::log(dist.pmf(99)) - std::log(dist.pmf(0))) /
+                       (std::log(100.0) - std::log(1.0));
+  EXPECT_NEAR(slope, -exponent, 0.01);
+}
+
+}  // namespace
+}  // namespace fmeter::util

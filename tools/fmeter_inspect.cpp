@@ -1,0 +1,168 @@
+// fmeter-inspect: command-line utility for working with signature corpora.
+//
+//   fmeter_inspect collect <out.fmc> <workload> [workload...]
+//       Boots a simulated system, runs the named workloads under the Fmeter
+//       tracer (120 signatures each) and saves the labeled corpus.
+//       Workloads: scp kcompile dbench apachebench netperf151 netperf143
+//                  netperf151nolro bootup
+//
+//   fmeter_inspect stats <corpus.fmc>
+//       Prints per-label document counts, corpus vocabulary statistics and
+//       the cosine-similarity matrix between per-label tf-idf centroids.
+//
+//   fmeter_inspect topterms <corpus.fmc> <label> [n]
+//       Prints the n (default 15) highest-weighted kernel functions of the
+//       label's centroid signature — "what does this behavior do in the
+//       kernel?".
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "fmeter/fmeter.hpp"
+#include "vsm/corpus_io.hpp"
+
+using namespace fmeter;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fmeter_inspect collect <out.fmc> <workload> [workload...]\n"
+               "  fmeter_inspect stats <corpus.fmc>\n"
+               "  fmeter_inspect topterms <corpus.fmc> <label> [n]\n");
+  return 2;
+}
+
+std::map<std::string, workloads::WorkloadKind> workload_names() {
+  return {
+      {"scp", workloads::WorkloadKind::kScp},
+      {"kcompile", workloads::WorkloadKind::kKcompile},
+      {"dbench", workloads::WorkloadKind::kDbench},
+      {"apachebench", workloads::WorkloadKind::kApachebench},
+      {"netperf151", workloads::WorkloadKind::kNetperf151},
+      {"netperf143", workloads::WorkloadKind::kNetperf143},
+      {"netperf151nolro", workloads::WorkloadKind::kNetperf151NoLro},
+      {"bootup", workloads::WorkloadKind::kBootup},
+  };
+}
+
+int cmd_collect(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string out_path = argv[2];
+  const auto names = workload_names();
+
+  core::MonitoredSystem system;
+  core::SignatureGenConfig gen;
+  gen.signatures_per_workload = 120;
+  gen.units_per_interval = 8;
+  gen.interval_jitter = 0.4;
+
+  vsm::Corpus corpus;
+  for (int arg = 3; arg < argc; ++arg) {
+    const auto it = names.find(argv[arg]);
+    if (it == names.end()) {
+      std::fprintf(stderr, "unknown workload: %s\n", argv[arg]);
+      return 2;
+    }
+    std::printf("collecting %zu signatures of %s...\n",
+                gen.signatures_per_workload, argv[arg]);
+    corpus.append(core::collect_signatures(system, it->second, gen));
+  }
+  vsm::save_corpus(out_path, corpus);
+  std::printf("wrote %zu signatures to %s\n", corpus.size(), out_path.c_str());
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const vsm::Corpus corpus = vsm::load_corpus(argv[2]);
+
+  vsm::TfIdfModel model;
+  const auto signatures = core::signatures_from(corpus, {}, &model);
+  std::printf("documents: %zu   vocabulary: %zu terms   dimension bound: %zu\n\n",
+              corpus.size(), model.vocabulary_size(), corpus.dimension_bound());
+
+  core::SignatureDatabase db;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    db.add(signatures[i], corpus[i].label);
+  }
+  const auto syndromes = db.syndromes();
+
+  std::printf("%-28s %8s %14s\n", "label", "docs", "mean calls/doc");
+  for (const auto& syndrome : syndromes) {
+    std::uint64_t calls = 0;
+    std::size_t docs = 0;
+    for (const auto& doc : corpus.documents()) {
+      if (doc.label == syndrome.label) {
+        calls += doc.total();
+        ++docs;
+      }
+    }
+    std::printf("%-28s %8zu %14.0f\n", syndrome.label.c_str(), docs,
+                docs ? static_cast<double>(calls) / static_cast<double>(docs)
+                     : 0.0);
+  }
+
+  std::printf("\ncentroid cosine similarity matrix:\n%-28s", "");
+  for (std::size_t j = 0; j < syndromes.size(); ++j) {
+    std::printf(" %7zu", j);
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < syndromes.size(); ++i) {
+    std::printf("%2zu %-25s", i, syndromes[i].label.c_str());
+    for (std::size_t j = 0; j < syndromes.size(); ++j) {
+      std::printf(" %7.4f", vsm::cosine_similarity(syndromes[i].centroid,
+                                                   syndromes[j].centroid));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_topterms(int argc, char** argv) {
+  if (argc != 4 && argc != 5) return usage();
+  const vsm::Corpus corpus = vsm::load_corpus(argv[2]);
+  const std::string label = argv[3];
+  const std::size_t n = argc == 5 ? std::strtoul(argv[4], nullptr, 10) : 15;
+
+  const auto signatures = core::signatures_from(corpus);
+  core::SignatureDatabase db;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    db.add(signatures[i], corpus[i].label);
+  }
+  for (const auto& syndrome : db.syndromes()) {
+    if (syndrome.label != label) continue;
+    // Resolve term ids back to kernel symbols through a fresh symbol table
+    // (deterministic construction: ids match the collecting system's).
+    const simkern::SymbolTable symbols;
+    std::vector<std::pair<double, std::uint32_t>> weighted;
+    const auto indices = syndrome.centroid.indices();
+    const auto values = syndrome.centroid.values();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      weighted.emplace_back(values[i], indices[i]);
+    }
+    std::sort(weighted.rbegin(), weighted.rend());
+    std::printf("top %zu tf-idf terms of '%s' (%zu member signatures):\n", n,
+                label.c_str(), syndrome.support);
+    for (std::size_t i = 0; i < std::min(n, weighted.size()); ++i) {
+      const auto& fn = symbols.by_id(weighted[i].second);
+      std::printf("  %8.5f  %-40s [%s]\n", weighted[i].first, fn.name.c_str(),
+                  simkern::subsystem_name(fn.subsystem));
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "label '%s' not present in corpus\n", label.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "collect") == 0) return cmd_collect(argc, argv);
+  if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
+  if (std::strcmp(argv[1], "topterms") == 0) return cmd_topterms(argc, argv);
+  return usage();
+}
