@@ -1,0 +1,114 @@
+// Scan vs. inverted-index query throughput as the signature archive grows.
+//
+// The paper's pitch is that signatures are indexable "similar to regular
+// text documents" — which only pays off if the index actually beats a
+// linear scan once the archive is big. This bench stores 1k/10k/100k
+// synthetic tf-idf signatures (realistic sparsity: a few hundred non-zero
+// terms out of a ~3.8k-function space, Zipf-skewed like Figure 1) and
+// measures queries/sec for ScanPolicy::kBruteForce vs. kIndexed on the same
+// SignatureDatabase, for both metrics.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fmeter/database.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace {
+
+using fmeter::core::ScanPolicy;
+using fmeter::core::SignatureDatabase;
+using fmeter::core::SimilarityMetric;
+
+constexpr std::uint32_t kDimension = 3800;  // core-kernel function count, §2.1
+constexpr std::size_t kNnz = 200;           // functions touched per interval
+constexpr std::size_t kTopK = 10;
+
+fmeter::vsm::SparseVector synthetic_signature(
+    fmeter::util::Rng& rng, const fmeter::util::ZipfDistribution& zipf) {
+  std::vector<fmeter::vsm::SparseVector::Entry> entries;
+  entries.reserve(kNnz);
+  for (std::size_t i = 0; i < kNnz; ++i) {
+    entries.emplace_back(
+        static_cast<fmeter::vsm::SparseVector::Index>(zipf.sample(rng)),
+        rng.uniform(0.1, 1.0));
+  }
+  return fmeter::vsm::SparseVector::from_entries(std::move(entries))
+      .l2_normalized();
+}
+
+double queries_per_sec(const SignatureDatabase& db,
+                       const std::vector<fmeter::vsm::SparseVector>& queries,
+                       SimilarityMetric metric, ScanPolicy policy,
+                       int repetitions) {
+  std::size_t q = 0;
+  const auto samples = fmeter::bench::time_op_us(
+      [&] {
+        (void)db.search(queries[q++ % queries.size()], kTopK, metric, policy);
+      },
+      static_cast<int>(queries.size()), repetitions);
+  const double us = fmeter::util::percentile(samples, 50.0);
+  return 1e6 / us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional cap on the corpus sweep (e.g. `index_scaling 1000` for a quick
+  // CI smoke); unparsable or missing arguments run the full 1k/10k/100k
+  // ladder.
+  const std::size_t parsed =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 0;
+  const std::size_t max_corpus = parsed > 0 ? parsed : 100000;
+
+  fmeter::bench::print_banner(
+      "index_scaling: brute-force scan vs. inverted index",
+      "§1/§2.2 — signatures are indexable like text documents");
+
+  fmeter::util::Rng rng(0x1d9);
+  const fmeter::util::ZipfDistribution zipf(kDimension, 1.1);
+
+  std::printf("%10s %10s %14s %14s %9s\n", "corpus", "metric", "scan q/s",
+              "index q/s", "speedup");
+
+  std::vector<fmeter::vsm::SparseVector> queries;
+  for (int i = 0; i < 32; ++i) queries.push_back(synthetic_signature(rng, zipf));
+
+  std::vector<fmeter::bench::ShapeCheck> checks;
+  SignatureDatabase db;
+  for (const std::size_t corpus :
+       {std::size_t{1000}, std::size_t{10000}, std::size_t{100000}}) {
+    if (corpus > max_corpus) break;
+    while (db.size() < corpus) {
+      db.add(synthetic_signature(rng, zipf),
+             "class-" + std::to_string(db.size() % 11));
+    }
+    // Fewer timing reps at the largest size to keep the bench quick.
+    const int reps = corpus >= 100000 ? 3 : 5;
+    for (const auto metric :
+         {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
+      const double scan_qps =
+          queries_per_sec(db, queries, metric, ScanPolicy::kBruteForce, reps);
+      const double index_qps =
+          queries_per_sec(db, queries, metric, ScanPolicy::kIndexed, reps);
+      const char* name =
+          metric == SimilarityMetric::kCosine ? "cosine" : "euclid";
+      std::printf("%10zu %10s %14.0f %14.0f %8.2fx\n", corpus, name, scan_qps,
+                  index_qps, index_qps / scan_qps);
+      if (corpus >= 10000) {
+        checks.push_back({"indexed beats scan at " + std::to_string(corpus) +
+                              " signatures (" + name + ")",
+                          index_qps > scan_qps});
+      }
+    }
+  }
+
+  std::printf("\nindex stats: %zu docs, %zu terms, %zu postings\n",
+              db.index().size(), db.index().num_terms(),
+              db.index().num_postings());
+  return fmeter::bench::print_shape_checks(checks);
+}

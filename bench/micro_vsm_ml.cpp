@@ -82,6 +82,28 @@ void BM_CosineSimilaritySearch(benchmark::State& state) {
 }
 BENCHMARK(BM_CosineSimilaritySearch)->Arg(250)->Arg(1000);
 
+void BM_CosineSimilaritySearchBruteForce(benchmark::State& state) {
+  // The pre-index linear scan, kept as ScanPolicy::kBruteForce; contrast
+  // with BM_CosineSimilaritySearch (the indexed default) at equal corpus
+  // sizes, and see bench_index_scaling for the 1k/10k/100k sweep.
+  const auto corpus = synthetic_corpus(
+      static_cast<std::size_t>(state.range(0)), 3815, 400, 4);
+  vsm::TfIdfModel model;
+  model.fit(corpus);
+  core::SignatureDatabase db;
+  for (const auto& doc : corpus.documents()) {
+    db.add(model.transform(doc), doc.label);
+  }
+  const auto query = model.transform(corpus[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.search(query, 10, core::SimilarityMetric::kCosine,
+                  core::ScanPolicy::kBruteForce));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CosineSimilaritySearchBruteForce)->Arg(250)->Arg(1000);
+
 void BM_KMeansFit(benchmark::State& state) {
   const auto corpus = synthetic_corpus(
       static_cast<std::size_t>(state.range(0)), 3815, 400, 5);

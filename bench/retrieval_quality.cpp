@@ -74,6 +74,12 @@ int main() {
     std::printf("  %-28s %.3f\n", label.c_str(), quality.top1_accuracy);
   }
 
+  // A/B the execution paths: the inverted index must reproduce the scan's
+  // quality numbers exactly (it returns identical hits).
+  const core::RetrievalQuality scanned =
+      core::evaluate_retrieval(db, queries, 10, core::SimilarityMetric::kCosine,
+                               core::ScanPolicy::kBruteForce);
+
   return bench::print_shape_checks({
       {"precision@10 high (>= 0.9)", cosine.precision_at_k >= 0.9},
       {"first relevant hit essentially immediate (MRR >= 0.95)",
@@ -82,5 +88,9 @@ int main() {
        cosine.top1_accuracy >= 0.95},
       {"both metrics retrieve well (euclidean P@10 >= 0.85)",
        euclidean.precision_at_k >= 0.85},
+      {"indexed and brute-force paths agree exactly",
+       cosine.precision_at_k == scanned.precision_at_k &&
+           cosine.mean_reciprocal_rank == scanned.mean_reciprocal_rank &&
+           cosine.top1_accuracy == scanned.top1_accuracy},
   });
 }

@@ -48,18 +48,33 @@ int main() {
   std::printf("cos(scp, scp)      = %.4f\n", same);
   std::printf("cos(scp, kcompile) = %.4f\n", cross);
 
-  // Store everything in a database and classify a fresh signature.
+  // Store everything in a database — each add also feeds the inverted index
+  // that serves similarity queries — and classify a fresh signature.
   core::SignatureDatabase db;
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     db.add(signatures[i], corpus[i].label);
   }
+  std::printf("indexed: %zu signatures, %zu terms, %zu postings\n",
+              db.index().size(), db.index().num_terms(),
+              db.index().num_postings());
   core::SignatureGenConfig probe = gen;
   probe.signatures_per_workload = 1;
   probe.seed = 0xdeadbeef;
   const vsm::Corpus unknown =
       core::collect_signatures(system, workloads::WorkloadKind::kScp, probe);
-  const auto verdict = db.classify_by_syndrome(model.transform(unknown[0]));
+  const auto probe_signature = model.transform(unknown[0]);
+  const auto verdict = db.classify_by_syndrome(probe_signature);
   std::printf("unknown signature classified as: %s\n", verdict.c_str());
 
-  return verdict == "scp" && same > cross ? 0 : 1;
+  // Similarity search: which archived signatures look most like the probe?
+  const auto hits = db.search(probe_signature, 3);
+  for (std::size_t rank = 0; rank < hits.size(); ++rank) {
+    std::printf("  hit %zu: id=%zu label=%s cos=%.4f\n", rank + 1,
+                hits[rank].id, hits[rank].label.c_str(), hits[rank].score);
+  }
+
+  return verdict == "scp" && same > cross && !hits.empty() &&
+                 hits.front().label == "scp"
+             ? 0
+             : 1;
 }

@@ -5,11 +5,65 @@
 #include <stdexcept>
 
 namespace fmeter::core {
+namespace {
+
+index::Metric to_index_metric(SimilarityMetric metric) noexcept {
+  return metric == SimilarityMetric::kCosine ? index::Metric::kCosine
+                                             : index::Metric::kEuclidean;
+}
+
+/// Shared ordering for hits: descending score, then ascending id, so
+/// equal-score results are deterministic and identical across policies.
+bool hit_before(const SearchHit& a, const SearchHit& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+SignatureDatabase::SignatureDatabase(const SignatureDatabase& other)
+    : signatures_(other.signatures_),
+      labels_(other.labels_),
+      index_(other.index_) {
+  const std::lock_guard<std::mutex> lock(other.syndrome_mutex_);
+  syndrome_cache_ = other.syndrome_cache_;
+}
+
+SignatureDatabase::SignatureDatabase(SignatureDatabase&& other) noexcept
+    : signatures_(std::move(other.signatures_)),
+      labels_(std::move(other.labels_)),
+      index_(std::move(other.index_)),
+      syndrome_cache_(std::move(other.syndrome_cache_)) {}
+
+SignatureDatabase& SignatureDatabase::operator=(
+    SignatureDatabase other) noexcept {
+  signatures_ = std::move(other.signatures_);
+  labels_ = std::move(other.labels_);
+  index_ = std::move(other.index_);
+  syndrome_cache_ = std::move(other.syndrome_cache_);
+  return *this;
+}
 
 std::size_t SignatureDatabase::add(vsm::SparseVector signature,
                                    std::string label) {
-  signatures_.push_back(std::move(signature));
+  // Transactional: the three containers must stay aligned even if an
+  // allocation throws mid-add, or every later entry would pair with the
+  // wrong label / the indexed path would read out of bounds.
+  syndrome_cache_.reset();
   labels_.push_back(std::move(label));
+  try {
+    signatures_.push_back(std::move(signature));
+  } catch (...) {
+    labels_.pop_back();
+    throw;
+  }
+  try {
+    index_.add(signatures_.back());
+  } catch (...) {
+    signatures_.pop_back();
+    labels_.pop_back();
+    throw;
+  }
   return signatures_.size() - 1;
 }
 
@@ -24,6 +78,25 @@ std::vector<std::string> SignatureDatabase::distinct_labels() const {
 }
 
 std::vector<SearchHit> SignatureDatabase::search(
+    const vsm::SparseVector& query, std::size_t k, SimilarityMetric metric,
+    ScanPolicy policy) const {
+  if (policy == ScanPolicy::kBruteForce) {
+    return search_scan(query, k, metric);
+  }
+  const auto index_hits = index_.top_k(query, k, to_index_metric(metric));
+  std::vector<SearchHit> hits;
+  hits.reserve(index_hits.size());
+  for (const auto& index_hit : index_hits) {
+    SearchHit hit;
+    hit.id = index_hit.doc;
+    hit.label = labels_[index_hit.doc];
+    hit.score = index_hit.score;
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+std::vector<SearchHit> SignatureDatabase::search_scan(
     const vsm::SparseVector& query, std::size_t k,
     SimilarityMetric metric) const {
   std::vector<SearchHit> hits;
@@ -39,15 +112,17 @@ std::vector<SearchHit> SignatureDatabase::search(
   }
   const std::size_t top = std::min(k, hits.size());
   std::partial_sort(hits.begin(), hits.begin() + static_cast<std::ptrdiff_t>(top),
-                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
-                      return a.score > b.score;
-                    });
+                    hits.end(), hit_before);
   hits.resize(top);
   return hits;
 }
 
-std::vector<Syndrome> SignatureDatabase::syndromes() const {
-  std::vector<Syndrome> out;
+const SignatureDatabase::SyndromeCache& SignatureDatabase::syndrome_cache()
+    const {
+  const std::lock_guard<std::mutex> lock(syndrome_mutex_);
+  if (syndrome_cache_.has_value()) return *syndrome_cache_;
+
+  SyndromeCache cache;
   for (const auto& label : distinct_labels()) {
     Syndrome syndrome;
     syndrome.label = label;
@@ -61,16 +136,31 @@ std::vector<Syndrome> SignatureDatabase::syndromes() const {
       syndrome.centroid =
           sum.scaled(1.0 / static_cast<double>(syndrome.support));
     }
-    out.push_back(std::move(syndrome));
+    cache.centroid_index.add(syndrome.centroid);
+    cache.syndromes.push_back(std::move(syndrome));
   }
-  return out;
+  syndrome_cache_.emplace(std::move(cache));
+  return *syndrome_cache_;
+}
+
+std::vector<Syndrome> SignatureDatabase::syndromes() const {
+  return syndrome_cache().syndromes;
 }
 
 std::string SignatureDatabase::classify_by_syndrome(
-    const vsm::SparseVector& query, SimilarityMetric metric) const {
+    const vsm::SparseVector& query, SimilarityMetric metric,
+    ScanPolicy policy) const {
+  const auto& cache = syndrome_cache();
+  if (policy == ScanPolicy::kIndexed) {
+    // Nearest centroid via the syndrome index; the ascending-id tie-break
+    // picks the first-seen label, matching the scan below.
+    const auto hits = cache.centroid_index.top_k(query, 1,
+                                                 to_index_metric(metric));
+    return hits.empty() ? std::string() : cache.syndromes[hits[0].doc].label;
+  }
   std::string best_label;
   double best_score = -std::numeric_limits<double>::max();
-  for (const auto& syndrome : syndromes()) {
+  for (const auto& syndrome : cache.syndromes) {
     const double score =
         metric == SimilarityMetric::kCosine
             ? vsm::cosine_similarity(query, syndrome.centroid)
@@ -85,7 +175,7 @@ std::string SignatureDatabase::classify_by_syndrome(
 
 std::vector<std::size_t> SignatureDatabase::meta_cluster(
     std::size_t k, std::uint64_t seed) const {
-  const auto all = syndromes();
+  const auto& all = syndrome_cache().syndromes;
   if (all.size() < k) {
     throw std::invalid_argument("meta_cluster: fewer syndromes than clusters");
   }

@@ -6,19 +6,33 @@
 // labels, answers similarity queries (cosine or L2), maintains per-label
 // syndrome centroids, classifies unknown signatures by nearest syndrome, and
 // supports the paper's recursive meta-clustering of syndromes.
+//
+// Queries are served by an inverted index over the signatures' terms
+// (index::InvertedIndex), built incrementally as signatures are added — the
+// paper's "indexable like text documents" claim made concrete. The original
+// brute-force linear scan is retained as a per-query ScanPolicy fallback and
+// as the golden reference the index is tested against; both paths produce
+// identical hits (ids, labels, ordering, and bit-identical scores).
 #pragma once
 
 #include <cstddef>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "index/inverted_index.hpp"
 #include "ml/kmeans.hpp"
 #include "vsm/sparse_vector.hpp"
 
 namespace fmeter::core {
 
 enum class SimilarityMetric { kCosine, kEuclidean };
+
+/// How a query is executed. kIndexed walks the inverted index (default);
+/// kBruteForce runs the original linear scan over every stored signature.
+enum class ScanPolicy { kIndexed, kBruteForce };
 
 struct SearchHit {
   std::size_t id = 0;      ///< database entry id
@@ -34,8 +48,16 @@ struct Syndrome {
 
 class SignatureDatabase {
  public:
+  SignatureDatabase() = default;
+  // Copyable and movable despite the cache mutex: each instance owns a
+  // fresh mutex; data and any built cache travel with the object.
+  SignatureDatabase(const SignatureDatabase& other);
+  SignatureDatabase(SignatureDatabase&& other) noexcept;
+  SignatureDatabase& operator=(SignatureDatabase other) noexcept;
+
   /// Inserts a signature; returns its id. Signatures are expected to be
-  /// tf-idf weight vectors (typically L2-normalised).
+  /// tf-idf weight vectors (typically L2-normalised). Also feeds the
+  /// inverted index (incremental add) and invalidates the syndrome cache.
   std::size_t add(vsm::SparseVector signature, std::string label);
 
   std::size_t size() const noexcept { return signatures_.size(); }
@@ -50,20 +72,27 @@ class SignatureDatabase {
 
   /// Top-k most similar stored signatures. Cosine hits carry the similarity
   /// in [−1, 1]; Euclidean hits carry -distance so that larger is better in
-  /// both metrics.
+  /// both metrics. Equal-score hits order by ascending id under either
+  /// policy, so indexed and scanned results compare bit-for-bit.
   std::vector<SearchHit> search(const vsm::SparseVector& query, std::size_t k,
                                 SimilarityMetric metric =
-                                    SimilarityMetric::kCosine) const;
+                                    SimilarityMetric::kCosine,
+                                ScanPolicy policy = ScanPolicy::kIndexed) const;
 
   /// Per-label centroid syndromes ("the centroid of a cluster of signatures
-  /// can then be used as a syndrome", §2.2).
+  /// can then be used as a syndrome", §2.2). Cached; recomputed only after
+  /// new signatures arrive.
   std::vector<Syndrome> syndromes() const;
 
   /// Label of the syndrome closest to `query` (empty string on an empty
   /// database). The majority-vote alternative to a trained classifier.
+  /// Served by a small inverted index over the syndrome centroids; ties
+  /// resolve to the first-seen label, exactly like the scan.
   std::string classify_by_syndrome(const vsm::SparseVector& query,
                                    SimilarityMetric metric =
-                                       SimilarityMetric::kCosine) const;
+                                       SimilarityMetric::kCosine,
+                                   ScanPolicy policy =
+                                       ScanPolicy::kIndexed) const;
 
   /// Meta-clustering (paper §2.2/§6): clusters the per-label syndromes into
   /// `k` groups, revealing which whole classes of behavior are similar.
@@ -71,9 +100,29 @@ class SignatureDatabase {
   std::vector<std::size_t> meta_cluster(std::size_t k,
                                         std::uint64_t seed = 0x5eedULL) const;
 
+  /// The signature index backing search() (introspection / stats).
+  const index::InvertedIndex& index() const noexcept { return index_; }
+
  private:
+  struct SyndromeCache {
+    std::vector<Syndrome> syndromes;
+    index::InvertedIndex centroid_index;
+  };
+
+  /// Builds (or returns) the cached syndromes + centroid index. The lazy
+  /// build is mutex-guarded so concurrent const calls stay safe; once
+  /// built, the cache is immutable until the next (non-const) add().
+  const SyndromeCache& syndrome_cache() const;
+
+  std::vector<SearchHit> search_scan(const vsm::SparseVector& query,
+                                     std::size_t k,
+                                     SimilarityMetric metric) const;
+
   std::vector<vsm::SparseVector> signatures_;
   std::vector<std::string> labels_;
+  index::InvertedIndex index_;
+  mutable std::mutex syndrome_mutex_;
+  mutable std::optional<SyndromeCache> syndrome_cache_;
 };
 
 }  // namespace fmeter::core

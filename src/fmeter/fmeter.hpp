@@ -5,6 +5,7 @@
 //   * core::SignatureCollector  — the interval-diffing logging daemon
 //   * core::collect_signatures  — labeled corpus generation from workloads
 //   * core::SignatureDatabase   — similarity search, syndromes, meta-clustering
+//   * index::InvertedIndex      — the IR-style index serving database queries
 //   * vsm::TfIdfModel           — count documents -> indexable signatures
 //   * ml::KMeans / agglomerate / train_svm / cross_validate_svm
 //
@@ -18,6 +19,7 @@
 #include "fmeter/retrieval.hpp"    // IWYU pragma: export
 #include "fmeter/signature_gen.hpp"  // IWYU pragma: export
 #include "fmeter/system.hpp"       // IWYU pragma: export
+#include "index/inverted_index.hpp"  // IWYU pragma: export
 #include "ml/cross_validation.hpp"  // IWYU pragma: export
 #include "ml/hierarchical.hpp"     // IWYU pragma: export
 #include "ml/kmeans.hpp"           // IWYU pragma: export

@@ -6,7 +6,8 @@ namespace fmeter::core {
 
 RetrievalQuality evaluate_retrieval(const SignatureDatabase& db,
                                     const std::vector<RetrievalQuery>& queries,
-                                    std::size_t k, SimilarityMetric metric) {
+                                    std::size_t k, SimilarityMetric metric,
+                                    ScanPolicy policy) {
   if (db.empty()) throw std::invalid_argument("evaluate_retrieval: empty db");
   if (queries.empty()) {
     throw std::invalid_argument("evaluate_retrieval: no queries");
@@ -22,7 +23,7 @@ RetrievalQuality evaluate_retrieval(const SignatureDatabase& db,
   std::size_t top1_hits = 0;
 
   for (const auto& query : queries) {
-    const auto hits = db.search(query.signature, k, metric);
+    const auto hits = db.search(query.signature, k, metric, policy);
     std::size_t relevant = 0;
     std::size_t first_relevant_rank = 0;  // 1-based; 0 = none
     for (std::size_t rank = 0; rank < hits.size(); ++rank) {

@@ -1,0 +1,112 @@
+#include "index/inverted_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace fmeter::index {
+namespace {
+
+/// "a ranks strictly better than b": higher score first, then lower doc id.
+/// Shared by the heap and the final ordering so ties are deterministic.
+bool ranks_better(const IndexHit& a, const IndexHit& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+}  // namespace
+
+InvertedIndex::DocId InvertedIndex::add(const vsm::SparseVector& doc) {
+  const auto id = static_cast<DocId>(norms_.size());
+  const auto indices = doc.indices();
+  const auto values = doc.values();
+  // Transactional: a doc id only becomes visible via the final norms_ push,
+  // so a mid-add allocation failure must not leave stray postings behind
+  // (top_k sizes its accumulator by norms_ and would index past it).
+  norms_.reserve(norms_.size() + 1);  // makes the final push no-throw
+  if (!indices.empty() &&
+      static_cast<std::size_t>(indices.back()) >= postings_.size()) {
+    postings_.resize(static_cast<std::size_t>(indices.back()) + 1);
+  }
+  std::size_t appended = 0;
+  try {
+    for (; appended < indices.size(); ++appended) {
+      postings_[indices[appended]].push_back(Posting{id, values[appended]});
+    }
+  } catch (...) {
+    while (appended-- > 0) postings_[indices[appended]].pop_back();
+    throw;
+  }
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (postings_[indices[i]].size() == 1) ++nonempty_terms_;
+  }
+  num_postings_ += indices.size();
+  norms_.push_back(doc.norm_l2());
+  return id;
+}
+
+std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
+                                           std::size_t k,
+                                           Metric metric) const {
+  const std::size_t n = size();
+  const std::size_t top = std::min(k, n);
+  if (top == 0) return {};
+
+  // Term-at-a-time accumulation of dot(query, doc) for every doc. Query
+  // terms arrive in ascending index order, so each accumulator sums its
+  // doc's shared terms in the same order as SparseVector::dot's merge join.
+  std::vector<double> acc(n, 0.0);
+  const auto q_indices = query.indices();
+  const auto q_values = query.values();
+  for (std::size_t i = 0; i < q_indices.size(); ++i) {
+    const std::size_t term = q_indices[i];
+    if (term >= postings_.size()) continue;
+    const double q_weight = q_values[i];
+    for (const Posting& posting : postings_[term]) {
+      acc[posting.doc] += q_weight * posting.weight;
+    }
+  }
+
+  const double q_norm = query.norm_l2();
+
+  // Score every doc (including ones with zero overlap — the scan ranks them
+  // too) and keep the best `top` in a bounded heap whose root is the worst
+  // retained hit.
+  const auto heap_cmp = [](const IndexHit& a, const IndexHit& b) {
+    return ranks_better(a, b);  // best sinks, worst surfaces at top()
+  };
+  std::priority_queue<IndexHit, std::vector<IndexHit>, decltype(heap_cmp)>
+      heap(heap_cmp);
+  for (std::size_t doc = 0; doc < n; ++doc) {
+    IndexHit hit;
+    hit.doc = static_cast<DocId>(doc);
+    if (metric == Metric::kCosine) {
+      // Mirrors vsm::cosine_similarity: 0 when either vector is zero.
+      hit.score = (q_norm == 0.0 || norms_[doc] == 0.0)
+                      ? 0.0
+                      : acc[doc] / (q_norm * norms_[doc]);
+    } else {
+      // Mirrors vsm::euclidean_distance (negated): ||q-d||^2 expanded,
+      // clamped at zero before the sqrt. The clamp emits -0.0 because the
+      // scan negates the distance's +0.0 — bit-identical even in sign.
+      const double sq =
+          q_norm * q_norm + norms_[doc] * norms_[doc] - 2.0 * acc[doc];
+      hit.score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+    }
+    if (heap.size() < top) {
+      heap.push(hit);
+    } else if (ranks_better(hit, heap.top())) {
+      heap.pop();
+      heap.push(hit);
+    }
+  }
+
+  std::vector<IndexHit> hits(heap.size());
+  for (std::size_t i = heap.size(); i-- > 0;) {
+    hits[i] = heap.top();
+    heap.pop();
+  }
+  return hits;
+}
+
+}  // namespace fmeter::index

@@ -1,0 +1,17 @@
+// Shared test helper: per-process CPU seconds.
+//
+// Tracer-overhead tests assert cost *ratios* between tracers. Measuring
+// with a wall clock makes those assertions flake whenever another process
+// steals the core mid-measurement (parallel ctest, a benchmark, CI noise);
+// process CPU time is immune to that.
+#pragma once
+
+#include <ctime>
+
+namespace fmeter::testing {
+
+inline double cpu_seconds() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+}  // namespace fmeter::testing

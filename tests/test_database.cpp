@@ -101,6 +101,43 @@ TEST(SignatureDatabase, MetaClusterGroupsSimilarClasses) {
   EXPECT_NE(assignments[0], assignments[2]);  // networking stands apart
 }
 
+TEST(SignatureDatabase, BruteForcePolicyMatchesIndexedDefault) {
+  const auto db = three_class_db();
+  const auto query = vec({{1, 1.0}, {0, 0.2}});
+  for (const auto metric :
+       {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
+    const auto indexed = db.search(query, 4, metric);  // default policy
+    const auto scanned =
+        db.search(query, 4, metric, ScanPolicy::kBruteForce);
+    ASSERT_EQ(indexed.size(), scanned.size());
+    for (std::size_t i = 0; i < indexed.size(); ++i) {
+      EXPECT_EQ(indexed[i].id, scanned[i].id);
+      EXPECT_EQ(indexed[i].label, scanned[i].label);
+      EXPECT_EQ(indexed[i].score, scanned[i].score);
+    }
+  }
+}
+
+TEST(SignatureDatabase, IndexTracksAdds) {
+  SignatureDatabase db;
+  EXPECT_EQ(db.index().size(), 0u);
+  db.add(vec({{0, 1.0}, {3, 0.5}}), "x");
+  db.add(vec({{3, 1.0}}), "y");
+  EXPECT_EQ(db.index().size(), 2u);
+  EXPECT_EQ(db.index().num_terms(), 2u);
+  EXPECT_EQ(db.index().num_postings(), 3u);
+}
+
+TEST(SignatureDatabase, SyndromeCacheInvalidatedByAdd) {
+  auto db = three_class_db();
+  EXPECT_EQ(db.syndromes().size(), 3u);
+  db.add(vec({{5, 1.0}}), "d");
+  const auto syndromes = db.syndromes();
+  ASSERT_EQ(syndromes.size(), 4u);
+  EXPECT_EQ(syndromes[3].label, "d");
+  EXPECT_EQ(db.classify_by_syndrome(vec({{5, 1.0}})), "d");
+}
+
 TEST(SignatureDatabase, MetaClusterTooFewSyndromesThrows) {
   SignatureDatabase db;
   db.add(vec({{0, 1.0}}), "only");

@@ -2,8 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <chrono>
-
+#include "cpu_time.hpp"
 #include "simkern/kernel.hpp"
 #include "trace/fmeter_tracer.hpp"
 
@@ -85,13 +84,11 @@ TEST(GraphTracer, CostsMoreThanCountingTracer) {
   auto time_with = [&](simkern::TraceHook* hook) {
     kernel.install_tracer(hook);
     for (int i = 0; i < 5000; ++i) kernel.invoke(cpu, 1);  // warm
-    const auto start = std::chrono::steady_clock::now();
+    const double start = testing::cpu_seconds();
     for (int i = 0; i < 50000; ++i) {
       kernel.invoke(cpu, static_cast<simkern::FunctionId>(i % 800));
     }
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
+    return testing::cpu_seconds() - start;
   };
   const double fmeter_time = time_with(&fmeter);
   const double graph_time = time_with(&graph);

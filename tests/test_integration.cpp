@@ -1,8 +1,7 @@
 // End-to-end integration tests: the paper's full pipeline on reduced scales.
 #include <gtest/gtest.h>
 
-#include <chrono>
-
+#include "cpu_time.hpp"
 #include "fmeter/fmeter.hpp"
 
 namespace fmeter {
@@ -164,11 +163,9 @@ TEST(Integration, TracerOverheadOrdering) {
   auto time_units = [&](core::TracerKind kind, int units) {
     system.select_tracer(kind);
     for (int u = 0; u < units / 4; ++u) workload->run_unit(cpu);  // warm
-    const auto start = std::chrono::steady_clock::now();
+    const double start = testing::cpu_seconds();
     for (int u = 0; u < units; ++u) workload->run_unit(cpu);
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
+    return testing::cpu_seconds() - start;
   };
 
   const int units = 60;

@@ -2,13 +2,14 @@
 
 #include <gtest/gtest.h>
 
-#include <chrono>
-
+#include "cpu_time.hpp"
 #include "simkern/kernel.hpp"
 #include "trace/fmeter_tracer.hpp"
 
 namespace fmeter::trace {
 namespace {
+
+using fmeter::testing::cpu_seconds;
 
 simkern::KernelConfig small_config() {
   simkern::KernelConfig config;
@@ -60,11 +61,11 @@ TEST(KprobesTracer, SameSignalAsFmeterAtHigherCost) {
   run(&kprobes);
   fmeter.reset();
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const double t0 = cpu_seconds();
   run(&fmeter);
-  const auto t1 = std::chrono::steady_clock::now();
+  const double t1 = cpu_seconds();
   run(&kprobes);
-  const auto t2 = std::chrono::steady_clock::now();
+  const double t2 = cpu_seconds();
 
   const auto fmeter_snap = fmeter.snapshot();
   const auto kprobes_snap = kprobes.snapshot();
@@ -72,10 +73,8 @@ TEST(KprobesTracer, SameSignalAsFmeterAtHigherCost) {
     // Fmeter counted one run; kprobes two (warm + timed).
     EXPECT_EQ(kprobes_snap.counts[fn], 2 * fmeter_snap.counts[fn]);
   }
-  const double fmeter_time =
-      std::chrono::duration<double>(t1 - t0).count();
-  const double kprobes_time =
-      std::chrono::duration<double>(t2 - t1).count();
+  const double fmeter_time = t1 - t0;
+  const double kprobes_time = t2 - t1;
   EXPECT_GT(kprobes_time, fmeter_time * 1.5);
 }
 

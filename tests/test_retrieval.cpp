@@ -72,6 +72,26 @@ TEST(Retrieval, EuclideanMetricSupported) {
   EXPECT_DOUBLE_EQ(quality.precision_at_k, 1.0);
 }
 
+TEST(Retrieval, PoliciesProduceIdenticalQuality) {
+  const auto db = axis_db();
+  const std::vector<RetrievalQuery> queries = {
+      {vec({{0, 1.0}}), "a"},
+      {vec({{1, 1.0}}), "b"},
+      {vec({{0, 0.7}, {1, 0.7}}), "a"},
+  };
+  for (const auto metric :
+       {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
+    const auto indexed =
+        evaluate_retrieval(db, queries, 4, metric, ScanPolicy::kIndexed);
+    const auto scanned =
+        evaluate_retrieval(db, queries, 4, metric, ScanPolicy::kBruteForce);
+    EXPECT_DOUBLE_EQ(indexed.precision_at_k, scanned.precision_at_k);
+    EXPECT_DOUBLE_EQ(indexed.mean_reciprocal_rank,
+                     scanned.mean_reciprocal_rank);
+    EXPECT_DOUBLE_EQ(indexed.top1_accuracy, scanned.top1_accuracy);
+  }
+}
+
 TEST(Retrieval, InvalidInputsThrow) {
   const auto db = axis_db();
   const std::vector<RetrievalQuery> queries = {{vec({{0, 1.0}}), "a"}};

@@ -14,7 +14,14 @@
 //       Prints the n (default 15) highest-weighted kernel functions of the
 //       label's centroid signature — "what does this behavior do in the
 //       kernel?".
+//
+//   fmeter_inspect search <corpus.fmc> <doc-index> [k]
+//       Uses document <doc-index> as a query against an archive of all the
+//       other documents and prints the top-k hits from the inverted index
+//       (the paper's operator workflow: "which past incidents looked like
+//       this?"), plus the index's size statistics.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -31,7 +38,8 @@ int usage() {
                "usage:\n"
                "  fmeter_inspect collect <out.fmc> <workload> [workload...]\n"
                "  fmeter_inspect stats <corpus.fmc>\n"
-               "  fmeter_inspect topterms <corpus.fmc> <label> [n]\n");
+               "  fmeter_inspect topterms <corpus.fmc> <label> [n]\n"
+               "  fmeter_inspect search <corpus.fmc> <doc-index> [k]\n");
   return 2;
 }
 
@@ -157,6 +165,55 @@ int cmd_topterms(int argc, char** argv) {
   return 1;
 }
 
+int cmd_search(int argc, char** argv) {
+  if (argc != 4 && argc != 5) return usage();
+  const vsm::Corpus corpus = vsm::load_corpus(argv[2]);
+  // The doc index selects which incident gets analyzed — reject non-numeric
+  // input rather than silently querying doc 0.
+  char* end = nullptr;
+  const std::size_t query_doc = std::strtoul(argv[3], &end, 10);
+  if (end == argv[3] || *end != '\0') {
+    std::fprintf(stderr, "doc-index must be a number, got '%s'\n", argv[3]);
+    return 2;
+  }
+  std::size_t k = 10;
+  if (argc == 5) {
+    k = std::strtoul(argv[4], &end, 10);
+    if (end == argv[4] || *end != '\0' || k == 0) {
+      std::fprintf(stderr, "k must be a positive number, got '%s'\n", argv[4]);
+      return 2;
+    }
+  }
+  if (query_doc >= corpus.size()) {
+    std::fprintf(stderr, "doc-index %zu out of range (corpus has %zu docs)\n",
+                 query_doc, corpus.size());
+    return 1;
+  }
+
+  const auto signatures = core::signatures_from(corpus);
+  core::SignatureDatabase db;
+  std::vector<std::size_t> archive_doc;  // db id -> corpus doc
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (i == query_doc) continue;  // leave the query out of the archive
+    db.add(signatures[i], corpus[i].label);
+    archive_doc.push_back(i);
+  }
+
+  std::printf("query: doc %zu ('%s')   archive: %zu signatures\n", query_doc,
+              corpus[query_doc].label.c_str(), db.size());
+  std::printf("index: %zu terms, %zu postings\n\n", db.index().num_terms(),
+              db.index().num_postings());
+
+  std::printf("%5s %6s %-28s %10s\n", "rank", "doc", "label", "cosine");
+  const auto hits = db.search(signatures[query_doc], k);
+  for (std::size_t rank = 0; rank < hits.size(); ++rank) {
+    std::printf("%5zu %6zu %-28s %10.4f\n", rank + 1,
+                archive_doc[hits[rank].id], hits[rank].label.c_str(),
+                hits[rank].score);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -164,5 +221,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "collect") == 0) return cmd_collect(argc, argv);
   if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
   if (std::strcmp(argv[1], "topterms") == 0) return cmd_topterms(argc, argv);
+  if (std::strcmp(argv[1], "search") == 0) return cmd_search(argc, argv);
   return usage();
 }
