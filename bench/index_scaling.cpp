@@ -79,7 +79,9 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 32; ++i) queries.push_back(synthetic_signature(rng, zipf));
 
   std::vector<fmeter::bench::ShapeCheck> checks;
-  SignatureDatabase db;
+  // One shard: this bench isolates inverted-index savings against the scan;
+  // shard-parallel execution is bench_query_engine_scaling's story.
+  SignatureDatabase db(1);
   for (const std::size_t corpus :
        {std::size_t{1000}, std::size_t{10000}, std::size_t{100000}}) {
     if (corpus > max_corpus) break;

@@ -70,7 +70,7 @@ void BM_CosineSimilaritySearch(benchmark::State& state) {
       static_cast<std::size_t>(state.range(0)), 3815, 400, 4);
   vsm::TfIdfModel model;
   model.fit(corpus);
-  core::SignatureDatabase db;
+  core::SignatureDatabase db(1);  // single shard: measure the index, not threading
   for (const auto& doc : corpus.documents()) {
     db.add(model.transform(doc), doc.label);
   }
@@ -90,7 +90,7 @@ void BM_CosineSimilaritySearchBruteForce(benchmark::State& state) {
       static_cast<std::size_t>(state.range(0)), 3815, 400, 4);
   vsm::TfIdfModel model;
   model.fit(corpus);
-  core::SignatureDatabase db;
+  core::SignatureDatabase db(1);  // single shard: measure the scan baseline
   for (const auto& doc : corpus.documents()) {
     db.add(model.transform(doc), doc.label);
   }

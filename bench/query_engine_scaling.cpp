@@ -1,0 +1,181 @@
+// Query-engine throughput vs. shard count and batch size.
+//
+// PR 1's bench (index_scaling) showed the inverted index beating the linear
+// scan; this one shows the execution layer scaling that index across cores:
+// the same synthetic tf-idf corpus (a few hundred non-zero terms out of a
+// ~3.8k-function space, Zipf-skewed like Figure 1) is served through
+// exec::QueryEngine at every combination of shard count {1,2,4,8} and batch
+// size {1,16,64}. The baseline row (1 shard, batch 1) is the scalar
+// single-shard path every other configuration is normalized against.
+//
+// Results are bit-identical across all configurations (checked below), so
+// the table is purely an execution-cost story: shard parallelism needs
+// cores, batching pays even on one core by amortizing accumulator setup.
+//
+// Usage: bench_query_engine_scaling [max_corpus]
+//   e.g. `bench_query_engine_scaling 2000` as a CI smoke; the full ladder
+//   is 10k/100k signatures.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/query_engine.hpp"
+#include "exec/sharded_index.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/zipf.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace {
+
+using fmeter::exec::QueryEngine;
+using fmeter::exec::ShardedIndex;
+
+constexpr std::uint32_t kDimension = 3800;  // core-kernel function count, §2.1
+constexpr std::size_t kNnz = 200;           // functions touched per interval
+constexpr std::size_t kTopK = 10;
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+constexpr std::size_t kBatchSizes[] = {1, 16, 64};
+
+fmeter::vsm::SparseVector synthetic_signature(
+    fmeter::util::Rng& rng, const fmeter::util::ZipfDistribution& zipf) {
+  std::vector<fmeter::vsm::SparseVector::Entry> entries;
+  entries.reserve(kNnz);
+  for (std::size_t i = 0; i < kNnz; ++i) {
+    entries.emplace_back(
+        static_cast<fmeter::vsm::SparseVector::Index>(zipf.sample(rng)),
+        rng.uniform(0.1, 1.0));
+  }
+  return fmeter::vsm::SparseVector::from_entries(std::move(entries))
+      .l2_normalized();
+}
+
+/// Runs the whole query set through the engine in chunks of `batch` and
+/// returns the median queries/sec over `reps` passes.
+double engine_qps(const QueryEngine& engine,
+                  const std::vector<fmeter::vsm::SparseVector>& queries,
+                  std::size_t batch, int reps) {
+  const std::span<const fmeter::vsm::SparseVector> all(queries);
+  const auto sweep = [&] {
+    for (std::size_t begin = 0; begin < all.size(); begin += batch) {
+      const auto chunk = all.subspan(begin, std::min(batch, all.size() - begin));
+      (void)engine.run_batch(chunk, kTopK);
+    }
+  };
+  sweep();  // warmup
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    sweep();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    samples.push_back(static_cast<double>(queries.size()) / seconds);
+  }
+  return fmeter::util::percentile(samples, 50.0);
+}
+
+/// All configurations must return the same hits; verify a sample against
+/// the 1-shard scalar reference before trusting any throughput number.
+bool results_identical(const ShardedIndex& reference_index,
+                       const QueryEngine& engine,
+                       const std::vector<fmeter::vsm::SparseVector>& queries) {
+  const QueryEngine reference(reference_index);
+  const std::size_t sample = std::min<std::size_t>(4, queries.size());
+  const auto batched = engine.run_batch({queries.data(), sample}, kTopK);
+  for (std::size_t q = 0; q < sample; ++q) {
+    const auto expected = reference.run(queries[q], kTopK);
+    if (batched[q].size() != expected.size()) return false;
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+      if (batched[q][r].doc != expected[r].doc ||
+          batched[q][r].score != expected[r].score) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t parsed = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 0;
+  const std::size_t max_corpus = parsed > 0 ? parsed : 100000;
+
+  fmeter::bench::print_banner(
+      "query_engine_scaling: sharded + batched execution vs. scalar",
+      "§1/§2.2 — indexable signatures, now served shard-parallel");
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("hardware threads: %u\n\n", cores);
+
+  fmeter::util::Rng rng(0x5ca1e);
+  const fmeter::util::ZipfDistribution zipf(kDimension, 1.1);
+
+  std::vector<fmeter::vsm::SparseVector> queries;
+  for (int i = 0; i < 64; ++i) queries.push_back(synthetic_signature(rng, zipf));
+
+  std::vector<std::size_t> corpus_sizes;
+  for (const std::size_t size : {std::size_t{10000}, std::size_t{100000}}) {
+    if (size <= max_corpus) corpus_sizes.push_back(size);
+  }
+  if (corpus_sizes.empty()) corpus_sizes.push_back(max_corpus);
+
+  std::vector<fmeter::vsm::SparseVector> signatures;
+  std::vector<fmeter::bench::ShapeCheck> checks;
+
+  std::printf("%10s %7s %7s %14s %9s\n", "corpus", "shards", "batch",
+              "queries/s", "speedup");
+  for (const std::size_t corpus : corpus_sizes) {
+    while (signatures.size() < corpus) {
+      signatures.push_back(synthetic_signature(rng, zipf));
+    }
+    const int reps = corpus >= 100000 ? 3 : 5;
+
+    // The 1-shard index doubles as the bit-identity reference, so build it
+    // first and keep it alive for the whole corpus size.
+    ShardedIndex reference_index(1);
+    for (const auto& signature : signatures) reference_index.add(signature);
+
+    double baseline_qps = 0.0;
+    double best_parallel_qps = 0.0;
+    bool all_identical = true;
+    for (const std::size_t shards : kShardCounts) {
+      ShardedIndex sharded(shards);
+      if (shards > 1) {
+        for (const auto& signature : signatures) sharded.add(signature);
+      }
+      const ShardedIndex& index = shards == 1 ? reference_index : sharded;
+      const QueryEngine engine(index);
+      all_identical =
+          all_identical && results_identical(reference_index, engine, queries);
+      for (const std::size_t batch : kBatchSizes) {
+        const double qps = engine_qps(engine, queries, batch, reps);
+        if (shards == 1 && batch == 1) baseline_qps = qps;
+        if (shards > 1 && batch > 1) {
+          best_parallel_qps = std::max(best_parallel_qps, qps);
+        }
+        std::printf("%10zu %7zu %7zu %14.0f %8.2fx\n", corpus, shards, batch,
+                    qps, qps / baseline_qps);
+      }
+    }
+
+    checks.push_back({"all shard/batch configurations bit-identical at " +
+                          std::to_string(corpus) + " signatures",
+                      all_identical});
+    if (corpus >= 100000 && cores >= 4) {
+      checks.push_back(
+          {"batched sharded >= 2x scalar single-shard at 100k signatures",
+           best_parallel_qps >= 2.0 * baseline_qps});
+    }
+  }
+
+  return fmeter::bench::print_shape_checks(checks);
+}

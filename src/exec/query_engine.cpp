@@ -1,0 +1,180 @@
+#include "exec/query_engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <utility>
+
+namespace fmeter::exec {
+namespace {
+
+/// Below this many stored documents, scoring is microseconds of work and
+/// pool dispatch (queue mutex, condvar wakeup, future sync per task) would
+/// dominate it — run inline instead. Results are identical either way.
+constexpr std::size_t kMinDocsForDispatch = 4096;
+
+/// Scores one query against one shard, mapping hits to global doc ids.
+std::vector<IndexHit> shard_hits(const ShardedIndex& index, std::size_t shard,
+                                 const vsm::SparseVector& query, std::size_t k,
+                                 Metric metric, index::TopKScratch& scratch) {
+  auto hits = index.shard(shard).top_k(query, k, metric, &scratch);
+  for (auto& hit : hits) hit.doc = index.global_of(shard, hit.doc);
+  return hits;
+}
+
+/// Merges per-shard top-k lists into the global top-k. Each input list is
+/// already ordered by (score desc, global id asc) and doc ids are globally
+/// unique, so one sort over ≤ shards·k hits reproduces exactly the ranking
+/// a single-shard index would emit.
+std::vector<IndexHit> merge_shard_hits(std::vector<std::vector<IndexHit>> lists,
+                                       std::size_t k) {
+  if (lists.size() == 1) {
+    return std::move(lists.front());  // already global order, already ≤ k
+  }
+  std::vector<IndexHit> merged;
+  std::size_t total = 0;
+  for (const auto& list : lists) total += list.size();
+  merged.reserve(total);
+  for (auto& list : lists) {
+    merged.insert(merged.end(), list.begin(), list.end());
+  }
+  std::sort(merged.begin(), merged.end(), index::ranks_better);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const ShardedIndex& index, TaskPool* pool)
+    : index_(&index), pool_(pool) {}
+
+std::vector<IndexHit> QueryEngine::run(const vsm::SparseVector& query,
+                                       std::size_t k, Metric metric) const {
+  auto results = run_batch({&query, 1}, k, metric);
+  return std::move(results.front());
+}
+
+std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
+    std::span<const vsm::SparseVector> queries, std::size_t k,
+    Metric metric) const {
+  std::vector<const vsm::SparseVector*> pointers;
+  pointers.reserve(queries.size());
+  for (const auto& query : queries) pointers.push_back(&query);
+  return run_batch(std::span<const vsm::SparseVector* const>(pointers), k,
+                   metric);
+}
+
+std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
+    std::span<const vsm::SparseVector* const> queries, std::size_t k,
+    Metric metric) const {
+  std::vector<std::vector<IndexHit>> results(queries.size());
+  if (k == 0 || index_->empty()) return results;
+
+  // k = 0 was handled above; empty/all-zero queries resolve to "no hits"
+  // here, so only eligible queries reach a shard or the pool.
+  std::vector<std::size_t> eligible;
+  eligible.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (!queries[i]->empty()) eligible.push_back(i);
+  }
+  if (eligible.empty()) return results;
+
+  const std::size_t shards = index_->num_shards();
+
+  // Inline on the caller's thread when parallelism has nothing to win — a
+  // lone worker, a batch of one against a single shard, or an index small
+  // enough that dispatch overhead would dwarf the scoring — and when the
+  // caller *is* one of the pool's workers: blocking a fixed-size pool's
+  // worker on subtasks queued to the same pool can deadlock once every
+  // worker is a blocked submitter.
+  const auto run_inline = [&] {
+    index::TopKScratch scratch;
+    for (const std::size_t qi : eligible) {
+      std::vector<std::vector<IndexHit>> lists;
+      lists.reserve(shards);
+      for (std::size_t s = 0; s < shards; ++s) {
+        lists.push_back(
+            shard_hits(*index_, s, *queries[qi], k, metric, scratch));
+      }
+      results[qi] = merge_shard_hits(std::move(lists), k);
+    }
+    return std::move(results);
+  };
+  // Pool-independent cutoffs come first: resolving pool() materializes the
+  // process-wide shared pool, and inline-only workloads should never pay
+  // for spawning its threads.
+  if ((shards == 1 && eligible.size() == 1) ||
+      index_->size() < kMinDocsForDispatch) {
+    return run_inline();
+  }
+  TaskPool& pool = this->pool();
+  if (pool.size() <= 1 || pool.current_thread_is_worker()) {
+    return run_inline();
+  }
+
+  // Carve the eligible queries into blocks so that (#blocks × #shards)
+  // keeps every worker busy a few times over without making tasks so small
+  // that queueing dominates.
+  const std::size_t target_tasks = 4 * pool.size();
+  const std::size_t blocks = std::clamp<std::size_t>(
+      (target_tasks + shards - 1) / shards, 1, eligible.size());
+  const std::size_t block_size = (eligible.size() + blocks - 1) / blocks;
+
+  // partial[e * shards + s] = shard s's top-k for eligible query e. Tasks
+  // write disjoint slots, so the only synchronization needed is the
+  // futures' completion.
+  std::vector<std::vector<IndexHit>> partial(eligible.size() * shards);
+  std::vector<std::future<void>> pending;
+  pending.reserve(blocks * shards);
+  // Every already-submitted task holds references to the locals above, so
+  // nothing may unwind past them while a task is in flight: if a submit
+  // throws halfway through dispatch, drain what was queued, then rethrow.
+  try {
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t begin = 0; begin < eligible.size();
+           begin += block_size) {
+        const std::size_t end = std::min(begin + block_size, eligible.size());
+        pending.push_back(pool.submit([this, queries, &eligible, &partial, s,
+                                         begin, end, k, metric, shards] {
+          index::TopKScratch scratch;  // one accumulator for the whole block
+          for (std::size_t e = begin; e < end; ++e) {
+            partial[e * shards + s] = shard_hits(
+                *index_, s, *queries[eligible[e]], k, metric, scratch);
+          }
+        }));
+      }
+    }
+  } catch (...) {
+    for (auto& future : pending) {
+      try {
+        future.get();
+      } catch (...) {  // the submit failure outranks any task failure
+      }
+    }
+    throw;
+  }
+
+  // Wait for every task before touching `partial` (or letting it go out of
+  // scope); remember the first failure and rethrow it once all are done.
+  std::exception_ptr first_error;
+  for (auto& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (std::size_t e = 0; e < eligible.size(); ++e) {
+    std::vector<std::vector<IndexHit>> lists(
+        std::make_move_iterator(partial.begin() +
+                                static_cast<std::ptrdiff_t>(e * shards)),
+        std::make_move_iterator(partial.begin() +
+                                static_cast<std::ptrdiff_t>((e + 1) * shards)));
+    results[eligible[e]] = merge_shard_hits(std::move(lists), k);
+  }
+  return results;
+}
+
+}  // namespace fmeter::exec

@@ -1,0 +1,59 @@
+#include "exec/sharded_index.hpp"
+
+#include <stdexcept>
+
+namespace fmeter::exec {
+
+ShardedIndex::ShardedIndex(std::size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+ShardedIndex::DocId ShardedIndex::add(const vsm::SparseVector& doc) {
+  const auto global = static_cast<DocId>(size_);
+  const auto indices = doc.indices();
+  // Grow the occupancy bitmap before touching the shard so a failed resize
+  // leaves the index unchanged; the shard's own add() is transactional.
+  if (!indices.empty() &&
+      static_cast<std::size_t>(indices.back()) >= term_seen_.size()) {
+    term_seen_.resize(static_cast<std::size_t>(indices.back()) + 1, false);
+  }
+  const DocId local = shards_[shard_of(global)].add(doc);
+  if (local != local_of(global)) {
+    throw std::logic_error("ShardedIndex: shard id stream out of sync");
+  }
+  for (const auto term : indices) {
+    if (!term_seen_[term]) {
+      term_seen_[term] = true;
+      ++nonempty_terms_;
+    }
+  }
+  ++size_;
+  return global;
+}
+
+std::size_t ShardedIndex::num_postings() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.num_postings();
+  return total;
+}
+
+std::size_t ShardedIndex::memory_bytes() const noexcept {
+  std::size_t total = term_seen_.capacity() / 8;
+  for (const auto& shard : shards_) total += shard.memory_bytes();
+  return total;
+}
+
+std::vector<ShardStats> ShardedIndex::shard_stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats entry;
+    entry.docs = shard.size();
+    entry.terms = shard.num_terms();
+    entry.postings = shard.num_postings();
+    entry.memory_bytes = shard.memory_bytes();
+    stats.push_back(entry);
+  }
+  return stats;
+}
+
+}  // namespace fmeter::exec

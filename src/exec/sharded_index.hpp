@@ -1,0 +1,80 @@
+// Document-partitioned inverted index: N independent single-shard
+// index::InvertedIndex instances behind one global doc-id space.
+//
+// Documents are assigned round-robin by global id (global g lives in shard
+// g % N at local id g / N), so shard sizes stay balanced within one document
+// and the global↔local mapping is pure arithmetic — no lookup tables. Every
+// document's postings live entirely inside its shard, which is what makes
+// shard-parallel query execution (exec::QueryEngine) bit-identical to the
+// single-shard index: each shard's accumulation order and scoring are
+// unchanged, and within a shard ascending local id is ascending global id,
+// so the per-shard top-k lists merge into exactly the global ranking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "index/inverted_index.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::exec {
+
+using index::IndexHit;
+using index::Metric;
+
+/// Per-shard statistics snapshot (for fmeter_inspect and monitoring).
+struct ShardStats {
+  std::size_t docs = 0;
+  std::size_t terms = 0;
+  std::size_t postings = 0;
+  std::size_t memory_bytes = 0;
+};
+
+class ShardedIndex {
+ public:
+  using DocId = index::InvertedIndex::DocId;
+
+  explicit ShardedIndex(std::size_t num_shards = 1);
+
+  /// Appends a document; returns its global id (dense, starting at 0).
+  DocId add(const vsm::SparseVector& doc);
+
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  const index::InvertedIndex& shard(std::size_t s) const {
+    return shards_.at(s);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Distinct terms with at least one posting in *any* shard (a term that
+  /// appears in several shards counts once, unlike summing per-shard stats).
+  std::size_t num_terms() const noexcept { return nonempty_terms_; }
+  /// Total postings across all shards (== sum of nnz over documents).
+  std::size_t num_postings() const noexcept;
+  /// Aggregate heap footprint: every shard's postings + norms accounting
+  /// plus this layer's term-occupancy bitmap.
+  std::size_t memory_bytes() const noexcept;
+
+  std::vector<ShardStats> shard_stats() const;
+
+  /// Round-robin global↔local id mapping.
+  std::size_t shard_of(DocId global) const noexcept {
+    return global % shards_.size();
+  }
+  DocId local_of(DocId global) const noexcept {
+    return global / static_cast<DocId>(shards_.size());
+  }
+  DocId global_of(std::size_t shard, DocId local) const noexcept {
+    return local * static_cast<DocId>(shards_.size()) +
+           static_cast<DocId>(shard);
+  }
+
+ private:
+  std::vector<index::InvertedIndex> shards_;
+  std::vector<bool> term_seen_;  // global term occupancy, for num_terms()
+  std::size_t nonempty_terms_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fmeter::exec

@@ -1,0 +1,72 @@
+#include "exec/task_pool.hpp"
+
+#include <algorithm>
+
+namespace fmeter::exec {
+namespace {
+
+/// Which pool (if any) owns the current thread. Set once per worker at
+/// startup; never cleared — worker threads live exactly as long as their
+/// pool's worker_loop.
+thread_local const TaskPool* tls_owning_pool = nullptr;
+
+}  // namespace
+
+bool TaskPool::current_thread_is_worker() const noexcept {
+  return tls_owning_pool == this;
+}
+
+TaskPool::TaskPool(std::size_t num_threads) {
+  const std::size_t count = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(count);
+  try {
+    for (std::size_t i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread creation can fail under resource pressure; wind down whatever
+    // already started so the half-built pool does not leak threads.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    throw;
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void TaskPool::worker_loop() {
+  tls_owning_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: submitted futures must resolve.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    // Count before invoking so the increment is visible to anyone who has
+    // observed the task's future resolve.
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    task();  // packaged_task captures any exception into the future
+  }
+}
+
+TaskPool& TaskPool::shared() {
+  static TaskPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace fmeter::exec

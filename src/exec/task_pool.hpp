@@ -1,0 +1,86 @@
+// Fixed-size thread pool with futures — the execution substrate of the
+// query engine.
+//
+// Deliberately work-stealing-free: the engine carves a batch into
+// coarse-grained (shard, query-block) tasks whose costs are near-uniform, so
+// a single mutex-guarded FIFO keeps ordering simple, contention negligible
+// and behavior easy to reason about under TSan. Workers are spawned once at
+// construction and joined at destruction; submit() hands back a
+// std::future carrying the task's result or its exception.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fmeter::exec {
+
+class TaskPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit TaskPool(std::size_t num_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Number of tasks picked up by a worker (counted just before the task
+  /// runs). Lets tests assert that degenerate inputs cause no dispatch.
+  std::size_t tasks_executed() const noexcept {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// True iff the calling thread is one of *this* pool's workers. Blocking
+  /// on subtasks from inside a worker would deadlock a fixed-size pool, so
+  /// the query engine uses this to fall back to inline execution when a
+  /// search is issued from within a pool task.
+  bool current_thread_is_worker() const noexcept;
+
+  /// Enqueues `fn` and returns a future for its result; a throwing task
+  /// stores the exception in the future instead of taking the pool down.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F&>> {
+    using Result = std::invoke_result_t<F&>;
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("TaskPool: submit after shutdown");
+      }
+      queue_.push([task] { (*task)(); });
+    }
+    ready_.notify_one();
+    return future;
+  }
+
+  /// Process-wide pool sized to the hardware concurrency, created on first
+  /// use. Query engines default to it so that every SignatureDatabase does
+  /// not spawn its own threads.
+  static TaskPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::atomic<std::size_t> tasks_executed_{0};
+  bool stopping_ = false;
+};
+
+}  // namespace fmeter::exec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
 namespace fmeter::core {
 namespace {
@@ -12,14 +13,21 @@ index::Metric to_index_metric(SimilarityMetric metric) noexcept {
                                              : index::Metric::kEuclidean;
 }
 
-/// Shared ordering for hits: descending score, then ascending id, so
-/// equal-score results are deterministic and identical across policies.
+/// Scan-side ordering for hits, delegating to the one tie-break rule
+/// (index::ranks_better) so scan and engine can never drift apart.
 bool hit_before(const SearchHit& a, const SearchHit& b) noexcept {
-  if (a.score != b.score) return a.score > b.score;
-  return a.id < b.id;
+  return index::ranks_better(
+      {static_cast<index::InvertedIndex::DocId>(a.id), a.score},
+      {static_cast<index::InvertedIndex::DocId>(b.id), b.score});
 }
 
 }  // namespace
+
+std::size_t SignatureDatabase::default_num_shards() noexcept {
+  // One shard per hardware thread pays off until shard bookkeeping starts
+  // to rival per-shard work; 8 is plenty for the archive sizes we serve.
+  return std::clamp<std::size_t>(std::thread::hardware_concurrency(), 1, 8);
+}
 
 SignatureDatabase::SignatureDatabase(const SignatureDatabase& other)
     : signatures_(other.signatures_),
@@ -80,25 +88,53 @@ std::vector<std::string> SignatureDatabase::distinct_labels() const {
 std::vector<SearchHit> SignatureDatabase::search(
     const vsm::SparseVector& query, std::size_t k, SimilarityMetric metric,
     ScanPolicy policy) const {
+  auto results = search_batch({&query, 1}, k, metric, policy);
+  return std::move(results.front());
+}
+
+std::vector<std::vector<SearchHit>> SignatureDatabase::search_batch(
+    std::span<const vsm::SparseVector> queries, std::size_t k,
+    SimilarityMetric metric, ScanPolicy policy) const {
+  std::vector<const vsm::SparseVector*> pointers;
+  pointers.reserve(queries.size());
+  for (const auto& query : queries) pointers.push_back(&query);
+  return search_batch(std::span<const vsm::SparseVector* const>(pointers), k,
+                      metric, policy);
+}
+
+std::vector<std::vector<SearchHit>> SignatureDatabase::search_batch(
+    std::span<const vsm::SparseVector* const> queries, std::size_t k,
+    SimilarityMetric metric, ScanPolicy policy) const {
   if (policy == ScanPolicy::kBruteForce) {
-    return search_scan(query, k, metric);
+    std::vector<std::vector<SearchHit>> results;
+    results.reserve(queries.size());
+    for (const auto* query : queries) {
+      results.push_back(search_scan(*query, k, metric));
+    }
+    return results;
   }
-  const auto index_hits = index_.top_k(query, k, to_index_metric(metric));
-  std::vector<SearchHit> hits;
-  hits.reserve(index_hits.size());
-  for (const auto& index_hit : index_hits) {
-    SearchHit hit;
-    hit.id = index_hit.doc;
-    hit.label = labels_[index_hit.doc];
-    hit.score = index_hit.score;
-    hits.push_back(std::move(hit));
+  const exec::QueryEngine engine(index_);
+  const auto batch = engine.run_batch(queries, k, to_index_metric(metric));
+  std::vector<std::vector<SearchHit>> results(batch.size());
+  for (std::size_t q = 0; q < batch.size(); ++q) {
+    results[q].reserve(batch[q].size());
+    for (const auto& index_hit : batch[q]) {
+      SearchHit hit;
+      hit.id = index_hit.doc;
+      hit.label = labels_[index_hit.doc];
+      hit.score = index_hit.score;
+      results[q].push_back(std::move(hit));
+    }
   }
-  return hits;
+  return results;
 }
 
 std::vector<SearchHit> SignatureDatabase::search_scan(
     const vsm::SparseVector& query, std::size_t k,
     SimilarityMetric metric) const {
+  // Same degenerate-query contract as the engine: no hits for k == 0 or an
+  // all-zero/empty query.
+  if (k == 0 || query.empty()) return {};
   std::vector<SearchHit> hits;
   hits.reserve(signatures_.size());
   for (std::size_t id = 0; id < signatures_.size(); ++id) {
@@ -147,17 +183,9 @@ std::vector<Syndrome> SignatureDatabase::syndromes() const {
   return syndrome_cache().syndromes;
 }
 
-std::string SignatureDatabase::classify_by_syndrome(
+std::string SignatureDatabase::classify_scan(
     const vsm::SparseVector& query, SimilarityMetric metric,
-    ScanPolicy policy) const {
-  const auto& cache = syndrome_cache();
-  if (policy == ScanPolicy::kIndexed) {
-    // Nearest centroid via the syndrome index; the ascending-id tie-break
-    // picks the first-seen label, matching the scan below.
-    const auto hits = cache.centroid_index.top_k(query, 1,
-                                                 to_index_metric(metric));
-    return hits.empty() ? std::string() : cache.syndromes[hits[0].doc].label;
-  }
+    const SyndromeCache& cache) const {
   std::string best_label;
   double best_score = -std::numeric_limits<double>::max();
   for (const auto& syndrome : cache.syndromes) {
@@ -171,6 +199,24 @@ std::string SignatureDatabase::classify_by_syndrome(
     }
   }
   return best_label;
+}
+
+std::string SignatureDatabase::classify_by_syndrome(
+    const vsm::SparseVector& query, SimilarityMetric metric,
+    ScanPolicy policy) const {
+  const auto& cache = syndrome_cache();
+  // The engine defines the empty query as "no hits", but classification of
+  // a zero signature still has an answer (the scan's: score 0 cosine / the
+  // smallest-norm centroid), so the empty query takes the scan in both
+  // policies — keeping them in agreement.
+  if (policy == ScanPolicy::kBruteForce || query.empty()) {
+    return classify_scan(query, metric, cache);
+  }
+  // Nearest centroid via the engine (batch of one); the ascending-id
+  // tie-break picks the first-seen label, matching the scan.
+  const exec::QueryEngine engine(cache.centroid_index);
+  const auto hits = engine.run(query, 1, to_index_metric(metric));
+  return hits.empty() ? std::string() : cache.syndromes[hits[0].doc].label;
 }
 
 std::vector<std::size_t> SignatureDatabase::meta_cluster(

@@ -7,12 +7,18 @@
 // syndrome centroids, classifies unknown signatures by nearest syndrome, and
 // supports the paper's recursive meta-clustering of syndromes.
 //
-// Queries are served by an inverted index over the signatures' terms
-// (index::InvertedIndex), built incrementally as signatures are added — the
-// paper's "indexable like text documents" claim made concrete. The original
-// brute-force linear scan is retained as a per-query ScanPolicy fallback and
-// as the golden reference the index is tested against; both paths produce
-// identical hits (ids, labels, ordering, and bit-identical scores).
+// Queries execute through the parallel query engine (exec::QueryEngine) over
+// a sharded inverted index (exec::ShardedIndex, built incrementally as
+// signatures are added) — the paper's "indexable like text documents" claim
+// made concrete and spread across cores. Scalar lookups are batches of one;
+// search_batch() amortizes per-worker accumulator state across many queries.
+// The original brute-force linear scan is retained as a per-query ScanPolicy
+// fallback and as the golden reference the engine is tested against; all
+// paths produce identical hits (ids, labels, ordering, and bit-identical
+// scores) for every shard count.
+//
+// Degenerate queries are defined uniformly across paths: k == 0 or an
+// all-zero/empty query returns no hits, and no shard is dispatched.
 #pragma once
 
 #include <cstddef>
@@ -22,7 +28,8 @@
 #include <string>
 #include <vector>
 
-#include "index/inverted_index.hpp"
+#include "exec/query_engine.hpp"
+#include "exec/sharded_index.hpp"
 #include "ml/kmeans.hpp"
 #include "vsm/sparse_vector.hpp"
 
@@ -30,8 +37,9 @@ namespace fmeter::core {
 
 enum class SimilarityMetric { kCosine, kEuclidean };
 
-/// How a query is executed. kIndexed walks the inverted index (default);
-/// kBruteForce runs the original linear scan over every stored signature.
+/// How a query is executed. kIndexed runs the sharded inverted index through
+/// the query engine (default); kBruteForce runs the original linear scan
+/// over every stored signature.
 enum class ScanPolicy { kIndexed, kBruteForce };
 
 struct SearchHit {
@@ -48,7 +56,12 @@ struct Syndrome {
 
 class SignatureDatabase {
  public:
-  SignatureDatabase() = default;
+  /// Shards the index across min(hardware threads, 8) partitions.
+  SignatureDatabase() : SignatureDatabase(default_num_shards()) {}
+  /// Explicit shard count (clamped to ≥ 1). Results are independent of the
+  /// shard count — only query parallelism changes.
+  explicit SignatureDatabase(std::size_t num_shards) : index_(num_shards) {}
+
   // Copyable and movable despite the cache mutex: each instance owns a
   // fresh mutex; data and any built cache travel with the object.
   SignatureDatabase(const SignatureDatabase& other);
@@ -57,7 +70,7 @@ class SignatureDatabase {
 
   /// Inserts a signature; returns its id. Signatures are expected to be
   /// tf-idf weight vectors (typically L2-normalised). Also feeds the
-  /// inverted index (incremental add) and invalidates the syndrome cache.
+  /// sharded index (incremental add) and invalidates the syndrome cache.
   std::size_t add(vsm::SparseVector signature, std::string label);
 
   std::size_t size() const noexcept { return signatures_.size(); }
@@ -73,11 +86,29 @@ class SignatureDatabase {
   /// Top-k most similar stored signatures. Cosine hits carry the similarity
   /// in [−1, 1]; Euclidean hits carry -distance so that larger is better in
   /// both metrics. Equal-score hits order by ascending id under either
-  /// policy, so indexed and scanned results compare bit-for-bit.
+  /// policy, so indexed and scanned results compare bit-for-bit. k == 0 and
+  /// the empty query return no hits.
   std::vector<SearchHit> search(const vsm::SparseVector& query, std::size_t k,
                                 SimilarityMetric metric =
                                     SimilarityMetric::kCosine,
                                 ScanPolicy policy = ScanPolicy::kIndexed) const;
+
+  /// Batched search: one hit list per query, aligned with the input —
+  /// element i equals search(queries[i], ...) bit-for-bit, but the indexed
+  /// path executes the whole batch through the query engine, amortizing
+  /// per-worker accumulators across queries and running shards in parallel.
+  std::vector<std::vector<SearchHit>> search_batch(
+      std::span<const vsm::SparseVector> queries, std::size_t k,
+      SimilarityMetric metric = SimilarityMetric::kCosine,
+      ScanPolicy policy = ScanPolicy::kIndexed) const;
+
+  /// Same, over non-owning pointers — for query sets that are not stored
+  /// contiguously (e.g. RetrievalQuery structs), sparing a deep copy.
+  /// Pointers must be non-null.
+  std::vector<std::vector<SearchHit>> search_batch(
+      std::span<const vsm::SparseVector* const> queries, std::size_t k,
+      SimilarityMetric metric = SimilarityMetric::kCosine,
+      ScanPolicy policy = ScanPolicy::kIndexed) const;
 
   /// Per-label centroid syndromes ("the centroid of a cluster of signatures
   /// can then be used as a syndrome", §2.2). Cached; recomputed only after
@@ -86,8 +117,8 @@ class SignatureDatabase {
 
   /// Label of the syndrome closest to `query` (empty string on an empty
   /// database). The majority-vote alternative to a trained classifier.
-  /// Served by a small inverted index over the syndrome centroids; ties
-  /// resolve to the first-seen label, exactly like the scan.
+  /// Served by the query engine over a small index of the syndrome
+  /// centroids; ties resolve to the first-seen label, exactly like the scan.
   std::string classify_by_syndrome(const vsm::SparseVector& query,
                                    SimilarityMetric metric =
                                        SimilarityMetric::kCosine,
@@ -100,13 +131,16 @@ class SignatureDatabase {
   std::vector<std::size_t> meta_cluster(std::size_t k,
                                         std::uint64_t seed = 0x5eedULL) const;
 
-  /// The signature index backing search() (introspection / stats).
-  const index::InvertedIndex& index() const noexcept { return index_; }
+  /// The sharded index backing search() (introspection / stats).
+  const exec::ShardedIndex& index() const noexcept { return index_; }
+  std::size_t num_shards() const noexcept { return index_.num_shards(); }
 
  private:
+  static std::size_t default_num_shards() noexcept;
+
   struct SyndromeCache {
     std::vector<Syndrome> syndromes;
-    index::InvertedIndex centroid_index;
+    exec::ShardedIndex centroid_index;  // single shard: a handful of docs
   };
 
   /// Builds (or returns) the cached syndromes + centroid index. The lazy
@@ -118,9 +152,13 @@ class SignatureDatabase {
                                      std::size_t k,
                                      SimilarityMetric metric) const;
 
+  std::string classify_scan(const vsm::SparseVector& query,
+                            SimilarityMetric metric,
+                            const SyndromeCache& cache) const;
+
   std::vector<vsm::SparseVector> signatures_;
   std::vector<std::string> labels_;
-  index::InvertedIndex index_;
+  exec::ShardedIndex index_;
   mutable std::mutex syndrome_mutex_;
   mutable std::optional<SyndromeCache> syndrome_cache_;
 };

@@ -5,13 +5,17 @@
 //   * core::SignatureCollector  — the interval-diffing logging daemon
 //   * core::collect_signatures  — labeled corpus generation from workloads
 //   * core::SignatureDatabase   — similarity search, syndromes, meta-clustering
-//   * index::InvertedIndex      — the IR-style index serving database queries
+//   * index::InvertedIndex      — the IR-style single-shard index
+//   * exec::ShardedIndex / exec::QueryEngine — shard-parallel, batched search
 //   * vsm::TfIdfModel           — count documents -> indexable signatures
 //   * ml::KMeans / agglomerate / train_svm / cross_validate_svm
 //
 // See examples/quickstart.cpp for the canonical five-minute tour.
 #pragma once
 
+#include "exec/query_engine.hpp"   // IWYU pragma: export
+#include "exec/sharded_index.hpp"  // IWYU pragma: export
+#include "exec/task_pool.hpp"      // IWYU pragma: export
 #include "fmeter/anomaly.hpp"      // IWYU pragma: export
 #include "fmeter/collector.hpp"    // IWYU pragma: export
 #include "fmeter/database.hpp"     // IWYU pragma: export

@@ -22,8 +22,18 @@ RetrievalQuality evaluate_retrieval(const SignatureDatabase& db,
   double reciprocal_rank_sum = 0.0;
   std::size_t top1_hits = 0;
 
-  for (const auto& query : queries) {
-    const auto hits = db.search(query.signature, k, metric, policy);
+  // One batched round-trip through the query engine instead of
+  // queries.size() scalar searches: shards run in parallel and per-worker
+  // accumulators are reused across the whole batch. The pointer overload
+  // reaches into the RetrievalQuery structs without copying signatures.
+  std::vector<const vsm::SparseVector*> signatures;
+  signatures.reserve(queries.size());
+  for (const auto& query : queries) signatures.push_back(&query.signature);
+  const auto batches = db.search_batch(signatures, k, metric, policy);
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto& query = queries[q];
+    const auto& hits = batches[q];
     std::size_t relevant = 0;
     std::size_t first_relevant_rank = 0;  // 1-based; 0 = none
     for (std::size_t rank = 0; rank < hits.size(); ++rank) {

@@ -36,9 +36,10 @@ struct RetrievalQuality {
 /// Runs every query against the database and aggregates the measures.
 /// Queries must not be pre-inserted in the database (no self-hits are
 /// excluded). Throws std::invalid_argument on empty inputs or k == 0.
-/// Queries execute through the inverted index by default; pass
-/// ScanPolicy::kBruteForce to evaluate against the linear scan instead
-/// (useful for A/B-ing the two paths — the scores are identical).
+/// Queries execute as one batch through the parallel query engine by
+/// default; pass ScanPolicy::kBruteForce to evaluate against the linear
+/// scan instead (useful for A/B-ing the two paths — the scores are
+/// identical).
 RetrievalQuality evaluate_retrieval(const SignatureDatabase& db,
                                     const std::vector<RetrievalQuery>& queries,
                                     std::size_t k,

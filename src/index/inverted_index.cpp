@@ -5,16 +5,6 @@
 #include <queue>
 
 namespace fmeter::index {
-namespace {
-
-/// "a ranks strictly better than b": higher score first, then lower doc id.
-/// Shared by the heap and the final ordering so ties are deterministic.
-bool ranks_better(const IndexHit& a, const IndexHit& b) noexcept {
-  if (a.score != b.score) return a.score > b.score;
-  return a.doc < b.doc;
-}
-
-}  // namespace
 
 InvertedIndex::DocId InvertedIndex::add(const vsm::SparseVector& doc) {
   const auto id = static_cast<DocId>(norms_.size());
@@ -45,17 +35,31 @@ InvertedIndex::DocId InvertedIndex::add(const vsm::SparseVector& doc) {
   return id;
 }
 
+std::size_t InvertedIndex::memory_bytes() const noexcept {
+  std::size_t bytes = postings_.capacity() * sizeof(postings_[0]) +
+                      norms_.capacity() * sizeof(double);
+  for (const auto& list : postings_) bytes += list.capacity() * sizeof(Posting);
+  return bytes;
+}
+
 std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
-                                           std::size_t k,
-                                           Metric metric) const {
+                                           std::size_t k, Metric metric,
+                                           TopKScratch* scratch) const {
   const std::size_t n = size();
   const std::size_t top = std::min(k, n);
-  if (top == 0) return {};
+  // k == 0 and the all-zero/empty query are defined to return no hits (the
+  // brute-force scan applies the same rule, so the paths stay equivalent).
+  if (top == 0 || query.empty()) return {};
 
   // Term-at-a-time accumulation of dot(query, doc) for every doc. Query
   // terms arrive in ascending index order, so each accumulator sums its
   // doc's shared terms in the same order as SparseVector::dot's merge join.
-  std::vector<double> acc(n, 0.0);
+  // The accumulator lives in the caller's scratch when provided, so a batch
+  // of queries pays for the allocation once.
+  TopKScratch local;
+  TopKScratch& state = scratch != nullptr ? *scratch : local;
+  state.accumulators.assign(n, 0.0);
+  std::vector<double>& acc = state.accumulators;
   const auto q_indices = query.indices();
   const auto q_values = query.values();
   for (std::size_t i = 0; i < q_indices.size(); ++i) {

@@ -39,6 +39,21 @@ struct IndexHit {
   double score = 0.0;
 };
 
+/// "a ranks strictly better than b": higher score first, then lower doc id.
+/// The single ordering shared by the per-index heap, the brute-force scan
+/// and the shard merge, so ties are deterministic everywhere.
+inline bool ranks_better(const IndexHit& a, const IndexHit& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+/// Reusable per-worker scoring state. Passing the same scratch to many
+/// top_k() calls amortizes the O(#docs) accumulator allocation across a
+/// batch of queries (the buffer is re-zeroed, not re-allocated).
+struct TopKScratch {
+  std::vector<double> accumulators;
+};
+
 class InvertedIndex {
  public:
   using DocId = std::uint32_t;
@@ -59,12 +74,21 @@ class InvertedIndex {
   /// Cached L2 norm of a stored document.
   double norm(DocId doc) const { return norms_.at(doc); }
 
+  /// Heap-allocated footprint of the index: posting-list storage (including
+  /// unused capacity), the per-term list headers and the cached norms.
+  std::size_t memory_bytes() const noexcept;
+
   /// Top-k most similar documents, ranked by descending score; equal scores
   /// order by ascending doc id (deterministic tie-break). k is clamped to
   /// size(). Returns scores bit-identical to a linear scan that calls
   /// vsm::cosine_similarity / vsm::euclidean_distance per document.
+  ///
+  /// Degenerate queries are defined, not accidental: k == 0 and the
+  /// empty/all-zero query both return no hits without walking any posting
+  /// list. An optional scratch reuses the accumulator buffer across calls.
   std::vector<IndexHit> top_k(const vsm::SparseVector& query, std::size_t k,
-                              Metric metric = Metric::kCosine) const;
+                              Metric metric = Metric::kCosine,
+                              TopKScratch* scratch = nullptr) const;
 
  private:
   struct Posting {

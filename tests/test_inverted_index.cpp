@@ -112,11 +112,18 @@ TEST(InvertedIndex, NegativeWeightsMatchBruteForce) {
   }
 }
 
-TEST(InvertedIndex, EmptyQueryVectorMatchesBruteForce) {
+TEST(InvertedIndex, EmptyQueryVectorReturnsNoHitsInBothPaths) {
   util::Rng rng(0xcafe);
   const auto db = random_db(rng, 30, 16, 6);
-  // All cosine scores are 0, all Euclidean scores are -|d|: order must still
-  // agree between the two policies (ascending id for ties).
+  // The all-zero/empty query is defined to return no hits — a zero
+  // signature carries no evidence to rank by — and both policies (plus the
+  // golden-equivalence harness) must agree on that.
+  for (const auto metric :
+       {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
+    for (const auto policy : {ScanPolicy::kIndexed, ScanPolicy::kBruteForce}) {
+      EXPECT_TRUE(db.search(vsm::SparseVector(), 10, metric, policy).empty());
+    }
+  }
   expect_golden_equivalence(db, vsm::SparseVector(), 10, "empty query");
 }
 
@@ -171,7 +178,9 @@ TEST(InvertedIndex, ExactMatchEuclideanScoreIsNegativeZeroInBothPaths) {
 TEST(InvertedIndex, KLargerThanSizeClamps) {
   util::Rng rng(0x5eed);
   const auto db = random_db(rng, 7, 16, 5);
-  const auto query = random_sparse(rng, 16, 5);
+  // Non-empty by construction: the clamp behavior under test must not
+  // collapse into the empty-query "no hits" rule.
+  const auto query = vsm::SparseVector::from_entries({{2, 0.7}, {9, 0.4}});
   for (const auto policy : {ScanPolicy::kIndexed, ScanPolicy::kBruteForce}) {
     EXPECT_EQ(db.search(query, 100, SimilarityMetric::kCosine, policy).size(),
               7u);

@@ -1,0 +1,118 @@
+// ShardedIndex: round-robin id mapping invariants, balanced shard fill,
+// distinct-term and posting aggregation, and memory accounting.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/sharded_index.hpp"
+#include "util/rng.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::exec {
+namespace {
+
+vsm::SparseVector random_sparse(util::Rng& rng, std::uint32_t dimension,
+                                std::size_t max_nnz) {
+  std::vector<vsm::SparseVector::Entry> entries;
+  const std::size_t nnz = rng.below(max_nnz + 1);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    entries.emplace_back(
+        static_cast<vsm::SparseVector::Index>(rng.below(dimension)),
+        rng.uniform(0.05, 1.0));
+  }
+  return vsm::SparseVector::from_entries(std::move(entries));
+}
+
+TEST(ShardedIndex, GlobalLocalMappingRoundTrips) {
+  for (const std::size_t shards : {1u, 2u, 3u, 5u, 8u}) {
+    const ShardedIndex index(shards);
+    for (ShardedIndex::DocId global = 0; global < 100; ++global) {
+      const std::size_t shard = index.shard_of(global);
+      const auto local = index.local_of(global);
+      EXPECT_LT(shard, shards);
+      EXPECT_EQ(index.global_of(shard, local), global)
+          << shards << " shards, global " << global;
+    }
+  }
+}
+
+TEST(ShardedIndex, AddAssignsSequentialGlobalIdsAndBalancesShards) {
+  util::Rng rng(0x51a2);
+  ShardedIndex index(3);
+  for (ShardedIndex::DocId expected = 0; expected < 20; ++expected) {
+    EXPECT_EQ(index.add(random_sparse(rng, 32, 6)), expected);
+  }
+  EXPECT_EQ(index.size(), 20u);
+  // Round-robin keeps shard sizes within one document of each other.
+  std::size_t smallest = index.shard(0).size();
+  std::size_t largest = smallest;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < index.num_shards(); ++s) {
+    const std::size_t docs = index.shard(s).size();
+    smallest = std::min(smallest, docs);
+    largest = std::max(largest, docs);
+    total += docs;
+  }
+  EXPECT_EQ(total, 20u);
+  EXPECT_LE(largest - smallest, 1u);
+}
+
+TEST(ShardedIndex, ZeroShardRequestClampsToOne) {
+  ShardedIndex index(0);
+  EXPECT_EQ(index.num_shards(), 1u);
+  EXPECT_EQ(index.add(vsm::SparseVector::from_entries({{0, 1.0}})), 0u);
+}
+
+TEST(ShardedIndex, NumTermsCountsDistinctTermsAcrossShards) {
+  ShardedIndex index(2);
+  // Term 7 lands in both shards; it must count once globally even though
+  // each shard reports it separately.
+  index.add(vsm::SparseVector::from_entries({{7, 1.0}, {3, 0.5}}));  // shard 0
+  index.add(vsm::SparseVector::from_entries({{7, 2.0}}));            // shard 1
+  index.add(vsm::SparseVector::from_entries({{11, 1.0}}));           // shard 0
+  EXPECT_EQ(index.num_terms(), 3u);  // terms 3, 7, 11
+  EXPECT_EQ(index.num_postings(), 4u);
+  std::size_t per_shard_term_sum = 0;
+  for (const auto& stats : index.shard_stats()) {
+    per_shard_term_sum += stats.terms;
+  }
+  EXPECT_EQ(per_shard_term_sum, 4u);  // 7,3 in shard 0 + 7 in shard 1 + 11
+}
+
+TEST(ShardedIndex, ShardStatsSumToAggregates) {
+  util::Rng rng(0x57a7);
+  ShardedIndex index(4);
+  for (int i = 0; i < 40; ++i) index.add(random_sparse(rng, 64, 10));
+
+  const auto stats = index.shard_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  std::size_t docs = 0;
+  std::size_t postings = 0;
+  std::size_t memory = 0;
+  for (const auto& shard : stats) {
+    docs += shard.docs;
+    postings += shard.postings;
+    memory += shard.memory_bytes;
+  }
+  EXPECT_EQ(docs, index.size());
+  EXPECT_EQ(postings, index.num_postings());
+  // Aggregate = shard footprints + this layer's term bitmap.
+  EXPECT_GE(index.memory_bytes(), memory);
+}
+
+TEST(ShardedIndex, MemoryBytesTracksContent) {
+  ShardedIndex index(2);
+  EXPECT_EQ(index.num_postings(), 0u);
+  const std::size_t before = index.memory_bytes();
+  util::Rng rng(0x3e3);
+  for (int i = 0; i < 30; ++i) index.add(random_sparse(rng, 48, 8));
+  // Postings dominate the footprint: at least one (doc, weight) pair per
+  // posting must be accounted for.
+  EXPECT_GE(index.memory_bytes(),
+            before + index.num_postings() *
+                         (sizeof(std::uint32_t) + sizeof(double)));
+}
+
+}  // namespace
+}  // namespace fmeter::exec

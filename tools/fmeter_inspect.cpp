@@ -7,8 +7,9 @@
 //                  netperf151nolro bootup
 //
 //   fmeter_inspect stats <corpus.fmc>
-//       Prints per-label document counts, corpus vocabulary statistics and
-//       the cosine-similarity matrix between per-label tf-idf centroids.
+//       Prints per-label document counts, corpus vocabulary statistics,
+//       per-shard inverted-index statistics (docs, terms, postings, memory)
+//       and the cosine-similarity matrix between per-label tf-idf centroids.
 //
 //   fmeter_inspect topterms <corpus.fmc> <label> [n]
 //       Prints the n (default 15) highest-weighted kernel functions of the
@@ -97,6 +98,20 @@ int cmd_stats(int argc, char** argv) {
     db.add(signatures[i], corpus[i].label);
   }
   const auto syndromes = db.syndromes();
+
+  const auto& index = db.index();
+  std::printf("index: %zu shards, %zu distinct terms, %zu postings, %.1f KiB\n",
+              index.num_shards(), index.num_terms(), index.num_postings(),
+              static_cast<double>(index.memory_bytes()) / 1024.0);
+  std::printf("%8s %8s %8s %10s %10s\n", "shard", "docs", "terms", "postings",
+              "KiB");
+  const auto shard_stats = index.shard_stats();
+  for (std::size_t s = 0; s < shard_stats.size(); ++s) {
+    std::printf("%8zu %8zu %8zu %10zu %10.1f\n", s, shard_stats[s].docs,
+                shard_stats[s].terms, shard_stats[s].postings,
+                static_cast<double>(shard_stats[s].memory_bytes) / 1024.0);
+  }
+  std::printf("\n");
 
   std::printf("%-28s %8s %14s\n", "label", "docs", "mean calls/doc");
   for (const auto& syndrome : syndromes) {
@@ -201,7 +216,8 @@ int cmd_search(int argc, char** argv) {
 
   std::printf("query: doc %zu ('%s')   archive: %zu signatures\n", query_doc,
               corpus[query_doc].label.c_str(), db.size());
-  std::printf("index: %zu terms, %zu postings\n\n", db.index().num_terms(),
+  std::printf("index: %zu shards, %zu terms, %zu postings\n\n",
+              db.index().num_shards(), db.index().num_terms(),
               db.index().num_postings());
 
   std::printf("%5s %6s %-28s %10s\n", "rank", "doc", "label", "cosine");
