@@ -8,16 +8,147 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "fmeter/fmeter.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/zipf.hpp"
+#include "vsm/sparse_vector.hpp"
 
 namespace fmeter::bench {
+
+/// One key/value cell of a machine-readable benchmark row. Numbers stay
+/// numbers in the JSON; strings are escaped.
+struct JsonField {
+  std::string key;
+  bool is_string = false;
+  double number = 0.0;
+  std::string text;
+};
+
+inline JsonField jnum(std::string key, double value) {
+  JsonField field;
+  field.key = std::move(key);
+  field.number = value;
+  return field;
+}
+
+inline JsonField jstr(std::string key, std::string value) {
+  JsonField field;
+  field.key = std::move(key);
+  field.is_string = true;
+  field.text = std::move(value);
+  return field;
+}
+
+using JsonRow = std::vector<JsonField>;
+
+/// Writes `{"bench": <name>, "rows": [...]}` to `path` ("-" for stdout) so
+/// the perf trajectory of every bench run is machine-trackable (CI uploads
+/// the BENCH_*.json files as artifacts). Returns false (with a message on
+/// stderr) if the file cannot be written — benches report but do not fail
+/// on that.
+inline bool emit_json(const std::string& path, const std::string& bench_name,
+                      const std::vector<JsonRow>& rows) {
+  const auto escape = [](const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::FILE* file = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "emit_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "{\"bench\": \"%s\", \"rows\": [\n",
+               escape(bench_name).c_str());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(file, "  {");
+    for (std::size_t f = 0; f < rows[r].size(); ++f) {
+      const JsonField& field = rows[r][f];
+      if (field.is_string) {
+        std::fprintf(file, "\"%s\": \"%s\"", escape(field.key).c_str(),
+                     escape(field.text).c_str());
+      } else {
+        std::fprintf(file, "\"%s\": %.10g", escape(field.key).c_str(),
+                     field.number);
+      }
+      if (f + 1 < rows[r].size()) std::fprintf(file, ", ");
+    }
+    std::fprintf(file, "}%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "]}\n");
+  if (file != stdout) std::fclose(file);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Shared synthetic-archive model for the scaling benches.
+//
+// The corpus models the paper's archive structure: several behavior classes
+// (cf. the eight traced workloads plus configurations, §4), each drawing
+// its kernel functions through its own permutation of a Zipf rank
+// distribution over the core-function space — distinct workloads exercise
+// distinct kernel paths — with log-normal per-function weight magnitudes
+// (call counts per interval span orders of magnitude, Figure 1's power-law
+// tails), duplicate samples summed and vectors L2-normalized ("scaled into
+// the unit ball", §4.2.1).
+// ---------------------------------------------------------------------------
+
+/// Per-class permutations of the Zipf rank -> function-id mapping: class
+/// c's hot kernel functions are a different slice of the function space
+/// (class 0 keeps the identity mapping).
+inline std::vector<std::vector<std::uint32_t>> class_permutations(
+    util::Rng& rng, std::size_t classes, std::uint32_t dimension) {
+  std::vector<std::vector<std::uint32_t>> perm(
+      classes, std::vector<std::uint32_t>(dimension));
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::iota(perm[c].begin(), perm[c].end(), 0u);
+    if (c > 0) {
+      for (std::uint32_t i = dimension; i > 1; --i) {
+        std::swap(perm[c][i - 1], perm[c][rng.below(i)]);
+      }
+    }
+  }
+  return perm;
+}
+
+/// One synthetic tf-idf signature of the class whose permutation is given.
+inline vsm::SparseVector synthetic_class_signature(
+    util::Rng& rng, const util::ZipfDistribution& zipf,
+    const std::vector<std::uint32_t>& perm, std::size_t nnz) {
+  std::vector<vsm::SparseVector::Entry> entries;
+  entries.reserve(nnz);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    entries.emplace_back(
+        static_cast<vsm::SparseVector::Index>(perm[zipf.sample(rng)]),
+        std::exp(rng.normal(0.0, 2.0)));
+  }
+  return vsm::SparseVector::from_entries(std::move(entries)).l2_normalized();
+}
 
 /// Times `iterations` runs of `op`, repeated `repetitions` times; returns
 /// per-iteration microseconds as samples.

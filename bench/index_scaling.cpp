@@ -1,12 +1,23 @@
-// Scan vs. inverted-index query throughput as the signature archive grows.
+// Scan vs. inverted-index vs. max-score-pruned query throughput as the
+// signature archive grows.
 //
 // The paper's pitch is that signatures are indexable "similar to regular
 // text documents" — which only pays off if the index actually beats a
-// linear scan once the archive is big. This bench stores 1k/10k/100k
-// synthetic tf-idf signatures (realistic sparsity: a few hundred non-zero
-// terms out of a ~3.8k-function space, Zipf-skewed like Figure 1) and
-// measures queries/sec for ScanPolicy::kBruteForce vs. kIndexed on the same
-// SignatureDatabase, for both metrics.
+// linear scan once the archive is big, and classic IR engines additionally
+// prune with score upper bounds instead of scoring every document. This
+// bench stores 1k/10k/100k synthetic tf-idf signatures and measures
+// queries/sec for three execution policies on the same SignatureDatabase,
+// for both metrics: the brute-force scan, the exact indexed path
+// (bit-identical to the scan) and the max-score-pruned indexed path
+// (same hits, same order, scores within 1e-9 — verified below before any
+// throughput number is trusted).
+//
+// The synthetic corpus is bench_common.hpp's shared archive model: eleven
+// behavior classes over per-class Zipf(1.1) permutations of the ~3.8k
+// core-function space with log-normal weight magnitudes (Figure 1).
+//
+// Usage: bench_index_scaling [max_corpus]   (e.g. 1000 as a CI smoke)
+// Writes machine-readable results to BENCH_index_scaling.json.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,39 +31,51 @@
 
 namespace {
 
+using fmeter::core::PruningMode;
+using fmeter::core::QueryStats;
 using fmeter::core::ScanPolicy;
+using fmeter::core::SearchHit;
 using fmeter::core::SignatureDatabase;
 using fmeter::core::SimilarityMetric;
 
 constexpr std::uint32_t kDimension = 3800;  // core-kernel function count, §2.1
-constexpr std::size_t kNnz = 200;           // functions touched per interval
+constexpr std::size_t kNnz = 200;           // function samples per interval
 constexpr std::size_t kTopK = 10;
+constexpr std::size_t kClasses = 11;        // distinct behaviors in the archive
 
 fmeter::vsm::SparseVector synthetic_signature(
-    fmeter::util::Rng& rng, const fmeter::util::ZipfDistribution& zipf) {
-  std::vector<fmeter::vsm::SparseVector::Entry> entries;
-  entries.reserve(kNnz);
-  for (std::size_t i = 0; i < kNnz; ++i) {
-    entries.emplace_back(
-        static_cast<fmeter::vsm::SparseVector::Index>(zipf.sample(rng)),
-        rng.uniform(0.1, 1.0));
-  }
-  return fmeter::vsm::SparseVector::from_entries(std::move(entries))
-      .l2_normalized();
+    fmeter::util::Rng& rng, const fmeter::util::ZipfDistribution& zipf,
+    const std::vector<std::uint32_t>& perm) {
+  return fmeter::bench::synthetic_class_signature(rng, zipf, perm, kNnz);
 }
 
 double queries_per_sec(const SignatureDatabase& db,
                        const std::vector<fmeter::vsm::SparseVector>& queries,
                        SimilarityMetric metric, ScanPolicy policy,
-                       int repetitions) {
+                       PruningMode mode, int repetitions) {
   std::size_t q = 0;
   const auto samples = fmeter::bench::time_op_us(
       [&] {
-        (void)db.search(queries[q++ % queries.size()], kTopK, metric, policy);
+        (void)db.search(queries[q++ % queries.size()], kTopK, metric, policy,
+                        mode);
       },
       static_cast<int>(queries.size()), repetitions);
   const double us = fmeter::util::percentile(samples, 50.0);
   return 1e6 / us;
+}
+
+/// Same documents, same order, scores within 1e-9 — the pruned-path
+/// contract, checked against the golden brute-force scan.
+bool hits_equivalent(const std::vector<SearchHit>& pruned,
+                     const std::vector<SearchHit>& golden) {
+  if (pruned.size() != golden.size()) return false;
+  for (std::size_t r = 0; r < golden.size(); ++r) {
+    if (pruned[r].id != golden[r].id || pruned[r].label != golden[r].label ||
+        std::abs(pruned[r].score - golden[r].score) > 1e-9) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -66,45 +89,101 @@ int main(int argc, char** argv) {
   const std::size_t max_corpus = parsed > 0 ? parsed : 100000;
 
   fmeter::bench::print_banner(
-      "index_scaling: brute-force scan vs. inverted index",
+      "index_scaling: brute-force scan vs. inverted index vs. max-score",
       "§1/§2.2 — signatures are indexable like text documents");
 
   fmeter::util::Rng rng(0x1d9);
   const fmeter::util::ZipfDistribution zipf(kDimension, 1.1);
+  const auto perms = fmeter::bench::class_permutations(rng, kClasses, kDimension);
 
-  std::printf("%10s %10s %14s %14s %9s\n", "corpus", "metric", "scan q/s",
-              "index q/s", "speedup");
+  std::printf("%8s %7s %12s %12s %12s %8s %8s %7s\n", "corpus", "metric",
+              "scan q/s", "exact q/s", "pruned q/s", "idx/scan", "prn/idx",
+              "pruned%");
 
   std::vector<fmeter::vsm::SparseVector> queries;
-  for (int i = 0; i < 32; ++i) queries.push_back(synthetic_signature(rng, zipf));
+  for (std::size_t i = 0; i < 32; ++i) {
+    queries.push_back(synthetic_signature(rng, zipf, perms[i % kClasses]));
+  }
 
   std::vector<fmeter::bench::ShapeCheck> checks;
-  // One shard: this bench isolates inverted-index savings against the scan;
+  std::vector<fmeter::bench::JsonRow> json_rows;
+  // One shard: this bench isolates index-layer savings against the scan;
   // shard-parallel execution is bench_query_engine_scaling's story.
   SignatureDatabase db(1);
   for (const std::size_t corpus :
        {std::size_t{1000}, std::size_t{10000}, std::size_t{100000}}) {
     if (corpus > max_corpus) break;
     while (db.size() < corpus) {
-      db.add(synthetic_signature(rng, zipf),
-             "class-" + std::to_string(db.size() % 11));
+      db.add(synthetic_signature(rng, zipf, perms[db.size() % kClasses]),
+             "class-" + std::to_string(db.size() % kClasses));
     }
     // Fewer timing reps at the largest size to keep the bench quick.
-    const int reps = corpus >= 100000 ? 3 : 5;
+    const int reps = 5;
     for (const auto metric :
          {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
-      const double scan_qps =
-          queries_per_sec(db, queries, metric, ScanPolicy::kBruteForce, reps);
-      const double index_qps =
-          queries_per_sec(db, queries, metric, ScanPolicy::kIndexed, reps);
       const char* name =
           metric == SimilarityMetric::kCosine ? "cosine" : "euclid";
-      std::printf("%10zu %10s %14.0f %14.0f %8.2fx\n", corpus, name, scan_qps,
-                  index_qps, index_qps / scan_qps);
+
+      // Correctness gate before any throughput number: pruned hits must be
+      // the scan's hits (same set, same order, scores within 1e-9).
+      QueryStats stats;
+      bool equivalent = true;
+      for (const auto& query : queries) {
+        const auto golden =
+            db.search(query, kTopK, metric, ScanPolicy::kBruteForce);
+        const auto pruned =
+            db.search(query, kTopK, metric, ScanPolicy::kIndexed,
+                      PruningMode::kMaxScore, &stats);
+        equivalent = equivalent && hits_equivalent(pruned, golden);
+      }
+      const double considered =
+          static_cast<double>(stats.docs_scored + stats.docs_pruned);
+      const double prune_rate =
+          considered > 0.0
+              ? static_cast<double>(stats.docs_pruned) / considered
+              : 0.0;
+      checks.push_back({"pruned == scan (set+order, 1e-9) at " +
+                            std::to_string(corpus) + " (" + name + ")",
+                        equivalent});
+
+      const double scan_qps = queries_per_sec(
+          db, queries, metric, ScanPolicy::kBruteForce, PruningMode::kExact,
+          reps);
+      const double exact_qps = queries_per_sec(
+          db, queries, metric, ScanPolicy::kIndexed, PruningMode::kExact,
+          reps);
+      const double pruned_qps = queries_per_sec(
+          db, queries, metric, ScanPolicy::kIndexed, PruningMode::kMaxScore,
+          reps);
+      std::printf("%8zu %7s %12.0f %12.0f %12.0f %7.2fx %7.2fx %6.1f%%\n",
+                  corpus, name, scan_qps, exact_qps, pruned_qps,
+                  exact_qps / scan_qps, pruned_qps / exact_qps,
+                  100.0 * prune_rate);
+      for (const auto& [policy_name, qps, mode_rate] :
+           {std::tuple<const char*, double, double>{"scan", scan_qps, 0.0},
+            {"indexed", exact_qps, 0.0},
+            {"pruned", pruned_qps, prune_rate}}) {
+        json_rows.push_back({fmeter::bench::jnum("docs",
+                                                 static_cast<double>(corpus)),
+                             fmeter::bench::jnum("shards", 1.0),
+                             fmeter::bench::jnum("batch", 1.0),
+                             fmeter::bench::jnum("k", kTopK),
+                             fmeter::bench::jstr("metric", name),
+                             fmeter::bench::jstr("policy", policy_name),
+                             fmeter::bench::jnum("us_per_query", 1e6 / qps),
+                             fmeter::bench::jnum("queries_per_sec", qps),
+                             fmeter::bench::jnum("prune_rate", mode_rate)});
+      }
       if (corpus >= 10000) {
         checks.push_back({"indexed beats scan at " + std::to_string(corpus) +
                               " signatures (" + name + ")",
-                          index_qps > scan_qps});
+                          exact_qps > scan_qps});
+      }
+      if (corpus >= 100000) {
+        checks.push_back({"max-score >= 1.5x exact indexed at " +
+                              std::to_string(corpus) + " docs, k=10 (" + name +
+                              ")",
+                          pruned_qps >= 1.5 * exact_qps});
       }
     }
   }
@@ -112,5 +191,8 @@ int main(int argc, char** argv) {
   std::printf("\nindex stats: %zu docs, %zu terms, %zu postings\n",
               db.index().size(), db.index().num_terms(),
               db.index().num_postings());
+  fmeter::bench::emit_json("BENCH_index_scaling.json", "index_scaling",
+                           json_rows);
+  std::printf("wrote BENCH_index_scaling.json (%zu rows)\n", json_rows.size());
   return fmeter::bench::print_shape_checks(checks);
 }

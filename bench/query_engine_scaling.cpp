@@ -1,24 +1,37 @@
-// Query-engine throughput vs. shard count and batch size.
+// Query-engine throughput vs. shard count, batch size and pruning mode.
 //
 // PR 1's bench (index_scaling) showed the inverted index beating the linear
 // scan; this one shows the execution layer scaling that index across cores:
-// the same synthetic tf-idf corpus (a few hundred non-zero terms out of a
-// ~3.8k-function space, Zipf-skewed like Figure 1) is served through
-// exec::QueryEngine at every combination of shard count {1,2,4,8} and batch
-// size {1,16,64}. The baseline row (1 shard, batch 1) is the scalar
-// single-shard path every other configuration is normalized against.
+// the same synthetic tf-idf corpus as bench_index_scaling (eleven behavior
+// classes with per-class Zipf permutations, log-normal weight magnitudes —
+// Figure 1's power-law call counts) is served through exec::QueryEngine at
+// every combination of shard count {1,2,4,8}, batch size {1,16,64} and
+// PruningMode {exact, max-score}. The baseline row (1 shard, batch 1,
+// exact) is the scalar single-shard path everything is normalized against.
 //
-// Results are bit-identical across all configurations (checked below), so
-// the table is purely an execution-cost story: shard parallelism needs
-// cores, batching pays even on one core by amortizing accumulator setup.
+// Exact results are bit-identical across all configurations; max-score
+// results carry the same documents in the same order with scores within
+// 1e-9 (both checked below before any throughput number is trusted).
+//
+// The engine seeds each shard's pruning threshold from the running global
+// top-k floor, so later shards inherit earlier shards' floor. The
+// seeded-vs-independent section quantifies that with deterministic
+// counters: the same queries are pushed through the shards sequentially
+// once with the floor carried across shards and once with every shard
+// pruning on its own, and the total work (posting entries visited plus
+// forward-store re-scoring) must not grow — and the scored-doc count must
+// shrink at scale.
 //
 // Usage: bench_query_engine_scaling [max_corpus]
-//   e.g. `bench_query_engine_scaling 2000` as a CI smoke; the full ladder
+//   e.g. `bench_query_engine_scaling 5000` as a CI smoke; the full ladder
 //   is 10k/100k signatures.
+// Writes machine-readable results to BENCH_query_engine.json.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <numeric>
 #include <span>
 #include <string>
 #include <thread>
@@ -34,38 +47,34 @@
 
 namespace {
 
+using fmeter::exec::PruneStats;
+using fmeter::exec::PruningMode;
 using fmeter::exec::QueryEngine;
 using fmeter::exec::ShardedIndex;
 
 constexpr std::uint32_t kDimension = 3800;  // core-kernel function count, §2.1
-constexpr std::size_t kNnz = 200;           // functions touched per interval
+constexpr std::size_t kNnz = 200;           // function samples per interval
 constexpr std::size_t kTopK = 10;
+constexpr std::size_t kClasses = 11;
 constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
 constexpr std::size_t kBatchSizes[] = {1, 16, 64};
 
 fmeter::vsm::SparseVector synthetic_signature(
-    fmeter::util::Rng& rng, const fmeter::util::ZipfDistribution& zipf) {
-  std::vector<fmeter::vsm::SparseVector::Entry> entries;
-  entries.reserve(kNnz);
-  for (std::size_t i = 0; i < kNnz; ++i) {
-    entries.emplace_back(
-        static_cast<fmeter::vsm::SparseVector::Index>(zipf.sample(rng)),
-        rng.uniform(0.1, 1.0));
-  }
-  return fmeter::vsm::SparseVector::from_entries(std::move(entries))
-      .l2_normalized();
+    fmeter::util::Rng& rng, const fmeter::util::ZipfDistribution& zipf,
+    const std::vector<std::uint32_t>& perm) {
+  return fmeter::bench::synthetic_class_signature(rng, zipf, perm, kNnz);
 }
 
 /// Runs the whole query set through the engine in chunks of `batch` and
 /// returns the median queries/sec over `reps` passes.
 double engine_qps(const QueryEngine& engine,
                   const std::vector<fmeter::vsm::SparseVector>& queries,
-                  std::size_t batch, int reps) {
+                  std::size_t batch, PruningMode mode, int reps) {
   const std::span<const fmeter::vsm::SparseVector> all(queries);
   const auto sweep = [&] {
     for (std::size_t begin = 0; begin < all.size(); begin += batch) {
       const auto chunk = all.subspan(begin, std::min(batch, all.size() - begin));
-      (void)engine.run_batch(chunk, kTopK);
+      (void)engine.run_batch(chunk, kTopK, fmeter::exec::Metric::kCosine, mode);
     }
   };
   sweep();  // warmup
@@ -82,25 +91,100 @@ double engine_qps(const QueryEngine& engine,
   return fmeter::util::percentile(samples, 50.0);
 }
 
-/// All configurations must return the same hits; verify a sample against
-/// the 1-shard scalar reference before trusting any throughput number.
-bool results_identical(const ShardedIndex& reference_index,
-                       const QueryEngine& engine,
-                       const std::vector<fmeter::vsm::SparseVector>& queries) {
+/// Exact configurations must return bit-identical hits; pruned ones the
+/// same documents in the same order with scores within 1e-9. Verify a
+/// sample against the 1-shard scalar exact reference before trusting any
+/// throughput number.
+bool results_equivalent(const ShardedIndex& reference_index,
+                        const QueryEngine& engine, PruningMode mode,
+                        const std::vector<fmeter::vsm::SparseVector>& queries) {
   const QueryEngine reference(reference_index);
   const std::size_t sample = std::min<std::size_t>(4, queries.size());
-  const auto batched = engine.run_batch({queries.data(), sample}, kTopK);
+  const auto batched = engine.run_batch({queries.data(), sample}, kTopK,
+                                        fmeter::exec::Metric::kCosine, mode);
   for (std::size_t q = 0; q < sample; ++q) {
     const auto expected = reference.run(queries[q], kTopK);
     if (batched[q].size() != expected.size()) return false;
     for (std::size_t r = 0; r < expected.size(); ++r) {
-      if (batched[q][r].doc != expected[r].doc ||
-          batched[q][r].score != expected[r].score) {
+      if (batched[q][r].doc != expected[r].doc) return false;
+      if (mode == PruningMode::kExact
+              ? batched[q][r].score != expected[r].score
+              : std::abs(batched[q][r].score - expected[r].score) > 1e-9) {
         return false;
       }
     }
   }
   return true;
+}
+
+/// Pushes `queries` through every shard sequentially, once carrying the
+/// top-k score floor across shards (what the engine's threshold seeding
+/// does, made deterministic) and once with every shard pruning
+/// independently. Returns the two counter sets.
+struct SeedingComparison {
+  PruneStats seeded;
+  PruneStats independent;
+  bool results_match = true;
+};
+
+SeedingComparison compare_seeding(
+    const ShardedIndex& index,
+    const std::vector<fmeter::vsm::SparseVector>& queries) {
+  SeedingComparison cmp;
+  fmeter::index::TopKScratch scratch;
+  for (const auto& query : queries) {
+    std::vector<fmeter::exec::IndexHit> seeded_hits, independent_hits;
+    double floor = fmeter::index::InvertedIndex::kNoSeed;
+    for (std::size_t s = 0; s < index.num_shards(); ++s) {
+      auto hits = index.shard(s).top_k_pruned(
+          query, kTopK, fmeter::exec::Metric::kCosine, &scratch, floor,
+          &cmp.seeded);
+      if (hits.size() == kTopK) floor = std::max(floor, hits.back().score);
+      for (auto& hit : hits) {
+        hit.doc = index.global_of(s, hit.doc);
+        seeded_hits.push_back(hit);
+      }
+    }
+    for (std::size_t s = 0; s < index.num_shards(); ++s) {
+      auto hits = index.shard(s).top_k_pruned(
+          query, kTopK, fmeter::exec::Metric::kCosine, &scratch,
+          fmeter::index::InvertedIndex::kNoSeed, &cmp.independent);
+      for (auto& hit : hits) {
+        hit.doc = index.global_of(s, hit.doc);
+        independent_hits.push_back(hit);
+      }
+    }
+    // Both merges must produce the same global top-k.
+    const auto merge = [](std::vector<fmeter::exec::IndexHit> hits) {
+      std::sort(hits.begin(), hits.end(), fmeter::index::ranks_better);
+      if (hits.size() > kTopK) hits.resize(kTopK);
+      return hits;
+    };
+    const auto from_seeded = merge(std::move(seeded_hits));
+    const auto from_independent = merge(std::move(independent_hits));
+    if (from_seeded.size() != from_independent.size()) {
+      cmp.results_match = false;
+      continue;
+    }
+    for (std::size_t r = 0; r < from_seeded.size(); ++r) {
+      if (from_seeded[r].doc != from_independent[r].doc ||
+          std::abs(from_seeded[r].score - from_independent[r].score) > 1e-9) {
+        cmp.results_match = false;
+      }
+    }
+  }
+  return cmp;
+}
+
+/// Total cost model of a pruned execution: posting entries walked plus
+/// forward-store re-scoring work (docs scored × average doc nnz).
+double pruned_work(const PruneStats& stats, const ShardedIndex& index) {
+  const double avg_nnz =
+      index.size() > 0 ? static_cast<double>(index.num_postings()) /
+                             static_cast<double>(index.size())
+                       : 0.0;
+  return static_cast<double>(stats.postings_visited) +
+         avg_nnz * static_cast<double>(stats.docs_scored);
 }
 
 }  // namespace
@@ -110,17 +194,20 @@ int main(int argc, char** argv) {
   const std::size_t max_corpus = parsed > 0 ? parsed : 100000;
 
   fmeter::bench::print_banner(
-      "query_engine_scaling: sharded + batched execution vs. scalar",
-      "§1/§2.2 — indexable signatures, now served shard-parallel");
+      "query_engine_scaling: sharded + batched + pruned execution vs. scalar",
+      "§1/§2.2 — indexable signatures, served shard-parallel with max-score");
 
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   std::printf("hardware threads: %u\n\n", cores);
 
   fmeter::util::Rng rng(0x5ca1e);
   const fmeter::util::ZipfDistribution zipf(kDimension, 1.1);
+  const auto perms = fmeter::bench::class_permutations(rng, kClasses, kDimension);
 
   std::vector<fmeter::vsm::SparseVector> queries;
-  for (int i = 0; i < 64; ++i) queries.push_back(synthetic_signature(rng, zipf));
+  for (std::size_t i = 0; i < 64; ++i) {
+    queries.push_back(synthetic_signature(rng, zipf, perms[i % kClasses]));
+  }
 
   std::vector<std::size_t> corpus_sizes;
   for (const std::size_t size : {std::size_t{10000}, std::size_t{100000}}) {
@@ -130,23 +217,25 @@ int main(int argc, char** argv) {
 
   std::vector<fmeter::vsm::SparseVector> signatures;
   std::vector<fmeter::bench::ShapeCheck> checks;
+  std::vector<fmeter::bench::JsonRow> json_rows;
 
-  std::printf("%10s %7s %7s %14s %9s\n", "corpus", "shards", "batch",
-              "queries/s", "speedup");
+  std::printf("%10s %7s %7s %8s %14s %9s\n", "corpus", "shards", "batch",
+              "mode", "queries/s", "speedup");
   for (const std::size_t corpus : corpus_sizes) {
     while (signatures.size() < corpus) {
-      signatures.push_back(synthetic_signature(rng, zipf));
+      signatures.push_back(
+          synthetic_signature(rng, zipf, perms[signatures.size() % kClasses]));
     }
     const int reps = corpus >= 100000 ? 3 : 5;
 
-    // The 1-shard index doubles as the bit-identity reference, so build it
+    // The 1-shard index doubles as the equivalence reference, so build it
     // first and keep it alive for the whole corpus size.
     ShardedIndex reference_index(1);
     for (const auto& signature : signatures) reference_index.add(signature);
 
     double baseline_qps = 0.0;
     double best_parallel_qps = 0.0;
-    bool all_identical = true;
+    bool all_equivalent = true;
     for (const std::size_t shards : kShardCounts) {
       ShardedIndex sharded(shards);
       if (shards > 1) {
@@ -154,22 +243,87 @@ int main(int argc, char** argv) {
       }
       const ShardedIndex& index = shards == 1 ? reference_index : sharded;
       const QueryEngine engine(index);
-      all_identical =
-          all_identical && results_identical(reference_index, engine, queries);
-      for (const std::size_t batch : kBatchSizes) {
-        const double qps = engine_qps(engine, queries, batch, reps);
-        if (shards == 1 && batch == 1) baseline_qps = qps;
-        if (shards > 1 && batch > 1) {
-          best_parallel_qps = std::max(best_parallel_qps, qps);
+      for (const auto mode : {PruningMode::kExact, PruningMode::kMaxScore}) {
+        all_equivalent = all_equivalent &&
+                         results_equivalent(reference_index, engine, mode,
+                                            queries);
+        const char* mode_name =
+            mode == PruningMode::kExact ? "exact" : "pruned";
+        for (const std::size_t batch : kBatchSizes) {
+          const double qps = engine_qps(engine, queries, batch, mode, reps);
+          if (shards == 1 && batch == 1 && mode == PruningMode::kExact) {
+            baseline_qps = qps;
+          }
+          if (shards > 1 && batch > 1) {
+            best_parallel_qps = std::max(best_parallel_qps, qps);
+          }
+          std::printf("%10zu %7zu %7zu %8s %14.0f %8.2fx\n", corpus, shards,
+                      batch, mode_name, qps, qps / baseline_qps);
+          json_rows.push_back(
+              {fmeter::bench::jnum("docs", static_cast<double>(corpus)),
+               fmeter::bench::jnum("shards", static_cast<double>(shards)),
+               fmeter::bench::jnum("batch", static_cast<double>(batch)),
+               fmeter::bench::jnum("k", kTopK),
+               fmeter::bench::jstr("mode", mode_name),
+               fmeter::bench::jnum("us_per_query", 1e6 / qps),
+               fmeter::bench::jnum("queries_per_sec", qps),
+               fmeter::bench::jnum("speedup_vs_scalar", qps / baseline_qps)});
         }
-        std::printf("%10zu %7zu %7zu %14.0f %8.2fx\n", corpus, shards, batch,
-                    qps, qps / baseline_qps);
       }
     }
 
-    checks.push_back({"all shard/batch configurations bit-identical at " +
+    // Threshold seeding: deterministic counter comparison on the 4-shard
+    // layout (sequential shard order, so the floor hand-off is exactly
+    // reproducible run to run).
+    {
+      ShardedIndex four(4);
+      for (const auto& signature : signatures) four.add(signature);
+      const std::vector<fmeter::vsm::SparseVector> sample(
+          queries.begin(), queries.begin() + std::min<std::size_t>(
+                                                 queries.size(), 16));
+      const auto cmp = compare_seeding(four, sample);
+      const double seeded_work = pruned_work(cmp.seeded, four);
+      const double independent_work = pruned_work(cmp.independent, four);
+      std::printf(
+          "\nseeding at %zu docs, 4 shards: seeded scored %zu / visited %zu,"
+          "\n  independent scored %zu / visited %zu  (work ratio %.3f)\n\n",
+          corpus, cmp.seeded.docs_scored, cmp.seeded.postings_visited,
+          cmp.independent.docs_scored, cmp.independent.postings_visited,
+          seeded_work / independent_work);
+      json_rows.push_back(
+          {fmeter::bench::jnum("docs", static_cast<double>(corpus)),
+           fmeter::bench::jnum("shards", 4.0),
+           fmeter::bench::jstr("mode", "seeding_comparison"),
+           fmeter::bench::jnum("seeded_docs_scored",
+                               static_cast<double>(cmp.seeded.docs_scored)),
+           fmeter::bench::jnum(
+               "independent_docs_scored",
+               static_cast<double>(cmp.independent.docs_scored)),
+           fmeter::bench::jnum("seeded_postings_visited",
+                               static_cast<double>(cmp.seeded.postings_visited)),
+           fmeter::bench::jnum(
+               "independent_postings_visited",
+               static_cast<double>(cmp.independent.postings_visited)),
+           fmeter::bench::jnum("work_ratio", seeded_work / independent_work)});
+      checks.push_back({"seeded and independent pruning agree on results at " +
+                            std::to_string(corpus),
+                        cmp.results_match});
+      checks.push_back(
+          {"threshold seeding does not increase pruned work at " +
+               std::to_string(corpus),
+           seeded_work <= independent_work});
+      if (corpus >= 100000) {
+        checks.push_back(
+            {"threshold seeding scores strictly fewer docs than independent "
+             "pruning at " +
+                 std::to_string(corpus),
+             cmp.seeded.docs_scored < cmp.independent.docs_scored});
+      }
+    }
+
+    checks.push_back({"all shard/batch/mode configurations equivalent at " +
                           std::to_string(corpus) + " signatures",
-                      all_identical});
+                      all_equivalent});
     if (corpus >= 100000 && cores >= 4) {
       checks.push_back(
           {"batched sharded >= 2x scalar single-shard at 100k signatures",
@@ -177,5 +331,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  fmeter::bench::emit_json("BENCH_query_engine.json", "query_engine_scaling",
+                           json_rows);
+  std::printf("wrote BENCH_query_engine.json (%zu rows)\n", json_rows.size());
   return fmeter::bench::print_shape_checks(checks);
 }

@@ -1,8 +1,10 @@
 #include "exec/query_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <future>
+#include <memory>
 #include <utility>
 
 namespace fmeter::exec {
@@ -14,10 +16,37 @@ namespace {
 constexpr std::size_t kMinDocsForDispatch = 4096;
 
 /// Scores one query against one shard, mapping hits to global doc ids.
+/// In kMaxScore mode the shard threshold is seeded from `floor` (a known
+/// lower bound on the query's global k-th best score, or kNoSeed), and the
+/// floor is raised afterwards when this shard produced a full k hits: the
+/// global k-th best can only rank at or above any shard's k-th best, so
+/// the shard's k-th score is a valid floor for every other shard. The
+/// floor is monotonic and advisory — stale values prune less, never wrong.
 std::vector<IndexHit> shard_hits(const ShardedIndex& index, std::size_t shard,
                                  const vsm::SparseVector& query, std::size_t k,
-                                 Metric metric, index::TopKScratch& scratch) {
-  auto hits = index.shard(shard).top_k(query, k, metric, &scratch);
+                                 Metric metric, PruningMode mode,
+                                 index::TopKScratch& scratch,
+                                 std::atomic<double>* floor,
+                                 PruneStats* stats) {
+  std::vector<IndexHit> hits;
+  if (mode == PruningMode::kMaxScore) {
+    const double seed = floor != nullptr
+                            ? floor->load(std::memory_order_relaxed)
+                            : index::InvertedIndex::kNoSeed;
+    hits = index.shard(shard).top_k_pruned(query, k, metric, &scratch, seed,
+                                           stats);
+    if (floor != nullptr && hits.size() == k) {
+      double current = floor->load(std::memory_order_relaxed);
+      const double kth = hits.back().score;
+      while (kth > current &&
+             !floor->compare_exchange_weak(current, kth,
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed)) {
+      }
+    }
+  } else {
+    hits = index.shard(shard).top_k(query, k, metric, &scratch, stats);
+  }
   for (auto& hit : hits) hit.doc = index.global_of(shard, hit.doc);
   return hits;
 }
@@ -25,7 +54,9 @@ std::vector<IndexHit> shard_hits(const ShardedIndex& index, std::size_t shard,
 /// Merges per-shard top-k lists into the global top-k. Each input list is
 /// already ordered by (score desc, global id asc) and doc ids are globally
 /// unique, so one sort over ≤ shards·k hits reproduces exactly the ranking
-/// a single-shard index would emit.
+/// a single-shard index would emit. Pruned shards may contribute fewer
+/// than k hits; everything they dropped is provably below the global k-th
+/// best, so the merged prefix is unchanged.
 std::vector<IndexHit> merge_shard_hits(std::vector<std::vector<IndexHit>> lists,
                                        std::size_t k) {
   if (lists.size() == 1) {
@@ -49,24 +80,26 @@ QueryEngine::QueryEngine(const ShardedIndex& index, TaskPool* pool)
     : index_(&index), pool_(pool) {}
 
 std::vector<IndexHit> QueryEngine::run(const vsm::SparseVector& query,
-                                       std::size_t k, Metric metric) const {
-  auto results = run_batch({&query, 1}, k, metric);
+                                       std::size_t k, Metric metric,
+                                       PruningMode mode,
+                                       PruneStats* stats) const {
+  auto results = run_batch({&query, 1}, k, metric, mode, stats);
   return std::move(results.front());
 }
 
 std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
-    std::span<const vsm::SparseVector> queries, std::size_t k,
-    Metric metric) const {
+    std::span<const vsm::SparseVector> queries, std::size_t k, Metric metric,
+    PruningMode mode, PruneStats* stats) const {
   std::vector<const vsm::SparseVector*> pointers;
   pointers.reserve(queries.size());
   for (const auto& query : queries) pointers.push_back(&query);
   return run_batch(std::span<const vsm::SparseVector* const>(pointers), k,
-                   metric);
+                   metric, mode, stats);
 }
 
 std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
     std::span<const vsm::SparseVector* const> queries, std::size_t k,
-    Metric metric) const {
+    Metric metric, PruningMode mode, PruneStats* stats) const {
   std::vector<std::vector<IndexHit>> results(queries.size());
   if (k == 0 || index_->empty()) return results;
 
@@ -81,20 +114,37 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
 
   const std::size_t shards = index_->num_shards();
 
+  // Per-eligible-query score floors for cross-shard threshold seeding
+  // (kMaxScore only). Plain atomics, relaxed everywhere: the floor is a
+  // monotonic performance hint, not a synchronization point.
+  std::unique_ptr<std::atomic<double>[]> floors;
+  if (mode == PruningMode::kMaxScore) {
+    floors = std::make_unique<std::atomic<double>[]>(eligible.size());
+    for (std::size_t e = 0; e < eligible.size(); ++e) {
+      floors[e].store(index::InvertedIndex::kNoSeed,
+                      std::memory_order_relaxed);
+    }
+  }
+  const auto floor_of = [&](std::size_t e) -> std::atomic<double>* {
+    return floors ? &floors[e] : nullptr;
+  };
+
   // Inline on the caller's thread when parallelism has nothing to win — a
   // lone worker, a batch of one against a single shard, or an index small
   // enough that dispatch overhead would dwarf the scoring — and when the
   // caller *is* one of the pool's workers: blocking a fixed-size pool's
   // worker on subtasks queued to the same pool can deadlock once every
-  // worker is a blocked submitter.
+  // worker is a blocked submitter. Shards run in ascending order per
+  // query, so pruned thresholds seed deterministically here.
   const auto run_inline = [&] {
     index::TopKScratch scratch;
-    for (const std::size_t qi : eligible) {
+    for (std::size_t e = 0; e < eligible.size(); ++e) {
+      const std::size_t qi = eligible[e];
       std::vector<std::vector<IndexHit>> lists;
       lists.reserve(shards);
       for (std::size_t s = 0; s < shards; ++s) {
-        lists.push_back(
-            shard_hits(*index_, s, *queries[qi], k, metric, scratch));
+        lists.push_back(shard_hits(*index_, s, *queries[qi], k, metric, mode,
+                                   scratch, floor_of(e), stats));
       }
       results[qi] = merge_shard_hits(std::move(lists), k);
     }
@@ -121,25 +171,32 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
   const std::size_t block_size = (eligible.size() + blocks - 1) / blocks;
 
   // partial[e * shards + s] = shard s's top-k for eligible query e. Tasks
-  // write disjoint slots, so the only synchronization needed is the
-  // futures' completion.
+  // write disjoint slots — likewise the per-task stats slots — so the only
+  // synchronization needed is the futures' completion (the seeding floors
+  // above are deliberately racy-by-design atomics).
   std::vector<std::vector<IndexHit>> partial(eligible.size() * shards);
+  std::vector<PruneStats> task_stats(stats != nullptr ? blocks * shards : 0);
   std::vector<std::future<void>> pending;
   pending.reserve(blocks * shards);
   // Every already-submitted task holds references to the locals above, so
   // nothing may unwind past them while a task is in flight: if a submit
   // throws halfway through dispatch, drain what was queued, then rethrow.
   try {
+    std::size_t task_index = 0;
     for (std::size_t s = 0; s < shards; ++s) {
       for (std::size_t begin = 0; begin < eligible.size();
-           begin += block_size) {
+           begin += block_size, ++task_index) {
         const std::size_t end = std::min(begin + block_size, eligible.size());
+        PruneStats* slot =
+            stats != nullptr ? &task_stats[task_index] : nullptr;
         pending.push_back(pool.submit([this, queries, &eligible, &partial, s,
-                                         begin, end, k, metric, shards] {
+                                       begin, end, k, metric, mode, shards,
+                                       &floor_of, slot] {
           index::TopKScratch scratch;  // one accumulator for the whole block
           for (std::size_t e = begin; e < end; ++e) {
-            partial[e * shards + s] = shard_hits(
-                *index_, s, *queries[eligible[e]], k, metric, scratch);
+            partial[e * shards + s] =
+                shard_hits(*index_, s, *queries[eligible[e]], k, metric, mode,
+                           scratch, floor_of(e), slot);
           }
         }));
       }
@@ -166,6 +223,9 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
   }
   if (first_error) std::rethrow_exception(first_error);
 
+  if (stats != nullptr) {
+    for (const auto& task : task_stats) *stats += task;
+  }
   for (std::size_t e = 0; e < eligible.size(); ++e) {
     std::vector<std::vector<IndexHit>> lists(
         std::make_move_iterator(partial.begin() +

@@ -12,6 +12,19 @@
 // and to the brute-force scan: same ids, same scores, same ascending-id
 // tie-break.
 //
+// PruningMode::kMaxScore swaps each shard's dense scoring pass for the
+// index layer's max-score pruned path and adds one piece of cross-task
+// state per query: a relaxed atomic score floor holding the worst score of
+// the best k hits observed so far across shards. Tasks seed their shard's
+// pruning threshold from the floor and raise it after finishing a shard,
+// so later shards inherit earlier shards' floor and prune harder. The
+// floor is a monotonic hint — a stale read only costs pruning opportunity,
+// never correctness — so relaxed loads/stores and a CAS-max suffice; the
+// hot path takes no lock. Results keep the same document set and order as
+// kExact for every shard count and batch size, with scores equal within
+// 1e-9 (see inverted_index.hpp for the contract); the merge and tie-break
+// logic is shared with the exact path, untouched.
+//
 // Degenerate inputs are handled before any dispatch: k == 0 and
 // empty/all-zero queries return empty hit lists without touching the pool
 // or any shard.
@@ -27,6 +40,9 @@
 
 namespace fmeter::exec {
 
+using index::PruneStats;
+using index::PruningMode;
+
 class QueryEngine {
  public:
   /// Binds the engine to an index and a pool. With `pool == nullptr` the
@@ -41,22 +57,30 @@ class QueryEngine {
   TaskPool& pool() const { return pool_ ? *pool_ : TaskPool::shared(); }
 
   /// Top-k for one query — exactly run_batch() on a batch of one.
+  /// `stats`, when given, accumulates prune counters over every shard the
+  /// query touched.
   std::vector<IndexHit> run(const vsm::SparseVector& query, std::size_t k,
-                            Metric metric = Metric::kCosine) const;
+                            Metric metric = Metric::kCosine,
+                            PruningMode mode = PruningMode::kExact,
+                            PruneStats* stats = nullptr) const;
 
   /// Executes every query and returns one hit list per query, aligned with
   /// the input. Queries fan out over (shard, query-block) tasks; per-shard
   /// top-k results merge into globally ordered hits.
   std::vector<std::vector<IndexHit>> run_batch(
       std::span<const vsm::SparseVector> queries, std::size_t k,
-      Metric metric = Metric::kCosine) const;
+      Metric metric = Metric::kCosine,
+      PruningMode mode = PruningMode::kExact,
+      PruneStats* stats = nullptr) const;
 
   /// Same, over non-owning pointers — for callers whose queries are not
   /// contiguous (e.g. embedded in larger structs), sparing a deep copy.
   /// Pointers must be non-null.
   std::vector<std::vector<IndexHit>> run_batch(
       std::span<const vsm::SparseVector* const> queries, std::size_t k,
-      Metric metric = Metric::kCosine) const;
+      Metric metric = Metric::kCosine,
+      PruningMode mode = PruningMode::kExact,
+      PruneStats* stats = nullptr) const;
 
  private:
   const ShardedIndex* index_;

@@ -87,24 +87,26 @@ std::vector<std::string> SignatureDatabase::distinct_labels() const {
 
 std::vector<SearchHit> SignatureDatabase::search(
     const vsm::SparseVector& query, std::size_t k, SimilarityMetric metric,
-    ScanPolicy policy) const {
-  auto results = search_batch({&query, 1}, k, metric, policy);
+    ScanPolicy policy, PruningMode mode, QueryStats* stats) const {
+  auto results = search_batch({&query, 1}, k, metric, policy, mode, stats);
   return std::move(results.front());
 }
 
 std::vector<std::vector<SearchHit>> SignatureDatabase::search_batch(
     std::span<const vsm::SparseVector> queries, std::size_t k,
-    SimilarityMetric metric, ScanPolicy policy) const {
+    SimilarityMetric metric, ScanPolicy policy, PruningMode mode,
+    QueryStats* stats) const {
   std::vector<const vsm::SparseVector*> pointers;
   pointers.reserve(queries.size());
   for (const auto& query : queries) pointers.push_back(&query);
   return search_batch(std::span<const vsm::SparseVector* const>(pointers), k,
-                      metric, policy);
+                      metric, policy, mode, stats);
 }
 
 std::vector<std::vector<SearchHit>> SignatureDatabase::search_batch(
     std::span<const vsm::SparseVector* const> queries, std::size_t k,
-    SimilarityMetric metric, ScanPolicy policy) const {
+    SimilarityMetric metric, ScanPolicy policy, PruningMode mode,
+    QueryStats* stats) const {
   if (policy == ScanPolicy::kBruteForce) {
     std::vector<std::vector<SearchHit>> results;
     results.reserve(queries.size());
@@ -114,7 +116,8 @@ std::vector<std::vector<SearchHit>> SignatureDatabase::search_batch(
     return results;
   }
   const exec::QueryEngine engine(index_);
-  const auto batch = engine.run_batch(queries, k, to_index_metric(metric));
+  const auto batch =
+      engine.run_batch(queries, k, to_index_metric(metric), mode, stats);
   std::vector<std::vector<SearchHit>> results(batch.size());
   for (std::size_t q = 0; q < batch.size(); ++q) {
     results[q].reserve(batch[q].size());
@@ -202,8 +205,8 @@ std::string SignatureDatabase::classify_scan(
 }
 
 std::string SignatureDatabase::classify_by_syndrome(
-    const vsm::SparseVector& query, SimilarityMetric metric,
-    ScanPolicy policy) const {
+    const vsm::SparseVector& query, SimilarityMetric metric, ScanPolicy policy,
+    PruningMode mode) const {
   const auto& cache = syndrome_cache();
   // The engine defines the empty query as "no hits", but classification of
   // a zero signature still has an answer (the scan's: score 0 cosine / the
@@ -213,9 +216,11 @@ std::string SignatureDatabase::classify_by_syndrome(
     return classify_scan(query, metric, cache);
   }
   // Nearest centroid via the engine (batch of one); the ascending-id
-  // tie-break picks the first-seen label, matching the scan.
+  // tie-break picks the first-seen label, matching the scan. kMaxScore is
+  // honored for contract uniformity, though a handful of centroids gives
+  // pruning nothing to win.
   const exec::QueryEngine engine(cache.centroid_index);
-  const auto hits = engine.run(query, 1, to_index_metric(metric));
+  const auto hits = engine.run(query, 1, to_index_metric(metric), mode);
   return hits.empty() ? std::string() : cache.syndromes[hits[0].doc].label;
 }
 

@@ -42,6 +42,18 @@ enum class SimilarityMetric { kCosine, kEuclidean };
 /// over every stored signature.
 enum class ScanPolicy { kIndexed, kBruteForce };
 
+/// How an indexed query scores documents. kExact (default) runs the dense
+/// scoring pass whose hits are bit-identical to the brute-force scan —
+/// every golden guarantee in the test suite rides on it. kMaxScore prunes
+/// documents whose score upper bound cannot reach the running top-k
+/// threshold (per-term max-weight bounds + per-doc partial-mass bounds,
+/// seeded across shards): the same documents in the same order, scores
+/// equal within 1e-9. Ignored under ScanPolicy::kBruteForce.
+using index::PruningMode;
+
+/// Aggregated observability counters for the pruned/exact indexed paths.
+using QueryStats = index::PruneStats;
+
 struct SearchHit {
   std::size_t id = 0;      ///< database entry id
   std::string label;
@@ -86,21 +98,31 @@ class SignatureDatabase {
   /// Top-k most similar stored signatures. Cosine hits carry the similarity
   /// in [−1, 1]; Euclidean hits carry -distance so that larger is better in
   /// both metrics. Equal-score hits order by ascending id under either
-  /// policy, so indexed and scanned results compare bit-for-bit. k == 0 and
-  /// the empty query return no hits.
+  /// policy, so indexed and scanned results compare bit-for-bit under the
+  /// default PruningMode::kExact; PruningMode::kMaxScore returns the same
+  /// hits in the same order with scores equal within 1e-9. k == 0 and the
+  /// empty query return no hits. `stats`, when given, accumulates the
+  /// docs-scored / docs-pruned / postings-visited counters of the indexed
+  /// path (the scan leaves them untouched).
   std::vector<SearchHit> search(const vsm::SparseVector& query, std::size_t k,
                                 SimilarityMetric metric =
                                     SimilarityMetric::kCosine,
-                                ScanPolicy policy = ScanPolicy::kIndexed) const;
+                                ScanPolicy policy = ScanPolicy::kIndexed,
+                                PruningMode mode = PruningMode::kExact,
+                                QueryStats* stats = nullptr) const;
 
   /// Batched search: one hit list per query, aligned with the input —
   /// element i equals search(queries[i], ...) bit-for-bit, but the indexed
   /// path executes the whole batch through the query engine, amortizing
-  /// per-worker accumulators across queries and running shards in parallel.
+  /// per-worker accumulators across queries and running shards in parallel
+  /// (under kMaxScore, later shards also inherit earlier shards' top-k
+  /// threshold floor).
   std::vector<std::vector<SearchHit>> search_batch(
       std::span<const vsm::SparseVector> queries, std::size_t k,
       SimilarityMetric metric = SimilarityMetric::kCosine,
-      ScanPolicy policy = ScanPolicy::kIndexed) const;
+      ScanPolicy policy = ScanPolicy::kIndexed,
+      PruningMode mode = PruningMode::kExact,
+      QueryStats* stats = nullptr) const;
 
   /// Same, over non-owning pointers — for query sets that are not stored
   /// contiguously (e.g. RetrievalQuery structs), sparing a deep copy.
@@ -108,7 +130,9 @@ class SignatureDatabase {
   std::vector<std::vector<SearchHit>> search_batch(
       std::span<const vsm::SparseVector* const> queries, std::size_t k,
       SimilarityMetric metric = SimilarityMetric::kCosine,
-      ScanPolicy policy = ScanPolicy::kIndexed) const;
+      ScanPolicy policy = ScanPolicy::kIndexed,
+      PruningMode mode = PruningMode::kExact,
+      QueryStats* stats = nullptr) const;
 
   /// Per-label centroid syndromes ("the centroid of a cluster of signatures
   /// can then be used as a syndrome", §2.2). Cached; recomputed only after
@@ -122,8 +146,9 @@ class SignatureDatabase {
   std::string classify_by_syndrome(const vsm::SparseVector& query,
                                    SimilarityMetric metric =
                                        SimilarityMetric::kCosine,
-                                   ScanPolicy policy =
-                                       ScanPolicy::kIndexed) const;
+                                   ScanPolicy policy = ScanPolicy::kIndexed,
+                                   PruningMode mode =
+                                       PruningMode::kExact) const;
 
   /// Meta-clustering (paper §2.2/§6): clusters the per-label syndromes into
   /// `k` groups, revealing which whole classes of behavior are similar.

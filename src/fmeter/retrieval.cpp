@@ -7,7 +7,7 @@ namespace fmeter::core {
 RetrievalQuality evaluate_retrieval(const SignatureDatabase& db,
                                     const std::vector<RetrievalQuery>& queries,
                                     std::size_t k, SimilarityMetric metric,
-                                    ScanPolicy policy) {
+                                    ScanPolicy policy, PruningMode mode) {
   if (db.empty()) throw std::invalid_argument("evaluate_retrieval: empty db");
   if (queries.empty()) {
     throw std::invalid_argument("evaluate_retrieval: no queries");
@@ -29,7 +29,7 @@ RetrievalQuality evaluate_retrieval(const SignatureDatabase& db,
   std::vector<const vsm::SparseVector*> signatures;
   signatures.reserve(queries.size());
   for (const auto& query : queries) signatures.push_back(&query.signature);
-  const auto batches = db.search_batch(signatures, k, metric, policy);
+  const auto batches = db.search_batch(signatures, k, metric, policy, mode);
 
   for (std::size_t q = 0; q < queries.size(); ++q) {
     const auto& query = queries[q];

@@ -39,12 +39,14 @@ struct RetrievalQuality {
 /// Queries execute as one batch through the parallel query engine by
 /// default; pass ScanPolicy::kBruteForce to evaluate against the linear
 /// scan instead (useful for A/B-ing the two paths — the scores are
-/// identical).
+/// identical). PruningMode::kMaxScore retrieves the same ranked hits via
+/// max-score pruning (same measures; per-hit scores agree within 1e-9).
 RetrievalQuality evaluate_retrieval(const SignatureDatabase& db,
                                     const std::vector<RetrievalQuery>& queries,
                                     std::size_t k,
                                     SimilarityMetric metric =
                                         SimilarityMetric::kCosine,
-                                    ScanPolicy policy = ScanPolicy::kIndexed);
+                                    ScanPolicy policy = ScanPolicy::kIndexed,
+                                    PruningMode mode = PruningMode::kExact);
 
 }  // namespace fmeter::core

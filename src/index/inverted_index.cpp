@@ -5,6 +5,58 @@
 #include <queue>
 
 namespace fmeter::index {
+namespace {
+
+// Max-score tuning. The pruned path stays correct for any values here (every
+// pruning decision is bound-checked); these only steer where it spends time.
+
+/// Fraction of the query's squared norm that the head phase accumulates
+/// before the threshold bootstrap. Late enough that the best-k accumulators
+/// identify the true contenders, early enough to leave most posting work
+/// skippable.
+constexpr double kBootstrapMassFraction = 0.95;
+
+/// Re-raise the threshold whenever the remaining query mass has shrunk to
+/// this fraction of its value at the previous raise (geometric cadence keeps
+/// the number of raises logarithmic).
+constexpr double kThetaRefreshFactor = 0.7;
+
+/// Switch from posting-list accumulation to candidate-centric re-scoring
+/// when factor * |alive| * avg_doc_nnz < remaining posting entries.
+constexpr double kCandidateSwitchFactor = 1.0;
+
+/// Absolute/relative slack subtracted from the threshold before any prune
+/// test, absorbing the rounding drift between the accumulation orders of
+/// the exact and pruned paths. Far below any real score gap, far above
+/// double rounding error.
+constexpr double kThetaMargin = 1e-10;
+
+struct HeapCmp {
+  bool operator()(const IndexHit& a, const IndexHit& b) const noexcept {
+    return ranks_better(a, b);  // best sinks, worst surfaces at top()
+  }
+};
+using BoundedHeap = std::priority_queue<IndexHit, std::vector<IndexHit>, HeapCmp>;
+
+std::vector<IndexHit> drain_heap(BoundedHeap& heap) {
+  std::vector<IndexHit> hits(heap.size());
+  for (std::size_t i = heap.size(); i-- > 0;) {
+    hits[i] = heap.top();
+    heap.pop();
+  }
+  return hits;
+}
+
+void heap_offer(BoundedHeap& heap, std::size_t capacity, IndexHit hit) {
+  if (heap.size() < capacity) {
+    heap.push(hit);
+  } else if (ranks_better(hit, heap.top())) {
+    heap.pop();
+    heap.push(hit);
+  }
+}
+
+}  // namespace
 
 InvertedIndex::DocId InvertedIndex::add(const vsm::SparseVector& doc) {
   const auto id = static_cast<DocId>(norms_.size());
@@ -12,39 +64,82 @@ InvertedIndex::DocId InvertedIndex::add(const vsm::SparseVector& doc) {
   const auto values = doc.values();
   // Transactional: a doc id only becomes visible via the final norms_ push,
   // so a mid-add allocation failure must not leave stray postings behind
-  // (top_k sizes its accumulator by norms_ and would index past it).
-  norms_.reserve(norms_.size() + 1);  // makes the final push no-throw
+  // (top_k sizes its accumulator by norms_ and would index past it). All
+  // pushes into the per-doc arrays are made no-throw by reserving first;
+  // the posting/forward appends roll back on failure; the irreversible
+  // max/min-weight updates happen only after nothing can throw anymore.
+  norms_.reserve(norms_.size() + 1);
+  norms_sq_.reserve(norms_sq_.size() + 1);
+  forward_offsets_.reserve(forward_offsets_.size() + 1);
   if (!indices.empty() &&
       static_cast<std::size_t>(indices.back()) >= postings_.size()) {
-    postings_.resize(static_cast<std::size_t>(indices.back()) + 1);
+    const std::size_t terms = static_cast<std::size_t>(indices.back()) + 1;
+    // Bounds arrays grow before postings_: if a resize throws partway, a
+    // bounds array longer than postings_ is invisible, while a shorter one
+    // would be indexed out of bounds by later adds and pruned queries.
+    max_weight_.resize(terms, 0.0);
+    min_weight_.resize(terms, 0.0);
+    postings_.resize(terms);
   }
+  const std::size_t forward_base = forward_terms_.size();
   std::size_t appended = 0;
   try {
+    forward_terms_.insert(forward_terms_.end(), indices.begin(), indices.end());
+    forward_weights_.insert(forward_weights_.end(), values.begin(),
+                            values.end());
     for (; appended < indices.size(); ++appended) {
       postings_[indices[appended]].push_back(Posting{id, values[appended]});
     }
   } catch (...) {
     while (appended-- > 0) postings_[indices[appended]].pop_back();
+    forward_terms_.resize(forward_base);
+    forward_weights_.resize(forward_base);
     throw;
   }
   for (std::size_t i = 0; i < indices.size(); ++i) {
-    if (postings_[indices[i]].size() == 1) ++nonempty_terms_;
+    if (postings_[indices[i]].size() == 1) {
+      ++nonempty_terms_;
+      max_weight_[indices[i]] = values[i];
+      min_weight_[indices[i]] = values[i];
+    } else {
+      max_weight_[indices[i]] = std::max(max_weight_[indices[i]], values[i]);
+      min_weight_[indices[i]] = std::min(min_weight_[indices[i]], values[i]);
+    }
   }
   num_postings_ += indices.size();
-  norms_.push_back(doc.norm_l2());
+  const double norm = doc.norm_l2();
+  norms_.push_back(norm);
+  norms_sq_.push_back(norm * norm);
+  forward_offsets_.push_back(forward_terms_.size());
   return id;
+}
+
+std::size_t InvertedIndex::num_postings_for(
+    const vsm::SparseVector& query) const noexcept {
+  std::size_t total = 0;
+  for (const auto term : query.indices()) {
+    if (term < postings_.size()) total += postings_[term].size();
+  }
+  return total;
 }
 
 std::size_t InvertedIndex::memory_bytes() const noexcept {
   std::size_t bytes = postings_.capacity() * sizeof(postings_[0]) +
-                      norms_.capacity() * sizeof(double);
+                      norms_.capacity() * sizeof(double) +
+                      norms_sq_.capacity() * sizeof(double) +
+                      max_weight_.capacity() * sizeof(double) +
+                      min_weight_.capacity() * sizeof(double) +
+                      forward_offsets_.capacity() * sizeof(std::size_t) +
+                      forward_terms_.capacity() * sizeof(TermId) +
+                      forward_weights_.capacity() * sizeof(double);
   for (const auto& list : postings_) bytes += list.capacity() * sizeof(Posting);
   return bytes;
 }
 
 std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
                                            std::size_t k, Metric metric,
-                                           TopKScratch* scratch) const {
+                                           TopKScratch* scratch,
+                                           PruneStats* stats) const {
   const std::size_t n = size();
   const std::size_t top = std::min(k, n);
   // k == 0 and the all-zero/empty query are defined to return no hits (the
@@ -62,10 +157,12 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
   std::vector<double>& acc = state.accumulators;
   const auto q_indices = query.indices();
   const auto q_values = query.values();
+  std::size_t visited = 0;
   for (std::size_t i = 0; i < q_indices.size(); ++i) {
     const std::size_t term = q_indices[i];
     if (term >= postings_.size()) continue;
     const double q_weight = q_values[i];
+    visited += postings_[term].size();
     for (const Posting& posting : postings_[term]) {
       acc[posting.doc] += q_weight * posting.weight;
     }
@@ -76,11 +173,7 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
   // Score every doc (including ones with zero overlap — the scan ranks them
   // too) and keep the best `top` in a bounded heap whose root is the worst
   // retained hit.
-  const auto heap_cmp = [](const IndexHit& a, const IndexHit& b) {
-    return ranks_better(a, b);  // best sinks, worst surfaces at top()
-  };
-  std::priority_queue<IndexHit, std::vector<IndexHit>, decltype(heap_cmp)>
-      heap(heap_cmp);
+  BoundedHeap heap;
   for (std::size_t doc = 0; doc < n; ++doc) {
     IndexHit hit;
     hit.doc = static_cast<DocId>(doc);
@@ -97,20 +190,287 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
           q_norm * q_norm + norms_[doc] * norms_[doc] - 2.0 * acc[doc];
       hit.score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
     }
-    if (heap.size() < top) {
-      heap.push(hit);
-    } else if (ranks_better(hit, heap.top())) {
-      heap.pop();
-      heap.push(hit);
+    heap_offer(heap, top, hit);
+  }
+  if (stats != nullptr) {
+    stats->docs_scored += n;
+    stats->postings_visited += visited;
+  }
+  return drain_heap(heap);
+}
+
+std::vector<IndexHit> InvertedIndex::top_k_pruned(
+    const vsm::SparseVector& query, std::size_t k, Metric metric,
+    TopKScratch* scratch, double seed_score, PruneStats* stats) const {
+  const std::size_t n = size();
+  const std::size_t top = std::min(k, n);
+  if (top == 0 || query.empty()) return {};
+  // k >= size(): every document must be returned, so there is nothing to
+  // prune — the exact dense pass is the cheapest correct answer (and its
+  // bit-identical scores trivially satisfy the 1e-9 contract).
+  if (top == n) return top_k(query, k, metric, scratch, stats);
+
+  TopKScratch local;
+  TopKScratch& state = scratch != nullptr ? *scratch : local;
+
+  const double q_norm = query.norm_l2();
+  const double q_norm_sq = q_norm * q_norm;
+  const auto q_indices = query.indices();
+  const auto q_values = query.values();
+
+  // Query terms with postings, ordered by descending per-term score impact
+  // |q_w| * extreme posting weight — the max-score list order: the lists
+  // that can move scores most are accumulated first, so the threshold
+  // tightens as early as possible.
+  struct TermRef {
+    double impact;
+    double q_weight;
+    TermId term;
+  };
+  std::vector<TermRef> terms;
+  terms.reserve(q_indices.size());
+  for (std::size_t i = 0; i < q_indices.size(); ++i) {
+    const std::size_t term = q_indices[i];
+    if (term >= postings_.size() || postings_[term].empty()) continue;
+    const double impact = std::max(q_values[i] * max_weight_[term],
+                                   q_values[i] * min_weight_[term]);
+    terms.push_back({std::max(impact, 0.0), q_values[i],
+                     static_cast<TermId>(term)});
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const TermRef& a, const TermRef& b) {
+              if (a.impact != b.impact) return a.impact > b.impact;
+              return a.term < b.term;  // deterministic order under ties
+            });
+  std::vector<std::size_t> suffix_postings(terms.size() + 1, 0);
+  for (std::size_t j = terms.size(); j-- > 0;) {
+    suffix_postings[j] =
+        suffix_postings[j + 1] + postings_[terms[j].term].size();
+  }
+
+  // Densified query: O(1) weight lookups during candidate re-scoring.
+  state.query_dense.assign(postings_.size(), 0.0);
+  for (std::size_t i = 0; i < q_indices.size(); ++i) {
+    if (q_indices[i] < postings_.size()) {
+      state.query_dense[q_indices[i]] = q_values[i];
     }
   }
 
-  std::vector<IndexHit> hits(heap.size());
-  for (std::size_t i = heap.size(); i-- > 0;) {
-    hits[i] = heap.top();
-    heap.pop();
+  // Interleaved per-doc state — acc_mass[2d] is the partial dot, [2d+1] the
+  // squared mass of the doc's already-processed terms (one cache line per
+  // posting touch instead of two).
+  state.acc_mass.assign(2 * n, 0.0);
+  double* acc_mass = state.acc_mass.data();
+
+  // Exact re-score of one doc from the forward store. The merge order (and
+  // therefore the rounding) matches SparseVector::dot, so these scores are
+  // bit-identical to the brute-force scan.
+  const auto exact_score = [&](DocId doc) {
+    double dot = 0.0;
+    const double* qd = state.query_dense.data();
+    for (std::size_t f = forward_offsets_[doc]; f < forward_offsets_[doc + 1];
+         ++f) {
+      dot += forward_weights_[f] * qd[forward_terms_[f]];
+    }
+    if (metric == Metric::kCosine) {
+      return (q_norm == 0.0 || norms_[doc] == 0.0)
+                 ? 0.0
+                 : dot / (q_norm * norms_[doc]);
+    }
+    const double sq = q_norm_sq + norms_sq_[doc] - 2.0 * dot;
+    return sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+  };
+
+  std::size_t visited = 0;
+  double q_rem_sq = 0.0;  // squared norm of the unprocessed query prefix
+  for (const auto& term : terms) q_rem_sq += term.q_weight * term.q_weight;
+
+  // Head phase: accumulate the highest-impact lists (dot and mass) until
+  // the bulk of the query's mass is covered and partial accumulators can
+  // identify the true top-k contenders.
+  const double boot_target = (1.0 - kBootstrapMassFraction) *
+                             (q_rem_sq > 0.0 ? q_rem_sq : 1.0);
+  std::size_t li = 0;
+  for (; li < terms.size() && (q_rem_sq > boot_target || li < 2); ++li) {
+    const double q_weight = terms[li].q_weight;
+    const auto& list = postings_[terms[li].term];
+    const std::size_t len = list.size();
+    for (std::size_t i = 0; i < len; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+      if (i + 12 < len) __builtin_prefetch(acc_mass + 2 * list[i + 12].doc, 1);
+#endif
+      double* slot = acc_mass + 2 * list[i].doc;
+      slot[0] += q_weight * list[i].weight;
+      slot[1] += list[i].weight * list[i].weight;
+    }
+    visited += len;
+    q_rem_sq -= q_weight * q_weight;
   }
-  return hits;
+
+  // Threshold bootstrap/refresh: pick the best `top` docs by a cheap
+  // partial key, re-score them *exactly*, and take the worst of those exact
+  // scores. At least `top` documents provably reach that score, so pruning
+  // strictly below it can never evict a true top-k member — ties included.
+  double theta = seed_score;
+  const auto raise_theta = [&](const std::uint32_t* docs, std::size_t count) {
+    BoundedHeap best;
+    const auto offer = [&](DocId d) {
+      // Partial key: the partial dot, for both metrics. Any k docs yield a
+      // valid (if possibly loose) threshold — the exact re-score below is
+      // what pruning decisions rest on — and for the L2-normalized
+      // signatures this system stores, the dot orders Euclidean candidates
+      // the same as 2*dot - |d|^2 would, without streaming norms_sq_
+      // through the O(#docs) scan.
+      heap_offer(best, top, IndexHit{d, acc_mass[2 * d]});
+    };
+    if (docs == nullptr) {
+      for (std::size_t d = 0; d < n; ++d) offer(static_cast<DocId>(d));
+    } else {
+      for (std::size_t i = 0; i < count; ++i) offer(docs[i]);
+    }
+    if (best.size() < top) return;  // not enough docs to back a threshold
+    double kth = 0.0;
+    bool first = true;
+    while (!best.empty()) {
+      const double s = exact_score(best.top().doc);
+      best.pop();
+      kth = first ? s : std::min(kth, s);
+      first = false;
+    }
+    theta = std::max(theta, kth);
+  };
+  raise_theta(nullptr, 0);
+
+  // A doc survives unless its best possible score falls strictly below the
+  // (margin-relaxed) threshold. Cauchy–Schwarz bounds the remaining dot:
+  //   dot_rem(d) <= |q_rem| * sqrt(|d|^2 - mass(d))
+  // and the comparisons are squared so the hot loop has no sqrt/divide.
+  const auto filter_alive = [&](std::vector<std::uint32_t>& alive,
+                                bool from_all) {
+    const double theta_m =
+        theta - kThetaMargin * std::max(1.0, std::abs(theta));
+    const double q_rem_2 = std::max(q_rem_sq, 0.0);
+    std::size_t w = 0;
+    const auto keep = [&](DocId d) {
+      const double acc = acc_mass[2 * d];
+      const double mass = acc_mass[2 * d + 1];
+      const double d_rem_2 = std::max(norms_sq_[d] - mass, 0.0);
+      if (metric == Metric::kCosine) {
+        // acc + |q_rem|*|d_rem| >= theta_m * |q| * |d| ?
+        const double rhs = theta_m * q_norm * norms_[d] - acc;
+        return rhs <= 0.0 || q_rem_2 * d_rem_2 >= rhs * rhs;
+      }
+      // -sqrt(|q|^2+|d|^2-2*(acc + |q_rem|*|d_rem|)) >= theta_m ?
+      const double lhs =
+          q_norm_sq + norms_sq_[d] - 2.0 * acc - theta_m * theta_m;
+      return lhs <= 0.0 || lhs * lhs <= 4.0 * q_rem_2 * d_rem_2;
+    };
+    if (from_all) {
+      alive.clear();
+      for (std::size_t d = 0; d < n; ++d) {
+        if (keep(static_cast<DocId>(d))) {
+          alive.push_back(static_cast<DocId>(d));
+        }
+      }
+    } else {
+      for (const auto d : alive) {
+        if (keep(d)) alive[w++] = d;
+      }
+      alive.resize(w);
+    }
+  };
+  std::vector<std::uint32_t>& alive = state.alive;
+  filter_alive(alive, /*from_all=*/true);
+
+  // Pruning-hostile corpus (every document looks like every other): if the
+  // bootstrap bound could not discard at least a quarter of the corpus, the
+  // per-list re-filtering below would cost O(#docs) per list for nothing.
+  // Finish as a plain dense accumulation instead — same results, and the
+  // overhead stays bounded at the head/bootstrap work already spent.
+  if (alive.size() * 4 > 3 * n) {
+    for (; li < terms.size(); ++li) {
+      const double q_weight = terms[li].q_weight;
+      const auto& list = postings_[terms[li].term];
+      for (const Posting& posting : list) {
+        acc_mass[2 * posting.doc] += q_weight * posting.weight;
+      }
+      visited += list.size();
+    }
+    BoundedHeap heap;
+    for (std::size_t d = 0; d < n; ++d) {
+      double score;
+      if (metric == Metric::kCosine) {
+        score = (q_norm == 0.0 || norms_[d] == 0.0)
+                    ? 0.0
+                    : acc_mass[2 * d] / (q_norm * norms_[d]);
+      } else {
+        const double sq = q_norm_sq + norms_sq_[d] - 2.0 * acc_mass[2 * d];
+        score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+      }
+      heap_offer(heap, top, IndexHit{static_cast<DocId>(d), score});
+    }
+    if (stats != nullptr) {
+      stats->docs_scored += n;
+      stats->postings_visited += visited;
+    }
+    return drain_heap(heap);
+  }
+
+  // Tail phase: keep walking lists (tightening acc, mass and theta) until
+  // finishing the survivors off the forward store is cheaper than the
+  // posting entries still ahead.
+  bool candidate_mode = false;
+  const double avg_nnz = n > 0
+                             ? static_cast<double>(forward_terms_.size()) /
+                                   static_cast<double>(n)
+                             : 0.0;
+  double last_raise_rem = q_rem_sq;
+  for (; li < terms.size(); ++li) {
+    if (kCandidateSwitchFactor * static_cast<double>(alive.size()) * avg_nnz <
+        static_cast<double>(suffix_postings[li])) {
+      candidate_mode = true;
+      break;
+    }
+    const double q_weight = terms[li].q_weight;
+    const auto& list = postings_[terms[li].term];
+    for (const Posting& posting : list) {
+      double* slot = acc_mass + 2 * posting.doc;
+      slot[0] += q_weight * posting.weight;
+      slot[1] += posting.weight * posting.weight;
+    }
+    visited += list.size();
+    q_rem_sq -= q_weight * q_weight;
+    if (q_rem_sq <= kThetaRefreshFactor * last_raise_rem) {
+      last_raise_rem = q_rem_sq;
+      raise_theta(alive.data(), alive.size());
+    }
+    filter_alive(alive, /*from_all=*/false);
+  }
+
+  // Final scoring over the survivors only. In candidate mode the exact
+  // forward-store score (bit-identical to the scan); in dense mode the
+  // completed accumulators, matching the exact path's formula.
+  BoundedHeap heap;
+  for (const auto d : alive) {
+    double score;
+    if (candidate_mode) {
+      score = exact_score(d);
+    } else if (metric == Metric::kCosine) {
+      score = (q_norm == 0.0 || norms_[d] == 0.0)
+                  ? 0.0
+                  : acc_mass[2 * d] / (q_norm * norms_[d]);
+    } else {
+      const double sq = q_norm_sq + norms_sq_[d] - 2.0 * acc_mass[2 * d];
+      score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+    }
+    heap_offer(heap, top, IndexHit{d, score});
+  }
+  if (stats != nullptr) {
+    stats->docs_scored += alive.size();
+    stats->docs_pruned += n - alive.size();
+    stats->postings_visited += visited;
+  }
+  return drain_heap(heap);
 }
 
 }  // namespace fmeter::index

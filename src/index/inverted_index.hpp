@@ -9,15 +9,49 @@
 //
 // Why it beats the brute-force scan: a query only touches the posting lists
 // of its own non-zero terms, so work is proportional to the postings of the
-// query's terms rather than to sum(nnz) over every stored signature. The
-// final scoring pass is O(#docs) of cheap arithmetic (one divide or sqrt per
-// doc), which keeps scores *bit-identical* to the linear scan:
-//   * cosine:    dot / (|q| * |d|)        with |d| cached at add() time
-//   * euclidean: sqrt(|q|^2 + |d|^2 - 2*dot), clamped at 0
-// matching vsm::cosine_similarity / vsm::euclidean_distance expression for
-// expression, and the term-at-a-time accumulation visits each doc's shared
-// terms in the same ascending-index order as the merge join in
-// SparseVector::dot, so even the floating-point rounding agrees.
+// query's terms rather than to sum(nnz) over every stored signature.
+//
+// Two query paths with two distinct equivalence contracts:
+//
+//  * top_k() — the exact path. The final scoring pass is O(#docs) of cheap
+//    arithmetic (one divide or sqrt per doc), which keeps scores
+//    *bit-identical* to the linear scan:
+//      cosine:    dot / (|q| * |d|)        with |d| cached at add() time
+//      euclidean: sqrt(|q|^2 + |d|^2 - 2*dot), clamped at 0
+//    matching vsm::cosine_similarity / vsm::euclidean_distance expression
+//    for expression, and the term-at-a-time accumulation visits each doc's
+//    shared terms in the same ascending-index order as the merge join in
+//    SparseVector::dot, so even the floating-point rounding agrees.
+//
+//  * top_k_pruned() — the max-score path. Classic IR engines do not score
+//    every document; they prune with per-term score upper bounds. This path
+//    processes posting lists in descending impact order, bootstraps a
+//    threshold by exactly re-scoring the current best-k accumulators,
+//    discards documents whose Cauchy–Schwarz upper bound (partial dot plus
+//    |q_remaining|·|d_remaining|, from per-doc processed-mass bookkeeping)
+//    cannot beat the threshold, and — once the surviving candidate set is
+//    small — abandons the remaining posting lists entirely, re-scoring the
+//    candidates exactly from a forward store. Guarantee: the *same document
+//    set in the same order* as top_k(), with scores equal within 1e-9 (the
+//    different accumulation order perturbs the last few bits, so results
+//    are not golden/bit-identical; candidate-mode scores do match the scan
+//    bit-for-bit because the forward merge join reproduces its rounding).
+//    Every pruning decision is conservative: a document is dropped only
+//    when its upper bound falls strictly below a threshold that at least k
+//    exactly-scored documents are known to meet, so ties always survive.
+//    One caveat on ordering: exact ties (duplicate documents) take
+//    identical accumulation sequences in both paths and order identically,
+//    but two *distinct* documents whose true scores differ by less than
+//    the reordering rounding error (~1e-15, adversarially constructed)
+//    may swap relative to the exact path — their scores still agree within
+//    the 1e-9 contract.
+//
+// To support pruning, add() additionally maintains per-term maximum and
+// minimum posting weights (the max-score bounds), per-doc squared norms and
+// a forward store of each document's (term, weight) pairs — roughly
+// doubling memory_bytes() relative to the postings-only layout (reported
+// honestly; the forward store is also the natural substrate for future
+// snapshot/persistence work).
 #pragma once
 
 #include <cstddef>
@@ -31,6 +65,12 @@ namespace fmeter::index {
 /// Ranking metric. Mirrors core::SimilarityMetric; kept separate so the
 /// index layer does not depend on fmeter_core (which sits above it).
 enum class Metric { kCosine, kEuclidean };
+
+/// How a top-k query executes. kExact runs the dense scoring pass whose
+/// results are bit-identical to the brute-force scan; kMaxScore prunes with
+/// per-term/per-doc upper bounds — same documents, same order, scores equal
+/// within 1e-9.
+enum class PruningMode { kExact, kMaxScore };
 
 /// One scored result. `score` is the cosine similarity or the negative
 /// Euclidean distance, so larger is always better.
@@ -47,11 +87,30 @@ inline bool ranks_better(const IndexHit& a, const IndexHit& b) noexcept {
   return a.doc < b.doc;
 }
 
+/// Observability counters for one (or an aggregate of) top-k executions.
+/// docs_scored + docs_pruned always equals the documents considered; the
+/// exact path scores everything (docs_pruned == 0).
+struct PruneStats {
+  std::size_t docs_scored = 0;     ///< documents whose final score was computed
+  std::size_t docs_pruned = 0;     ///< documents discarded by an upper bound
+  std::size_t postings_visited = 0;  ///< posting-list entries touched
+
+  PruneStats& operator+=(const PruneStats& other) noexcept {
+    docs_scored += other.docs_scored;
+    docs_pruned += other.docs_pruned;
+    postings_visited += other.postings_visited;
+    return *this;
+  }
+};
+
 /// Reusable per-worker scoring state. Passing the same scratch to many
-/// top_k() calls amortizes the O(#docs) accumulator allocation across a
-/// batch of queries (the buffer is re-zeroed, not re-allocated).
+/// top_k()/top_k_pruned() calls amortizes the O(#docs) buffers across a
+/// batch of queries (buffers are re-zeroed, not re-allocated).
 struct TopKScratch {
-  std::vector<double> accumulators;
+  std::vector<double> accumulators;     ///< exact path: per-doc dot
+  std::vector<double> acc_mass;         ///< pruned path: interleaved dot, mass
+  std::vector<std::uint32_t> alive;     ///< pruned path: surviving doc ids
+  std::vector<double> query_dense;      ///< pruned path: densified query
 };
 
 class InvertedIndex {
@@ -60,7 +119,10 @@ class InvertedIndex {
   using TermId = vsm::SparseVector::Index;
 
   /// Appends a document; returns its id (ids are dense, starting at 0).
-  /// Incremental: posting lists stay sorted by doc id because ids only grow.
+  /// Incremental: posting lists stay sorted by doc id because ids only
+  /// grow, and the per-term max/min weight bounds used by top_k_pruned()
+  /// are updated in place, so pruned queries stay correct after any
+  /// interleaving of add() and query calls.
   DocId add(const vsm::SparseVector& doc);
 
   std::size_t size() const noexcept { return norms_.size(); }
@@ -74,8 +136,24 @@ class InvertedIndex {
   /// Cached L2 norm of a stored document.
   double norm(DocId doc) const { return norms_.at(doc); }
 
-  /// Heap-allocated footprint of the index: posting-list storage (including
-  /// unused capacity), the per-term list headers and the cached norms.
+  /// Largest weight stored for `term` (0 if the term has no postings) —
+  /// the max-score per-term upper bound, maintained incrementally.
+  double max_weight(TermId term) const noexcept {
+    return term < max_weight_.size() ? max_weight_[term] : 0.0;
+  }
+  /// Smallest weight stored for `term` (0 if absent); bounds queries with
+  /// negative weights.
+  double min_weight(TermId term) const noexcept {
+    return term < min_weight_.size() ? min_weight_[term] : 0.0;
+  }
+
+  /// Posting-list entries a query for `query` would touch (the exact
+  /// path's postings_visited).
+  std::size_t num_postings_for(const vsm::SparseVector& query) const noexcept;
+
+  /// Heap-allocated footprint: posting lists (including unused capacity),
+  /// per-term list headers and bounds, cached norms, and the forward store
+  /// backing candidate re-scoring in the pruned path.
   std::size_t memory_bytes() const noexcept;
 
   /// Top-k most similar documents, ranked by descending score; equal scores
@@ -86,9 +164,27 @@ class InvertedIndex {
   /// Degenerate queries are defined, not accidental: k == 0 and the
   /// empty/all-zero query both return no hits without walking any posting
   /// list. An optional scratch reuses the accumulator buffer across calls.
+  /// `stats`, when given, accumulates observability counters.
   std::vector<IndexHit> top_k(const vsm::SparseVector& query, std::size_t k,
                               Metric metric = Metric::kCosine,
-                              TopKScratch* scratch = nullptr) const;
+                              TopKScratch* scratch = nullptr,
+                              PruneStats* stats = nullptr) const;
+
+  /// Max-score top-k: same documents in the same order as top_k(), scores
+  /// equal within 1e-9 (see the header comment for why they are not
+  /// bit-identical). `seed_score` pre-loads the pruning threshold — pass a
+  /// known lower bound on the global k-th best score (e.g. from another
+  /// shard's already-computed top-k) to prune harder; kNoSeed means no
+  /// outside knowledge. Documents scoring exactly at the threshold are
+  /// never pruned, so cross-shard tie-breaks stay intact. Degenerate
+  /// inputs behave exactly like top_k().
+  static constexpr double kNoSeed = -1e300;
+  std::vector<IndexHit> top_k_pruned(const vsm::SparseVector& query,
+                                     std::size_t k,
+                                     Metric metric = Metric::kCosine,
+                                     TopKScratch* scratch = nullptr,
+                                     double seed_score = kNoSeed,
+                                     PruneStats* stats = nullptr) const;
 
  private:
   struct Posting {
@@ -98,6 +194,15 @@ class InvertedIndex {
 
   std::vector<std::vector<Posting>> postings_;  // indexed by TermId
   std::vector<double> norms_;                   // per-doc L2 norm
+  std::vector<double> norms_sq_;                // per-doc squared L2 norm
+  std::vector<double> max_weight_;              // per-term max posting weight
+  std::vector<double> min_weight_;              // per-term min posting weight
+  // Forward store: doc d's (term, weight) pairs live at
+  // [forward_offsets_[d], forward_offsets_[d + 1]) in ascending term order —
+  // the candidate re-scoring substrate of the pruned path.
+  std::vector<std::size_t> forward_offsets_{0};
+  std::vector<TermId> forward_terms_;
+  std::vector<double> forward_weights_;
   std::size_t num_postings_ = 0;
   std::size_t nonempty_terms_ = 0;
 };

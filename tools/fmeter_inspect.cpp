@@ -16,11 +16,15 @@
 //       label's centroid signature — "what does this behavior do in the
 //       kernel?".
 //
-//   fmeter_inspect search <corpus.fmc> <doc-index> [k]
+//   fmeter_inspect search <corpus.fmc> <doc-index> [k] [--policy P]
 //       Uses document <doc-index> as a query against an archive of all the
-//       other documents and prints the top-k hits from the inverted index
-//       (the paper's operator workflow: "which past incidents looked like
-//       this?"), plus the index's size statistics.
+//       other documents and prints the top-k hits (the paper's operator
+//       workflow: "which past incidents looked like this?"), plus the
+//       index's per-shard statistics and the query's execution counters
+//       (documents scored, documents pruned, posting entries visited).
+//       P selects the execution path: "scan" (brute-force linear scan),
+//       "indexed" (exact inverted-index pass, the default) or "pruned"
+//       (max-score pruning — same hits, scores within 1e-9).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,12 +39,14 @@ using namespace fmeter;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  fmeter_inspect collect <out.fmc> <workload> [workload...]\n"
-               "  fmeter_inspect stats <corpus.fmc>\n"
-               "  fmeter_inspect topterms <corpus.fmc> <label> [n]\n"
-               "  fmeter_inspect search <corpus.fmc> <doc-index> [k]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  fmeter_inspect collect <out.fmc> <workload> [workload...]\n"
+      "  fmeter_inspect stats <corpus.fmc>\n"
+      "  fmeter_inspect topterms <corpus.fmc> <label> [n]\n"
+      "  fmeter_inspect search <corpus.fmc> <doc-index> [k] "
+      "[--policy scan|indexed|pruned]\n");
   return 2;
 }
 
@@ -181,21 +187,49 @@ int cmd_topterms(int argc, char** argv) {
 }
 
 int cmd_search(int argc, char** argv) {
-  if (argc != 4 && argc != 5) return usage();
-  const vsm::Corpus corpus = vsm::load_corpus(argv[2]);
+  // Positional arguments first (corpus, doc-index, optional k), then the
+  // optional --policy flag anywhere after them.
+  core::ScanPolicy policy = core::ScanPolicy::kIndexed;
+  core::PruningMode mode = core::PruningMode::kExact;
+  const char* policy_name = "indexed";
+  std::vector<const char*> positional;
+  for (int arg = 2; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--policy") == 0) {
+      if (arg + 1 >= argc) return usage();
+      policy_name = argv[++arg];
+      if (std::strcmp(policy_name, "scan") == 0) {
+        policy = core::ScanPolicy::kBruteForce;
+      } else if (std::strcmp(policy_name, "indexed") == 0) {
+        policy = core::ScanPolicy::kIndexed;
+      } else if (std::strcmp(policy_name, "pruned") == 0) {
+        policy = core::ScanPolicy::kIndexed;
+        mode = core::PruningMode::kMaxScore;
+      } else {
+        std::fprintf(stderr, "unknown --policy '%s' (scan|indexed|pruned)\n",
+                     policy_name);
+        return 2;
+      }
+    } else {
+      positional.push_back(argv[arg]);
+    }
+  }
+  if (positional.size() != 2 && positional.size() != 3) return usage();
+  const vsm::Corpus corpus = vsm::load_corpus(positional[0]);
   // The doc index selects which incident gets analyzed — reject non-numeric
   // input rather than silently querying doc 0.
   char* end = nullptr;
-  const std::size_t query_doc = std::strtoul(argv[3], &end, 10);
-  if (end == argv[3] || *end != '\0') {
-    std::fprintf(stderr, "doc-index must be a number, got '%s'\n", argv[3]);
+  const std::size_t query_doc = std::strtoul(positional[1], &end, 10);
+  if (end == positional[1] || *end != '\0') {
+    std::fprintf(stderr, "doc-index must be a number, got '%s'\n",
+                 positional[1]);
     return 2;
   }
   std::size_t k = 10;
-  if (argc == 5) {
-    k = std::strtoul(argv[4], &end, 10);
-    if (end == argv[4] || *end != '\0' || k == 0) {
-      std::fprintf(stderr, "k must be a positive number, got '%s'\n", argv[4]);
+  if (positional.size() == 3) {
+    k = std::strtoul(positional[2], &end, 10);
+    if (end == positional[2] || *end != '\0' || k == 0) {
+      std::fprintf(stderr, "k must be a positive number, got '%s'\n",
+                   positional[2]);
       return 2;
     }
   }
@@ -214,18 +248,42 @@ int cmd_search(int argc, char** argv) {
     archive_doc.push_back(i);
   }
 
-  std::printf("query: doc %zu ('%s')   archive: %zu signatures\n", query_doc,
-              corpus[query_doc].label.c_str(), db.size());
-  std::printf("index: %zu shards, %zu terms, %zu postings\n\n",
-              db.index().num_shards(), db.index().num_terms(),
-              db.index().num_postings());
-
-  std::printf("%5s %6s %-28s %10s\n", "rank", "doc", "label", "cosine");
-  const auto hits = db.search(signatures[query_doc], k);
+  std::printf("query: doc %zu ('%s')   archive: %zu signatures   policy: %s\n",
+              query_doc, corpus[query_doc].label.c_str(), db.size(),
+              policy_name);
+  const auto& index = db.index();
+  std::printf("index: %zu shards, %zu terms, %zu postings, %.1f KiB\n\n",
+              index.num_shards(), index.num_terms(), index.num_postings(),
+              static_cast<double>(index.memory_bytes()) / 1024.0);
+  std::printf("%8s %8s %8s %10s %10s\n", "shard", "docs", "terms", "postings",
+              "KiB");
+  const auto shard_stats = index.shard_stats();
+  for (std::size_t s = 0; s < shard_stats.size(); ++s) {
+    std::printf("%8zu %8zu %8zu %10zu %10.1f\n", s, shard_stats[s].docs,
+                shard_stats[s].terms, shard_stats[s].postings,
+                static_cast<double>(shard_stats[s].memory_bytes) / 1024.0);
+  }
+  std::printf("\n%5s %6s %-28s %10s\n", "rank", "doc", "label", "cosine");
+  core::QueryStats stats;
+  const auto hits = db.search(signatures[query_doc], k,
+                              core::SimilarityMetric::kCosine, policy, mode,
+                              &stats);
   for (std::size_t rank = 0; rank < hits.size(); ++rank) {
     std::printf("%5zu %6zu %-28s %10.4f\n", rank + 1,
                 archive_doc[hits[rank].id], hits[rank].label.c_str(),
                 hits[rank].score);
+  }
+  if (policy == core::ScanPolicy::kIndexed) {
+    const std::size_t considered = stats.docs_scored + stats.docs_pruned;
+    std::printf(
+        "\nquery counters: %zu docs scored, %zu docs pruned (%.1f%%), "
+        "%zu postings visited\n",
+        stats.docs_scored, stats.docs_pruned,
+        considered > 0
+            ? 100.0 * static_cast<double>(stats.docs_pruned) /
+                  static_cast<double>(considered)
+            : 0.0,
+        stats.postings_visited);
   }
   return 0;
 }
