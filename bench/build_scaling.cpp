@@ -1,0 +1,134 @@
+// Sequential add() vs. parallel bulk ingest (add_batch + freeze) as the
+// archive grows.
+//
+// An operator's archive is rebuilt whenever a corpus is (re)loaded from
+// disk, and PR 4 turned that from N sequential single-threaded add() calls
+// into per-shard build tasks fanned out on the exec::TaskPool with each
+// shard frozen into its posting arena at the end. This bench measures both
+// ingest paths into a 4-shard ShardedIndex at 10k/100k docs, verifies the
+// parallel build is document-for-document identical to the sequential one,
+// and emits BENCH_build.json. The >=2x speedup check only arms on >=4
+// hardware threads and the full 100k corpus (a single-core CI box runs the
+// same code inline, where there is nothing to win).
+//
+// Usage: bench_build_scaling [max_corpus]   (e.g. 5000 as a CI smoke)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/sharded_index.hpp"
+#include "exec/task_pool.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace {
+
+constexpr std::uint32_t kDimension = 3800;
+constexpr std::size_t kNnz = 200;
+constexpr std::size_t kClasses = 11;
+constexpr std::size_t kShards = 4;
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t parsed =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 0;
+  const std::size_t max_corpus = parsed > 0 ? parsed : 100000;
+
+  fmeter::bench::print_banner(
+      "build_scaling: sequential add() vs. parallel bulk ingest + freeze",
+      "archive (re)builds must not serialize on one core");
+
+  const std::size_t cores = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %zu, shards: %zu\n\n", cores, kShards);
+  std::printf("%8s %12s %10s %12s %8s\n", "corpus", "mode", "seconds",
+              "docs/sec", "ratio");
+
+  std::vector<fmeter::bench::ShapeCheck> checks;
+  std::vector<fmeter::bench::JsonRow> json_rows;
+
+  for (const std::size_t corpus : {std::size_t{10000}, std::size_t{100000}}) {
+    if (corpus > max_corpus) break;
+    // One corpus, shared by both builds, so the comparison is exact.
+    fmeter::util::Rng rng(0xb111d);
+    const fmeter::util::ZipfDistribution zipf(kDimension, 1.1);
+    const auto perms =
+        fmeter::bench::class_permutations(rng, kClasses, kDimension);
+    std::vector<fmeter::vsm::SparseVector> docs;
+    docs.reserve(corpus);
+    for (std::size_t d = 0; d < corpus; ++d) {
+      docs.push_back(fmeter::bench::synthetic_class_signature(
+          rng, zipf, perms[d % kClasses], kNnz));
+    }
+
+    const auto t_seq = std::chrono::steady_clock::now();
+    fmeter::exec::ShardedIndex sequential(kShards);
+    for (const auto& doc : docs) sequential.add(doc);
+    sequential.freeze();
+    const double seq_s = seconds_since(t_seq);
+
+    fmeter::exec::TaskPool pool(cores > 0 ? cores : 1);
+    const auto t_par = std::chrono::steady_clock::now();
+    fmeter::exec::ShardedIndex parallel(kShards);
+    parallel.add_batch(std::span<const fmeter::vsm::SparseVector>(docs),
+                       &pool);
+    const double par_s = seconds_since(t_par);
+
+    // The parallel build must be byte-for-byte the sequential one.
+    bool identical = parallel.size() == sequential.size() &&
+                     parallel.num_terms() == sequential.num_terms() &&
+                     parallel.num_postings() == sequential.num_postings() &&
+                     parallel.frozen() && sequential.frozen();
+    const auto seq_stats = sequential.shard_stats();
+    const auto par_stats = parallel.shard_stats();
+    for (std::size_t s = 0; identical && s < seq_stats.size(); ++s) {
+      identical = par_stats[s].docs == seq_stats[s].docs &&
+                  par_stats[s].postings == seq_stats[s].postings &&
+                  par_stats[s].terms == seq_stats[s].terms;
+    }
+    checks.push_back({"parallel build identical to sequential at " +
+                          std::to_string(corpus),
+                      identical});
+
+    const double ratio = par_s > 0.0 ? seq_s / par_s : 0.0;
+    std::printf("%8zu %12s %10.2f %12.0f %8s\n", corpus, "sequential", seq_s,
+                static_cast<double>(corpus) / seq_s, "");
+    std::printf("%8zu %12s %10.2f %12.0f %7.2fx\n", corpus, "parallel", par_s,
+                static_cast<double>(corpus) / par_s, ratio);
+    for (const auto& [mode, secs] :
+         {std::pair<const char*, double>{"sequential", seq_s},
+          {"parallel", par_s}}) {
+      json_rows.push_back(
+          {fmeter::bench::jnum("docs", static_cast<double>(corpus)),
+           fmeter::bench::jnum("shards", kShards),
+           fmeter::bench::jstr("mode", mode),
+           fmeter::bench::jnum("seconds", secs),
+           fmeter::bench::jnum("docs_per_sec",
+                               static_cast<double>(corpus) / secs),
+           fmeter::bench::jnum("cores", static_cast<double>(cores))});
+    }
+    // The parallelism gate arms only where parallelism exists to measure.
+    if (cores >= 4 && corpus >= 100000) {
+      checks.push_back({"parallel bulk ingest >= 2x sequential at " +
+                            std::to_string(corpus) + " docs, " +
+                            std::to_string(kShards) + " shards",
+                        ratio >= 2.0});
+    }
+  }
+
+  fmeter::bench::emit_json("BENCH_build.json", "build_scaling", json_rows);
+  std::printf("\nwrote BENCH_build.json (%zu rows)\n", json_rows.size());
+  return fmeter::bench::print_shape_checks(checks);
+}

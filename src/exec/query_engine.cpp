@@ -29,23 +29,37 @@ std::vector<IndexHit> shard_hits(const ShardedIndex& index, std::size_t shard,
                                  std::atomic<double>* floor,
                                  PruneStats* stats) {
   std::vector<IndexHit> hits;
+  if (mode == PruningMode::kAuto) {
+    // Resolved per shard: a database whose shards straddle the measured
+    // crossover prunes the large shards and scores the small ones exactly.
+    // The crossover itself depends on the shard's dominant layout — a
+    // mostly-unfrozen shard behaves like the mutable tiers even if an old
+    // arena sits underneath, so "frozen" means the arena holds a majority
+    // of the documents.
+    const auto& target = index.shard(shard);
+    mode = index::InvertedIndex::resolve_auto(
+        target.size(), k, target.frozen_docs() * 2 >= target.size());
+  }
   if (mode == PruningMode::kMaxScore) {
     const double seed = floor != nullptr
                             ? floor->load(std::memory_order_relaxed)
                             : index::InvertedIndex::kNoSeed;
     hits = index.shard(shard).top_k_pruned(query, k, metric, &scratch, seed,
                                            stats);
-    if (floor != nullptr && hits.size() == k) {
-      double current = floor->load(std::memory_order_relaxed);
-      const double kth = hits.back().score;
-      while (kth > current &&
-             !floor->compare_exchange_weak(current, kth,
-                                           std::memory_order_relaxed,
-                                           std::memory_order_relaxed)) {
-      }
-    }
   } else {
     hits = index.shard(shard).top_k(query, k, metric, &scratch, stats);
+  }
+  // A full top-k's k-th score is a valid floor for every other shard
+  // whichever path produced it — under kAuto, exact shards feed the
+  // pruning shards' thresholds for free.
+  if (floor != nullptr && hits.size() == k) {
+    double current = floor->load(std::memory_order_relaxed);
+    const double kth = hits.back().score;
+    while (kth > current &&
+           !floor->compare_exchange_weak(current, kth,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
   }
   for (auto& hit : hits) hit.doc = index.global_of(shard, hit.doc);
   return hits;
@@ -118,7 +132,7 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
   // (kMaxScore only). Plain atomics, relaxed everywhere: the floor is a
   // monotonic performance hint, not a synchronization point.
   std::unique_ptr<std::atomic<double>[]> floors;
-  if (mode == PruningMode::kMaxScore) {
+  if (mode != PruningMode::kExact) {  // kMaxScore, or kAuto on any shard
     floors = std::make_unique<std::atomic<double>[]>(eligible.size());
     for (std::size_t e = 0; e < eligible.size(); ++e) {
       floors[e].store(index::InvertedIndex::kNoSeed,
@@ -137,7 +151,13 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
   // worker is a blocked submitter. Shards run in ascending order per
   // query, so pruned thresholds seed deterministically here.
   const auto run_inline = [&] {
-    index::TopKScratch scratch;
+    // Reused across calls: the frozen pruned path's epoch-stamped lazy
+    // accumulator reset only pays off when the buffers survive between
+    // queries (a fresh scratch would re-zero O(#docs) state per scalar
+    // search — exactly the cost the arena removed). Safe across indexes:
+    // every query bumps the epoch stamp, invalidating whatever a previous
+    // index left behind, and buffers resize on dimension change.
+    static thread_local index::TopKScratch scratch;
     for (std::size_t e = 0; e < eligible.size(); ++e) {
       const std::size_t qi = eligible[e];
       std::vector<std::vector<IndexHit>> lists;
@@ -192,7 +212,9 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
         pending.push_back(pool.submit([this, queries, &eligible, &partial, s,
                                        begin, end, k, metric, mode, shards,
                                        &floor_of, slot] {
-          index::TopKScratch scratch;  // one accumulator for the whole block
+          // Per-worker, reused across tasks and batches (same epoch-reuse
+          // rationale as the inline path).
+          static thread_local index::TopKScratch scratch;
           for (std::size_t e = begin; e < end; ++e) {
             partial[e * shards + s] =
                 shard_hits(*index_, s, *queries[eligible[e]], k, metric, mode,

@@ -24,6 +24,10 @@
 // kExact for every shard count and batch size, with scores equal within
 // 1e-9 (see inverted_index.hpp for the contract); the merge and tie-break
 // logic is shared with the exact path, untouched.
+// PruningMode::kAuto resolves per shard via
+// index::InvertedIndex::resolve_auto — shards below the measured crossover
+// run the exact pass, the rest prune — so mixed-size shard sets never pay
+// bound bookkeeping where it loses.
 //
 // Degenerate inputs are handled before any dispatch: k == 0 and
 // empty/all-zero queries return empty hit lists without touching the pool

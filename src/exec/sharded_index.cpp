@@ -1,8 +1,18 @@
 #include "exec/sharded_index.hpp"
 
+#include <exception>
+#include <future>
 #include <stdexcept>
 
 namespace fmeter::exec {
+namespace {
+
+/// Below this many documents a bulk build is microseconds of work and the
+/// pool dispatch (queue mutex, condvar wakeup, future sync per shard) would
+/// dominate it — build inline instead. Results are identical either way.
+constexpr std::size_t kMinDocsForParallelBuild = 4096;
+
+}  // namespace
 
 ShardedIndex::ShardedIndex(std::size_t num_shards)
     : shards_(num_shards == 0 ? 1 : num_shards) {}
@@ -30,6 +40,96 @@ ShardedIndex::DocId ShardedIndex::add(const vsm::SparseVector& doc) {
   return global;
 }
 
+void ShardedIndex::add_batch(std::span<const vsm::SparseVector> docs,
+                             TaskPool* pool) {
+  std::vector<const vsm::SparseVector*> pointers;
+  pointers.reserve(docs.size());
+  for (const auto& doc : docs) pointers.push_back(&doc);
+  add_batch(std::span<const vsm::SparseVector* const>(pointers), pool);
+}
+
+void ShardedIndex::add_batch(std::span<const vsm::SparseVector* const> docs,
+                             TaskPool* pool) {
+  const std::size_t base = size_;
+  const std::size_t shards = shards_.size();
+
+  // Each shard's slice of the batch: batch index i becomes global id
+  // base + i, so shard s receives the ascending run i ≡ (s - base) mod N —
+  // the same documents in the same order as N sequential add() calls.
+  const auto build_shard = [this, docs, base, shards](std::size_t s) {
+    auto& shard = shards_[s];
+    std::size_t i = (s + shards - base % shards) % shards;
+    for (; i < docs.size(); i += shards) {
+      const DocId local = shard.add(*docs[i]);
+      if (local != local_of(static_cast<DocId>(base + i))) {
+        throw std::logic_error("ShardedIndex: shard id stream out of sync");
+      }
+    }
+    shard.freeze();
+  };
+
+  // Pool-independent cutoffs first, so small builds never pay for
+  // materializing the process-wide shared pool; a pool worker must build
+  // inline because blocking it on subtasks can deadlock the fixed pool.
+  bool inline_build = shards == 1 || docs.size() < kMinDocsForParallelBuild;
+  TaskPool* workers = nullptr;
+  if (!inline_build) {
+    workers = pool != nullptr ? pool : &TaskPool::shared();
+    inline_build = workers->size() <= 1 || workers->current_thread_is_worker();
+  }
+  if (inline_build) {
+    for (std::size_t s = 0; s < shards; ++s) build_shard(s);
+  } else {
+    std::vector<std::future<void>> pending;
+    pending.reserve(shards);
+    std::exception_ptr first_error;
+    try {
+      for (std::size_t s = 0; s < shards; ++s) {
+        pending.push_back(workers->submit([&build_shard, s] { build_shard(s); }));
+      }
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+    // Every queued task references locals; drain all of them before any
+    // unwind, keeping the earliest failure (submit outranks task errors).
+    for (auto& future : pending) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Aggregate bookkeeping on the calling thread — no cross-thread writes.
+  for (const auto* doc : docs) {
+    const auto indices = doc->indices();
+    if (!indices.empty() &&
+        static_cast<std::size_t>(indices.back()) >= term_seen_.size()) {
+      term_seen_.resize(static_cast<std::size_t>(indices.back()) + 1, false);
+    }
+    for (const auto term : indices) {
+      if (!term_seen_[term]) {
+        term_seen_[term] = true;
+        ++nonempty_terms_;
+      }
+    }
+  }
+  size_ += docs.size();
+}
+
+void ShardedIndex::freeze() {
+  for (auto& shard : shards_) shard.freeze();
+}
+
+bool ShardedIndex::frozen() const noexcept {
+  for (const auto& shard : shards_) {
+    if (!shard.frozen()) return false;
+  }
+  return true;
+}
+
 std::size_t ShardedIndex::num_postings() const noexcept {
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard.num_postings();
@@ -37,8 +137,13 @@ std::size_t ShardedIndex::num_postings() const noexcept {
 }
 
 std::size_t ShardedIndex::memory_bytes() const noexcept {
-  std::size_t total = term_seen_.capacity() / 8;
-  for (const auto& shard : shards_) total += shard.memory_bytes();
+  return memory_breakdown().total();
+}
+
+MemoryBreakdown ShardedIndex::memory_breakdown() const noexcept {
+  MemoryBreakdown total;
+  total.offsets += term_seen_.capacity() / 8;
+  for (const auto& shard : shards_) total += shard.memory_breakdown();
   return total;
 }
 
@@ -48,9 +153,11 @@ std::vector<ShardStats> ShardedIndex::shard_stats() const {
   for (const auto& shard : shards_) {
     ShardStats entry;
     entry.docs = shard.size();
+    entry.frozen_docs = shard.frozen_docs();
     entry.terms = shard.num_terms();
     entry.postings = shard.num_postings();
-    entry.memory_bytes = shard.memory_bytes();
+    entry.memory = shard.memory_breakdown();
+    entry.memory_bytes = entry.memory.total();
     stats.push_back(entry);
   }
   return stats;

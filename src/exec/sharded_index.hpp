@@ -9,25 +9,43 @@
 // single-shard index: each shard's accumulation order and scoring are
 // unchanged, and within a shard ascending local id is ascending global id,
 // so the per-shard top-k lists merge into exactly the global ranking.
+//
+// Ingest comes in two shapes with one result:
+//
+//  * add() — one document at a time, through the single-threaded path.
+//  * add_batch() — bulk: the batch is partitioned round-robin exactly as N
+//    sequential add() calls would, then each shard's documents are inserted
+//    by a dedicated task on the TaskPool and the shard is frozen into its
+//    struct-of-arrays posting arena. Shards are disjoint, each shard
+//    receives its documents in ascending global order regardless of
+//    scheduling, and the term-occupancy bitmap is updated on the calling
+//    thread — so the built index is deterministic, byte-for-byte the same
+//    as the sequential build plus freeze(), and the only cross-thread
+//    hand-off is the task futures' completion.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "exec/task_pool.hpp"
 #include "index/inverted_index.hpp"
 #include "vsm/sparse_vector.hpp"
 
 namespace fmeter::exec {
 
 using index::IndexHit;
+using index::MemoryBreakdown;
 using index::Metric;
 
 /// Per-shard statistics snapshot (for fmeter_inspect and monitoring).
 struct ShardStats {
   std::size_t docs = 0;
+  std::size_t frozen_docs = 0;  ///< docs compacted into the posting arena
   std::size_t terms = 0;
   std::size_t postings = 0;
   std::size_t memory_bytes = 0;
+  MemoryBreakdown memory;  ///< memory_bytes split by component
 };
 
 class ShardedIndex {
@@ -38,6 +56,26 @@ class ShardedIndex {
 
   /// Appends a document; returns its global id (dense, starting at 0).
   DocId add(const vsm::SparseVector& doc);
+
+  /// Bulk ingest: appends every document (same ids and same per-shard
+  /// contents as calling add() in order) with the per-shard builds fanned
+  /// out onto `pool` (TaskPool::shared() when null), then freezes every
+  /// shard. Falls back to the calling thread when the batch is small, the
+  /// pool has no parallelism to offer, or the caller already is a pool
+  /// worker (a blocked submitter inside a fixed pool can deadlock it).
+  /// Basic exception guarantee only: if a mid-batch insertion throws, the
+  /// shards disagree about the id stream and the index must be discarded —
+  /// bulk loads build fresh indexes, so nothing incremental is lost.
+  void add_batch(std::span<const vsm::SparseVector* const> docs,
+                 TaskPool* pool = nullptr);
+  void add_batch(std::span<const vsm::SparseVector> docs,
+                 TaskPool* pool = nullptr);
+
+  /// Freezes every shard (see index::InvertedIndex::freeze()); queries are
+  /// unchanged in results, faster in execution. Idempotent.
+  void freeze();
+  /// True when every shard is fully frozen.
+  bool frozen() const noexcept;
 
   std::size_t num_shards() const noexcept { return shards_.size(); }
   const index::InvertedIndex& shard(std::size_t s) const {
@@ -52,9 +90,12 @@ class ShardedIndex {
   std::size_t num_terms() const noexcept { return nonempty_terms_; }
   /// Total postings across all shards (== sum of nnz over documents).
   std::size_t num_postings() const noexcept;
-  /// Aggregate heap footprint: every shard's postings + norms accounting
-  /// plus this layer's term-occupancy bitmap.
+  /// Aggregate heap footprint: every shard's accounting plus this layer's
+  /// term-occupancy bitmap.
   std::size_t memory_bytes() const noexcept;
+  /// The same footprint split into postings / offsets / block-metadata /
+  /// forward components, summed over shards (the bitmap counts as offsets).
+  MemoryBreakdown memory_breakdown() const noexcept;
 
   std::vector<ShardStats> shard_stats() const;
 

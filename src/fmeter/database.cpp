@@ -75,6 +75,30 @@ std::size_t SignatureDatabase::add(vsm::SparseVector signature,
   return signatures_.size() - 1;
 }
 
+std::size_t SignatureDatabase::add_batch(
+    std::vector<vsm::SparseVector> signatures, std::vector<std::string> labels) {
+  if (signatures.size() != labels.size()) {
+    throw std::invalid_argument(
+        "add_batch: signatures and labels must align");
+  }
+  const std::size_t first = signatures_.size();
+  syndrome_cache_.reset();
+  signatures_.reserve(signatures_.size() + signatures.size());
+  labels_.reserve(labels_.size() + labels.size());
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    signatures_.push_back(std::move(signatures[i]));
+    labels_.push_back(std::move(labels[i]));
+  }
+  // Pointers into signatures_ are stable from here: everything is appended.
+  std::vector<const vsm::SparseVector*> pointers;
+  pointers.reserve(signatures.size());
+  for (std::size_t id = first; id < signatures_.size(); ++id) {
+    pointers.push_back(&signatures_[id]);
+  }
+  index_.add_batch(std::span<const vsm::SparseVector* const>(pointers));
+  return first;
+}
+
 std::vector<std::string> SignatureDatabase::distinct_labels() const {
   std::vector<std::string> out;
   for (const auto& label : labels_) {

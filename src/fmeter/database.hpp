@@ -46,9 +46,12 @@ enum class ScanPolicy { kIndexed, kBruteForce };
 /// scoring pass whose hits are bit-identical to the brute-force scan —
 /// every golden guarantee in the test suite rides on it. kMaxScore prunes
 /// documents whose score upper bound cannot reach the running top-k
-/// threshold (per-term max-weight bounds + per-doc partial-mass bounds,
-/// seeded across shards): the same documents in the same order, scores
-/// equal within 1e-9. Ignored under ScanPolicy::kBruteForce.
+/// threshold (per-term max-weight bounds + per-doc partial-mass bounds +
+/// per-block metadata over frozen shards, seeded across shards): the same
+/// documents in the same order, scores equal within 1e-9. kAuto picks
+/// exact or pruned per shard from the measured size crossover — the
+/// recommended default for callers that do not care which engine runs.
+/// Ignored under ScanPolicy::kBruteForce.
 using index::PruningMode;
 
 /// Aggregated observability counters for the pruned/exact indexed paths.
@@ -84,6 +87,22 @@ class SignatureDatabase {
   /// tf-idf weight vectors (typically L2-normalised). Also feeds the
   /// sharded index (incremental add) and invalidates the syndrome cache.
   std::size_t add(vsm::SparseVector signature, std::string label);
+
+  /// Bulk load: appends every (signature, label) pair — same ids and same
+  /// query results as add() in a loop — but the per-shard index builds fan
+  /// out onto the task pool and every shard is frozen into its contiguous
+  /// posting arena afterwards (exec::ShardedIndex::add_batch). Returns the
+  /// id of the first inserted signature. Throws std::invalid_argument on
+  /// mismatched input sizes. Basic exception guarantee: a mid-batch
+  /// failure leaves the database unusable — bulk loads build fresh
+  /// databases, so discard and rebuild.
+  std::size_t add_batch(std::vector<vsm::SparseVector> signatures,
+                        std::vector<std::string> labels);
+
+  /// Freezes the sharded index (compacts all postings into per-shard
+  /// arenas; see index::InvertedIndex::freeze()). Queries return identical
+  /// results before and after; the hot scoring loops just get faster.
+  void freeze() { index_.freeze(); }
 
   std::size_t size() const noexcept { return signatures_.size(); }
   bool empty() const noexcept { return signatures_.empty(); }

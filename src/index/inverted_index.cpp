@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <queue>
 
 namespace fmeter::index {
 namespace {
 
 // Max-score tuning. The pruned path stays correct for any values here (every
-// pruning decision is bound-checked); these only steer where it spends time.
+// pruning and skipping decision is bound-checked); these only steer where it
+// spends time.
 
 /// Fraction of the query's squared norm that the head phase accumulates
 /// before the threshold bootstrap. Late enough that the best-k accumulators
@@ -16,14 +19,36 @@ namespace {
 /// skippable.
 constexpr double kBootstrapMassFraction = 0.95;
 
+/// Same knob over a frozen arena. The frozen path's bootstrap and filters
+/// run over the touched-doc list instead of the whole corpus, and the
+/// post-bootstrap lists go through the block-skipping loop — both make an
+/// earlier (cheaper) bootstrap affordable: less mandatory head
+/// accumulation, more posting mass routed past the skip tests. A looser
+/// early threshold only costs extra survivors, which the per-list filters
+/// and theta refreshes claw back; correctness never depends on this value.
+constexpr double kFrozenBootstrapMassFraction = 0.74;
+
+/// Theta refresh cadence over a frozen arena: refreshes are cheap there
+/// (the refresh heap runs over the survivor list only), and every raise
+/// unlocks more block skipping, so refresh almost every list instead of
+/// geometrically.
+constexpr double kFrozenThetaRefreshFactor = 0.999;
+
 /// Re-raise the threshold whenever the remaining query mass has shrunk to
 /// this fraction of its value at the previous raise (geometric cadence keeps
 /// the number of raises logarithmic).
 constexpr double kThetaRefreshFactor = 0.7;
 
 /// Switch from posting-list accumulation to candidate-centric re-scoring
-/// when factor * |alive| * avg_doc_nnz < remaining posting entries.
-constexpr double kCandidateSwitchFactor = 1.0;
+/// when factor * (total forward extent of the survivors) < remaining posting
+/// entries. The extent sum is the *exact* cost of finishing the survivors
+/// off the forward store — measured per doc, not assumed uniform — so the
+/// factor only prices the forward store's slightly colder access pattern.
+/// Re-tuned against the frozen block-max path: block skipping makes the
+/// remaining posting work cheaper per entry, so the switch waits for a
+/// 1.5× advantage instead of parity (2.0 walked measurably too many
+/// lists at 100k before bailing to the forward store).
+constexpr double kCandidateSwitchFactor = 1.5;
 
 /// Absolute/relative slack subtracted from the threshold before any prune
 /// test, absorbing the rounding drift between the accumulation orders of
@@ -71,15 +96,18 @@ InvertedIndex::DocId InvertedIndex::add(const vsm::SparseVector& doc) {
   norms_.reserve(norms_.size() + 1);
   norms_sq_.reserve(norms_sq_.size() + 1);
   forward_offsets_.reserve(forward_offsets_.size() + 1);
-  if (!indices.empty() &&
-      static_cast<std::size_t>(indices.back()) >= postings_.size()) {
+  if (!indices.empty()) {
     const std::size_t terms = static_cast<std::size_t>(indices.back()) + 1;
-    // Bounds arrays grow before postings_: if a resize throws partway, a
-    // bounds array longer than postings_ is invisible, while a shorter one
-    // would be indexed out of bounds by later adds and pruned queries.
-    max_weight_.resize(terms, 0.0);
-    min_weight_.resize(terms, 0.0);
-    postings_.resize(terms);
+    // Bounds arrays grow before the tail lists: if a resize throws partway,
+    // a bounds array longer than tail_ is invisible, while a shorter one
+    // would be indexed out of bounds by later adds and pruned queries. The
+    // tail may be shorter than the bounds arrays after a freeze() (which
+    // empties it), so both resizes key off their own current size.
+    if (terms > max_weight_.size()) {
+      max_weight_.resize(terms, 0.0);
+      min_weight_.resize(terms, 0.0);
+    }
+    if (terms > tail_.size()) tail_.resize(terms);
   }
   const std::size_t forward_base = forward_terms_.size();
   std::size_t appended = 0;
@@ -88,52 +116,206 @@ InvertedIndex::DocId InvertedIndex::add(const vsm::SparseVector& doc) {
     forward_weights_.insert(forward_weights_.end(), values.begin(),
                             values.end());
     for (; appended < indices.size(); ++appended) {
-      postings_[indices[appended]].push_back(Posting{id, values[appended]});
+      tail_[indices[appended]].push_back(Posting{id, values[appended]});
     }
   } catch (...) {
-    while (appended-- > 0) postings_[indices[appended]].pop_back();
+    while (appended-- > 0) tail_[indices[appended]].pop_back();
     forward_terms_.resize(forward_base);
     forward_weights_.resize(forward_base);
     throw;
   }
   for (std::size_t i = 0; i < indices.size(); ++i) {
-    if (postings_[indices[i]].size() == 1) {
+    const TermId term = indices[i];
+    const bool arena_empty =
+        term >= arena_terms() || arena_offsets_[term + 1] == arena_offsets_[term];
+    if (arena_empty && tail_[term].size() == 1) {
       ++nonempty_terms_;
-      max_weight_[indices[i]] = values[i];
-      min_weight_[indices[i]] = values[i];
+      max_weight_[term] = values[i];
+      min_weight_[term] = values[i];
     } else {
-      max_weight_[indices[i]] = std::max(max_weight_[indices[i]], values[i]);
-      min_weight_[indices[i]] = std::min(min_weight_[indices[i]], values[i]);
+      max_weight_[term] = std::max(max_weight_[term], values[i]);
+      min_weight_[term] = std::min(min_weight_[term], values[i]);
     }
   }
   num_postings_ += indices.size();
   const double norm = doc.norm_l2();
   norms_.push_back(norm);
   norms_sq_.push_back(norm * norm);
+  if (!public_of_.empty()) {
+    // Tail ids are their own internal ids, so the internal-ordered norm
+    // copies stay aligned by plain appends.
+    norms_int_.push_back(norm);
+    norms_sq_int_.push_back(norm * norm);
+  }
   forward_offsets_.push_back(forward_terms_.size());
   return id;
+}
+
+void InvertedIndex::freeze() {
+  const std::size_t n = size();
+  if (frozen_docs_ == n) return;  // nothing added since the last freeze
+  const std::size_t terms = max_weight_.size();
+
+  // Everything below is rebuilt from the forward store (the authoritative
+  // doc-major copy of every posting) entirely aside, so an allocation
+  // failure leaves the index untouched (strong guarantee); only noexcept
+  // moves follow.
+  const auto old_internal = [&](DocId pub) {
+    return pub < internal_of_.size() ? internal_of_[pub]
+                                     : static_cast<DocId>(pub);
+  };
+
+  // 1. Doc-reorder keys: cluster documents by their dominant term so one
+  //    behavior's signatures become neighbors in internal id space (see
+  //    the header — this is what makes per-block id ranges selective).
+  //    Deterministic: strict-> keeps the lowest dominant term under weight
+  //    ties, and public id breaks key ties, so rebuilds and parallel bulk
+  //    builds produce identical arenas.
+  std::vector<DocId> order(n);
+  std::vector<TermId> key(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    const DocId j = old_internal(static_cast<DocId>(g));
+    TermId dominant = std::numeric_limits<TermId>::max();  // empty docs last
+    double best = -1.0;
+    for (std::size_t f = forward_offsets_[j]; f < forward_offsets_[j + 1];
+         ++f) {
+      const double magnitude = std::abs(forward_weights_[f]);
+      if (magnitude > best) {
+        best = magnitude;
+        dominant = forward_terms_[f];
+      }
+    }
+    key[g] = dominant;
+    order[g] = static_cast<DocId>(g);
+  }
+  std::sort(order.begin(), order.end(), [&](DocId a, DocId b) {
+    if (key[a] != key[b]) return key[a] < key[b];
+    return a < b;
+  });
+
+  // 2. Permutation tables, internal-ordered norms, permuted forward store.
+  std::vector<DocId> internal_of(n);
+  std::vector<DocId> public_of(n);
+  std::vector<double> norms_int(n);
+  std::vector<double> norms_sq_int(n);
+  std::vector<std::size_t> fwd_offsets(n + 1, 0);
+  std::vector<TermId> fwd_terms(forward_terms_.size());
+  std::vector<double> fwd_weights(forward_weights_.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    const DocId g = order[r];
+    internal_of[g] = static_cast<DocId>(r);
+    public_of[r] = g;
+    norms_int[r] = norms_[g];
+    norms_sq_int[r] = norms_sq_[g];
+    const DocId j = old_internal(g);
+    const std::size_t begin = forward_offsets_[j];
+    const std::size_t end = forward_offsets_[j + 1];
+    std::size_t w = fwd_offsets[r];
+    for (std::size_t f = begin; f < end; ++f, ++w) {
+      fwd_terms[w] = forward_terms_[f];
+      fwd_weights[w] = forward_weights_[f];
+    }
+    fwd_offsets[r + 1] = w;
+  }
+
+  // 3. Posting arena by counting sort over terms: docs visited in internal
+  //    order with per-doc terms ascending, so every term's span comes out
+  //    sorted by internal id with no comparison sort.
+  std::vector<std::size_t> offsets(terms + 1, 0);
+  for (const TermId term : fwd_terms) ++offsets[term + 1];
+  for (std::size_t t = 0; t < terms; ++t) offsets[t + 1] += offsets[t];
+  std::vector<DocId> ids(fwd_terms.size());
+  std::vector<double> weights(fwd_terms.size());
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t f = fwd_offsets[r]; f < fwd_offsets[r + 1]; ++f) {
+        const std::size_t slot = cursor[fwd_terms[f]]++;
+        ids[slot] = static_cast<DocId>(r);
+        weights[slot] = fwd_weights[f];
+      }
+    }
+  }
+
+  // 4. Per-block metadata.
+  std::vector<std::size_t> block_begin(terms + 1, 0);
+  for (std::size_t t = 0; t < terms; ++t) {
+    const std::size_t len = offsets[t + 1] - offsets[t];
+    block_begin[t + 1] = block_begin[t] + (len + kBlockSize - 1) / kBlockSize;
+  }
+  std::vector<DocId> block_last(block_begin[terms]);
+  std::vector<double> block_max(block_begin[terms]);
+  std::vector<double> block_min(block_begin[terms]);
+  for (std::size_t t = 0; t < terms; ++t) {
+    for (std::size_t b = block_begin[t]; b < block_begin[t + 1]; ++b) {
+      const std::size_t begin = offsets[t] + (b - block_begin[t]) * kBlockSize;
+      const std::size_t end = std::min(begin + kBlockSize, offsets[t + 1]);
+      block_last[b] = ids[end - 1];
+      double max_w = weights[begin];
+      double min_w = weights[begin];
+      for (std::size_t i = begin + 1; i < end; ++i) {
+        max_w = std::max(max_w, weights[i]);
+        min_w = std::min(min_w, weights[i]);
+      }
+      block_max[b] = max_w;
+      block_min[b] = min_w;
+    }
+  }
+
+  arena_ids_ = std::move(ids);
+  arena_weights_ = std::move(weights);
+  arena_offsets_ = std::move(offsets);
+  arena_block_begin_ = std::move(block_begin);
+  block_last_doc_ = std::move(block_last);
+  block_max_w_ = std::move(block_max);
+  block_min_w_ = std::move(block_min);
+  internal_of_ = std::move(internal_of);
+  public_of_ = std::move(public_of);
+  norms_int_ = std::move(norms_int);
+  norms_sq_int_ = std::move(norms_sq_int);
+  forward_offsets_ = std::move(fwd_offsets);
+  forward_terms_ = std::move(fwd_terms);
+  forward_weights_ = std::move(fwd_weights);
+  tail_.clear();
+  tail_.shrink_to_fit();
+  frozen_docs_ = n;
 }
 
 std::size_t InvertedIndex::num_postings_for(
     const vsm::SparseVector& query) const noexcept {
   std::size_t total = 0;
   for (const auto term : query.indices()) {
-    if (term < postings_.size()) total += postings_[term].size();
+    if (term < arena_terms()) {
+      total += arena_offsets_[term + 1] - arena_offsets_[term];
+    }
+    if (term < tail_.size()) total += tail_[term].size();
   }
   return total;
 }
 
-std::size_t InvertedIndex::memory_bytes() const noexcept {
-  std::size_t bytes = postings_.capacity() * sizeof(postings_[0]) +
-                      norms_.capacity() * sizeof(double) +
-                      norms_sq_.capacity() * sizeof(double) +
-                      max_weight_.capacity() * sizeof(double) +
-                      min_weight_.capacity() * sizeof(double) +
-                      forward_offsets_.capacity() * sizeof(std::size_t) +
-                      forward_terms_.capacity() * sizeof(TermId) +
-                      forward_weights_.capacity() * sizeof(double);
-  for (const auto& list : postings_) bytes += list.capacity() * sizeof(Posting);
-  return bytes;
+MemoryBreakdown InvertedIndex::memory_breakdown() const noexcept {
+  MemoryBreakdown mem;
+  mem.postings = arena_ids_.capacity() * sizeof(DocId) +
+                 arena_weights_.capacity() * sizeof(double);
+  for (const auto& list : tail_) mem.postings += list.capacity() * sizeof(Posting);
+  mem.offsets = arena_offsets_.capacity() * sizeof(std::size_t) +
+                arena_block_begin_.capacity() * sizeof(std::size_t) +
+                tail_.capacity() * sizeof(tail_[0]) +
+                max_weight_.capacity() * sizeof(double) +
+                min_weight_.capacity() * sizeof(double) +
+                internal_of_.capacity() * sizeof(DocId) +
+                public_of_.capacity() * sizeof(DocId);
+  mem.blocks = block_last_doc_.capacity() * sizeof(DocId) +
+               block_max_w_.capacity() * sizeof(double) +
+               block_min_w_.capacity() * sizeof(double);
+  mem.forward = forward_offsets_.capacity() * sizeof(std::size_t) +
+                forward_terms_.capacity() * sizeof(TermId) +
+                forward_weights_.capacity() * sizeof(double) +
+                norms_.capacity() * sizeof(double) +
+                norms_sq_.capacity() * sizeof(double) +
+                norms_int_.capacity() * sizeof(double) +
+                norms_sq_int_.capacity() * sizeof(double);
+  return mem;
 }
 
 std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
@@ -148,23 +330,38 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
 
   // Term-at-a-time accumulation of dot(query, doc) for every doc. Query
   // terms arrive in ascending index order, so each accumulator sums its
-  // doc's shared terms in the same order as SparseVector::dot's merge join.
+  // doc's shared terms in the same order as SparseVector::dot's merge join
+  // (each doc holds a term at most once, so arena-vs-tail placement cannot
+  // reorder a doc's accumulation — frozen results stay bit-identical).
   // The accumulator lives in the caller's scratch when provided, so a batch
   // of queries pays for the allocation once.
   TopKScratch local;
   TopKScratch& state = scratch != nullptr ? *scratch : local;
   state.accumulators.assign(n, 0.0);
-  std::vector<double>& acc = state.accumulators;
+  double* acc = state.accumulators.data();
   const auto q_indices = query.indices();
   const auto q_values = query.values();
   std::size_t visited = 0;
   for (std::size_t i = 0; i < q_indices.size(); ++i) {
     const std::size_t term = q_indices[i];
-    if (term >= postings_.size()) continue;
     const double q_weight = q_values[i];
-    visited += postings_[term].size();
-    for (const Posting& posting : postings_[term]) {
-      acc[posting.doc] += q_weight * posting.weight;
+    if (term < arena_terms()) {
+      // Hot frozen kernel: two contiguous streams (4-byte ids, 8-byte
+      // weights), no struct loads — the memory shape this PR exists for.
+      const std::size_t begin = arena_offsets_[term];
+      const std::size_t end = arena_offsets_[term + 1];
+      const DocId* ids = arena_ids_.data();
+      const double* ws = arena_weights_.data();
+      for (std::size_t i2 = begin; i2 < end; ++i2) {
+        acc[ids[i2]] += q_weight * ws[i2];
+      }
+      visited += end - begin;
+    }
+    if (term < tail_.size()) {
+      visited += tail_[term].size();
+      for (const Posting& posting : tail_[term]) {
+        acc[posting.doc] += q_weight * posting.weight;
+      }
     }
   }
 
@@ -172,22 +369,26 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
 
   // Score every doc (including ones with zero overlap — the scan ranks them
   // too) and keep the best `top` in a bounded heap whose root is the worst
-  // retained hit.
+  // retained hit. The loop runs in internal (arena) order — accumulators
+  // and norms are both sequential reads — and emits public ids; a bounded
+  // heap under the total (score, public id) order holds the same top-k
+  // whatever the offer order, so the doc permutation cannot move a hit.
+  const double* snorms = scoring_norms();
   BoundedHeap heap;
   for (std::size_t doc = 0; doc < n; ++doc) {
     IndexHit hit;
-    hit.doc = static_cast<DocId>(doc);
+    hit.doc = public_of(static_cast<DocId>(doc));
     if (metric == Metric::kCosine) {
       // Mirrors vsm::cosine_similarity: 0 when either vector is zero.
-      hit.score = (q_norm == 0.0 || norms_[doc] == 0.0)
+      hit.score = (q_norm == 0.0 || snorms[doc] == 0.0)
                       ? 0.0
-                      : acc[doc] / (q_norm * norms_[doc]);
+                      : acc[doc] / (q_norm * snorms[doc]);
     } else {
       // Mirrors vsm::euclidean_distance (negated): ||q-d||^2 expanded,
       // clamped at zero before the sqrt. The clamp emits -0.0 because the
       // scan negates the distance's +0.0 — bit-identical even in sign.
       const double sq =
-          q_norm * q_norm + norms_[doc] * norms_[doc] - 2.0 * acc[doc];
+          q_norm * q_norm + snorms[doc] * snorms[doc] - 2.0 * acc[doc];
       hit.score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
     }
     heap_offer(heap, top, hit);
@@ -217,11 +418,22 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
   const double q_norm_sq = q_norm * q_norm;
   const auto q_indices = query.indices();
   const auto q_values = query.values();
+  const std::size_t term_space = std::max(arena_terms(), tail_.size());
+
+  const auto arena_len = [&](TermId term) -> std::size_t {
+    return term < arena_terms() ? arena_offsets_[term + 1] - arena_offsets_[term]
+                                : 0;
+  };
+  const auto tail_len = [&](TermId term) -> std::size_t {
+    return term < tail_.size() ? tail_[term].size() : 0;
+  };
 
   // Query terms with postings, ordered by descending per-term score impact
   // |q_w| * extreme posting weight — the max-score list order: the lists
   // that can move scores most are accumulated first, so the threshold
-  // tightens as early as possible.
+  // tightens as early as possible. The clamped impact is also a per-term
+  // cap on any document's score gain from that list (a doc missing the term
+  // gains 0), so impact suffix sums bound the unprocessed remainder.
   struct TermRef {
     double impact;
     double q_weight;
@@ -231,36 +443,107 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
   terms.reserve(q_indices.size());
   for (std::size_t i = 0; i < q_indices.size(); ++i) {
     const std::size_t term = q_indices[i];
-    if (term >= postings_.size() || postings_[term].empty()) continue;
+    if (term >= term_space) continue;
+    if (arena_len(term) + tail_len(term) == 0) continue;
     const double impact = std::max(q_values[i] * max_weight_[term],
                                    q_values[i] * min_weight_[term]);
     terms.push_back({std::max(impact, 0.0), q_values[i],
                      static_cast<TermId>(term)});
   }
-  std::sort(terms.begin(), terms.end(),
-            [](const TermRef& a, const TermRef& b) {
-              if (a.impact != b.impact) return a.impact > b.impact;
-              return a.term < b.term;  // deterministic order under ties
-            });
+  if (arena_terms() > 0) {
+    // Frozen head ordering: the bootstrap's job is to shrink the
+    // Cauchy–Schwarz slack |q_rem|·|d_rem|, and |q_rem| falls with the
+    // query mass q_w² retired per list while the cost is the list's
+    // postings — so the head is a greedy knapsack on mass retired per
+    // posting visited, not on impact. (The partial dots still surface the
+    // true top-k contenders: mass-heavy lists dominate every large dot
+    // product, and the threshold re-scores its candidates exactly before
+    // any pruning decision rests on it.)
+    std::sort(terms.begin(), terms.end(),
+              [&](const TermRef& a, const TermRef& b) {
+                const double ca =
+                    a.q_weight * a.q_weight /
+                    static_cast<double>(arena_len(a.term) + tail_len(a.term) + 1);
+                const double cb =
+                    b.q_weight * b.q_weight /
+                    static_cast<double>(arena_len(b.term) + tail_len(b.term) + 1);
+                if (ca != cb) return ca > cb;
+                return a.term < b.term;  // deterministic order under ties
+              });
+  } else {
+    std::sort(terms.begin(), terms.end(),
+              [](const TermRef& a, const TermRef& b) {
+                if (a.impact != b.impact) return a.impact > b.impact;
+                return a.term < b.term;  // deterministic order under ties
+              });
+  }
   std::vector<std::size_t> suffix_postings(terms.size() + 1, 0);
+  std::vector<double> suffix_impact(terms.size() + 1, 0.0);
   for (std::size_t j = terms.size(); j-- > 0;) {
-    suffix_postings[j] =
-        suffix_postings[j + 1] + postings_[terms[j].term].size();
+    suffix_postings[j] = suffix_postings[j + 1] + arena_len(terms[j].term) +
+                         tail_len(terms[j].term);
+    suffix_impact[j] = suffix_impact[j + 1] + terms[j].impact;
   }
 
   // Densified query: O(1) weight lookups during candidate re-scoring.
-  state.query_dense.assign(postings_.size(), 0.0);
+  state.query_dense.assign(term_space, 0.0);
   for (std::size_t i = 0; i < q_indices.size(); ++i) {
-    if (q_indices[i] < postings_.size()) {
+    if (q_indices[i] < term_space) {
       state.query_dense[q_indices[i]] = q_values[i];
     }
   }
 
   // Interleaved per-doc state — acc_mass[2d] is the partial dot, [2d+1] the
   // squared mass of the doc's already-processed terms (one cache line per
-  // posting touch instead of two).
-  state.acc_mass.assign(2 * n, 0.0);
-  double* acc_mass = state.acc_mass.data();
+  // posting touch instead of two). Over a frozen arena the buffer is not
+  // zeroed at all: a slot is valid only while its epoch stamp matches this
+  // query's counter and is reset lazily on first touch, so the query's
+  // working set is the docs its postings actually reach — the O(#docs)
+  // zeroing pass (2n doubles, the single largest fixed cost at archive
+  // scale) disappears from the hot path. `touched` records exactly the
+  // docs with head-phase state; `slots_valid` flips once a full-corpus
+  // repair pass has stamped every slot (give-up and fallback scans need
+  // the whole array readable).
+  const bool use_touched = arena_terms() > 0;
+  double* acc_mass;
+  std::uint32_t* epoch = nullptr;
+  std::uint32_t cur_epoch = 0;
+  bool slots_valid = !use_touched;
+  if (use_touched) {
+    state.acc_mass.resize(2 * n);
+    if (state.epoch.size() != n) {
+      state.epoch.assign(n, 0);
+      state.epoch_counter = 0;
+    }
+    if (++state.epoch_counter == 0) {  // stamp wrap: all stamps invalid again
+      state.epoch.assign(n, 0);
+      state.epoch_counter = 1;
+    }
+    state.touched.clear();
+    epoch = state.epoch.data();
+    cur_epoch = state.epoch_counter;
+  } else {
+    state.acc_mass.assign(2 * n, 0.0);
+  }
+  acc_mass = state.acc_mass.data();
+  // Stamps every stale slot as a zeroed valid slot (one O(#docs) pass) —
+  // the escape hatch for code paths that must read the whole array.
+  const auto repair_all_slots = [&] {
+    if (slots_valid) return;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (epoch[d] != cur_epoch) {
+        epoch[d] = cur_epoch;
+        acc_mass[2 * d] = 0.0;
+        acc_mass[2 * d + 1] = 0.0;
+      }
+    }
+    slots_valid = true;
+  };
+
+  // Per-doc norms in internal (arena) order — every doc id inside this
+  // function is an internal id until the final heaps translate back.
+  const double* snorms = scoring_norms();
+  const double* snorms_sq = scoring_norms_sq();
 
   // Exact re-score of one doc from the forward store. The merge order (and
   // therefore the rounding) matches SparseVector::dot, so these scores are
@@ -273,55 +556,106 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
       dot += forward_weights_[f] * qd[forward_terms_[f]];
     }
     if (metric == Metric::kCosine) {
-      return (q_norm == 0.0 || norms_[doc] == 0.0)
+      return (q_norm == 0.0 || snorms[doc] == 0.0)
                  ? 0.0
-                 : dot / (q_norm * norms_[doc]);
+                 : dot / (q_norm * snorms[doc]);
     }
-    const double sq = q_norm_sq + norms_sq_[doc] - 2.0 * dot;
+    const double sq = q_norm_sq + snorms_sq[doc] - 2.0 * dot;
     return sq <= 0.0 ? -0.0 : -std::sqrt(sq);
   };
 
   std::size_t visited = 0;
+  std::size_t blocks_skipped = 0;
+  // Set when a block with surviving docs was skipped on its weight bound:
+  // those survivors' accumulators then understate their true partial dot
+  // (by non-positive contributions only — bounds stay conservative), so the
+  // final scores must come from the exact forward re-score, not the
+  // accumulators.
+  bool weight_skipped = false;
+
+  /// Full accumulation (dot + mass) of one term's arena span and tail list.
+  /// Lazily resets stale slots (and records first touches) when the epoch
+  /// machinery is live.
+  const auto touch_slot = [&](DocId d) -> double* {
+    double* slot = acc_mass + 2 * d;
+    if (use_touched && epoch[d] != cur_epoch) {
+      epoch[d] = cur_epoch;
+      slot[0] = 0.0;
+      slot[1] = 0.0;
+      state.touched.push_back(d);
+    }
+    return slot;
+  };
+  const auto accumulate_full = [&](TermId term, double q_weight) {
+    if (term < arena_terms()) {
+      const std::size_t begin = arena_offsets_[term];
+      const std::size_t end = arena_offsets_[term + 1];
+      const DocId* ids = arena_ids_.data();
+      const double* ws = arena_weights_.data();
+      for (std::size_t i = begin; i < end; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+        if (i + 12 < end) __builtin_prefetch(acc_mass + 2 * ids[i + 12], 1);
+#endif
+        double* slot = touch_slot(ids[i]);
+        slot[0] += q_weight * ws[i];
+        slot[1] += ws[i] * ws[i];
+      }
+      visited += end - begin;
+    }
+    if (term < tail_.size()) {
+      const auto& list = tail_[term];
+      const std::size_t len = list.size();
+      for (std::size_t i = 0; i < len; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+        if (i + 12 < len) __builtin_prefetch(acc_mass + 2 * list[i + 12].doc, 1);
+#endif
+        double* slot = touch_slot(list[i].doc);
+        slot[0] += q_weight * list[i].weight;
+        slot[1] += list[i].weight * list[i].weight;
+      }
+      visited += len;
+    }
+  };
+
   double q_rem_sq = 0.0;  // squared norm of the unprocessed query prefix
   for (const auto& term : terms) q_rem_sq += term.q_weight * term.q_weight;
 
   // Head phase: accumulate the highest-impact lists (dot and mass) until
   // the bulk of the query's mass is covered and partial accumulators can
   // identify the true top-k contenders.
-  const double boot_target = (1.0 - kBootstrapMassFraction) *
-                             (q_rem_sq > 0.0 ? q_rem_sq : 1.0);
+  const double boot_fraction = use_touched ? kFrozenBootstrapMassFraction
+                                           : kBootstrapMassFraction;
+  const double boot_target =
+      (1.0 - boot_fraction) * (q_rem_sq > 0.0 ? q_rem_sq : 1.0);
   std::size_t li = 0;
   for (; li < terms.size() && (q_rem_sq > boot_target || li < 2); ++li) {
-    const double q_weight = terms[li].q_weight;
-    const auto& list = postings_[terms[li].term];
-    const std::size_t len = list.size();
-    for (std::size_t i = 0; i < len; ++i) {
-#if defined(__GNUC__) || defined(__clang__)
-      if (i + 12 < len) __builtin_prefetch(acc_mass + 2 * list[i + 12].doc, 1);
-#endif
-      double* slot = acc_mass + 2 * list[i].doc;
-      slot[0] += q_weight * list[i].weight;
-      slot[1] += list[i].weight * list[i].weight;
-    }
-    visited += len;
-    q_rem_sq -= q_weight * q_weight;
+    accumulate_full(terms[li].term, terms[li].q_weight);
+    q_rem_sq -= terms[li].q_weight * terms[li].q_weight;
   }
 
-  // Threshold bootstrap/refresh: pick the best `top` docs by a cheap
-  // partial key, re-score them *exactly*, and take the worst of those exact
-  // scores. At least `top` documents provably reach that score, so pruning
-  // strictly below it can never evict a true top-k member — ties included.
+  // Threshold bootstrap/refresh: pick the best `depth` docs by a cheap
+  // partial key, re-score them *exactly*, and take the k-th best of those
+  // exact scores. At least k of the re-scored documents provably reach
+  // that score, so pruning strictly below it can never evict a true top-k
+  // member — ties included. Depth > k is a pure threshold sharpener: the
+  // partial key mis-ranks some contenders, and a few extra exact
+  // re-scores (2k total on the frozen path, each one forward extent)
+  // recover the true k-th best far more often than a k-deep probe —
+  // measurably the difference between the survivor set collapsing or not
+  // at an early bootstrap.
   double theta = seed_score;
+  const std::size_t boot_depth = use_touched ? 2 * top : top;
+  std::vector<double> rescored;
   const auto raise_theta = [&](const std::uint32_t* docs, std::size_t count) {
     BoundedHeap best;
     const auto offer = [&](DocId d) {
-      // Partial key: the partial dot, for both metrics. Any k docs yield a
-      // valid (if possibly loose) threshold — the exact re-score below is
-      // what pruning decisions rest on — and for the L2-normalized
-      // signatures this system stores, the dot orders Euclidean candidates
-      // the same as 2*dot - |d|^2 would, without streaming norms_sq_
-      // through the O(#docs) scan.
-      heap_offer(best, top, IndexHit{d, acc_mass[2 * d]});
+      // Partial key: the partial dot, for both metrics. Any candidates
+      // yield a valid (if possibly loose) threshold — the exact re-score
+      // below is what pruning decisions rest on — and for the
+      // L2-normalized signatures this system stores, the dot orders
+      // Euclidean candidates the same as 2*dot - |d|^2 would, without
+      // streaming norms_sq_ through the O(#docs) scan.
+      heap_offer(best, boot_depth, IndexHit{d, acc_mass[2 * d]});
     };
     if (docs == nullptr) {
       for (std::size_t d = 0; d < n; ++d) offer(static_cast<DocId>(d));
@@ -329,47 +663,100 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
       for (std::size_t i = 0; i < count; ++i) offer(docs[i]);
     }
     if (best.size() < top) return;  // not enough docs to back a threshold
-    double kth = 0.0;
-    bool first = true;
+    rescored.clear();
     while (!best.empty()) {
-      const double s = exact_score(best.top().doc);
+      rescored.push_back(exact_score(best.top().doc));
       best.pop();
-      kth = first ? s : std::min(kth, s);
-      first = false;
     }
-    theta = std::max(theta, kth);
+    // k-th largest exact score among the re-scored candidates.
+    std::nth_element(rescored.begin(),
+                     rescored.begin() + static_cast<std::ptrdiff_t>(top - 1),
+                     rescored.end(), std::greater<double>());
+    theta = std::max(theta, rescored[top - 1]);
   };
-  raise_theta(nullptr, 0);
+  // Bootstrap from the docs the head phase actually reached: untouched
+  // docs all carry a zero partial dot, so they cannot improve the best-k
+  // partial key (and the frozen path never materialized their slots).
+  if (use_touched) {
+    raise_theta(state.touched.data(), state.touched.size());
+  } else {
+    raise_theta(nullptr, 0);
+  }
 
   // A doc survives unless its best possible score falls strictly below the
-  // (margin-relaxed) threshold. Cauchy–Schwarz bounds the remaining dot:
-  //   dot_rem(d) <= |q_rem| * sqrt(|d|^2 - mass(d))
-  // and the comparisons are squared so the hot loop has no sqrt/divide.
+  // (margin-relaxed) threshold. The remaining dot is capped by the tighter
+  // of two bounds: Cauchy–Schwarz over the unprocessed mass,
+  //   dot_rem(d) <= |q_rem| * sqrt(|d|^2 - mass(d)),
+  // and the max-score suffix bound (sum of the unprocessed lists' clamped
+  // impacts, one value for the whole corpus). Comparisons are squared so
+  // the hot loop has no sqrt/divide. Alongside filtering, the survivors'
+  // total forward extent is re-measured — the exact cost of candidate-mode
+  // re-scoring, which the switch below weighs against the postings ahead.
+  double alive_extent_sum = 0.0;
   const auto filter_alive = [&](std::vector<std::uint32_t>& alive,
-                                bool from_all) {
+                                bool from_all, double rem_impact) {
     const double theta_m =
         theta - kThetaMargin * std::max(1.0, std::abs(theta));
     const double q_rem_2 = std::max(q_rem_sq, 0.0);
+    alive_extent_sum = 0.0;
     std::size_t w = 0;
     const auto keep = [&](DocId d) {
       const double acc = acc_mass[2 * d];
       const double mass = acc_mass[2 * d + 1];
-      const double d_rem_2 = std::max(norms_sq_[d] - mass, 0.0);
+      const double d_rem_2 = std::max(snorms_sq[d] - mass, 0.0);
+      bool kept;
       if (metric == Metric::kCosine) {
-        // acc + |q_rem|*|d_rem| >= theta_m * |q| * |d| ?
-        const double rhs = theta_m * q_norm * norms_[d] - acc;
-        return rhs <= 0.0 || q_rem_2 * d_rem_2 >= rhs * rhs;
+        // acc + min(|q_rem|*|d_rem|, rem_impact) >= theta_m * |q| * |d| ?
+        const double rhs = theta_m * q_norm * snorms[d] - acc;
+        kept = rhs <= 0.0 ||
+               (rem_impact >= rhs && q_rem_2 * d_rem_2 >= rhs * rhs);
+      } else {
+        // -sqrt(|q|^2+|d|^2-2*(acc + min(...))) >= theta_m ?
+        const double lhs =
+            q_norm_sq + snorms_sq[d] - 2.0 * acc - theta_m * theta_m;
+        kept = lhs <= 0.0 ||
+               (2.0 * rem_impact >= lhs && lhs * lhs <= 4.0 * q_rem_2 * d_rem_2);
       }
-      // -sqrt(|q|^2+|d|^2-2*(acc + |q_rem|*|d_rem|)) >= theta_m ?
-      const double lhs =
-          q_norm_sq + norms_sq_[d] - 2.0 * acc - theta_m * theta_m;
-      return lhs <= 0.0 || lhs * lhs <= 4.0 * q_rem_2 * d_rem_2;
+      if (kept) {
+        alive_extent_sum += static_cast<double>(forward_offsets_[d + 1] -
+                                                forward_offsets_[d]);
+      }
+      return kept;
     };
     if (from_all) {
       alive.clear();
-      for (std::size_t d = 0; d < n; ++d) {
-        if (keep(static_cast<DocId>(d))) {
-          alive.push_back(static_cast<DocId>(d));
+      bool untouched_discharged = false;
+      if (use_touched) {
+        // Every untouched doc has acc = 0 and its full mass remaining, so
+        // one closed-form bound settles them all: for cosine the norms
+        // cancel (best possible score |q_rem| / |q|; zero-norm docs score
+        // exactly 0), for euclidean the supremum over any doc norm is
+        // -sqrt(max(|q|² - |q_rem|², 0)), attained at |d| = |q_rem|. When
+        // that best case falls strictly below the threshold, the filter
+        // scans only the touched list — the frozen path's second O(#docs)
+        // pass gone.
+        if (metric == Metric::kCosine) {
+          untouched_discharged =
+              theta_m > 0.0 &&
+              (q_norm == 0.0 || q_rem_2 < theta_m * theta_m * q_norm_sq);
+        } else {
+          untouched_discharged =
+              -std::sqrt(std::max(q_norm_sq - q_rem_2, 0.0)) < theta_m;
+        }
+      }
+      if (untouched_discharged) {
+        for (const auto d : state.touched) {
+          if (keep(d)) alive.push_back(d);
+        }
+        // The block-skip cursor and the shard merge both rely on ascending
+        // ids; touched is in first-touch order, so restore the invariant.
+        std::sort(alive.begin(), alive.end());
+      } else {
+        repair_all_slots();
+        for (std::size_t d = 0; d < n; ++d) {
+          if (keep(static_cast<DocId>(d))) {
+            alive.push_back(static_cast<DocId>(d));
+          }
         }
       }
     } else {
@@ -380,34 +767,52 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
     }
   };
   std::vector<std::uint32_t>& alive = state.alive;
-  filter_alive(alive, /*from_all=*/true);
+  filter_alive(alive, /*from_all=*/true, suffix_impact[li]);
 
   // Pruning-hostile corpus (every document looks like every other): if the
   // bootstrap bound could not discard at least a quarter of the corpus, the
   // per-list re-filtering below would cost O(#docs) per list for nothing.
   // Finish as a plain dense accumulation instead — same results, and the
   // overhead stays bounded at the head/bootstrap work already spent.
+  // (Re-examined for the block-max path: block skipping does not help here
+  // either, because blocks full of survivors cannot be skipped, so the 3/4
+  // give-up line carries over unchanged.)
   if (alive.size() * 4 > 3 * n) {
-    for (; li < terms.size(); ++li) {
-      const double q_weight = terms[li].q_weight;
-      const auto& list = postings_[terms[li].term];
-      for (const Posting& posting : list) {
-        acc_mass[2 * posting.doc] += q_weight * posting.weight;
+    repair_all_slots();  // the dense finish reads every doc's accumulator
+    const auto accumulate_dot = [&](TermId term, double q_weight) {
+      if (term < arena_terms()) {
+        const std::size_t begin = arena_offsets_[term];
+        const std::size_t end = arena_offsets_[term + 1];
+        const DocId* ids = arena_ids_.data();
+        const double* ws = arena_weights_.data();
+        for (std::size_t i = begin; i < end; ++i) {
+          acc_mass[2 * ids[i]] += q_weight * ws[i];
+        }
+        visited += end - begin;
       }
-      visited += list.size();
+      if (term < tail_.size()) {
+        for (const Posting& posting : tail_[term]) {
+          acc_mass[2 * posting.doc] += q_weight * posting.weight;
+        }
+        visited += tail_[term].size();
+      }
+    };
+    for (; li < terms.size(); ++li) {
+      accumulate_dot(terms[li].term, terms[li].q_weight);
     }
     BoundedHeap heap;
     for (std::size_t d = 0; d < n; ++d) {
       double score;
       if (metric == Metric::kCosine) {
-        score = (q_norm == 0.0 || norms_[d] == 0.0)
+        score = (q_norm == 0.0 || snorms[d] == 0.0)
                     ? 0.0
-                    : acc_mass[2 * d] / (q_norm * norms_[d]);
+                    : acc_mass[2 * d] / (q_norm * snorms[d]);
       } else {
-        const double sq = q_norm_sq + norms_sq_[d] - 2.0 * acc_mass[2 * d];
+        const double sq = q_norm_sq + snorms_sq[d] - 2.0 * acc_mass[2 * d];
         score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
       }
-      heap_offer(heap, top, IndexHit{static_cast<DocId>(d), score});
+      heap_offer(heap, top,
+                 IndexHit{public_of(static_cast<DocId>(d)), score});
     }
     if (stats != nullptr) {
       stats->docs_scored += n;
@@ -416,59 +821,179 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
     return drain_heap(heap);
   }
 
+  /// Block-skipping accumulation of one term over the frozen arena plus a
+  /// full pass over its tail. A block is skipped when its doc-id range
+  /// holds no survivor (the survivor list and the id stream are both
+  /// sorted, so one cursor decides each block from the metadata alone —
+  /// zero posting loads) or when its best weight bound cannot contribute
+  /// positive score (see weight_skipped above). Skipped blocks hold only
+  /// postings the survivors never needed, so the per-doc bounds stay
+  /// conservative with the full q_weight² still retired from q_rem.
+  const auto accumulate_skipping = [&](TermId term, double q_weight) {
+    if (term < arena_terms()) {
+      const std::size_t b0 = arena_block_begin_[term];
+      const std::size_t b1 = arena_block_begin_[term + 1];
+      const std::size_t off = arena_offsets_[term];
+      const std::size_t end_off = arena_offsets_[term + 1];
+      const DocId* ids = arena_ids_.data();
+      const double* ws = arena_weights_.data();
+      std::size_t a = 0;  // cursor into the sorted survivor list
+      for (std::size_t b = b0; b < b1; ++b) {
+        if (a == alive.size()) {  // no survivors left: the rest all skip
+          blocks_skipped += b1 - b;
+          break;
+        }
+        const DocId last = block_last_doc_[b];
+        if (alive[a] > last) {
+          ++blocks_skipped;  // no survivor falls inside this block
+        } else if (std::max(q_weight * block_max_w_[b],
+                            q_weight * block_min_w_[b]) <= 0.0) {
+          ++blocks_skipped;  // block cannot raise any survivor's score
+          weight_skipped = true;
+          while (a < alive.size() && alive[a] <= last) ++a;
+        } else {
+          const std::size_t begin = off + (b - b0) * kBlockSize;
+          const std::size_t end = std::min(begin + kBlockSize, end_off);
+          for (std::size_t i = begin; i < end; ++i) {
+            double* slot = acc_mass + 2 * ids[i];
+            slot[0] += q_weight * ws[i];
+            slot[1] += ws[i] * ws[i];
+          }
+          visited += end - begin;
+          while (a < alive.size() && alive[a] <= last) ++a;
+        }
+      }
+    }
+    if (term < tail_.size()) {
+      const auto& list = tail_[term];
+      for (const Posting& posting : list) {
+        double* slot = acc_mass + 2 * posting.doc;
+        slot[0] += q_weight * posting.weight;
+        slot[1] += posting.weight * posting.weight;
+      }
+      visited += list.size();
+    }
+  };
+
   // Tail phase: keep walking lists (tightening acc, mass and theta) until
   // finishing the survivors off the forward store is cheaper than the
-  // posting entries still ahead.
+  // posting entries still ahead. "Still ahead" is discounted by how much
+  // block skipping is actually saving: before any tail list has run, a
+  // uniform-spread prior (a block of B postings over survivor fraction p
+  // intersects with probability ≈ min(1, pB)); afterwards, the measured
+  // fraction of tail postings that survived skipping. Survivors clustered
+  // in doc-id space (one behavior's incidents arrive together) make
+  // skipping far cheaper than the prior predicts, and the measurement is
+  // what lets the switch keep skipping instead of bailing to the forward
+  // store. The floor of 1/kBlockSize prices the metadata scan a fully
+  // skipped list still pays.
   bool candidate_mode = false;
-  const double avg_nnz = n > 0
-                             ? static_cast<double>(forward_terms_.size()) /
-                                   static_cast<double>(n)
-                             : 0.0;
   double last_raise_rem = q_rem_sq;
+  double skip_scale =
+      arena_terms() > 0
+          ? std::min(1.0, static_cast<double>(alive.size()) *
+                              static_cast<double>(kBlockSize) /
+                              static_cast<double>(n))
+          : 1.0;
+  std::size_t tail_len_seen = 0;
+  std::size_t tail_visited_base = visited;
   for (; li < terms.size(); ++li) {
-    if (kCandidateSwitchFactor * static_cast<double>(alive.size()) * avg_nnz <
-        static_cast<double>(suffix_postings[li])) {
+    if (kCandidateSwitchFactor * alive_extent_sum <
+        skip_scale * static_cast<double>(suffix_postings[li])) {
       candidate_mode = true;
       break;
     }
-    const double q_weight = terms[li].q_weight;
-    const auto& list = postings_[terms[li].term];
-    for (const Posting& posting : list) {
-      double* slot = acc_mass + 2 * posting.doc;
-      slot[0] += q_weight * posting.weight;
-      slot[1] += posting.weight * posting.weight;
+    accumulate_skipping(terms[li].term, terms[li].q_weight);
+    tail_len_seen += arena_len(terms[li].term) + tail_len(terms[li].term);
+    if (tail_len_seen > 0) {
+      skip_scale = std::max(
+          static_cast<double>(visited - tail_visited_base) /
+              static_cast<double>(tail_len_seen),
+          1.0 / static_cast<double>(kBlockSize));
     }
-    visited += list.size();
-    q_rem_sq -= q_weight * q_weight;
-    if (q_rem_sq <= kThetaRefreshFactor * last_raise_rem) {
+    q_rem_sq -= terms[li].q_weight * terms[li].q_weight;
+    const double refresh =
+        use_touched ? kFrozenThetaRefreshFactor : kThetaRefreshFactor;
+    if (q_rem_sq <= refresh * last_raise_rem) {
       last_raise_rem = q_rem_sq;
       raise_theta(alive.data(), alive.size());
     }
-    filter_alive(alive, /*from_all=*/false);
+    filter_alive(alive, /*from_all=*/false, suffix_impact[li + 1]);
+#ifdef FMETER_PRUNE_DEBUG
+    std::fprintf(stderr,
+                 "li=%zu alive=%zu theta=%.6f q_rem=%.4f skip_scale=%.3f "
+                 "suffix=%zu extent=%.0f visited=%zu\n",
+                 li, alive.size(), theta, q_rem_sq, skip_scale,
+                 suffix_postings[li + 1], alive_extent_sum, visited);
+#endif
   }
 
-  // Final scoring over the survivors only. In candidate mode the exact
-  // forward-store score (bit-identical to the scan); in dense mode the
-  // completed accumulators, matching the exact path's formula.
+  // Final scoring over the survivors only. The exact forward-store score
+  // (bit-identical to the scan) whenever the accumulators may be
+  // incomplete — candidate mode abandoned lists, a weight skip withheld
+  // non-positive contributions; otherwise the completed accumulators,
+  // matching the exact path's formula (doc-id skips never touch a
+  // survivor's postings, so survivors' accumulators are complete).
   BoundedHeap heap;
-  for (const auto d : alive) {
-    double score;
-    if (candidate_mode) {
-      score = exact_score(d);
-    } else if (metric == Metric::kCosine) {
-      score = (q_norm == 0.0 || norms_[d] == 0.0)
-                  ? 0.0
-                  : acc_mass[2 * d] / (q_norm * norms_[d]);
-    } else {
-      const double sq = q_norm_sq + norms_sq_[d] - 2.0 * acc_mass[2 * d];
-      score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+  const bool rescore = candidate_mode || weight_skipped;
+  if (rescore) {
+    // Bound-ordered re-scoring: candidates are gathered from the forward
+    // store in descending upper-bound order, and the gather stops the
+    // moment the next bound falls strictly below the worst retained exact
+    // score — every remaining candidate's true score sits under its bound,
+    // so none of them can enter the top-k (a candidate tied exactly at the
+    // k-th score has bound >= score and is never cut off, keeping the
+    // ascending-id tie-break intact). In practice this prunes most of the
+    // forward gather, the biggest remaining cost of candidate mode.
+    const double q_rem_2 = std::max(q_rem_sq, 0.0);
+    const double rem_impact = suffix_impact[li];
+    std::vector<std::pair<double, DocId>> by_bound;
+    by_bound.reserve(alive.size());
+    for (const auto d : alive) {
+      const double acc = acc_mass[2 * d];
+      const double mass = acc_mass[2 * d + 1];
+      const double d_rem = std::sqrt(std::max(snorms_sq[d] - mass, 0.0));
+      const double rem = std::min(std::sqrt(q_rem_2) * d_rem, rem_impact);
+      double bound;
+      if (metric == Metric::kCosine) {
+        bound = (q_norm == 0.0 || snorms[d] == 0.0)
+                    ? 0.0
+                    : (acc + rem) / (q_norm * snorms[d]);
+      } else {
+        const double sq = q_norm_sq + snorms_sq[d] - 2.0 * (acc + rem);
+        bound = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+      }
+      by_bound.emplace_back(bound, d);
     }
-    heap_offer(heap, top, IndexHit{d, score});
+    std::sort(by_bound.begin(), by_bound.end(),
+              [](const std::pair<double, DocId>& a,
+                 const std::pair<double, DocId>& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;  // deterministic under ties
+              });
+    for (const auto& [bound, d] : by_bound) {
+      if (heap.size() == top && bound < heap.top().score) break;
+      heap_offer(heap, top, IndexHit{public_of(d), exact_score(d)});
+    }
+  } else {
+    for (const auto d : alive) {
+      double score;
+      if (metric == Metric::kCosine) {
+        score = (q_norm == 0.0 || snorms[d] == 0.0)
+                    ? 0.0
+                    : acc_mass[2 * d] / (q_norm * snorms[d]);
+      } else {
+        const double sq = q_norm_sq + snorms_sq[d] - 2.0 * acc_mass[2 * d];
+        score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+      }
+      heap_offer(heap, top, IndexHit{public_of(d), score});
+    }
   }
   if (stats != nullptr) {
     stats->docs_scored += alive.size();
     stats->docs_pruned += n - alive.size();
     stats->postings_visited += visited;
+    stats->blocks_skipped += blocks_skipped;
   }
   return drain_heap(heap);
 }

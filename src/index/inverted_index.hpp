@@ -3,15 +3,45 @@
 // The paper's central claim is that kernel-function-count signatures are
 // *indexable* "similar to regular text documents": the tf-idf vectors live in
 // a term space (one term per core-kernel function), so the standard IR
-// machinery applies. This module is that machinery — a classic inverted
-// index mapping each term to a posting list of (document id, weight) pairs,
+// machinery applies. This module is that machinery — an inverted index
+// mapping each term to a posting list of (document id, weight) pairs,
 // queried term-at-a-time with an accumulator array and a bounded top-k heap.
 //
 // Why it beats the brute-force scan: a query only touches the posting lists
 // of its own non-zero terms, so work is proportional to the postings of the
 // query's terms rather than to sum(nnz) over every stored signature.
 //
-// Two query paths with two distinct equivalence contracts:
+// Storage is two-tier:
+//
+//  * The **frozen posting arena** — built by freeze(): every posting is
+//    compacted into three contiguous parallel arrays (term-major doc-id and
+//    weight streams plus a per-term offset table), replacing the one
+//    heap-allocated std::vector per term of the mutable layout. The scoring
+//    loops read two separate dense streams (4-byte ids, 8-byte weights)
+//    instead of 16-byte AoS Posting structs — 25% less bandwidth on the
+//    hottest loop in the repo and a shape autovectorizers like. Each term's
+//    span is additionally partitioned into fixed-size blocks (kBlockSize
+//    postings) carrying the block's last doc id and max/min posting weight,
+//    the block-max metadata the pruned path skips whole blocks with.
+//
+//    freeze() additionally *reorders documents*: arena postings are stored
+//    under an internal doc-id permutation that clusters documents by their
+//    dominant (highest-|weight|) term, translated back to public ids only
+//    at the result boundary. Signatures of one behavior share their hottest
+//    kernel functions, so similar documents become *neighbors in id space*
+//    — which is what makes per-block doc-id ranges selective: a query's
+//    surviving candidates concentrate in a few contiguous internal ranges,
+//    and whole blocks elsewhere are skipped from three metadata loads.
+//    (Classic document-reordering for block-max indexes; the public id
+//    space, every returned hit, and all tie-breaks are unchanged.)
+//  * The **unfrozen tail** — the classic vector-per-term layout. add()
+//    always appends here, so incremental insertion after a freeze stays
+//    supported; a term's logical posting list is its arena span followed by
+//    its tail list (doc ids only grow, so the concatenation stays sorted).
+//    freeze() folds the tail back into the arena at any time.
+//
+// Two query paths with two distinct equivalence contracts (both walk arena
+// span + tail per term, so the contracts hold in every freeze state):
 //
 //  * top_k() — the exact path. The final scoring pass is O(#docs) of cheap
 //    arithmetic (one divide or sqrt per doc), which keeps scores
@@ -21,37 +51,54 @@
 //    matching vsm::cosine_similarity / vsm::euclidean_distance expression
 //    for expression, and the term-at-a-time accumulation visits each doc's
 //    shared terms in the same ascending-index order as the merge join in
-//    SparseVector::dot, so even the floating-point rounding agrees.
+//    SparseVector::dot, so even the floating-point rounding agrees. A doc
+//    accumulates each term exactly once whether that posting lives in the
+//    arena or the tail, so freezing cannot move a single bit.
 //
 //  * top_k_pruned() — the max-score path. Classic IR engines do not score
 //    every document; they prune with per-term score upper bounds. This path
 //    processes posting lists in descending impact order, bootstraps a
-//    threshold by exactly re-scoring the current best-k accumulators,
-//    discards documents whose Cauchy–Schwarz upper bound (partial dot plus
-//    |q_remaining|·|d_remaining|, from per-doc processed-mass bookkeeping)
-//    cannot beat the threshold, and — once the surviving candidate set is
-//    small — abandons the remaining posting lists entirely, re-scoring the
-//    candidates exactly from a forward store. Guarantee: the *same document
-//    set in the same order* as top_k(), with scores equal within 1e-9 (the
-//    different accumulation order perturbs the last few bits, so results
-//    are not golden/bit-identical; candidate-mode scores do match the scan
-//    bit-for-bit because the forward merge join reproduces its rounding).
-//    Every pruning decision is conservative: a document is dropped only
-//    when its upper bound falls strictly below a threshold that at least k
-//    exactly-scored documents are known to meet, so ties always survive.
-//    One caveat on ordering: exact ties (duplicate documents) take
-//    identical accumulation sequences in both paths and order identically,
-//    but two *distinct* documents whose true scores differ by less than
-//    the reordering rounding error (~1e-15, adversarially constructed)
-//    may swap relative to the exact path — their scores still agree within
-//    the 1e-9 contract.
+//    threshold by exactly re-scoring the current best-k accumulators, and
+//    discards documents by the tighter of two upper bounds: the
+//    Cauchy–Schwarz remainder (partial dot plus |q_rem|·|d_rem| from
+//    per-doc processed-mass bookkeeping) and the max-score suffix bound
+//    (the sum of the unprocessed lists' per-term impact caps). Over the
+//    frozen arena the surviving lists are then walked block-at-a-time:
+//    a block whose doc-id range contains no surviving candidate is skipped
+//    without touching a single posting (the survivor set and the arena
+//    streams are both doc-id-sorted, so one merge cursor decides each
+//    block), and a block whose best weight bound cannot contribute positive
+//    score mass (negative-weight queries) is skipped by its block-max/min
+//    metadata. Once the surviving candidate set's total forward extent is
+//    smaller than the postings still ahead, the remaining lists are
+//    abandoned entirely and the candidates are re-scored exactly from the
+//    forward store. Guarantee: the *same document set in the same order* as
+//    top_k(), with scores equal within 1e-9 (the different accumulation
+//    order perturbs the last few bits, so results are not golden/
+//    bit-identical; candidate-mode scores do match the scan bit-for-bit
+//    because the forward merge join reproduces its rounding). Every pruning
+//    decision is conservative: a document is dropped only when its upper
+//    bound falls strictly below a threshold that at least k exactly-scored
+//    documents are known to meet, so ties always survive. Skipping is
+//    equally conservative: a doc-id-skipped block holds only already-pruned
+//    documents, and a weight-skipped block can only *understate* a
+//    survivor's accumulator (its postings are non-positive contributions),
+//    which loosens — never tightens — that survivor's bound; survivors are
+//    exactly re-scored from the forward store whenever a weight skip
+//    occurred. One caveat on ordering: exact ties (duplicate documents)
+//    take identical accumulation sequences in both paths and order
+//    identically, but two *distinct* documents whose true scores differ by
+//    less than the reordering rounding error (~1e-15, adversarially
+//    constructed) may swap relative to the exact path — their scores still
+//    agree within the 1e-9 contract.
 //
 // To support pruning, add() additionally maintains per-term maximum and
-// minimum posting weights (the max-score bounds), per-doc squared norms and
-// a forward store of each document's (term, weight) pairs — roughly
-// doubling memory_bytes() relative to the postings-only layout (reported
-// honestly; the forward store is also the natural substrate for future
-// snapshot/persistence work).
+// minimum posting weights (the max-score bounds, covering arena and tail),
+// per-doc squared norms and a forward store of each document's
+// (term, weight) pairs — roughly doubling memory_bytes() relative to the
+// postings-only layout (reported honestly, split by component in
+// memory_breakdown(); the forward store is also the natural substrate for
+// future snapshot/persistence work).
 #pragma once
 
 #include <cstddef>
@@ -68,9 +115,12 @@ enum class Metric { kCosine, kEuclidean };
 
 /// How a top-k query executes. kExact runs the dense scoring pass whose
 /// results are bit-identical to the brute-force scan; kMaxScore prunes with
-/// per-term/per-doc upper bounds — same documents, same order, scores equal
-/// within 1e-9.
-enum class PruningMode { kExact, kMaxScore };
+/// per-term/per-doc/per-block upper bounds — same documents, same order,
+/// scores equal within 1e-9. kAuto picks per shard from the measured
+/// crossover (InvertedIndex::resolve_auto): pruning's bound bookkeeping
+/// costs more than it saves on small shards, so kAuto runs those exactly
+/// and prunes the rest.
+enum class PruningMode { kExact, kMaxScore, kAuto };
 
 /// One scored result. `score` is the cosine similarity or the negative
 /// Euclidean distance, so larger is always better.
@@ -89,16 +139,39 @@ inline bool ranks_better(const IndexHit& a, const IndexHit& b) noexcept {
 
 /// Observability counters for one (or an aggregate of) top-k executions.
 /// docs_scored + docs_pruned always equals the documents considered; the
-/// exact path scores everything (docs_pruned == 0).
+/// exact path scores everything (docs_pruned == 0). blocks_skipped counts
+/// whole arena blocks the pruned path never touched (their kBlockSize-ish
+/// postings are absent from postings_visited).
 struct PruneStats {
   std::size_t docs_scored = 0;     ///< documents whose final score was computed
   std::size_t docs_pruned = 0;     ///< documents discarded by an upper bound
   std::size_t postings_visited = 0;  ///< posting-list entries touched
+  std::size_t blocks_skipped = 0;  ///< frozen blocks bypassed wholesale
 
   PruneStats& operator+=(const PruneStats& other) noexcept {
     docs_scored += other.docs_scored;
     docs_pruned += other.docs_pruned;
     postings_visited += other.postings_visited;
+    blocks_skipped += other.blocks_skipped;
+    return *this;
+  }
+};
+
+/// Heap footprint of one index, split by role (all byte counts include
+/// unused vector capacity). total() is what memory_bytes() reports.
+struct MemoryBreakdown {
+  std::size_t postings = 0;  ///< arena id/weight streams + tail posting lists
+  std::size_t offsets = 0;   ///< per-term offset table, tail headers, bounds
+  std::size_t blocks = 0;    ///< per-block last-doc / max / min metadata
+  std::size_t forward = 0;   ///< forward store + per-doc norms
+  std::size_t total() const noexcept {
+    return postings + offsets + blocks + forward;
+  }
+  MemoryBreakdown& operator+=(const MemoryBreakdown& other) noexcept {
+    postings += other.postings;
+    offsets += other.offsets;
+    blocks += other.blocks;
+    forward += other.forward;
     return *this;
   }
 };
@@ -111,6 +184,13 @@ struct TopKScratch {
   std::vector<double> acc_mass;         ///< pruned path: interleaved dot, mass
   std::vector<std::uint32_t> alive;     ///< pruned path: surviving doc ids
   std::vector<double> query_dense;      ///< pruned path: densified query
+  // Frozen-path lazy accumulator reset: acc_mass[2d] is valid only when
+  // epoch[d] == epoch_counter, so a query pays O(docs touched) instead of
+  // an O(#docs) zeroing pass, and `touched` enumerates exactly the docs
+  // with nonzero head-phase state for the bootstrap and filter scans.
+  std::vector<std::uint32_t> epoch;     ///< per-doc stamp of the last touch
+  std::vector<std::uint32_t> touched;   ///< docs first-touched this query
+  std::uint32_t epoch_counter = 0;      ///< current query's stamp
 };
 
 class InvertedIndex {
@@ -118,12 +198,31 @@ class InvertedIndex {
   using DocId = std::uint32_t;
   using TermId = vsm::SparseVector::Index;
 
+  /// Postings per frozen block. Small enough that one skipped block's
+  /// metadata costs three scalar loads, large enough that a processed block
+  /// amortizes the cursor logic over a few cache lines of each stream.
+  static constexpr std::size_t kBlockSize = 128;
+
   /// Appends a document; returns its id (ids are dense, starting at 0).
-  /// Incremental: posting lists stay sorted by doc id because ids only
-  /// grow, and the per-term max/min weight bounds used by top_k_pruned()
-  /// are updated in place, so pruned queries stay correct after any
-  /// interleaving of add() and query calls.
+  /// Incremental in every freeze state: new postings land in the unfrozen
+  /// tail (posting lists stay sorted by doc id because ids only grow), and
+  /// the per-term max/min weight bounds used by top_k_pruned() are updated
+  /// in place, so pruned queries stay correct after any interleaving of
+  /// add(), freeze() and query calls.
   DocId add(const vsm::SparseVector& doc);
+
+  /// Compacts every posting (arena + tail) into the frozen struct-of-arrays
+  /// arena and rebuilds the per-block metadata; the tail becomes empty.
+  /// Queries return identical results before and after (the exact path
+  /// bit-identically so); only their speed changes. Idempotent; strong
+  /// exception guarantee (the new arena is built aside and swapped in).
+  void freeze();
+
+  /// Documents whose postings live in the frozen arena (the first
+  /// frozen_docs() ids); the remainder are in the unfrozen tail.
+  std::size_t frozen_docs() const noexcept { return frozen_docs_; }
+  /// True when every posting is frozen (trivially true when empty).
+  bool frozen() const noexcept { return frozen_docs_ == size(); }
 
   std::size_t size() const noexcept { return norms_.size(); }
   bool empty() const noexcept { return norms_.empty(); }
@@ -137,7 +236,8 @@ class InvertedIndex {
   double norm(DocId doc) const { return norms_.at(doc); }
 
   /// Largest weight stored for `term` (0 if the term has no postings) —
-  /// the max-score per-term upper bound, maintained incrementally.
+  /// the max-score per-term upper bound, maintained incrementally across
+  /// arena and tail.
   double max_weight(TermId term) const noexcept {
     return term < max_weight_.size() ? max_weight_[term] : 0.0;
   }
@@ -151,10 +251,33 @@ class InvertedIndex {
   /// path's postings_visited).
   std::size_t num_postings_for(const vsm::SparseVector& query) const noexcept;
 
-  /// Heap-allocated footprint: posting lists (including unused capacity),
-  /// per-term list headers and bounds, cached norms, and the forward store
-  /// backing candidate re-scoring in the pruned path.
-  std::size_t memory_bytes() const noexcept;
+  /// Heap-allocated footprint; == memory_breakdown().total().
+  std::size_t memory_bytes() const noexcept {
+    return memory_breakdown().total();
+  }
+  /// The same footprint split into postings / offsets / block-metadata /
+  /// forward-store components (fmeter_inspect's per-shard memory table).
+  MemoryBreakdown memory_breakdown() const noexcept;
+
+  /// Resolves PruningMode::kAuto for a shard of `docs` documents answering
+  /// a top-`k` query: kMaxScore once the shard is large enough that bound
+  /// bookkeeping pays for itself, kExact below. The cutoffs come from the
+  /// measured crossovers in BENCH_index_scaling.json, not from theory —
+  /// and they differ by layout: on the mutable tiers pruning wins from
+  /// ~4k docs (it ran ~1.8× *slower* than exact at 1k, ~1.15× faster by
+  /// 10k), but the frozen arena's exact kernel is so much faster that the
+  /// crossover moves past 10k (frozen exact beats frozen pruned ~1.2×
+  /// there), so a frozen shard prunes only well above it.
+  static PruningMode resolve_auto(std::size_t docs, std::size_t k,
+                                  bool frozen) noexcept {
+    constexpr std::size_t kAutoPrunedMinDocsMutable = 4096;
+    constexpr std::size_t kAutoPrunedMinDocsFrozen = 32768;
+    const std::size_t cutoff =
+        frozen ? kAutoPrunedMinDocsFrozen : kAutoPrunedMinDocsMutable;
+    // Near-full retrieval gives bounds nothing to discard.
+    return (docs >= cutoff && k * 16 <= docs) ? PruningMode::kMaxScore
+                                              : PruningMode::kExact;
+  }
 
   /// Top-k most similar documents, ranked by descending score; equal scores
   /// order by ascending doc id (deterministic tie-break). k is clamped to
@@ -192,17 +315,70 @@ class InvertedIndex {
     double weight;
   };
 
-  std::vector<std::vector<Posting>> postings_;  // indexed by TermId
+  /// Terms the offset table covers (the arena knows nothing about terms
+  /// first seen after the last freeze()).
+  std::size_t arena_terms() const noexcept {
+    return arena_offsets_.empty() ? 0 : arena_offsets_.size() - 1;
+  }
+
+  /// Internal (arena-ordered) id of a public doc id. Documents added after
+  /// the last freeze keep their public id (the permutation only covers the
+  /// frozen span, and tail ids sort above every frozen internal id).
+  DocId internal_of(DocId pub) const noexcept {
+    return pub < internal_of_.size() ? internal_of_[pub] : pub;
+  }
+  /// Public id of an internal (arena-ordered) id.
+  DocId public_of(DocId internal) const noexcept {
+    return internal < public_of_.size() ? public_of_[internal] : internal;
+  }
+  /// Per-doc L2 norms in internal order (the scoring loops' index space);
+  /// norms_ stays public-ordered for the norm() API.
+  const double* scoring_norms() const noexcept {
+    return public_of_.empty() ? norms_.data() : norms_int_.data();
+  }
+  const double* scoring_norms_sq() const noexcept {
+    return public_of_.empty() ? norms_sq_.data() : norms_sq_int_.data();
+  }
+
+  // --- frozen arena (term-major struct-of-arrays; empty until freeze()) ---
+  // All doc ids below are *internal* ids (see internal_of/public_of).
+  std::vector<DocId> arena_ids_;        // doc-id stream, all terms
+  std::vector<double> arena_weights_;   // parallel weight stream
+  std::vector<std::size_t> arena_offsets_;  // term t's span: [t], [t+1])
+  // Term t's blocks are [arena_block_begin_[t], arena_block_begin_[t+1]);
+  // block b of term t covers postings
+  // [offsets[t] + (b - begin[t]) * kBlockSize, ...) — blocks never straddle
+  // terms, so per-block bounds are per-term bounds refined 128 postings at
+  // a time.
+  std::vector<std::size_t> arena_block_begin_;
+  std::vector<DocId> block_last_doc_;   // largest doc id in the block
+  std::vector<double> block_max_w_;     // largest posting weight in the block
+  std::vector<double> block_min_w_;     // smallest posting weight in the block
+
+  // --- unfrozen tail (vector-per-term; add() always appends here) ---
+  std::vector<std::vector<Posting>> tail_;  // indexed by TermId
+
+  // Doc-reorder permutation (empty until the first freeze; covers exactly
+  // the frozen span thereafter) plus internal-ordered norm copies so the
+  // hot loops run gather-free in internal space.
+  std::vector<DocId> internal_of_;  // public id -> internal id
+  std::vector<DocId> public_of_;    // internal id -> public id
+  std::vector<double> norms_int_;
+  std::vector<double> norms_sq_int_;
+
   std::vector<double> norms_;                   // per-doc L2 norm
   std::vector<double> norms_sq_;                // per-doc squared L2 norm
   std::vector<double> max_weight_;              // per-term max posting weight
   std::vector<double> min_weight_;              // per-term min posting weight
   // Forward store: doc d's (term, weight) pairs live at
-  // [forward_offsets_[d], forward_offsets_[d + 1]) in ascending term order —
-  // the candidate re-scoring substrate of the pruned path.
+  // [forward_offsets_[d], forward_offsets_[d + 1]) in ascending term order,
+  // indexed by *internal* id once frozen — the candidate re-scoring
+  // substrate of the pruned path and the per-doc extents behind its
+  // candidate-switch cost model.
   std::vector<std::size_t> forward_offsets_{0};
   std::vector<TermId> forward_terms_;
   std::vector<double> forward_weights_;
+  std::size_t frozen_docs_ = 0;
   std::size_t num_postings_ = 0;
   std::size_t nonempty_terms_ = 0;
 };

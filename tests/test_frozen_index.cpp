@@ -1,0 +1,505 @@
+// Property suite for the frozen posting arena and parallel bulk ingest.
+//
+// The freeze/tail contract: freeze() changes the memory layout, never the
+// answers — the exact path stays *bit-identical* across any interleaving of
+// add(), freeze() and queries, the pruned path keeps its same-set/
+// same-order/1e-9 contract, and add_batch() (parallel per-shard builds on a
+// TaskPool, frozen at the end) produces byte-for-byte the same index as
+// sequential add() plus freeze(). Everything here is seeded-RNG and
+// wall-clock free; the parallel-build tests run under the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/query_engine.hpp"
+#include "exec/sharded_index.hpp"
+#include "exec/task_pool.hpp"
+#include "fmeter/database.hpp"
+#include "index/inverted_index.hpp"
+#include "util/rng.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::core {
+namespace {
+
+constexpr double kScoreTolerance = 1e-9;
+constexpr std::size_t kShardCounts[] = {1, 2, 5};
+
+vsm::SparseVector random_sparse(util::Rng& rng, std::uint32_t dimension,
+                                std::size_t max_nnz,
+                                bool allow_negative = false) {
+  std::vector<vsm::SparseVector::Entry> entries;
+  const std::size_t nnz = rng.below(max_nnz + 1);  // may be 0 => empty vector
+  for (std::size_t i = 0; i < nnz; ++i) {
+    const auto term =
+        static_cast<vsm::SparseVector::Index>(rng.below(dimension));
+    double value = rng.uniform(0.05, 1.0);
+    if (allow_negative && rng.bernoulli(0.3)) value = -value;
+    entries.emplace_back(term, value);
+  }
+  return vsm::SparseVector::from_entries(std::move(entries));
+}
+
+/// Bit-identical hits: same docs, same order, scores equal to the last bit.
+void expect_hits_identical(const std::vector<index::IndexHit>& got,
+                           const std::vector<index::IndexHit>& want,
+                           const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(got[r].doc, want[r].doc) << context << " rank " << r;
+    EXPECT_EQ(got[r].score, want[r].score) << context << " rank " << r;
+  }
+}
+
+void expect_hits_close(const std::vector<index::IndexHit>& got,
+                       const std::vector<index::IndexHit>& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(got[r].doc, want[r].doc) << context << " rank " << r;
+    EXPECT_NEAR(got[r].score, want[r].score, kScoreTolerance)
+        << context << " rank " << r;
+  }
+}
+
+TEST(FrozenIndex, FreezePreservesExactPathBitIdentically) {
+  util::Rng rng(0xf4023);
+  for (int trial = 0; trial < 8; ++trial) {
+    index::InvertedIndex mutable_idx;
+    index::InvertedIndex frozen_idx;
+    const std::size_t n = 40 + rng.below(80);
+    util::Rng docs_a(0x1000 + static_cast<std::uint64_t>(trial));
+    util::Rng docs_b(0x1000 + static_cast<std::uint64_t>(trial));
+    for (std::size_t i = 0; i < n; ++i) {
+      mutable_idx.add(random_sparse(docs_a, 48, 10, /*allow_negative=*/true));
+      frozen_idx.add(random_sparse(docs_b, 48, 10, /*allow_negative=*/true));
+    }
+    frozen_idx.freeze();
+    EXPECT_TRUE(frozen_idx.frozen());
+    EXPECT_EQ(frozen_idx.frozen_docs(), n);
+    EXPECT_EQ(frozen_idx.num_postings(), mutable_idx.num_postings());
+    EXPECT_EQ(frozen_idx.num_terms(), mutable_idx.num_terms());
+    for (int q = 0; q < 6; ++q) {
+      const auto query = random_sparse(rng, 48, 10, /*allow_negative=*/true);
+      for (const auto metric :
+           {index::Metric::kCosine, index::Metric::kEuclidean}) {
+        for (const std::size_t k : {std::size_t{1}, std::size_t{7}, n}) {
+          const auto want = mutable_idx.top_k(query, k, metric);
+          const auto got = frozen_idx.top_k(query, k, metric);
+          expect_hits_identical(got, want,
+                                "trial " + std::to_string(trial) + " k " +
+                                    std::to_string(k));
+          // The frozen pruned path keeps the weaker contract vs the same
+          // golden results.
+          const auto pruned = frozen_idx.top_k_pruned(query, k, metric);
+          expect_hits_close(pruned, want,
+                            "pruned trial " + std::to_string(trial) + " k " +
+                                std::to_string(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(FrozenIndex, BulkFreezeMatchesIncrementalAddAcrossShardCounts) {
+  util::Rng rng(0xb01c);
+  for (const std::size_t shards : kShardCounts) {
+    std::vector<vsm::SparseVector> signatures;
+    std::vector<std::string> labels;
+    for (int i = 0; i < 90; ++i) {
+      signatures.push_back(random_sparse(rng, 40, 9));
+      labels.push_back("label-" + std::to_string(i % 6));
+    }
+    SignatureDatabase incremental(shards);
+    for (std::size_t i = 0; i < signatures.size(); ++i) {
+      incremental.add(signatures[i], labels[i]);
+    }
+    SignatureDatabase bulk(shards);
+    const std::size_t first = bulk.add_batch(signatures, labels);
+    EXPECT_EQ(first, 0u);
+    ASSERT_EQ(bulk.size(), incremental.size());
+    EXPECT_TRUE(bulk.index().frozen());
+    for (int q = 0; q < 8; ++q) {
+      const auto query = random_sparse(rng, 40, 9);
+      for (const auto metric :
+           {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
+        const auto golden =
+            incremental.search(query, 8, metric, ScanPolicy::kBruteForce);
+        const auto exact = bulk.search(query, 8, metric);
+        ASSERT_EQ(exact.size(), golden.size());
+        for (std::size_t r = 0; r < golden.size(); ++r) {
+          EXPECT_EQ(exact[r].id, golden[r].id) << "shards " << shards;
+          EXPECT_EQ(exact[r].label, golden[r].label) << "shards " << shards;
+          EXPECT_EQ(exact[r].score, golden[r].score) << "shards " << shards;
+        }
+        const auto pruned = bulk.search(query, 8, metric, ScanPolicy::kIndexed,
+                                        PruningMode::kMaxScore);
+        ASSERT_EQ(pruned.size(), golden.size());
+        for (std::size_t r = 0; r < golden.size(); ++r) {
+          EXPECT_EQ(pruned[r].id, golden[r].id) << "shards " << shards;
+          EXPECT_NEAR(pruned[r].score, golden[r].score, kScoreTolerance)
+              << "shards " << shards;
+        }
+      }
+    }
+  }
+}
+
+TEST(FrozenIndex, BoundsStayFreshAcrossFreezeAddQueryInterleavings) {
+  // The per-term max/min bounds span arena and tail; the per-block metadata
+  // covers only the arena. A freshness bug in either would make the pruned
+  // path silently drop documents — so interleave every mutation the index
+  // supports and re-check the pruned contract after each step.
+  util::Rng rng(0x1ce9);
+  index::InvertedIndex idx;
+  index::TopKScratch scratch;
+  const auto check = [&](const std::string& context) {
+    for (int q = 0; q < 4; ++q) {
+      const auto query = random_sparse(rng, 32, 8, /*allow_negative=*/true);
+      for (const auto metric :
+           {index::Metric::kCosine, index::Metric::kEuclidean}) {
+        const auto exact = idx.top_k(query, 6, metric, &scratch);
+        const auto pruned = idx.top_k_pruned(query, 6, metric, &scratch);
+        expect_hits_close(pruned, exact, context);
+      }
+    }
+  };
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 25; ++i) {
+      idx.add(random_sparse(rng, 32, 8, /*allow_negative=*/true));
+    }
+    check("tail round " + std::to_string(round));
+    if (round % 2 == 0) {
+      idx.freeze();
+      EXPECT_TRUE(idx.frozen()) << "round " << round;
+      check("frozen round " + std::to_string(round));
+    } else {
+      EXPECT_LT(idx.frozen_docs(), idx.size()) << "round " << round;
+    }
+  }
+  // Re-freezing folds the tail back in; results must not move.
+  idx.freeze();
+  idx.freeze();  // idempotent
+  check("after double freeze");
+}
+
+TEST(FrozenIndex, ParallelBulkBuildIsDeterministic) {
+  // add_batch fans per-shard builds onto the pool; the result must be
+  // byte-for-byte the sequential build (same shard contents, same stats,
+  // bit-identical queries) on every run. This is the configuration the
+  // TSan CI job exercises for the parallel ingest path.
+  util::Rng rng(0xde7e3);
+  std::vector<vsm::SparseVector> docs;
+  for (int i = 0; i < 6000; ++i) docs.push_back(random_sparse(rng, 64, 10));
+
+  exec::ShardedIndex sequential(4);
+  for (const auto& doc : docs) sequential.add(doc);
+  sequential.freeze();
+
+  exec::TaskPool pool(3);
+  for (int run = 0; run < 2; ++run) {
+    exec::ShardedIndex parallel(4);
+    parallel.add_batch(std::span<const vsm::SparseVector>(docs), &pool);
+    ASSERT_EQ(parallel.size(), sequential.size()) << "run " << run;
+    EXPECT_TRUE(parallel.frozen()) << "run " << run;
+    EXPECT_EQ(parallel.num_terms(), sequential.num_terms()) << "run " << run;
+    EXPECT_EQ(parallel.num_postings(), sequential.num_postings())
+        << "run " << run;
+    const auto seq_stats = sequential.shard_stats();
+    const auto par_stats = parallel.shard_stats();
+    ASSERT_EQ(par_stats.size(), seq_stats.size());
+    for (std::size_t s = 0; s < seq_stats.size(); ++s) {
+      EXPECT_EQ(par_stats[s].docs, seq_stats[s].docs) << "shard " << s;
+      EXPECT_EQ(par_stats[s].frozen_docs, seq_stats[s].frozen_docs)
+          << "shard " << s;
+      EXPECT_EQ(par_stats[s].postings, seq_stats[s].postings) << "shard " << s;
+      EXPECT_EQ(par_stats[s].terms, seq_stats[s].terms) << "shard " << s;
+    }
+    const exec::QueryEngine seq_engine(sequential, &pool);
+    const exec::QueryEngine par_engine(parallel, &pool);
+    for (int q = 0; q < 10; ++q) {
+      const auto query = random_sparse(rng, 64, 10);
+      for (const auto metric :
+           {index::Metric::kCosine, index::Metric::kEuclidean}) {
+        expect_hits_identical(par_engine.run(query, 5, metric),
+                              seq_engine.run(query, 5, metric),
+                              "run " + std::to_string(run) + " query " +
+                                  std::to_string(q));
+      }
+    }
+  }
+}
+
+TEST(FrozenIndex, IncrementalAddAfterBulkBatchKeepsContracts) {
+  // The frozen arena plus a growing unfrozen tail is the steady state of a
+  // live archive: bulk-load history, then stream new incidents in.
+  util::Rng rng(0x7a11);
+  std::vector<vsm::SparseVector> docs;
+  std::vector<std::string> labels;
+  for (int i = 0; i < 60; ++i) {
+    docs.push_back(random_sparse(rng, 36, 8));
+    labels.push_back("bulk-" + std::to_string(i % 4));
+  }
+  SignatureDatabase db(2);
+  db.add_batch(docs, labels);
+  SignatureDatabase reference(2);
+  for (std::size_t i = 0; i < docs.size(); ++i) reference.add(docs[i], labels[i]);
+  for (int i = 0; i < 30; ++i) {
+    const auto doc = random_sparse(rng, 36, 8);
+    db.add(doc, "tail");
+    reference.add(doc, "tail");
+    if (i % 10 == 9) {
+      const auto query = random_sparse(rng, 36, 8);
+      for (const auto metric :
+           {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
+        const auto golden =
+            reference.search(query, 7, metric, ScanPolicy::kBruteForce);
+        const auto exact = db.search(query, 7, metric);
+        const auto pruned = db.search(query, 7, metric, ScanPolicy::kIndexed,
+                                      PruningMode::kMaxScore);
+        ASSERT_EQ(exact.size(), golden.size());
+        ASSERT_EQ(pruned.size(), golden.size());
+        for (std::size_t r = 0; r < golden.size(); ++r) {
+          EXPECT_EQ(exact[r].id, golden[r].id) << "after tail add " << i;
+          EXPECT_EQ(exact[r].score, golden[r].score) << "after tail add " << i;
+          EXPECT_EQ(pruned[r].id, golden[r].id) << "after tail add " << i;
+          EXPECT_NEAR(pruned[r].score, golden[r].score, kScoreTolerance)
+              << "after tail add " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(FrozenIndex, MemoryBreakdownComponentsSumAndTrackFreezing) {
+  util::Rng rng(0x3e3);
+  index::InvertedIndex idx;
+  for (int i = 0; i < 200; ++i) idx.add(random_sparse(rng, 48, 10));
+  const auto before = idx.memory_breakdown();
+  EXPECT_EQ(before.total(), idx.memory_bytes());
+  EXPECT_GT(before.postings, 0u);
+  EXPECT_GT(before.forward, 0u);
+  EXPECT_EQ(before.blocks, 0u);  // no arena yet
+
+  idx.freeze();
+  const auto after = idx.memory_breakdown();
+  EXPECT_EQ(after.total(), idx.memory_bytes());
+  EXPECT_GT(after.blocks, 0u);
+  EXPECT_GT(after.offsets, 0u);
+  EXPECT_GT(after.postings, 0u);
+
+  // Sharded aggregation: per-shard breakdowns sum to (at most) the global
+  // one, which only adds this layer's term bitmap on top.
+  exec::ShardedIndex sharded(3);
+  for (int i = 0; i < 150; ++i) sharded.add(random_sparse(rng, 48, 10));
+  sharded.freeze();
+  const auto global = sharded.memory_breakdown();
+  EXPECT_EQ(global.total(), sharded.memory_bytes());
+  index::MemoryBreakdown summed;
+  for (const auto& stats : sharded.shard_stats()) {
+    EXPECT_EQ(stats.memory.total(), stats.memory_bytes);
+    EXPECT_EQ(stats.frozen_docs, stats.docs);
+    summed += stats.memory;
+  }
+  EXPECT_EQ(global.postings, summed.postings);
+  EXPECT_EQ(global.blocks, summed.blocks);
+  EXPECT_EQ(global.forward, summed.forward);
+  EXPECT_GE(global.offsets, summed.offsets);  // + term bitmap
+}
+
+TEST(FrozenIndex, AutoModeResolvesByShardSizeAndMatchesGolden) {
+  using index::InvertedIndex;
+  using index::PruningMode;
+  // The measured crossovers: on the mutable layout pruning loses below
+  // ~4k docs; the frozen arena's exact kernel pushes its crossover past
+  // 10k (see resolve_auto).
+  EXPECT_EQ(InvertedIndex::resolve_auto(1000, 10, false), PruningMode::kExact);
+  EXPECT_EQ(InvertedIndex::resolve_auto(4096, 10, false),
+            PruningMode::kMaxScore);
+  EXPECT_EQ(InvertedIndex::resolve_auto(10000, 10, true), PruningMode::kExact);
+  EXPECT_EQ(InvertedIndex::resolve_auto(100000, 10, true),
+            PruningMode::kMaxScore);
+  // Near-full retrieval gives the bounds nothing to discard.
+  EXPECT_EQ(InvertedIndex::resolve_auto(8000, 4000, false),
+            PruningMode::kExact);
+
+  util::Rng rng(0xa070);
+  // Small database: kAuto must take the exact path — bit-identical hits.
+  SignatureDatabase small(2);
+  for (int i = 0; i < 120; ++i) {
+    small.add(random_sparse(rng, 32, 8), "label-" + std::to_string(i % 3));
+  }
+  for (int q = 0; q < 6; ++q) {
+    const auto query = random_sparse(rng, 32, 8);
+    for (const auto metric :
+         {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
+      const auto golden = small.search(query, 5, metric, ScanPolicy::kBruteForce);
+      const auto autod = small.search(query, 5, metric, ScanPolicy::kIndexed,
+                                      PruningMode::kAuto);
+      ASSERT_EQ(autod.size(), golden.size());
+      for (std::size_t r = 0; r < golden.size(); ++r) {
+        EXPECT_EQ(autod[r].id, golden[r].id);
+        EXPECT_EQ(autod[r].score, golden[r].score);  // exact ⇒ bit-identical
+      }
+    }
+  }
+
+  // Large single shard: kAuto resolves to pruned — same set/order, 1e-9.
+  // Clustered classes on permuted term slices, the corpus shape pruning
+  // works on (a uniform random corpus takes the give-up branch by design).
+  std::vector<std::vector<std::uint32_t>> perm(4,
+                                               std::vector<std::uint32_t>(128));
+  for (std::size_t c = 0; c < perm.size(); ++c) {
+    for (std::uint32_t i = 0; i < 128; ++i) perm[c][i] = i;
+    if (c > 0) {
+      for (std::uint32_t i = 128; i > 1; --i) {
+        std::swap(perm[c][i - 1], perm[c][rng.below(i)]);
+      }
+    }
+  }
+  std::vector<vsm::SparseVector> docs;
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<vsm::SparseVector::Entry> entries;
+    for (int t = 0; t < 16; ++t) {
+      const auto rank = static_cast<std::size_t>(
+          rng.uniform() * rng.uniform() * 128.0);
+      entries.emplace_back(
+          perm[static_cast<std::size_t>(i) % perm.size()]
+              [std::min<std::size_t>(rank, 127)],
+          std::exp(rng.normal(0.0, 2.0)));
+    }
+    docs.push_back(
+        vsm::SparseVector::from_entries(std::move(entries)).l2_normalized());
+  }
+  exec::ShardedIndex sharded(1);
+  // A 5k *mutable* shard sits above the mutable crossover — kAuto must
+  // prune there; the same corpus bulk-frozen sits below the (higher)
+  // frozen crossover — kAuto must take the frozen exact path, which the
+  // bit-identical comparison pins down.
+  for (const auto& doc : docs) sharded.add(doc);
+  const exec::QueryEngine engine(sharded);
+  exec::ShardedIndex frozen_sharded(1);
+  frozen_sharded.add_batch(std::span<const vsm::SparseVector>(docs));
+  const exec::QueryEngine frozen_engine(frozen_sharded);
+  for (int q = 0; q < 5; ++q) {
+    const auto& query = docs[rng.below(docs.size())];
+    index::PruneStats stats;
+    const auto exact = engine.run(query, 10, index::Metric::kCosine);
+    const auto autod = engine.run(query, 10, index::Metric::kCosine,
+                                  PruningMode::kAuto, &stats);
+    expect_hits_close(autod, exact, "auto large query " + std::to_string(q));
+    EXPECT_GT(stats.docs_pruned, 0u) << "auto did not prune a mutable 5k shard";
+
+    const auto frozen_exact =
+        frozen_engine.run(query, 10, index::Metric::kCosine);
+    index::PruneStats frozen_stats;
+    const auto frozen_auto = frozen_engine.run(
+        query, 10, index::Metric::kCosine, PruningMode::kAuto, &frozen_stats);
+    expect_hits_identical(frozen_auto, frozen_exact,
+                          "frozen auto query " + std::to_string(q));
+    EXPECT_EQ(frozen_stats.docs_pruned, 0u)
+        << "frozen 5k shard sits below the frozen crossover";
+  }
+}
+
+TEST(FrozenIndex, BlockSkippingReducesPostingsVisited) {
+  // The workload block skipping exists for: a tight cluster of mutually
+  // similar signatures (one recurring behavior) buried in a large archive
+  // of unrelated ones, queried with k spanning the cluster. The survivors
+  // are exactly the cluster, the doc reordering makes them contiguous in
+  // internal id space, and finishing them off the forward store is dearer
+  // than walking the remaining lists — so the tail phase walks frozen
+  // lists block-by-block and skips every block that holds only archive
+  // noise. The frozen path must return the same hits as the unfrozen one
+  // while touching fewer postings and actually skipping blocks.
+  util::Rng rng(0xb10c);
+  constexpr std::size_t kClusterDocs = 1200;
+  constexpr std::size_t kNoiseDocs = 30000;
+  constexpr std::uint32_t kClusterTerms = 50;  // terms 0..49 are the cluster's
+  constexpr std::uint32_t kDim = 950;
+  index::InvertedIndex unfrozen;
+  for (std::size_t d = 0; d < kClusterDocs; ++d) {
+    std::vector<vsm::SparseVector::Entry> entries;
+    for (std::uint32_t t = 0; t < kClusterTerms; ++t) {
+      entries.emplace_back(t, 1.0 + 0.01 * rng.uniform());
+    }
+    unfrozen.add(
+        vsm::SparseVector::from_entries(std::move(entries)).l2_normalized());
+  }
+  for (std::size_t d = 0; d < kNoiseDocs; ++d) {
+    std::vector<vsm::SparseVector::Entry> entries;
+    // One cluster term each — the cluster's posting lists are mostly noise
+    // postings, which is what gives the skip loop whole blocks to drop.
+    entries.emplace_back(static_cast<std::uint32_t>(d % kClusterTerms), 0.2);
+    for (int i = 0; i < 50; ++i) {
+      entries.emplace_back(
+          kClusterTerms + static_cast<std::uint32_t>(
+                              rng.below(kDim - kClusterTerms)),
+          0.5 + rng.uniform());
+    }
+    unfrozen.add(
+        vsm::SparseVector::from_entries(std::move(entries)).l2_normalized());
+  }
+  index::InvertedIndex frozen = unfrozen;
+  frozen.freeze();
+
+  index::TopKScratch scratch;
+  index::PruneStats unfrozen_stats, frozen_stats;
+  std::vector<vsm::SparseVector::Entry> q_entries;
+  for (std::uint32_t t = 0; t < kClusterTerms; ++t) q_entries.emplace_back(t, 1.0);
+  const auto query =
+      vsm::SparseVector::from_entries(std::move(q_entries)).l2_normalized();
+  for (const auto metric :
+       {index::Metric::kCosine, index::Metric::kEuclidean}) {
+    for (const std::size_t k : {std::size_t{10}, std::size_t{1000}}) {
+      const auto want = unfrozen.top_k_pruned(query, k, metric, &scratch,
+                                              index::InvertedIndex::kNoSeed,
+                                              &unfrozen_stats);
+      const auto got = frozen.top_k_pruned(query, k, metric, &scratch,
+                                           index::InvertedIndex::kNoSeed,
+                                           &frozen_stats);
+      expect_hits_close(got, want, "k " + std::to_string(k));
+    }
+  }
+  EXPECT_GT(frozen_stats.blocks_skipped, 0u)
+      << "frozen: scored " << frozen_stats.docs_scored << " pruned "
+      << frozen_stats.docs_pruned << " visited "
+      << frozen_stats.postings_visited << " | unfrozen visited "
+      << unfrozen_stats.postings_visited;
+  EXPECT_LT(frozen_stats.postings_visited, unfrozen_stats.postings_visited);
+  EXPECT_EQ(frozen_stats.docs_scored + frozen_stats.docs_pruned,
+            unfrozen_stats.docs_scored + unfrozen_stats.docs_pruned);
+}
+
+TEST(FrozenIndex, DegenerateStatesStayDefined) {
+  index::InvertedIndex idx;
+  idx.freeze();  // freezing an empty index is a no-op
+  EXPECT_TRUE(idx.frozen());
+  EXPECT_EQ(idx.top_k(vsm::SparseVector::from_entries({{1, 1.0}}), 3).size(),
+            0u);
+  idx.add(vsm::SparseVector::from_entries({{2, 0.5}}));
+  EXPECT_FALSE(idx.frozen());
+  idx.freeze();
+  const auto query = vsm::SparseVector::from_entries({{2, 1.0}});
+  EXPECT_EQ(idx.top_k(query, 0).size(), 0u);          // k == 0
+  EXPECT_EQ(idx.top_k(vsm::SparseVector(), 3).size(), 0u);  // empty query
+  ASSERT_EQ(idx.top_k(query, 3).size(), 1u);
+  EXPECT_EQ(idx.top_k_pruned(query, 3).size(), 1u);
+
+  // Empty documents freeze too (no postings, still ranked by the scan rule).
+  index::InvertedIndex with_empty;
+  with_empty.add(vsm::SparseVector());
+  with_empty.add(vsm::SparseVector::from_entries({{0, 1.0}}));
+  with_empty.freeze();
+  const auto hits = with_empty.top_k(vsm::SparseVector::from_entries({{0, 1.0}}),
+                                     2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 1u);
+  EXPECT_EQ(hits[1].doc, 0u);
+}
+
+}  // namespace
+}  // namespace fmeter::core

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Diff a freshly emitted BENCH_*.json against a committed baseline.
+
+Every bench binary writes a machine-readable ``{"bench": ..., "rows": [...]}``
+trajectory file (see bench_common.hpp's emit_json). This script joins the
+fresh rows against the committed baseline on their identity fields (every
+field except the measured ones) and fails when ``us_per_query`` regressed by
+more than the threshold on rows large enough to be stable — by default >20%
+at >= 10k docs, the sizes where the measurement noise is far below the gate.
+
+Caveats, by design:
+
+* Absolute microseconds only compare meaningfully on the machine that
+  produced the baseline. CI's smoke runs cap the corpus below the enforced
+  sizes, so there the script validates schema and row identity and reports
+  the small-row deltas without failing; the enforced gate matters for full
+  runs on the baseline machine (and for refreshing the baseline alongside
+  any intentional perf change).
+* Rows present in the baseline but missing from the fresh file are warnings
+  (smoke runs legitimately truncate the ladder); brand-new fresh rows are
+  reported, not failed, so adding a policy to a bench does not break CI.
+
+Usage:
+  tools/bench_check.py FRESH BASELINE [--threshold 0.20] [--min-docs 10000]
+  tools/bench_check.py BENCH_index_scaling.json /tmp/baseline.json
+
+Exit status: 0 ok, 1 enforced regression, 2 usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+MEASURED_FIELDS = {
+    "us_per_query", "queries_per_sec", "prune_rate", "postings_visited",
+    "blocks_skipped", "seconds", "docs_per_sec", "cores",
+}
+# Lower-is-better metrics, in preference order; each file is gated on the
+# first one its rows actually carry (query benches emit us_per_query, the
+# build bench emits seconds).
+METRIC_FIELDS = ("us_per_query", "seconds")
+
+
+def pick_metric(rows):
+    for field in METRIC_FIELDS:
+        if any(field in row for row in rows):
+            return field
+    return None
+
+
+def load_rows(path):
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"bench_check: cannot read {path}: {error}")
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise SystemExit(f"bench_check: {path} is not an emit_json file")
+    return payload.get("bench", "?"), payload["rows"]
+
+
+def row_key(row):
+    return tuple(sorted(
+        (field, value) for field, value in row.items()
+        if field not in MEASURED_FIELDS))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional us_per_query increase")
+    parser.add_argument("--min-docs", type=float, default=10000,
+                        help="enforce only on rows with docs >= this")
+    args = parser.parse_args()
+
+    fresh_name, fresh_rows = load_rows(args.fresh)
+    base_name, base_rows = load_rows(args.baseline)
+    if fresh_name != base_name:
+        print(f"bench_check: bench name mismatch: fresh '{fresh_name}' vs "
+              f"baseline '{base_name}'", file=sys.stderr)
+        return 2
+
+    fresh_by_key = {row_key(row): row for row in fresh_rows}
+    base_by_key = {row_key(row): row for row in base_rows}
+    metric = pick_metric(base_rows)
+    if metric is None:
+        print(f"bench_check: {args.baseline} rows carry no known metric "
+              f"field {METRIC_FIELDS}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    compared = 0
+    for key, base in sorted(base_by_key.items()):
+        fresh = fresh_by_key.get(key)
+        ident = ", ".join(f"{f}={v}" for f, v in key)
+        if fresh is None:
+            print(f"  [missing] {ident} (fresh run truncated?)")
+            continue
+        if metric not in base or metric not in fresh:
+            continue
+        compared += 1
+        base_us = base[metric]
+        fresh_us = fresh[metric]
+        delta = (fresh_us - base_us) / base_us if base_us > 0 else 0.0
+        enforced = base.get("docs", 0) >= args.min_docs
+        status = "ok"
+        if delta > args.threshold:
+            status = "REGRESSION" if enforced else "slow (not enforced)"
+            failures += enforced
+        print(f"  [{status}] {ident}: {base_us:.4g} -> {fresh_us:.4g} "
+              f"{metric} ({delta:+.1%})")
+    for key in sorted(set(fresh_by_key) - set(base_by_key)):
+        ident = ", ".join(f"{f}={v}" for f, v in key)
+        print(f"  [new] {ident} (no baseline yet)")
+
+    print(f"bench_check: {fresh_name}: {compared} rows compared, "
+          f"{failures} enforced regressions "
+          f"(threshold {args.threshold:.0%} at docs >= {args.min_docs:g})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,11 @@
 //
 //   fmeter_inspect stats <corpus.fmc>
 //       Prints per-label document counts, corpus vocabulary statistics,
-//       per-shard inverted-index statistics (docs, terms, postings, memory)
-//       and the cosine-similarity matrix between per-label tf-idf centroids.
+//       per-shard inverted-index statistics (docs, frozen docs, terms,
+//       postings, and the memory footprint split into postings / offsets /
+//       block-metadata / forward-store bytes) and the cosine-similarity
+//       matrix between per-label tf-idf centroids. The index is bulk-loaded
+//       (parallel per-shard builds, frozen posting arenas).
 //
 //   fmeter_inspect topterms <corpus.fmc> <label> [n]
 //       Prints the n (default 15) highest-weighted kernel functions of the
@@ -22,9 +25,10 @@
 //       workflow: "which past incidents looked like this?"), plus the
 //       index's per-shard statistics and the query's execution counters
 //       (documents scored, documents pruned, posting entries visited).
-//       P selects the execution path: "scan" (brute-force linear scan),
-//       "indexed" (exact inverted-index pass, the default) or "pruned"
-//       (max-score pruning — same hits, scores within 1e-9).
+//       P selects the execution path: "auto" (the default — picks exact
+//       or pruned per shard from the measured size crossover), "scan"
+//       (brute-force linear scan), "indexed" (exact inverted-index pass)
+//       or "pruned" (max-score pruning — same hits, scores within 1e-9).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,7 +50,7 @@ int usage() {
       "  fmeter_inspect stats <corpus.fmc>\n"
       "  fmeter_inspect topterms <corpus.fmc> <label> [n]\n"
       "  fmeter_inspect search <corpus.fmc> <doc-index> [k] "
-      "[--policy scan|indexed|pruned]\n");
+      "[--policy auto|scan|indexed|pruned]\n");
   return 2;
 }
 
@@ -61,6 +65,27 @@ std::map<std::string, workloads::WorkloadKind> workload_names() {
       {"netperf151nolro", workloads::WorkloadKind::kNetperf151NoLro},
       {"bootup", workloads::WorkloadKind::kBootup},
   };
+}
+
+
+/// Per-shard statistics, memory split by component (see
+/// index::MemoryBreakdown): postings = arena streams + tail lists,
+/// offsets = per-term tables + bounds + id maps, blocks = block-max
+/// metadata, forward = forward store + norms.
+void print_shard_table(const exec::ShardedIndex& index) {
+  std::printf("%6s %8s %8s %8s %10s | %9s %9s %9s %9s KiB\n", "shard", "docs",
+              "frozen", "terms", "postings", "post", "offs", "blocks", "fwd");
+  const auto shard_stats = index.shard_stats();
+  for (std::size_t s = 0; s < shard_stats.size(); ++s) {
+    const auto& mem = shard_stats[s].memory;
+    std::printf("%6zu %8zu %8zu %8zu %10zu | %9.1f %9.1f %9.1f %9.1f\n", s,
+                shard_stats[s].docs, shard_stats[s].frozen_docs,
+                shard_stats[s].terms, shard_stats[s].postings,
+                static_cast<double>(mem.postings) / 1024.0,
+                static_cast<double>(mem.offsets) / 1024.0,
+                static_cast<double>(mem.blocks) / 1024.0,
+                static_cast<double>(mem.forward) / 1024.0);
+  }
 }
 
 int cmd_collect(int argc, char** argv) {
@@ -95,13 +120,20 @@ int cmd_stats(int argc, char** argv) {
   const vsm::Corpus corpus = vsm::load_corpus(argv[2]);
 
   vsm::TfIdfModel model;
-  const auto signatures = core::signatures_from(corpus, {}, &model);
+  auto signatures = core::signatures_from(corpus, {}, &model);
   std::printf("documents: %zu   vocabulary: %zu terms   dimension bound: %zu\n\n",
               corpus.size(), model.vocabulary_size(), corpus.dimension_bound());
 
   core::SignatureDatabase db;
-  for (std::size_t i = 0; i < corpus.size(); ++i) {
-    db.add(signatures[i], corpus[i].label);
+  {
+    std::vector<std::string> labels;
+    labels.reserve(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      labels.push_back(corpus[i].label);
+    }
+    // Parallel build + freeze; signatures are not needed afterwards, so
+    // hand the whole corpus over instead of deep-copying it.
+    db.add_batch(std::move(signatures), std::move(labels));
   }
   const auto syndromes = db.syndromes();
 
@@ -109,14 +141,7 @@ int cmd_stats(int argc, char** argv) {
   std::printf("index: %zu shards, %zu distinct terms, %zu postings, %.1f KiB\n",
               index.num_shards(), index.num_terms(), index.num_postings(),
               static_cast<double>(index.memory_bytes()) / 1024.0);
-  std::printf("%8s %8s %8s %10s %10s\n", "shard", "docs", "terms", "postings",
-              "KiB");
-  const auto shard_stats = index.shard_stats();
-  for (std::size_t s = 0; s < shard_stats.size(); ++s) {
-    std::printf("%8zu %8zu %8zu %10zu %10.1f\n", s, shard_stats[s].docs,
-                shard_stats[s].terms, shard_stats[s].postings,
-                static_cast<double>(shard_stats[s].memory_bytes) / 1024.0);
-  }
+  print_shard_table(index);
   std::printf("\n");
 
   std::printf("%-28s %8s %14s\n", "label", "docs", "mean calls/doc");
@@ -190,8 +215,8 @@ int cmd_search(int argc, char** argv) {
   // Positional arguments first (corpus, doc-index, optional k), then the
   // optional --policy flag anywhere after them.
   core::ScanPolicy policy = core::ScanPolicy::kIndexed;
-  core::PruningMode mode = core::PruningMode::kExact;
-  const char* policy_name = "indexed";
+  core::PruningMode mode = core::PruningMode::kAuto;
+  const char* policy_name = "auto";
   std::vector<const char*> positional;
   for (int arg = 2; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "--policy") == 0) {
@@ -199,13 +224,19 @@ int cmd_search(int argc, char** argv) {
       policy_name = argv[++arg];
       if (std::strcmp(policy_name, "scan") == 0) {
         policy = core::ScanPolicy::kBruteForce;
+        mode = core::PruningMode::kExact;
       } else if (std::strcmp(policy_name, "indexed") == 0) {
         policy = core::ScanPolicy::kIndexed;
+        mode = core::PruningMode::kExact;
       } else if (std::strcmp(policy_name, "pruned") == 0) {
         policy = core::ScanPolicy::kIndexed;
         mode = core::PruningMode::kMaxScore;
+      } else if (std::strcmp(policy_name, "auto") == 0) {
+        policy = core::ScanPolicy::kIndexed;
+        mode = core::PruningMode::kAuto;
       } else {
-        std::fprintf(stderr, "unknown --policy '%s' (scan|indexed|pruned)\n",
+        std::fprintf(stderr,
+                     "unknown --policy '%s' (auto|scan|indexed|pruned)\n",
                      policy_name);
         return 2;
       }
@@ -242,10 +273,16 @@ int cmd_search(int argc, char** argv) {
   const auto signatures = core::signatures_from(corpus);
   core::SignatureDatabase db;
   std::vector<std::size_t> archive_doc;  // db id -> corpus doc
-  for (std::size_t i = 0; i < corpus.size(); ++i) {
-    if (i == query_doc) continue;  // leave the query out of the archive
-    db.add(signatures[i], corpus[i].label);
-    archive_doc.push_back(i);
+  {
+    std::vector<vsm::SparseVector> batch;
+    std::vector<std::string> labels;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      if (i == query_doc) continue;  // leave the query out of the archive
+      batch.push_back(signatures[i]);
+      labels.push_back(corpus[i].label);
+      archive_doc.push_back(i);
+    }
+    db.add_batch(std::move(batch), std::move(labels));  // parallel + frozen
   }
 
   std::printf("query: doc %zu ('%s')   archive: %zu signatures   policy: %s\n",
@@ -255,14 +292,7 @@ int cmd_search(int argc, char** argv) {
   std::printf("index: %zu shards, %zu terms, %zu postings, %.1f KiB\n\n",
               index.num_shards(), index.num_terms(), index.num_postings(),
               static_cast<double>(index.memory_bytes()) / 1024.0);
-  std::printf("%8s %8s %8s %10s %10s\n", "shard", "docs", "terms", "postings",
-              "KiB");
-  const auto shard_stats = index.shard_stats();
-  for (std::size_t s = 0; s < shard_stats.size(); ++s) {
-    std::printf("%8zu %8zu %8zu %10zu %10.1f\n", s, shard_stats[s].docs,
-                shard_stats[s].terms, shard_stats[s].postings,
-                static_cast<double>(shard_stats[s].memory_bytes) / 1024.0);
-  }
+  print_shard_table(index);
   std::printf("\n%5s %6s %-28s %10s\n", "rank", "doc", "label", "cosine");
   core::QueryStats stats;
   const auto hits = db.search(signatures[query_doc], k,
@@ -277,13 +307,13 @@ int cmd_search(int argc, char** argv) {
     const std::size_t considered = stats.docs_scored + stats.docs_pruned;
     std::printf(
         "\nquery counters: %zu docs scored, %zu docs pruned (%.1f%%), "
-        "%zu postings visited\n",
+        "%zu postings visited, %zu blocks skipped\n",
         stats.docs_scored, stats.docs_pruned,
         considered > 0
             ? 100.0 * static_cast<double>(stats.docs_pruned) /
                   static_cast<double>(considered)
             : 0.0,
-        stats.postings_visited);
+        stats.postings_visited, stats.blocks_skipped);
   }
   return 0;
 }
