@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fmeter/fmeter.hpp"
+#include "util/cpu_time.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -170,26 +171,21 @@ inline std::vector<double> time_op_us(const std::function<void()>& op,
   return samples;
 }
 
-/// Same, on per-process CPU time. Cells compared against each other (the
-/// A/B shape checks) are measured minutes apart on shared machines, where
-/// wall-clock noise between cells dwarfs real differences; CPU time
-/// measures the work itself. Only meaningful for single-threaded ops —
-/// thread-parallel benches keep wall clock, which is what they claim.
+/// Same, on per-process CPU time (util::cpu_micros — the one clock shared
+/// with the hardened tracer-overhead tests). Cells compared against each
+/// other (the A/B shape checks) are measured minutes apart on shared
+/// machines, where wall-clock noise between cells dwarfs real differences;
+/// CPU time measures the work itself. Only meaningful for single-threaded
+/// ops — thread-parallel benches keep wall clock, which is what they claim.
 inline std::vector<double> time_op_cpu_us(const std::function<void()>& op,
                                           int iterations, int repetitions) {
-  const auto cpu_us = [] {
-    timespec ts{};
-    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
-    return static_cast<double>(ts.tv_sec) * 1e6 +
-           static_cast<double>(ts.tv_nsec) * 1e-3;
-  };
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(repetitions));
   for (int i = 0; i < iterations / 2 + 1; ++i) op();  // warmup
   for (int r = 0; r < repetitions; ++r) {
-    const double start = cpu_us();
+    const double start = util::cpu_micros();
     for (int i = 0; i < iterations; ++i) op();
-    samples.push_back((cpu_us() - start) / iterations);
+    samples.push_back((util::cpu_micros() - start) / iterations);
   }
   return samples;
 }

@@ -1,0 +1,196 @@
+// Snapshot restore vs. corpus re-index as the archive grows.
+//
+// The persistence claim (ROADMAP / PR 5): a rebuilt server must not
+// re-index the archive from the corpus file. This bench builds a synthetic
+// count corpus in the paper's archive shape, then measures the two ways a
+// fresh process can obtain a queryable SignatureDatabase:
+//
+//   reindex — load the text corpus, fit tf-idf, bulk-build + freeze the
+//             sharded index (the pre-snapshot cold-start path);
+//   load    — restore the binary snapshot (decode sections, re-add,
+//             re-freeze in parallel): tokenize/tf-idf/text parsing gone.
+//
+// It verifies the restored database answers bit-identically to the fresh
+// build in every mode, records save/load throughput and snapshot size, and
+// emits BENCH_snapshot.json. Shape gate: load ≥ 3× faster than re-index at
+// the 100k-doc rung.
+//
+// Usage: bench_snapshot_scaling [max_corpus]   (e.g. 10000 as a CI smoke)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fmeter/database.hpp"
+#include "fmeter/pipeline.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+#include "vsm/corpus_io.hpp"
+#include "vsm/document.hpp"
+
+namespace {
+
+constexpr std::uint32_t kDimension = 3800;
+constexpr std::size_t kNnzDraws = 200;
+constexpr std::size_t kClasses = 11;
+constexpr std::size_t kShards = 4;
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Synthetic count corpus in the archive shape of the other scaling
+/// benches: per-class Zipf permutations over the function space, power-law
+/// per-function call counts (Figure 1 tails).
+fmeter::vsm::Corpus synthetic_count_corpus(std::size_t docs) {
+  fmeter::util::Rng rng(0x54a9);
+  const fmeter::util::ZipfDistribution zipf(kDimension, 1.1);
+  const auto perms =
+      fmeter::bench::class_permutations(rng, kClasses, kDimension);
+  fmeter::vsm::Corpus corpus;
+  for (std::size_t d = 0; d < docs; ++d) {
+    const auto& perm = perms[d % kClasses];
+    std::vector<std::pair<fmeter::vsm::CountDocument::TermId,
+                          fmeter::vsm::CountDocument::Count>> counts;
+    counts.reserve(kNnzDraws);
+    for (std::size_t i = 0; i < kNnzDraws; ++i) {
+      counts.emplace_back(
+          perm[zipf.sample(rng)],
+          1 + static_cast<fmeter::vsm::CountDocument::Count>(
+                  std::exp(rng.normal(2.0, 1.5))));
+    }
+    corpus.add(fmeter::vsm::CountDocument::from_counts(
+        std::move(counts), "class-" + std::to_string(d % kClasses), 1.0));
+  }
+  return corpus;
+}
+
+fmeter::core::SignatureDatabase build_database(
+    const fmeter::vsm::Corpus& corpus) {
+  auto signatures = fmeter::core::signatures_from(corpus);
+  std::vector<std::string> labels;
+  labels.reserve(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    labels.push_back(corpus[i].label);
+  }
+  fmeter::core::SignatureDatabase db(kShards);
+  db.add_batch(std::move(signatures), std::move(labels));
+  return db;
+}
+
+bool searches_bit_identical(const fmeter::core::SignatureDatabase& a,
+                            const fmeter::core::SignatureDatabase& b) {
+  if (a.size() != b.size()) return false;
+  fmeter::util::Rng rng(0xc4ec);
+  for (int q = 0; q < 5; ++q) {
+    const auto& query = a.signature(rng.below(a.size()));
+    for (const auto mode :
+         {fmeter::core::PruningMode::kExact,
+          fmeter::core::PruningMode::kMaxScore,
+          fmeter::core::PruningMode::kAuto}) {
+      const auto want = a.search(query, 10, fmeter::core::SimilarityMetric::kCosine,
+                                 fmeter::core::ScanPolicy::kIndexed, mode);
+      const auto got = b.search(query, 10, fmeter::core::SimilarityMetric::kCosine,
+                                fmeter::core::ScanPolicy::kIndexed, mode);
+      if (got.size() != want.size()) return false;
+      for (std::size_t r = 0; r < want.size(); ++r) {
+        if (got[r].id != want[r].id || got[r].score != want[r].score ||
+            got[r].label != want[r].label) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t parsed = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 0;
+  const std::size_t max_corpus = parsed > 0 ? parsed : 100000;
+
+  fmeter::bench::print_banner(
+      "snapshot_scaling: binary snapshot restore vs. corpus re-index",
+      "indexable signatures imply a durable archive: restart must not "
+      "re-tokenize");
+
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string corpus_path = (tmp / "fmeter_snapshot_bench.fmc").string();
+  const std::string snapshot_path = (tmp / "fmeter_snapshot_bench.fms").string();
+
+  std::printf("%8s %10s %10s %10s %10s %10s %8s\n", "docs", "reindex_s",
+              "save_s", "load_s", "file_MB", "load_MB/s", "ratio");
+
+  std::vector<fmeter::bench::ShapeCheck> checks;
+  std::vector<fmeter::bench::JsonRow> json_rows;
+
+  for (const std::size_t docs : {std::size_t{10000}, std::size_t{100000}}) {
+    if (docs > max_corpus) break;
+    fmeter::vsm::save_corpus(corpus_path, synthetic_count_corpus(docs));
+
+    // Cold-start path A: text corpus -> tf-idf -> parallel bulk index.
+    const auto t_reindex = std::chrono::steady_clock::now();
+    auto db = build_database(fmeter::vsm::load_corpus(corpus_path));
+    const double reindex_s = seconds_since(t_reindex);
+
+    const auto t_save = std::chrono::steady_clock::now();
+    db.save(snapshot_path);
+    const double save_s = seconds_since(t_save);
+    const double file_mb =
+        static_cast<double>(std::filesystem::file_size(snapshot_path)) /
+        (1024.0 * 1024.0);
+
+    // Cold-start path B: binary snapshot -> decode -> parallel re-freeze.
+    fmeter::core::SignatureDatabase loaded;
+    const auto t_load = std::chrono::steady_clock::now();
+    loaded.load(snapshot_path);
+    const double load_s = seconds_since(t_load);
+
+    const bool identical = searches_bit_identical(db, loaded);
+    checks.push_back({"restored archive bit-identical to fresh build at " +
+                          std::to_string(docs),
+                      identical});
+
+    const double ratio = load_s > 0.0 ? reindex_s / load_s : 0.0;
+    std::printf("%8zu %10.2f %10.2f %10.2f %10.1f %10.1f %7.2fx\n", docs,
+                reindex_s, save_s, load_s, file_mb, file_mb / load_s, ratio);
+
+    for (const auto& [phase, secs] :
+         {std::pair<const char*, double>{"reindex", reindex_s},
+          {"save", save_s},
+          {"load", load_s}}) {
+      json_rows.push_back(
+          {fmeter::bench::jnum("docs", static_cast<double>(docs)),
+           fmeter::bench::jnum("shards", kShards),
+           fmeter::bench::jstr("phase", phase),
+           fmeter::bench::jnum("seconds", secs),
+           fmeter::bench::jnum("file_mb", file_mb),
+           fmeter::bench::jnum("mb_per_sec", secs > 0.0 ? file_mb / secs : 0.0),
+           fmeter::bench::jnum("speedup",
+                               std::string(phase) == "load" ? ratio : 0.0)});
+    }
+    // The persistence payoff must be structural, not marginal: restoring
+    // skips text parsing and tf-idf entirely, so anything under 3x means
+    // the loader is doing work it should not.
+    if (docs >= 100000) {
+      checks.push_back({"snapshot load >= 3x faster than corpus re-index at " +
+                            std::to_string(docs) + " docs",
+                        ratio >= 3.0});
+    }
+  }
+
+  std::error_code ignored;
+  std::filesystem::remove(corpus_path, ignored);
+  std::filesystem::remove(snapshot_path, ignored);
+
+  fmeter::bench::emit_json("BENCH_snapshot.json", "snapshot_scaling",
+                           json_rows);
+  std::printf("\nwrote BENCH_snapshot.json (%zu rows)\n", json_rows.size());
+  return fmeter::bench::print_shape_checks(checks);
+}

@@ -1,8 +1,10 @@
 #include "exec/sharded_index.hpp"
 
+#include <cstring>
 #include <exception>
 #include <future>
 #include <stdexcept>
+#include <string>
 
 namespace fmeter::exec {
 namespace {
@@ -117,6 +119,109 @@ void ShardedIndex::add_batch(std::span<const vsm::SparseVector* const> docs,
     }
   }
   size_ += docs.size();
+}
+
+void ShardedIndex::save(index::snapshot::Writer& writer) const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].save(writer, static_cast<std::uint32_t>(s));
+  }
+}
+
+void ShardedIndex::save(std::ostream& out) const {
+  index::snapshot::Writer writer(static_cast<std::uint32_t>(shards_.size()),
+                                 size_, nonempty_terms_);
+  save(writer);
+  writer.finish(out);
+}
+
+ShardedIndex ShardedIndex::load(const index::snapshot::Reader& reader,
+                                TaskPool* pool) {
+  using index::snapshot::SnapshotError;
+  const std::size_t shards = reader.shard_count();
+  if (shards == 0) {
+    throw SnapshotError("snapshot: shard count must be at least 1");
+  }
+  ShardedIndex out(shards);
+  const std::uint64_t docs = reader.doc_count();
+
+  // Per-shard rebuild (parse sections, re-add, freeze), fanned out with the
+  // same inline cutoffs as add_batch: small archives and pool workers build
+  // on the calling thread. Shards are disjoint, so the only cross-thread
+  // hand-off is the futures' completion.
+  const auto load_shard = [&reader, &out, shards, docs](std::size_t s) {
+    out.shards_[s] =
+        index::InvertedIndex::load(reader, static_cast<std::uint32_t>(s));
+    // Round-robin invariant: shard s holds ceil((docs - s) / shards) docs.
+    const std::uint64_t expected = docs / shards + (s < docs % shards ? 1 : 0);
+    if (out.shards_[s].size() != expected) {
+      throw SnapshotError("snapshot: shard " + std::to_string(s) + " holds " +
+                          std::to_string(out.shards_[s].size()) +
+                          " docs, header implies " + std::to_string(expected));
+    }
+  };
+  bool inline_build = shards == 1 || docs < kMinDocsForParallelBuild;
+  TaskPool* workers = nullptr;
+  if (!inline_build) {
+    workers = pool != nullptr ? pool : &TaskPool::shared();
+    inline_build = workers->size() <= 1 || workers->current_thread_is_worker();
+  }
+  if (inline_build) {
+    for (std::size_t s = 0; s < shards; ++s) load_shard(s);
+  } else {
+    std::vector<std::future<void>> pending;
+    pending.reserve(shards);
+    std::exception_ptr first_error;
+    try {
+      for (std::size_t s = 0; s < shards; ++s) {
+        pending.push_back(workers->submit([&load_shard, s] { load_shard(s); }));
+      }
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+    for (auto& future : pending) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Term-occupancy bitmap straight from the term-id sections — no need to
+  // re-walk the parsed documents, the sections *are* the postings' terms.
+  // Read off the raw byte span: materializing a second full copy of every
+  // id stream (section_as) would be tens of megabytes of transient
+  // allocation on the load path at archive scale.
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto bytes = reader.section(index::snapshot::SectionKind::kTermIds,
+                                      static_cast<std::uint32_t>(s));
+    for (std::size_t at = 0; at + sizeof(std::uint32_t) <= bytes.size();
+         at += sizeof(std::uint32_t)) {
+      std::uint32_t term;
+      std::memcpy(&term, bytes.data() + at, sizeof(term));
+      if (static_cast<std::size_t>(term) >= out.term_seen_.size()) {
+        out.term_seen_.resize(static_cast<std::size_t>(term) + 1, false);
+      }
+      if (!out.term_seen_[term]) {
+        out.term_seen_[term] = true;
+        ++out.nonempty_terms_;
+      }
+    }
+  }
+  out.size_ = docs;
+  if (out.nonempty_terms_ != reader.term_count()) {
+    throw SnapshotError("snapshot: rebuilt " +
+                        std::to_string(out.nonempty_terms_) +
+                        " distinct terms, header declares " +
+                        std::to_string(reader.term_count()));
+  }
+  return out;
+}
+
+ShardedIndex ShardedIndex::load(std::istream& in, TaskPool* pool) {
+  const index::snapshot::Reader reader(in);
+  return load(reader, pool);
 }
 
 void ShardedIndex::freeze() {

@@ -25,11 +25,13 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
 #include "exec/task_pool.hpp"
 #include "index/inverted_index.hpp"
+#include "index/snapshot.hpp"
 #include "vsm/sparse_vector.hpp"
 
 namespace fmeter::exec {
@@ -70,6 +72,29 @@ class ShardedIndex {
                  TaskPool* pool = nullptr);
   void add_batch(std::span<const vsm::SparseVector> docs,
                  TaskPool* pool = nullptr);
+
+  /// Appends every shard's forward-store sections to `writer` (the caller
+  /// owns the writer so it can add layers of its own — SignatureDatabase
+  /// adds a labels section — before finish()). The emitted bytes are
+  /// independent of the freeze state.
+  void save(index::snapshot::Writer& writer) const;
+  /// Convenience: a complete index-only snapshot on `out` (binary stream).
+  void save(std::ostream& out) const;
+
+  /// Restores an index from snapshot sections without touching the corpus:
+  /// per-shard rebuilds (re-add in public order + freeze) fan out onto
+  /// `pool` exactly like add_batch — TaskPool::shared() when null, inline
+  /// when the pool has no parallelism to offer or the archive is small —
+  /// and the term-occupancy bitmap is rebuilt from the term-id sections on
+  /// the calling thread. The loaded index is byte-for-byte the index
+  /// add_batch would build from the same documents. Throws
+  /// index::snapshot::SnapshotError on corruption, truncation, version or
+  /// endianness mismatch, or when the sections disagree with the header's
+  /// shard/doc/term counts; nothing partial escapes (the result is built
+  /// locally and returned by value only on success).
+  static ShardedIndex load(const index::snapshot::Reader& reader,
+                           TaskPool* pool = nullptr);
+  static ShardedIndex load(std::istream& in, TaskPool* pool = nullptr);
 
   /// Freezes every shard (see index::InvertedIndex::freeze()); queries are
   /// unchanged in results, faster in execution. Idempotent.

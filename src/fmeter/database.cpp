@@ -1,9 +1,15 @@
 #include "fmeter/database.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <limits>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 namespace fmeter::core {
 namespace {
@@ -77,9 +83,22 @@ std::size_t SignatureDatabase::add(vsm::SparseVector signature,
 
 std::size_t SignatureDatabase::add_batch(
     std::vector<vsm::SparseVector> signatures, std::vector<std::string> labels) {
+  // Validate the whole batch before touching any member: a rejected batch
+  // must leave the database exactly as it was, still usable (see the
+  // header's two-tier failure contract).
   if (signatures.size() != labels.size()) {
     throw std::invalid_argument(
         "add_batch: signatures and labels must align");
+  }
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    for (const double value : signatures[i].values()) {
+      if (!std::isfinite(value)) {
+        throw std::invalid_argument(
+            "add_batch: signature " + std::to_string(i) +
+            " carries a non-finite weight; rejecting the batch before any "
+            "mutation");
+      }
+    }
   }
   const std::size_t first = signatures_.size();
   syndrome_cache_.reset();
@@ -246,6 +265,129 @@ std::string SignatureDatabase::classify_by_syndrome(
   const exec::QueryEngine engine(cache.centroid_index);
   const auto hits = engine.run(query, 1, to_index_metric(metric), mode);
   return hits.empty() ? std::string() : cache.syndromes[hits[0].doc].label;
+}
+
+void SignatureDatabase::save(std::ostream& out) const {
+  index::snapshot::Writer writer(
+      static_cast<std::uint32_t>(index_.num_shards()), signatures_.size(),
+      index_.num_terms());
+  index_.save(writer);
+
+  // Labels section: u64 count, then { u32 length, bytes } per label, in id
+  // order. Labels are the only database state the index's forward store
+  // does not already hold (the signature vectors are its exact contents).
+  std::size_t bytes = sizeof(std::uint64_t);
+  for (const auto& label : labels_) {
+    bytes += sizeof(std::uint32_t) + label.size();
+  }
+  std::vector<std::byte> payload(bytes);
+  std::size_t at = 0;
+  const auto put = [&payload, &at](const void* data, std::size_t size) {
+    std::memcpy(payload.data() + at, data, size);
+    at += size;
+  };
+  const std::uint64_t count = labels_.size();
+  put(&count, sizeof(count));
+  for (const auto& label : labels_) {
+    const auto length = static_cast<std::uint32_t>(label.size());
+    put(&length, sizeof(length));
+    put(label.data(), label.size());
+  }
+  writer.add_section(index::snapshot::SectionKind::kLabels, 0,
+                     std::move(payload));
+  writer.finish(out);
+}
+
+void SignatureDatabase::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw index::snapshot::SnapshotError("snapshot: cannot open " + path +
+                                         " for writing");
+  }
+  save(out);
+}
+
+void SignatureDatabase::load(std::istream& in) {
+  using index::snapshot::SnapshotError;
+  const index::snapshot::Reader reader(in);
+
+  // Labels first: their count must agree with the header before any heavy
+  // decoding starts.
+  const auto label_bytes =
+      reader.section(index::snapshot::SectionKind::kLabels, 0);
+  std::size_t at = 0;
+  const auto take = [&label_bytes, &at](void* into, std::size_t size) {
+    if (at + size > label_bytes.size()) {
+      throw SnapshotError("snapshot: labels section ends mid-record");
+    }
+    std::memcpy(into, label_bytes.data() + at, size);
+    at += size;
+  };
+  std::uint64_t count = 0;
+  take(&count, sizeof(count));
+  if (count != reader.doc_count()) {
+    throw SnapshotError("snapshot: labels section holds " +
+                        std::to_string(count) + " labels for " +
+                        std::to_string(reader.doc_count()) + " documents");
+  }
+  std::vector<std::string> labels;
+  labels.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t length = 0;
+    take(&length, sizeof(length));
+    std::string label(length, '\0');
+    take(label.data(), length);
+    labels.push_back(std::move(label));
+  }
+  if (at != label_bytes.size()) {
+    throw SnapshotError("snapshot: labels section has trailing bytes");
+  }
+
+  // Decode every shard's documents and interleave them back into global id
+  // order (global g lives in shard g % N at local id g / N).
+  const std::size_t shards = reader.shard_count();
+  if (shards == 0) {
+    throw SnapshotError("snapshot: shard count must be at least 1");
+  }
+  std::vector<std::vector<vsm::SparseVector>> per_shard(shards);
+  std::size_t decoded = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    per_shard[s] = index::snapshot::read_shard_documents(
+        reader, static_cast<std::uint32_t>(s));
+    decoded += per_shard[s].size();
+  }
+  if (decoded != reader.doc_count()) {
+    throw SnapshotError("snapshot: sections hold " + std::to_string(decoded) +
+                        " documents, header declares " +
+                        std::to_string(reader.doc_count()));
+  }
+  std::vector<vsm::SparseVector> signatures;
+  signatures.reserve(decoded);
+  for (std::size_t g = 0; g < decoded; ++g) {
+    const std::size_t shard = g % shards;
+    const std::size_t local = g / shards;
+    if (local >= per_shard[shard].size()) {
+      throw SnapshotError("snapshot: shard " + std::to_string(shard) +
+                          " is short of its round-robin share");
+    }
+    signatures.push_back(std::move(per_shard[shard][local]));
+  }
+
+  // Rebuild through the normal parallel bulk-ingest path into a temporary,
+  // then swap — the strong guarantee, and the reason a loaded database is
+  // byte-for-byte a freshly bulk-built one (tokenize/tf-idf work is what
+  // disappeared, not the deterministic index build).
+  SignatureDatabase loaded(shards);
+  loaded.add_batch(std::move(signatures), std::move(labels));
+  *this = std::move(loaded);
+}
+
+void SignatureDatabase::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw index::snapshot::SnapshotError("snapshot: cannot open " + path);
+  }
+  load(in);
 }
 
 std::vector<std::size_t> SignatureDatabase::meta_cluster(

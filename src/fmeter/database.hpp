@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -92,10 +93,18 @@ class SignatureDatabase {
   /// query results as add() in a loop — but the per-shard index builds fan
   /// out onto the task pool and every shard is frozen into its contiguous
   /// posting arena afterwards (exec::ShardedIndex::add_batch). Returns the
-  /// id of the first inserted signature. Throws std::invalid_argument on
-  /// mismatched input sizes. Basic exception guarantee: a mid-batch
-  /// failure leaves the database unusable — bulk loads build fresh
-  /// databases, so discard and rebuild.
+  /// id of the first inserted signature.
+  ///
+  /// Failure contract, in two tiers: all *input validation* happens before
+  /// any mutation — mismatched signature/label counts and malformed
+  /// signatures (any non-finite weight, which would poison norms, per-term
+  /// bounds and every score they back) throw std::invalid_argument naming
+  /// the offending document while the database stays unchanged and fully
+  /// usable (strong guarantee). Only a failure *during* the build itself
+  /// (an allocation giving out mid-batch) degrades to the basic guarantee:
+  /// the shards disagree about the id stream and the database must be
+  /// discarded — bulk loads build fresh databases, so nothing incremental
+  /// is lost.
   std::size_t add_batch(std::vector<vsm::SparseVector> signatures,
                         std::vector<std::string> labels);
 
@@ -174,6 +183,29 @@ class SignatureDatabase {
   /// Returns, per syndrome, its meta-cluster index, aligned with syndromes().
   std::vector<std::size_t> meta_cluster(std::size_t k,
                                         std::uint64_t seed = 0x5eedULL) const;
+
+  /// Persists the whole database — every shard's forward store plus the
+  /// labels — as one versioned, checksummed binary snapshot (format:
+  /// index/snapshot.hpp). Signatures are *not* stored twice: the index's
+  /// forward store is the authoritative copy and the signature store is
+  /// rebuilt from it on load. The emitted bytes are independent of the
+  /// freeze state. Throws index::snapshot::SnapshotError on I/O failure.
+  void save(std::ostream& out) const;
+  void save(const std::string& path) const;
+
+  /// Restores a database from a snapshot without re-indexing the corpus:
+  /// labels and per-document sparse vectors are decoded from the sections,
+  /// then rebuilt through the parallel bulk-ingest path (add_batch), so
+  /// the loaded database is byte-for-byte the database a fresh bulk build
+  /// of the same documents would produce — searches in every mode
+  /// (kExact/kMaxScore/kAuto), at the snapshot's shard count, return
+  /// bit-identical results. Strong guarantee: the snapshot is validated
+  /// (header, version, endianness, per-section checksums) and loaded into
+  /// a temporary which replaces *this only on success; any
+  /// index::snapshot::SnapshotError leaves the current contents untouched
+  /// and usable.
+  void load(std::istream& in);
+  void load(const std::string& path);
 
   /// The sharded index backing search() (introspection / stats).
   const exec::ShardedIndex& index() const noexcept { return index_; }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <stdexcept>
 
 namespace fmeter::index {
 namespace {
@@ -87,6 +88,17 @@ InvertedIndex::DocId InvertedIndex::add(const vsm::SparseVector& doc) {
   const auto id = static_cast<DocId>(norms_.size());
   const auto indices = doc.indices();
   const auto values = doc.values();
+  // A non-finite weight would poison this document's cached norm, its
+  // terms' max/min bounds and every score computed against them — and
+  // produce a forward store the snapshot loader rightly rejects. Refuse it
+  // here, before any mutation, so every ingest path (scalar add, bulk
+  // add_batch, snapshot load) enforces one invariant.
+  for (const double value : values) {
+    if (!std::isfinite(value)) {
+      throw std::invalid_argument(
+          "InvertedIndex::add: document carries a non-finite weight");
+    }
+  }
   // Transactional: a doc id only becomes visible via the final norms_ push,
   // so a mid-add allocation failure must not leave stray postings behind
   // (top_k sizes its accumulator by norms_ and would index past it). All
@@ -566,6 +578,7 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
 
   std::size_t visited = 0;
   std::size_t blocks_skipped = 0;
+  std::size_t forward_gathers = 0;
   // Set when a block with surviving docs was skipped on its weight bound:
   // those survivors' accumulators then understate their true partial dot
   // (by non-positive contributions only — bounds stay conservative), so the
@@ -973,6 +986,7 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
               });
     for (const auto& [bound, d] : by_bound) {
       if (heap.size() == top && bound < heap.top().score) break;
+      ++forward_gathers;
       heap_offer(heap, top, IndexHit{public_of(d), exact_score(d)});
     }
   } else {
@@ -994,6 +1008,7 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
     stats->docs_pruned += n - alive.size();
     stats->postings_visited += visited;
     stats->blocks_skipped += blocks_skipped;
+    stats->forward_gathers += forward_gathers;
   }
   return drain_heap(heap);
 }

@@ -109,6 +109,11 @@
 
 namespace fmeter::index {
 
+namespace snapshot {
+class Reader;
+class Writer;
+}  // namespace snapshot
+
 /// Ranking metric. Mirrors core::SimilarityMetric; kept separate so the
 /// index layer does not depend on fmeter_core (which sits above it).
 enum class Metric { kCosine, kEuclidean };
@@ -147,12 +152,19 @@ struct PruneStats {
   std::size_t docs_pruned = 0;     ///< documents discarded by an upper bound
   std::size_t postings_visited = 0;  ///< posting-list entries touched
   std::size_t blocks_skipped = 0;  ///< frozen blocks bypassed wholesale
+  /// Documents the candidate-mode finish fetched from the forward store
+  /// (the gather that replaces walking the abandoned posting lists — the
+  /// cost the candidate-switch model prices). Threshold-bootstrap
+  /// re-scores are not counted: they are bounded per theta raise, not part
+  /// of the candidate gather. Always ≤ docs_scored; 0 on the exact path.
+  std::size_t forward_gathers = 0;
 
   PruneStats& operator+=(const PruneStats& other) noexcept {
     docs_scored += other.docs_scored;
     docs_pruned += other.docs_pruned;
     postings_visited += other.postings_visited;
     blocks_skipped += other.blocks_skipped;
+    forward_gathers += other.forward_gathers;
     return *this;
   }
 };
@@ -208,7 +220,9 @@ class InvertedIndex {
   /// tail (posting lists stay sorted by doc id because ids only grow), and
   /// the per-term max/min weight bounds used by top_k_pruned() are updated
   /// in place, so pruned queries stay correct after any interleaving of
-  /// add(), freeze() and query calls.
+  /// add(), freeze() and query calls. Throws std::invalid_argument on a
+  /// non-finite weight (before any mutation): it would poison the cached
+  /// norms and bounds, and make a saved snapshot of this index unloadable.
   DocId add(const vsm::SparseVector& doc);
 
   /// Compacts every posting (arena + tail) into the frozen struct-of-arrays
@@ -308,6 +322,21 @@ class InvertedIndex {
                                      TopKScratch* scratch = nullptr,
                                      double seed_score = kNoSeed,
                                      PruneStats* stats = nullptr) const;
+
+  /// Appends this index's forward store to a snapshot as the per-shard
+  /// offsets / term-id / weight sections (see snapshot.hpp for the format).
+  /// Documents are written in *public* id order, so the emitted bytes are
+  /// identical in every freeze state — the arena permutation never leaks
+  /// into the file.
+  void save(snapshot::Writer& writer, std::uint32_t shard) const;
+
+  /// Rebuilds one shard from its snapshot sections: re-adds every document
+  /// in public order and freezes, so the loaded index is byte-for-byte the
+  /// index a fresh sequential (or bulk-parallel) build of the same
+  /// documents would produce — all query contracts transfer. Throws
+  /// snapshot::SnapshotError on any corruption or validation failure.
+  static InvertedIndex load(const snapshot::Reader& reader,
+                            std::uint32_t shard);
 
  private:
   struct Posting {

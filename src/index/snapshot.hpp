@@ -1,0 +1,185 @@
+// Versioned binary snapshot container for the index layer (ROADMAP:
+// persistence so a rebuilt server does not re-index the archive).
+//
+// Design: the *forward store* is the serialization substrate. freeze()
+// already rebuilds every derived structure — posting arena, block-max
+// metadata, doc-reordering permutation, per-term bounds — deterministically
+// from the forward store, so a snapshot only has to persist what cannot be
+// recomputed: each shard's per-document (term, weight) pairs in public id
+// order, plus (for a database snapshot) the labels. A loader re-adds the
+// documents and re-freezes, which makes the loaded index byte-for-byte the
+// index a fresh bulk build (add_batch) would produce — every query contract
+// (exact bit-identity, pruned 1e-9, any mode, any shard count) transfers to
+// snapshots with no new equivalence proofs.
+//
+// File layout (version 1, all integers in the writing host's byte order —
+// the endianness tag below makes a foreign-endian file a clean error, not
+// silent garbage):
+//
+//   magic            8 bytes  "FMETSNAP"
+//   version          u32      kFormatVersion (readers reject others)
+//   endianness tag   u32      kEndianTag as written by the producing host
+//   shard count      u32
+//   section count    u32
+//   doc count        u64      documents across all shards
+//   term count       u64      distinct terms (cross-checked after load)
+//   directory        section count × { kind u32, shard u32,
+//                                       byte length u64, checksum u64 }
+//   header checksum  u64      FNV-1a over everything above
+//   section payloads, back to back, in directory order
+//
+// Sections (one offsets/terms/weights triple per shard, labels once):
+//   kForwardOffsets  u64 × (shard docs + 1): doc d's pairs live at
+//                    [offsets[d], offsets[d+1]) in the two streams below
+//   kTermIds         u32 × postings, strictly increasing within a doc
+//   kWeights         f64 × postings, parallel to kTermIds
+//   kLabels          u64 label count, then per label { u32 length, bytes }
+//
+// Corruption behavior: every failure mode — truncation, flipped bytes in
+// any section, wrong version, foreign endianness, zero-length file —
+// throws SnapshotError with a diagnostic message. The header checksum
+// covers the directory, so a corrupted length/checksum entry cannot
+// misdirect section parsing; per-section checksums catch payload damage.
+// Writers buffer nothing twice: checksums are computed over the in-memory
+// arrays before the single sequential write pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::index::snapshot {
+
+/// Every snapshot failure — I/O, truncation, corruption, version or
+/// endianness mismatch, semantic validation — surfaces as this type so
+/// callers can guarantee "load failed cleanly, target untouched" with one
+/// catch.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kMagic[8] = {'F', 'M', 'E', 'T', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Written in native order; a foreign-endian reader sees the byte-swapped
+/// value and reports an endianness mismatch instead of misparsing counts.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+enum class SectionKind : std::uint32_t {
+  kForwardOffsets = 1,
+  kTermIds = 2,
+  kWeights = 3,
+  kLabels = 4,
+};
+
+const char* section_kind_name(SectionKind kind) noexcept;
+
+/// FNV-1a 64-bit — the per-section and header checksum. Not cryptographic;
+/// its job is detecting truncation and bit rot, which it does per byte.
+std::uint64_t fnv1a(std::span<const std::byte> bytes) noexcept;
+
+/// Collects sections (owning their payload bytes), then emits the whole
+/// file in one sequential pass — no seeking, so any std::ostream works
+/// (files, stringstreams in tests).
+class Writer {
+ public:
+  Writer(std::uint32_t shard_count, std::uint64_t doc_count,
+         std::uint64_t term_count);
+
+  /// Appends one section. Payload bytes are moved in and written verbatim.
+  void add_section(SectionKind kind, std::uint32_t shard,
+                   std::vector<std::byte> payload);
+
+  /// Typed convenience: copies `data`'s object representation into a
+  /// payload (the arrays serialized here are trivially copyable scalars).
+  template <typename T>
+  void add_section(SectionKind kind, std::uint32_t shard,
+                   std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> payload(data.size_bytes());
+    if (!data.empty()) {
+      std::memcpy(payload.data(), data.data(), data.size_bytes());
+    }
+    add_section(kind, shard, std::move(payload));
+  }
+
+  /// Writes header + directory + payloads. Throws SnapshotError on stream
+  /// failure. The writer is spent afterwards.
+  void finish(std::ostream& out);
+
+ private:
+  struct Section {
+    SectionKind kind;
+    std::uint32_t shard;
+    std::vector<std::byte> payload;
+    std::uint64_t checksum;
+  };
+  std::uint32_t shard_count_;
+  std::uint64_t doc_count_;
+  std::uint64_t term_count_;
+  std::vector<Section> sections_;
+};
+
+/// Parses and fully validates a snapshot stream up front: magic, version,
+/// endianness, header checksum, section sizes against the payload actually
+/// present, and every per-section checksum. After construction, sections
+/// are in-memory byte spans — corruption can no longer surface mid-load,
+/// which is what lets callers build into a temporary and swap on success.
+class Reader {
+ public:
+  explicit Reader(std::istream& in);
+
+  std::uint32_t shard_count() const noexcept { return shard_count_; }
+  std::uint64_t doc_count() const noexcept { return doc_count_; }
+  std::uint64_t term_count() const noexcept { return term_count_; }
+
+  bool has_section(SectionKind kind, std::uint32_t shard) const noexcept;
+  /// Throws SnapshotError when the section is absent.
+  std::span<const std::byte> section(SectionKind kind,
+                                     std::uint32_t shard) const;
+
+  /// Typed view of a section payload; throws SnapshotError when the byte
+  /// length is not a multiple of sizeof(T).
+  template <typename T>
+  std::vector<T> section_as(SectionKind kind, std::uint32_t shard) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto bytes = section(kind, shard);
+    if (bytes.size() % sizeof(T) != 0) {
+      throw SnapshotError(std::string("snapshot: section ") +
+                          section_kind_name(kind) +
+                          " byte length is not a whole number of elements");
+    }
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+ private:
+  struct Section {
+    SectionKind kind;
+    std::uint32_t shard;
+    std::vector<std::byte> payload;
+  };
+  std::uint32_t shard_count_ = 0;
+  std::uint64_t doc_count_ = 0;
+  std::uint64_t term_count_ = 0;
+  std::vector<Section> sections_;
+};
+
+/// Decodes one shard's (offsets, term ids, weights) sections back into
+/// per-document sparse vectors in public id order, validating structure:
+/// offsets start at 0 and never decrease, both streams match the final
+/// offset, term ids are strictly increasing within a document, and every
+/// weight is finite. Shared by InvertedIndex::load (re-add + freeze) and
+/// SignatureDatabase::load (which also rebuilds its signature store).
+std::vector<vsm::SparseVector> read_shard_documents(const Reader& reader,
+                                                    std::uint32_t shard);
+
+}  // namespace fmeter::index::snapshot

@@ -35,6 +35,26 @@ SparseVector SparseVector::from_entries(std::vector<Entry> entries) {
   return v;
 }
 
+SparseVector SparseVector::from_sorted(std::vector<Index> indices,
+                                       std::vector<double> values) {
+  if (indices.size() != values.size()) {
+    throw std::invalid_argument("from_sorted: index/value arrays must align");
+  }
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i > 0 && indices[i] <= indices[i - 1]) {
+      throw std::invalid_argument(
+          "from_sorted: indices must be strictly increasing");
+    }
+    if (values[i] == 0.0) {
+      throw std::invalid_argument("from_sorted: zero values are not stored");
+    }
+  }
+  SparseVector v;
+  v.indices_ = std::move(indices);
+  v.values_ = std::move(values);
+  return v;
+}
+
 SparseVector SparseVector::from_dense(std::span<const double> dense) {
   SparseVector v;
   for (std::size_t i = 0; i < dense.size(); ++i) {

@@ -28,6 +28,15 @@ class SparseVector {
   /// zero-valued entries are dropped.
   static SparseVector from_entries(std::vector<Entry> entries);
 
+  /// Builds from parallel arrays that already satisfy the class invariant —
+  /// strictly increasing indices, no zero values. The fast path for loaders
+  /// (index snapshots) whose input is validated upfront: no sort, no
+  /// AoS round trip, the arrays are adopted as-is. Throws
+  /// std::invalid_argument when the invariant does not actually hold (one
+  /// cheap pass — still far cheaper than from_entries).
+  static SparseVector from_sorted(std::vector<Index> indices,
+                                  std::vector<double> values);
+
   /// Builds from a dense vector, dropping zeros.
   static SparseVector from_dense(std::span<const double> dense);
 

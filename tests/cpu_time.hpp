@@ -4,14 +4,17 @@
 // with a wall clock makes those assertions flake whenever another process
 // steals the core mid-measurement (parallel ctest, a benchmark, CI noise);
 // process CPU time is immune to that.
+//
+// The clock itself lives in util/cpu_time.hpp — one implementation shared
+// with bench_common.hpp so the tests and the benches can never measure
+// with subtly different clocks. This header only keeps the historical
+// fmeter::testing spelling alive for the tracer tests.
 #pragma once
 
-#include <ctime>
+#include "util/cpu_time.hpp"
 
 namespace fmeter::testing {
 
-inline double cpu_seconds() {
-  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
-}
+using util::cpu_seconds;
 
 }  // namespace fmeter::testing

@@ -1,0 +1,76 @@
+// Unit test for the consolidated per-process CPU clock
+// (util/cpu_time.hpp) that the hardened tracer-overhead tests and
+// bench_common's time_op_cpu_us both measure with. Pins down the two
+// properties those users rely on: the clock never goes backwards, and it
+// charges CPU *work*, not wall time — a sleeping process accrues almost
+// none of it while a busy loop accrues it at roughly wall speed.
+#include <gtest/gtest.h>
+
+#include <ctime>
+
+#include "cpu_time.hpp"
+#include "util/cpu_time.hpp"
+
+namespace fmeter::util {
+namespace {
+
+/// Burns CPU for roughly `seconds` of process time; returns a value the
+/// optimizer must keep so the loop cannot be elided.
+double burn_cpu_for(double seconds) {
+  volatile double sink = 1.0;
+  const double start = cpu_seconds();
+  while (cpu_seconds() - start < seconds) {
+    for (int i = 0; i < 1000; ++i) sink = sink * 1.0000001 + 1e-9;
+  }
+  return sink;
+}
+
+TEST(CpuTime, MonotonicNonDecreasing) {
+  double last = cpu_seconds();
+  EXPECT_GE(last, 0.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double now = cpu_seconds();
+    ASSERT_GE(now, last) << "iteration " << i;
+    last = now;
+  }
+}
+
+TEST(CpuTime, BusyWorkAdvancesTheClock) {
+  const double start = cpu_seconds();
+  burn_cpu_for(0.02);
+  EXPECT_GE(cpu_seconds() - start, 0.02);
+}
+
+TEST(CpuTime, SleepBarelyAdvancesTheClock) {
+  // Per-process, not wall-clock: 80ms of nanosleep must cost well under
+  // half of that in CPU time (in practice microseconds; the generous bound
+  // keeps the assertion robust on noisy shared machines).
+  const double start = cpu_seconds();
+  timespec request{};
+  request.tv_sec = 0;
+  request.tv_nsec = 80 * 1000 * 1000;
+  nanosleep(&request, nullptr);
+  EXPECT_LT(cpu_seconds() - start, 0.040);
+}
+
+TEST(CpuTime, MicrosAgreesWithSeconds) {
+  const double s0 = cpu_seconds();
+  const double us = cpu_micros();
+  const double s1 = cpu_seconds();
+  EXPECT_GE(us, s0 * 1e6);
+  EXPECT_LE(us, s1 * 1e6);
+}
+
+TEST(CpuTime, TestingAliasIsTheSameClock) {
+  // tests/cpu_time.hpp must forward to this implementation, not keep a
+  // second clock that can drift: the alias must interleave monotonically
+  // with the util spelling.
+  const double a = testing::cpu_seconds();
+  const double b = cpu_seconds();
+  const double c = testing::cpu_seconds();
+  EXPECT_LE(a, b);
+  EXPECT_LE(b, c);
+}
+
+}  // namespace
+}  // namespace fmeter::util

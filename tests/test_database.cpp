@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace fmeter::core {
 namespace {
 
@@ -142,6 +144,98 @@ TEST(SignatureDatabase, MetaClusterTooFewSyndromesThrows) {
   SignatureDatabase db;
   db.add(vec({{0, 1.0}}), "only");
   EXPECT_THROW(db.meta_cluster(2), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// add_batch failure atomicity (the tightened contract: *validation*
+// failures — mismatched sizes, malformed signatures — happen before any
+// mutation, so the database stays unchanged and fully usable).
+// ---------------------------------------------------------------------------
+
+/// Asserts the database still holds exactly the three-class contents and
+/// answers queries identically to a freshly built copy.
+void expect_three_class_db_intact(SignatureDatabase& db,
+                                  const std::string& context) {
+  const SignatureDatabase reference = three_class_db();
+  ASSERT_EQ(db.size(), reference.size()) << context;
+  for (std::size_t id = 0; id < reference.size(); ++id) {
+    EXPECT_EQ(db.label(id), reference.label(id)) << context;
+    EXPECT_TRUE(db.signature(id) == reference.signature(id)) << context;
+  }
+  const auto query = vec({{0, 1.0}, {1, 0.2}});
+  const auto got = db.search(query, 3);
+  const auto want = reference.search(query, 3);
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(got[r].id, want[r].id) << context;
+    EXPECT_EQ(got[r].score, want[r].score) << context;
+  }
+  // Still accepts new work after the failure.
+  db.add(vec({{7, 1.0}}), "after");
+  EXPECT_EQ(db.size(), reference.size() + 1) << context;
+  EXPECT_EQ(db.search(vec({{7, 1.0}}), 1)[0].label, "after") << context;
+}
+
+TEST(SignatureDatabase, AddBatchSizeMismatchLeavesDatabaseUntouched) {
+  auto db = three_class_db();
+  EXPECT_THROW(db.add_batch({vec({{0, 1.0}}), vec({{1, 1.0}})}, {"x"}),
+               std::invalid_argument);
+  expect_three_class_db_intact(db, "size mismatch");
+}
+
+TEST(SignatureDatabase, AddBatchMalformedSignatureMidBatchLeavesDatabaseUntouched) {
+  // A NaN/Inf weight mid-batch would poison the norms and per-term bounds
+  // every search relies on; the batch is rejected up front instead, naming
+  // the offender, with nothing mutated — including the entries *before*
+  // the malformed one.
+  const auto nan_doc = vsm::SparseVector::from_entries(
+      {{3, std::numeric_limits<double>::quiet_NaN()}});
+  const auto inf_doc = vsm::SparseVector::from_entries(
+      {{4, std::numeric_limits<double>::infinity()}});
+  for (const auto& bad : {nan_doc, inf_doc}) {
+    auto db = three_class_db();
+    std::vector<vsm::SparseVector> batch = {vec({{0, 1.0}}), bad,
+                                            vec({{1, 1.0}})};
+    std::vector<std::string> labels = {"ok", "bad", "ok"};
+    try {
+      db.add_batch(std::move(batch), std::move(labels));
+      FAIL() << "malformed batch accepted";
+    } catch (const std::invalid_argument& error) {
+      // The diagnostic names the offending batch position.
+      EXPECT_NE(std::string(error.what()).find("signature 1"),
+                std::string::npos)
+          << error.what();
+    }
+    expect_three_class_db_intact(db, "malformed signature");
+  }
+}
+
+TEST(SignatureDatabase, ScalarAddRejectsNonFiniteWeightsLikeAddBatch) {
+  // add() and add_batch() enforce the same invariant: otherwise a database
+  // built by scalar adds could save() a snapshot its own load() refuses.
+  auto db = three_class_db();
+  EXPECT_THROW(db.add(vsm::SparseVector::from_entries(
+                          {{3, std::numeric_limits<double>::quiet_NaN()}}),
+                      "bad"),
+               std::invalid_argument);
+  EXPECT_THROW(db.add(vsm::SparseVector::from_entries(
+                          {{3, std::numeric_limits<double>::infinity()}}),
+                      "bad"),
+               std::invalid_argument);
+  expect_three_class_db_intact(db, "scalar add of non-finite weight");
+}
+
+TEST(SignatureDatabase, AddBatchValidBatchAfterRejectedOneWorks) {
+  auto db = three_class_db();
+  EXPECT_THROW(db.add_batch({vsm::SparseVector::from_entries(
+                                {{2, std::numeric_limits<double>::quiet_NaN()}})},
+                            {"bad"}),
+               std::invalid_argument);
+  const std::size_t first =
+      db.add_batch({vec({{8, 1.0}}), vec({{9, 1.0}})}, {"d", "e"});
+  EXPECT_EQ(first, 6u);
+  EXPECT_EQ(db.size(), 8u);
+  EXPECT_EQ(db.search(vec({{9, 1.0}}), 1)[0].label, "e");
 }
 
 }  // namespace

@@ -1,0 +1,625 @@
+// Snapshot persistence battery: round-trip bit-identity, corruption
+// rejection, durability.
+//
+// The contract under test (index/snapshot.hpp): a saved archive restores
+// without re-indexing into a database byte-for-byte equal to a fresh bulk
+// build of the same documents — searches in every mode (kExact/kMaxScore/
+// kAuto), at any shard count, from any freeze state of the source, return
+// bit-identical results — and every corrupted input (truncated files,
+// flipped bytes in each region, wrong version, foreign endianness,
+// zero-length files) fails with a diagnostic SnapshotError that leaves the
+// load target untouched and usable (strong guarantee). The parallel-load
+// test runs under the TSan CI job (per-shard re-freeze fan-out).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/query_engine.hpp"
+#include "exec/sharded_index.hpp"
+#include "exec/task_pool.hpp"
+#include "fmeter/database.hpp"
+#include "index/inverted_index.hpp"
+#include "index/snapshot.hpp"
+#include "util/rng.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::core {
+namespace {
+
+namespace snap = index::snapshot;
+
+constexpr std::size_t kShardCounts[] = {1, 2, 5};
+
+vsm::SparseVector random_sparse(util::Rng& rng, std::uint32_t dimension,
+                                std::size_t max_nnz,
+                                bool allow_negative = false) {
+  std::vector<vsm::SparseVector::Entry> entries;
+  const std::size_t nnz = rng.below(max_nnz + 1);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    const auto term =
+        static_cast<vsm::SparseVector::Index>(rng.below(dimension));
+    double value = rng.uniform(0.05, 1.0);
+    if (allow_negative && rng.bernoulli(0.3)) value = -value;
+    entries.emplace_back(term, value);
+  }
+  return vsm::SparseVector::from_entries(std::move(entries));
+}
+
+/// A labeled corpus with duplicate labels and some duplicate documents —
+/// the shapes an operator archive actually has.
+struct TestCorpus {
+  std::vector<vsm::SparseVector> signatures;
+  std::vector<std::string> labels;
+};
+
+TestCorpus make_corpus(std::uint64_t seed, std::size_t docs,
+                       std::uint32_t dimension = 96, std::size_t max_nnz = 12) {
+  util::Rng rng(seed);
+  TestCorpus corpus;
+  for (std::size_t i = 0; i < docs; ++i) {
+    if (i > 2 && rng.bernoulli(0.1)) {
+      corpus.signatures.push_back(corpus.signatures[i - 2]);  // duplicate doc
+    } else {
+      corpus.signatures.push_back(
+          random_sparse(rng, dimension, max_nnz, /*allow_negative=*/true));
+    }
+    corpus.labels.push_back("class-" + std::to_string(i % 3));
+  }
+  return corpus;
+}
+
+SignatureDatabase build_bulk(const TestCorpus& corpus, std::size_t shards) {
+  SignatureDatabase db(shards);
+  db.add_batch(corpus.signatures, corpus.labels);
+  return db;
+}
+
+std::string save_to_string(const SignatureDatabase& db) {
+  std::ostringstream out;
+  db.save(out);
+  return out.str();
+}
+
+SignatureDatabase load_from_string(const std::string& bytes,
+                                   std::size_t shards_hint = 1) {
+  SignatureDatabase db(shards_hint);
+  std::istringstream in(bytes);
+  db.load(in);
+  return db;
+}
+
+/// Bit-identical hits: same ids, same labels, scores equal to the last bit.
+void expect_hits_identical(const std::vector<SearchHit>& got,
+                           const std::vector<SearchHit>& want,
+                           const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(got[r].id, want[r].id) << context << " rank " << r;
+    EXPECT_EQ(got[r].label, want[r].label) << context << " rank " << r;
+    EXPECT_EQ(got[r].score, want[r].score) << context << " rank " << r;
+  }
+}
+
+/// Full-state equality plus bit-identical searches in every execution mode.
+void expect_databases_equivalent(const SignatureDatabase& loaded,
+                                 const SignatureDatabase& reference,
+                                 std::uint64_t query_seed,
+                                 const std::string& context) {
+  ASSERT_EQ(loaded.size(), reference.size()) << context;
+  ASSERT_EQ(loaded.num_shards(), reference.num_shards()) << context;
+  EXPECT_EQ(loaded.index().num_terms(), reference.index().num_terms())
+      << context;
+  EXPECT_EQ(loaded.index().num_postings(), reference.index().num_postings())
+      << context;
+  EXPECT_TRUE(loaded.index().frozen()) << context;
+  for (std::size_t id = 0; id < reference.size(); ++id) {
+    ASSERT_EQ(loaded.label(id), reference.label(id)) << context << " id " << id;
+    ASSERT_TRUE(loaded.signature(id) == reference.signature(id))
+        << context << " id " << id;
+  }
+  util::Rng rng(query_seed);
+  for (int q = 0; q < 6; ++q) {
+    const auto query = random_sparse(rng, 96, 12, /*allow_negative=*/true);
+    for (const auto metric :
+         {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
+      for (const auto mode : {PruningMode::kExact, PruningMode::kMaxScore,
+                              PruningMode::kAuto}) {
+        const std::size_t k = 1 + static_cast<std::size_t>(q);
+        expect_hits_identical(
+            loaded.search(query, k, metric, ScanPolicy::kIndexed, mode),
+            reference.search(query, k, metric, ScanPolicy::kIndexed, mode),
+            context + " query " + std::to_string(q));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(IndexSnapshot, RoundTripBitIdenticalAcrossShardCountsAndModes) {
+  const TestCorpus corpus = make_corpus(0x5a41, 120);
+  for (const std::size_t shards : kShardCounts) {
+    const SignatureDatabase original = build_bulk(corpus, shards);
+    const std::string bytes = save_to_string(original);
+    const SignatureDatabase loaded = load_from_string(bytes);
+    expect_databases_equivalent(loaded, original, 0x9e1 + shards,
+                                std::to_string(shards) + " shards");
+    // And against the brute-force golden reference, closing the loop all
+    // the way to the scan.
+    util::Rng rng(0x77);
+    const auto query = random_sparse(rng, 96, 12, true);
+    expect_hits_identical(
+        loaded.search(query, 5, SimilarityMetric::kCosine,
+                      ScanPolicy::kIndexed, PruningMode::kExact),
+        loaded.search(query, 5, SimilarityMetric::kCosine,
+                      ScanPolicy::kBruteForce),
+        "vs scan, " + std::to_string(shards) + " shards");
+  }
+}
+
+TEST(IndexSnapshot, SavedBytesIndependentOfFreezeState) {
+  // The forward image is written in public id order, so never-frozen,
+  // fully-frozen and frozen-plus-tail sources of the same documents emit
+  // byte-for-byte the same snapshot — and all of them restore to the same
+  // (frozen, bulk-build-equal) database.
+  const TestCorpus corpus = make_corpus(0xf0e, 90);
+  const std::size_t cut = 60;  // the tail split for the frozen+tail state
+  for (const std::size_t shards : kShardCounts) {
+    SignatureDatabase never_frozen(shards);
+    SignatureDatabase fully_frozen(shards);
+    SignatureDatabase frozen_tail(shards);
+    for (std::size_t i = 0; i < corpus.signatures.size(); ++i) {
+      never_frozen.add(corpus.signatures[i], corpus.labels[i]);
+      fully_frozen.add(corpus.signatures[i], corpus.labels[i]);
+      frozen_tail.add(corpus.signatures[i], corpus.labels[i]);
+      if (i + 1 == cut) frozen_tail.freeze();
+    }
+    fully_frozen.freeze();
+    ASSERT_TRUE(fully_frozen.index().frozen());
+    ASSERT_FALSE(never_frozen.index().frozen());
+    ASSERT_FALSE(frozen_tail.index().frozen());
+
+    const std::string bytes = save_to_string(never_frozen);
+    EXPECT_EQ(save_to_string(fully_frozen), bytes)
+        << shards << " shards: frozen vs unfrozen bytes";
+    EXPECT_EQ(save_to_string(frozen_tail), bytes)
+        << shards << " shards: frozen+tail vs unfrozen bytes";
+
+    const SignatureDatabase reference = build_bulk(corpus, shards);
+    expect_databases_equivalent(load_from_string(bytes), reference,
+                                0xabc + shards,
+                                std::to_string(shards) + " shards, any state");
+  }
+}
+
+TEST(IndexSnapshot, DegenerateCorporaRoundTrip) {
+  // Empty database.
+  for (const std::size_t shards : kShardCounts) {
+    SignatureDatabase empty(shards);
+    const SignatureDatabase loaded = load_from_string(save_to_string(empty));
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_EQ(loaded.num_shards(), shards);
+    util::Rng rng(1);
+    EXPECT_TRUE(loaded
+                    .search(random_sparse(rng, 16, 4), 3,
+                            SimilarityMetric::kCosine)
+                    .empty());
+  }
+
+  // One document; empty label; label with spaces/newlines (the binary
+  // format has no separator restrictions, unlike the text corpus format).
+  SignatureDatabase one(2);
+  util::Rng rng(0xd0c);
+  one.add(random_sparse(rng, 32, 6), "label with spaces\nand a newline");
+  const SignatureDatabase loaded_one = load_from_string(save_to_string(one));
+  ASSERT_EQ(loaded_one.size(), 1u);
+  EXPECT_EQ(loaded_one.label(0), "label with spaces\nand a newline");
+  EXPECT_TRUE(loaded_one.signature(0) == one.signature(0));
+
+  // Every label identical, every document identical (maximal duplication).
+  TestCorpus dup;
+  const auto doc = random_sparse(rng, 32, 6);
+  for (int i = 0; i < 20; ++i) {
+    dup.signatures.push_back(doc);
+    dup.labels.push_back("same");
+  }
+  for (const std::size_t shards : kShardCounts) {
+    const SignatureDatabase reference = build_bulk(dup, shards);
+    expect_databases_equivalent(load_from_string(save_to_string(reference)),
+                                reference, 0x11 + shards,
+                                "duplicates, " + std::to_string(shards));
+  }
+
+  // A document that is the empty vector (zero signature) survives too.
+  TestCorpus with_empty = make_corpus(0xe0, 10);
+  with_empty.signatures[4] = vsm::SparseVector();
+  const SignatureDatabase reference = build_bulk(with_empty, 2);
+  expect_databases_equivalent(load_from_string(save_to_string(reference)),
+                              reference, 0x2222, "empty doc");
+}
+
+TEST(IndexSnapshot, ShardedIndexRoundTripWithoutLabels) {
+  // The exec-layer API: an index-only snapshot (no labels section).
+  util::Rng rng(0x1d8);
+  for (const std::size_t shards : kShardCounts) {
+    exec::ShardedIndex original(shards);
+    for (int i = 0; i < 150; ++i) {
+      original.add(random_sparse(rng, 64, 10, /*allow_negative=*/true));
+    }
+
+    std::ostringstream out;
+    original.save(out);
+    std::istringstream in(out.str());
+    const exec::ShardedIndex loaded = exec::ShardedIndex::load(in);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.num_shards(), original.num_shards());
+    EXPECT_EQ(loaded.num_terms(), original.num_terms());
+    EXPECT_EQ(loaded.num_postings(), original.num_postings());
+    EXPECT_TRUE(loaded.frozen());
+
+    const exec::QueryEngine original_engine(original);
+    const exec::QueryEngine loaded_engine(loaded);
+    for (int q = 0; q < 5; ++q) {
+      const auto query = random_sparse(rng, 64, 10, true);
+      for (const auto metric :
+           {index::Metric::kCosine, index::Metric::kEuclidean}) {
+        const auto want = original_engine.run(query, 7, metric);
+        const auto got = loaded_engine.run(query, 7, metric);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t r = 0; r < want.size(); ++r) {
+          EXPECT_EQ(got[r].doc, want[r].doc) << "rank " << r;
+          EXPECT_EQ(got[r].score, want[r].score) << "rank " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(IndexSnapshot, InvertedIndexSectionsRoundTrip) {
+  // The index-layer primitive the higher layers are built from.
+  util::Rng rng(0x90);
+  index::InvertedIndex original;
+  for (int i = 0; i < 80; ++i) {
+    original.add(random_sparse(rng, 48, 8, /*allow_negative=*/true));
+  }
+  original.freeze();
+  for (int i = 0; i < 10; ++i) {  // leave an unfrozen tail
+    original.add(random_sparse(rng, 48, 8, true));
+  }
+
+  snap::Writer writer(1, original.size(), original.num_terms());
+  original.save(writer, 0);
+  std::ostringstream out;
+  writer.finish(out);
+
+  std::istringstream in(out.str());
+  const snap::Reader reader(in);
+  const index::InvertedIndex loaded = index::InvertedIndex::load(reader, 0);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.num_terms(), original.num_terms());
+  EXPECT_EQ(loaded.num_postings(), original.num_postings());
+  EXPECT_TRUE(loaded.frozen());
+  for (int q = 0; q < 8; ++q) {
+    const auto query = random_sparse(rng, 48, 8, true);
+    const auto want = original.top_k(query, 5);
+    const auto got = loaded.top_k(query, 5);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t r = 0; r < want.size(); ++r) {
+      EXPECT_EQ(got[r].doc, want[r].doc);
+      EXPECT_EQ(got[r].score, want[r].score);
+    }
+  }
+}
+
+TEST(IndexSnapshot, ParallelLoadMatchesInlineLoadDeterministically) {
+  // 6000 docs clears the parallel-build cutoff, so ShardedIndex::load fans
+  // per-shard re-freezes onto the pool — the configuration the TSan CI job
+  // exercises. Loaded twice in parallel and once inline, all three must be
+  // identical.
+  util::Rng rng(0x6000);
+  std::vector<vsm::SparseVector> docs;
+  for (int i = 0; i < 6000; ++i) docs.push_back(random_sparse(rng, 64, 10));
+
+  exec::ShardedIndex original(4);
+  for (const auto& doc : docs) original.add(doc);
+  std::ostringstream out;
+  original.save(out);
+  const std::string bytes = out.str();
+
+  std::istringstream inline_in(bytes);
+  const exec::ShardedIndex inline_loaded = exec::ShardedIndex::load(inline_in);
+
+  exec::TaskPool pool(3);
+  for (int run = 0; run < 2; ++run) {
+    std::istringstream in(bytes);
+    const exec::ShardedIndex parallel = exec::ShardedIndex::load(in, &pool);
+    ASSERT_EQ(parallel.size(), inline_loaded.size()) << "run " << run;
+    EXPECT_TRUE(parallel.frozen()) << "run " << run;
+    EXPECT_EQ(parallel.num_terms(), inline_loaded.num_terms()) << "run " << run;
+    EXPECT_EQ(parallel.num_postings(), inline_loaded.num_postings())
+        << "run " << run;
+    const auto want_stats = inline_loaded.shard_stats();
+    const auto got_stats = parallel.shard_stats();
+    ASSERT_EQ(got_stats.size(), want_stats.size());
+    for (std::size_t s = 0; s < want_stats.size(); ++s) {
+      EXPECT_EQ(got_stats[s].docs, want_stats[s].docs) << "shard " << s;
+      EXPECT_EQ(got_stats[s].frozen_docs, want_stats[s].frozen_docs)
+          << "shard " << s;
+      EXPECT_EQ(got_stats[s].postings, want_stats[s].postings) << "shard " << s;
+      EXPECT_EQ(got_stats[s].terms, want_stats[s].terms) << "shard " << s;
+    }
+    const exec::QueryEngine want_engine(inline_loaded, &pool);
+    const exec::QueryEngine got_engine(parallel, &pool);
+    for (int q = 0; q < 6; ++q) {
+      const auto query = random_sparse(rng, 64, 10);
+      for (const auto mode :
+           {index::PruningMode::kExact, index::PruningMode::kMaxScore}) {
+        const auto want =
+            want_engine.run(query, 5, index::Metric::kCosine, mode);
+        const auto got = got_engine.run(query, 5, index::Metric::kCosine, mode);
+        ASSERT_EQ(got.size(), want.size()) << "run " << run << " q " << q;
+        for (std::size_t r = 0; r < want.size(); ++r) {
+          EXPECT_EQ(got[r].doc, want[r].doc) << "rank " << r;
+          EXPECT_EQ(got[r].score, want[r].score) << "rank " << r;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption and durability
+// ---------------------------------------------------------------------------
+
+/// Fixture state for the adversarial cases: a valid snapshot and a target
+/// database with pre-existing contents that every failed load must leave
+/// untouched.
+class SnapshotCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = make_corpus(0xbad, 60);
+    source_ = build_bulk(corpus_, 2);
+    bytes_ = save_to_string(source_);
+
+    target_ = SignatureDatabase(3);
+    util::Rng rng(0x7a6);
+    for (int i = 0; i < 10; ++i) {
+      target_.add(random_sparse(rng, 40, 6), "pre-existing");
+    }
+    util::Rng qrng(0x31);
+    probe_ = random_sparse(qrng, 40, 6);
+    before_ = target_.search(probe_, 5, SimilarityMetric::kCosine);
+  }
+
+  /// Asserts that loading `bytes` fails with a SnapshotError whose message
+  /// is a real diagnostic, and that the target database is untouched and
+  /// still fully usable afterwards.
+  void expect_clean_failure(const std::string& bytes,
+                            const std::string& context) {
+    std::istringstream in(bytes);
+    try {
+      target_.load(in);
+      FAIL() << context << ": load of corrupt snapshot succeeded";
+    } catch (const snap::SnapshotError& error) {
+      EXPECT_GT(std::strlen(error.what()), 10u)
+          << context << ": diagnostic too short";
+    } catch (const std::exception& error) {
+      FAIL() << context << ": wrong exception type: " << error.what();
+    }
+    // Strong guarantee: contents, labels and query results unchanged...
+    ASSERT_EQ(target_.size(), 10u) << context;
+    for (std::size_t id = 0; id < target_.size(); ++id) {
+      ASSERT_EQ(target_.label(id), "pre-existing") << context;
+    }
+    expect_hits_identical(target_.search(probe_, 5, SimilarityMetric::kCosine),
+                          before_, context);
+    // ...and the database still accepts new work. Rebuild the 10-doc
+    // state afterwards (same seed, same docs) so `before_` stays the
+    // reference for the next corrupt input.
+    util::Rng rng(0x99);
+    target_.add(random_sparse(rng, 40, 6), "post-failure");
+    ASSERT_EQ(target_.size(), 11u) << context;
+    target_ = SignatureDatabase(3);
+    util::Rng rebuild(0x7a6);
+    for (int i = 0; i < 10; ++i) {
+      target_.add(random_sparse(rebuild, 40, 6), "pre-existing");
+    }
+  }
+
+  /// Header layout constants mirrored from snapshot.hpp's documentation.
+  static constexpr std::size_t kPrefixBytes = 40;
+  static constexpr std::size_t kDirEntryBytes = 24;
+
+  std::uint32_t section_count() const {
+    std::uint32_t sections = 0;
+    std::memcpy(&sections, bytes_.data() + 20, sizeof(sections));
+    return sections;
+  }
+
+  /// Payload byte range of directory entry `i`, computed from the file
+  /// itself (kind/shard are returned for targeting specific sections).
+  struct SectionSpan {
+    std::uint32_t kind;
+    std::uint32_t shard;
+    std::size_t begin;
+    std::size_t length;
+  };
+  std::vector<SectionSpan> section_spans() const {
+    const std::uint32_t sections = section_count();
+    std::vector<SectionSpan> spans;
+    std::size_t payload_at =
+        kPrefixBytes + sections * kDirEntryBytes + sizeof(std::uint64_t);
+    for (std::uint32_t i = 0; i < sections; ++i) {
+      const std::size_t entry = kPrefixBytes + i * kDirEntryBytes;
+      SectionSpan span{};
+      std::memcpy(&span.kind, bytes_.data() + entry, 4);
+      std::memcpy(&span.shard, bytes_.data() + entry + 4, 4);
+      std::uint64_t length = 0;
+      std::memcpy(&length, bytes_.data() + entry + 8, 8);
+      span.begin = payload_at;
+      span.length = static_cast<std::size_t>(length);
+      payload_at += span.length;
+      spans.push_back(span);
+    }
+    return spans;
+  }
+
+  TestCorpus corpus_;
+  SignatureDatabase source_{1};
+  SignatureDatabase target_{1};
+  std::string bytes_;
+  vsm::SparseVector probe_;
+  std::vector<SearchHit> before_;
+};
+
+TEST_F(SnapshotCorruption, ZeroLengthAndTinyFiles) {
+  expect_clean_failure("", "zero-length file");
+  expect_clean_failure("FM", "two-byte file");
+  expect_clean_failure(std::string(39, '\0'), "short header of zeroes");
+}
+
+TEST_F(SnapshotCorruption, TruncationAtEveryRegion) {
+  const std::vector<std::size_t> cuts = {
+      8,                         // mid-magic... after magic, mid-version
+      kPrefixBytes - 1,          // one byte short of the prefix
+      kPrefixBytes + 5,          // mid-directory
+      bytes_.size() / 2,         // mid-payload
+      bytes_.size() - 1,         // one byte short
+  };
+  for (const std::size_t cut : cuts) {
+    ASSERT_LT(cut, bytes_.size());
+    expect_clean_failure(bytes_.substr(0, cut),
+                         "truncated at byte " + std::to_string(cut));
+  }
+}
+
+TEST_F(SnapshotCorruption, WrongVersionAndForeignEndianness) {
+  // Version bumped to 2: rejected as unsupported *before* any checksum
+  // math, so future formats get a version message, not "corrupt".
+  std::string versioned = bytes_;
+  const std::uint32_t two = 2;
+  std::memcpy(versioned.data() + 8, &two, sizeof(two));
+  std::istringstream vin(versioned);
+  try {
+    target_.load(vin);
+    FAIL() << "version-2 snapshot accepted";
+  } catch (const snap::SnapshotError& error) {
+    EXPECT_NE(std::string(error.what()).find("version"), std::string::npos)
+        << error.what();
+  }
+  expect_clean_failure(versioned, "wrong version");
+
+  // Byte-swapped endianness tag: the message names the real problem.
+  std::string swapped = bytes_;
+  std::swap(swapped[12], swapped[15]);
+  std::swap(swapped[13], swapped[14]);
+  std::istringstream ein(swapped);
+  try {
+    target_.load(ein);
+    FAIL() << "foreign-endian snapshot accepted";
+  } catch (const snap::SnapshotError& error) {
+    EXPECT_NE(std::string(error.what()).find("endian"), std::string::npos)
+        << error.what();
+  }
+  expect_clean_failure(swapped, "foreign endianness");
+}
+
+TEST_F(SnapshotCorruption, FlippedByteInHeaderAndDirectory) {
+  // Every field of the fixed prefix and of the first directory entry: a
+  // single flipped bit must be caught (magic/version/endian checks or the
+  // header checksum that also covers the directory).
+  for (const std::size_t at : {std::size_t{0}, std::size_t{9},
+                               std::size_t{13}, std::size_t{16},
+                               std::size_t{21}, std::size_t{26},
+                               std::size_t{33}, kPrefixBytes + 1,
+                               kPrefixBytes + 9, kPrefixBytes + 17}) {
+    std::string corrupt = bytes_;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x20);
+    expect_clean_failure(corrupt, "flipped byte at " + std::to_string(at));
+  }
+}
+
+TEST_F(SnapshotCorruption, FlippedByteInEverySection) {
+  // One flip in the middle (and at both edges) of every section payload —
+  // offsets, term ids, weights of each shard, and the labels blob. The
+  // per-section checksums must catch each one.
+  const auto spans = section_spans();
+  ASSERT_EQ(spans.size(), 2 * 3 + 1) << "2 shards x 3 sections + labels";
+  bool saw_labels = false;
+  for (const auto& span : spans) {
+    if (span.kind == static_cast<std::uint32_t>(snap::SectionKind::kLabels)) {
+      saw_labels = true;
+    }
+    if (span.length == 0) continue;
+    for (const std::size_t offset :
+         {std::size_t{0}, span.length / 2, span.length - 1}) {
+      std::string corrupt = bytes_;
+      corrupt[span.begin + offset] =
+          static_cast<char>(corrupt[span.begin + offset] ^ 0x01);
+      expect_clean_failure(corrupt, "flip in section kind " +
+                                        std::to_string(span.kind) + "/" +
+                                        std::to_string(span.shard) +
+                                        " offset " + std::to_string(offset));
+    }
+  }
+  EXPECT_TRUE(saw_labels);
+}
+
+TEST_F(SnapshotCorruption, ImplausibleHeaderCountsRejectedBeforeAllocation) {
+  // Bit-rotted shard/section counts sit *before* any checksum can vouch
+  // for them, so the reader must bound them sanity-first — a corrupt count
+  // has to surface as a SnapshotError diagnostic, never as a
+  // std::bad_alloc from sizing the directory off garbage.
+  for (const std::size_t field_at : {std::size_t{16}, std::size_t{20}}) {
+    std::string corrupt = bytes_;
+    const std::uint32_t huge = 0x40000000u;
+    std::memcpy(corrupt.data() + field_at, &huge, sizeof(huge));
+    expect_clean_failure(corrupt, "huge count at byte " +
+                                      std::to_string(field_at));
+  }
+}
+
+TEST_F(SnapshotCorruption, TrailingGarbageRejected) {
+  expect_clean_failure(bytes_ + "x", "one trailing byte");
+  expect_clean_failure(bytes_ + std::string(1024, '\7'), "trailing blob");
+}
+
+TEST_F(SnapshotCorruption, IndexOnlySnapshotRejectedByDatabaseLoad) {
+  // A ShardedIndex snapshot has no labels section; SignatureDatabase::load
+  // must say so instead of inventing labels.
+  std::ostringstream out;
+  source_.index().save(out);
+  expect_clean_failure(out.str(), "index-only snapshot into a database");
+}
+
+TEST_F(SnapshotCorruption, SuccessfulLoadReplacesTargetEntirely) {
+  // The durability flip side: on *success* the old contents are gone and
+  // the loaded archive answers exactly like the source.
+  std::istringstream in(bytes_);
+  target_.load(in);
+  expect_databases_equivalent(target_, source_, 0xfeed, "post-load");
+}
+
+TEST(IndexSnapshot, ShardedIndexLoadAcceptsDatabaseSnapshots) {
+  // The exec layer ignores the labels section — an operator can point the
+  // index loader at a full database snapshot.
+  const TestCorpus corpus = make_corpus(0xcc, 50);
+  const SignatureDatabase db = build_bulk(corpus, 2);
+  std::istringstream in(save_to_string(db));
+  const exec::ShardedIndex loaded = exec::ShardedIndex::load(in);
+  EXPECT_EQ(loaded.size(), db.size());
+  EXPECT_EQ(loaded.num_terms(), db.index().num_terms());
+  EXPECT_EQ(loaded.num_postings(), db.index().num_postings());
+}
+
+}  // namespace
+}  // namespace fmeter::core

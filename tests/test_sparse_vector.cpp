@@ -225,5 +225,24 @@ TEST_P(SparseVectorProperties, DenseSparseDotAgreement) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SparseVectorProperties,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
 
+TEST(SparseVector, FromSortedMatchesFromEntries) {
+  const auto trusted = SparseVector::from_sorted({1, 5, 9}, {0.5, -2.0, 1.25});
+  const auto general =
+      SparseVector::from_entries({{5, -2.0}, {1, 0.5}, {9, 1.25}});
+  EXPECT_TRUE(trusted == general);
+  EXPECT_TRUE(SparseVector::from_sorted({}, {}) == SparseVector());
+}
+
+TEST(SparseVector, FromSortedRejectsInvariantViolations) {
+  EXPECT_THROW(SparseVector::from_sorted({1, 2}, {1.0}),
+               std::invalid_argument);  // misaligned arrays
+  EXPECT_THROW(SparseVector::from_sorted({2, 1}, {1.0, 1.0}),
+               std::invalid_argument);  // out of order
+  EXPECT_THROW(SparseVector::from_sorted({1, 1}, {1.0, 1.0}),
+               std::invalid_argument);  // duplicate index
+  EXPECT_THROW(SparseVector::from_sorted({1, 2}, {1.0, 0.0}),
+               std::invalid_argument);  // stored zero
+}
+
 }  // namespace
 }  // namespace fmeter::vsm

@@ -34,6 +34,7 @@ import sys
 MEASURED_FIELDS = {
     "us_per_query", "queries_per_sec", "prune_rate", "postings_visited",
     "blocks_skipped", "seconds", "docs_per_sec", "cores",
+    "file_mb", "mb_per_sec", "speedup", "forward_gathers",
 }
 # Lower-is-better metrics, in preference order; each file is gated on the
 # first one its rows actually carry (query benches emit us_per_query, the

@@ -6,7 +6,7 @@
 //       Workloads: scp kcompile dbench apachebench netperf151 netperf143
 //                  netperf151nolro bootup
 //
-//   fmeter_inspect stats <corpus.fmc>
+//   fmeter_inspect stats <corpus.fmc|snapshot.fms>
 //       Prints per-label document counts, corpus vocabulary statistics,
 //       per-shard inverted-index statistics (docs, frozen docs, terms,
 //       postings, and the memory footprint split into postings / offsets /
@@ -19,23 +19,36 @@
 //       label's centroid signature — "what does this behavior do in the
 //       kernel?".
 //
-//   fmeter_inspect search <corpus.fmc> <doc-index> [k] [--policy P]
+//   fmeter_inspect search <corpus.fmc|snapshot.fms> <doc-index> [k]
+//                         [--policy P]
 //       Uses document <doc-index> as a query against an archive of all the
 //       other documents and prints the top-k hits (the paper's operator
 //       workflow: "which past incidents looked like this?"), plus the
 //       index's per-shard statistics and the query's execution counters
-//       (documents scored, documents pruned, posting entries visited).
+//       (documents scored, documents pruned, posting entries visited,
+//       blocks skipped, forward-store gathers).
 //       P selects the execution path: "auto" (the default — picks exact
 //       or pruned per shard from the measured size crossover), "scan"
 //       (brute-force linear scan), "indexed" (exact inverted-index pass)
 //       or "pruned" (max-score pruning — same hits, scores within 1e-9).
+//
+//   fmeter_inspect snapshot <corpus.fmc> <out.fms>
+//       Builds the signature database from the corpus once (tf-idf +
+//       parallel bulk index build) and saves it as a versioned, checksummed
+//       binary snapshot. `stats` and `search` accept a snapshot wherever
+//       they accept a corpus (sniffed by magic), restoring the database
+//       without re-tokenizing or re-indexing — the archive workflow the
+//       paper's operator runs day to day. When searching a snapshot the
+//       query document stays in the archive (expect it at rank 1).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "fmeter/fmeter.hpp"
+#include "index/snapshot.hpp"
 #include "vsm/corpus_io.hpp"
 
 using namespace fmeter;
@@ -47,11 +60,21 @@ int usage() {
       stderr,
       "usage:\n"
       "  fmeter_inspect collect <out.fmc> <workload> [workload...]\n"
-      "  fmeter_inspect stats <corpus.fmc>\n"
+      "  fmeter_inspect stats <corpus.fmc|snapshot.fms>\n"
       "  fmeter_inspect topterms <corpus.fmc> <label> [n]\n"
-      "  fmeter_inspect search <corpus.fmc> <doc-index> [k] "
-      "[--policy auto|scan|indexed|pruned]\n");
+      "  fmeter_inspect search <corpus.fmc|snapshot.fms> <doc-index> [k] "
+      "[--policy auto|scan|indexed|pruned]\n"
+      "  fmeter_inspect snapshot <corpus.fmc> <out.fms>\n");
   return 2;
+}
+
+/// True when `path` starts with the snapshot magic (vs. the text corpus
+/// format); lets stats/search take either file kind.
+bool is_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[sizeof(index::snapshot::kMagic)];
+  return in.read(magic, sizeof(magic)) &&
+         std::memcmp(magic, index::snapshot::kMagic, sizeof(magic)) == 0;
 }
 
 std::map<std::string, workloads::WorkloadKind> workload_names() {
@@ -115,8 +138,50 @@ int cmd_collect(int argc, char** argv) {
   return 0;
 }
 
+/// Shared tail of `stats`: index shape, shard table, per-label support and
+/// the centroid similarity matrix — everything derivable from the database
+/// alone, so it works for corpus-built and snapshot-loaded archives alike.
+void print_database_stats(const core::SignatureDatabase& db) {
+  const auto syndromes = db.syndromes();
+
+  const auto& index = db.index();
+  std::printf("index: %zu shards, %zu distinct terms, %zu postings, %.1f KiB\n",
+              index.num_shards(), index.num_terms(), index.num_postings(),
+              static_cast<double>(index.memory_bytes()) / 1024.0);
+  print_shard_table(index);
+  std::printf("\n");
+
+  std::printf("%-28s %8s\n", "label", "docs");
+  for (const auto& syndrome : syndromes) {
+    std::printf("%-28s %8zu\n", syndrome.label.c_str(), syndrome.support);
+  }
+
+  std::printf("\ncentroid cosine similarity matrix:\n%-28s", "");
+  for (std::size_t j = 0; j < syndromes.size(); ++j) {
+    std::printf(" %7zu", j);
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < syndromes.size(); ++i) {
+    std::printf("%2zu %-25s", i, syndromes[i].label.c_str());
+    for (std::size_t j = 0; j < syndromes.size(); ++j) {
+      std::printf(" %7.4f", vsm::cosine_similarity(syndromes[i].centroid,
+                                                   syndromes[j].centroid));
+    }
+    std::printf("\n");
+  }
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc != 3) return usage();
+  if (is_snapshot_file(argv[2])) {
+    core::SignatureDatabase db;
+    db.load(argv[2]);
+    std::printf("snapshot: %zu signatures restored from %s "
+                "(no re-indexing)\n\n",
+                db.size(), argv[2]);
+    print_database_stats(db);
+    return 0;
+  }
   const vsm::Corpus corpus = vsm::load_corpus(argv[2]);
 
   vsm::TfIdfModel model;
@@ -135,43 +200,47 @@ int cmd_stats(int argc, char** argv) {
     // hand the whole corpus over instead of deep-copying it.
     db.add_batch(std::move(signatures), std::move(labels));
   }
-  const auto syndromes = db.syndromes();
 
-  const auto& index = db.index();
-  std::printf("index: %zu shards, %zu distinct terms, %zu postings, %.1f KiB\n",
-              index.num_shards(), index.num_terms(), index.num_postings(),
-              static_cast<double>(index.memory_bytes()) / 1024.0);
-  print_shard_table(index);
-  std::printf("\n");
-
-  std::printf("%-28s %8s %14s\n", "label", "docs", "mean calls/doc");
-  for (const auto& syndrome : syndromes) {
+  // Raw-count detail only the corpus knows (a snapshot stores tf-idf
+  // signatures, not interval call counts).
+  std::printf("%-28s %14s\n", "label", "mean calls/doc");
+  for (const auto& label : corpus.labels()) {
     std::uint64_t calls = 0;
     std::size_t docs = 0;
     for (const auto& doc : corpus.documents()) {
-      if (doc.label == syndrome.label) {
+      if (doc.label == label) {
         calls += doc.total();
         ++docs;
       }
     }
-    std::printf("%-28s %8zu %14.0f\n", syndrome.label.c_str(), docs,
+    std::printf("%-28s %14.0f\n", label.c_str(),
                 docs ? static_cast<double>(calls) / static_cast<double>(docs)
                      : 0.0);
   }
-
-  std::printf("\ncentroid cosine similarity matrix:\n%-28s", "");
-  for (std::size_t j = 0; j < syndromes.size(); ++j) {
-    std::printf(" %7zu", j);
-  }
   std::printf("\n");
-  for (std::size_t i = 0; i < syndromes.size(); ++i) {
-    std::printf("%2zu %-25s", i, syndromes[i].label.c_str());
-    for (std::size_t j = 0; j < syndromes.size(); ++j) {
-      std::printf(" %7.4f", vsm::cosine_similarity(syndromes[i].centroid,
-                                                   syndromes[j].centroid));
+
+  print_database_stats(db);
+  return 0;
+}
+
+int cmd_snapshot(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const vsm::Corpus corpus = vsm::load_corpus(argv[2]);
+  auto signatures = core::signatures_from(corpus);
+
+  core::SignatureDatabase db;
+  {
+    std::vector<std::string> labels;
+    labels.reserve(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      labels.push_back(corpus[i].label);
     }
-    std::printf("\n");
+    db.add_batch(std::move(signatures), std::move(labels));
   }
+  db.save(argv[3]);
+  std::printf("wrote snapshot of %zu signatures (%zu shards, %zu terms) "
+              "to %s\n",
+              db.size(), db.num_shards(), db.index().num_terms(), argv[3]);
   return 0;
 }
 
@@ -245,7 +314,6 @@ int cmd_search(int argc, char** argv) {
     }
   }
   if (positional.size() != 2 && positional.size() != 3) return usage();
-  const vsm::Corpus corpus = vsm::load_corpus(positional[0]);
   // The doc index selects which incident gets analyzed — reject non-numeric
   // input rather than silently querying doc 0.
   char* end = nullptr;
@@ -264,16 +332,34 @@ int cmd_search(int argc, char** argv) {
       return 2;
     }
   }
-  if (query_doc >= corpus.size()) {
-    std::fprintf(stderr, "doc-index %zu out of range (corpus has %zu docs)\n",
-                 query_doc, corpus.size());
-    return 1;
-  }
 
-  const auto signatures = core::signatures_from(corpus);
   core::SignatureDatabase db;
-  std::vector<std::size_t> archive_doc;  // db id -> corpus doc
-  {
+  vsm::SparseVector query;
+  std::string query_label;
+  std::vector<std::size_t> archive_doc;  // db id -> source doc index
+  if (is_snapshot_file(positional[0])) {
+    // Snapshot path: the archive is restored as-is (no re-indexing), so
+    // the query document stays in it — expect a self-hit at rank 1.
+    db.load(positional[0]);
+    if (query_doc >= db.size()) {
+      std::fprintf(stderr,
+                   "doc-index %zu out of range (snapshot has %zu docs)\n",
+                   query_doc, db.size());
+      return 1;
+    }
+    query = db.signature(query_doc);
+    query_label = db.label(query_doc);
+    archive_doc.resize(db.size());
+    for (std::size_t i = 0; i < db.size(); ++i) archive_doc[i] = i;
+  } else {
+    const vsm::Corpus corpus = vsm::load_corpus(positional[0]);
+    if (query_doc >= corpus.size()) {
+      std::fprintf(stderr,
+                   "doc-index %zu out of range (corpus has %zu docs)\n",
+                   query_doc, corpus.size());
+      return 1;
+    }
+    const auto signatures = core::signatures_from(corpus);
     std::vector<vsm::SparseVector> batch;
     std::vector<std::string> labels;
     for (std::size_t i = 0; i < corpus.size(); ++i) {
@@ -282,12 +368,13 @@ int cmd_search(int argc, char** argv) {
       labels.push_back(corpus[i].label);
       archive_doc.push_back(i);
     }
+    query = signatures[query_doc];
+    query_label = corpus[query_doc].label;
     db.add_batch(std::move(batch), std::move(labels));  // parallel + frozen
   }
 
   std::printf("query: doc %zu ('%s')   archive: %zu signatures   policy: %s\n",
-              query_doc, corpus[query_doc].label.c_str(), db.size(),
-              policy_name);
+              query_doc, query_label.c_str(), db.size(), policy_name);
   const auto& index = db.index();
   std::printf("index: %zu shards, %zu terms, %zu postings, %.1f KiB\n\n",
               index.num_shards(), index.num_terms(), index.num_postings(),
@@ -295,9 +382,8 @@ int cmd_search(int argc, char** argv) {
   print_shard_table(index);
   std::printf("\n%5s %6s %-28s %10s\n", "rank", "doc", "label", "cosine");
   core::QueryStats stats;
-  const auto hits = db.search(signatures[query_doc], k,
-                              core::SimilarityMetric::kCosine, policy, mode,
-                              &stats);
+  const auto hits = db.search(query, k, core::SimilarityMetric::kCosine,
+                              policy, mode, &stats);
   for (std::size_t rank = 0; rank < hits.size(); ++rank) {
     std::printf("%5zu %6zu %-28s %10.4f\n", rank + 1,
                 archive_doc[hits[rank].id], hits[rank].label.c_str(),
@@ -307,13 +393,13 @@ int cmd_search(int argc, char** argv) {
     const std::size_t considered = stats.docs_scored + stats.docs_pruned;
     std::printf(
         "\nquery counters: %zu docs scored, %zu docs pruned (%.1f%%), "
-        "%zu postings visited, %zu blocks skipped\n",
+        "%zu postings visited, %zu blocks skipped, %zu forward gathers\n",
         stats.docs_scored, stats.docs_pruned,
         considered > 0
             ? 100.0 * static_cast<double>(stats.docs_pruned) /
                   static_cast<double>(considered)
             : 0.0,
-        stats.postings_visited, stats.blocks_skipped);
+        stats.postings_visited, stats.blocks_skipped, stats.forward_gathers);
   }
   return 0;
 }
@@ -322,9 +408,17 @@ int cmd_search(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  if (std::strcmp(argv[1], "collect") == 0) return cmd_collect(argc, argv);
-  if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
-  if (std::strcmp(argv[1], "topterms") == 0) return cmd_topterms(argc, argv);
-  if (std::strcmp(argv[1], "search") == 0) return cmd_search(argc, argv);
+  // Corrupt snapshots and malformed corpora surface as exceptions with a
+  // diagnostic message; an operator tool should print that, not terminate.
+  try {
+    if (std::strcmp(argv[1], "collect") == 0) return cmd_collect(argc, argv);
+    if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
+    if (std::strcmp(argv[1], "topterms") == 0) return cmd_topterms(argc, argv);
+    if (std::strcmp(argv[1], "search") == 0) return cmd_search(argc, argv);
+    if (std::strcmp(argv[1], "snapshot") == 0) return cmd_snapshot(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fmeter_inspect: %s\n", error.what());
+    return 1;
+  }
   return usage();
 }
