@@ -2,76 +2,112 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
-#include <future>
-#include <memory>
+#include <cstdint>
 #include <utility>
 
 namespace fmeter::exec {
 namespace {
 
-/// Below this many stored documents, scoring is microseconds of work and
-/// pool dispatch (queue mutex, condvar wakeup, future sync per task) would
-/// dominate it — run inline instead. Results are identical either way.
-constexpr std::size_t kMinDocsForDispatch = 4096;
+// --- Dispatch cost model -------------------------------------------------
+//
+// All quantities are in "scored document" units: one unit ≈ the cost of
+// scoring one stored document against one query in the exact pass. The
+// model is deliberately coarse — it only has to separate "microseconds of
+// work, dispatch would dominate" from "milliseconds of work, workers pay
+// for themselves", not predict runtimes.
+
+/// Fixed price of fanning out: listing the batch, waking workers, and the
+/// completion latch. Roughly tens of microseconds on contended boxes.
+constexpr double kDispatchOverheadDocs = 8192.0;
+
+/// Marginal price per grid span: the reservation fetch_add plus the cache
+/// misses of a participant switching to a new (shard, query-block) cell.
+constexpr double kSpanOverheadDocs = 64.0;
+
+/// Estimated scoring work for one (query, shard) cell. The exact pass
+/// touches every document in the shard. The pruned pass bounds its probes
+/// by the threshold: its cost scales with k (bootstrap + candidate
+/// verification) plus a small fraction of the shard it still streams
+/// through. kAuto is modelled as pruned — it resolves to kMaxScore
+/// exactly on the large shards where this decision matters.
+double estimated_cell_docs(double docs_per_shard, std::size_t k,
+                           PruningMode mode) {
+  if (mode == PruningMode::kExact) return docs_per_shard;
+  return std::min(docs_per_shard, 32.0 * static_cast<double>(k) +
+                                      docs_per_shard / 8.0);
+}
+
+/// Resolves the effective scoring path for one shard. kAuto picks per
+/// shard from the measured size crossover, and the engine treats kMaxScore
+/// the same way: below the crossover the bound bookkeeping is a guaranteed
+/// loss, and by the pruning contract the exact kernel returns the same
+/// documents in the same order (bit-identical, even), so routing small
+/// shards to it changes nothing but the speed. Forced pruning stays
+/// available at the index layer (InvertedIndex::top_k_pruned directly).
+/// The crossover depends on the shard's dominant layout — a mostly
+/// unfrozen shard behaves like the mutable tiers even if an old arena
+/// sits underneath, so "frozen" means the arena holds a majority of the
+/// documents.
+PruningMode resolve_mode(const ShardedIndex& index, std::size_t shard,
+                         std::size_t k, PruningMode mode) {
+  if (mode == PruningMode::kExact) return mode;
+  const auto& target = index.shard(shard);
+  return index::InvertedIndex::resolve_auto(
+      target.size(), k, target.frozen_docs() * 2 >= target.size());
+}
 
 /// Scores one query against one shard, mapping hits to global doc ids.
-/// In kMaxScore mode the shard threshold is seeded from `floor` (a known
-/// lower bound on the query's global k-th best score, or kNoSeed), and the
-/// floor is raised afterwards when this shard produced a full k hits: the
-/// global k-th best can only rank at or above any shard's k-th best, so
-/// the shard's k-th score is a valid floor for every other shard. The
-/// floor is monotonic and advisory — stale values prune less, never wrong.
+/// `floor` points at the query's cross-shard score floor — a known lower
+/// bound on the query's global k-th best score (kNoSeed until some shard
+/// produced a full k). Concurrent participants touch it through
+/// std::atomic_ref with relaxed order: it is a monotonic performance hint,
+/// not a synchronization point — a stale read prunes less, never wrong.
+/// kMaxScore seeds the shard's pruning threshold from it; kExact passes it
+/// as the heap seed so shard-local also-rans below the global floor skip
+/// the heap (results unchanged — see InvertedIndex::top_k). Afterwards a
+/// full top-k raises the floor to its k-th score: the global k-th best can
+/// only rank at or above any shard's k-th best.
 std::vector<IndexHit> shard_hits(const ShardedIndex& index, std::size_t shard,
                                  const vsm::SparseVector& query, std::size_t k,
                                  Metric metric, PruningMode mode,
-                                 index::TopKScratch& scratch,
-                                 std::atomic<double>* floor,
+                                 index::TopKScratch& scratch, double* floor,
                                  PruneStats* stats) {
   std::vector<IndexHit> hits;
-  if (mode == PruningMode::kAuto) {
-    // Resolved per shard: a database whose shards straddle the measured
-    // crossover prunes the large shards and scores the small ones exactly.
-    // The crossover itself depends on the shard's dominant layout — a
-    // mostly-unfrozen shard behaves like the mutable tiers even if an old
-    // arena sits underneath, so "frozen" means the arena holds a majority
-    // of the documents.
-    const auto& target = index.shard(shard);
-    mode = index::InvertedIndex::resolve_auto(
-        target.size(), k, target.frozen_docs() * 2 >= target.size());
-  }
+  mode = resolve_mode(index, shard, k, mode);
+  const double seed =
+      floor != nullptr
+          ? std::atomic_ref<double>(*floor).load(std::memory_order_relaxed)
+          : index::InvertedIndex::kNoSeed;
   if (mode == PruningMode::kMaxScore) {
-    const double seed = floor != nullptr
-                            ? floor->load(std::memory_order_relaxed)
-                            : index::InvertedIndex::kNoSeed;
     hits = index.shard(shard).top_k_pruned(query, k, metric, &scratch, seed,
                                            stats);
   } else {
-    hits = index.shard(shard).top_k(query, k, metric, &scratch, stats);
+    hits = index.shard(shard).top_k(query, k, metric, &scratch, seed, stats);
   }
   // A full top-k's k-th score is a valid floor for every other shard
   // whichever path produced it — under kAuto, exact shards feed the
   // pruning shards' thresholds for free.
   if (floor != nullptr && hits.size() == k) {
-    double current = floor->load(std::memory_order_relaxed);
+    std::atomic_ref<double> ref(*floor);
+    double current = ref.load(std::memory_order_relaxed);
     const double kth = hits.back().score;
     while (kth > current &&
-           !floor->compare_exchange_weak(current, kth,
-                                         std::memory_order_relaxed,
-                                         std::memory_order_relaxed)) {
+           !ref.compare_exchange_weak(current, kth, std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
     }
   }
   for (auto& hit : hits) hit.doc = index.global_of(shard, hit.doc);
   return hits;
 }
 
-/// Merges per-shard top-k lists into the global top-k. Each input list is
+/// Merges one query's per-shard top-k lists (a contiguous slice of the
+/// partial grid) into the global top-k, consuming the inputs. Each list is
 /// already ordered by (score desc, global id asc) and doc ids are globally
 /// unique, so one sort over ≤ shards·k hits reproduces exactly the ranking
 /// a single-shard index would emit. Pruned shards may contribute fewer
 /// than k hits; everything they dropped is provably below the global k-th
 /// best, so the merged prefix is unchanged.
-std::vector<IndexHit> merge_shard_hits(std::vector<std::vector<IndexHit>> lists,
+std::vector<IndexHit> merge_shard_hits(std::span<std::vector<IndexHit>> lists,
                                        std::size_t k) {
   if (lists.size() == 1) {
     return std::move(lists.front());  // already global order, already ≤ k
@@ -82,28 +118,61 @@ std::vector<IndexHit> merge_shard_hits(std::vector<std::vector<IndexHit>> lists,
   merged.reserve(total);
   for (auto& list : lists) {
     merged.insert(merged.end(), list.begin(), list.end());
+    list.clear();  // keep the grid slot's capacity for the next batch
   }
   std::sort(merged.begin(), merged.end(), index::ranks_better);
   if (merged.size() > k) merged.resize(k);
   return merged;
 }
 
+/// Per-calling-thread dispatch state, reused across batches so the steady
+/// state allocates nothing (growth is reported back to the engine's
+/// counter). One instance per thread keeps concurrent run_batch callers —
+/// and a pool worker re-entering the engine from inside a task — fully
+/// independent. The scoring scratch doubles as this thread's arena for
+/// grid spans it claims itself (TaskPool::kCallerSlot).
+struct CallerArena {
+  index::TopKScratch scratch;
+  std::vector<std::size_t> eligible;           ///< query indices to execute
+  std::vector<double> floors;                  ///< per-eligible score floor
+  std::vector<std::vector<IndexHit>> partial;  ///< (query × shard) hit grid
+  std::vector<QueryStats> span_stats;          ///< disjoint per-span counters
+
+  /// Sizes `v` for this batch, counting capacity growth into `grown`.
+  template <typename T>
+  void fit(std::vector<T>& v, std::size_t n, std::uint64_t& grown) {
+    if (v.capacity() < n) ++grown;
+    v.resize(n);
+  }
+};
+
+thread_local CallerArena tls_arena;
+
 }  // namespace
 
 QueryEngine::QueryEngine(const ShardedIndex& index, TaskPool* pool)
     : index_(&index), pool_(pool) {}
 
+std::vector<QueryEngine::WorkerArena>& QueryEngine::arenas(
+    TaskPool& pool) const {
+  std::call_once(arenas_once_, [&] {
+    worker_arenas_.resize(pool.size());
+    dispatch_allocations_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return worker_arenas_;
+}
+
 std::vector<IndexHit> QueryEngine::run(const vsm::SparseVector& query,
                                        std::size_t k, Metric metric,
                                        PruningMode mode,
-                                       PruneStats* stats) const {
+                                       QueryStats* stats) const {
   auto results = run_batch({&query, 1}, k, metric, mode, stats);
   return std::move(results.front());
 }
 
 std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
     std::span<const vsm::SparseVector> queries, std::size_t k, Metric metric,
-    PruningMode mode, PruneStats* stats) const {
+    PruningMode mode, QueryStats* stats) const {
   std::vector<const vsm::SparseVector*> pointers;
   pointers.reserve(queries.size());
   for (const auto& query : queries) pointers.push_back(&query);
@@ -113,149 +182,137 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
 
 std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
     std::span<const vsm::SparseVector* const> queries, std::size_t k,
-    Metric metric, PruningMode mode, PruneStats* stats) const {
+    Metric metric, PruningMode mode, QueryStats* stats) const {
   std::vector<std::vector<IndexHit>> results(queries.size());
   if (k == 0 || index_->empty()) return results;
 
+  CallerArena& arena = tls_arena;
+  std::uint64_t grown = 0;
+
   // k = 0 was handled above; empty/all-zero queries resolve to "no hits"
   // here, so only eligible queries reach a shard or the pool.
-  std::vector<std::size_t> eligible;
-  eligible.reserve(queries.size());
+  if (arena.eligible.capacity() < queries.size()) ++grown;
+  arena.eligible.clear();
+  arena.eligible.reserve(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    if (!queries[i]->empty()) eligible.push_back(i);
+    if (!queries[i]->empty()) arena.eligible.push_back(i);
   }
-  if (eligible.empty()) return results;
+  const std::size_t n_eligible = arena.eligible.size();
+  if (n_eligible == 0) {
+    dispatch_allocations_.fetch_add(grown, std::memory_order_relaxed);
+    return results;
+  }
 
   const std::size_t shards = index_->num_shards();
+  const std::size_t cells = n_eligible * shards;
 
-  // Per-eligible-query score floors for cross-shard threshold seeding
-  // (kMaxScore only). Plain atomics, relaxed everywhere: the floor is a
-  // monotonic performance hint, not a synchronization point.
-  std::unique_ptr<std::atomic<double>[]> floors;
-  if (mode != PruningMode::kExact) {  // kMaxScore, or kAuto on any shard
-    floors = std::make_unique<std::atomic<double>[]>(eligible.size());
-    for (std::size_t e = 0; e < eligible.size(); ++e) {
-      floors[e].store(index::InvertedIndex::kNoSeed,
-                      std::memory_order_relaxed);
+  // One score floor per eligible query, shared across its shards (all
+  // modes — kExact uses it as a heap seed, kMaxScore as a threshold seed).
+  arena.fit(arena.floors, n_eligible, grown);
+  std::fill(arena.floors.begin(), arena.floors.end(),
+            index::InvertedIndex::kNoSeed);
+
+  // partial[e * shards + s] = shard s's top-k for eligible query e.
+  // Participants write disjoint slots, so the only synchronization is the
+  // batch latch (the floors above are deliberately racy-by-design).
+  arena.fit(arena.partial, cells, grown);
+
+  const auto merge_into_results = [&] {
+    for (std::size_t e = 0; e < n_eligible; ++e) {
+      results[arena.eligible[e]] = merge_shard_hits(
+          std::span<std::vector<IndexHit>>(arena.partial)
+              .subspan(e * shards, shards),
+          k);
     }
-  }
-  const auto floor_of = [&](std::size_t e) -> std::atomic<double>* {
-    return floors ? &floors[e] : nullptr;
   };
 
-  // Inline on the caller's thread when parallelism has nothing to win — a
-  // lone worker, a batch of one against a single shard, or an index small
-  // enough that dispatch overhead would dwarf the scoring — and when the
-  // caller *is* one of the pool's workers: blocking a fixed-size pool's
-  // worker on subtasks queued to the same pool can deadlock once every
-  // worker is a blocked submitter. Shards run in ascending order per
-  // query, so pruned thresholds seed deterministically here.
-  const auto run_inline = [&] {
-    // Reused across calls: the frozen pruned path's epoch-stamped lazy
-    // accumulator reset only pays off when the buffers survive between
-    // queries (a fresh scratch would re-zero O(#docs) state per scalar
-    // search — exactly the cost the arena removed). Safe across indexes:
-    // every query bumps the epoch stamp, invalidating whatever a previous
-    // index left behind, and buffers resize on dimension change.
-    static thread_local index::TopKScratch scratch;
-    for (std::size_t e = 0; e < eligible.size(); ++e) {
-      const std::size_t qi = eligible[e];
-      std::vector<std::vector<IndexHit>> lists;
-      lists.reserve(shards);
-      for (std::size_t s = 0; s < shards; ++s) {
-        lists.push_back(shard_hits(*index_, s, *queries[qi], k, metric, mode,
-                                   scratch, floor_of(e), stats));
-      }
-      results[qi] = merge_shard_hits(std::move(lists), k);
+  // Inline on the caller's thread when parallelism has nothing to win.
+  // The grid runs shard-major — all queries against shard 0, then shard 1
+  // — so each shard's term metadata stays hot across the batch. No
+  // cross-cell software prefetch: the exact walk already issues its own
+  // upfront prefetch pass over short posting spans, and measurements
+  // showed an engine-side warm-ahead on top of it was pure instruction
+  // overhead (batch-1 multi-shard lost ~20% to it). Per query, shards
+  // still run in ascending order, so floor hand-off is deterministic.
+  const auto run_inline = [&]() -> std::vector<std::vector<IndexHit>> {
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      const std::size_t s = cell / n_eligible;
+      const std::size_t e = cell % n_eligible;
+      arena.partial[e * shards + s] =
+          shard_hits(*index_, s, *queries[arena.eligible[e]], k, metric, mode,
+                     arena.scratch, &arena.floors[e], stats);
     }
+    merge_into_results();
+    if (stats != nullptr) stats->dispatch_inline += n_eligible;
+    inline_batches_.fetch_add(1, std::memory_order_relaxed);
+    dispatch_allocations_.fetch_add(grown, std::memory_order_relaxed);
     return std::move(results);
   };
-  // Pool-independent cutoffs come first: resolving pool() materializes the
-  // process-wide shared pool, and inline-only workloads should never pay
-  // for spawning its threads.
-  if ((shards == 1 && eligible.size() == 1) ||
-      index_->size() < kMinDocsForDispatch) {
-    return run_inline();
-  }
+
+  // Cost model: fan out only when the projected parallel time beats the
+  // caller doing everything itself. The work-independent quick gate comes
+  // first so inline-only workloads never materialize the shared pool (a
+  // pooled win needs total_work > overhead / (1 - 1/participants), i.e.
+  // at least twice the dispatch overhead).
+  const double docs_per_shard =
+      static_cast<double>(index_->size()) / static_cast<double>(shards);
+  const double total_work =
+      estimated_cell_docs(docs_per_shard, k, mode) * static_cast<double>(cells);
+  if (total_work <= 2.0 * kDispatchOverheadDocs) return run_inline();
   TaskPool& pool = this->pool();
   if (pool.size() <= 1 || pool.current_thread_is_worker()) {
     return run_inline();
   }
 
-  // Carve the eligible queries into blocks so that (#blocks × #shards)
-  // keeps every worker busy a few times over without making tasks so small
-  // that queueing dominates.
-  const std::size_t target_tasks = 4 * pool.size();
-  const std::size_t blocks = std::clamp<std::size_t>(
-      (target_tasks + shards - 1) / shards, 1, eligible.size());
-  const std::size_t block_size = (eligible.size() + blocks - 1) / blocks;
+  // Carve the eligible queries into spans so the grid (shards × q_spans)
+  // keeps every participant busy a few times over without spans so small
+  // that reservation traffic dominates.
+  const std::size_t participants = pool.size() + 1;
+  const std::size_t q_spans = std::clamp<std::size_t>(
+      (4 * participants + shards - 1) / shards, 1, n_eligible);
+  const std::size_t spans = shards * q_spans;
+  const std::size_t span_len = (n_eligible + q_spans - 1) / q_spans;
 
-  // partial[e * shards + s] = shard s's top-k for eligible query e. Tasks
-  // write disjoint slots — likewise the per-task stats slots — so the only
-  // synchronization needed is the futures' completion (the seeding floors
-  // above are deliberately racy-by-design atomics).
-  std::vector<std::vector<IndexHit>> partial(eligible.size() * shards);
-  std::vector<PruneStats> task_stats(stats != nullptr ? blocks * shards : 0);
-  std::vector<std::future<void>> pending;
-  pending.reserve(blocks * shards);
-  // Every already-submitted task holds references to the locals above, so
-  // nothing may unwind past them while a task is in flight: if a submit
-  // throws halfway through dispatch, drain what was queued, then rethrow.
-  try {
-    std::size_t task_index = 0;
-    for (std::size_t s = 0; s < shards; ++s) {
-      for (std::size_t begin = 0; begin < eligible.size();
-           begin += block_size, ++task_index) {
-        const std::size_t end = std::min(begin + block_size, eligible.size());
-        PruneStats* slot =
-            stats != nullptr ? &task_stats[task_index] : nullptr;
-        pending.push_back(pool.submit([this, queries, &eligible, &partial, s,
-                                       begin, end, k, metric, mode, shards,
-                                       &floor_of, slot] {
-          // Per-worker, reused across tasks and batches (same epoch-reuse
-          // rationale as the inline path).
-          static thread_local index::TopKScratch scratch;
-          for (std::size_t e = begin; e < end; ++e) {
-            partial[e * shards + s] =
-                shard_hits(*index_, s, *queries[eligible[e]], k, metric, mode,
-                           scratch, floor_of(e), slot);
-          }
-        }));
-      }
-    }
-  } catch (...) {
-    for (auto& future : pending) {
-      try {
-        future.get();
-      } catch (...) {  // the submit failure outranks any task failure
-      }
-    }
-    throw;
-  }
+  const double pooled_cost =
+      kDispatchOverheadDocs +
+      total_work /
+          static_cast<double>(std::min<std::size_t>(participants, spans)) +
+      kSpanOverheadDocs * static_cast<double>(spans);
+  if (pooled_cost >= total_work) return run_inline();
 
-  // Wait for every task before touching `partial` (or letting it go out of
-  // scope); remember the first failure and rethrow it once all are done.
-  std::exception_ptr first_error;
-  for (auto& future : pending) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  arena.fit(arena.span_stats, stats != nullptr ? spans : 0, grown);
+  std::fill(arena.span_stats.begin(), arena.span_stats.end(), QueryStats{});
+
+  // Span s·q_spans+b = shard s × query block b: consecutive span ids share
+  // a shard, so a participant claiming contiguous spans off the counter
+  // walks the grid shard-major, same as the inline path.
+  std::vector<WorkerArena>& workers = arenas(pool);
+  const auto span_fn = [&](std::size_t span, std::size_t slot) {
+    const std::size_t s = span / q_spans;
+    const std::size_t begin = (span % q_spans) * span_len;
+    const std::size_t end = std::min(begin + span_len, n_eligible);
+    index::TopKScratch& scratch = slot == TaskPool::kCallerSlot
+                                      ? tls_arena.scratch
+                                      : workers[slot].scratch;
+    PruneStats* slot_stats =
+        stats != nullptr ? &arena.span_stats[span] : nullptr;
+    for (std::size_t e = begin; e < end; ++e) {
+      arena.partial[e * shards + s] =
+          shard_hits(*index_, s, *queries[arena.eligible[e]], k, metric, mode,
+                     scratch, &arena.floors[e], slot_stats);
     }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  };
+  const std::size_t joined = pool.run_spans(spans, span_fn);
 
   if (stats != nullptr) {
-    for (const auto& task : task_stats) *stats += task;
+    for (const auto& span : arena.span_stats) *stats += span;
+    stats->dispatch_pooled += n_eligible;
+    stats->spans_reserved += spans;
+    stats->tasks_executed += joined;
   }
-  for (std::size_t e = 0; e < eligible.size(); ++e) {
-    std::vector<std::vector<IndexHit>> lists(
-        std::make_move_iterator(partial.begin() +
-                                static_cast<std::ptrdiff_t>(e * shards)),
-        std::make_move_iterator(partial.begin() +
-                                static_cast<std::ptrdiff_t>((e + 1) * shards)));
-    results[eligible[e]] = merge_shard_hits(std::move(lists), k);
-  }
+  merge_into_results();
+  pooled_batches_.fetch_add(1, std::memory_order_relaxed);
+  dispatch_allocations_.fetch_add(grown, std::memory_order_relaxed);
   return results;
 }
 

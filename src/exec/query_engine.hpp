@@ -1,40 +1,58 @@
 // Shard-parallel, batch-aware query execution over a ShardedIndex.
 //
-// The engine turns a batch of queries into coarse (shard, query-block)
-// tasks on a TaskPool. Each worker owns one index::TopKScratch for its
-// whole block, so the O(#docs-in-shard) accumulator is allocated once per
-// task instead of once per query — the batching amortization that retrieval
-// evaluation and syndrome classification were missing when they issued
-// hundreds of scalar queries back-to-back. Per-shard bounded top-k heaps
-// are merged into the global ranking by the one shared ordering
-// (index::ranks_better), which keeps every execution mode — scalar,
-// batched, any shard count ≥ 1 — bit-identical to the single-shard index
-// and to the brute-force scan: same ids, same scores, same ascending-id
-// tie-break.
+// The engine flattens a batch of queries into one (shard × query-span)
+// work grid and executes it by batch reservation on the TaskPool: every
+// participant — the calling thread plus any idle workers — claims spans
+// off a single atomic counter (TaskPool::run_spans) until the grid is
+// exhausted. No per-query task, no per-cell closure, no future fan-in;
+// one completion latch ends the batch. Per-shard bounded top-k lists land
+// in disjoint slots of a reused partial-results arena and merge into the
+// global ranking by the one shared ordering (index::ranks_better), which
+// keeps every execution mode — scalar, batched, any shard count ≥ 1,
+// inline or pooled — bit-identical to the single-shard index and to the
+// brute-force scan: same ids, same scores, same ascending-id tie-break.
 //
-// PruningMode::kMaxScore swaps each shard's dense scoring pass for the
-// index layer's max-score pruned path and adds one piece of cross-task
-// state per query: a relaxed atomic score floor holding the worst score of
-// the best k hits observed so far across shards. Tasks seed their shard's
-// pruning threshold from the floor and raise it after finishing a shard,
-// so later shards inherit earlier shards' floor and prune harder. The
+// Whether a batch fans out at all is a cost-model decision, not a flat
+// document cutoff: the model weighs total scoring work (documents per
+// shard × grid cells, discounted when the mode prunes) against the fixed
+// cost of waking workers plus per-span reservation overhead, and fans out
+// only when the projected parallel time wins. Small work inlines on the
+// caller — where the grid runs shard-major (every query against shard 0,
+// then shard 1, …) so a shard's term metadata stays hot across the whole
+// batch, and the next cell's posting spans are prefetched
+// (InvertedIndex::warm) while the current cell computes. The chosen branch
+// is visible per batch in QueryStats and cumulatively via
+// inline_batches()/pooled_batches().
+//
+// Cross-shard threshold seeding applies to *both* modes and is the one
+// piece of per-query shared state: a relaxed atomic score floor holding
+// the worst score of the best full top-k observed so far across shards.
+// kMaxScore seeds each shard's pruning threshold from it; kExact uses it
+// to drop shard-local also-rans scoring strictly below it before they
+// touch the heap (provably below the global k-th best — see the seed
+// contract on InvertedIndex::top_k; merged results are unchanged). The
 // floor is a monotonic hint — a stale read only costs pruning opportunity,
-// never correctness — so relaxed loads/stores and a CAS-max suffice; the
-// hot path takes no lock. Results keep the same document set and order as
-// kExact for every shard count and batch size, with scores equal within
-// 1e-9 (see inverted_index.hpp for the contract); the merge and tie-break
-// logic is shared with the exact path, untouched.
-// PruningMode::kAuto resolves per shard via
-// index::InvertedIndex::resolve_auto — shards below the measured crossover
-// run the exact pass, the rest prune — so mixed-size shard sets never pay
-// bound bookkeeping where it loses.
+// never correctness — so relaxed loads and a CAS-max suffice; the hot
+// path takes no lock. PruningMode::kAuto still resolves per shard via
+// index::InvertedIndex::resolve_auto.
+//
+// Steady state allocates nothing on the dispatch side: scoring scratch
+// (one arena per pool worker, owned by the engine, plus a thread-local
+// arena for calling threads), the floor array, the partial-results grid
+// and the per-span stats slots are all reused across batches. Buffer
+// growth events are counted in dispatch_allocations() so tests can pin
+// the steady state to zero. (The hit lists handed back to the caller are,
+// necessarily, fresh.)
 //
 // Degenerate inputs are handled before any dispatch: k == 0 and
 // empty/all-zero queries return empty hit lists without touching the pool
 // or any shard.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -46,6 +64,26 @@ namespace fmeter::exec {
 
 using index::PruneStats;
 using index::PruningMode;
+
+/// Per-call (or accumulated) execution counters: the index layer's pruning
+/// counters plus the scheduler's own observability — which dispatch branch
+/// each query took, how much of the work grid was reserved, and how many
+/// pool workers joined in.
+struct QueryStats : index::PruneStats {
+  std::uint64_t dispatch_inline = 0;  ///< queries executed on the caller
+  std::uint64_t dispatch_pooled = 0;  ///< queries fanned out over the pool
+  std::uint64_t spans_reserved = 0;   ///< grid spans claimed via fetch_add
+  std::uint64_t tasks_executed = 0;   ///< pool workers that joined the grid
+
+  QueryStats& operator+=(const QueryStats& other) noexcept {
+    index::PruneStats::operator+=(other);
+    dispatch_inline += other.dispatch_inline;
+    dispatch_pooled += other.dispatch_pooled;
+    spans_reserved += other.spans_reserved;
+    tasks_executed += other.tasks_executed;
+    return *this;
+  }
+};
 
 class QueryEngine {
  public:
@@ -61,21 +99,21 @@ class QueryEngine {
   TaskPool& pool() const { return pool_ ? *pool_ : TaskPool::shared(); }
 
   /// Top-k for one query — exactly run_batch() on a batch of one.
-  /// `stats`, when given, accumulates prune counters over every shard the
-  /// query touched.
+  /// `stats`, when given, accumulates prune and scheduler counters over
+  /// every shard the query touched.
   std::vector<IndexHit> run(const vsm::SparseVector& query, std::size_t k,
                             Metric metric = Metric::kCosine,
                             PruningMode mode = PruningMode::kExact,
-                            PruneStats* stats = nullptr) const;
+                            QueryStats* stats = nullptr) const;
 
   /// Executes every query and returns one hit list per query, aligned with
-  /// the input. Queries fan out over (shard, query-block) tasks; per-shard
-  /// top-k results merge into globally ordered hits.
+  /// the input. The batch becomes one (shard × query-span) grid; the cost
+  /// model picks inline or pooled batch-reservation execution.
   std::vector<std::vector<IndexHit>> run_batch(
       std::span<const vsm::SparseVector> queries, std::size_t k,
       Metric metric = Metric::kCosine,
       PruningMode mode = PruningMode::kExact,
-      PruneStats* stats = nullptr) const;
+      QueryStats* stats = nullptr) const;
 
   /// Same, over non-owning pointers — for callers whose queries are not
   /// contiguous (e.g. embedded in larger structs), sparing a deep copy.
@@ -84,11 +122,46 @@ class QueryEngine {
       std::span<const vsm::SparseVector* const> queries, std::size_t k,
       Metric metric = Metric::kCosine,
       PruningMode mode = PruningMode::kExact,
-      PruneStats* stats = nullptr) const;
+      QueryStats* stats = nullptr) const;
+
+  /// Lifetime totals of the dispatch decision: batches the cost model kept
+  /// on the caller vs. fanned out over the pool.
+  std::uint64_t inline_batches() const noexcept {
+    return inline_batches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pooled_batches() const noexcept {
+    return pooled_batches_.load(std::memory_order_relaxed);
+  }
+  /// Dispatch-side buffer growth events (worker arenas, floor array,
+  /// partial-results grid, span stats slots). Flat across repeated
+  /// same-shape batches — the zero-steady-state-allocation property the
+  /// tests assert.
+  std::uint64_t dispatch_allocations() const noexcept {
+    return dispatch_allocations_.load(std::memory_order_relaxed);
+  }
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
 
  private:
+  /// Scoring scratch owned by the engine for one pool worker. A worker
+  /// services one span at a time, so its arena is never contended — even
+  /// with concurrent run_batch callers on the same engine.
+  struct WorkerArena {
+    index::TopKScratch scratch;
+  };
+
+  /// Per-worker arenas, created once at the first pooled dispatch (sized
+  /// to the bound pool).
+  std::vector<WorkerArena>& arenas(TaskPool& pool) const;
+
   const ShardedIndex* index_;
   TaskPool* pool_;
+  mutable std::vector<WorkerArena> worker_arenas_;
+  mutable std::once_flag arenas_once_;
+  mutable std::atomic<std::uint64_t> inline_batches_{0};
+  mutable std::atomic<std::uint64_t> pooled_batches_{0};
+  mutable std::atomic<std::uint64_t> dispatch_allocations_{0};
 };
 
 }  // namespace fmeter::exec

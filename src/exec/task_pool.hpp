@@ -1,17 +1,36 @@
-// Fixed-size thread pool with futures — the execution substrate of the
-// query engine.
+// Fixed-size thread pool — the execution substrate of the query engine.
 //
-// Deliberately work-stealing-free: the engine carves a batch into
-// coarse-grained (shard, query-block) tasks whose costs are near-uniform, so
-// a single mutex-guarded FIFO keeps ordering simple, contention negligible
-// and behavior easy to reason about under TSan. Workers are spawned once at
-// construction and joined at destruction; submit() hands back a
-// std::future carrying the task's result or its exception.
+// Two ways in, one set of workers:
+//
+//  * submit() — classic future-returning task queue, used for coarse
+//    independent jobs (bulk ingest, snapshot loads, tests). One
+//    mutex-guarded FIFO; a task is one heap-allocated closure.
+//  * run_spans() — batch-reservation execution for the query engine's hot
+//    path. The caller describes a whole batch as `spans` numbered work
+//    units and every participant (the caller plus any workers that wake)
+//    claims spans by a single atomic fetch_add until the counter passes the
+//    end. No per-span closure, no per-span future, no queue traffic: the
+//    batch descriptor lives on the caller's stack, workers join it straight
+//    from their wait loop, and completion is one latch (an in-flight count
+//    plus one condition variable) per batch. The caller always participates,
+//    so a batch finishes even if every worker is busy elsewhere — and on a
+//    one-thread pool run_spans degenerates to a plain loop.
+//
+// Deliberately work-stealing-free: spans within a batch are near-uniform
+// and the reservation counter is itself the load balancer (a slow worker
+// simply claims fewer spans). Workers are spawned once at construction and
+// joined at destruction.
+//
+// Options.pin_threads (off by default) pins worker i to core i modulo the
+// hardware concurrency via pthread_setaffinity_np — for dedicated serving
+// processes where the OS migrating workers between cores costs more than
+// it balances; meaningless under oversubscription, hence opt-in.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -27,8 +46,14 @@ namespace fmeter::exec {
 
 class TaskPool {
  public:
+  struct Options {
+    std::size_t num_threads = 0;  ///< 0 → hardware concurrency
+    bool pin_threads = false;     ///< pthread_setaffinity_np worker i → core i
+  };
+
   /// Spawns `num_threads` workers (clamped to at least 1).
   explicit TaskPool(std::size_t num_threads);
+  explicit TaskPool(const Options& options);
   ~TaskPool();
 
   TaskPool(const TaskPool&) = delete;
@@ -36,11 +61,50 @@ class TaskPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Number of tasks picked up by a worker (counted just before the task
+  /// The `slot` run_spans() hands to spans executed by the calling thread
+  /// itself (workers get their stable index in [0, size())). Callers keying
+  /// per-participant scratch off the slot must treat this one as "use your
+  /// own thread-local state": concurrent run_spans() callers all see it.
+  static constexpr std::size_t kCallerSlot = static_cast<std::size_t>(-1);
+
+  /// Runs `fn(span, slot)` exactly once for every span in [0, spans).
+  /// The calling thread participates and blocks until the batch completes;
+  /// idle workers join concurrently. `fn` must therefore be safe to invoke
+  /// from multiple threads on distinct spans. Exceptions thrown by `fn`
+  /// are latched (first one wins), the remaining spans are abandoned, and
+  /// the exception rethrows on the caller once every participant has left
+  /// the batch. Reentrant: a worker calling run_spans() mid-span executes
+  /// the nested batch entirely on its own thread (no deadlock, no nested
+  /// join), which is exactly the inline fallback the query engine wants.
+  /// Returns the number of pool workers that joined this batch (0 when the
+  /// caller ran it solo) — the batch's share of tasks_executed().
+  std::size_t run_spans(std::size_t spans,
+                        const std::function<void(std::size_t span,
+                                                 std::size_t slot)>& fn);
+
+  /// Number of submit() tasks picked up by a worker plus the number of
+  /// times a worker joined a run_spans() batch (counted before any work
   /// runs). Lets tests assert that degenerate inputs cause no dispatch.
   std::size_t tasks_executed() const noexcept {
     return tasks_executed_.load(std::memory_order_relaxed);
   }
+  /// run_spans() batches started (whether or not any worker joined).
+  std::uint64_t span_batches() const noexcept {
+    return span_batches_.load(std::memory_order_relaxed);
+  }
+  /// Spans executed across all run_spans() batches, by anyone.
+  std::uint64_t spans_reserved() const noexcept {
+    return spans_reserved_.load(std::memory_order_relaxed);
+  }
+  /// Spans executed by calling threads (the caller's share of the work —
+  /// spans_reserved() minus the sum of worker_span_counts()).
+  std::uint64_t caller_spans() const noexcept {
+    return caller_spans_.load(std::memory_order_relaxed);
+  }
+  /// Per-worker span execution counts, index-aligned with worker slots.
+  /// A heavily skewed vector on a multi-core host means workers are being
+  /// starved (or pinned badly); on one core it is legitimately lopsided.
+  std::vector<std::uint64_t> worker_span_counts() const;
 
   /// True iff the calling thread is one of *this* pool's workers. Blocking
   /// on subtasks from inside a worker would deadlock a fixed-size pool, so
@@ -73,14 +137,38 @@ class TaskPool {
   static TaskPool& shared();
 
  private:
-  void worker_loop();
+  /// One run_spans() batch. Lives on the caller's stack; listed in
+  /// `batches_` only while spans remain unclaimed, so workers discover it
+  /// under mutex_ and the caller can delist it before waiting out the
+  /// stragglers (after delisting, in_flight can only fall).
+  struct SpanBatch {
+    std::atomic<std::size_t> next{0};    ///< the reservation counter
+    std::size_t total = 0;               ///< spans in [0, total)
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> in_flight{0};  ///< workers currently inside
+    std::atomic<std::size_t> joined{0};     ///< workers that ever joined
+    std::mutex done_mutex;
+    std::condition_variable done;        ///< signaled when in_flight hits 0
+    std::exception_ptr error;            ///< first failure, under done_mutex
+  };
+
+  void worker_loop(std::size_t worker_index);
+  /// Claims spans off `batch` until exhausted or a failure is latched;
+  /// returns how many spans this participant executed.
+  std::uint64_t drain_spans(SpanBatch& batch, std::size_t slot);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
+  std::vector<SpanBatch*> batches_;  // active span batches, FIFO service
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::atomic<std::size_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> span_batches_{0};
+  std::atomic<std::uint64_t> spans_reserved_{0};
+  std::atomic<std::uint64_t> caller_spans_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> worker_spans_;
   bool stopping_ = false;
+  bool pin_threads_ = false;
 };
 
 }  // namespace fmeter::exec

@@ -55,8 +55,10 @@ enum class ScanPolicy { kIndexed, kBruteForce };
 /// Ignored under ScanPolicy::kBruteForce.
 using index::PruningMode;
 
-/// Aggregated observability counters for the pruned/exact indexed paths.
-using QueryStats = index::PruneStats;
+/// Aggregated observability counters for the indexed paths: the index
+/// layer's pruning counters plus the engine's scheduler counters (inline
+/// vs. pooled dispatch, grid spans reserved, workers joined).
+using QueryStats = exec::QueryStats;
 
 struct SearchHit {
   std::size_t id = 0;      ///< database entry id

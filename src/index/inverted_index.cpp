@@ -333,6 +333,7 @@ MemoryBreakdown InvertedIndex::memory_breakdown() const noexcept {
 std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
                                            std::size_t k, Metric metric,
                                            TopKScratch* scratch,
+                                           double seed_score,
                                            PruneStats* stats) const {
   const std::size_t n = size();
   const std::size_t top = std::min(k, n);
@@ -354,6 +355,36 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
   const auto q_indices = query.indices();
   const auto q_values = query.values();
   std::size_t visited = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  // Upfront prefetch pass: issue prefetches for every arena span before the
+  // walk, so short spans overlap their memory latency instead of paying it
+  // serially span by span — the penalty that otherwise makes many small
+  // shards slower than one big one (a 10k corpus split 8 ways leaves ~66
+  // postings per span, too short for the hardware prefetcher to wind up).
+  // Long spans (average ≥ 256 postings) stream fine on their own, and the
+  // extra prefetch instructions only cost there, so the pass is gated on
+  // the measured average span length.
+  if (arena_terms() > 0 && arena_ids_.size() < arena_terms() * 256) {
+    const DocId* ids = arena_ids_.data();
+    const double* ws = arena_weights_.data();
+    for (std::size_t i = 0; i < q_indices.size(); ++i) {
+      const std::size_t term = q_indices[i];
+      if (term >= arena_terms()) continue;
+      const std::size_t begin = arena_offsets_[term];
+      // Only the head of each span: the cost being hidden is the cold
+      // span-*start* latency while the hardware prefetcher winds up; once a
+      // span streams, software hints are redundant instructions. Hot Zipf
+      // terms keep long spans even in a heavily sharded corpus, and
+      // covering them end-to-end was measurably pure overhead.
+      const std::size_t end =
+          std::min(arena_offsets_[term + 1], begin + 128);
+      for (std::size_t p = begin; p < end; p += 8) {
+        __builtin_prefetch(ws + p);
+        __builtin_prefetch(ids + p);
+      }
+    }
+  }
+#endif
   for (std::size_t i = 0; i < q_indices.size(); ++i) {
     const std::size_t term = q_indices[i];
     const double q_weight = q_values[i];
@@ -387,7 +418,22 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
   // whatever the offer order, so the doc permutation cannot move a hit.
   const double* snorms = scoring_norms();
   BoundedHeap heap;
+  // Divide-free seed pre-test for cosine: score < seed ⟺ acc < seed·|q|·norm
+  // (all positive), so a doc with acc below that product — shrunk by a
+  // 1e-13 relative margin, ~450× the worst rounding drift of the two extra
+  // multiplies — is provably below the cross-shard floor and can skip the
+  // divide and the heap entirely. Borderline docs (within the margin, or
+  // exactly tied with the seed) fail the pre-test and fall through to the
+  // exact compute + exact seed compare below, so the returned hits are
+  // bit-identical with and without the pre-test. In a multi-shard engine
+  // sweep every shard after the first runs seeded, which turns most of its
+  // scoring loop into one multiply-compare per doc.
+  const bool seed_pretest =
+      metric == Metric::kCosine && seed_score > 0.0 && q_norm > 0.0;
+  const double seed_pretest_factor =
+      seed_pretest ? seed_score * q_norm * (1.0 - 1e-13) : 0.0;
   for (std::size_t doc = 0; doc < n; ++doc) {
+    if (seed_pretest && acc[doc] < seed_pretest_factor * snorms[doc]) continue;
     IndexHit hit;
     hit.doc = public_of(static_cast<DocId>(doc));
     if (metric == Metric::kCosine) {
@@ -403,6 +449,13 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
           q_norm * q_norm + snorms[doc] * snorms[doc] - 2.0 * acc[doc];
       hit.score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
     }
+    // Cross-shard seed: k documents elsewhere already reach seed_score, so
+    // anything strictly below it can never enter the global top-k — drop it
+    // before the heap. Exact compare on the exact score (no margin): equal
+    // scores must survive for the ascending-id tie-break, and the heap then
+    // fills only with genuine contenders instead of churning through every
+    // shard-local also-ran.
+    if (hit.score < seed_score) continue;
     heap_offer(heap, top, hit);
   }
   if (stats != nullptr) {
@@ -421,7 +474,7 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
   // k >= size(): every document must be returned, so there is nothing to
   // prune — the exact dense pass is the cheapest correct answer (and its
   // bit-identical scores trivially satisfy the 1e-9 contract).
-  if (top == n) return top_k(query, k, metric, scratch, stats);
+  if (top == n) return top_k(query, k, metric, scratch, seed_score, stats);
 
   TopKScratch local;
   TopKScratch& state = scratch != nullptr ? *scratch : local;
@@ -449,46 +502,43 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
   struct TermRef {
     double impact;
     double q_weight;
+    double key;  ///< precomputed sort key — see below
     TermId term;
   };
+  // The sort key is computed here, in the same pass that already loads each
+  // term's list lengths, never inside the comparator: a comparator chasing
+  // arena_offsets_ does two random reads per comparison, and at many small
+  // shards that made the sort a top-three cost of the whole pruned call.
+  //
+  // Frozen head ordering: the bootstrap's job is to shrink the
+  // Cauchy–Schwarz slack |q_rem|·|d_rem|, and |q_rem| falls with the query
+  // mass q_w² retired per list while the cost is the list's postings — so
+  // the head is a greedy knapsack on mass retired per posting visited, not
+  // on impact. (The partial dots still surface the true top-k contenders:
+  // mass-heavy lists dominate every large dot product, and the threshold
+  // re-scores its candidates exactly before any pruning decision rests on
+  // it.) Mutable tiers keep the classic impact order.
+  const bool frozen_order = arena_terms() > 0;
   std::vector<TermRef> terms;
   terms.reserve(q_indices.size());
   for (std::size_t i = 0; i < q_indices.size(); ++i) {
     const std::size_t term = q_indices[i];
     if (term >= term_space) continue;
-    if (arena_len(term) + tail_len(term) == 0) continue;
+    const std::size_t len = arena_len(term) + tail_len(term);
+    if (len == 0) continue;
     const double impact = std::max(q_values[i] * max_weight_[term],
                                    q_values[i] * min_weight_[term]);
-    terms.push_back({std::max(impact, 0.0), q_values[i],
-                     static_cast<TermId>(term)});
+    const double clamped = std::max(impact, 0.0);
+    const double key = frozen_order ? q_values[i] * q_values[i] /
+                                          static_cast<double>(len + 1)
+                                    : clamped;
+    terms.push_back({clamped, q_values[i], key, static_cast<TermId>(term)});
   }
-  if (arena_terms() > 0) {
-    // Frozen head ordering: the bootstrap's job is to shrink the
-    // Cauchy–Schwarz slack |q_rem|·|d_rem|, and |q_rem| falls with the
-    // query mass q_w² retired per list while the cost is the list's
-    // postings — so the head is a greedy knapsack on mass retired per
-    // posting visited, not on impact. (The partial dots still surface the
-    // true top-k contenders: mass-heavy lists dominate every large dot
-    // product, and the threshold re-scores its candidates exactly before
-    // any pruning decision rests on it.)
-    std::sort(terms.begin(), terms.end(),
-              [&](const TermRef& a, const TermRef& b) {
-                const double ca =
-                    a.q_weight * a.q_weight /
-                    static_cast<double>(arena_len(a.term) + tail_len(a.term) + 1);
-                const double cb =
-                    b.q_weight * b.q_weight /
-                    static_cast<double>(arena_len(b.term) + tail_len(b.term) + 1);
-                if (ca != cb) return ca > cb;
-                return a.term < b.term;  // deterministic order under ties
-              });
-  } else {
-    std::sort(terms.begin(), terms.end(),
-              [](const TermRef& a, const TermRef& b) {
-                if (a.impact != b.impact) return a.impact > b.impact;
-                return a.term < b.term;  // deterministic order under ties
-              });
-  }
+  std::sort(terms.begin(), terms.end(),
+            [](const TermRef& a, const TermRef& b) {
+              if (a.key != b.key) return a.key > b.key;
+              return a.term < b.term;  // deterministic order under ties
+            });
   std::vector<std::size_t> suffix_postings(terms.size() + 1, 0);
   std::vector<double> suffix_impact(terms.size() + 1, 0.0);
   for (std::size_t j = terms.size(); j-- > 0;) {
@@ -574,6 +624,32 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
     }
     const double sq = q_norm_sq + snorms_sq[doc] - 2.0 * dot;
     return sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+  };
+
+  // Memoized exact re-score. Every theta raise probes the current best
+  // accumulators — overwhelmingly the same leading documents as the raise
+  // before — and a doc's exact score never changes within one call, so the
+  // second and later probes return the cached double instead of walking the
+  // forward store. At many small shards the refresh cadence makes this the
+  // dominant saving: raises scale with shard count while the distinct docs
+  // they probe barely grow. Stamped lazily like the accumulator epochs (no
+  // O(#docs) clearing per query); `forward_gathers` counts real walks only,
+  // so the counter keeps meaning "forward-store work".
+  if (state.rescore_epoch.size() != n) {
+    state.rescore_epoch.assign(n, 0);
+    state.rescore_score.resize(n);
+    state.rescore_counter = 0;
+  }
+  if (++state.rescore_counter == 0) {  // stamp wrap: all stamps invalid again
+    state.rescore_epoch.assign(n, 0);
+    state.rescore_counter = 1;
+  }
+  const auto memo_score = [&](DocId doc) {
+    if (state.rescore_epoch[doc] == state.rescore_counter) {
+      return state.rescore_score[doc];
+    }
+    state.rescore_epoch[doc] = state.rescore_counter;
+    return state.rescore_score[doc] = exact_score(doc);
   };
 
   std::size_t visited = 0;
@@ -678,7 +754,7 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
     if (best.size() < top) return;  // not enough docs to back a threshold
     rescored.clear();
     while (!best.empty()) {
-      rescored.push_back(exact_score(best.top().doc));
+      rescored.push_back(memo_score(best.top().doc));
       best.pop();
     }
     // k-th largest exact score among the re-scored candidates.
@@ -986,8 +1062,8 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
               });
     for (const auto& [bound, d] : by_bound) {
       if (heap.size() == top && bound < heap.top().score) break;
-      ++forward_gathers;
-      heap_offer(heap, top, IndexHit{public_of(d), exact_score(d)});
+      if (state.rescore_epoch[d] != state.rescore_counter) ++forward_gathers;
+      heap_offer(heap, top, IndexHit{public_of(d), memo_score(d)});
     }
   } else {
     for (const auto d : alive) {

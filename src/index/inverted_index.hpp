@@ -152,11 +152,13 @@ struct PruneStats {
   std::size_t docs_pruned = 0;     ///< documents discarded by an upper bound
   std::size_t postings_visited = 0;  ///< posting-list entries touched
   std::size_t blocks_skipped = 0;  ///< frozen blocks bypassed wholesale
-  /// Documents the candidate-mode finish fetched from the forward store
-  /// (the gather that replaces walking the abandoned posting lists — the
-  /// cost the candidate-switch model prices). Threshold-bootstrap
-  /// re-scores are not counted: they are bounded per theta raise, not part
-  /// of the candidate gather. Always ≤ docs_scored; 0 on the exact path.
+  /// Forward-store walks the candidate-mode finish actually performed (the
+  /// gather that replaces walking the abandoned posting lists — the cost
+  /// the candidate-switch model prices). Candidates whose exact score was
+  /// already memoized by a threshold raise cost no walk and are not
+  /// counted, and neither are the bounded per-raise bootstrap re-scores —
+  /// the counter means "forward-store work", not "candidates considered".
+  /// Always ≤ docs_scored; 0 on the exact path.
   std::size_t forward_gathers = 0;
 
   PruneStats& operator+=(const PruneStats& other) noexcept {
@@ -203,6 +205,14 @@ struct TopKScratch {
   std::vector<std::uint32_t> epoch;     ///< per-doc stamp of the last touch
   std::vector<std::uint32_t> touched;   ///< docs first-touched this query
   std::uint32_t epoch_counter = 0;      ///< current query's stamp
+  // Memoized forward-store re-scores, stamped the same lazy way: every
+  // threshold raise re-probes largely the same leading documents, and a
+  // doc's exact score is a pure function of (query, doc) — so within one
+  // pruned call the second and later probes of a doc cost one array read
+  // instead of a forward-store walk.
+  std::vector<std::uint32_t> rescore_epoch;  ///< per-doc stamp of a cached score
+  std::vector<double> rescore_score;         ///< cached exact score per doc
+  std::uint32_t rescore_counter = 0;         ///< current pruned call's stamp
 };
 
 class InvertedIndex {
@@ -302,9 +312,20 @@ class InvertedIndex {
   /// empty/all-zero query both return no hits without walking any posting
   /// list. An optional scratch reuses the accumulator buffer across calls.
   /// `stats`, when given, accumulates observability counters.
+  ///
+  /// `seed_score` is a cross-shard short-circuit: when the caller already
+  /// holds k documents scoring at least `seed_score` (another shard's full
+  /// top-k), documents scoring strictly below it can never reach the global
+  /// top-k, so they are dropped before the heap — the call may then return
+  /// fewer than k hits, but every omitted document provably loses to the
+  /// seed. Retained hits keep bit-identical scores; docs scoring exactly at
+  /// the seed are kept so cross-shard tie-breaks stay intact. kNoSeed (the
+  /// default) restores the full standalone top-k contract.
+  static constexpr double kNoSeed = -1e300;
   std::vector<IndexHit> top_k(const vsm::SparseVector& query, std::size_t k,
                               Metric metric = Metric::kCosine,
                               TopKScratch* scratch = nullptr,
+                              double seed_score = kNoSeed,
                               PruneStats* stats = nullptr) const;
 
   /// Max-score top-k: same documents in the same order as top_k(), scores
@@ -315,7 +336,6 @@ class InvertedIndex {
   /// outside knowledge. Documents scoring exactly at the threshold are
   /// never pruned, so cross-shard tie-breaks stay intact. Degenerate
   /// inputs behave exactly like top_k().
-  static constexpr double kNoSeed = -1e300;
   std::vector<IndexHit> top_k_pruned(const vsm::SparseVector& query,
                                      std::size_t k,
                                      Metric metric = Metric::kCosine,

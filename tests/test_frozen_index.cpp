@@ -386,7 +386,7 @@ TEST(FrozenIndex, AutoModeResolvesByShardSizeAndMatchesGolden) {
   const exec::QueryEngine frozen_engine(frozen_sharded);
   for (int q = 0; q < 5; ++q) {
     const auto& query = docs[rng.below(docs.size())];
-    index::PruneStats stats;
+    exec::QueryStats stats;
     const auto exact = engine.run(query, 10, index::Metric::kCosine);
     const auto autod = engine.run(query, 10, index::Metric::kCosine,
                                   PruningMode::kAuto, &stats);
@@ -395,7 +395,7 @@ TEST(FrozenIndex, AutoModeResolvesByShardSizeAndMatchesGolden) {
 
     const auto frozen_exact =
         frozen_engine.run(query, 10, index::Metric::kCosine);
-    index::PruneStats frozen_stats;
+    exec::QueryStats frozen_stats;
     const auto frozen_auto = frozen_engine.run(
         query, 10, index::Metric::kCosine, PruningMode::kAuto, &frozen_stats);
     expect_hits_identical(frozen_auto, frozen_exact,

@@ -343,7 +343,7 @@ TEST(PrunedSearch, EngineDispatchPathMatchesExactUnderThreads) {
   const exec::QueryEngine engine(index, &pool);
   for (const auto metric :
        {index::Metric::kCosine, index::Metric::kEuclidean}) {
-    exec::PruneStats stats;
+    exec::QueryStats stats;
     const auto exact = engine.run_batch(queries, 6, metric);
     const auto pruned = engine.run_batch(queries, 6, metric,
                                          exec::PruningMode::kMaxScore, &stats);

@@ -147,6 +147,7 @@ TEST(QueryEngine, KZeroAndEmptyQueriesShortCircuitWithoutDispatch) {
   const auto zero_k = engine.run_batch(queries, 0);
   ASSERT_EQ(zero_k.size(), queries.size());
   for (const auto& hits : zero_k) EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(pool.span_batches(), 0u);
   EXPECT_EQ(pool.tasks_executed(), 0u);
 
   // A batch of only empty/all-zero queries: same story.
@@ -154,18 +155,29 @@ TEST(QueryEngine, KZeroAndEmptyQueriesShortCircuitWithoutDispatch) {
   const auto no_hits = engine.run_batch(empties, 10);
   ASSERT_EQ(no_hits.size(), empties.size());
   for (const auto& hits : no_hits) EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(pool.span_batches(), 0u);
   EXPECT_EQ(pool.tasks_executed(), 0u);
 
   EXPECT_TRUE(engine.run(vsm::SparseVector(), 10).empty());
+  EXPECT_EQ(pool.span_batches(), 0u);
   EXPECT_EQ(pool.tasks_executed(), 0u);
 
   // Control: the same batch with a valid k does dispatch — proving the
   // zero counts above came from the degenerate short-circuits, not from
-  // an index too small to ever reach the pool.
-  const auto real = engine.run_batch(queries, 5);
+  // an index too small to ever reach the pool. (span_batches, not
+  // tasks_executed: on a loaded one-core host the caller can legitimately
+  // drain the whole reservation grid before any worker wakes.)
+  exec::QueryStats stats;
+  const auto real = engine.run_batch(queries, 5, index::Metric::kCosine,
+                                     exec::PruningMode::kExact, &stats);
   ASSERT_EQ(real.size(), queries.size());
   for (const auto& hits : real) EXPECT_EQ(hits.size(), 5u);
-  EXPECT_GT(pool.tasks_executed(), 0u);
+  EXPECT_GT(pool.span_batches(), 0u);
+  EXPECT_EQ(engine.pooled_batches(), 1u);
+  EXPECT_EQ(stats.dispatch_pooled, queries.size());
+  EXPECT_EQ(stats.dispatch_inline, 0u);
+  EXPECT_GT(stats.spans_reserved, 0u);
+  EXPECT_EQ(pool.spans_reserved(), stats.spans_reserved);
 }
 
 TEST(QueryEngine, MixedBatchGivesEmptyQueriesNoHitsAndOthersFullHits) {
@@ -337,6 +349,120 @@ TEST(QueryEngine, DedicatedPoolProducesSameResultsAsSharedPool) {
       }
     }
   }
+}
+
+TEST(QueryEngine, SchedulerStressOversubscribedConcurrentAndNested) {
+  // The batch-reservation scheduler under everything at once (run under
+  // TSan in CI): a pool oversubscribed well past the host's cores, many
+  // threads calling run_batch on the same engine concurrently, nested
+  // re-entry from inside pool tasks, and degenerate empty/one-query
+  // batches interleaved throughout. Every result must stay bit-identical
+  // to a single-threaded reference.
+  util::Rng rng(0x57e5);
+  exec::ShardedIndex index(5);
+  for (int i = 0; i < 6000; ++i) index.add(random_sparse(rng, 32, 8));
+
+  std::vector<vsm::SparseVector> queries;
+  for (int q = 0; q < 24; ++q) {
+    auto query = random_sparse(rng, 32, 8);
+    if (query.empty()) {  // keep the reference lists non-degenerate
+      query = vsm::SparseVector::from_entries(
+          {{static_cast<vsm::SparseVector::Index>(q), 1.0}});
+    }
+    queries.push_back(std::move(query));
+  }
+
+  // Single-threaded reference through a one-worker pool (always inline).
+  exec::TaskPool solo(1);
+  const exec::QueryEngine reference_engine(index, &solo);
+  const auto reference = reference_engine.run_batch(queries, 7);
+
+  exec::TaskPool pool(exec::TaskPool::Options{
+      .num_threads = 3 * std::max(1u, std::thread::hardware_concurrency()),
+      .pin_threads = false});
+  const exec::QueryEngine engine(index, &pool);
+
+  const auto check = [&](const std::vector<std::vector<exec::IndexHit>>& got,
+                         const char* context) {
+    ASSERT_EQ(got.size(), reference.size()) << context;
+    for (std::size_t q = 0; q < got.size(); ++q) {
+      ASSERT_EQ(got[q].size(), reference[q].size()) << context << " q " << q;
+      for (std::size_t r = 0; r < got[q].size(); ++r) {
+        EXPECT_EQ(got[q][r].doc, reference[q][r].doc) << context << " q " << q;
+        EXPECT_EQ(got[q][r].score, reference[q][r].score)
+            << context << " q " << q;
+      }
+    }
+  };
+
+  // Nested re-entry: searches issued from inside pool tasks while outside
+  // callers hammer the same engine's pooled path.
+  std::vector<std::future<std::vector<exec::IndexHit>>> nested;
+  for (int i = 0; i < 6; ++i) {
+    nested.push_back(pool.submit(
+        [&engine, &queries, i] { return engine.run(queries[i % 24], 7); }));
+  }
+
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 8;
+  std::vector<std::thread> callers;
+  std::vector<std::vector<std::vector<exec::IndexHit>>> outputs(kCallers);
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Degenerate batches between real ones: must not disturb anything.
+        (void)engine.run_batch(std::span<const vsm::SparseVector>(), 7);
+        (void)engine.run_batch({&queries[static_cast<std::size_t>(c)], 1}, 7);
+        outputs[c] = engine.run_batch(queries, 7);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  for (int c = 0; c < kCallers; ++c) {
+    check(outputs[c], ("caller " + std::to_string(c)).c_str());
+  }
+  for (std::size_t i = 0; i < nested.size(); ++i) {
+    const auto hits = nested[i].get();
+    ASSERT_EQ(hits.size(), reference[i % 24].size()) << "nested " << i;
+    for (std::size_t r = 0; r < hits.size(); ++r) {
+      EXPECT_EQ(hits[r].doc, reference[i % 24][r].doc) << "nested " << i;
+      EXPECT_EQ(hits[r].score, reference[i % 24][r].score) << "nested " << i;
+    }
+  }
+}
+
+TEST(QueryEngine, SteadyStateDispatchAllocationsStabilize) {
+  // The dispatch side reuses every buffer it owns (floors, partial grid,
+  // span stats, scratch arenas): after a warm-up batch has sized them, an
+  // identical batch must grow nothing — the engine's growth counter stays
+  // flat across both the inline and the pooled branch.
+  util::Rng rng(0xa110);
+  exec::ShardedIndex index(4);
+  for (int i = 0; i < 6000; ++i) index.add(random_sparse(rng, 32, 8));
+
+  std::vector<vsm::SparseVector> queries;
+  for (int q = 0; q < 16; ++q) queries.push_back(random_sparse(rng, 32, 8));
+
+  exec::TaskPool pool(3);
+  const exec::QueryEngine engine(index, &pool);
+  exec::QueryStats stats;
+  (void)engine.run_batch(queries, 5, exec::Metric::kCosine,
+                         exec::PruningMode::kExact, &stats);
+  const auto after_warmup = engine.dispatch_allocations();
+  EXPECT_GT(after_warmup, 0u);  // the warm-up is what sizes the buffers
+  for (int round = 0; round < 5; ++round) {
+    (void)engine.run_batch(queries, 5, exec::Metric::kCosine,
+                           exec::PruningMode::kExact, &stats);
+    (void)engine.run_batch(queries, 5, exec::Metric::kCosine,
+                           exec::PruningMode::kMaxScore, &stats);
+  }
+  EXPECT_EQ(engine.dispatch_allocations(), after_warmup);
+
+  // Small single queries ride the inline branch on already-sized buffers.
+  const auto before_scalar = engine.dispatch_allocations();
+  for (int q = 0; q < 8; ++q) (void)engine.run(queries[0], 5);
+  EXPECT_EQ(engine.dispatch_allocations(), before_scalar);
 }
 
 }  // namespace

@@ -76,7 +76,8 @@ TEST(QueryStats, ExactPathCountersAreExactlyDetermined) {
     for (int q = 0; q < 6; ++q) {
       const auto query = random_sparse(rng, 64, 10);
       PruneStats stats;
-      idx.top_k(query, 10, Metric::kCosine, nullptr, &stats);
+      idx.top_k(query, 10, Metric::kCosine, nullptr,
+      index::InvertedIndex::kNoSeed, &stats);
       EXPECT_EQ(stats.docs_scored, idx.size());
       EXPECT_EQ(stats.docs_pruned, 0u);
       EXPECT_EQ(stats.postings_visited, idx.num_postings_for(query));
@@ -111,8 +112,10 @@ TEST(QueryStats, CountersAccumulateAndFreshStructsSumToShared) {
         idx.top_k_pruned(query, 5, Metric::kCosine, &scratch,
                          InvertedIndex::kNoSeed, &per_query);
       } else {
-        idx.top_k(query, 5, Metric::kCosine, &scratch, &shared);
-        idx.top_k(query, 5, Metric::kCosine, &scratch, &per_query);
+        idx.top_k(query, 5, Metric::kCosine, &scratch,
+                  index::InvertedIndex::kNoSeed, &shared);
+        idx.top_k(query, 5, Metric::kCosine, &scratch,
+                  index::InvertedIndex::kNoSeed, &per_query);
       }
       // Per-query partition invariant.
       EXPECT_EQ(per_query.docs_scored + per_query.docs_pruned, idx.size());
@@ -201,7 +204,8 @@ TEST(QueryStats, EngineSumsAcrossShardsAndBatchedTasks) {
     PruneStats expected;
     for (const auto& query : queries) {
       for (std::size_t s = 0; s < shards; ++s) {
-        index.shard(s).top_k(query, 5, Metric::kCosine, nullptr, &expected);
+        index.shard(s).top_k(query, 5, Metric::kCosine, nullptr,
+                             index::InvertedIndex::kNoSeed, &expected);
       }
     }
 
@@ -209,12 +213,12 @@ TEST(QueryStats, EngineSumsAcrossShardsAndBatchedTasks) {
     const exec::QueryEngine engine(index, &pool);
     const std::string context = std::to_string(shards) + " shards";
 
-    PruneStats batched;
+    exec::QueryStats batched;
     engine.run_batch(std::span<const vsm::SparseVector>(queries), 5,
                      Metric::kCosine, PruningMode::kExact, &batched);
     expect_stats_equal(batched, expected, context + " batched");
 
-    PruneStats scalar;
+    exec::QueryStats scalar;
     for (const auto& query : queries) {
       engine.run(query, 5, Metric::kCosine, PruningMode::kExact, &scalar);
     }
@@ -223,7 +227,7 @@ TEST(QueryStats, EngineSumsAcrossShardsAndBatchedTasks) {
     // Pruned mode is not bit-deterministic across task interleavings (the
     // cross-shard seeding floor is racy by design), but the partition
     // invariant must still hold in aggregate.
-    PruneStats pruned;
+    exec::QueryStats pruned;
     engine.run_batch(std::span<const vsm::SparseVector>(queries), 5,
                      Metric::kCosine, PruningMode::kMaxScore, &pruned);
     EXPECT_EQ(pruned.docs_scored + pruned.docs_pruned,
@@ -254,7 +258,8 @@ TEST(QueryStats, ForwardGathersFireInCandidateModeOnly) {
     gathers_seen += pruned.forward_gathers;
 
     PruneStats exact;
-    idx.top_k(query, 3, Metric::kCosine, nullptr, &exact);
+    idx.top_k(query, 3, Metric::kCosine, nullptr,
+              index::InvertedIndex::kNoSeed, &exact);
     EXPECT_EQ(exact.forward_gathers, 0u) << "query " << q;
   }
   EXPECT_GT(gathers_seen, 0u)

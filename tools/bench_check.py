@@ -35,6 +35,12 @@ MEASURED_FIELDS = {
     "us_per_query", "queries_per_sec", "prune_rate", "postings_visited",
     "blocks_skipped", "seconds", "docs_per_sec", "cores",
     "file_mb", "mb_per_sec", "speedup", "forward_gathers",
+    # query_engine_scaling: per-cell scheduler measurements...
+    "speedup_vs_scalar", "dispatch_inline", "dispatch_pooled",
+    "spans_reserved", "tasks_executed",
+    # ...and its threshold-seeding comparison row.
+    "work_ratio", "seeded_docs_scored", "seeded_postings_visited",
+    "independent_docs_scored", "independent_postings_visited",
 }
 # Lower-is-better metrics, in preference order; each file is gated on the
 # first one its rows actually carry (query benches emit us_per_query, the
@@ -74,6 +80,11 @@ def main():
                         help="allowed fractional us_per_query increase")
     parser.add_argument("--min-docs", type=float, default=10000,
                         help="enforce only on rows with docs >= this")
+    parser.add_argument("--speedup-floor", type=float, default=None,
+                        help="fail when a fresh row's speedup_vs_scalar falls "
+                             "below this (a machine-relative ratio, so unlike "
+                             "us_per_query it is enforceable off the baseline "
+                             "machine); enforced at docs >= min-docs")
     args = parser.parse_args()
 
     fresh_name, fresh_rows = load_rows(args.fresh)
@@ -116,10 +127,35 @@ def main():
         ident = ", ".join(f"{f}={v}" for f, v in key)
         print(f"  [new] {ident} (no baseline yet)")
 
+    floor_failures = 0
+    if args.speedup_floor is not None:
+        # The speedup floor gates the fresh run directly: speedup_vs_scalar
+        # is a paired same-machine ratio (scheduler cell vs the scalar
+        # baseline interleaved rep by rep), so it transfers across machines
+        # where absolute microseconds do not.
+        for row in fresh_rows:
+            if "speedup_vs_scalar" not in row:
+                continue
+            if row.get("docs", 0) < args.min_docs:
+                continue
+            ratio = row["speedup_vs_scalar"]
+            if ratio < args.speedup_floor:
+                ident = ", ".join(f"{f}={row[f]}" for f in
+                                  ("docs", "shards", "batch", "mode")
+                                  if f in row)
+            else:
+                continue
+            print(f"  [FLOOR] {ident}: speedup_vs_scalar {ratio:.3f} "
+                  f"< {args.speedup_floor:.3f}")
+            floor_failures += 1
+
     print(f"bench_check: {fresh_name}: {compared} rows compared, "
           f"{failures} enforced regressions "
-          f"(threshold {args.threshold:.0%} at docs >= {args.min_docs:g})")
-    return 1 if failures else 0
+          f"(threshold {args.threshold:.0%} at docs >= {args.min_docs:g})"
+          + (f", {floor_failures} below speedup floor "
+             f"{args.speedup_floor:g}" if args.speedup_floor is not None
+             else ""))
+    return 1 if failures or floor_failures else 0
 
 
 if __name__ == "__main__":

@@ -111,6 +111,26 @@ void print_shard_table(const exec::ShardedIndex& index) {
   }
 }
 
+/// Process-wide execution-pool counters (the shared pool the database's
+/// query engine dispatches to): how many reservation grids ran, who
+/// executed the spans, and how evenly the work spread over the workers.
+void print_scheduler_stats() {
+  const auto& pool = exec::TaskPool::shared();
+  std::printf(
+      "scheduler: %zu pool workers, %llu span batches, %llu spans "
+      "reserved (%llu by calling threads), %zu worker pickups\n",
+      pool.size(), static_cast<unsigned long long>(pool.span_batches()),
+      static_cast<unsigned long long>(pool.spans_reserved()),
+      static_cast<unsigned long long>(pool.caller_spans()),
+      pool.tasks_executed());
+  const auto per_worker = pool.worker_span_counts();
+  std::printf("worker spans:");
+  for (const auto spans : per_worker) {
+    std::printf(" %llu", static_cast<unsigned long long>(spans));
+  }
+  std::printf("\n");
+}
+
 int cmd_collect(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string out_path = argv[2];
@@ -149,6 +169,7 @@ void print_database_stats(const core::SignatureDatabase& db) {
               index.num_shards(), index.num_terms(), index.num_postings(),
               static_cast<double>(index.memory_bytes()) / 1024.0);
   print_shard_table(index);
+  print_scheduler_stats();
   std::printf("\n");
 
   std::printf("%-28s %8s\n", "label", "docs");
@@ -400,6 +421,14 @@ int cmd_search(int argc, char** argv) {
                   static_cast<double>(considered)
             : 0.0,
         stats.postings_visited, stats.blocks_skipped, stats.forward_gathers);
+    std::printf(
+        "dispatch: %llu inline / %llu pooled queries, %llu grid spans "
+        "reserved, %llu workers joined\n",
+        static_cast<unsigned long long>(stats.dispatch_inline),
+        static_cast<unsigned long long>(stats.dispatch_pooled),
+        static_cast<unsigned long long>(stats.spans_reserved),
+        static_cast<unsigned long long>(stats.tasks_executed));
+    print_scheduler_stats();
   }
   return 0;
 }
