@@ -190,6 +190,25 @@ inline std::vector<double> time_op_cpu_us(const std::function<void()>& op,
   return samples;
 }
 
+/// Latency distribution summary of a sample set (microseconds by
+/// convention). Computed through util::percentile (linear interpolation
+/// between order statistics), so bench JSON percentiles and the runtime
+/// histogram quantiles agree in method up to bucketing error.
+struct LatencyPercentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+inline LatencyPercentiles percentiles_of(const std::vector<double>& samples) {
+  LatencyPercentiles out;
+  if (samples.empty()) return out;
+  out.p50 = util::percentile(samples, 50.0);
+  out.p95 = util::percentile(samples, 95.0);
+  out.p99 = util::percentile(samples, 99.0);
+  return out;
+}
+
 /// Prints the standard header for a reproduction binary.
 inline void print_banner(const char* experiment, const char* paper_summary) {
   std::printf("================================================================\n");

@@ -86,18 +86,33 @@ fmeter::vsm::SparseVector synthetic_signature(
 struct CellTiming {
   double qps = 0.0;       ///< median queries/sec over the reps
   double speedup = 0.0;   ///< median per-rep (baseline time / variant time)
+  fmeter::bench::LatencyPercentiles latency_us;  ///< per-query, per-chunk
   QueryStats stats;       ///< counters from one untimed sweep
 };
 
-/// Runs the whole query set through `engine` in chunks of `batch`.
+/// Runs the whole query set through `engine` in chunks of `batch`. When
+/// `latency_us` is given, each chunk's wall time is recorded as
+/// microseconds-per-query samples (one sample per chunk — the latency a
+/// caller submitting that batch would see, amortized over its queries).
 void sweep(const QueryEngine& engine,
            const std::vector<fmeter::vsm::SparseVector>& queries,
-           std::size_t batch, PruningMode mode, QueryStats* stats) {
+           std::size_t batch, PruningMode mode, QueryStats* stats,
+           std::vector<double>* latency_us = nullptr) {
   const std::span<const fmeter::vsm::SparseVector> all(queries);
   for (std::size_t begin = 0; begin < all.size(); begin += batch) {
     const auto chunk = all.subspan(begin, std::min(batch, all.size() - begin));
-    (void)engine.run_batch(chunk, kTopK, fmeter::exec::Metric::kCosine, mode,
-                           stats);
+    if (latency_us != nullptr) {
+      const auto start = std::chrono::steady_clock::now();
+      (void)engine.run_batch(chunk, kTopK, fmeter::exec::Metric::kCosine, mode,
+                             stats);
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      latency_us->push_back(us / static_cast<double>(chunk.size()));
+    } else {
+      (void)engine.run_batch(chunk, kTopK, fmeter::exec::Metric::kCosine, mode,
+                             stats);
+    }
   }
 }
 
@@ -110,25 +125,28 @@ CellTiming measure_cell(const QueryEngine& engine, const QueryEngine& baseline,
                         std::size_t batch, PruningMode mode, int reps) {
   using Clock = std::chrono::steady_clock;
   const auto seconds_of = [&](const QueryEngine& e, std::size_t b,
-                              PruningMode m) {
+                              PruningMode m, std::vector<double>* latency) {
     const auto start = Clock::now();
-    sweep(e, queries, b, m, nullptr);
+    sweep(e, queries, b, m, nullptr, latency);
     return std::chrono::duration<double>(Clock::now() - start).count();
   };
   sweep(engine, queries, batch, mode, nullptr);       // warmup variant
   sweep(baseline, queries, 1, PruningMode::kExact, nullptr);  // warmup base
-  std::vector<double> qps_samples, ratio_samples;
+  std::vector<double> qps_samples, ratio_samples, latency_samples;
   qps_samples.reserve(static_cast<std::size_t>(reps));
   ratio_samples.reserve(static_cast<std::size_t>(reps));
+  latency_samples.reserve(static_cast<std::size_t>(reps) *
+                          (queries.size() / std::max<std::size_t>(batch, 1) + 1));
   for (int r = 0; r < reps; ++r) {
-    const double variant = seconds_of(engine, batch, mode);
-    const double scalar = seconds_of(baseline, 1, PruningMode::kExact);
+    const double variant = seconds_of(engine, batch, mode, &latency_samples);
+    const double scalar = seconds_of(baseline, 1, PruningMode::kExact, nullptr);
     qps_samples.push_back(static_cast<double>(queries.size()) / variant);
     ratio_samples.push_back(scalar / variant);
   }
   CellTiming timing;
   timing.qps = fmeter::util::percentile(qps_samples, 50.0);
   timing.speedup = fmeter::util::percentile(ratio_samples, 50.0);
+  timing.latency_us = fmeter::bench::percentiles_of(latency_samples);
   sweep(engine, queries, batch, mode, &timing.stats);  // untimed counters
   return timing;
 }
@@ -329,6 +347,9 @@ int main(int argc, char** argv) {
                fmeter::bench::jnum("k", kTopK),
                fmeter::bench::jstr("mode", mode_name),
                fmeter::bench::jnum("us_per_query", 1e6 / cell.qps),
+               fmeter::bench::jnum("us_p50", cell.latency_us.p50),
+               fmeter::bench::jnum("us_p95", cell.latency_us.p95),
+               fmeter::bench::jnum("us_p99", cell.latency_us.p99),
                fmeter::bench::jnum("queries_per_sec", cell.qps),
                fmeter::bench::jnum("speedup_vs_scalar", cell.speedup),
                fmeter::bench::jnum(

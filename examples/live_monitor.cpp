@@ -9,13 +9,44 @@
 // simulated incident is the workload silently shifting from HTTP serving to
 // a disk-thrashing intruder process.
 //
+// The monitor also scrapes the always-on metrics registry every few
+// intervals and prints a one-line latency digest — the same numbers an
+// operator's Prometheus would collect from a real deployment.
+//
 // Build & run:  ./build/examples/live_monitor
 #include <cstdio>
 #include <deque>
 
 #include "fmeter/fmeter.hpp"
+#include "obs/metrics.hpp"
 
 using namespace fmeter;
+
+namespace {
+
+/// Periodic observability digest straight from the registry scrape: how
+/// many classifications ran, where their latency sits, and what one
+/// classification costs in probe work.
+void print_metrics_digest(const core::SignatureDatabase& db) {
+  db.publish_gauges();
+  const auto snap = obs::MetricsRegistry::global().scrape();
+  const auto* classify = snap.histogram("fmeter_db_classify_ns");
+  const auto* probe = snap.histogram("fmeter_stage_shard_probe_ns");
+  const auto* scored = snap.counter("fmeter_query_docs_scored_total");
+  std::printf(
+      "  [metrics] classify: n=%llu p50=%.1fus p99=%.1fus | probe: "
+      "p50=%.1fus | docs scored: %llu\n",
+      classify != nullptr ? static_cast<unsigned long long>(
+                                classify->snapshot.count)
+                          : 0ull,
+      classify != nullptr ? classify->snapshot.quantile(0.50) / 1000.0 : 0.0,
+      classify != nullptr ? classify->snapshot.quantile(0.99) / 1000.0 : 0.0,
+      probe != nullptr ? probe->snapshot.quantile(0.50) / 1000.0 : 0.0,
+      scored != nullptr ? static_cast<unsigned long long>(scored->value)
+                        : 0ull);
+}
+
+}  // namespace
 
 int main() {
   core::MonitoredSystem system;
@@ -76,6 +107,7 @@ int main() {
 
     std::printf("  interval %2d: classified as %-12s%s\n", interval,
                 verdict.c_str(), anomalous ? "  [ANOMALY]" : "");
+    if ((interval + 1) % 5 == 0) print_metrics_digest(db);
     if (consecutive_anomalies == 3 && alert_raised_at < 0) {
       alert_raised_at = interval;
       std::printf("  >>> ALERT: 3 consecutive anomalous intervals — paging "

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fmeter::exec {
 namespace {
@@ -72,6 +76,7 @@ std::vector<IndexHit> shard_hits(const ShardedIndex& index, std::size_t shard,
                                  Metric metric, PruningMode mode,
                                  index::TopKScratch& scratch, double* floor,
                                  PruneStats* stats) {
+  const obs::StageSpan probe_span(obs::Stage::kShardProbe);
   std::vector<IndexHit> hits;
   mode = resolve_mode(index, shard, k, mode);
   const double seed =
@@ -148,6 +153,84 @@ struct CallerArena {
 
 thread_local CallerArena tls_arena;
 
+// --- Registry wiring -----------------------------------------------------
+//
+// The engine always collects a per-batch QueryStats (whether or not the
+// caller asked for one) and folds it into these process-wide metrics after
+// every batch. Handles are resolved once; the per-batch cost is a handful
+// of relaxed fetch_adds — scrape-side merging pays the rest.
+
+struct EngineMetrics {
+  obs::Counter* batches;
+  obs::Counter* queries;
+  obs::Counter* dispatch_inline;
+  obs::Counter* dispatch_pooled;
+  obs::Counter* spans_reserved;
+  obs::Counter* docs_scored;
+  obs::Counter* docs_pruned;
+  obs::Counter* postings_visited;
+  obs::Counter* blocks_skipped;
+  obs::Histogram* batch_ns;
+  obs::Histogram* query_ns;
+};
+
+const EngineMetrics& engine_metrics() {
+  static const EngineMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    EngineMetrics m;
+    m.batches = &r.counter("fmeter_query_batches_total",
+                           "run_batch calls that reached a shard");
+    m.queries = &r.counter("fmeter_query_queries_total",
+                           "Eligible (non-empty) queries executed");
+    m.dispatch_inline = &r.counter(
+        "fmeter_query_dispatch_inline_total",
+        "Queries the cost model kept on the calling thread");
+    m.dispatch_pooled = &r.counter(
+        "fmeter_query_dispatch_pooled_total",
+        "Queries fanned out over the task pool");
+    m.spans_reserved = &r.counter("fmeter_query_spans_reserved_total",
+                                  "Grid spans claimed via batch reservation");
+    m.docs_scored = &r.counter("fmeter_query_docs_scored_total",
+                               "Documents fully scored across all shards");
+    m.docs_pruned = &r.counter("fmeter_query_docs_pruned_total",
+                               "Documents skipped by threshold pruning");
+    m.postings_visited = &r.counter("fmeter_query_postings_visited_total",
+                                    "Posting entries touched");
+    m.blocks_skipped = &r.counter("fmeter_query_blocks_skipped_total",
+                                  "Block-max posting blocks skipped whole");
+    m.batch_ns = &r.histogram("fmeter_query_batch_ns",
+                              "Wall time of one run_batch call");
+    m.query_ns = &r.histogram(
+        "fmeter_query_per_query_ns",
+        "Batch wall time amortized per eligible query (one record per batch)");
+    return m;
+  }();
+  return metrics;
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+
+void publish_batch(const QueryStats& stats, std::uint64_t batch_ns,
+                   std::size_t n_queries) {
+  const EngineMetrics& m = engine_metrics();
+  m.batches->inc();
+  m.queries->inc(n_queries);
+  m.dispatch_inline->inc(stats.dispatch_inline);
+  m.dispatch_pooled->inc(stats.dispatch_pooled);
+  m.spans_reserved->inc(stats.spans_reserved);
+  m.docs_scored->inc(stats.docs_scored);
+  m.docs_pruned->inc(stats.docs_pruned);
+  m.postings_visited->inc(stats.postings_visited);
+  m.blocks_skipped->inc(stats.blocks_skipped);
+  m.batch_ns->record(batch_ns);
+  if (n_queries > 0) m.query_ns->record(batch_ns / n_queries);
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(const ShardedIndex& index, TaskPool* pool)
@@ -186,6 +269,10 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
   std::vector<std::vector<IndexHit>> results(queries.size());
   if (k == 0 || index_->empty()) return results;
 
+  const auto batch_start = std::chrono::steady_clock::now();
+  // Collected whether or not the caller asked: the registry is always on.
+  QueryStats batch_stats;
+
   CallerArena& arena = tls_arena;
   std::uint64_t grown = 0;
 
@@ -218,12 +305,18 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
   arena.fit(arena.partial, cells, grown);
 
   const auto merge_into_results = [&] {
+    const obs::StageSpan merge_span(obs::Stage::kMerge);
     for (std::size_t e = 0; e < n_eligible; ++e) {
       results[arena.eligible[e]] = merge_shard_hits(
           std::span<std::vector<IndexHit>>(arena.partial)
               .subspan(e * shards, shards),
           k);
     }
+  };
+
+  const auto finish_batch = [&] {
+    if (stats != nullptr) *stats += batch_stats;
+    publish_batch(batch_stats, elapsed_ns(batch_start), n_eligible);
   };
 
   // Inline on the caller's thread when parallelism has nothing to win.
@@ -235,17 +328,20 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
   // overhead (batch-1 multi-shard lost ~20% to it). Per query, shards
   // still run in ascending order, so floor hand-off is deterministic.
   const auto run_inline = [&]() -> std::vector<std::vector<IndexHit>> {
+    obs::StageTracer::global().record(obs::Stage::kDispatch,
+                                      elapsed_ns(batch_start));
     for (std::size_t cell = 0; cell < cells; ++cell) {
       const std::size_t s = cell / n_eligible;
       const std::size_t e = cell % n_eligible;
       arena.partial[e * shards + s] =
           shard_hits(*index_, s, *queries[arena.eligible[e]], k, metric, mode,
-                     arena.scratch, &arena.floors[e], stats);
+                     arena.scratch, &arena.floors[e], &batch_stats);
     }
     merge_into_results();
-    if (stats != nullptr) stats->dispatch_inline += n_eligible;
+    batch_stats.dispatch_inline += n_eligible;
     inline_batches_.fetch_add(1, std::memory_order_relaxed);
     dispatch_allocations_.fetch_add(grown, std::memory_order_relaxed);
+    finish_batch();
     return std::move(results);
   };
 
@@ -280,7 +376,9 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
       kSpanOverheadDocs * static_cast<double>(spans);
   if (pooled_cost >= total_work) return run_inline();
 
-  arena.fit(arena.span_stats, stats != nullptr ? spans : 0, grown);
+  // Sized unconditionally: the registry consumes per-span counters even
+  // when the caller passed no stats sink.
+  arena.fit(arena.span_stats, spans, grown);
   std::fill(arena.span_stats.begin(), arena.span_stats.end(), QueryStats{});
 
   // Span s·q_spans+b = shard s × query block b: consecutive span ids share
@@ -294,25 +392,25 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
     index::TopKScratch& scratch = slot == TaskPool::kCallerSlot
                                       ? tls_arena.scratch
                                       : workers[slot].scratch;
-    PruneStats* slot_stats =
-        stats != nullptr ? &arena.span_stats[span] : nullptr;
+    PruneStats* slot_stats = &arena.span_stats[span];
     for (std::size_t e = begin; e < end; ++e) {
       arena.partial[e * shards + s] =
           shard_hits(*index_, s, *queries[arena.eligible[e]], k, metric, mode,
                      scratch, &arena.floors[e], slot_stats);
     }
   };
+  obs::StageTracer::global().record(obs::Stage::kDispatch,
+                                    elapsed_ns(batch_start));
   const std::size_t joined = pool.run_spans(spans, span_fn);
 
-  if (stats != nullptr) {
-    for (const auto& span : arena.span_stats) *stats += span;
-    stats->dispatch_pooled += n_eligible;
-    stats->spans_reserved += spans;
-    stats->tasks_executed += joined;
-  }
+  for (const auto& span : arena.span_stats) batch_stats += span;
+  batch_stats.dispatch_pooled += n_eligible;
+  batch_stats.spans_reserved += spans;
+  batch_stats.tasks_executed += joined;
   merge_into_results();
   pooled_batches_.fetch_add(1, std::memory_order_relaxed);
   dispatch_allocations_.fetch_add(grown, std::memory_order_relaxed);
+  finish_batch();
   return results;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -54,6 +56,12 @@ TaskPool::TaskPool(const Options& options) : pin_threads_(options.pin_threads) {
 }
 
 TaskPool::~TaskPool() {
+  // Deregister the metrics collector first: after this no scrape can call
+  // back into a pool that is tearing down.
+  if (metrics_registry_ != nullptr) {
+    metrics_registry_->remove_collector(metrics_token_);
+    metrics_registry_ = nullptr;
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -216,8 +224,54 @@ std::vector<std::uint64_t> TaskPool::worker_span_counts() const {
   return counts;
 }
 
+std::size_t TaskPool::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void TaskPool::publish_metrics(obs::MetricsRegistry& registry) {
+  if (metrics_registry_ != nullptr) return;  // already publishing
+  // Handles resolve now (may allocate); the collector only stores values.
+  obs::Gauge& workers = registry.gauge(
+      "fmeter_taskpool_workers", "Worker threads in the task pool");
+  obs::Gauge& depth = registry.gauge(
+      "fmeter_taskpool_queue_depth", "submit() tasks waiting for a worker");
+  obs::Gauge& batches = registry.gauge(
+      "fmeter_taskpool_span_batches", "run_spans() batches started");
+  obs::Gauge& reserved = registry.gauge(
+      "fmeter_taskpool_spans_reserved", "Spans executed across all batches");
+  obs::Gauge& executed = registry.gauge(
+      "fmeter_taskpool_tasks_executed",
+      "Worker pickups: submit() tasks plus batch joins");
+  obs::Gauge& utilization = registry.gauge(
+      "fmeter_taskpool_worker_utilization",
+      "Fraction of spans executed by pool workers (rest ran on callers)");
+  metrics_registry_ = &registry;
+  metrics_token_ = registry.add_collector([this, &workers, &depth, &batches,
+                                           &reserved, &executed,
+                                           &utilization] {
+    workers.set(static_cast<double>(size()));
+    depth.set(static_cast<double>(queue_depth()));
+    batches.set(static_cast<double>(span_batches()));
+    const std::uint64_t spans = spans_reserved();
+    reserved.set(static_cast<double>(spans));
+    executed.set(static_cast<double>(tasks_executed()));
+    const std::uint64_t callers = caller_spans();
+    utilization.set(spans == 0 ? 0.0
+                               : static_cast<double>(spans - callers) /
+                                     static_cast<double>(spans));
+  });
+}
+
 TaskPool& TaskPool::shared() {
   static TaskPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  // The shared pool outlives every scrape site in practice; publishing here
+  // means any binary that touches the pool exports its utilization for free.
+  static const bool published = [] {
+    pool.publish_metrics(obs::MetricsRegistry::global());
+    return true;
+  }();
+  (void)published;
   return pool;
 }
 

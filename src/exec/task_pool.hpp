@@ -42,6 +42,10 @@
 #include <utility>
 #include <vector>
 
+namespace fmeter::obs {
+class MetricsRegistry;
+}  // namespace fmeter::obs
+
 namespace fmeter::exec {
 
 class TaskPool {
@@ -106,6 +110,16 @@ class TaskPool {
   /// starved (or pinned badly); on one core it is legitimately lopsided.
   std::vector<std::uint64_t> worker_span_counts() const;
 
+  /// submit() tasks currently waiting for a worker (mutex-guarded read).
+  std::size_t queue_depth() const;
+
+  /// Registers a scrape-time collector that refreshes this pool's gauges
+  /// (fmeter_taskpool_queue_depth, _spans_reserved, _worker_utilization, …)
+  /// in `registry`. Idempotent per pool; the collector is deregistered in
+  /// the destructor, so a scrape never touches a dead pool. shared() calls
+  /// this on the global registry automatically.
+  void publish_metrics(obs::MetricsRegistry& registry);
+
   /// True iff the calling thread is one of *this* pool's workers. Blocking
   /// on subtasks from inside a worker would deadlock a fixed-size pool, so
   /// the query engine uses this to fall back to inline execution when a
@@ -167,6 +181,8 @@ class TaskPool {
   std::atomic<std::uint64_t> spans_reserved_{0};
   std::atomic<std::uint64_t> caller_spans_{0};
   std::unique_ptr<std::atomic<std::uint64_t>[]> worker_spans_;
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  std::size_t metrics_token_ = 0;
   bool stopping_ = false;
   bool pin_threads_ = false;
 };

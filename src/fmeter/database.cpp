@@ -6,10 +6,14 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <thread>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fmeter::core {
 namespace {
@@ -18,6 +22,56 @@ index::Metric to_index_metric(SimilarityMetric metric) noexcept {
   return metric == SimilarityMetric::kCosine ? index::Metric::kCosine
                                              : index::Metric::kEuclidean;
 }
+
+/// Database-level metric handles, resolved once. Search/classify latency is
+/// recorded here at call granularity; the engine beneath adds per-stage
+/// spans and per-batch counters of its own.
+struct DbMetrics {
+  obs::Counter* searches;
+  obs::Counter* classifies;
+  obs::Counter* docs_ingested;
+  obs::Histogram* search_ns;
+  obs::Histogram* classify_ns;
+};
+
+const DbMetrics& db_metrics() {
+  static const DbMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    DbMetrics m;
+    m.searches = &r.counter("fmeter_db_searches_total",
+                            "Queries answered by search/search_batch");
+    m.classifies = &r.counter("fmeter_db_classifies_total",
+                              "classify_by_syndrome calls");
+    m.docs_ingested = &r.counter("fmeter_db_documents_ingested_total",
+                                 "Signatures added via add/add_batch");
+    m.search_ns = &r.histogram("fmeter_db_search_batch_ns",
+                               "Wall time of one search_batch call");
+    m.classify_ns = &r.histogram("fmeter_db_classify_ns",
+                                 "Wall time of one classify_by_syndrome call");
+    return m;
+  }();
+  return metrics;
+}
+
+/// RAII wall-clock stamp into a histogram (database calls are too coarse
+/// for the stage tracer's fixed enum; they get their own named series).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(obs::Histogram& sink) noexcept
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    sink_.record(ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  obs::Histogram& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Scan-side ordering for hits, delegating to the one tie-break rule
 /// (index::ranks_better) so scan and engine can never drift apart.
@@ -78,6 +132,7 @@ std::size_t SignatureDatabase::add(vsm::SparseVector signature,
     labels_.pop_back();
     throw;
   }
+  db_metrics().docs_ingested->inc();
   return signatures_.size() - 1;
 }
 
@@ -114,7 +169,11 @@ std::size_t SignatureDatabase::add_batch(
   for (std::size_t id = first; id < signatures_.size(); ++id) {
     pointers.push_back(&signatures_[id]);
   }
-  index_.add_batch(std::span<const vsm::SparseVector* const>(pointers));
+  {
+    const obs::StageSpan ingest_span(obs::Stage::kIngest);
+    index_.add_batch(std::span<const vsm::SparseVector* const>(pointers));
+  }
+  db_metrics().docs_ingested->inc(pointers.size());
   return first;
 }
 
@@ -150,6 +209,9 @@ std::vector<std::vector<SearchHit>> SignatureDatabase::search_batch(
     std::span<const vsm::SparseVector* const> queries, std::size_t k,
     SimilarityMetric metric, ScanPolicy policy, PruningMode mode,
     QueryStats* stats) const {
+  const DbMetrics& metrics = db_metrics();
+  const ScopedTimer timer(*metrics.search_ns);
+  metrics.searches->inc(queries.size());
   if (policy == ScanPolicy::kBruteForce) {
     std::vector<std::vector<SearchHit>> results;
     results.reserve(queries.size());
@@ -250,6 +312,9 @@ std::string SignatureDatabase::classify_scan(
 std::string SignatureDatabase::classify_by_syndrome(
     const vsm::SparseVector& query, SimilarityMetric metric, ScanPolicy policy,
     PruningMode mode) const {
+  const DbMetrics& metrics = db_metrics();
+  const ScopedTimer timer(*metrics.classify_ns);
+  metrics.classifies->inc();
   const auto& cache = syndrome_cache();
   // The engine defines the empty query as "no hits", but classification of
   // a zero signature still has an answer (the scan's: score 0 cosine / the
@@ -388,6 +453,25 @@ void SignatureDatabase::load(const std::string& path) {
     throw index::snapshot::SnapshotError("snapshot: cannot open " + path);
   }
   load(in);
+}
+
+void SignatureDatabase::publish_gauges() const {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+  r.gauge("fmeter_index_documents", "Signatures stored in the sharded index")
+      .set(static_cast<double>(index_.size()));
+  r.gauge("fmeter_index_terms", "Distinct terms with at least one posting")
+      .set(static_cast<double>(index_.num_terms()));
+  r.gauge("fmeter_index_shards", "Index shard count")
+      .set(static_cast<double>(index_.num_shards()));
+  r.gauge("fmeter_index_memory_bytes", "Heap footprint of the sharded index")
+      .set(static_cast<double>(index_.memory_bytes()));
+  std::size_t frozen = 0;
+  for (std::size_t s = 0; s < index_.num_shards(); ++s) {
+    frozen += index_.shard(s).frozen_docs();
+  }
+  r.gauge("fmeter_index_frozen_docs",
+          "Documents compacted into frozen posting arenas")
+      .set(static_cast<double>(frozen));
 }
 
 std::vector<std::size_t> SignatureDatabase::meta_cluster(

@@ -213,6 +213,13 @@ class SignatureDatabase {
   const exec::ShardedIndex& index() const noexcept { return index_; }
   std::size_t num_shards() const noexcept { return index_.num_shards(); }
 
+  /// Publishes the current index shape into the global metrics registry as
+  /// gauges (fmeter_index_documents, _terms, _shards, _frozen_docs,
+  /// _memory_bytes). Point-in-time, not a collector: databases are value
+  /// types that move and copy freely, so nothing may hold a callback into
+  /// one. Call before MetricsRegistry::scrape() for fresh values.
+  void publish_gauges() const;
+
  private:
   static std::size_t default_num_shards() noexcept;
 

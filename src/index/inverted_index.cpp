@@ -7,6 +7,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace fmeter::index {
 namespace {
 
@@ -1026,6 +1028,7 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
   BoundedHeap heap;
   const bool rescore = candidate_mode || weight_skipped;
   if (rescore) {
+    const obs::StageSpan rescore_span(obs::Stage::kRescore);
     // Bound-ordered re-scoring: candidates are gathered from the forward
     // store in descending upper-bound order, and the gather stops the
     // moment the next bound falls strictly below the worst retained exact

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "index/inverted_index.hpp"
+#include "obs/trace.hpp"
 
 namespace fmeter::index::snapshot {
 namespace {
@@ -115,6 +116,7 @@ void Writer::add_section(SectionKind kind, std::uint32_t shard,
 }
 
 void Writer::finish(std::ostream& out) {
+  const obs::StageSpan save_span(obs::Stage::kSnapshotSave);
   HeaderPrefix prefix{};
   std::memcpy(prefix.magic, kMagic, sizeof(kMagic));
   prefix.version = kFormatVersion;
@@ -154,6 +156,7 @@ void Writer::finish(std::ostream& out) {
 }
 
 Reader::Reader(std::istream& in) {
+  const obs::StageSpan load_span(obs::Stage::kSnapshotLoad);
   HeaderPrefix prefix{};
   read_exact(in, &prefix, sizeof(prefix), "header");
   if (std::memcmp(prefix.magic, kMagic, sizeof(kMagic)) != 0) {

@@ -1,0 +1,167 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace fmeter::obs {
+
+namespace {
+
+constexpr double kNsPerUs = 1000.0;
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+/// `_ns` histograms export as `_us` (values are converted to match).
+std::string export_name(const std::string& name) {
+  if (name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+    return name.substr(0, name.size() - 3) + "_us";
+  }
+  return name;
+}
+
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_header(std::string& out, const std::string& name,
+                   const std::string& help, const char* type) {
+  if (!help.empty()) {
+    out += "# HELP " + name + " " + escape_help(help) + "\n";
+  }
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& sample : snapshot.counters) {
+    append_header(out, sample.name, sample.help, "counter");
+    out += sample.name + " " + format_u64(sample.value) + "\n";
+  }
+  for (const auto& sample : snapshot.gauges) {
+    append_header(out, sample.name, sample.help, "gauge");
+    out += sample.name + " " + format_double(sample.value) + "\n";
+  }
+  for (const auto& sample : snapshot.histograms) {
+    const std::string name = export_name(sample.name);
+    const HistogramSnapshot& hist = sample.snapshot;
+    append_header(out, name, sample.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) continue;
+      cumulative += hist.buckets[i];
+      const double upper_us =
+          static_cast<double>(Histogram::bucket_lower_bound(i + 1)) /
+          kNsPerUs;
+      out += name + "_bucket{le=\"" + format_double(upper_us) + "\"} " +
+             format_u64(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + format_u64(hist.count) + "\n";
+    out += name + "_sum " +
+           format_double(static_cast<double>(hist.sum) / kNsPerUs) + "\n";
+    out += name + "_count " + format_u64(hist.count) + "\n";
+    // Pre-computed quantiles as companion gauges so a scrape is useful
+    // without PromQL's histogram_quantile (and in the CI smoke check).
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"_p50", 0.50}, {"_p99", 0.99}}) {
+      const std::string qname = name + suffix;
+      out += "# TYPE " + qname + " gauge\n";
+      out += qname + " " + format_double(hist.quantile(q) / kNsPerUs) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& sample : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + escape_json(sample.name) +
+           "\": " + format_u64(sample.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& sample : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + escape_json(sample.name) +
+           "\": " + format_double(sample.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& sample : snapshot.histograms) {
+    const HistogramSnapshot& hist = sample.snapshot;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + escape_json(export_name(sample.name)) + "\": {";
+    out += "\"count\": " + format_u64(hist.count);
+    out += ", \"sum_us\": " +
+           format_double(static_cast<double>(hist.sum) / kNsPerUs);
+    out += ", \"mean_us\": " + format_double(hist.mean() / kNsPerUs);
+    out += ", \"min_us\": " +
+           format_double(static_cast<double>(hist.min()) / kNsPerUs);
+    out += ", \"max_us\": " +
+           format_double(static_cast<double>(hist.max()) / kNsPerUs);
+    out += ", \"p50_us\": " + format_double(hist.quantile(0.50) / kNsPerUs);
+    out += ", \"p90_us\": " + format_double(hist.quantile(0.90) / kNsPerUs);
+    out += ", \"p95_us\": " + format_double(hist.quantile(0.95) / kNsPerUs);
+    out += ", \"p99_us\": " + format_double(hist.quantile(0.99) / kNsPerUs);
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace fmeter::obs

@@ -1,0 +1,31 @@
+// Exporters over a MetricsSnapshot: Prometheus text exposition format and a
+// machine-friendly JSON document. Both are pure functions of the snapshot —
+// no registry access, no I/O — so they are trivially testable and usable
+// from tools (fmeter_inspect metrics), examples (live_monitor) and CI smoke
+// checks alike.
+//
+// Unit convention: histograms record nanoseconds internally (cheap, integer)
+// but export in microseconds — the natural unit for query latencies here —
+// with the metric name's `_ns` suffix rewritten to `_us`. Counters and
+// gauges export verbatim.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace fmeter::obs {
+
+/// Prometheus text exposition format (version 0.0.4): # HELP / # TYPE
+/// headers, cumulative `_bucket{le="..."}` lines (only buckets that add
+/// observations, plus the mandatory +Inf), `_sum` / `_count`, and derived
+/// `_p50` / `_p99` gauges per histogram. Deterministic: metrics are
+/// name-sorted by the snapshot.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON document: {"counters": {...}, "gauges": {...}, "histograms": {name:
+/// {count, sum_us, mean_us, min_us, max_us, p50_us, p90_us, p95_us,
+/// p99_us}}}. Deterministic for the same snapshot.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace fmeter::obs

@@ -1,0 +1,100 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace fmeter::obs {
+
+std::uint64_t HistogramSnapshot::min() const noexcept {
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] != 0) return Histogram::bucket_lower_bound(i);
+  }
+  return 0;
+}
+
+std::uint64_t HistogramSnapshot::max() const noexcept {
+  for (std::size_t i = buckets.size(); i > 0; --i) {
+    if (buckets[i - 1] != 0) return Histogram::bucket_lower_bound(i) - 1;
+  }
+  return 0;
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The recording with (0-based) rank ceil(q·(count−1)) — the nearest-rank
+  // convention, interpolated linearly inside the covering bucket.
+  const double target = q * static_cast<double>(count - 1);
+  std::uint64_t below = 0;  // recordings in buckets before `i`
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double last_rank =
+        static_cast<double>(below + buckets[i]) - 1.0;  // highest rank inside
+    if (last_rank >= target) {
+      const double lower =
+          static_cast<double>(Histogram::bucket_lower_bound(i));
+      const double width =
+          static_cast<double>(Histogram::bucket_lower_bound(i + 1)) - lower;
+      // Fraction of this bucket's population strictly below the target
+      // rank — a bucket holding a single recording reports its lower edge,
+      // which keeps the unit-width region exact.
+      const double into = (target - static_cast<double>(below)) /
+                          static_cast<double>(buckets[i]);
+      return lower + width * std::clamp(into, 0.0, 1.0);
+    }
+    below += buckets[i];
+  }
+  return static_cast<double>(max());
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(
+    const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  return *this;
+}
+
+namespace {
+
+std::size_t default_shards() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(hardware == 0 ? 1 : hardware, 8);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::size_t shards) {
+  if (shards == 0) shards = default_shards();
+  shards = std::bit_ceil(shards);
+  shards_ = std::make_unique<Shard[]>(shards);
+  shard_mask_ = shards - 1;
+}
+
+std::size_t Histogram::shard_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBucketCount, 0);
+  for (std::size_t s = 0; s <= shard_mask_; ++s) {
+    const Shard& shard = shards_[s];
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  for (const std::uint64_t c : snap.buckets) snap.count += c;
+  return snap;
+}
+
+}  // namespace fmeter::obs

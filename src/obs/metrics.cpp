@@ -1,0 +1,138 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fmeter::obs {
+
+const CounterSample* MetricsSnapshot::counter(
+    const std::string& name) const noexcept {
+  for (const auto& sample : counters) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const GaugeSample* MetricsSnapshot::gauge(
+    const std::string& name) const noexcept {
+  for (const auto& sample : gauges) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::histogram(
+    const std::string& name) const noexcept {
+  for (const auto& sample : histograms) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose — see the header. A function-local static object
+  // would be destroyed before late static destructors that still record.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               Kind kind,
+                                               const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [existing_name, existing] : entries_) {
+    if (existing_name != name) continue;
+    if (existing.kind != kind) {
+      throw std::invalid_argument(
+          "MetricsRegistry: '" + name +
+          "' is already registered as a different metric type");
+    }
+    if (existing.help.empty() && !help.empty()) existing.help = help;
+    return existing;
+  }
+  Entry fresh;
+  fresh.kind = kind;
+  fresh.help = help;
+  switch (kind) {
+    case Kind::kCounter:
+      fresh.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      fresh.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      fresh.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.emplace_back(name, std::move(fresh));
+  return entries_.back().second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return *entry(name, Kind::kCounter, help).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  return *entry(name, Kind::kGauge, help).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help) {
+  return *entry(name, Kind::kHistogram, help).histogram;
+}
+
+std::size_t MetricsRegistry::add_collector(std::function<void()> fn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t token = next_collector_token_++;
+  collectors_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void MetricsRegistry::remove_collector(std::size_t token) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(collectors_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+MetricsSnapshot MetricsRegistry::scrape() const {
+  // Collectors run outside the lock: they typically set gauges through
+  // references they already hold, but nothing stops one from registering a
+  // metric — which takes the mutex.
+  std::vector<std::function<void()>> collectors;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    collectors.reserve(collectors_.size());
+    for (const auto& [token, fn] : collectors_) collectors.push_back(fn);
+  }
+  for (const auto& fn : collectors) fn();
+
+  MetricsSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, entry] : entries_) {
+      switch (entry.kind) {
+        case Kind::kCounter:
+          snap.counters.push_back({name, entry.help, entry.counter->value()});
+          break;
+        case Kind::kGauge:
+          snap.gauges.push_back({name, entry.help, entry.gauge->value()});
+          break;
+        case Kind::kHistogram:
+          snap.histograms.push_back(
+              {name, entry.help, entry.histogram->snapshot()});
+          break;
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+}  // namespace fmeter::obs

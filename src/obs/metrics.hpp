@@ -1,0 +1,154 @@
+// Process-wide metrics registry: named counters, gauges and latency
+// histograms behind one always-on surface (ISSUE 7 / ROADMAP: the paper's
+// continuous-monitoring pitch needs the indexer to observe itself before
+// streaming ingest and fmeter_serve can gate on p99).
+//
+// Contract:
+//  * Registration (counter()/gauge()/histogram()) is mutex-guarded and may
+//    allocate; it happens once per metric, at startup or first touch.
+//    Returned references are stable for the registry's lifetime — callers
+//    cache them and never look a name up on a hot path.
+//  * Recording (Counter::inc, Gauge::set, Histogram::record) is lock-free,
+//    allocation-free and wait-free: one relaxed atomic RMW (two for a
+//    histogram). Safe from any thread, including pool workers mid-span.
+//  * Re-registration is idempotent: the same name returns the same object
+//    (its accumulated value intact); the same name as a *different* metric
+//    type throws std::invalid_argument — one name, one meaning.
+//  * scrape() runs the registered collector callbacks (push-style refresh
+//    for gauges derived from live objects, e.g. the TaskPool's queue
+//    depth), then snapshots every metric. Scrapes are rare (seconds apart)
+//    and pay the merge cost so recording never does.
+//
+// Naming scheme (enforced by convention, documented in README):
+//   fmeter_<subsystem>_<quantity>[_<unit>][_total]
+//   counters end in _total; histograms carry their unit (_ns); gauges are
+//   instantaneous values. Exporters (src/obs/export.hpp) derive Prometheus
+//   and JSON forms from these names verbatim.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace fmeter::obs {
+
+/// Monotonically increasing event count. One cache line to itself so
+/// unrelated counters never false-share.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous value (queue depth, utilization, memory bytes). set()
+/// overwrites; add() is a relaxed CAS loop for the rare concurrent adjust.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(64) std::atomic<double> value_{0.0};
+};
+
+/// One scraped metric of each kind, name-sorted in MetricsSnapshot so
+/// exporter output is deterministic.
+struct CounterSample {
+  std::string name;
+  std::string help;
+  std::uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  HistogramSnapshot snapshot;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Lookup helpers for tests and digest printers; nullptr when absent.
+  const CounterSample* counter(const std::string& name) const noexcept;
+  const GaugeSample* gauge(const std::string& name) const noexcept;
+  const HistogramSample* histogram(const std::string& name) const noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  /// The process-wide registry every subsystem records into. Deliberately
+  /// leaked: instrumentation in static-destruction order (pool shutdown,
+  /// late flushes) must never touch a dead registry.
+  static MetricsRegistry& global();
+
+  /// Finds or creates the named metric. The reference is stable for the
+  /// registry's lifetime. Throws std::invalid_argument when `name` is
+  /// already registered as a different metric type. An empty `help` on an
+  /// existing metric keeps the original help text.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "");
+
+  /// Registers a callback run at the start of every scrape() — the hook
+  /// for gauges mirroring live objects (queue depth, worker utilization).
+  /// Returns a token for remove_collector (objects shorter-lived than the
+  /// registry must deregister before dying).
+  std::size_t add_collector(std::function<void()> fn);
+  void remove_collector(std::size_t token);
+
+  /// Runs the collectors, then snapshots every metric (histogram shards
+  /// merged), name-sorted.
+  MetricsSnapshot scrape() const;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(const std::string& name, Kind kind, const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;  // registration order
+  std::vector<std::pair<std::size_t, std::function<void()>>> collectors_;
+  std::size_t next_collector_token_ = 0;
+};
+
+}  // namespace fmeter::obs

@@ -1,0 +1,384 @@
+// Observability layer: histogram bucket math, merge equivalence, quantile
+// error bounds, concurrent recording (this binary is part of the TSan CI
+// job), registry re-registration semantics, collector hooks, stage-span
+// nesting from pool workers, and exporter well-formedness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/task_pool.hpp"
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fmeter::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, UnitRegionBucketsAreExact) {
+  // Below 2 * kSubBuckets every value has a width-1 bucket: index == value.
+  for (std::uint64_t v = 0; v < 2 * Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower_bound(v), v);
+  }
+}
+
+TEST(Histogram, BucketIndexIsMonotonicAndConsistentWithLowerBound) {
+  // Every bucket's lower bound must map back to that bucket, and the value
+  // just below the next bucket's edge must still map to this bucket.
+  for (std::size_t i = 0; i + 1 < Histogram::kBucketCount; ++i) {
+    const std::uint64_t lo = Histogram::bucket_lower_bound(i);
+    const std::uint64_t next = Histogram::bucket_lower_bound(i + 1);
+    ASSERT_LT(lo, next);
+    EXPECT_EQ(Histogram::bucket_index(lo), i);
+    EXPECT_EQ(Histogram::bucket_index(next - 1), i);
+  }
+}
+
+TEST(Histogram, OctaveBoundariesLandInTheRightBucket) {
+  // Powers of two start a fresh sub-bucket run: 2^e maps to the first
+  // bucket of octave e.
+  for (int e = Histogram::kSubBucketBits; e < Histogram::kMaxExponent; ++e) {
+    const std::uint64_t v = std::uint64_t{1} << e;
+    const std::size_t index = Histogram::bucket_index(v);
+    EXPECT_EQ(Histogram::bucket_lower_bound(index), v);
+  }
+}
+
+TEST(Histogram, HugeValuesClampIntoTheLastBucket) {
+  const std::size_t last = Histogram::kBucketCount - 1;
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << Histogram::kMaxExponent),
+            last);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), last);
+}
+
+TEST(Histogram, BucketWidthBoundsTheRelativeError) {
+  // Reporting any value from its bucket's lower edge errs by less than
+  // 1/kSubBuckets of the true value (the 1.6% contract).
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::uint64_t v =
+        (rng() % ((std::uint64_t{1} << Histogram::kMaxExponent) - 1)) + 1;
+    const std::uint64_t lo =
+        Histogram::bucket_lower_bound(Histogram::bucket_index(v));
+    ASSERT_LE(lo, v);
+    const double rel = static_cast<double>(v - lo) / static_cast<double>(v);
+    EXPECT_LT(rel, 1.0 / Histogram::kSubBuckets + 1e-12) << "value " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot semantics
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, SnapshotCountsSumMinMaxMean) {
+  Histogram h(1);
+  for (const std::uint64_t v : {5u, 10u, 10u, 63u}) h.record(v);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 88u);
+  EXPECT_EQ(snap.min(), 5u);   // unit region: exact
+  EXPECT_EQ(snap.max(), 63u);  // unit region: exact
+  EXPECT_DOUBLE_EQ(snap.mean(), 22.0);
+}
+
+TEST(Histogram, EmptySnapshotIsZeroEverywhere) {
+  const auto snap = Histogram(1).snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.min(), 0u);
+  EXPECT_EQ(snap.max(), 0u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeEqualsSingleStream) {
+  // Recording a stream into one histogram == recording its halves into two
+  // and merging the snapshots, bucket for bucket.
+  Histogram whole(1), left(1), right(1);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng() % 1'000'000;
+    whole.record(v);
+    (i % 2 == 0 ? left : right).record(v);
+  }
+  auto merged = left.snapshot();
+  merged += right.snapshot();
+  const auto expected = whole.snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+}
+
+TEST(Histogram, QuantileWithinBucketErrorBound) {
+  // Against a known uniform distribution the histogram quantile must land
+  // within one bucket width (1/kSubBuckets relative) of the true quantile.
+  Histogram h(1);
+  constexpr std::uint64_t kMaxValue = 1'000'000;
+  std::mt19937_64 rng(3);
+  std::vector<std::uint64_t> values;
+  values.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = rng() % kMaxValue;
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const auto snap = h.snapshot();
+  for (const double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const double exact = static_cast<double>(
+        values[static_cast<std::size_t>(q * (values.size() - 1))]);
+    const double approx = snap.quantile(q);
+    EXPECT_NEAR(approx, exact, exact / Histogram::kSubBuckets + 1.0)
+        << "q = " << q;
+  }
+}
+
+TEST(Histogram, SingleValueQuantileIsItsBucketEdge) {
+  Histogram h(1);
+  h.record(5);
+  const auto snap = h.snapshot();
+  // One recording of 5: every quantile reports 5 exactly (unit bucket).
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  // Hammer one histogram from several threads; the merged snapshot must
+  // account for every recording (TSan validates the relaxed-atomic claim).
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> expected_sum{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      std::uint64_t local_sum = 0;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t v = (t * 1000) + (i % 997);
+        h.record(v);
+        local_sum += v;
+      }
+      expected_sum.fetch_add(local_sum, std::memory_order_relaxed);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, expected_sum.load());
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, ReRegistrationReturnsTheSameObject) {
+  MetricsRegistry registry;
+  auto& a = registry.counter("fmeter_test_events_total", "first help");
+  a.inc(3);
+  auto& b = registry.counter("fmeter_test_events_total", "ignored");
+  EXPECT_EQ(&a, &b);           // same stable reference...
+  EXPECT_EQ(b.value(), 3u);    // ...accumulated value intact
+  const auto snap = registry.scrape();
+  ASSERT_NE(snap.counter("fmeter_test_events_total"), nullptr);
+  EXPECT_EQ(snap.counter("fmeter_test_events_total")->help, "first help");
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+  MetricsRegistry registry;
+  registry.counter("fmeter_test_value");
+  EXPECT_THROW(registry.gauge("fmeter_test_value"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("fmeter_test_value"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ScrapeIsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("zzz_total");
+  registry.counter("aaa_total");
+  registry.counter("mmm_total");
+  const auto snap = registry.scrape();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "aaa_total");
+  EXPECT_EQ(snap.counters[2].name, "zzz_total");
+}
+
+TEST(MetricsRegistry, CollectorsRunAtScrapeAndDeregisterCleanly) {
+  MetricsRegistry registry;
+  auto& gauge = registry.gauge("fmeter_test_live");
+  int pulls = 0;
+  const std::size_t token = registry.add_collector([&] {
+    ++pulls;
+    gauge.set(static_cast<double>(pulls));
+  });
+  EXPECT_DOUBLE_EQ(registry.scrape().gauge("fmeter_test_live")->value, 1.0);
+  EXPECT_DOUBLE_EQ(registry.scrape().gauge("fmeter_test_live")->value, 2.0);
+  registry.remove_collector(token);
+  (void)registry.scrape();
+  EXPECT_EQ(pulls, 2);
+}
+
+TEST(MetricsRegistry, CollectorMayRegisterMetricsWithoutDeadlock) {
+  // Collectors run outside the registry mutex, so a collector that lazily
+  // registers (the TaskPool pattern) must not self-deadlock.
+  MetricsRegistry registry;
+  const std::size_t token = registry.add_collector(
+      [&] { registry.gauge("fmeter_test_lazy").set(1.0); });
+  const auto snap = registry.scrape();
+  ASSERT_NE(snap.gauge("fmeter_test_lazy"), nullptr);
+  registry.remove_collector(token);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndRecording) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      // All threads race to register the same names, then record.
+      auto& counter = registry.counter("fmeter_test_shared_total");
+      auto& histogram = registry.histogram("fmeter_test_shared_ns");
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.inc();
+        histogram.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto snap = registry.scrape();
+  EXPECT_EQ(snap.counter("fmeter_test_shared_total")->value,
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(snap.histogram("fmeter_test_shared_ns")->snapshot.count,
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+// ---------------------------------------------------------------------------
+// Stage tracer
+// ---------------------------------------------------------------------------
+
+TEST(StageTracer, SpansLandInTheirStageHistogram) {
+  MetricsRegistry registry;
+  StageTracer tracer(registry);
+  tracer.record(Stage::kShardProbe, 1500);
+  tracer.record(Stage::kShardProbe, 2500);
+  tracer.record(Stage::kMerge, 100);
+  const auto snap = registry.scrape();
+  const auto* probe = snap.histogram("fmeter_stage_shard_probe_ns");
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->snapshot.count, 2u);
+  EXPECT_EQ(snap.counter("fmeter_stage_shard_probe_spans_total")->value, 2u);
+  EXPECT_EQ(snap.counter("fmeter_stage_merge_spans_total")->value, 1u);
+  EXPECT_EQ(snap.counter("fmeter_stage_dispatch_spans_total")->value, 0u);
+}
+
+TEST(StageTracer, EveryStageHasANameAndRegisteredMetrics) {
+  MetricsRegistry registry;
+  StageTracer tracer(registry);
+  const auto snap = registry.scrape();
+  for (int i = 0; i < kStageCount; ++i) {
+    const std::string name = stage_name(static_cast<Stage>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(snap.histogram("fmeter_stage_" + name + "_ns"), nullptr);
+    EXPECT_NE(snap.counter("fmeter_stage_" + name + "_spans_total"), nullptr);
+  }
+}
+
+TEST(StageTracer, SpansNestAndUnwindDepth) {
+  MetricsRegistry registry;
+  StageTracer tracer(registry);
+  EXPECT_EQ(StageTracer::thread_depth(), 0);
+  {
+    StageSpan outer(Stage::kDispatch, tracer);
+    EXPECT_EQ(StageTracer::thread_depth(), 1);
+    {
+      StageSpan inner(Stage::kShardProbe, tracer);
+      EXPECT_EQ(StageTracer::thread_depth(), 2);
+    }
+    EXPECT_EQ(StageTracer::thread_depth(), 1);
+  }
+  EXPECT_EQ(StageTracer::thread_depth(), 0);
+  const auto snap = registry.scrape();
+  EXPECT_EQ(snap.counter("fmeter_stage_dispatch_spans_total")->value, 1u);
+  EXPECT_EQ(snap.counter("fmeter_stage_shard_probe_spans_total")->value, 1u);
+}
+
+TEST(StageTracer, SpansFromPoolWorkersAreIndependentPerThread) {
+  // Depth is thread-local: spans opened on pool workers neither see nor
+  // disturb the submitting thread's depth, and recordings all merge into
+  // the same histograms.
+  MetricsRegistry registry;
+  StageTracer tracer(registry);
+  exec::TaskPool pool(3);
+  constexpr int kTasks = 24;
+  std::vector<std::future<int>> depths;
+  depths.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    depths.push_back(pool.submit([&tracer] {
+      StageSpan span(Stage::kRescore, tracer);
+      StageSpan nested(Stage::kMerge, tracer);
+      return StageTracer::thread_depth();
+    }));
+  }
+  for (auto& depth : depths) EXPECT_EQ(depth.get(), 2);
+  EXPECT_EQ(StageTracer::thread_depth(), 0);  // submitter never entered one
+  const auto snap = registry.scrape();
+  EXPECT_EQ(snap.counter("fmeter_stage_rescore_spans_total")->value,
+            static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(snap.histogram("fmeter_stage_merge_ns")->snapshot.count,
+            static_cast<std::uint64_t>(kTasks));
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(Exporters, PrometheusTextCarriesEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("fmeter_test_events_total", "events").inc(7);
+  registry.gauge("fmeter_test_depth", "queue depth").set(3.5);
+  auto& h = registry.histogram("fmeter_test_latency_ns", "latency");
+  h.record(1'000);
+  h.record(2'000'000);
+  const std::string text = to_prometheus(registry.scrape());
+  EXPECT_NE(text.find("# TYPE fmeter_test_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("fmeter_test_events_total 7"), std::string::npos);
+  EXPECT_NE(text.find("fmeter_test_depth 3.5"), std::string::npos);
+  // Histograms export in microseconds under the _us name.
+  EXPECT_NE(text.find("fmeter_test_latency_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_EQ(text.find("fmeter_test_latency_ns"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Exporters, JsonIsWellFormedAndCarriesQuantiles) {
+  MetricsRegistry registry;
+  registry.counter("fmeter_test_events_total").inc(1);
+  auto& h = registry.histogram("fmeter_test_latency_ns");
+  for (int i = 1; i <= 100; ++i) h.record(i * 1000ull);  // 1..100 us
+  const std::string json = to_json(registry.scrape());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"fmeter_test_events_total\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"fmeter_test_latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmeter::obs

@@ -38,6 +38,9 @@ MEASURED_FIELDS = {
     # query_engine_scaling: per-cell scheduler measurements...
     "speedup_vs_scalar", "dispatch_inline", "dispatch_pooled",
     "spans_reserved", "tasks_executed",
+    # ...its per-chunk latency distribution (p99 is gated like the median;
+    # p50/p95 are tracked but not enforced)...
+    "us_p50", "us_p95", "us_p99",
     # ...and its threshold-seeding comparison row.
     "work_ratio", "seeded_docs_scored", "seeded_postings_visited",
     "independent_docs_scored", "independent_postings_visited",
@@ -113,16 +116,22 @@ def main():
         if metric not in base or metric not in fresh:
             continue
         compared += 1
-        base_us = base[metric]
-        fresh_us = fresh[metric]
-        delta = (fresh_us - base_us) / base_us if base_us > 0 else 0.0
         enforced = base.get("docs", 0) >= args.min_docs
-        status = "ok"
-        if delta > args.threshold:
-            status = "REGRESSION" if enforced else "slow (not enforced)"
-            failures += enforced
-        print(f"  [{status}] {ident}: {base_us:.4g} -> {fresh_us:.4g} "
-              f"{metric} ({delta:+.1%})")
+        # Tail latency regresses independently of the median (e.g. a new
+        # allocation on a rare path), so us_p99 is gated with the same
+        # threshold wherever both files carry it.
+        gated = [metric] + (["us_p99"] if "us_p99" in base and
+                            "us_p99" in fresh else [])
+        for field in gated:
+            base_us = base[field]
+            fresh_us = fresh[field]
+            delta = (fresh_us - base_us) / base_us if base_us > 0 else 0.0
+            status = "ok"
+            if delta > args.threshold:
+                status = "REGRESSION" if enforced else "slow (not enforced)"
+                failures += enforced
+            print(f"  [{status}] {ident}: {base_us:.4g} -> {fresh_us:.4g} "
+                  f"{field} ({delta:+.1%})")
     for key in sorted(set(fresh_by_key) - set(base_by_key)):
         ident = ", ".join(f"{f}={v}" for f, v in key)
         print(f"  [new] {ident} (no baseline yet)")

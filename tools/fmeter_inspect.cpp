@@ -40,15 +40,29 @@
 //       without re-tokenizing or re-indexing — the archive workflow the
 //       paper's operator runs day to day. When searching a snapshot the
 //       query document stays in the archive (expect it at rank 1).
+//
+//   fmeter_inspect metrics <corpus.fmc|snapshot.fms> [queries]
+//       Loads the archive, drives a representative workload through it
+//       (bulk ingest, a batch of sample queries, classification, a
+//       snapshot save/load round-trip) and dumps everything the metrics
+//       registry observed — query/stage latency histograms with p50/p99,
+//       ingest and snapshot timings, task-pool utilization — in Prometheus
+//       text exposition format (default) or JSON (--json).
+//
+//   `stats`, `search` and `metrics` accept --json for machine-readable
+//   output.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "fmeter/fmeter.hpp"
 #include "index/snapshot.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "vsm/corpus_io.hpp"
 
 using namespace fmeter;
@@ -60,12 +74,47 @@ int usage() {
       stderr,
       "usage:\n"
       "  fmeter_inspect collect <out.fmc> <workload> [workload...]\n"
-      "  fmeter_inspect stats <corpus.fmc|snapshot.fms>\n"
+      "  fmeter_inspect stats <corpus.fmc|snapshot.fms> [--json]\n"
       "  fmeter_inspect topterms <corpus.fmc> <label> [n]\n"
       "  fmeter_inspect search <corpus.fmc|snapshot.fms> <doc-index> [k] "
-      "[--policy auto|scan|indexed|pruned]\n"
-      "  fmeter_inspect snapshot <corpus.fmc> <out.fms>\n");
+      "[--policy auto|scan|indexed|pruned] [--json]\n"
+      "  fmeter_inspect snapshot <corpus.fmc> <out.fms>\n"
+      "  fmeter_inspect metrics <corpus.fmc|snapshot.fms> [queries] "
+      "[--json]\n");
   return 2;
+}
+
+/// Strips a `--json` flag out of argv (anywhere after the subcommand) and
+/// reports whether it was present — every subcommand that supports JSON
+/// output shares this.
+bool take_json_flag(int& argc, char** argv) {
+  bool json = false;
+  int out = 0;
+  for (int arg = 0; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--json") == 0) {
+      json = true;
+      continue;
+    }
+    argv[out++] = argv[arg];
+  }
+  argc = out;
+  return json;
+}
+
+/// Human-readable byte count: "512 B", "37.2 KiB", "4.6 MiB", "1.2 GiB".
+std::string format_bytes(std::size_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else if (b < 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / 1024.0);
+  } else if (b < 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
 }
 
 /// True when `path` starts with the snapshot magic (vs. the text corpus
@@ -111,19 +160,40 @@ void print_shard_table(const exec::ShardedIndex& index) {
   }
 }
 
-/// Process-wide execution-pool counters (the shared pool the database's
-/// query engine dispatches to): how many reservation grids ran, who
-/// executed the spans, and how evenly the work spread over the workers.
-void print_scheduler_stats() {
-  const auto& pool = exec::TaskPool::shared();
-  std::printf(
-      "scheduler: %zu pool workers, %llu span batches, %llu spans "
-      "reserved (%llu by calling threads), %zu worker pickups\n",
-      pool.size(), static_cast<unsigned long long>(pool.span_batches()),
-      static_cast<unsigned long long>(pool.spans_reserved()),
-      static_cast<unsigned long long>(pool.caller_spans()),
-      pool.tasks_executed());
-  const auto per_worker = pool.worker_span_counts();
+/// One coherent, registry-backed observability table: every counter and
+/// gauge the process accumulated (query dispatch, pruning, task pool,
+/// ingest) plus per-histogram latency quantiles. The QueryStats /
+/// shard-stats structs remain available as per-call views; this is the
+/// cumulative, process-wide truth they all feed.
+void print_registry_table() {
+  // Make sure the shared pool's collector is registered before scraping —
+  // the indexed paths above will have materialized it anyway.
+  exec::TaskPool::shared();
+  const auto snap = obs::MetricsRegistry::global().scrape();
+  std::printf("%-44s %14s\n", "counter", "value");
+  for (const auto& sample : snap.counters) {
+    std::printf("%-44s %14llu\n", sample.name.c_str(),
+                static_cast<unsigned long long>(sample.value));
+  }
+  std::printf("%-44s %14s\n", "gauge", "value");
+  for (const auto& sample : snap.gauges) {
+    std::printf("%-44s %14.2f\n", sample.name.c_str(), sample.value);
+  }
+  std::printf("%-38s %10s %10s %10s %10s\n", "histogram (us)", "count",
+              "mean", "p50", "p99");
+  for (const auto& sample : snap.histograms) {
+    const auto& hist = sample.snapshot;
+    // Same rename as the exporters: recorded in ns, reported in us.
+    std::string name = sample.name;
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+      name = name.substr(0, name.size() - 3) + "_us";
+    }
+    std::printf("%-38s %10llu %10.2f %10.2f %10.2f\n", name.c_str(),
+                static_cast<unsigned long long>(hist.count),
+                hist.mean() / 1000.0, hist.quantile(0.50) / 1000.0,
+                hist.quantile(0.99) / 1000.0);
+  }
+  const auto per_worker = exec::TaskPool::shared().worker_span_counts();
   std::printf("worker spans:");
   for (const auto spans : per_worker) {
     std::printf(" %llu", static_cast<unsigned long long>(spans));
@@ -165,11 +235,12 @@ void print_database_stats(const core::SignatureDatabase& db) {
   const auto syndromes = db.syndromes();
 
   const auto& index = db.index();
-  std::printf("index: %zu shards, %zu distinct terms, %zu postings, %.1f KiB\n",
+  std::printf("index: %zu shards, %zu distinct terms, %zu postings, %s\n",
               index.num_shards(), index.num_terms(), index.num_postings(),
-              static_cast<double>(index.memory_bytes()) / 1024.0);
+              format_bytes(index.memory_bytes()).c_str());
   print_shard_table(index);
-  print_scheduler_stats();
+  db.publish_gauges();
+  print_registry_table();
   std::printf("\n");
 
   std::printf("%-28s %8s\n", "label", "docs");
@@ -192,11 +263,67 @@ void print_database_stats(const core::SignatureDatabase& db) {
   }
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Machine-readable `stats`: index shape, per-shard table, per-label
+/// support, and the full registry dump nested under "metrics".
+void print_stats_json(const core::SignatureDatabase& db, const char* source) {
+  const auto& index = db.index();
+  std::printf("{\n  \"source\": \"%s\",\n  \"documents\": %zu,\n", source,
+              db.size());
+  std::printf(
+      "  \"index\": {\"shards\": %zu, \"terms\": %zu, \"postings\": %zu, "
+      "\"memory_bytes\": %zu},\n",
+      index.num_shards(), index.num_terms(), index.num_postings(),
+      index.memory_bytes());
+  std::printf("  \"shards\": [");
+  const auto shard_stats = index.shard_stats();
+  for (std::size_t s = 0; s < shard_stats.size(); ++s) {
+    std::printf(
+        "%s\n    {\"docs\": %zu, \"frozen_docs\": %zu, \"terms\": %zu, "
+        "\"postings\": %zu, \"memory_bytes\": %zu}",
+        s == 0 ? "" : ",", shard_stats[s].docs, shard_stats[s].frozen_docs,
+        shard_stats[s].terms, shard_stats[s].postings,
+        shard_stats[s].memory_bytes);
+  }
+  std::printf("\n  ],\n  \"labels\": [");
+  const auto syndromes = db.syndromes();
+  for (std::size_t i = 0; i < syndromes.size(); ++i) {
+    std::printf("%s\n    {\"label\": \"%s\", \"docs\": %zu}",
+                i == 0 ? "" : ",", json_escape(syndromes[i].label).c_str(),
+                syndromes[i].support);
+  }
+  db.publish_gauges();
+  const std::string metrics =
+      obs::to_json(obs::MetricsRegistry::global().scrape());
+  std::printf("\n  ],\n  \"metrics\": %s}\n", metrics.c_str());
+}
+
 int cmd_stats(int argc, char** argv) {
+  const bool json = take_json_flag(argc, argv);
   if (argc != 3) return usage();
   if (is_snapshot_file(argv[2])) {
     core::SignatureDatabase db;
     db.load(argv[2]);
+    if (json) {
+      print_stats_json(db, "snapshot");
+      return 0;
+    }
     std::printf("snapshot: %zu signatures restored from %s "
                 "(no re-indexing)\n\n",
                 db.size(), argv[2]);
@@ -207,8 +334,11 @@ int cmd_stats(int argc, char** argv) {
 
   vsm::TfIdfModel model;
   auto signatures = core::signatures_from(corpus, {}, &model);
-  std::printf("documents: %zu   vocabulary: %zu terms   dimension bound: %zu\n\n",
-              corpus.size(), model.vocabulary_size(), corpus.dimension_bound());
+  if (!json) {
+    std::printf(
+        "documents: %zu   vocabulary: %zu terms   dimension bound: %zu\n\n",
+        corpus.size(), model.vocabulary_size(), corpus.dimension_bound());
+  }
 
   core::SignatureDatabase db;
   {
@@ -220,6 +350,10 @@ int cmd_stats(int argc, char** argv) {
     // Parallel build + freeze; signatures are not needed afterwards, so
     // hand the whole corpus over instead of deep-copying it.
     db.add_batch(std::move(signatures), std::move(labels));
+  }
+  if (json) {
+    print_stats_json(db, "corpus");
+    return 0;
   }
 
   // Raw-count detail only the corpus knows (a snapshot stores tf-idf
@@ -302,6 +436,7 @@ int cmd_topterms(int argc, char** argv) {
 }
 
 int cmd_search(int argc, char** argv) {
+  const bool json = take_json_flag(argc, argv);
   // Positional arguments first (corpus, doc-index, optional k), then the
   // optional --policy flag anywhere after them.
   core::ScanPolicy policy = core::ScanPolicy::kIndexed;
@@ -394,17 +529,44 @@ int cmd_search(int argc, char** argv) {
     db.add_batch(std::move(batch), std::move(labels));  // parallel + frozen
   }
 
-  std::printf("query: doc %zu ('%s')   archive: %zu signatures   policy: %s\n",
-              query_doc, query_label.c_str(), db.size(), policy_name);
-  const auto& index = db.index();
-  std::printf("index: %zu shards, %zu terms, %zu postings, %.1f KiB\n\n",
-              index.num_shards(), index.num_terms(), index.num_postings(),
-              static_cast<double>(index.memory_bytes()) / 1024.0);
-  print_shard_table(index);
-  std::printf("\n%5s %6s %-28s %10s\n", "rank", "doc", "label", "cosine");
   core::QueryStats stats;
   const auto hits = db.search(query, k, core::SimilarityMetric::kCosine,
                               policy, mode, &stats);
+  if (json) {
+    std::printf(
+        "{\n  \"query_doc\": %zu,\n  \"label\": \"%s\",\n"
+        "  \"policy\": \"%s\",\n  \"archive_documents\": %zu,\n"
+        "  \"hits\": [",
+        query_doc, json_escape(query_label).c_str(), policy_name, db.size());
+    for (std::size_t rank = 0; rank < hits.size(); ++rank) {
+      std::printf(
+          "%s\n    {\"rank\": %zu, \"doc\": %zu, \"label\": \"%s\", "
+          "\"score\": %.17g}",
+          rank == 0 ? "" : ",", rank + 1, archive_doc[hits[rank].id],
+          json_escape(hits[rank].label).c_str(), hits[rank].score);
+    }
+    std::printf(
+        "\n  ],\n  \"counters\": {\"docs_scored\": %zu, \"docs_pruned\": "
+        "%zu, \"postings_visited\": %zu, \"blocks_skipped\": %zu, "
+        "\"forward_gathers\": %zu, \"dispatch_inline\": %llu, "
+        "\"dispatch_pooled\": %llu, \"spans_reserved\": %llu, "
+        "\"tasks_executed\": %llu}\n}\n",
+        stats.docs_scored, stats.docs_pruned, stats.postings_visited,
+        stats.blocks_skipped, stats.forward_gathers,
+        static_cast<unsigned long long>(stats.dispatch_inline),
+        static_cast<unsigned long long>(stats.dispatch_pooled),
+        static_cast<unsigned long long>(stats.spans_reserved),
+        static_cast<unsigned long long>(stats.tasks_executed));
+    return 0;
+  }
+  std::printf("query: doc %zu ('%s')   archive: %zu signatures   policy: %s\n",
+              query_doc, query_label.c_str(), db.size(), policy_name);
+  const auto& index = db.index();
+  std::printf("index: %zu shards, %zu terms, %zu postings, %s\n\n",
+              index.num_shards(), index.num_terms(), index.num_postings(),
+              format_bytes(index.memory_bytes()).c_str());
+  print_shard_table(index);
+  std::printf("\n%5s %6s %-28s %10s\n", "rank", "doc", "label", "cosine");
   for (std::size_t rank = 0; rank < hits.size(); ++rank) {
     std::printf("%5zu %6zu %-28s %10.4f\n", rank + 1,
                 archive_doc[hits[rank].id], hits[rank].label.c_str(),
@@ -428,8 +590,74 @@ int cmd_search(int argc, char** argv) {
         static_cast<unsigned long long>(stats.dispatch_pooled),
         static_cast<unsigned long long>(stats.spans_reserved),
         static_cast<unsigned long long>(stats.tasks_executed));
-    print_scheduler_stats();
+    db.publish_gauges();
+    print_registry_table();
   }
+  return 0;
+}
+
+/// `metrics`: drive a representative workload through the archive so every
+/// instrumented stage fires at least once, then dump the registry.
+int cmd_metrics(int argc, char** argv) {
+  const bool json = take_json_flag(argc, argv);
+  if (argc != 3 && argc != 4) return usage();
+  std::size_t n_queries = 64;
+  if (argc == 4) {
+    char* end = nullptr;
+    n_queries = std::strtoul(argv[3], &end, 10);
+    if (end == argv[3] || *end != '\0' || n_queries == 0) {
+      std::fprintf(stderr, "queries must be a positive number, got '%s'\n",
+                   argv[3]);
+      return 2;
+    }
+  }
+
+  core::SignatureDatabase db;
+  if (is_snapshot_file(argv[2])) {
+    db.load(argv[2]);  // stamps kSnapshotLoad + kIngest
+  } else {
+    const vsm::Corpus corpus = vsm::load_corpus(argv[2]);
+    auto signatures = core::signatures_from(corpus);
+    std::vector<std::string> labels;
+    labels.reserve(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      labels.push_back(corpus[i].label);
+    }
+    db.add_batch(std::move(signatures), std::move(labels));  // kIngest
+  }
+  if (db.empty()) {
+    std::fprintf(stderr, "archive %s holds no documents\n", argv[2]);
+    return 1;
+  }
+
+  // Sample queries: stored signatures round-robin, one batch (exercises
+  // dispatch/probe/rescore/merge and the batch histograms) plus scalar
+  // lookups and a classification (the operator's day-to-day calls).
+  std::vector<vsm::SparseVector> queries;
+  queries.reserve(n_queries);
+  for (std::size_t i = 0; i < n_queries; ++i) {
+    queries.push_back(db.signature(i % db.size()));
+  }
+  (void)db.search_batch(queries, 10, core::SimilarityMetric::kCosine,
+                        core::ScanPolicy::kIndexed, core::PruningMode::kAuto);
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, n_queries); ++i) {
+    (void)db.search(queries[i], 10, core::SimilarityMetric::kCosine,
+                    core::ScanPolicy::kIndexed, core::PruningMode::kAuto);
+  }
+  (void)db.classify_by_syndrome(queries.front());
+
+  // In-memory snapshot round-trip: stamps kSnapshotSave and kSnapshotLoad
+  // even when the input was a plain corpus.
+  std::stringstream buffer;
+  db.save(buffer);
+  core::SignatureDatabase reloaded;
+  reloaded.load(buffer);
+
+  db.publish_gauges();
+  exec::TaskPool::shared();  // ensure the pool's gauges are registered
+  const auto snap = obs::MetricsRegistry::global().scrape();
+  const std::string out = json ? obs::to_json(snap) : obs::to_prometheus(snap);
+  std::fputs(out.c_str(), stdout);
   return 0;
 }
 
@@ -445,6 +673,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "topterms") == 0) return cmd_topterms(argc, argv);
     if (std::strcmp(argv[1], "search") == 0) return cmd_search(argc, argv);
     if (std::strcmp(argv[1], "snapshot") == 0) return cmd_snapshot(argc, argv);
+    if (std::strcmp(argv[1], "metrics") == 0) return cmd_metrics(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fmeter_inspect: %s\n", error.what());
     return 1;
