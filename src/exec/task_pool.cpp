@@ -56,8 +56,9 @@ TaskPool::TaskPool(const Options& options) : pin_threads_(options.pin_threads) {
 }
 
 TaskPool::~TaskPool() {
-  // Deregister the metrics collector first: after this no scrape can call
-  // back into a pool that is tearing down.
+  // Deregister the metrics collector first. remove_collector blocks until
+  // any in-flight scrape invocation has returned, so after this no scrape
+  // can call back into a pool that is tearing down.
   if (metrics_registry_ != nullptr) {
     metrics_registry_->remove_collector(metrics_token_);
     metrics_registry_ = nullptr;
@@ -230,6 +231,12 @@ std::size_t TaskPool::queue_depth() const {
 }
 
 void TaskPool::publish_metrics(obs::MetricsRegistry& registry) {
+  // mutex_ makes the check-and-claim atomic: concurrent callers must not
+  // both pass the null check and register duplicate collectors. Holding it
+  // across registration is safe — no path holds the registry's lock while
+  // waiting on mutex_ (collectors run outside it, remove_collector's wait
+  // releases it).
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (metrics_registry_ != nullptr) return;  // already publishing
   // Handles resolve now (may allocate); the collector only stores values.
   obs::Gauge& workers = registry.gauge(

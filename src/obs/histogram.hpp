@@ -44,7 +44,9 @@ namespace fmeter::obs {
 /// the bucket width (≤ 1/kSubBuckets of the value).
 struct HistogramSnapshot {
   std::uint64_t count = 0;  ///< values recorded
-  std::uint64_t sum = 0;    ///< sum of recorded values (same unit as input)
+  /// Sum of recorded values (same unit as input); outliers contribute the
+  /// clamped ceiling, keeping mean() ≤ max().
+  std::uint64_t sum = 0;
   std::vector<std::uint64_t> buckets;  ///< dense per-bucket counts
 
   bool empty() const noexcept { return count == 0; }
@@ -113,7 +115,11 @@ class Histogram {
   }
 
   /// Records one value: two relaxed fetch_adds on this thread's shard.
+  /// Values beyond the top bucket clamp to its upper edge (2^kMaxExponent−1)
+  /// for the sum too, so mean() never exceeds max() for clamped outliers.
   void record(std::uint64_t value) noexcept {
+    constexpr std::uint64_t kCeiling = (std::uint64_t{1} << kMaxExponent) - 1;
+    if (value > kCeiling) value = kCeiling;
     Shard& shard = shards_[shard_slot() & shard_mask_];
     shard.buckets[bucket_index(value)].fetch_add(1,
                                                  std::memory_order_relaxed);

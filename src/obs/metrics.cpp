@@ -42,30 +42,32 @@ MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [existing_name, existing] : entries_) {
     if (existing_name != name) continue;
-    if (existing.kind != kind) {
+    if (existing->kind != kind) {
       throw std::invalid_argument(
           "MetricsRegistry: '" + name +
           "' is already registered as a different metric type");
     }
-    if (existing.help.empty() && !help.empty()) existing.help = help;
-    return existing;
+    if (existing->help.empty() && !help.empty()) existing->help = help;
+    return *existing;
   }
-  Entry fresh;
-  fresh.kind = kind;
-  fresh.help = help;
+  // Entries live on the heap so references stay valid when a concurrent
+  // registration reallocates entries_ itself.
+  auto fresh = std::make_unique<Entry>();
+  fresh->kind = kind;
+  fresh->help = help;
   switch (kind) {
     case Kind::kCounter:
-      fresh.counter = std::make_unique<Counter>();
+      fresh->counter = std::make_unique<Counter>();
       break;
     case Kind::kGauge:
-      fresh.gauge = std::make_unique<Gauge>();
+      fresh->gauge = std::make_unique<Gauge>();
       break;
     case Kind::kHistogram:
-      fresh.histogram = std::make_unique<Histogram>();
+      fresh->histogram = std::make_unique<Histogram>();
       break;
   }
   entries_.emplace_back(name, std::move(fresh));
-  return entries_.back().second;
+  return *entries_.back().second;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name,
@@ -91,37 +93,64 @@ std::size_t MetricsRegistry::add_collector(std::function<void()> fn) {
 }
 
 void MetricsRegistry::remove_collector(std::size_t token) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   std::erase_if(collectors_,
                 [token](const auto& entry) { return entry.first == token; });
+  // Block until no scrape is mid-invocation of this collector: once we
+  // return, the callback can never run again and its captures may die.
+  collector_done_.wait(lock, [this, token] {
+    return std::find(in_flight_collectors_.begin(),
+                     in_flight_collectors_.end(),
+                     token) == in_flight_collectors_.end();
+  });
 }
 
 MetricsSnapshot MetricsRegistry::scrape() const {
   // Collectors run outside the lock: they typically set gauges through
   // references they already hold, but nothing stops one from registering a
-  // metric — which takes the mutex.
-  std::vector<std::function<void()>> collectors;
+  // metric — which takes the mutex. Each invocation is bracketed by an
+  // in-flight marker so remove_collector can wait for it; a collector
+  // removed after the copy below is skipped via the re-check.
+  std::vector<std::pair<std::size_t, std::function<void()>>> collectors;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    collectors.reserve(collectors_.size());
-    for (const auto& [token, fn] : collectors_) collectors.push_back(fn);
+    collectors = collectors_;
   }
-  for (const auto& fn : collectors) fn();
+  for (const auto& [token, fn] : collectors) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const bool still_registered =
+          std::find_if(collectors_.begin(), collectors_.end(),
+                       [token = token](const auto& entry) {
+                         return entry.first == token;
+                       }) != collectors_.end();
+      if (!still_registered) continue;  // removed since the copy
+      in_flight_collectors_.push_back(token);
+    }
+    fn();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_collectors_.erase(std::find(in_flight_collectors_.begin(),
+                                            in_flight_collectors_.end(),
+                                            token));
+    }
+    collector_done_.notify_all();
+  }
 
   MetricsSnapshot snap;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& [name, entry] : entries_) {
-      switch (entry.kind) {
+      switch (entry->kind) {
         case Kind::kCounter:
-          snap.counters.push_back({name, entry.help, entry.counter->value()});
+          snap.counters.push_back({name, entry->help, entry->counter->value()});
           break;
         case Kind::kGauge:
-          snap.gauges.push_back({name, entry.help, entry.gauge->value()});
+          snap.gauges.push_back({name, entry->help, entry->gauge->value()});
           break;
         case Kind::kHistogram:
           snap.histograms.push_back(
-              {name, entry.help, entry.histogram->snapshot()});
+              {name, entry->help, entry->histogram->snapshot()});
           break;
       }
     }

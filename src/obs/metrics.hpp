@@ -27,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -124,6 +125,12 @@ class MetricsRegistry {
   /// Returns a token for remove_collector (objects shorter-lived than the
   /// registry must deregister before dying).
   std::size_t add_collector(std::function<void()> fn);
+
+  /// Deregisters a collector and blocks until any in-flight scrape()
+  /// invocation of it has returned — once this returns, the callback will
+  /// never run again and whatever it captured may be destroyed. Must not be
+  /// called from inside the collector itself (it would wait on its own
+  /// completion).
   void remove_collector(std::size_t token);
 
   /// Runs the collectors, then snapshots every metric (histogram shards
@@ -146,9 +153,16 @@ class MetricsRegistry {
   Entry& entry(const std::string& name, Kind kind, const std::string& help);
 
   mutable std::mutex mutex_;
-  std::vector<std::pair<std::string, Entry>> entries_;  // registration order
+  // Entries are heap-allocated so the references handed out stay valid
+  // while the vector itself reallocates under concurrent registration.
+  std::vector<std::pair<std::string, std::unique_ptr<Entry>>>
+      entries_;  // registration order
   std::vector<std::pair<std::size_t, std::function<void()>>> collectors_;
   std::size_t next_collector_token_ = 0;
+  // Tokens of collectors currently executing inside a scrape (one slot per
+  // concurrent scrape); remove_collector waits on these.
+  mutable std::vector<std::size_t> in_flight_collectors_;
+  mutable std::condition_variable collector_done_;
 };
 
 }  // namespace fmeter::obs

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <future>
@@ -156,6 +157,20 @@ TEST(Histogram, SingleValueQuantileIsItsBucketEdge) {
   EXPECT_DOUBLE_EQ(snap.quantile(1.0), 5.0);
 }
 
+TEST(Histogram, ClampedOutliersKeepSumConsistentWithMax) {
+  // A value beyond the top bucket clamps for the sum as well as the bucket,
+  // so the exported mean can never exceed the bucketed max.
+  Histogram h(1);
+  h.record(~std::uint64_t{0});
+  const auto snap = h.snapshot();
+  const std::uint64_t ceiling =
+      (std::uint64_t{1} << Histogram::kMaxExponent) - 1;
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, ceiling);
+  EXPECT_EQ(snap.max(), ceiling);
+  EXPECT_LE(snap.mean(), static_cast<double>(snap.max()));
+}
+
 TEST(Histogram, ConcurrentRecordingLosesNothing) {
   // Hammer one histogram from several threads; the merged snapshot must
   // account for every recording (TSan validates the relaxed-atomic claim).
@@ -200,6 +215,19 @@ TEST(MetricsRegistry, ReRegistrationReturnsTheSameObject) {
   EXPECT_EQ(snap.counter("fmeter_test_events_total")->help, "first help");
 }
 
+TEST(MetricsRegistry, ReferencesSurviveManyLaterRegistrations) {
+  // The registration contract: handed-out references stay valid however
+  // many metrics register afterwards (entry storage must be stable across
+  // the registry's internal growth).
+  MetricsRegistry registry;
+  auto& first = registry.counter("fmeter_test_first_total");
+  for (int i = 0; i < 256; ++i) {
+    registry.counter("fmeter_test_filler_" + std::to_string(i) + "_total");
+  }
+  first.inc(5);
+  EXPECT_EQ(registry.scrape().counter("fmeter_test_first_total")->value, 5u);
+}
+
 TEST(MetricsRegistry, KindConflictThrows) {
   MetricsRegistry registry;
   registry.counter("fmeter_test_value");
@@ -242,6 +270,43 @@ TEST(MetricsRegistry, CollectorMayRegisterMetricsWithoutDeadlock) {
   const auto snap = registry.scrape();
   ASSERT_NE(snap.gauge("fmeter_test_lazy"), nullptr);
   registry.remove_collector(token);
+}
+
+TEST(MetricsRegistry, RemoveCollectorWaitsForInFlightScrape) {
+  // remove_collector must not return while a scrape is inside the
+  // collector — that guarantee is what lets a TaskPool destroy itself
+  // right after deregistering.
+  MetricsRegistry registry;
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> collector_finished{false};
+  const std::size_t token = registry.add_collector([&] {
+    entered.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    collector_finished.store(true, std::memory_order_release);
+  });
+  std::thread scraper([&] { (void)registry.scrape(); });
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  std::atomic<bool> saw_finished_at_removal{false};
+  std::thread remover([&] {
+    registry.remove_collector(token);
+    saw_finished_at_removal.store(
+        collector_finished.load(std::memory_order_acquire),
+        std::memory_order_release);
+  });
+  // Let the remover reach its wait, then release the stalled collector.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true, std::memory_order_release);
+  remover.join();
+  scraper.join();
+  // Whenever remove_collector returned, the in-flight invocation was done.
+  EXPECT_TRUE(saw_finished_at_removal.load());
+  // And the collector never runs again.
+  (void)registry.scrape();
 }
 
 TEST(MetricsRegistry, ConcurrentRegistrationAndRecording) {
