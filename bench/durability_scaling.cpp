@@ -1,0 +1,228 @@
+// What durable ingest costs, and what recovery buys back.
+//
+// ISSUE 8's ledger: the write-ahead journal turns add_batch into
+// validate → journal → apply, so every batch is one sequential append (plus
+// an fsync under the strict policy). This bench ingests the same synthetic
+// signature stream into a DurableDatabase under the three sync modes —
+//
+//   off   — journaled=false: RAM only, durability solely from checkpoint();
+//           the no-journal baseline the overhead gate compares against;
+//   async — SyncPolicy::kNone: append without fsync, one sync() at the end
+//           (group-commit shape: crash loses only the un-synced tail);
+//   fsync — SyncPolicy::kEachRecord: fsync per batch, the strict
+//           commit-on-return contract the crash-matrix test enforces
+//
+// — then measures both recovery paths a restarted server takes: replaying
+// the full journal, and loading a checkpointed snapshot. Each row carries
+// `overhead_vs_off` (paired same-run time ratio vs the off baseline, so it
+// transfers across machines the way absolute seconds do not) for
+// bench_check.py's --overhead-ceiling gate: journaling must stay a tax on
+// ingest, not a rewrite of its cost.
+//
+// Usage: bench_durability_scaling [max_docs]   (e.g. 10000 as a CI smoke)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fmeter/durable_database.hpp"
+#include "io/env.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+constexpr std::uint32_t kDimension = 3800;
+constexpr std::size_t kNnz = 120;
+constexpr std::size_t kClasses = 11;
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kBatchDocs = 100;
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Batch {
+  std::vector<fmeter::vsm::SparseVector> signatures;
+  std::vector<std::string> labels;
+};
+
+std::vector<Batch> synthetic_batches(std::size_t docs) {
+  fmeter::util::Rng rng(0xd0cb);
+  const fmeter::util::ZipfDistribution zipf(kDimension, 1.1);
+  const auto perms =
+      fmeter::bench::class_permutations(rng, kClasses, kDimension);
+  std::vector<Batch> batches((docs + kBatchDocs - 1) / kBatchDocs);
+  std::size_t doc = 0;
+  for (Batch& batch : batches) {
+    const std::size_t take = std::min(kBatchDocs, docs - doc);
+    for (std::size_t i = 0; i < take; ++i, ++doc) {
+      batch.signatures.push_back(fmeter::bench::synthetic_class_signature(
+          rng, zipf, perms[doc % kClasses], kNnz));
+      batch.labels.push_back("class-" + std::to_string(doc % kClasses));
+    }
+  }
+  return batches;
+}
+
+bool same_archive(const fmeter::core::SignatureDatabase& a,
+                  const fmeter::core::SignatureDatabase& b) {
+  if (a.size() != b.size()) return false;
+  fmeter::util::Rng rng(0x5eaf);
+  for (int q = 0; q < 5; ++q) {
+    const auto& query = a.signature(rng.below(a.size()));
+    const auto want = a.search(query, 10);
+    const auto got = b.search(query, 10);
+    if (got.size() != want.size()) return false;
+    for (std::size_t r = 0; r < want.size(); ++r) {
+      if (got[r].id != want[r].id || got[r].score != want[r].score) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void remove_tree(const std::string& dir) {
+  std::error_code ignored;
+  std::filesystem::remove_all(dir, ignored);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t parsed = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 0;
+  const std::size_t max_docs = parsed > 0 ? parsed : 100000;
+
+  fmeter::bench::print_banner(
+      "durability_scaling: journaled ingest cost and recovery time",
+      "a live archive must survive crashes without re-tracing workloads: "
+      "journal on the write path, snapshot + replay on restart");
+
+  const auto tmp = std::filesystem::temp_directory_path();
+  fmeter::io::Env& env = fmeter::io::Env::posix();
+
+  std::printf("%8s %-8s %10s %12s %12s\n", "docs", "mode", "seconds",
+              "docs_per_s", "vs_off");
+
+  std::vector<fmeter::bench::ShapeCheck> checks;
+  std::vector<fmeter::bench::JsonRow> json_rows;
+
+  for (const std::size_t docs : {std::size_t{10000}, std::size_t{100000}}) {
+    if (docs > max_docs) break;
+    const auto batches = synthetic_batches(docs);
+
+    struct Mode {
+      const char* name;
+      fmeter::core::DurableOptions options;
+    };
+    const std::vector<Mode> modes = {
+        {"off", {.num_shards = kShards, .journaled = false}},
+        {"async",
+         {.num_shards = kShards,
+          .journaled = true,
+          .sync_policy = fmeter::io::journal::SyncPolicy::kNone}},
+        {"fsync",
+         {.num_shards = kShards,
+          .journaled = true,
+          .sync_policy = fmeter::io::journal::SyncPolicy::kEachRecord}},
+    };
+
+    double off_seconds = 0.0;
+    std::string fsync_dir;
+    std::vector<std::unique_ptr<fmeter::core::DurableDatabase>> keep_alive;
+
+    for (const Mode& mode : modes) {
+      const std::string dir =
+          (tmp / ("fmeter_durability_bench_" + std::string(mode.name)))
+              .string();
+      remove_tree(dir);
+      auto db = std::make_unique<fmeter::core::DurableDatabase>(env, dir,
+                                                                mode.options);
+      const auto t_start = std::chrono::steady_clock::now();
+      for (const Batch& batch : batches) {
+        db->add_batch(batch.signatures, batch.labels);
+      }
+      if (mode.options.journaled &&
+          mode.options.sync_policy == fmeter::io::journal::SyncPolicy::kNone) {
+        db->sync();  // group commit: the async mode's single commit point
+      }
+      const double seconds = seconds_since(t_start);
+      if (std::string(mode.name) == "off") off_seconds = seconds;
+      if (std::string(mode.name) == "fsync") fsync_dir = dir;
+      const double overhead =
+          off_seconds > 0.0 ? seconds / off_seconds - 1.0 : 0.0;
+      std::printf("%8zu %-8s %10.2f %12.0f %11.1f%%\n", docs, mode.name,
+                  seconds, static_cast<double>(docs) / seconds,
+                  100.0 * overhead);
+      json_rows.push_back(
+          {fmeter::bench::jnum("docs", static_cast<double>(docs)),
+           fmeter::bench::jnum("shards", kShards),
+           fmeter::bench::jstr("phase", "ingest"),
+           fmeter::bench::jstr("mode", mode.name),
+           fmeter::bench::jnum("seconds", seconds),
+           fmeter::bench::jnum("docs_per_sec",
+                               static_cast<double>(docs) / seconds),
+           fmeter::bench::jnum("overhead_vs_off", overhead)});
+      keep_alive.push_back(std::move(db));
+    }
+
+    // Recovery path A: restart replays the whole journal (no checkpoint
+    // ever ran — the worst case the manifest allows).
+    keep_alive.clear();  // close the writers before reopening
+    const auto t_journal = std::chrono::steady_clock::now();
+    fmeter::core::DurableDatabase replayed(
+        env, fsync_dir, {.num_shards = kShards});
+    const double journal_s = seconds_since(t_journal);
+    checks.push_back(
+        {"journal replay recovered " + std::to_string(docs) + " docs",
+         replayed.db().size() == docs &&
+             replayed.recovery().journal_records_replayed == batches.size()});
+
+    // Recovery path B: restart after a checkpoint loads the snapshot and
+    // replays an empty journal.
+    replayed.checkpoint();
+    const auto t_snapshot = std::chrono::steady_clock::now();
+    fmeter::core::DurableDatabase loaded(
+        env, fsync_dir, {.num_shards = kShards});
+    const double snapshot_s = seconds_since(t_snapshot);
+    checks.push_back({"snapshot recovery is bit-identical to ingest at " +
+                          std::to_string(docs),
+                      loaded.recovery().snapshot_loaded &&
+                          same_archive(loaded.db(), replayed.db())});
+
+    std::printf("%8zu %-8s %10.2f %12.0f %12s\n", docs, "replay", journal_s,
+                static_cast<double>(docs) / journal_s, "-");
+    std::printf("%8zu %-8s %10.2f %12.0f %12s\n", docs, "load", snapshot_s,
+                static_cast<double>(docs) / snapshot_s, "-");
+    for (const auto& [phase, secs] :
+         {std::pair<const char*, double>{"recover_journal", journal_s},
+          {"recover_snapshot", snapshot_s}}) {
+      json_rows.push_back(
+          {fmeter::bench::jnum("docs", static_cast<double>(docs)),
+           fmeter::bench::jnum("shards", kShards),
+           fmeter::bench::jstr("phase", phase),
+           fmeter::bench::jstr("mode", "fsync"),
+           fmeter::bench::jnum("seconds", secs),
+           fmeter::bench::jnum("docs_per_sec",
+                               static_cast<double>(docs) / secs)});
+    }
+
+    for (const Mode& mode : modes) {
+      remove_tree(
+          (tmp / ("fmeter_durability_bench_" + std::string(mode.name)))
+              .string());
+    }
+  }
+
+  fmeter::bench::emit_json("BENCH_durability.json", "durability_scaling",
+                           json_rows);
+  std::printf("\nwrote BENCH_durability.json (%zu rows)\n", json_rows.size());
+  return fmeter::bench::print_shape_checks(checks);
+}

@@ -1,6 +1,7 @@
 #include "fmeter/database.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -8,6 +9,7 @@
 #include <fstream>
 #include <chrono>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -136,11 +138,9 @@ std::size_t SignatureDatabase::add(vsm::SparseVector signature,
   return signatures_.size() - 1;
 }
 
-std::size_t SignatureDatabase::add_batch(
-    std::vector<vsm::SparseVector> signatures, std::vector<std::string> labels) {
-  // Validate the whole batch before touching any member: a rejected batch
-  // must leave the database exactly as it was, still usable (see the
-  // header's two-tier failure contract).
+void SignatureDatabase::validate_batch(
+    const std::vector<vsm::SparseVector>& signatures,
+    const std::vector<std::string>& labels) {
   if (signatures.size() != labels.size()) {
     throw std::invalid_argument(
         "add_batch: signatures and labels must align");
@@ -155,6 +155,14 @@ std::size_t SignatureDatabase::add_batch(
       }
     }
   }
+}
+
+std::size_t SignatureDatabase::add_batch(
+    std::vector<vsm::SparseVector> signatures, std::vector<std::string> labels) {
+  // Validate the whole batch before touching any member: a rejected batch
+  // must leave the database exactly as it was, still usable (see the
+  // header's two-tier failure contract).
+  validate_batch(signatures, labels);
   const std::size_t first = signatures_.size();
   syndrome_cache_.reset();
   signatures_.reserve(signatures_.size() + signatures.size());
@@ -364,12 +372,17 @@ void SignatureDatabase::save(std::ostream& out) const {
 }
 
 void SignatureDatabase::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw index::snapshot::SnapshotError("snapshot: cannot open " + path +
-                                         " for writing");
+  save(io::Env::posix(), path);
+}
+
+void SignatureDatabase::save(io::Env& env, const std::string& path) const {
+  try {
+    io::AtomicFileWriter file(env, path);
+    save(file.stream());
+    file.commit();
+  } catch (const io::IoError& e) {
+    throw index::snapshot::SnapshotError(std::string("snapshot: ") + e.what());
   }
-  save(out);
 }
 
 void SignatureDatabase::load(std::istream& in) {
@@ -448,10 +461,28 @@ void SignatureDatabase::load(std::istream& in) {
 }
 
 void SignatureDatabase::load(const std::string& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw index::snapshot::SnapshotError("snapshot: cannot open " + path);
+    std::string message = "snapshot: cannot open " + path;
+    if (errno != 0) {
+      message += " (";
+      message += std::strerror(errno);
+      message += ")";
+    }
+    throw index::snapshot::SnapshotError(message);
   }
+  load(in);
+}
+
+void SignatureDatabase::load(io::Env& env, const std::string& path) {
+  std::string bytes;
+  try {
+    bytes = env.read_file(path);
+  } catch (const io::IoError& e) {
+    throw index::snapshot::SnapshotError(std::string("snapshot: ") + e.what());
+  }
+  std::istringstream in(std::move(bytes), std::ios::binary);
   load(in);
 }
 

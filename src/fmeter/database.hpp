@@ -31,6 +31,7 @@
 
 #include "exec/query_engine.hpp"
 #include "exec/sharded_index.hpp"
+#include "io/env.hpp"
 #include "ml/kmeans.hpp"
 #include "vsm/sparse_vector.hpp"
 
@@ -109,6 +110,14 @@ class SignatureDatabase {
   /// is lost.
   std::size_t add_batch(std::vector<vsm::SparseVector> signatures,
                         std::vector<std::string> labels);
+
+  /// add_batch's validation tier, callable on its own: throws
+  /// std::invalid_argument for mismatched counts or any non-finite weight,
+  /// touches nothing. DurableDatabase runs this *before* journaling a
+  /// batch, so a record that reaches the journal is guaranteed to replay
+  /// cleanly on recovery.
+  static void validate_batch(const std::vector<vsm::SparseVector>& signatures,
+                             const std::vector<std::string>& labels);
 
   /// Freezes the sharded index (compacts all postings into per-shard
   /// arenas; see index::InvertedIndex::freeze()). Queries return identical
@@ -191,9 +200,16 @@ class SignatureDatabase {
   /// index/snapshot.hpp). Signatures are *not* stored twice: the index's
   /// forward store is the authoritative copy and the signature store is
   /// rebuilt from it on load. The emitted bytes are independent of the
-  /// freeze state. Throws index::snapshot::SnapshotError on I/O failure.
+  /// freeze state. Throws index::snapshot::SnapshotError on I/O failure
+  /// (carrying the errno text when the OS supplied one).
+  ///
+  /// The path overloads commit *atomically* through an io::Env —
+  /// write-temp → fsync → rename → fsync-dir — so a crash or I/O failure
+  /// at any point leaves the previous file contents intact, never a torn
+  /// snapshot. The path-only form uses Env::posix().
   void save(std::ostream& out) const;
   void save(const std::string& path) const;
+  void save(io::Env& env, const std::string& path) const;
 
   /// Restores a database from a snapshot without re-indexing the corpus:
   /// labels and per-document sparse vectors are decoded from the sections,
@@ -208,6 +224,7 @@ class SignatureDatabase {
   /// and usable.
   void load(std::istream& in);
   void load(const std::string& path);
+  void load(io::Env& env, const std::string& path);
 
   /// The sharded index backing search() (introspection / stats).
   const exec::ShardedIndex& index() const noexcept { return index_; }

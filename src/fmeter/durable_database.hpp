@@ -1,0 +1,158 @@
+// Durable signature database: SignatureDatabase + write-ahead journal +
+// atomic snapshots behind one directory-shaped format (ISSUE 8 — the
+// substrate the ROADMAP's live archive ingests into).
+//
+// Directory layout:
+//
+//   <dir>/MANIFEST            names the current epoch's snapshot + journal
+//   <dir>/snapshot-NNNNNN     full database image (index/snapshot.hpp
+//                             format); absent at epoch 0
+//   <dir>/journal-NNNNNN.wal  batches added since that snapshot
+//                             (io/journal.hpp format)
+//
+// The MANIFEST is tiny and swapped atomically (write-temp → fsync →
+// rename → fsync-dir), and it is the *only* commit point for a
+// checkpoint: a crash anywhere during checkpoint() leaves either the old
+// manifest (old snapshot + old journal still present, new files are
+// unreferenced garbage swept at the next open) or the new one (old files
+// become the garbage). Opening a directory therefore never needs to
+// guess — whatever the manifest names is a consistent pair.
+//
+// Durability contract (enforced by the crash-matrix test):
+//   * a batch whose journal record reached stable storage — append()
+//     returned under SyncPolicy::kEachRecord, or sync()/checkpoint()
+//     returned under kNone — survives any later crash;
+//   * a batch interrupted mid-append vanishes atomically: recovery
+//     truncates the torn record and replays only complete ones;
+//   * the directory is *always* openable after a crash, and the recovered
+//     database is bit-identical (same search results in every mode) to a
+//     fresh bulk build of exactly the recovered batches.
+//
+// Batches are validated (SignatureDatabase::validate_batch) *before* the
+// journal append, so every record that reaches the journal is replayable —
+// recovery cannot trip over a record the write path accepted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fmeter/database.hpp"
+#include "io/env.hpp"
+#include "io/journal.hpp"
+
+namespace fmeter::core {
+
+/// Manifest/recovery failures that are not snapshot or journal errors
+/// (corrupt manifest, unopenable directory).
+class DurabilityError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct DurableOptions {
+  /// Shard count for a *fresh* database (0 = SignatureDatabase default).
+  /// Opening an existing directory adopts the snapshot's shard count.
+  std::size_t num_shards = 0;
+  /// false = no journal at all ("off"): add_batch mutates only RAM and
+  /// durability comes solely from checkpoint(). The bench's baseline.
+  bool journaled = true;
+  /// Commit point of a journaled batch (see io/journal.hpp).
+  io::journal::SyncPolicy sync_policy = io::journal::SyncPolicy::kEachRecord;
+};
+
+/// What open() found and did — surfaced for fmeter_inspect recover and the
+/// recovery assertions in tests.
+struct RecoveryInfo {
+  bool created = false;           ///< directory was initialised fresh
+  bool snapshot_loaded = false;   ///< manifest named a snapshot and it loaded
+  std::uint64_t epoch = 0;        ///< manifest epoch after open
+  std::uint64_t journal_records_replayed = 0;
+  std::uint64_t journal_bytes_dropped = 0;  ///< torn tail cut by repair
+  bool journal_truncated = false;
+  std::string truncate_reason;    ///< empty when the tail was clean
+  std::vector<std::string> removed_files;   ///< unreferenced leftovers swept
+};
+
+/// Names inside a durable directory (shared with fmeter_inspect).
+std::string manifest_path(const std::string& dir);
+std::string snapshot_name(std::uint64_t epoch);
+std::string journal_name(std::uint64_t epoch);
+
+/// Parsed MANIFEST contents (shared with fmeter_inspect recover).
+struct Manifest {
+  std::uint64_t epoch = 0;
+  std::string snapshot;  ///< file name relative to the directory; "" = none
+  std::string journal;   ///< file name relative to the directory
+};
+
+/// Reads and checksum-validates a MANIFEST; throws DurabilityError on
+/// corruption (manifest writes are atomic, so a bad one is bit rot, not a
+/// crash artifact).
+Manifest read_manifest(io::Env& env, const std::string& dir);
+
+class DurableDatabase {
+ public:
+  /// Opens `dir` (creating it if absent): loads the manifest's snapshot,
+  /// replays the journal — truncating any torn tail — sweeps unreferenced
+  /// files, and opens the journal for appending. Every step goes through
+  /// `env`, which is what lets the crash-matrix test run the whole
+  /// lifecycle against FaultInjectingEnv.
+  DurableDatabase(io::Env& env, std::string dir, DurableOptions options = {});
+
+  DurableDatabase(const DurableDatabase&) = delete;
+  DurableDatabase& operator=(const DurableDatabase&) = delete;
+
+  /// Validate → journal (commit point under kEachRecord) → apply to RAM.
+  /// Returns the id of the first inserted signature. Thread-safe against
+  /// concurrent add_batch/sync/checkpoint.
+  std::size_t add_batch(std::vector<vsm::SparseVector> signatures,
+                        std::vector<std::string> labels);
+
+  /// Explicit journal fsync — the kNone caller's commit point. No-op when
+  /// the journal is off.
+  void sync();
+
+  /// Snapshots the full database, starts a fresh journal, and swaps the
+  /// manifest to the new pair (the atomic commit point), then deletes the
+  /// old epoch's files. After checkpoint() returns, every batch ever
+  /// applied is durable regardless of sync policy.
+  void checkpoint();
+
+  /// Read access for queries; holds no lock — callers coordinate queries
+  /// with concurrent ingest themselves, exactly as with SignatureDatabase.
+  const SignatureDatabase& db() const noexcept { return db_; }
+
+  const RecoveryInfo& recovery() const noexcept { return recovery_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  void open();
+
+  io::Env& env_;
+  std::string dir_;
+  DurableOptions options_;
+  SignatureDatabase db_;
+  std::unique_ptr<io::journal::Writer> journal_;
+  std::uint64_t epoch_ = 0;
+  RecoveryInfo recovery_;
+  std::mutex mutex_;  ///< serializes add_batch / sync / checkpoint
+};
+
+/// Journal record payload codec for one batch — exposed so tests can craft
+/// records and fmeter_inspect can describe them. Layout: u64 doc count,
+/// then per doc { u32 label length, label bytes, u32 nnz,
+/// nnz × { u32 term, f64 weight } }.
+std::vector<std::byte> encode_batch(
+    const std::vector<vsm::SparseVector>& signatures,
+    const std::vector<std::string>& labels);
+void decode_batch(std::span<const std::byte> payload,
+                  std::vector<vsm::SparseVector>& signatures,
+                  std::vector<std::string>& labels);
+
+}  // namespace fmeter::core

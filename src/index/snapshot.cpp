@@ -1,5 +1,6 @@
 #include "index/snapshot.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstring>
 #include <istream>
@@ -7,13 +8,13 @@
 #include <ostream>
 
 #include "index/inverted_index.hpp"
+#include "io/checksum.hpp"
 #include "obs/trace.hpp"
 
 namespace fmeter::index::snapshot {
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+using io::fnv1a_extend;
 
 /// Format limits guarding header-count allocations (see Reader below).
 constexpr std::uint32_t kMaxShards = 1u << 16;
@@ -41,37 +42,26 @@ struct DirectoryEntry {
 };
 static_assert(sizeof(DirectoryEntry) == 24);
 
-std::uint64_t fnv1a_extend(std::uint64_t hash,
-                           std::span<const std::byte> bytes) noexcept {
-  // FNV-1a folded over 8-byte chunks instead of single bytes: the payload
-  // sections are hundreds of megabytes at archive scale, and the classic
-  // per-byte loop is a serial multiply per byte — 8x the latency chain this
-  // variant pays. Same detection job (any flipped byte changes the chunk,
-  // which changes every later state); not interoperable with standard
-  // FNV-1a, which is fine for a checksum private to this format.
-  std::size_t i = 0;
-  for (; i + 8 <= bytes.size(); i += 8) {
-    std::uint64_t chunk;
-    std::memcpy(&chunk, bytes.data() + i, 8);
-    hash ^= chunk;
-    hash *= kFnvPrime;
-  }
-  for (; i < bytes.size(); ++i) {
-    hash ^= static_cast<std::uint64_t>(bytes[i]);
-    hash *= kFnvPrime;
-  }
-  return hash;
-}
-
 template <typename T>
 std::span<const std::byte> as_bytes_of(const T& value) noexcept {
   return {reinterpret_cast<const std::byte*>(&value), sizeof(T)};
 }
 
 void write_bytes(std::ostream& out, std::span<const std::byte> bytes) {
+  errno = 0;
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw SnapshotError("snapshot: write failure");
+  if (!out) {
+    // An ofstream that hit ENOSPC/EIO leaves the reason in errno; surface
+    // it — "write failure" alone is undebuggable on a full disk.
+    std::string message = "snapshot: write failure";
+    if (errno != 0) {
+      message += " (";
+      message += std::strerror(errno);
+      message += ")";
+    }
+    throw SnapshotError(message);
+  }
 }
 
 void read_exact(std::istream& in, void* into, std::size_t bytes,
@@ -81,6 +71,97 @@ void read_exact(std::istream& in, void* into, std::size_t bytes,
     throw SnapshotError(std::string("snapshot: truncated file (short read in ") +
                         what + ")");
   }
+}
+
+/// Header prefix + directory, parsed and fully validated (magic, version,
+/// endianness, count caps, header checksum). Shared by Reader — which goes
+/// on to materialize sections — and verify_stream, which only streams them
+/// through the checksum.
+struct ParsedHeader {
+  HeaderPrefix prefix;
+  std::vector<DirectoryEntry> directory;
+  std::uint64_t bytes_read = 0;
+};
+
+ParsedHeader read_header(std::istream& in) {
+  ParsedHeader out;
+  HeaderPrefix& prefix = out.prefix;
+  read_exact(in, &prefix, sizeof(prefix), "header");
+  if (std::memcmp(prefix.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw SnapshotError("snapshot: bad magic (not a snapshot file)");
+  }
+  if (prefix.endian_tag != kEndianTag) {
+    // Distinguish the honest cross-endian case from plain corruption.
+    std::uint32_t swapped = 0;
+    const auto* raw = reinterpret_cast<const unsigned char*>(&prefix.endian_tag);
+    for (int i = 0; i < 4; ++i) {
+      swapped = (swapped << 8) | raw[i];
+    }
+    if (swapped == kEndianTag) {
+      throw SnapshotError(
+          "snapshot: endianness mismatch (file was written on a "
+          "foreign-endian host)");
+    }
+    throw SnapshotError("snapshot: corrupt endianness tag");
+  }
+  if (prefix.version != kFormatVersion) {
+    throw SnapshotError("snapshot: unsupported format version " +
+                        std::to_string(prefix.version) + " (this build reads " +
+                        std::to_string(kFormatVersion) + ")");
+  }
+  // The counts are not covered by any checksum until the directory has
+  // been read, so cap them *before* they size an allocation — a bit-rotted
+  // count must surface as a SnapshotError, not a std::bad_alloc. The caps
+  // are format limits, far above anything a writer emits (three sections
+  // per shard plus one labels blob).
+  if (prefix.shard_count > kMaxShards) {
+    throw SnapshotError("snapshot: implausible shard count " +
+                        std::to_string(prefix.shard_count) +
+                        " (corrupt header?)");
+  }
+  if (prefix.section_count > 3 * prefix.shard_count + kExtraSectionSlack) {
+    throw SnapshotError("snapshot: implausible section count " +
+                        std::to_string(prefix.section_count) + " for " +
+                        std::to_string(prefix.shard_count) +
+                        " shards (corrupt header?)");
+  }
+
+  out.directory.resize(prefix.section_count);
+  for (DirectoryEntry& entry : out.directory) {
+    read_exact(in, &entry, sizeof(entry), "section directory");
+  }
+  std::uint64_t stored_header_checksum = 0;
+  read_exact(in, &stored_header_checksum, sizeof(stored_header_checksum),
+             "header checksum");
+  std::uint64_t header_checksum = fnv1a(as_bytes_of(prefix));
+  for (const DirectoryEntry& entry : out.directory) {
+    header_checksum = fnv1a_extend(header_checksum, as_bytes_of(entry));
+  }
+  if (header_checksum != stored_header_checksum) {
+    throw SnapshotError("snapshot: header checksum mismatch (corrupt header "
+                        "or section directory)");
+  }
+  for (std::size_t a = 0; a < out.directory.size(); ++a) {
+    const DirectoryEntry& entry = out.directory[a];
+    if (entry.kind < static_cast<std::uint32_t>(SectionKind::kForwardOffsets) ||
+        entry.kind > static_cast<std::uint32_t>(SectionKind::kLabels)) {
+      throw SnapshotError("snapshot: unknown section kind " +
+                          std::to_string(entry.kind));
+    }
+    for (std::size_t b = 0; b < a; ++b) {
+      if (out.directory[b].kind == entry.kind &&
+          out.directory[b].shard == entry.shard) {
+        throw SnapshotError(std::string("snapshot: duplicate section ") +
+                            section_kind_name(static_cast<SectionKind>(
+                                entry.kind)) +
+                            "/" + std::to_string(entry.shard));
+      }
+    }
+  }
+  out.bytes_read = sizeof(prefix) +
+                   out.directory.size() * sizeof(DirectoryEntry) +
+                   sizeof(stored_header_checksum);
+  return out;
 }
 
 }  // namespace
@@ -96,7 +177,7 @@ const char* section_kind_name(SectionKind kind) noexcept {
 }
 
 std::uint64_t fnv1a(std::span<const std::byte> bytes) noexcept {
-  return fnv1a_extend(kFnvOffset, bytes);
+  return io::fnv1a(bytes);  // one checksum dialect repo-wide (io/checksum.hpp)
 }
 
 Writer::Writer(std::uint32_t shard_count, std::uint64_t doc_count,
@@ -155,84 +236,29 @@ void Writer::finish(std::ostream& out) {
   if (!out) throw SnapshotError("snapshot: write failure");
 }
 
+void Writer::finish(io::Env& env, const std::string& path) {
+  try {
+    io::AtomicFileWriter file(env, path);
+    finish(file.stream());
+    file.commit();
+  } catch (const io::IoError& e) {
+    // One exception type per layer: callers of the snapshot API catch
+    // SnapshotError, whatever transport failed underneath.
+    throw SnapshotError(std::string("snapshot: ") + e.what());
+  }
+}
+
 Reader::Reader(std::istream& in) {
   const obs::StageSpan load_span(obs::Stage::kSnapshotLoad);
-  HeaderPrefix prefix{};
-  read_exact(in, &prefix, sizeof(prefix), "header");
-  if (std::memcmp(prefix.magic, kMagic, sizeof(kMagic)) != 0) {
-    throw SnapshotError("snapshot: bad magic (not a snapshot file)");
-  }
-  if (prefix.endian_tag != kEndianTag) {
-    // Distinguish the honest cross-endian case from plain corruption.
-    std::uint32_t swapped = 0;
-    const auto* raw = reinterpret_cast<const unsigned char*>(&prefix.endian_tag);
-    for (int i = 0; i < 4; ++i) {
-      swapped = (swapped << 8) | raw[i];
-    }
-    if (swapped == kEndianTag) {
-      throw SnapshotError(
-          "snapshot: endianness mismatch (file was written on a "
-          "foreign-endian host)");
-    }
-    throw SnapshotError("snapshot: corrupt endianness tag");
-  }
-  if (prefix.version != kFormatVersion) {
-    throw SnapshotError("snapshot: unsupported format version " +
-                        std::to_string(prefix.version) + " (this build reads " +
-                        std::to_string(kFormatVersion) + ")");
-  }
-  // The counts are not covered by any checksum until the directory has
-  // been read, so cap them *before* they size an allocation — a bit-rotted
-  // count must surface as a SnapshotError, not a std::bad_alloc. The caps
-  // are format limits, far above anything a writer emits (three sections
-  // per shard plus one labels blob).
-  if (prefix.shard_count > kMaxShards) {
-    throw SnapshotError("snapshot: implausible shard count " +
-                        std::to_string(prefix.shard_count) +
-                        " (corrupt header?)");
-  }
-  if (prefix.section_count > 3 * prefix.shard_count + kExtraSectionSlack) {
-    throw SnapshotError("snapshot: implausible section count " +
-                        std::to_string(prefix.section_count) + " for " +
-                        std::to_string(prefix.shard_count) +
-                        " shards (corrupt header?)");
-  }
+  const ParsedHeader header = read_header(in);
 
-  std::vector<DirectoryEntry> directory(prefix.section_count);
-  for (DirectoryEntry& entry : directory) {
-    read_exact(in, &entry, sizeof(entry), "section directory");
-  }
-  std::uint64_t stored_header_checksum = 0;
-  read_exact(in, &stored_header_checksum, sizeof(stored_header_checksum),
-             "header checksum");
-  std::uint64_t header_checksum = fnv1a(as_bytes_of(prefix));
-  for (const DirectoryEntry& entry : directory) {
-    header_checksum = fnv1a_extend(header_checksum, as_bytes_of(entry));
-  }
-  if (header_checksum != stored_header_checksum) {
-    throw SnapshotError("snapshot: header checksum mismatch (corrupt header "
-                        "or section directory)");
-  }
+  shard_count_ = header.prefix.shard_count;
+  doc_count_ = header.prefix.doc_count;
+  term_count_ = header.prefix.term_count;
 
-  shard_count_ = prefix.shard_count;
-  doc_count_ = prefix.doc_count;
-  term_count_ = prefix.term_count;
-
-  sections_.reserve(directory.size());
-  for (const DirectoryEntry& entry : directory) {
+  sections_.reserve(header.directory.size());
+  for (const DirectoryEntry& entry : header.directory) {
     const auto kind = static_cast<SectionKind>(entry.kind);
-    if (entry.kind < static_cast<std::uint32_t>(SectionKind::kForwardOffsets) ||
-        entry.kind > static_cast<std::uint32_t>(SectionKind::kLabels)) {
-      throw SnapshotError("snapshot: unknown section kind " +
-                          std::to_string(entry.kind));
-    }
-    for (const Section& seen : sections_) {
-      if (seen.kind == kind && seen.shard == entry.shard) {
-        throw SnapshotError(std::string("snapshot: duplicate section ") +
-                            section_kind_name(kind) + "/" +
-                            std::to_string(entry.shard));
-      }
-    }
     Section section;
     section.kind = kind;
     section.shard = entry.shard;
@@ -319,6 +345,74 @@ std::vector<vsm::SparseVector> read_shard_documents(const Reader& reader,
          weights.begin() + static_cast<std::ptrdiff_t>(offsets[d + 1])}));
   }
   return docs;
+}
+
+VerifyResult verify_stream(std::istream& in) {
+  VerifyResult result;
+  ParsedHeader header;
+  try {
+    header = read_header(in);
+  } catch (const SnapshotError& e) {
+    result.error = e.what();
+    return result;
+  }
+  result.shard_count = header.prefix.shard_count;
+  result.doc_count = header.prefix.doc_count;
+  result.term_count = header.prefix.term_count;
+  result.total_bytes = header.bytes_read;
+
+  // Chunk size must be a multiple of 8: the chunked FNV folds 8 bytes per
+  // step, so a split at a non-multiple boundary would hash different
+  // chunks than the writer's one-shot pass and "verify" nothing.
+  constexpr std::size_t kChunk = 1u << 20;
+  std::vector<char> chunk(kChunk);
+
+  bool all_ok = true;
+  for (const DirectoryEntry& entry : header.directory) {
+    SectionVerify section;
+    section.kind = static_cast<SectionKind>(entry.kind);
+    section.shard = entry.shard;
+    section.bytes = entry.bytes;
+    std::uint64_t hash = io::kFnvOffset;
+    std::uint64_t remaining = entry.bytes;
+    bool truncated = false;
+    while (remaining > 0) {
+      const std::size_t want =
+          remaining < kChunk ? static_cast<std::size_t>(remaining) : kChunk;
+      in.read(chunk.data(), static_cast<std::streamsize>(want));
+      const auto got = static_cast<std::size_t>(in.gcount());
+      hash = fnv1a_extend(
+          hash, std::span<const std::byte>(
+                    reinterpret_cast<const std::byte*>(chunk.data()), got));
+      result.total_bytes += got;
+      remaining -= got;
+      if (got != want) {
+        truncated = true;
+        break;
+      }
+    }
+    section.checksum_ok = !truncated && hash == entry.checksum;
+    result.sections.push_back(section);
+    if (truncated) {
+      result.error = std::string("snapshot: truncated file (short read in "
+                                 "section ") +
+                     section_kind_name(section.kind) + "/" +
+                     std::to_string(section.shard) + ")";
+      return result;
+    }
+    if (!section.checksum_ok && all_ok) {
+      all_ok = false;
+      result.error = std::string("snapshot: section ") +
+                     section_kind_name(section.kind) + "/" +
+                     std::to_string(section.shard) + " checksum mismatch";
+    }
+  }
+  if (all_ok && in.peek() != std::istream::traits_type::eof()) {
+    result.error = "snapshot: trailing bytes after the last section";
+    return result;
+  }
+  result.ok = all_ok;
+  return result;
 }
 
 }  // namespace fmeter::index::snapshot

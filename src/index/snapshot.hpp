@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "io/env.hpp"
 #include "vsm/sparse_vector.hpp"
 
 namespace fmeter::index::snapshot {
@@ -111,8 +112,16 @@ class Writer {
   }
 
   /// Writes header + directory + payloads. Throws SnapshotError on stream
-  /// failure. The writer is spent afterwards.
+  /// failure (with errno text when the stream exposes one). The writer is
+  /// spent afterwards.
   void finish(std::ostream& out);
+
+  /// Atomic variant: the whole snapshot is committed to `path` through
+  /// `env` as write-temp → fsync → rename → fsync-dir. A crash (or I/O
+  /// failure) at any point leaves the previous `path` contents intact —
+  /// never a torn file; I/O failures surface as SnapshotError carrying the
+  /// env's errno text.
+  void finish(io::Env& env, const std::string& path);
 
  private:
   struct Section {
@@ -181,5 +190,31 @@ class Reader {
 /// SignatureDatabase::load (which also rebuilds its signature store).
 std::vector<vsm::SparseVector> read_shard_documents(const Reader& reader,
                                                     std::uint32_t shard);
+
+/// One section's verification outcome (see verify_stream).
+struct SectionVerify {
+  SectionKind kind = SectionKind::kForwardOffsets;
+  std::uint32_t shard = 0;
+  std::uint64_t bytes = 0;
+  bool checksum_ok = false;
+};
+
+/// Deep-checksum report for `fmeter_inspect verify`.
+struct VerifyResult {
+  bool ok = false;            ///< header + every section + clean EOF
+  std::string error;          ///< first failure, empty when ok
+  std::uint32_t shard_count = 0;
+  std::uint64_t doc_count = 0;
+  std::uint64_t term_count = 0;
+  std::uint64_t total_bytes = 0;  ///< bytes consumed from the stream
+  std::vector<SectionVerify> sections;
+};
+
+/// Validates a snapshot stream end to end — magic, version, endianness,
+/// header checksum, every section checksum, trailing bytes — *without*
+/// materializing sections: payloads stream through the checksum in fixed
+/// 1 MiB chunks, so a 100 GB archive verifies in constant memory. Never
+/// throws for corruption; the result carries the diagnosis.
+VerifyResult verify_stream(std::istream& in);
 
 }  // namespace fmeter::index::snapshot

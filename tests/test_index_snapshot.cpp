@@ -23,8 +23,11 @@
 #include "exec/sharded_index.hpp"
 #include "exec/task_pool.hpp"
 #include "fmeter/database.hpp"
+#include "fmeter/durable_database.hpp"
 #include "index/inverted_index.hpp"
 #include "index/snapshot.hpp"
+#include "io/env.hpp"
+#include "io/journal.hpp"
 #include "util/rng.hpp"
 #include "vsm/sparse_vector.hpp"
 
@@ -607,6 +610,197 @@ TEST_F(SnapshotCorruption, SuccessfulLoadReplacesTargetEntirely) {
   std::istringstream in(bytes_);
   target_.load(in);
   expect_databases_equivalent(target_, source_, 0xfeed, "post-load");
+}
+
+TEST_F(SnapshotCorruption, VerifyStreamAcceptsCleanArchiveAndReportsLayout) {
+  std::istringstream in(bytes_);
+  const snap::VerifyResult result = snap::verify_stream(in);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.error.empty());
+  EXPECT_EQ(result.shard_count, 2u);
+  EXPECT_EQ(result.doc_count, 60u);
+  EXPECT_EQ(result.total_bytes, bytes_.size());
+  ASSERT_EQ(result.sections.size(), 2 * 3 + 1) << "2 shards x 3 + labels";
+  for (const auto& section : result.sections) {
+    EXPECT_TRUE(section.checksum_ok)
+        << "kind " << static_cast<int>(section.kind) << " shard "
+        << section.shard;
+  }
+}
+
+TEST_F(SnapshotCorruption, VerifyStreamPinpointsTheDamagedSection) {
+  // A flip in any section payload must flag exactly that section while the
+  // scan keeps going — verify is a whole-file report, not a first-error
+  // bail-out.
+  for (const auto& span : section_spans()) {
+    if (span.length == 0) continue;
+    std::string corrupt = bytes_;
+    const std::size_t at = span.begin + span.length / 2;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x04);
+    std::istringstream in(corrupt);
+    const snap::VerifyResult result = snap::verify_stream(in);
+    const std::string context =
+        "kind " + std::to_string(span.kind) + "/" + std::to_string(span.shard);
+    EXPECT_FALSE(result.ok) << context;
+    EXPECT_FALSE(result.error.empty()) << context;
+    std::size_t flagged = 0;
+    for (const auto& section : result.sections) {
+      if (!section.checksum_ok) {
+        ++flagged;
+        EXPECT_EQ(static_cast<std::uint32_t>(section.kind), span.kind)
+            << context;
+        EXPECT_EQ(section.shard, span.shard) << context;
+      }
+    }
+    EXPECT_EQ(flagged, 1u) << context;
+    EXPECT_EQ(result.sections.size(), 7u) << context << ": scan stopped early";
+  }
+}
+
+TEST_F(SnapshotCorruption, VerifyStreamReportsTruncationAndHeaderDamage) {
+  {
+    std::istringstream in(bytes_.substr(0, bytes_.size() - 5));
+    const snap::VerifyResult result = snap::verify_stream(in);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("truncated"), std::string::npos)
+        << result.error;
+  }
+  {
+    std::string corrupt = bytes_;
+    corrupt[3] = static_cast<char>(corrupt[3] ^ 0x01);  // inside the magic
+    std::istringstream in(corrupt);
+    const snap::VerifyResult result = snap::verify_stream(in);
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.error.empty());
+  }
+  {
+    std::istringstream in(bytes_ + "x");
+    const snap::VerifyResult result = snap::verify_stream(in);
+    EXPECT_FALSE(result.ok);
+  }
+}
+
+TEST(IndexSnapshot, EnvSaveIsAtomicAtEveryFaultPoint) {
+  // SignatureDatabase::save(env, path) either commits the whole archive or
+  // leaves the previous one untouched — no fault point may expose a torn
+  // or half-replaced file.
+  const TestCorpus old_corpus = make_corpus(0x11, 8);
+  const SignatureDatabase old_db = build_bulk(old_corpus, 1);
+  const std::string old_bytes = save_to_string(old_db);
+  const TestCorpus new_corpus = make_corpus(0x5a, 30);
+  const SignatureDatabase new_db = build_bulk(new_corpus, 2);
+
+  io::FaultInjectingEnv counter;
+  counter.create_dir("d");
+  old_db.save(counter, "d/archive");
+  counter.sync_dir("d");
+  counter.reset_ops();
+  new_db.save(counter, "d/archive");
+  const std::uint64_t total_ops = counter.ops_seen();
+  ASSERT_GE(total_ops, 5u);  // create, write(s), fsync, rename, fsync-dir
+
+  for (std::uint64_t n = 0; n < total_ops; ++n) {
+    io::FaultInjectingEnv env;
+    env.create_dir("d");
+    old_db.save(env, "d/archive");
+    env.sync_dir("d");
+    env.reset_ops();
+    env.fail_at_op(n);
+    EXPECT_THROW(new_db.save(env, "d/archive"), snap::SnapshotError)
+        << "op " << n;
+    env.disarm();
+    env.crash(io::InMemoryEnv::CrashMode::kDropUnsynced);
+    EXPECT_EQ(env.read_file("d/archive"), old_bytes) << "op " << n;
+  }
+
+  // And the fault-free commit round-trips through Env load.
+  io::InMemoryEnv env;
+  env.create_dir("d");
+  new_db.save(env, "d/archive");
+  SignatureDatabase loaded;
+  loaded.load(env, "d/archive");
+  expect_databases_equivalent(loaded, new_db, 0xabba, "env round trip");
+}
+
+TEST(DurableArchive, JournalTornTailNeverDiscardsTheSnapshot) {
+  // The satellite contract: whatever shape the journal's tail is torn
+  // into, reopening recovers to the last good record and the checkpointed
+  // snapshot is never thrown away.
+  namespace jrn = io::journal;
+  util::Rng rng(0x5eed);
+  std::vector<std::vector<vsm::SparseVector>> sigs(4);
+  std::vector<std::vector<std::string>> labels(4);
+  for (int b = 0; b < 4; ++b) {
+    for (int d = 0; d < 2; ++d) {
+      sigs[b].push_back(random_sparse(rng, 48, 8));
+      labels[b].push_back("b" + std::to_string(b) + "d" + std::to_string(d));
+    }
+  }
+  // Batches 0,1 live in the checkpointed snapshot; 2,3 in the journal.
+  const auto build = [&](io::Env& env) {
+    DurableDatabase db(env, "arch", {.num_shards = 2});
+    db.add_batch(sigs[0], labels[0]);
+    db.add_batch(sigs[1], labels[1]);
+    db.checkpoint();
+    db.add_batch(sigs[2], labels[2]);
+    db.add_batch(sigs[3], labels[3]);
+  };
+  const std::string jpath = "arch/" + journal_name(1);
+
+  io::InMemoryEnv pristine;
+  build(pristine);
+  const std::string good = pristine.read_file(jpath);
+  std::vector<std::size_t> record_sizes;
+  jrn::replay(
+      pristine, jpath,
+      [&](std::span<const std::byte> p) { record_sizes.push_back(p.size()); },
+      false);
+  ASSERT_EQ(record_sizes.size(), 2u);
+  const std::size_t first_end =
+      jrn::kHeaderBytes + jrn::kRecordHeaderBytes + record_sizes[0];
+
+  const auto flip = [](std::string bytes, std::size_t at) {
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x10);
+    return bytes;
+  };
+  struct Shape {
+    std::string name;
+    std::string bytes;
+    std::size_t replayed;  ///< journal records that must survive
+  };
+  const std::vector<Shape> shapes = {
+      {"cut inside length prefix", good.substr(0, first_end + 2), 1},
+      {"flip in record header", flip(good, first_end + 1), 1},
+      {"flip in record payload",
+       flip(good, first_end + jrn::kRecordHeaderBytes + 3), 1},
+      {"trailing garbage after valid tail", good + "zz", 2},
+  };
+  for (const Shape& shape : shapes) {
+    io::InMemoryEnv env;
+    build(env);
+    auto file = env.new_writable_file(jpath, /*truncate=*/true);
+    file->append(std::string_view(shape.bytes));
+    file->sync();
+    file->close();
+
+    DurableDatabase reopened(env, "arch", {.num_shards = 2});
+    EXPECT_TRUE(reopened.recovery().snapshot_loaded) << shape.name;
+    EXPECT_TRUE(reopened.recovery().journal_truncated) << shape.name;
+    EXPECT_EQ(reopened.recovery().journal_records_replayed, shape.replayed)
+        << shape.name;
+    ASSERT_EQ(reopened.db().size(), (2 + shape.replayed) * 2) << shape.name;
+    std::size_t id = 0;
+    for (std::size_t b = 0; b < 2 + shape.replayed; ++b) {
+      for (std::size_t d = 0; d < 2; ++d, ++id) {
+        EXPECT_EQ(reopened.db().label(id), labels[b][d]) << shape.name;
+      }
+    }
+    // Repair left a journal that accepts new batches and checkpoints.
+    reopened.add_batch(sigs[3], labels[3]);
+    reopened.checkpoint();
+    DurableDatabase again(env, "arch", {.num_shards = 2});
+    EXPECT_EQ(again.db().size(), (2 + shape.replayed + 1) * 2) << shape.name;
+  }
 }
 
 TEST(IndexSnapshot, ShardedIndexLoadAcceptsDatabaseSnapshots) {

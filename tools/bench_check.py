@@ -44,6 +44,9 @@ MEASURED_FIELDS = {
     # ...and its threshold-seeding comparison row.
     "work_ratio", "seeded_docs_scored", "seeded_postings_visited",
     "independent_docs_scored", "independent_postings_visited",
+    # durability_scaling: journaled-ingest cost relative to the no-journal
+    # baseline of the same run (machine-relative, like speedup_vs_scalar).
+    "overhead_vs_off",
 }
 # Lower-is-better metrics, in preference order; each file is gated on the
 # first one its rows actually carry (query benches emit us_per_query, the
@@ -88,6 +91,14 @@ def main():
                              "below this (a machine-relative ratio, so unlike "
                              "us_per_query it is enforceable off the baseline "
                              "machine); enforced at docs >= min-docs")
+    parser.add_argument("--overhead-ceiling", type=float, default=None,
+                        help="fail when a fresh row's overhead_vs_off exceeds "
+                             "this fraction (paired same-run ratio of "
+                             "journaled ingest vs the no-journal baseline, "
+                             "so it is enforceable off the baseline machine); "
+                             "applies to mode=async rows at docs >= min-docs "
+                             "— fsync overhead is storage-bound and only "
+                             "tracked")
     args = parser.parse_args()
 
     fresh_name, fresh_rows = load_rows(args.fresh)
@@ -158,13 +169,37 @@ def main():
                   f"< {args.speedup_floor:.3f}")
             floor_failures += 1
 
+    ceiling_failures = 0
+    if args.overhead_ceiling is not None:
+        # Same transferability argument as the speedup floor: the overhead
+        # is measured against the no-journal baseline of the same run, so
+        # the gate holds on any machine. Only the async policy is gated —
+        # it is pure copy + bookkeeping cost; per-record fsync latency is a
+        # property of the storage stack, not the code.
+        for row in fresh_rows:
+            if "overhead_vs_off" not in row or row.get("mode") != "async":
+                continue
+            if row.get("docs", 0) < args.min_docs:
+                continue
+            overhead = row["overhead_vs_off"]
+            if overhead > args.overhead_ceiling:
+                ident = ", ".join(f"{f}={row[f]}" for f in
+                                  ("docs", "shards", "phase", "mode")
+                                  if f in row)
+                print(f"  [CEILING] {ident}: overhead_vs_off "
+                      f"{overhead:+.1%} > {args.overhead_ceiling:.1%}")
+                ceiling_failures += 1
+
     print(f"bench_check: {fresh_name}: {compared} rows compared, "
           f"{failures} enforced regressions "
           f"(threshold {args.threshold:.0%} at docs >= {args.min_docs:g})"
           + (f", {floor_failures} below speedup floor "
              f"{args.speedup_floor:g}" if args.speedup_floor is not None
+             else "")
+          + (f", {ceiling_failures} above overhead ceiling "
+             f"{args.overhead_ceiling:g}" if args.overhead_ceiling is not None
              else ""))
-    return 1 if failures or floor_failures else 0
+    return 1 if failures or floor_failures or ceiling_failures else 0
 
 
 if __name__ == "__main__":

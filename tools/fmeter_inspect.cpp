@@ -49,8 +49,22 @@
 //       ingest and snapshot timings, task-pool utilization — in Prometheus
 //       text exposition format (default) or JSON (--json).
 //
-//   `stats`, `search` and `metrics` accept --json for machine-readable
-//   output.
+//   fmeter_inspect verify <snapshot.fms>
+//       Deep-checksums an archive without loading it into RAM: streams
+//       every section through its checksum in bounded memory and reports
+//       the per-section verdicts — the integrity check an operator runs
+//       against a cold archive before trusting it.
+//
+//   fmeter_inspect recover <dir>
+//       Opens a durable archive directory (MANIFEST + snapshot + journal),
+//       performing the same recovery the database does at startup: loads
+//       the manifest's snapshot, replays the journal — truncating a torn
+//       tail — and sweeps unreferenced files. Prints what was found and
+//       done: epoch, files, records replayed vs bytes dropped, leftovers
+//       removed.
+//
+//   `stats`, `search`, `metrics`, `verify` and `recover` accept --json for
+//   machine-readable output.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,8 +73,11 @@
 #include <sstream>
 #include <string>
 
+#include "fmeter/durable_database.hpp"
 #include "fmeter/fmeter.hpp"
 #include "index/snapshot.hpp"
+#include "io/env.hpp"
+#include "io/journal.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "vsm/corpus_io.hpp"
@@ -80,7 +97,9 @@ int usage() {
       "[--policy auto|scan|indexed|pruned] [--json]\n"
       "  fmeter_inspect snapshot <corpus.fmc> <out.fms>\n"
       "  fmeter_inspect metrics <corpus.fmc|snapshot.fms> [queries] "
-      "[--json]\n");
+      "[--json]\n"
+      "  fmeter_inspect verify <snapshot.fms> [--json]\n"
+      "  fmeter_inspect recover <dir> [--json]\n");
   return 2;
 }
 
@@ -661,6 +680,123 @@ int cmd_metrics(int argc, char** argv) {
   return 0;
 }
 
+using index::snapshot::section_kind_name;
+
+/// `verify`: stream the archive through its checksums in bounded memory —
+/// never materializes a section, so it works on archives larger than RAM.
+int cmd_verify(int argc, char** argv) {
+  const bool json = take_json_flag(argc, argv);
+  if (argc != 3) return usage();
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  const index::snapshot::VerifyResult result =
+      index::snapshot::verify_stream(in);
+  if (json) {
+    std::printf(
+        "{\n  \"file\": \"%s\",\n  \"ok\": %s,\n  \"error\": \"%s\",\n"
+        "  \"shards\": %u,\n  \"documents\": %llu,\n  \"terms\": %llu,\n"
+        "  \"bytes\": %llu,\n  \"sections\": [",
+        json_escape(argv[2]).c_str(), result.ok ? "true" : "false",
+        json_escape(result.error).c_str(), result.shard_count,
+        static_cast<unsigned long long>(result.doc_count),
+        static_cast<unsigned long long>(result.term_count),
+        static_cast<unsigned long long>(result.total_bytes));
+    for (std::size_t i = 0; i < result.sections.size(); ++i) {
+      const auto& section = result.sections[i];
+      std::printf(
+          "%s\n    {\"kind\": \"%s\", \"shard\": %u, \"bytes\": %llu, "
+          "\"checksum_ok\": %s}",
+          i == 0 ? "" : ",", section_kind_name(section.kind), section.shard,
+          static_cast<unsigned long long>(section.bytes),
+          section.checksum_ok ? "true" : "false");
+    }
+    std::printf("\n  ]\n}\n");
+    return result.ok ? 0 : 1;
+  }
+  std::printf("%s: %u shards, %llu documents, %llu terms, %s\n", argv[2],
+              result.shard_count,
+              static_cast<unsigned long long>(result.doc_count),
+              static_cast<unsigned long long>(result.term_count),
+              format_bytes(result.total_bytes).c_str());
+  std::printf("%-18s %6s %12s  %s\n", "section", "shard", "bytes", "checksum");
+  for (const auto& section : result.sections) {
+    std::printf("%-18s %6u %12llu  %s\n", section_kind_name(section.kind),
+                section.shard, static_cast<unsigned long long>(section.bytes),
+                section.checksum_ok ? "ok" : "MISMATCH");
+  }
+  if (result.ok) {
+    std::printf("verify: OK\n");
+    return 0;
+  }
+  std::printf("verify: FAILED — %s\n", result.error.c_str());
+  return 1;
+}
+
+/// `recover`: run startup recovery against a durable directory and report
+/// what it found — manifest state, journal replay/truncation, sweep.
+int cmd_recover(int argc, char** argv) {
+  const bool json = take_json_flag(argc, argv);
+  if (argc != 3) return usage();
+  const std::string dir = argv[2];
+  io::Env& env = io::Env::posix();
+  if (!env.file_exists(core::manifest_path(dir))) {
+    std::fprintf(stderr, "%s has no MANIFEST — not a durable archive\n",
+                 dir.c_str());
+    return 1;
+  }
+  const core::Manifest manifest = core::read_manifest(env, dir);
+  core::DurableDatabase db(env, dir);
+  const core::RecoveryInfo& info = db.recovery();
+  if (json) {
+    std::printf(
+        "{\n  \"dir\": \"%s\",\n  \"epoch\": %llu,\n"
+        "  \"snapshot\": \"%s\",\n  \"journal\": \"%s\",\n"
+        "  \"snapshot_loaded\": %s,\n  \"documents\": %zu,\n"
+        "  \"journal_records_replayed\": %llu,\n"
+        "  \"journal_truncated\": %s,\n"
+        "  \"journal_bytes_dropped\": %llu,\n"
+        "  \"truncate_reason\": \"%s\",\n  \"removed_files\": [",
+        json_escape(dir).c_str(),
+        static_cast<unsigned long long>(manifest.epoch),
+        json_escape(manifest.snapshot).c_str(),
+        json_escape(manifest.journal).c_str(),
+        info.snapshot_loaded ? "true" : "false", db.db().size(),
+        static_cast<unsigned long long>(info.journal_records_replayed),
+        info.journal_truncated ? "true" : "false",
+        static_cast<unsigned long long>(info.journal_bytes_dropped),
+        json_escape(info.truncate_reason).c_str());
+    for (std::size_t i = 0; i < info.removed_files.size(); ++i) {
+      std::printf("%s\"%s\"", i == 0 ? "" : ", ",
+                  json_escape(info.removed_files[i]).c_str());
+    }
+    std::printf("]\n}\n");
+    return 0;
+  }
+  std::printf("%s: epoch %llu\n", dir.c_str(),
+              static_cast<unsigned long long>(manifest.epoch));
+  std::printf("  snapshot: %s%s\n",
+              manifest.snapshot.empty() ? "(none)" : manifest.snapshot.c_str(),
+              info.snapshot_loaded ? " (loaded)" : "");
+  std::printf("  journal:  %s — %llu records replayed\n",
+              manifest.journal.c_str(),
+              static_cast<unsigned long long>(info.journal_records_replayed));
+  if (info.journal_truncated) {
+    std::printf("  torn tail truncated: %llu bytes dropped (%s)\n",
+                static_cast<unsigned long long>(info.journal_bytes_dropped),
+                info.truncate_reason.c_str());
+  }
+  for (const auto& name : info.removed_files) {
+    std::printf("  swept unreferenced file: %s\n", name.c_str());
+  }
+  std::printf("recovered database: %zu signatures, %zu shards, %zu terms\n",
+              db.db().size(), db.db().num_shards(),
+              db.db().index().num_terms());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -674,6 +810,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "search") == 0) return cmd_search(argc, argv);
     if (std::strcmp(argv[1], "snapshot") == 0) return cmd_snapshot(argc, argv);
     if (std::strcmp(argv[1], "metrics") == 0) return cmd_metrics(argc, argv);
+    if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
+    if (std::strcmp(argv[1], "recover") == 0) return cmd_recover(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fmeter_inspect: %s\n", error.what());
     return 1;
