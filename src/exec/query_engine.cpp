@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <exception>
+#include <mutex>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -75,7 +77,8 @@ std::vector<IndexHit> shard_hits(const ShardedIndex& index, std::size_t shard,
                                  const vsm::SparseVector& query, std::size_t k,
                                  Metric metric, PruningMode mode,
                                  index::TopKScratch& scratch, double* floor,
-                                 PruneStats* stats) {
+                                 PruneStats* stats,
+                                 const index::Deadline* deadline) {
   const obs::StageSpan probe_span(obs::Stage::kShardProbe);
   std::vector<IndexHit> hits;
   mode = resolve_mode(index, shard, k, mode);
@@ -85,9 +88,10 @@ std::vector<IndexHit> shard_hits(const ShardedIndex& index, std::size_t shard,
           : index::InvertedIndex::kNoSeed;
   if (mode == PruningMode::kMaxScore) {
     hits = index.shard(shard).top_k_pruned(query, k, metric, &scratch, seed,
-                                           stats);
+                                           stats, deadline);
   } else {
-    hits = index.shard(shard).top_k(query, k, metric, &scratch, seed, stats);
+    hits = index.shard(shard).top_k(query, k, metric, &scratch, seed, stats,
+                                    deadline);
   }
   // A full top-k's k-th score is a valid floor for every other shard
   // whichever path produced it — under kAuto, exact shards feed the
@@ -142,6 +146,7 @@ struct CallerArena {
   std::vector<double> floors;                  ///< per-eligible score floor
   std::vector<std::vector<IndexHit>> partial;  ///< (query × shard) hit grid
   std::vector<QueryStats> span_stats;          ///< disjoint per-span counters
+  std::vector<std::uint8_t> cell_state;        ///< per-cell completion fate
 
   /// Sizes `v` for this batch, counting capacity growth into `grown`.
   template <typename T>
@@ -152,6 +157,14 @@ struct CallerArena {
 };
 
 thread_local CallerArena tls_arena;
+
+// Fate of one (query, shard) grid cell. Participants write only the cells
+// they claimed (adjacent bytes are distinct memory locations — no data
+// race), and the caller reads them after the batch latch.
+constexpr std::uint8_t kCellPending = 0;  ///< never ran: grid stopped first
+constexpr std::uint8_t kCellDone = 1;     ///< hits landed in the partial grid
+constexpr std::uint8_t kCellFailed = 2;   ///< shard threw; cell isolated
+constexpr std::uint8_t kCellSkipped = 3;  ///< abandoned at a checkpoint
 
 // --- Registry wiring -----------------------------------------------------
 //
@@ -170,8 +183,14 @@ struct EngineMetrics {
   obs::Counter* docs_pruned;
   obs::Counter* postings_visited;
   obs::Counter* blocks_skipped;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* cancelled;
+  obs::Counter* shard_failed;
+  obs::Counter* partial_results;
+  obs::Counter* checkpoint_polls;
   obs::Histogram* batch_ns;
   obs::Histogram* query_ns;
+  obs::Histogram* deadline_hit_ns;
 };
 
 const EngineMetrics& engine_metrics() {
@@ -198,11 +217,29 @@ const EngineMetrics& engine_metrics() {
                                     "Posting entries touched");
     m.blocks_skipped = &r.counter("fmeter_query_blocks_skipped_total",
                                   "Block-max posting blocks skipped whole");
+    m.deadline_exceeded =
+        &r.counter("fmeter_query_deadline_exceeded_total",
+                   "Queries stopped cooperatively by an expired deadline");
+    m.cancelled = &r.counter("fmeter_query_cancelled_total",
+                             "Queries stopped by a tripped CancelToken");
+    m.shard_failed =
+        &r.counter("fmeter_query_shard_failed_total",
+                    "Queries degraded because a shard threw mid-batch");
+    m.partial_results = &r.counter(
+        "fmeter_query_partial_results_total",
+        "Cut-short queries that still returned hits from completed shards");
+    m.checkpoint_polls =
+        &r.counter("fmeter_query_checkpoint_polls_total",
+                   "Cooperative deadline checkpoints polled inside kernels");
     m.batch_ns = &r.histogram("fmeter_query_batch_ns",
                               "Wall time of one run_batch call");
     m.query_ns = &r.histogram(
         "fmeter_query_per_query_ns",
         "Batch wall time amortized per eligible query (one record per batch)");
+    m.deadline_hit_ns = &r.histogram(
+        "fmeter_query_deadline_hit_ns",
+        "Wall time of run_batch calls that hit their deadline — how late the "
+        "cooperative stop actually fired relative to the budget");
     return m;
   }();
   return metrics;
@@ -227,8 +264,14 @@ void publish_batch(const QueryStats& stats, std::uint64_t batch_ns,
   m.docs_pruned->inc(stats.docs_pruned);
   m.postings_visited->inc(stats.postings_visited);
   m.blocks_skipped->inc(stats.blocks_skipped);
+  m.deadline_exceeded->inc(stats.deadline_exceeded);
+  m.cancelled->inc(stats.cancelled);
+  m.shard_failed->inc(stats.shard_failed);
+  m.partial_results->inc(stats.partial_results);
+  m.checkpoint_polls->inc(stats.checkpoint_polls);
   m.batch_ns->record(batch_ns);
   if (n_queries > 0) m.query_ns->record(batch_ns / n_queries);
+  if (stats.deadline_exceeded > 0) m.deadline_hit_ns->record(batch_ns);
 }
 
 }  // namespace
@@ -247,26 +290,49 @@ std::vector<QueryEngine::WorkerArena>& QueryEngine::arenas(
 
 std::vector<IndexHit> QueryEngine::run(const vsm::SparseVector& query,
                                        std::size_t k, Metric metric,
-                                       PruningMode mode,
-                                       QueryStats* stats) const {
-  auto results = run_batch({&query, 1}, k, metric, mode, stats);
+                                       PruningMode mode, QueryStats* stats,
+                                       const RunOptions& options) const {
+  auto results = run_batch({&query, 1}, k, metric, mode, stats, options);
   return std::move(results.front());
 }
 
 std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
     std::span<const vsm::SparseVector> queries, std::size_t k, Metric metric,
-    PruningMode mode, QueryStats* stats) const {
+    PruningMode mode, QueryStats* stats, const RunOptions& options) const {
   std::vector<const vsm::SparseVector*> pointers;
   pointers.reserve(queries.size());
   for (const auto& query : queries) pointers.push_back(&query);
   return run_batch(std::span<const vsm::SparseVector* const>(pointers), k,
-                   metric, mode, stats);
+                   metric, mode, stats, options);
+}
+
+double QueryEngine::estimated_query_cost(const ShardedIndex& index,
+                                         const vsm::SparseVector& query,
+                                         std::size_t k, PruningMode mode) {
+  const std::size_t shards = index.num_shards();
+  if (shards == 0 || index.size() == 0 || query.empty()) return 0.0;
+  const double docs_per_shard =
+      static_cast<double>(index.size()) / static_cast<double>(shards);
+  // The grid term the dispatch decision already uses, plus this query's own
+  // posting footprint — the part a shape-blind estimate misses, and exactly
+  // what makes an adversarially dense query expensive.
+  double postings = 0.0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    postings += static_cast<double>(index.shard(s).num_postings_for(query));
+  }
+  return estimated_cell_docs(docs_per_shard, k, mode) *
+             static_cast<double>(shards) +
+         postings;
 }
 
 std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
     std::span<const vsm::SparseVector* const> queries, std::size_t k,
-    Metric metric, PruningMode mode, QueryStats* stats) const {
+    Metric metric, PruningMode mode, QueryStats* stats,
+    const RunOptions& options) const {
   std::vector<std::vector<IndexHit>> results(queries.size());
+  if (options.outcomes != nullptr) {
+    options.outcomes->assign(queries.size(), QueryOutcome::kOk);
+  }
   if (k == 0 || index_->empty()) return results;
 
   const auto batch_start = std::chrono::steady_clock::now();
@@ -303,6 +369,118 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
   // Participants write disjoint slots, so the only synchronization is the
   // batch latch (the floors above are deliberately racy-by-design).
   arena.fit(arena.partial, cells, grown);
+  // cell_state[e * shards + s] records each cell's fate; the deadline/stop
+  // machinery and outcome resolution key off it. Same disjoint-slot rule.
+  arena.fit(arena.cell_state, cells, grown);
+  std::fill(arena.cell_state.begin(), arena.cell_state.end(), kCellPending);
+
+  // Batch-wide robustness state. `stop` trips at most once per batch (an
+  // expired deadline or a cancel) and parks the grid's reservation counter;
+  // `interrupt_reason` remembers which of the two it was. Cells that throw
+  // for any other reason are isolated per-cell: the first such exception is
+  // latched here and, for callers that did not opt into the outcome
+  // taxonomy, rethrown after the batch so the legacy contract holds.
+  const index::Deadline* deadline =
+      options.deadline.active() ? &options.deadline : nullptr;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint8_t> interrupt_reason{
+      static_cast<std::uint8_t>(QueryOutcome::kOk)};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  // Executes one (shard s, eligible-query e) cell with full isolation:
+  // success marks the cell done, a cooperative interrupt stops the whole
+  // grid, any other exception degrades just this cell. The partial slot of
+  // every non-done cell is cleared so stale hits from an earlier batch can
+  // never leak into this merge.
+  const auto run_cell = [&](std::size_t s, std::size_t e,
+                            index::TopKScratch& scratch, PruneStats* st) {
+    const std::size_t slot = e * shards + s;
+    if (stop.load(std::memory_order_relaxed)) {
+      arena.partial[slot].clear();
+      arena.cell_state[slot] = kCellSkipped;
+      return;
+    }
+    try {
+      if (options.inject_cell_fault) {
+        options.inject_cell_fault(arena.eligible[e], s);
+      }
+      arena.partial[slot] =
+          shard_hits(*index_, s, *queries[arena.eligible[e]], k, metric, mode,
+                     scratch, &arena.floors[e], st, deadline);
+      arena.cell_state[slot] = kCellDone;
+    } catch (const index::QueryInterrupted& interrupted) {
+      arena.partial[slot].clear();
+      arena.cell_state[slot] = kCellSkipped;
+      // First reason wins: concurrent cells hitting the same expiry (or a
+      // near-simultaneous cancel) all describe one stop event.
+      std::uint8_t expected = static_cast<std::uint8_t>(QueryOutcome::kOk);
+      interrupt_reason.compare_exchange_strong(
+          expected, static_cast<std::uint8_t>(interrupted.outcome()),
+          std::memory_order_relaxed, std::memory_order_relaxed);
+      stop.store(true, std::memory_order_relaxed);
+    } catch (...) {
+      arena.partial[slot].clear();
+      arena.cell_state[slot] = kCellFailed;
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  // Walks the finished grid: clears the slots of cells that never
+  // completed (pending cells still hold a prior batch's hits), assigns
+  // each query its outcome, and tallies the robustness counters. Runs
+  // after the batch latch, so every cell_state write is visible.
+  const auto resolve_outcomes = [&] {
+    const auto interrupted = static_cast<QueryOutcome>(
+        interrupt_reason.load(std::memory_order_relaxed));
+    for (std::size_t e = 0; e < n_eligible; ++e) {
+      bool incomplete = false;
+      bool failed = false;
+      bool completed_any = false;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t slot = e * shards + s;
+        switch (arena.cell_state[slot]) {
+          case kCellDone:
+            completed_any = true;
+            break;
+          case kCellFailed:
+            failed = true;
+            break;
+          default:  // pending or skipped: the grid stopped before this cell
+            incomplete = true;
+            arena.partial[slot].clear();
+            break;
+        }
+      }
+      QueryOutcome outcome = QueryOutcome::kOk;
+      if (incomplete) {
+        // Pending/skipped cells only exist when the grid stopped, and the
+        // grid only stops with a reason; kShardFailed is the defensive
+        // fallback, never the expected path.
+        outcome = interrupted != QueryOutcome::kOk ? interrupted
+                                                   : QueryOutcome::kShardFailed;
+      } else if (failed) {
+        outcome = QueryOutcome::kShardFailed;
+      }
+      if (outcome == QueryOutcome::kOk) continue;
+      switch (outcome) {
+        case QueryOutcome::kDeadlineExceeded:
+          ++batch_stats.deadline_exceeded;
+          break;
+        case QueryOutcome::kCancelled:
+          ++batch_stats.cancelled;
+          break;
+        default:
+          ++batch_stats.shard_failed;
+          break;
+      }
+      if (completed_any) ++batch_stats.partial_results;
+      if (options.outcomes != nullptr) {
+        (*options.outcomes)[arena.eligible[e]] = outcome;
+      }
+    }
+  };
 
   const auto merge_into_results = [&] {
     const obs::StageSpan merge_span(obs::Stage::kMerge);
@@ -315,8 +493,13 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
   };
 
   const auto finish_batch = [&] {
+    resolve_outcomes();
+    merge_into_results();
     if (stats != nullptr) *stats += batch_stats;
     publish_batch(batch_stats, elapsed_ns(batch_start), n_eligible);
+    if (first_error && options.outcomes == nullptr) {
+      std::rethrow_exception(first_error);
+    }
   };
 
   // Inline on the caller's thread when parallelism has nothing to win.
@@ -333,11 +516,8 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
     for (std::size_t cell = 0; cell < cells; ++cell) {
       const std::size_t s = cell / n_eligible;
       const std::size_t e = cell % n_eligible;
-      arena.partial[e * shards + s] =
-          shard_hits(*index_, s, *queries[arena.eligible[e]], k, metric, mode,
-                     arena.scratch, &arena.floors[e], &batch_stats);
+      run_cell(s, e, arena.scratch, &batch_stats);
     }
-    merge_into_results();
     batch_stats.dispatch_inline += n_eligible;
     inline_batches_.fetch_add(1, std::memory_order_relaxed);
     dispatch_allocations_.fetch_add(grown, std::memory_order_relaxed);
@@ -385,6 +565,9 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
   // a shard, so a participant claiming contiguous spans off the counter
   // walks the grid shard-major, same as the inline path.
   std::vector<WorkerArena>& workers = arenas(pool);
+  // run_cell never lets an exception escape, so TaskPool's first-wins
+  // error latch can't trigger and abandon healthy cells — isolation and
+  // the cooperative stop below are the only ways a cell goes unexecuted.
   const auto span_fn = [&](std::size_t span, std::size_t slot) {
     const std::size_t s = span / q_spans;
     const std::size_t begin = (span % q_spans) * span_len;
@@ -394,20 +577,17 @@ std::vector<std::vector<IndexHit>> QueryEngine::run_batch(
                                       : workers[slot].scratch;
     PruneStats* slot_stats = &arena.span_stats[span];
     for (std::size_t e = begin; e < end; ++e) {
-      arena.partial[e * shards + s] =
-          shard_hits(*index_, s, *queries[arena.eligible[e]], k, metric, mode,
-                     scratch, &arena.floors[e], slot_stats);
+      run_cell(s, e, scratch, slot_stats);
     }
   };
   obs::StageTracer::global().record(obs::Stage::kDispatch,
                                     elapsed_ns(batch_start));
-  const std::size_t joined = pool.run_spans(spans, span_fn);
+  const std::size_t joined = pool.run_spans(spans, span_fn, &stop);
 
   for (const auto& span : arena.span_stats) batch_stats += span;
   batch_stats.dispatch_pooled += n_eligible;
   batch_stats.spans_reserved += spans;
   batch_stats.tasks_executed += joined;
-  merge_into_results();
   pooled_batches_.fetch_add(1, std::memory_order_relaxed);
   dispatch_allocations_.fetch_add(grown, std::memory_order_relaxed);
   finish_batch();

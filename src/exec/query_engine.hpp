@@ -52,28 +52,43 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <vector>
 
 #include "exec/sharded_index.hpp"
 #include "exec/task_pool.hpp"
+#include "index/cancel.hpp"
 #include "vsm/sparse_vector.hpp"
 
 namespace fmeter::exec {
 
+using index::CancelToken;
+using index::Deadline;
+using index::outcome_name;
 using index::PruneStats;
 using index::PruningMode;
+using index::QueryOutcome;
 
 /// Per-call (or accumulated) execution counters: the index layer's pruning
 /// counters plus the scheduler's own observability — which dispatch branch
 /// each query took, how much of the work grid was reserved, and how many
-/// pool workers joined in.
+/// pool workers joined in — plus the robustness outcome tallies (how many
+/// queries were cut short, degraded or refused).
 struct QueryStats : index::PruneStats {
   std::uint64_t dispatch_inline = 0;  ///< queries executed on the caller
   std::uint64_t dispatch_pooled = 0;  ///< queries fanned out over the pool
   std::uint64_t spans_reserved = 0;   ///< grid spans claimed via fetch_add
   std::uint64_t tasks_executed = 0;   ///< pool workers that joined the grid
+  std::uint64_t deadline_exceeded = 0;  ///< queries stopped by their deadline
+  std::uint64_t cancelled = 0;          ///< queries stopped by a CancelToken
+  std::uint64_t shard_failed = 0;     ///< queries degraded by a throwing shard
+  std::uint64_t rejected = 0;  ///< queries refused by admission control
+  /// Non-kOk queries that still returned hits from at least one completed
+  /// shard — the flagged-partial-result count (kRejected never counts: a
+  /// rejected query ran nowhere).
+  std::uint64_t partial_results = 0;
 
   QueryStats& operator+=(const QueryStats& other) noexcept {
     index::PruneStats::operator+=(other);
@@ -81,8 +96,38 @@ struct QueryStats : index::PruneStats {
     dispatch_pooled += other.dispatch_pooled;
     spans_reserved += other.spans_reserved;
     tasks_executed += other.tasks_executed;
+    deadline_exceeded += other.deadline_exceeded;
+    cancelled += other.cancelled;
+    shard_failed += other.shard_failed;
+    rejected += other.rejected;
+    partial_results += other.partial_results;
     return *this;
   }
+};
+
+/// Per-batch execution controls for run()/run_batch(). Default-constructed
+/// it changes nothing: no deadline is polled, no outcome vector is filled,
+/// and the batch behaves exactly as before this struct existed.
+struct RunOptions {
+  /// Budget for the whole batch (all queries share it — the batch is one
+  /// work grid). Inactive by default. Attach a CancelToken via
+  /// Deadline::with_token()/of_token() to cancel mid-batch from another
+  /// thread; expiry or cancellation stops the grid cooperatively and every
+  /// unfinished query degrades to a flagged partial result.
+  Deadline deadline{};
+  /// When non-null, resized to the batch size and filled with one
+  /// QueryOutcome per query (input-aligned). Ineligible (empty) queries
+  /// report kOk with their defined empty result. When null, shard
+  /// failures rethrow after the batch completes (the pre-taxonomy
+  /// contract); deadline/cancel outcomes are still visible in QueryStats.
+  std::vector<QueryOutcome>* outcomes = nullptr;
+  /// Deterministic fault injection for the robustness test matrix, in the
+  /// spirit of io::FaultInjectingEnv: when set, called at the top of every
+  /// (query, shard) cell with the *input* query index and the shard; any
+  /// exception it throws is handled exactly like that shard throwing —
+  /// per-cell isolation, kShardFailed, flagged partial. Null in production.
+  std::function<void(std::size_t query, std::size_t shard)>
+      inject_cell_fault{};
 };
 
 class QueryEngine {
@@ -104,16 +149,24 @@ class QueryEngine {
   std::vector<IndexHit> run(const vsm::SparseVector& query, std::size_t k,
                             Metric metric = Metric::kCosine,
                             PruningMode mode = PruningMode::kExact,
-                            QueryStats* stats = nullptr) const;
+                            QueryStats* stats = nullptr,
+                            const RunOptions& options = {}) const;
 
   /// Executes every query and returns one hit list per query, aligned with
   /// the input. The batch becomes one (shard × query-span) grid; the cost
   /// model picks inline or pooled batch-reservation execution.
+  ///
+  /// Failure model (see RunOptions): each (query, shard) cell is isolated.
+  /// A throwing shard degrades its query to a flagged partial (remaining
+  /// shards still merge); an expired deadline or tripped CancelToken stops
+  /// the whole grid cooperatively — completed cells keep their hits,
+  /// unfinished queries report kDeadlineExceeded/kCancelled. The engine
+  /// and its scratch arenas remain fully usable after any of these.
   std::vector<std::vector<IndexHit>> run_batch(
       std::span<const vsm::SparseVector> queries, std::size_t k,
       Metric metric = Metric::kCosine,
-      PruningMode mode = PruningMode::kExact,
-      QueryStats* stats = nullptr) const;
+      PruningMode mode = PruningMode::kExact, QueryStats* stats = nullptr,
+      const RunOptions& options = {}) const;
 
   /// Same, over non-owning pointers — for callers whose queries are not
   /// contiguous (e.g. embedded in larger structs), sparing a deep copy.
@@ -121,8 +174,19 @@ class QueryEngine {
   std::vector<std::vector<IndexHit>> run_batch(
       std::span<const vsm::SparseVector* const> queries, std::size_t k,
       Metric metric = Metric::kCosine,
-      PruningMode mode = PruningMode::kExact,
-      QueryStats* stats = nullptr) const;
+      PruningMode mode = PruningMode::kExact, QueryStats* stats = nullptr,
+      const RunOptions& options = {}) const;
+
+  /// Estimated execution cost of one query, in the dispatch cost model's
+  /// scored-document units: the per-cell scoring estimate times the shard
+  /// count plus the posting entries this particular query's terms touch
+  /// (the term that makes an adversarially dense query expensive). This is
+  /// the same model the inline-vs-pooled decision uses, exposed so
+  /// SignatureDatabase's admission control can cap per-query cost with the
+  /// numbers the scheduler already trusts.
+  static double estimated_query_cost(const ShardedIndex& index,
+                                     const vsm::SparseVector& query,
+                                     std::size_t k, PruningMode mode);
 
   /// Lifetime totals of the dispatch decision: batches the cost model kept
   /// on the caller vs. fanned out over the pool.

@@ -74,6 +74,15 @@ TaskPool::~TaskPool() {
 std::uint64_t TaskPool::drain_spans(SpanBatch& batch, std::size_t slot) {
   std::uint64_t executed = 0;
   for (;;) {
+    // Cooperative abandon: once the batch's stop flag trips, park the
+    // counter (like the error path) so no participant claims another span.
+    // Spans already running finish normally; the caller interprets the
+    // never-claimed remainder.
+    if (batch.stop != nullptr &&
+        batch.stop->load(std::memory_order_relaxed)) {
+      batch.next.store(batch.total, std::memory_order_relaxed);
+      break;
+    }
     // Uniqueness of each claim is the fetch_add itself; relaxed order is
     // enough because participants only ever touch the spans they claimed,
     // and completion hand-off synchronizes through in_flight/done_mutex.
@@ -99,12 +108,14 @@ std::uint64_t TaskPool::drain_spans(SpanBatch& batch, std::size_t slot) {
 
 std::size_t TaskPool::run_spans(
     std::size_t spans,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    const std::atomic<bool>* stop) {
   if (spans == 0) return 0;
   span_batches_.fetch_add(1, std::memory_order_relaxed);
   SpanBatch batch;
   batch.total = spans;
   batch.fn = &fn;
+  batch.stop = stop;
 
   // A worker re-entering (a search issued from inside a pool task), a
   // one-thread pool, or a single span: nothing to hand out — the calling

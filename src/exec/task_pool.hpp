@@ -71,20 +71,33 @@ class TaskPool {
   /// own thread-local state": concurrent run_spans() callers all see it.
   static constexpr std::size_t kCallerSlot = static_cast<std::size_t>(-1);
 
-  /// Runs `fn(span, slot)` exactly once for every span in [0, spans).
-  /// The calling thread participates and blocks until the batch completes;
-  /// idle workers join concurrently. `fn` must therefore be safe to invoke
-  /// from multiple threads on distinct spans. Exceptions thrown by `fn`
-  /// are latched (first one wins), the remaining spans are abandoned, and
-  /// the exception rethrows on the caller once every participant has left
-  /// the batch. Reentrant: a worker calling run_spans() mid-span executes
-  /// the nested batch entirely on its own thread (no deadlock, no nested
-  /// join), which is exactly the inline fallback the query engine wants.
+  /// Runs `fn(span, slot)` exactly once for every span in [0, spans) —
+  /// unless `stop` trips (below). The calling thread participates and
+  /// blocks until the batch completes; idle workers join concurrently.
+  /// `fn` must therefore be safe to invoke from multiple threads on
+  /// distinct spans. Exceptions thrown by `fn` are latched (first one
+  /// wins), the remaining spans are abandoned, and the exception rethrows
+  /// on the caller once every participant has left the batch. Reentrant: a
+  /// worker calling run_spans() mid-span executes the nested batch
+  /// entirely on its own thread (no deadlock, no nested join), which is
+  /// exactly the inline fallback the query engine wants.
+  ///
+  /// `stop`, when non-null, is the batch's cooperative abandon flag: it is
+  /// checked before every span claim, and once it reads true the remaining
+  /// unclaimed spans are never executed (spans already running finish on
+  /// their own). The query engine sets it when a deadline expires or a
+  /// query is cancelled mid-batch, so an expired batch releases its
+  /// workers after at most one span's worth of work instead of draining
+  /// every remaining cell. Unlike the exception latch, a stop is not an
+  /// error: run_spans returns normally and the caller decides what the
+  /// skipped spans mean.
+  ///
   /// Returns the number of pool workers that joined this batch (0 when the
   /// caller ran it solo) — the batch's share of tasks_executed().
   std::size_t run_spans(std::size_t spans,
                         const std::function<void(std::size_t span,
-                                                 std::size_t slot)>& fn);
+                                                 std::size_t slot)>& fn,
+                        const std::atomic<bool>* stop = nullptr);
 
   /// Number of submit() tasks picked up by a worker plus the number of
   /// times a worker joined a run_spans() batch (counted before any work
@@ -159,6 +172,7 @@ class TaskPool {
     std::atomic<std::size_t> next{0};    ///< the reservation counter
     std::size_t total = 0;               ///< spans in [0, total)
     const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    const std::atomic<bool>* stop = nullptr;  ///< optional abandon flag
     std::atomic<std::size_t> in_flight{0};  ///< workers currently inside
     std::atomic<std::size_t> joined{0};     ///< workers that ever joined
     std::mutex done_mutex;

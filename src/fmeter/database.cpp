@@ -32,6 +32,7 @@ struct DbMetrics {
   obs::Counter* searches;
   obs::Counter* classifies;
   obs::Counter* docs_ingested;
+  obs::Counter* rejected;
   obs::Histogram* search_ns;
   obs::Histogram* classify_ns;
 };
@@ -46,6 +47,9 @@ const DbMetrics& db_metrics() {
                               "classify_by_syndrome calls");
     m.docs_ingested = &r.counter("fmeter_db_documents_ingested_total",
                                  "Signatures added via add/add_batch");
+    m.rejected = &r.counter(
+        "fmeter_db_queries_rejected_total",
+        "Queries refused by admission control (overload or cost cap)");
     m.search_ns = &r.histogram("fmeter_db_search_batch_ns",
                                "Wall time of one search_batch call");
     m.classify_ns = &r.histogram("fmeter_db_classify_ns",
@@ -83,6 +87,43 @@ bool hit_before(const SearchHit& a, const SearchHit& b) noexcept {
       {static_cast<index::InvertedIndex::DocId>(b.id), b.score});
 }
 
+/// RAII in-flight reservation for one search_batch call: admit-or-reject
+/// at construction (never queue), release on scope exit. With no limit
+/// configured the counter is untouched — the unlimited path stays free.
+class InflightGuard {
+ public:
+  InflightGuard(std::atomic<std::size_t>& inflight, std::size_t limit,
+                std::size_t queries) noexcept
+      : inflight_(inflight), queries_(queries) {
+    if (limit == 0) return;
+    // Optimistic reserve-then-check keeps admit atomic without a CAS loop:
+    // a racing over-reservation is backed out before anyone is served on
+    // its strength, so the budget holds (transient overshoot of the raw
+    // counter only ever causes spurious rejection, never over-admission).
+    const std::size_t before =
+        inflight_.fetch_add(queries_, std::memory_order_acq_rel);
+    if (before + queries_ > limit) {
+      inflight_.fetch_sub(queries_, std::memory_order_acq_rel);
+      admitted_ = false;
+    } else {
+      tracked_ = true;
+    }
+  }
+  ~InflightGuard() {
+    if (tracked_) inflight_.fetch_sub(queries_, std::memory_order_acq_rel);
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+  bool admitted() const noexcept { return admitted_; }
+
+ private:
+  std::atomic<std::size_t>& inflight_;
+  std::size_t queries_;
+  bool admitted_ = true;
+  bool tracked_ = false;
+};
+
 }  // namespace
 
 std::size_t SignatureDatabase::default_num_shards() noexcept {
@@ -94,7 +135,10 @@ std::size_t SignatureDatabase::default_num_shards() noexcept {
 SignatureDatabase::SignatureDatabase(const SignatureDatabase& other)
     : signatures_(other.signatures_),
       labels_(other.labels_),
-      index_(other.index_) {
+      index_(other.index_),
+      admission_(other.admission_) {
+  // inflight_ deliberately starts at 0: in-flight queries belong to the
+  // instance serving them, not to the data.
   const std::lock_guard<std::mutex> lock(other.syndrome_mutex_);
   syndrome_cache_ = other.syndrome_cache_;
 }
@@ -103,6 +147,7 @@ SignatureDatabase::SignatureDatabase(SignatureDatabase&& other) noexcept
     : signatures_(std::move(other.signatures_)),
       labels_(std::move(other.labels_)),
       index_(std::move(other.index_)),
+      admission_(other.admission_),
       syndrome_cache_(std::move(other.syndrome_cache_)) {}
 
 SignatureDatabase& SignatureDatabase::operator=(
@@ -110,6 +155,7 @@ SignatureDatabase& SignatureDatabase::operator=(
   signatures_ = std::move(other.signatures_);
   labels_ = std::move(other.labels_);
   index_ = std::move(other.index_);
+  admission_ = other.admission_;
   syndrome_cache_ = std::move(other.syndrome_cache_);
   return *this;
 }
@@ -197,40 +243,95 @@ std::vector<std::string> SignatureDatabase::distinct_labels() const {
 
 std::vector<SearchHit> SignatureDatabase::search(
     const vsm::SparseVector& query, std::size_t k, SimilarityMetric metric,
-    ScanPolicy policy, PruningMode mode, QueryStats* stats) const {
-  auto results = search_batch({&query, 1}, k, metric, policy, mode, stats);
+    ScanPolicy policy, PruningMode mode, QueryStats* stats,
+    const SearchOptions& options) const {
+  auto results =
+      search_batch({&query, 1}, k, metric, policy, mode, stats, options);
   return std::move(results.front());
 }
 
 std::vector<std::vector<SearchHit>> SignatureDatabase::search_batch(
     std::span<const vsm::SparseVector> queries, std::size_t k,
     SimilarityMetric metric, ScanPolicy policy, PruningMode mode,
-    QueryStats* stats) const {
+    QueryStats* stats, const SearchOptions& options) const {
   std::vector<const vsm::SparseVector*> pointers;
   pointers.reserve(queries.size());
   for (const auto& query : queries) pointers.push_back(&query);
   return search_batch(std::span<const vsm::SparseVector* const>(pointers), k,
-                      metric, policy, mode, stats);
+                      metric, policy, mode, stats, options);
 }
 
 std::vector<std::vector<SearchHit>> SignatureDatabase::search_batch(
     std::span<const vsm::SparseVector* const> queries, std::size_t k,
     SimilarityMetric metric, ScanPolicy policy, PruningMode mode,
-    QueryStats* stats) const {
+    QueryStats* stats, const SearchOptions& options) const {
   const DbMetrics& metrics = db_metrics();
   const ScopedTimer timer(*metrics.search_ns);
   metrics.searches->inc(queries.size());
+  if (options.outcomes != nullptr) {
+    options.outcomes->assign(queries.size(), QueryOutcome::kOk);
+  }
+
+  // Admission front door, gate 1: the in-flight budget. A batch is admitted
+  // whole or rejected whole — rejection is an answer (empty hits, outcome
+  // kRejected), not an exception, and costs no shard work.
+  const InflightGuard inflight(inflight_, admission_.max_inflight_queries,
+                               queries.size());
+  if (!inflight.admitted()) {
+    metrics.rejected->inc(queries.size());
+    if (stats != nullptr) stats->rejected += queries.size();
+    if (options.outcomes != nullptr) {
+      std::fill(options.outcomes->begin(), options.outcomes->end(),
+                QueryOutcome::kRejected);
+    }
+    return std::vector<std::vector<SearchHit>>(queries.size());
+  }
+
+  // Gate 2: the per-query cost cap. A too-expensive query is swapped for
+  // the empty query — which every execution path already defines as "no
+  // hits, touch nothing" — so the batch keeps its shape and alignment, and
+  // the rejection is stamped over the outcome afterwards.
+  static const vsm::SparseVector kEmptyQuery{};
+  std::vector<const vsm::SparseVector*> admitted;
+  std::vector<std::size_t> cost_rejected;
+  std::span<const vsm::SparseVector* const> effective = queries;
+  if (admission_.max_query_cost_docs > 0.0) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const double cost = exec::QueryEngine::estimated_query_cost(
+          index_, *queries[i], k, mode);
+      if (cost <= admission_.max_query_cost_docs) continue;
+      if (admitted.empty()) {
+        admitted.assign(queries.begin(), queries.end());
+      }
+      admitted[i] = &kEmptyQuery;
+      cost_rejected.push_back(i);
+    }
+    if (!cost_rejected.empty()) {
+      effective = admitted;
+      metrics.rejected->inc(cost_rejected.size());
+      if (stats != nullptr) stats->rejected += cost_rejected.size();
+    }
+  }
+  const auto stamp_rejections = [&] {
+    if (options.outcomes == nullptr) return;
+    for (const std::size_t i : cost_rejected) {
+      (*options.outcomes)[i] = QueryOutcome::kRejected;
+    }
+  };
+
   if (policy == ScanPolicy::kBruteForce) {
     std::vector<std::vector<SearchHit>> results;
-    results.reserve(queries.size());
-    for (const auto* query : queries) {
+    results.reserve(effective.size());
+    for (const auto* query : effective) {
       results.push_back(search_scan(*query, k, metric));
     }
+    stamp_rejections();
     return results;
   }
   const exec::QueryEngine engine(index_);
-  const auto batch =
-      engine.run_batch(queries, k, to_index_metric(metric), mode, stats);
+  const auto batch = engine.run_batch(effective, k, to_index_metric(metric),
+                                      mode, stats, options);
+  stamp_rejections();
   std::vector<std::vector<SearchHit>> results(batch.size());
   for (std::size_t q = 0; q < batch.size(); ++q) {
     results[q].reserve(batch[q].size());

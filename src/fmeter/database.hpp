@@ -21,6 +21,7 @@
 // all-zero/empty query returns no hits, and no shard is dispatched.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 #include <mutex>
@@ -58,8 +59,37 @@ using index::PruningMode;
 
 /// Aggregated observability counters for the indexed paths: the index
 /// layer's pruning counters plus the engine's scheduler counters (inline
-/// vs. pooled dispatch, grid spans reserved, workers joined).
+/// vs. pooled dispatch, grid spans reserved, workers joined) and the
+/// robustness outcome tallies (deadline_exceeded, cancelled, rejected,
+/// shard_failed, partial_results, checkpoint_polls).
 using QueryStats = exec::QueryStats;
+
+/// Robustness vocabulary, re-exported from the engine: the per-query
+/// outcome taxonomy, the cooperative deadline/cancellation types, and the
+/// per-call options (deadline + outcome sink) accepted by search paths.
+using exec::CancelToken;
+using exec::Deadline;
+using exec::outcome_name;
+using exec::QueryOutcome;
+using SearchOptions = exec::RunOptions;
+
+/// Admission control for the search front door — the knobs that keep an
+/// overloaded or adversarial workload from taking the whole database down
+/// with it. Both default to 0 = unlimited, which preserves the historical
+/// behavior exactly.
+struct AdmissionOptions {
+  /// Upper bound on queries concurrently inside search()/search_batch().
+  /// A batch is admitted whole or rejected whole (every query reports
+  /// QueryOutcome::kRejected and gets an empty hit list — reject-on-
+  /// overload, never queueing). A batch larger than the budget can never
+  /// be admitted.
+  std::size_t max_inflight_queries = 0;
+  /// Per-query cost ceiling in the dispatch cost model's scored-document
+  /// units (exec::QueryEngine::estimated_query_cost). Queries estimated
+  /// above it are individually rejected before touching a shard; the rest
+  /// of the batch executes normally.
+  double max_query_cost_docs = 0.0;
+};
 
 struct SearchHit {
   std::size_t id = 0;      ///< database entry id
@@ -143,12 +173,18 @@ class SignatureDatabase {
   /// empty query return no hits. `stats`, when given, accumulates the
   /// docs-scored / docs-pruned / postings-visited counters of the indexed
   /// path (the scan leaves them untouched).
+  /// `options` adds the robustness contract: options.deadline bounds the
+  /// indexed path cooperatively (the brute-force scan, a debugging
+  /// fallback, does not poll it) and options.outcomes receives one
+  /// QueryOutcome per query. Admission control (set_admission) applies to
+  /// every policy.
   std::vector<SearchHit> search(const vsm::SparseVector& query, std::size_t k,
                                 SimilarityMetric metric =
                                     SimilarityMetric::kCosine,
                                 ScanPolicy policy = ScanPolicy::kIndexed,
                                 PruningMode mode = PruningMode::kExact,
-                                QueryStats* stats = nullptr) const;
+                                QueryStats* stats = nullptr,
+                                const SearchOptions& options = {}) const;
 
   /// Batched search: one hit list per query, aligned with the input —
   /// element i equals search(queries[i], ...) bit-for-bit, but the indexed
@@ -160,8 +196,8 @@ class SignatureDatabase {
       std::span<const vsm::SparseVector> queries, std::size_t k,
       SimilarityMetric metric = SimilarityMetric::kCosine,
       ScanPolicy policy = ScanPolicy::kIndexed,
-      PruningMode mode = PruningMode::kExact,
-      QueryStats* stats = nullptr) const;
+      PruningMode mode = PruningMode::kExact, QueryStats* stats = nullptr,
+      const SearchOptions& options = {}) const;
 
   /// Same, over non-owning pointers — for query sets that are not stored
   /// contiguously (e.g. RetrievalQuery structs), sparing a deep copy.
@@ -170,8 +206,23 @@ class SignatureDatabase {
       std::span<const vsm::SparseVector* const> queries, std::size_t k,
       SimilarityMetric metric = SimilarityMetric::kCosine,
       ScanPolicy policy = ScanPolicy::kIndexed,
-      PruningMode mode = PruningMode::kExact,
-      QueryStats* stats = nullptr) const;
+      PruningMode mode = PruningMode::kExact, QueryStats* stats = nullptr,
+      const SearchOptions& options = {}) const;
+
+  /// Installs the admission-control budget for subsequent searches. Not
+  /// synchronized against concurrent searches — configure at setup time,
+  /// like the shard count. Admission state is per-instance: copies and
+  /// moved-to databases inherit the knobs but start with zero in-flight.
+  void set_admission(const AdmissionOptions& options) noexcept {
+    admission_ = options;
+  }
+  const AdmissionOptions& admission() const noexcept { return admission_; }
+
+  /// Queries currently inside search()/search_batch() — only tracked while
+  /// max_inflight_queries is set (0 otherwise).
+  std::size_t inflight_queries() const noexcept {
+    return inflight_.load(std::memory_order_relaxed);
+  }
 
   /// Per-label centroid syndromes ("the centroid of a cluster of signatures
   /// can then be used as a syndrome", §2.2). Cached; recomputed only after
@@ -261,6 +312,10 @@ class SignatureDatabase {
   std::vector<vsm::SparseVector> signatures_;
   std::vector<std::string> labels_;
   exec::ShardedIndex index_;
+  AdmissionOptions admission_{};
+  /// Queries currently being served; bounded by the admission budget. Not
+  /// copied/moved — a fresh instance starts with nothing in flight.
+  mutable std::atomic<std::size_t> inflight_{0};
   mutable std::mutex syndrome_mutex_;
   mutable std::optional<SyndromeCache> syndrome_cache_;
 };

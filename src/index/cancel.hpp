@@ -1,0 +1,231 @@
+// Query-lifecycle control: deadlines, cooperative cancellation and the
+// structured outcome taxonomy shared by every layer of the execution stack.
+//
+// The index kernels are pure compute loops — once top_k() starts walking
+// posting lists there is no I/O to block on and no scheduler to preempt it,
+// so a slow, huge or adversarial query holds its worker hostage until it
+// finishes. This header gives every layer one cheap, cooperative protocol:
+//
+//  * Deadline — an optional steady-clock budget plus an optional
+//    CancelToken. Inactive by default (and an inactive Deadline is never
+//    consulted, so the no-deadline hot paths stay bit-identical to code
+//    that predates this header).
+//  * CancelToken — one relaxed atomic flag another thread flips to abandon
+//    a query mid-shard. Polled, never signalled: the kernels check it at
+//    amortized checkpoints (CheckpointGuard), so cancellation latency is
+//    bounded by one checkpoint interval of scoring work, not by a syscall.
+//  * QueryOutcome — the structured per-query result taxonomy replacing
+//    first-wins exception swallowing in span batches.
+//  * QueryInterrupted — the exception a checkpoint throws to unwind a
+//    kernel mid-walk; the engine catches it per cell and degrades the
+//    query to a flagged partial result instead of poisoning the batch.
+//
+// Layering: lives in index/ (the lowest layer that polls) and is
+// re-exported by exec/ and fmeter/ so callers name one vocabulary.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <limits>
+
+namespace fmeter::index {
+
+/// How one query's execution ended. Everything except kOk means the hit
+/// list may be partial (kRejected means it is empty: the query never ran).
+enum class QueryOutcome : std::uint8_t {
+  kOk = 0,
+  kDeadlineExceeded,  ///< steady-clock budget expired at a checkpoint
+  kCancelled,         ///< CancelToken flipped mid-execution
+  kRejected,          ///< admission control refused the query (never ran)
+  kShardFailed,       ///< a shard threw; other shards' hits were kept
+};
+
+inline const char* outcome_name(QueryOutcome outcome) noexcept {
+  switch (outcome) {
+    case QueryOutcome::kOk: return "ok";
+    case QueryOutcome::kDeadlineExceeded: return "deadline_exceeded";
+    case QueryOutcome::kCancelled: return "cancelled";
+    case QueryOutcome::kRejected: return "rejected";
+    case QueryOutcome::kShardFailed: return "shard_failed";
+  }
+  return "unknown";
+}
+
+/// One-shot cooperative cancellation flag. cancel() may be called from any
+/// thread, any number of times; the kernels observe it at their next
+/// checkpoint. Relaxed ordering throughout — the flag carries no payload,
+/// and a poll racing a cancel() only delays the stop by one checkpoint.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: trip the token at exactly the `polls`-th checkpoint poll
+  /// (1-based) instead of from another thread. Checkpoint placement is
+  /// deterministic for a given (index, query, k, mode), so sweeping this
+  /// from 1 to the observed poll count exercises an abort at every
+  /// checkpoint granularity without any timing dependence.
+  void cancel_after_polls(std::int64_t polls) noexcept {
+    trip_.store(polls, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Called by Deadline::poll(); counts down an armed trip wire. Exactly
+  /// one poll observes the 1 -> 0 transition even under concurrent polls.
+  void on_poll() const noexcept {
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    if (trip_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<bool> armed_{false};
+  mutable std::atomic<std::int64_t> trip_{0};
+};
+
+/// A query interrupted at a checkpoint: unwinds the kernel mid-walk. The
+/// engine catches this per (query, shard) cell; it never escapes run_batch.
+class QueryInterrupted : public std::exception {
+ public:
+  explicit QueryInterrupted(QueryOutcome outcome) noexcept
+      : outcome_(outcome) {}
+  QueryOutcome outcome() const noexcept { return outcome_; }
+  const char* what() const noexcept override {
+    return outcome_ == QueryOutcome::kCancelled
+               ? "query cancelled at a checkpoint"
+               : "query deadline exceeded at a checkpoint";
+  }
+
+ private:
+  QueryOutcome outcome_;
+};
+
+/// An execution budget: an optional absolute steady-clock expiry and an
+/// optional CancelToken, either alone or combined. Default-constructed it
+/// is inactive — active() is false and nothing ever polls it, which is the
+/// contract that keeps the no-deadline kernels bit-identical. Copyable and
+/// cheap; the token is borrowed (the caller keeps it alive for the call).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// Expires `budget` from now.
+  static Deadline after(Clock::duration budget) {
+    return at(Clock::now() + budget);
+  }
+  static Deadline at(Clock::time_point expiry) {
+    Deadline d;
+    d.expiry_ = expiry;
+    d.has_expiry_ = true;
+    return d;
+  }
+  /// Cancellation-only deadline (no time budget).
+  static Deadline of_token(const CancelToken& token) {
+    Deadline d;
+    d.token_ = &token;
+    return d;
+  }
+
+  /// Attaches a cancellation token (kept by reference; caller owns it).
+  Deadline& with_token(const CancelToken& token) noexcept {
+    token_ = &token;
+    return *this;
+  }
+
+  /// False for a default-constructed Deadline: no checkpoint will poll it.
+  bool active() const noexcept { return has_expiry_ || token_ != nullptr; }
+
+  /// One checkpoint: cancellation first (it is cheaper and more urgent
+  /// than the clock read), then the time budget.
+  QueryOutcome poll() const noexcept {
+    if (token_ != nullptr) {
+      token_->on_poll();
+      if (token_->cancelled()) return QueryOutcome::kCancelled;
+    }
+    if (has_expiry_ && Clock::now() >= expiry_) {
+      return QueryOutcome::kDeadlineExceeded;
+    }
+    return QueryOutcome::kOk;
+  }
+
+  /// poll(), throwing QueryInterrupted on anything but kOk.
+  void check() const {
+    const QueryOutcome outcome = poll();
+    if (outcome != QueryOutcome::kOk) throw QueryInterrupted(outcome);
+  }
+
+ private:
+  Clock::time_point expiry_{};
+  const CancelToken* token_ = nullptr;
+  bool has_expiry_ = false;
+};
+
+/// Amortized checkpoint accounting for one kernel invocation. The kernels
+/// charge() the work units they just performed (postings walked, docs
+/// scored, forward entries gathered); every ~kInterval units the guard
+/// polls the deadline and throws QueryInterrupted if it tripped. With an
+/// inactive deadline charge() is a single predictable branch and stride()
+/// collapses the chunked loops to one full-range chunk, so the no-deadline
+/// instruction stream — and therefore every bit-identity contract — is
+/// unchanged. The destructor flushes the poll count into the caller's
+/// stats sink even when the kernel unwinds mid-walk.
+class CheckpointGuard {
+ public:
+  /// Work units between polls. At ~1ns/unit of scoring work this bounds
+  /// deadline overshoot and cancellation latency to single-digit
+  /// microseconds while keeping the poll itself (one clock read) far below
+  /// measurement noise — the ≤2% overhead gate in BENCH_robustness.json.
+  static constexpr std::size_t kInterval = 4096;
+
+  CheckpointGuard(const Deadline* deadline, std::size_t* polls_sink) noexcept
+      : deadline_(deadline != nullptr && deadline->active() ? deadline
+                                                            : nullptr),
+        sink_(polls_sink) {}
+  ~CheckpointGuard() {
+    if (sink_ != nullptr) *sink_ += polls_;
+  }
+  CheckpointGuard(const CheckpointGuard&) = delete;
+  CheckpointGuard& operator=(const CheckpointGuard&) = delete;
+
+  bool active() const noexcept { return deadline_ != nullptr; }
+
+  /// Chunk length for checkpointed loops: kInterval when a deadline is
+  /// live, effectively-infinite otherwise (one chunk — the original loop).
+  std::size_t stride() const noexcept {
+    return active() ? kInterval : std::numeric_limits<std::size_t>::max();
+  }
+
+  /// Accounts `units` of completed work; polls (and may throw
+  /// QueryInterrupted) once the interval is spent. The very first charge
+  /// polls immediately, so even a zero-budget deadline stops a query
+  /// before it does interval-sized work.
+  void charge(std::size_t units) {
+    if (deadline_ == nullptr) return;
+    if (units < until_next_) {
+      until_next_ -= units;
+      return;
+    }
+    until_next_ = kInterval;
+    ++polls_;
+    deadline_->check();
+  }
+
+  std::size_t polls() const noexcept { return polls_; }
+
+ private:
+  const Deadline* deadline_;
+  std::size_t* sink_;
+  std::size_t until_next_ = 0;
+  std::size_t polls_ = 0;
+};
+
+}  // namespace fmeter::index

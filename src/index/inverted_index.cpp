@@ -336,12 +336,24 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
                                            std::size_t k, Metric metric,
                                            TopKScratch* scratch,
                                            double seed_score,
-                                           PruneStats* stats) const {
+                                           PruneStats* stats,
+                                           const Deadline* deadline) const {
   const std::size_t n = size();
   const std::size_t top = std::min(k, n);
   // k == 0 and the all-zero/empty query are defined to return no hits (the
   // brute-force scan applies the same rule, so the paths stay equivalent).
   if (top == 0 || query.empty()) return {};
+
+  // Cooperative checkpoints: the walks below are split into stride()-sized
+  // chunks and charge the guard after each one. Without an active deadline
+  // stride() is effectively infinite (one chunk == the original loop) and
+  // charge() is a single predictable branch, so results — and the
+  // instruction stream of the hot inner loops — are unchanged. The polls
+  // the guard does perform land in stats->checkpoint_polls even when a
+  // checkpoint throws QueryInterrupted mid-walk.
+  CheckpointGuard guard(deadline,
+                        stats != nullptr ? &stats->checkpoint_polls : nullptr);
+  const std::size_t stride = guard.stride();
 
   // Term-at-a-time accumulation of dot(query, doc) for every doc. Query
   // terms arrive in ascending index order, so each accumulator sums its
@@ -397,15 +409,29 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
       const std::size_t end = arena_offsets_[term + 1];
       const DocId* ids = arena_ids_.data();
       const double* ws = arena_weights_.data();
-      for (std::size_t i2 = begin; i2 < end; ++i2) {
-        acc[ids[i2]] += q_weight * ws[i2];
+      std::size_t i2 = begin;
+      while (i2 < end) {
+        const std::size_t stop = end - i2 > stride ? i2 + stride : end;
+        const std::size_t chunk = stop - i2;
+        for (; i2 < stop; ++i2) {
+          acc[ids[i2]] += q_weight * ws[i2];
+        }
+        guard.charge(chunk);
       }
       visited += end - begin;
     }
     if (term < tail_.size()) {
-      visited += tail_[term].size();
-      for (const Posting& posting : tail_[term]) {
-        acc[posting.doc] += q_weight * posting.weight;
+      const auto& list = tail_[term];
+      const std::size_t len = list.size();
+      visited += len;
+      std::size_t i2 = 0;
+      while (i2 < len) {
+        const std::size_t stop = len - i2 > stride ? i2 + stride : len;
+        const std::size_t chunk = stop - i2;
+        for (; i2 < stop; ++i2) {
+          acc[list[i2].doc] += q_weight * list[i2].weight;
+        }
+        guard.charge(chunk);
       }
     }
   }
@@ -434,31 +460,39 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
       metric == Metric::kCosine && seed_score > 0.0 && q_norm > 0.0;
   const double seed_pretest_factor =
       seed_pretest ? seed_score * q_norm * (1.0 - 1e-13) : 0.0;
-  for (std::size_t doc = 0; doc < n; ++doc) {
-    if (seed_pretest && acc[doc] < seed_pretest_factor * snorms[doc]) continue;
-    IndexHit hit;
-    hit.doc = public_of(static_cast<DocId>(doc));
-    if (metric == Metric::kCosine) {
-      // Mirrors vsm::cosine_similarity: 0 when either vector is zero.
-      hit.score = (q_norm == 0.0 || snorms[doc] == 0.0)
-                      ? 0.0
-                      : acc[doc] / (q_norm * snorms[doc]);
-    } else {
-      // Mirrors vsm::euclidean_distance (negated): ||q-d||^2 expanded,
-      // clamped at zero before the sqrt. The clamp emits -0.0 because the
-      // scan negates the distance's +0.0 — bit-identical even in sign.
-      const double sq =
-          q_norm * q_norm + snorms[doc] * snorms[doc] - 2.0 * acc[doc];
-      hit.score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+  std::size_t doc = 0;
+  while (doc < n) {
+    const std::size_t doc_stop = n - doc > stride ? doc + stride : n;
+    const std::size_t chunk = doc_stop - doc;
+    for (; doc < doc_stop; ++doc) {
+      if (seed_pretest && acc[doc] < seed_pretest_factor * snorms[doc]) {
+        continue;
+      }
+      IndexHit hit;
+      hit.doc = public_of(static_cast<DocId>(doc));
+      if (metric == Metric::kCosine) {
+        // Mirrors vsm::cosine_similarity: 0 when either vector is zero.
+        hit.score = (q_norm == 0.0 || snorms[doc] == 0.0)
+                        ? 0.0
+                        : acc[doc] / (q_norm * snorms[doc]);
+      } else {
+        // Mirrors vsm::euclidean_distance (negated): ||q-d||^2 expanded,
+        // clamped at zero before the sqrt. The clamp emits -0.0 because the
+        // scan negates the distance's +0.0 — bit-identical even in sign.
+        const double sq =
+            q_norm * q_norm + snorms[doc] * snorms[doc] - 2.0 * acc[doc];
+        hit.score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+      }
+      // Cross-shard seed: k documents elsewhere already reach seed_score,
+      // so anything strictly below it can never enter the global top-k —
+      // drop it before the heap. Exact compare on the exact score (no
+      // margin): equal scores must survive for the ascending-id tie-break,
+      // and the heap then fills only with genuine contenders instead of
+      // churning through every shard-local also-ran.
+      if (hit.score < seed_score) continue;
+      heap_offer(heap, top, hit);
     }
-    // Cross-shard seed: k documents elsewhere already reach seed_score, so
-    // anything strictly below it can never enter the global top-k — drop it
-    // before the heap. Exact compare on the exact score (no margin): equal
-    // scores must survive for the ascending-id tie-break, and the heap then
-    // fills only with genuine contenders instead of churning through every
-    // shard-local also-ran.
-    if (hit.score < seed_score) continue;
-    heap_offer(heap, top, hit);
+    guard.charge(chunk);
   }
   if (stats != nullptr) {
     stats->docs_scored += n;
@@ -469,17 +503,29 @@ std::vector<IndexHit> InvertedIndex::top_k(const vsm::SparseVector& query,
 
 std::vector<IndexHit> InvertedIndex::top_k_pruned(
     const vsm::SparseVector& query, std::size_t k, Metric metric,
-    TopKScratch* scratch, double seed_score, PruneStats* stats) const {
+    TopKScratch* scratch, double seed_score, PruneStats* stats,
+    const Deadline* deadline) const {
   const std::size_t n = size();
   const std::size_t top = std::min(k, n);
   if (top == 0 || query.empty()) return {};
   // k >= size(): every document must be returned, so there is nothing to
   // prune — the exact dense pass is the cheapest correct answer (and its
   // bit-identical scores trivially satisfy the 1e-9 contract).
-  if (top == n) return top_k(query, k, metric, scratch, seed_score, stats);
+  if (top == n) {
+    return top_k(query, k, metric, scratch, seed_score, stats, deadline);
+  }
 
   TopKScratch local;
   TopKScratch& state = scratch != nullptr ? *scratch : local;
+
+  // Same cooperative-checkpoint contract as top_k(): chunked walks charge
+  // completed work, the guard polls every ~kInterval units, and an inactive
+  // deadline leaves the hot loops' instruction stream unchanged. An
+  // interruption unwinds mid-phase; the epoch/rescore stamps make the
+  // scratch safe to reuse on the next call regardless of where.
+  CheckpointGuard guard(deadline,
+                        stats != nullptr ? &stats->checkpoint_polls : nullptr);
+  const std::size_t stride = guard.stride();
 
   const double q_norm = query.norm_l2();
   const double q_norm_sq = q_norm * q_norm;
@@ -683,26 +729,40 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
       const std::size_t end = arena_offsets_[term + 1];
       const DocId* ids = arena_ids_.data();
       const double* ws = arena_weights_.data();
-      for (std::size_t i = begin; i < end; ++i) {
+      std::size_t i = begin;
+      while (i < end) {
+        const std::size_t stop = end - i > stride ? i + stride : end;
+        const std::size_t chunk = stop - i;
+        for (; i < stop; ++i) {
 #if defined(__GNUC__) || defined(__clang__)
-        if (i + 12 < end) __builtin_prefetch(acc_mass + 2 * ids[i + 12], 1);
+          if (i + 12 < end) __builtin_prefetch(acc_mass + 2 * ids[i + 12], 1);
 #endif
-        double* slot = touch_slot(ids[i]);
-        slot[0] += q_weight * ws[i];
-        slot[1] += ws[i] * ws[i];
+          double* slot = touch_slot(ids[i]);
+          slot[0] += q_weight * ws[i];
+          slot[1] += ws[i] * ws[i];
+        }
+        guard.charge(chunk);
       }
       visited += end - begin;
     }
     if (term < tail_.size()) {
       const auto& list = tail_[term];
       const std::size_t len = list.size();
-      for (std::size_t i = 0; i < len; ++i) {
+      std::size_t i = 0;
+      while (i < len) {
+        const std::size_t stop = len - i > stride ? i + stride : len;
+        const std::size_t chunk = stop - i;
+        for (; i < stop; ++i) {
 #if defined(__GNUC__) || defined(__clang__)
-        if (i + 12 < len) __builtin_prefetch(acc_mass + 2 * list[i + 12].doc, 1);
+          if (i + 12 < len) {
+            __builtin_prefetch(acc_mass + 2 * list[i + 12].doc, 1);
+          }
 #endif
-        double* slot = touch_slot(list[i].doc);
-        slot[0] += q_weight * list[i].weight;
-        slot[1] += list[i].weight * list[i].weight;
+          double* slot = touch_slot(list[i].doc);
+          slot[0] += q_weight * list[i].weight;
+          slot[1] += list[i].weight * list[i].weight;
+        }
+        guard.charge(chunk);
       }
       visited += len;
     }
@@ -738,6 +798,10 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
   const std::size_t boot_depth = use_touched ? 2 * top : top;
   std::vector<double> rescored;
   const auto raise_theta = [&](const std::uint32_t* docs, std::size_t count) {
+    // One checkpoint per raise, charged at the scan's size: the raise
+    // itself is a cheap partial-key scan plus at most boot_depth memoized
+    // re-scores, so per-raise granularity is plenty.
+    guard.charge(docs == nullptr ? n : count);
     BoundedHeap best;
     const auto offer = [&](DocId d) {
       // Partial key: the partial dot, for both metrics. Any candidates
@@ -786,6 +850,9 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
   double alive_extent_sum = 0.0;
   const auto filter_alive = [&](std::vector<std::uint32_t>& alive,
                                 bool from_all, double rem_impact) {
+    // One checkpoint per filter pass, charged at the candidate count it is
+    // about to scan (the full corpus on the bootstrap pass).
+    guard.charge(from_all ? n : alive.size());
     const double theta_m =
         theta - kThetaMargin * std::max(1.0, std::abs(theta));
     const double q_rem_2 = std::max(q_rem_sq, 0.0);
@@ -876,34 +943,54 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
         const std::size_t end = arena_offsets_[term + 1];
         const DocId* ids = arena_ids_.data();
         const double* ws = arena_weights_.data();
-        for (std::size_t i = begin; i < end; ++i) {
-          acc_mass[2 * ids[i]] += q_weight * ws[i];
+        std::size_t i = begin;
+        while (i < end) {
+          const std::size_t stop = end - i > stride ? i + stride : end;
+          const std::size_t chunk = stop - i;
+          for (; i < stop; ++i) {
+            acc_mass[2 * ids[i]] += q_weight * ws[i];
+          }
+          guard.charge(chunk);
         }
         visited += end - begin;
       }
       if (term < tail_.size()) {
-        for (const Posting& posting : tail_[term]) {
-          acc_mass[2 * posting.doc] += q_weight * posting.weight;
+        const auto& list = tail_[term];
+        const std::size_t len = list.size();
+        std::size_t i = 0;
+        while (i < len) {
+          const std::size_t stop = len - i > stride ? i + stride : len;
+          const std::size_t chunk = stop - i;
+          for (; i < stop; ++i) {
+            acc_mass[2 * list[i].doc] += q_weight * list[i].weight;
+          }
+          guard.charge(chunk);
         }
-        visited += tail_[term].size();
+        visited += len;
       }
     };
     for (; li < terms.size(); ++li) {
       accumulate_dot(terms[li].term, terms[li].q_weight);
     }
     BoundedHeap heap;
-    for (std::size_t d = 0; d < n; ++d) {
-      double score;
-      if (metric == Metric::kCosine) {
-        score = (q_norm == 0.0 || snorms[d] == 0.0)
-                    ? 0.0
-                    : acc_mass[2 * d] / (q_norm * snorms[d]);
-      } else {
-        const double sq = q_norm_sq + snorms_sq[d] - 2.0 * acc_mass[2 * d];
-        score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+    std::size_t d = 0;
+    while (d < n) {
+      const std::size_t d_stop = n - d > stride ? d + stride : n;
+      const std::size_t chunk = d_stop - d;
+      for (; d < d_stop; ++d) {
+        double score;
+        if (metric == Metric::kCosine) {
+          score = (q_norm == 0.0 || snorms[d] == 0.0)
+                      ? 0.0
+                      : acc_mass[2 * d] / (q_norm * snorms[d]);
+        } else {
+          const double sq = q_norm_sq + snorms_sq[d] - 2.0 * acc_mass[2 * d];
+          score = sq <= 0.0 ? -0.0 : -std::sqrt(sq);
+        }
+        heap_offer(heap, top,
+                   IndexHit{public_of(static_cast<DocId>(d)), score});
       }
-      heap_offer(heap, top,
-                 IndexHit{public_of(static_cast<DocId>(d)), score});
+      guard.charge(chunk);
     }
     if (stats != nullptr) {
       stats->docs_scored += n;
@@ -951,18 +1038,29 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
             slot[1] += ws[i] * ws[i];
           }
           visited += end - begin;
+          // Per-processed-block checkpoint (one branch per kBlockSize
+          // postings); skipped blocks are three metadata loads and ride on
+          // the next processed block's charge.
+          guard.charge(end - begin);
           while (a < alive.size() && alive[a] <= last) ++a;
         }
       }
     }
     if (term < tail_.size()) {
       const auto& list = tail_[term];
-      for (const Posting& posting : list) {
-        double* slot = acc_mass + 2 * posting.doc;
-        slot[0] += q_weight * posting.weight;
-        slot[1] += posting.weight * posting.weight;
+      const std::size_t len = list.size();
+      std::size_t i = 0;
+      while (i < len) {
+        const std::size_t stop = len - i > stride ? i + stride : len;
+        const std::size_t chunk = stop - i;
+        for (; i < stop; ++i) {
+          double* slot = acc_mass + 2 * list[i].doc;
+          slot[0] += q_weight * list[i].weight;
+          slot[1] += list[i].weight * list[i].weight;
+        }
+        guard.charge(chunk);
       }
-      visited += list.size();
+      visited += len;
     }
   };
 
@@ -1065,6 +1163,10 @@ std::vector<IndexHit> InvertedIndex::top_k_pruned(
               });
     for (const auto& [bound, d] : by_bound) {
       if (heap.size() == top && bound < heap.top().score) break;
+      // Charged at the candidate's forward extent — the work the gather is
+      // about to do (memo hits overcharge slightly, which only polls a bit
+      // early; the cadence stays amortized).
+      guard.charge(forward_offsets_[d + 1] - forward_offsets_[d]);
       if (state.rescore_epoch[d] != state.rescore_counter) ++forward_gathers;
       heap_offer(heap, top, IndexHit{public_of(d), memo_score(d)});
     }

@@ -105,6 +105,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "index/cancel.hpp"
 #include "vsm/sparse_vector.hpp"
 
 namespace fmeter::index {
@@ -160,6 +161,11 @@ struct PruneStats {
   /// the counter means "forward-store work", not "candidates considered".
   /// Always ≤ docs_scored; 0 on the exact path.
   std::size_t forward_gathers = 0;
+  /// Cooperative deadline checkpoints actually polled (see cancel.hpp's
+  /// CheckpointGuard). 0 whenever no active Deadline was passed — the
+  /// no-deadline path never polls. Counted even when the walk unwinds
+  /// mid-shard, so the cost of deadline enforcement stays observable.
+  std::size_t checkpoint_polls = 0;
 
   PruneStats& operator+=(const PruneStats& other) noexcept {
     docs_scored += other.docs_scored;
@@ -167,6 +173,7 @@ struct PruneStats {
     postings_visited += other.postings_visited;
     blocks_skipped += other.blocks_skipped;
     forward_gathers += other.forward_gathers;
+    checkpoint_polls += other.checkpoint_polls;
     return *this;
   }
 };
@@ -321,12 +328,20 @@ class InvertedIndex {
   /// seed. Retained hits keep bit-identical scores; docs scoring exactly at
   /// the seed are kept so cross-shard tie-breaks stay intact. kNoSeed (the
   /// default) restores the full standalone top-k contract.
+  ///
+  /// `deadline`, when non-null and active, is polled at amortized
+  /// cooperative checkpoints (every ~CheckpointGuard::kInterval postings /
+  /// docs of work); an expired or cancelled deadline throws
+  /// QueryInterrupted mid-walk. Scratch state stays reusable after an
+  /// interruption. With a null or inactive deadline the walk never polls
+  /// and results remain bit-identical to the pre-deadline kernels.
   static constexpr double kNoSeed = -1e300;
   std::vector<IndexHit> top_k(const vsm::SparseVector& query, std::size_t k,
                               Metric metric = Metric::kCosine,
                               TopKScratch* scratch = nullptr,
                               double seed_score = kNoSeed,
-                              PruneStats* stats = nullptr) const;
+                              PruneStats* stats = nullptr,
+                              const Deadline* deadline = nullptr) const;
 
   /// Max-score top-k: same documents in the same order as top_k(), scores
   /// equal within 1e-9 (see the header comment for why they are not
@@ -335,13 +350,15 @@ class InvertedIndex {
   /// shard's already-computed top-k) to prune harder; kNoSeed means no
   /// outside knowledge. Documents scoring exactly at the threshold are
   /// never pruned, so cross-shard tie-breaks stay intact. Degenerate
-  /// inputs behave exactly like top_k().
+  /// inputs behave exactly like top_k(). `deadline` follows the same
+  /// cooperative-checkpoint contract as top_k().
   std::vector<IndexHit> top_k_pruned(const vsm::SparseVector& query,
                                      std::size_t k,
                                      Metric metric = Metric::kCosine,
                                      TopKScratch* scratch = nullptr,
                                      double seed_score = kNoSeed,
-                                     PruneStats* stats = nullptr) const;
+                                     PruneStats* stats = nullptr,
+                                     const Deadline* deadline = nullptr) const;
 
   /// Appends this index's forward store to a snapshot as the per-shard
   /// offsets / term-id / weight sections (see snapshot.hpp for the format).

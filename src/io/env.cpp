@@ -20,6 +20,16 @@ namespace {
   throw IoError(op + " " + path + ": " + std::strerror(err), err);
 }
 
+/// ::open with the same EINTR discipline the read/write loops already
+/// have: a signal landing during the open (slow on some filesystems) must
+/// retry, not surface as a spurious IoError.
+int open_retry(const char* path, int flags, mode_t mode = 0) noexcept {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // PosixEnv
 // ---------------------------------------------------------------------------
@@ -94,14 +104,14 @@ class PosixEnv final : public Env {
                                                   bool truncate) override {
     const int flags =
         O_WRONLY | O_CREAT | O_CLOEXEC | (truncate ? O_TRUNC : O_APPEND);
-    const int fd = ::open(path.c_str(), flags, 0644);
+    const int fd = open_retry(path.c_str(), flags, 0644);
     if (fd < 0) throw_errno("open for write", path);
     return std::make_unique<PosixWritableFile>(fd, path);
   }
 
   std::unique_ptr<RandomAccessFile> new_random_access_file(
       const std::string& path) const override {
-    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    const int fd = open_retry(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) throw_errno("open for read", path);
     return std::make_unique<PosixRandomAccessFile>(fd, path);
   }
@@ -148,7 +158,7 @@ class PosixEnv final : public Env {
 
   void sync_dir(const std::string& dir) override {
     const int fd =
-        ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+        open_retry(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
     if (fd < 0) throw_errno("open dir for fsync", dir);
     const int rc = ::fsync(fd);
     const int err = errno;
@@ -171,9 +181,18 @@ std::string Env::read_file(const std::string& path) const {
   const auto file = new_random_access_file(path);
   const std::uint64_t size = file_size(path);
   std::string bytes(size, '\0');
-  const std::size_t got = file->read(
-      0, std::span<std::byte>(reinterpret_cast<std::byte*>(bytes.data()),
-                              bytes.size()));
+  // read() may legally return short of the span without being at EOF
+  // (chunked or interrupted environments), so loop until the file says
+  // EOF — one trusting read here silently truncated under such an Env.
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const std::size_t n = file->read(
+        got,
+        std::span<std::byte>(reinterpret_cast<std::byte*>(bytes.data()) + got,
+                             bytes.size() - got));
+    if (n == 0) break;  // true EOF
+    got += n;
+  }
   bytes.resize(got);  // racing truncation shrinks, never pads with junk
   return bytes;
 }
@@ -485,12 +504,20 @@ void MemWritableFile::sync() {
   inode_->durable_bytes = inode_->volatile_bytes;
 }
 
+void InMemoryEnv::set_read_chunk_limit(std::size_t limit) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  read_chunk_limit_ = limit;
+}
+
 std::size_t MemRandomAccessFile::read(std::uint64_t offset,
                                      std::span<std::byte> into) const {
   const std::lock_guard<std::mutex> lock(env_.mutex_);
   const std::string& bytes = inode_->volatile_bytes;
   if (offset >= bytes.size()) return 0;
-  const std::size_t n = std::min(into.size(), bytes.size() - offset);
+  std::size_t n = std::min(into.size(), bytes.size() - offset);
+  // Short-read modeling (set_read_chunk_limit): hand back at most the
+  // configured chunk, never 0 — 0 stays reserved for EOF.
+  if (env_.read_chunk_limit_ > 0) n = std::min(n, env_.read_chunk_limit_);
   std::memcpy(into.data(), bytes.data() + offset, n);
   return n;
 }

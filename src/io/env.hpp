@@ -83,7 +83,11 @@ class WritableFile {
 };
 
 /// Positioned reads (pread) — no shared cursor, safe to share across
-/// threads. read() returns the bytes actually read (short only at EOF).
+/// threads. read() returns the bytes actually read; 0 means EOF. A read
+/// may be *short* of the requested span without being at EOF (PosixEnv
+/// retries EINTR internally, but other environments may hand back partial
+/// chunks), so callers wanting a full span must loop until 0 —
+/// Env::read_file does exactly that.
 class RandomAccessFile {
  public:
   virtual ~RandomAccessFile() = default;
@@ -214,6 +218,13 @@ class InMemoryEnv : public Env {
   /// un-synced appends are gone under kDropUnsynced.
   void crash(CrashMode mode = CrashMode::kDropUnsynced);
 
+  /// Caps every subsequent RandomAccessFile::read at `limit` bytes per
+  /// call (0 = unlimited, the default). Models environments that return
+  /// short reads without being at EOF — the case Env::read_file's loop
+  /// exists for; a caller that issues one read and trusts the count would
+  /// silently truncate under this knob.
+  void set_read_chunk_limit(std::size_t limit);
+
  protected:
   struct Inode {
     std::string volatile_bytes;  ///< the page-cache view
@@ -233,6 +244,7 @@ class InMemoryEnv : public Env {
   std::map<std::string, InodeRef> durable_ns_;
   std::map<std::string, bool> dirs_;  ///< dir path -> exists (volatile)
   std::map<std::string, bool> durable_dirs_;
+  std::size_t read_chunk_limit_ = 0;  ///< max bytes per read (0 = unlimited)
 
  private:
   friend class MemWritableFile;

@@ -201,6 +201,38 @@ TEST(InMemoryEnv, PersistEverythingKeepsTheVolatileView) {
   EXPECT_EQ(env.read_file("d/f"), "never synced");
 }
 
+TEST(InMemoryEnv, ShortReadsNeverTruncateReadFile) {
+  // Models an Env whose read() legally returns fewer bytes than requested
+  // without being at EOF (a pread interrupted by a signal, a chunked
+  // transport). read_file must loop until EOF — before it did, a single
+  // trusting read silently handed back a truncated file, which a
+  // checksummed snapshot then rejected as corruption it never had.
+  InMemoryEnv env;
+  env.create_dir("d");
+  std::string payload;
+  for (int i = 0; i < 1000; ++i) payload += "0123456789";
+  {
+    auto file = env.new_writable_file("d/f");
+    file->append(payload);
+  }
+  // Sweep chunk sizes, including pathological 1-byte reads and a chunk
+  // that does not divide the file size evenly.
+  for (const std::size_t limit : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{4096}, std::size_t{0}}) {
+    env.set_read_chunk_limit(limit);
+    EXPECT_EQ(env.read_file("d/f"), payload) << "chunk limit " << limit;
+  }
+
+  // The raw handle still reports short reads — the knob constrains the
+  // primitive, the loop in read_file is what restores the full contract.
+  env.set_read_chunk_limit(7);
+  const auto file = env.new_random_access_file("d/f");
+  std::vector<std::byte> into(64);
+  EXPECT_EQ(file->read(0, into), 7u);
+  env.set_read_chunk_limit(0);
+  EXPECT_EQ(file->read(0, into), 64u);
+}
+
 TEST(InMemoryEnv, TruncateIsJournaledMetadata) {
   InMemoryEnv env;
   env.create_dir("d");

@@ -47,6 +47,10 @@ MEASURED_FIELDS = {
     # durability_scaling: journaled-ingest cost relative to the no-journal
     # baseline of the same run (machine-relative, like speedup_vs_scalar).
     "overhead_vs_off",
+    # robustness_scaling: checkpoint poll counts of the deadline-armed
+    # sweep and the shed-load rejection count (both deterministic, but
+    # measured, not identity).
+    "checkpoint_polls", "rejected", "deadline_exceeded",
 }
 # Lower-is-better metrics, in preference order; each file is gated on the
 # first one its rows actually carry (query benches emit us_per_query, the
@@ -93,12 +97,14 @@ def main():
                              "machine); enforced at docs >= min-docs")
     parser.add_argument("--overhead-ceiling", type=float, default=None,
                         help="fail when a fresh row's overhead_vs_off exceeds "
-                             "this fraction (paired same-run ratio of "
-                             "journaled ingest vs the no-journal baseline, "
-                             "so it is enforceable off the baseline machine); "
-                             "applies to mode=async rows at docs >= min-docs "
-                             "— fsync overhead is storage-bound and only "
-                             "tracked")
+                             "this fraction (paired same-run ratio against "
+                             "the feature-off baseline of the same run, so "
+                             "it is enforceable off the baseline machine); "
+                             "applies to mode=async rows (durability: "
+                             "journaled ingest) and mode=deadline rows "
+                             "(robustness: armed checkpoints) at docs >= "
+                             "min-docs — fsync overhead is storage-bound "
+                             "and only tracked")
     args = parser.parse_args()
 
     fresh_name, fresh_rows = load_rows(args.fresh)
@@ -172,12 +178,14 @@ def main():
     ceiling_failures = 0
     if args.overhead_ceiling is not None:
         # Same transferability argument as the speedup floor: the overhead
-        # is measured against the no-journal baseline of the same run, so
-        # the gate holds on any machine. Only the async policy is gated —
-        # it is pure copy + bookkeeping cost; per-record fsync latency is a
-        # property of the storage stack, not the code.
+        # is measured against the feature-off baseline of the same run, so
+        # the gate holds on any machine. Gated modes: "async" (durability's
+        # journaled ingest — pure copy + bookkeeping; per-record fsync
+        # latency is a property of the storage stack, not the code) and
+        # "deadline" (robustness's armed-checkpoint serving sweep).
         for row in fresh_rows:
-            if "overhead_vs_off" not in row or row.get("mode") != "async":
+            if "overhead_vs_off" not in row or \
+                    row.get("mode") not in ("async", "deadline"):
                 continue
             if row.get("docs", 0) < args.min_docs:
                 continue

@@ -65,6 +65,19 @@
 //
 //   `stats`, `search`, `metrics`, `verify` and `recover` accept --json for
 //   machine-readable output.
+//
+//   `search` accepts --deadline-ms <n>: a cooperative per-query budget.
+//   An over-budget query stops mid-shard and reports its outcome
+//   (deadline_exceeded) plus whatever partial hits completed shards
+//   produced, instead of running to completion.
+//
+//   Exit codes: 0 success, 1 runtime failure (missing/corrupt/out-of-range
+//   input), 2 usage error (bad flags or arguments). Under --json, errors
+//   are emitted as a structured object on stdout —
+//   {"error": {"class": ..., "message": ..., "exit_code": ...}} — never as
+//   bare stderr text, so scripted callers parse one format for both
+//   success and failure.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,7 +99,52 @@ using namespace fmeter;
 
 namespace {
 
-int usage() {
+// Exit-code contract (also documented in the file header): every path out
+// of the tool returns one of these three, and --json callers additionally
+// get a structured error object on stdout instead of free-form stderr.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;  ///< valid invocation, failing input/IO
+constexpr int kExitUsage = 2;    ///< malformed flags or arguments
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// The one funnel for failures: structured JSON object on stdout when the
+/// caller asked for --json, classic stderr line otherwise. `error_class`
+/// is a stable machine-matchable tag ("usage", "io", "corrupt", ...).
+int fail(bool json, int exit_code, const char* error_class,
+         const std::string& message) {
+  if (json) {
+    std::printf(
+        "{\"error\": {\"class\": \"%s\", \"message\": \"%s\", "
+        "\"exit_code\": %d}}\n",
+        error_class, json_escape(message).c_str(), exit_code);
+  } else {
+    std::fprintf(stderr, "fmeter_inspect: %s\n", message.c_str());
+  }
+  return exit_code;
+}
+
+int usage(bool json = false) {
+  if (json) {
+    return fail(json, kExitUsage, "usage",
+                "invalid arguments; run fmeter_inspect without arguments "
+                "for the command list");
+  }
   std::fprintf(
       stderr,
       "usage:\n"
@@ -94,13 +152,14 @@ int usage() {
       "  fmeter_inspect stats <corpus.fmc|snapshot.fms> [--json]\n"
       "  fmeter_inspect topterms <corpus.fmc> <label> [n]\n"
       "  fmeter_inspect search <corpus.fmc|snapshot.fms> <doc-index> [k] "
-      "[--policy auto|scan|indexed|pruned] [--json]\n"
+      "[--policy auto|scan|indexed|pruned] [--deadline-ms n] [--json]\n"
       "  fmeter_inspect snapshot <corpus.fmc> <out.fms>\n"
       "  fmeter_inspect metrics <corpus.fmc|snapshot.fms> [queries] "
       "[--json]\n"
       "  fmeter_inspect verify <snapshot.fms> [--json]\n"
-      "  fmeter_inspect recover <dir> [--json]\n");
-  return 2;
+      "  fmeter_inspect recover <dir> [--json]\n"
+      "exit codes: 0 ok, 1 runtime failure, 2 usage error\n");
+  return kExitUsage;
 }
 
 /// Strips a `--json` flag out of argv (anywhere after the subcommand) and
@@ -235,8 +294,8 @@ int cmd_collect(int argc, char** argv) {
   for (int arg = 3; arg < argc; ++arg) {
     const auto it = names.find(argv[arg]);
     if (it == names.end()) {
-      std::fprintf(stderr, "unknown workload: %s\n", argv[arg]);
-      return 2;
+      return fail(false, kExitUsage, "usage",
+                  std::string("unknown workload: ") + argv[arg]);
     }
     std::printf("collecting %zu signatures of %s...\n",
                 gen.signatures_per_workload, argv[arg]);
@@ -282,23 +341,6 @@ void print_database_stats(const core::SignatureDatabase& db) {
   }
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
 /// Machine-readable `stats`: index shape, per-shard table, per-label
 /// support, and the full registry dump nested under "metrics".
 void print_stats_json(const core::SignatureDatabase& db, const char* source) {
@@ -335,7 +377,7 @@ void print_stats_json(const core::SignatureDatabase& db, const char* source) {
 
 int cmd_stats(int argc, char** argv) {
   const bool json = take_json_flag(argc, argv);
-  if (argc != 3) return usage();
+  if (argc != 3) return usage(json);
   if (is_snapshot_file(argv[2])) {
     core::SignatureDatabase db;
     db.load(argv[2]);
@@ -450,21 +492,22 @@ int cmd_topterms(int argc, char** argv) {
     }
     return 0;
   }
-  std::fprintf(stderr, "label '%s' not present in corpus\n", label.c_str());
-  return 1;
+  return fail(false, kExitRuntime, "not-found",
+              "label '" + label + "' not present in corpus");
 }
 
 int cmd_search(int argc, char** argv) {
   const bool json = take_json_flag(argc, argv);
   // Positional arguments first (corpus, doc-index, optional k), then the
-  // optional --policy flag anywhere after them.
+  // optional --policy / --deadline-ms flags anywhere after them.
   core::ScanPolicy policy = core::ScanPolicy::kIndexed;
   core::PruningMode mode = core::PruningMode::kAuto;
   const char* policy_name = "auto";
+  long long deadline_ms = -1;  // < 0: no deadline
   std::vector<const char*> positional;
   for (int arg = 2; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "--policy") == 0) {
-      if (arg + 1 >= argc) return usage();
+      if (arg + 1 >= argc) return usage(json);
       policy_name = argv[++arg];
       if (std::strcmp(policy_name, "scan") == 0) {
         policy = core::ScanPolicy::kBruteForce;
@@ -479,32 +522,41 @@ int cmd_search(int argc, char** argv) {
         policy = core::ScanPolicy::kIndexed;
         mode = core::PruningMode::kAuto;
       } else {
-        std::fprintf(stderr,
-                     "unknown --policy '%s' (auto|scan|indexed|pruned)\n",
-                     policy_name);
-        return 2;
+        return fail(json, kExitUsage, "usage",
+                    std::string("unknown --policy '") + policy_name +
+                        "' (auto|scan|indexed|pruned)");
+      }
+    } else if (std::strcmp(argv[arg], "--deadline-ms") == 0) {
+      if (arg + 1 >= argc) return usage(json);
+      char* dend = nullptr;
+      deadline_ms = std::strtoll(argv[++arg], &dend, 10);
+      if (dend == argv[arg] || *dend != '\0' || deadline_ms < 0) {
+        return fail(json, kExitUsage, "usage",
+                    std::string("--deadline-ms must be a non-negative "
+                                "number, got '") +
+                        argv[arg] + "'");
       }
     } else {
       positional.push_back(argv[arg]);
     }
   }
-  if (positional.size() != 2 && positional.size() != 3) return usage();
+  if (positional.size() != 2 && positional.size() != 3) return usage(json);
   // The doc index selects which incident gets analyzed — reject non-numeric
   // input rather than silently querying doc 0.
   char* end = nullptr;
   const std::size_t query_doc = std::strtoul(positional[1], &end, 10);
   if (end == positional[1] || *end != '\0') {
-    std::fprintf(stderr, "doc-index must be a number, got '%s'\n",
-                 positional[1]);
-    return 2;
+    return fail(json, kExitUsage, "usage",
+                std::string("doc-index must be a number, got '") +
+                    positional[1] + "'");
   }
   std::size_t k = 10;
   if (positional.size() == 3) {
     k = std::strtoul(positional[2], &end, 10);
     if (end == positional[2] || *end != '\0' || k == 0) {
-      std::fprintf(stderr, "k must be a positive number, got '%s'\n",
-                   positional[2]);
-      return 2;
+      return fail(json, kExitUsage, "usage",
+                  std::string("k must be a positive number, got '") +
+                      positional[2] + "'");
     }
   }
 
@@ -517,10 +569,10 @@ int cmd_search(int argc, char** argv) {
     // the query document stays in it — expect a self-hit at rank 1.
     db.load(positional[0]);
     if (query_doc >= db.size()) {
-      std::fprintf(stderr,
-                   "doc-index %zu out of range (snapshot has %zu docs)\n",
-                   query_doc, db.size());
-      return 1;
+      return fail(json, kExitRuntime, "out-of-range",
+                  "doc-index " + std::to_string(query_doc) +
+                      " out of range (snapshot has " +
+                      std::to_string(db.size()) + " docs)");
     }
     query = db.signature(query_doc);
     query_label = db.label(query_doc);
@@ -529,10 +581,10 @@ int cmd_search(int argc, char** argv) {
   } else {
     const vsm::Corpus corpus = vsm::load_corpus(positional[0]);
     if (query_doc >= corpus.size()) {
-      std::fprintf(stderr,
-                   "doc-index %zu out of range (corpus has %zu docs)\n",
-                   query_doc, corpus.size());
-      return 1;
+      return fail(json, kExitRuntime, "out-of-range",
+                  "doc-index " + std::to_string(query_doc) +
+                      " out of range (corpus has " +
+                      std::to_string(corpus.size()) + " docs)");
     }
     const auto signatures = core::signatures_from(corpus);
     std::vector<vsm::SparseVector> batch;
@@ -549,14 +601,25 @@ int cmd_search(int argc, char** argv) {
   }
 
   core::QueryStats stats;
+  core::SearchOptions options;
+  std::vector<core::QueryOutcome> outcomes;
+  options.outcomes = &outcomes;
+  if (deadline_ms >= 0) {
+    options.deadline =
+        core::Deadline::after(std::chrono::milliseconds(deadline_ms));
+  }
   const auto hits = db.search(query, k, core::SimilarityMetric::kCosine,
-                              policy, mode, &stats);
+                              policy, mode, &stats, options);
+  const char* outcome = core::outcome_name(
+      outcomes.empty() ? core::QueryOutcome::kOk : outcomes.front());
   if (json) {
     std::printf(
         "{\n  \"query_doc\": %zu,\n  \"label\": \"%s\",\n"
-        "  \"policy\": \"%s\",\n  \"archive_documents\": %zu,\n"
+        "  \"policy\": \"%s\",\n  \"outcome\": \"%s\",\n"
+        "  \"archive_documents\": %zu,\n"
         "  \"hits\": [",
-        query_doc, json_escape(query_label).c_str(), policy_name, db.size());
+        query_doc, json_escape(query_label).c_str(), policy_name, outcome,
+        db.size());
     for (std::size_t rank = 0; rank < hits.size(); ++rank) {
       std::printf(
           "%s\n    {\"rank\": %zu, \"doc\": %zu, \"label\": \"%s\", "
@@ -569,17 +632,26 @@ int cmd_search(int argc, char** argv) {
         "%zu, \"postings_visited\": %zu, \"blocks_skipped\": %zu, "
         "\"forward_gathers\": %zu, \"dispatch_inline\": %llu, "
         "\"dispatch_pooled\": %llu, \"spans_reserved\": %llu, "
-        "\"tasks_executed\": %llu}\n}\n",
+        "\"tasks_executed\": %llu, \"checkpoint_polls\": %zu, "
+        "\"deadline_exceeded\": %llu, \"cancelled\": %llu, "
+        "\"rejected\": %llu, \"partial_results\": %llu}\n}\n",
         stats.docs_scored, stats.docs_pruned, stats.postings_visited,
         stats.blocks_skipped, stats.forward_gathers,
         static_cast<unsigned long long>(stats.dispatch_inline),
         static_cast<unsigned long long>(stats.dispatch_pooled),
         static_cast<unsigned long long>(stats.spans_reserved),
-        static_cast<unsigned long long>(stats.tasks_executed));
-    return 0;
+        static_cast<unsigned long long>(stats.tasks_executed),
+        stats.checkpoint_polls,
+        static_cast<unsigned long long>(stats.deadline_exceeded),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.rejected),
+        static_cast<unsigned long long>(stats.partial_results));
+    return kExitOk;
   }
-  std::printf("query: doc %zu ('%s')   archive: %zu signatures   policy: %s\n",
-              query_doc, query_label.c_str(), db.size(), policy_name);
+  std::printf(
+      "query: doc %zu ('%s')   archive: %zu signatures   policy: %s   "
+      "outcome: %s\n",
+      query_doc, query_label.c_str(), db.size(), policy_name, outcome);
   const auto& index = db.index();
   std::printf("index: %zu shards, %zu terms, %zu postings, %s\n\n",
               index.num_shards(), index.num_terms(), index.num_postings(),
@@ -609,6 +681,14 @@ int cmd_search(int argc, char** argv) {
         static_cast<unsigned long long>(stats.dispatch_pooled),
         static_cast<unsigned long long>(stats.spans_reserved),
         static_cast<unsigned long long>(stats.tasks_executed));
+    std::printf(
+        "robustness: %zu checkpoint polls, %llu deadline-exceeded, "
+        "%llu cancelled, %llu rejected, %llu partial results\n",
+        stats.checkpoint_polls,
+        static_cast<unsigned long long>(stats.deadline_exceeded),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.rejected),
+        static_cast<unsigned long long>(stats.partial_results));
     db.publish_gauges();
     print_registry_table();
   }
@@ -619,15 +699,15 @@ int cmd_search(int argc, char** argv) {
 /// instrumented stage fires at least once, then dump the registry.
 int cmd_metrics(int argc, char** argv) {
   const bool json = take_json_flag(argc, argv);
-  if (argc != 3 && argc != 4) return usage();
+  if (argc != 3 && argc != 4) return usage(json);
   std::size_t n_queries = 64;
   if (argc == 4) {
     char* end = nullptr;
     n_queries = std::strtoul(argv[3], &end, 10);
     if (end == argv[3] || *end != '\0' || n_queries == 0) {
-      std::fprintf(stderr, "queries must be a positive number, got '%s'\n",
-                   argv[3]);
-      return 2;
+      return fail(json, kExitUsage, "usage",
+                  std::string("queries must be a positive number, got '") +
+                      argv[3] + "'");
     }
   }
 
@@ -645,8 +725,8 @@ int cmd_metrics(int argc, char** argv) {
     db.add_batch(std::move(signatures), std::move(labels));  // kIngest
   }
   if (db.empty()) {
-    std::fprintf(stderr, "archive %s holds no documents\n", argv[2]);
-    return 1;
+    return fail(json, kExitRuntime, "empty-archive",
+                std::string("archive ") + argv[2] + " holds no documents");
   }
 
   // Sample queries: stored signatures round-robin, one batch (exercises
@@ -686,11 +766,11 @@ using index::snapshot::section_kind_name;
 /// never materializes a section, so it works on archives larger than RAM.
 int cmd_verify(int argc, char** argv) {
   const bool json = take_json_flag(argc, argv);
-  if (argc != 3) return usage();
+  if (argc != 3) return usage(json);
   std::ifstream in(argv[2], std::ios::binary);
   if (!in.is_open()) {
-    std::fprintf(stderr, "cannot open %s\n", argv[2]);
-    return 1;
+    return fail(json, kExitRuntime, "io",
+                std::string("cannot open ") + argv[2]);
   }
   const index::snapshot::VerifyResult result =
       index::snapshot::verify_stream(in);
@@ -739,13 +819,12 @@ int cmd_verify(int argc, char** argv) {
 /// what it found — manifest state, journal replay/truncation, sweep.
 int cmd_recover(int argc, char** argv) {
   const bool json = take_json_flag(argc, argv);
-  if (argc != 3) return usage();
+  if (argc != 3) return usage(json);
   const std::string dir = argv[2];
   io::Env& env = io::Env::posix();
   if (!env.file_exists(core::manifest_path(dir))) {
-    std::fprintf(stderr, "%s has no MANIFEST — not a durable archive\n",
-                 dir.c_str());
-    return 1;
+    return fail(json, kExitRuntime, "not-found",
+                dir + " has no MANIFEST — not a durable archive");
   }
   const core::Manifest manifest = core::read_manifest(env, dir);
   core::DurableDatabase db(env, dir);
@@ -800,7 +879,14 @@ int cmd_recover(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  // Detect --json up front so even exception paths and the usage screen can
+  // honor the machine-readable contract. take_json_flag still strips it per
+  // command; this scan only chooses the error format.
+  bool json = false;
+  for (int arg = 1; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--json") == 0) json = true;
+  }
+  if (argc < 2) return usage(json);
   // Corrupt snapshots and malformed corpora surface as exceptions with a
   // diagnostic message; an operator tool should print that, not terminate.
   try {
@@ -813,8 +899,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
     if (std::strcmp(argv[1], "recover") == 0) return cmd_recover(argc, argv);
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "fmeter_inspect: %s\n", error.what());
-    return 1;
+    return fail(json, kExitRuntime, "exception", error.what());
   }
-  return usage();
+  return usage(json);
 }
