@@ -1,13 +1,16 @@
-// Example: continuous production monitoring with a rolling collector —
-// the deployment mode the paper argues Fmeter's low overhead enables
-// ("signature generation can be turned on at production time for long
-// continuous periods of time", §1).
+// Example: the always-on ingest+query process the paper argues Fmeter's
+// low overhead enables ("signature generation can be turned on at
+// production time for long continuous periods of time", §1).
 //
-// A machine serves HTTP around the clock. We keep the collector rolling,
-// classify every interval against a syndrome database, and raise an alert
-// when consecutive intervals stop looking like the baseline — here the
-// simulated incident is the workload silently shifting from HTTP serving to
-// a disk-thrashing intruder process.
+// A machine serves HTTP around the clock. Every interval flows through the
+// full production path: tracer counters -> SignatureCollector diff ->
+// tf-idf -> LivePipeline -> LiveDatabase, the epoch-swapped live archive
+// that journals each interval and re-freezes its tail in the background
+// while this same loop keeps querying it. Each fresh interval is
+// classified against a syndrome database for alerting AND searched against
+// the growing archive for precedents — query-while-ingest, the live
+// archive's whole point. The simulated incident is the workload silently
+// shifting from HTTP serving to a disk-thrashing intruder process.
 //
 // The monitor also scrapes the always-on metrics registry every few
 // intervals and prints a one-line latency digest — the same numbers an
@@ -15,35 +18,53 @@
 //
 // Build & run:  ./build/examples/live_monitor
 #include <cstdio>
-#include <deque>
+#include <string>
 
+#include "exec/task_pool.hpp"
 #include "fmeter/fmeter.hpp"
+#include "io/env.hpp"
 #include "obs/metrics.hpp"
 
 using namespace fmeter;
 
 namespace {
 
-/// Periodic observability digest straight from the registry scrape: how
-/// many classifications ran, where their latency sits, and what one
-/// classification costs in probe work.
-void print_metrics_digest(const core::SignatureDatabase& db) {
-  db.publish_gauges();
+/// Formats one histogram quantile in microseconds, or "-" when the
+/// histogram has not recorded anything yet — a first-interval scrape sees
+/// count == 0, and quantile() on an empty distribution is garbage, not a
+/// number an operator should ever read.
+std::string quantile_us(const obs::HistogramSample* sample, double q) {
+  if (sample == nullptr || sample->snapshot.count == 0) return "-";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f",
+                sample->snapshot.quantile(q) / 1000.0);
+  return buffer;
+}
+
+/// Periodic observability digest straight from the registry scrape:
+/// classification latency, probe latency, and the live archive's epoch
+/// shape (published sequence, base/tail split, background re-freezes).
+void print_metrics_digest(const core::SignatureDatabase& syndromes,
+                          const core::LiveDatabase& archive) {
+  syndromes.publish_gauges();
+  archive.publish_gauges();
   const auto snap = obs::MetricsRegistry::global().scrape();
   const auto* classify = snap.histogram("fmeter_db_classify_ns");
   const auto* probe = snap.histogram("fmeter_stage_shard_probe_ns");
-  const auto* scored = snap.counter("fmeter_query_docs_scored_total");
+  const auto* refreeze = snap.histogram("fmeter_live_refreeze_ns");
+  const auto* tail = snap.gauge("fmeter_live_tail_docs");
+  const auto* base = snap.gauge("fmeter_live_base_docs");
   std::printf(
-      "  [metrics] classify: n=%llu p50=%.1fus p99=%.1fus | probe: "
-      "p50=%.1fus | docs scored: %llu\n",
-      classify != nullptr ? static_cast<unsigned long long>(
-                                classify->snapshot.count)
-                          : 0ull,
-      classify != nullptr ? classify->snapshot.quantile(0.50) / 1000.0 : 0.0,
-      classify != nullptr ? classify->snapshot.quantile(0.99) / 1000.0 : 0.0,
-      probe != nullptr ? probe->snapshot.quantile(0.50) / 1000.0 : 0.0,
-      scored != nullptr ? static_cast<unsigned long long>(scored->value)
-                        : 0ull);
+      "  [metrics] classify: n=%llu p50=%sus p99=%sus | probe p50=%sus | "
+      "archive base=%.0f tail=%.0f refreeze p99=%sus\n",
+      classify != nullptr
+          ? static_cast<unsigned long long>(classify->snapshot.count)
+          : 0ull,
+      quantile_us(classify, 0.50).c_str(), quantile_us(classify, 0.99).c_str(),
+      quantile_us(probe, 0.50).c_str(),
+      base != nullptr ? base->value : 0.0,
+      tail != nullptr ? tail->value : 0.0,
+      quantile_us(refreeze, 0.99).c_str());
 }
 
 }  // namespace
@@ -66,15 +87,30 @@ int main() {
 
   vsm::TfIdfModel tfidf;
   const auto signatures = core::signatures_from(corpus, {}, &tfidf);
-  core::SignatureDatabase db;
+  core::SignatureDatabase syndromes;
   for (std::size_t i = 0; i < corpus.size(); ++i) {
-    db.add(signatures[i],
-           corpus[i].label == "apachebench" ? "serving" : "disk-thrash");
+    syndromes.add(signatures[i],
+                  corpus[i].label == "apachebench" ? "serving"
+                                                   : "disk-thrash");
   }
 
-  // Live monitoring: rolling intervals, alert after 3 consecutive anomalies.
+  // The live archive every production interval lands in. In-memory here to
+  // keep the example hermetic; a deployment passes io::Env::posix() and a
+  // real directory — everything else is identical, including the journal
+  // and the MANIFEST-committed background re-freezes.
+  io::InMemoryEnv env;
+  exec::TaskPool pool(2);
+  core::LiveOptions live;
+  live.refreeze_min_docs = 8;  // tiny corpus: let the demo actually fold
+  live.refreeze_fraction = 0.5;
+  live.pool = &pool;
+  core::LiveDatabase archive(env, "live-archive", live);
+
+  // Live monitoring: rolling intervals, alert after 3 consecutive
+  // anomalies.
   system.select_tracer(core::TracerKind::kFmeter);
   core::SignatureCollector collector(system.debugfs());
+  core::LivePipeline pipeline(collector, tfidf, archive);
   auto serving = workloads::make_workload(
       workloads::WorkloadKind::kApachebench, system.ops());
   auto intruder = workloads::make_workload(workloads::WorkloadKind::kDbench,
@@ -99,15 +135,24 @@ int main() {
     }
     system.ops().background_noise(cpu, 500);
 
-    const auto doc = collector.roll_interval("live", 10.0);
-    const auto signature = tfidf.transform(doc);
-    const auto verdict = db.classify_by_syndrome(signature);
+    // The full live path: diff counters, transform, journal, publish.
+    const auto ingested = pipeline.ingest_interval(
+        "interval-" + std::to_string(interval), 10.0);
+    const auto verdict = syndromes.classify_by_syndrome(ingested.signature);
     const bool anomalous = verdict != "serving";
     consecutive_anomalies = anomalous ? consecutive_anomalies + 1 : 0;
 
-    std::printf("  interval %2d: classified as %-12s%s\n", interval,
-                verdict.c_str(), anomalous ? "  [ANOMALY]" : "");
-    if ((interval + 1) % 5 == 0) print_metrics_digest(db);
+    // Query-while-ingest: how many archived intervals resemble this one?
+    // The snapshot pins an epoch, so a background re-freeze mid-search is
+    // invisible here.
+    const auto precedents =
+        archive.snapshot().search(ingested.signature, 3);
+    std::printf("  interval %2d: classified as %-12s archived as #%zu, "
+                "nearest precedent %s%s\n",
+                interval, verdict.c_str(), ingested.id,
+                precedents.size() > 1 ? precedents[1].label.c_str() : "n/a",
+                anomalous ? "  [ANOMALY]" : "");
+    if ((interval + 1) % 5 == 0) print_metrics_digest(syndromes, archive);
     if (consecutive_anomalies == 3 && alert_raised_at < 0) {
       alert_raised_at = interval;
       std::printf("  >>> ALERT: 3 consecutive anomalous intervals — paging "
@@ -116,10 +161,20 @@ int main() {
     }
   }
 
+  archive.wait_for_refreeze();
+  const auto stats = archive.stats();
+  std::printf("\narchive: %zu intervals, base %zu + tail %zu, epoch %llu, "
+              "%llu background re-freezes\n",
+              stats.total_docs, stats.base_docs, stats.tail_docs,
+              static_cast<unsigned long long>(stats.manifest_epoch),
+              static_cast<unsigned long long>(stats.refreezes));
+
   const bool detected = alert_raised_at >= kIncidentStart &&
                         alert_raised_at <= kIncidentStart + 4;
-  std::printf("\nincident %s (alert at interval %d)\n",
+  const bool archived = stats.total_docs ==
+                        static_cast<std::size_t>(kIntervals);
+  std::printf("incident %s (alert at interval %d)\n",
               detected ? "detected promptly" : "NOT detected correctly",
               alert_raised_at);
-  return detected ? 0 : 1;
+  return detected && archived ? 0 : 1;
 }

@@ -3,8 +3,11 @@
 #include <cstring>
 #include <exception>
 #include <future>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace fmeter::exec {
 namespace {
@@ -19,8 +22,47 @@ constexpr std::size_t kMinDocsForParallelBuild = 4096;
 ShardedIndex::ShardedIndex(std::size_t num_shards)
     : shards_(num_shards == 0 ? 1 : num_shards) {}
 
+ShardedIndex::ShardedIndex(const ShardedIndex& other) {
+  const std::shared_lock<std::shared_mutex> source(other.mutex_);
+  shards_ = other.shards_;
+  term_seen_ = other.term_seen_;
+  nonempty_terms_.store(other.nonempty_terms_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  size_.store(other.size_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+// Moves are setup-time: the source must have no concurrent users (it is
+// about to be gutted regardless), so no lock is taken.
+ShardedIndex::ShardedIndex(ShardedIndex&& other) noexcept
+    : shards_(std::move(other.shards_)),
+      term_seen_(std::move(other.term_seen_)),
+      nonempty_terms_(
+          other.nonempty_terms_.load(std::memory_order_relaxed)),
+      size_(other.size_.load(std::memory_order_relaxed)) {}
+
+ShardedIndex& ShardedIndex::operator=(const ShardedIndex& other) {
+  ShardedIndex copy(other);
+  return *this = std::move(copy);
+}
+
+ShardedIndex& ShardedIndex::operator=(ShardedIndex&& other) noexcept {
+  if (this != &other) {
+    const std::unique_lock<std::shared_mutex> lock(mutex_);
+    shards_ = std::move(other.shards_);
+    term_seen_ = std::move(other.term_seen_);
+    nonempty_terms_.store(
+        other.nonempty_terms_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    size_.store(other.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 ShardedIndex::DocId ShardedIndex::add(const vsm::SparseVector& doc) {
-  const auto global = static_cast<DocId>(size_);
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto global = static_cast<DocId>(size());
   const auto indices = doc.indices();
   // Grow the occupancy bitmap before touching the shard so a failed resize
   // leaves the index unchanged; the shard's own add() is transactional.
@@ -52,7 +94,12 @@ void ShardedIndex::add_batch(std::span<const vsm::SparseVector> docs,
 
 void ShardedIndex::add_batch(std::span<const vsm::SparseVector* const> docs,
                              TaskPool* pool) {
-  const std::size_t base = size_;
+  // The writer lock is held across the whole fan-out: the pool workers
+  // mutate disjoint shards without taking it, but their writes complete
+  // before the futures resolve, which happens before this thread releases
+  // the lock — so any reader admitted afterwards sees the finished build.
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::size_t base = size();
   const std::size_t shards = shards_.size();
 
   // Each shard's slice of the batch: batch index i becomes global id
@@ -121,16 +168,22 @@ void ShardedIndex::add_batch(std::span<const vsm::SparseVector* const> docs,
   size_ += docs.size();
 }
 
-void ShardedIndex::save(index::snapshot::Writer& writer) const {
+void ShardedIndex::save_locked(index::snapshot::Writer& writer) const {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s].save(writer, static_cast<std::uint32_t>(s));
   }
 }
 
+void ShardedIndex::save(index::snapshot::Writer& writer) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  save_locked(writer);
+}
+
 void ShardedIndex::save(std::ostream& out) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   index::snapshot::Writer writer(static_cast<std::uint32_t>(shards_.size()),
-                                 size_, nonempty_terms_);
-  save(writer);
+                                 size(), num_terms());
+  save_locked(writer);
   writer.finish(out);
 }
 
@@ -225,27 +278,31 @@ ShardedIndex ShardedIndex::load(std::istream& in, TaskPool* pool) {
 }
 
 void ShardedIndex::freeze() {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   for (auto& shard : shards_) shard.freeze();
 }
 
-bool ShardedIndex::frozen() const noexcept {
+bool ShardedIndex::frozen() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   for (const auto& shard : shards_) {
     if (!shard.frozen()) return false;
   }
   return true;
 }
 
-std::size_t ShardedIndex::num_postings() const noexcept {
+std::size_t ShardedIndex::num_postings() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard.num_postings();
   return total;
 }
 
-std::size_t ShardedIndex::memory_bytes() const noexcept {
+std::size_t ShardedIndex::memory_bytes() const {
   return memory_breakdown().total();
 }
 
-MemoryBreakdown ShardedIndex::memory_breakdown() const noexcept {
+MemoryBreakdown ShardedIndex::memory_breakdown() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   MemoryBreakdown total;
   total.offsets += term_seen_.capacity() / 8;
   for (const auto& shard : shards_) total += shard.memory_breakdown();
@@ -253,6 +310,7 @@ MemoryBreakdown ShardedIndex::memory_breakdown() const noexcept {
 }
 
 std::vector<ShardStats> ShardedIndex::shard_stats() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<ShardStats> stats;
   stats.reserve(shards_.size());
   for (const auto& shard : shards_) {

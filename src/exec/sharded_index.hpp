@@ -22,10 +22,24 @@
 //    thread — so the built index is deterministic, byte-for-byte the same
 //    as the sequential build plus freeze(), and the only cross-thread
 //    hand-off is the task futures' completion.
+//
+// Concurrency contract: mutators (add, add_batch, freeze, the assignment
+// operators) hold this index's writer lock; stats readers (shard_stats,
+// memory_bytes, memory_breakdown, num_postings, frozen, save) and query
+// execution (QueryEngine::run_batch holds read_lock() across the batch)
+// share the reader side. Scraping stats or running queries concurrently
+// with ingest is therefore safe — the reader simply serializes against the
+// in-flight mutation — while size()/num_terms() stay lock-free (relaxed
+// atomics) for the dispatch cost model's hot path. shard() itself remains
+// unsynchronized: hold read_lock() around direct shard access if ingest
+// may be concurrent, or pin an immutable epoch via the live-archive layer
+// (fmeter::core::LiveDatabase), which never mutates what readers can see.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -55,6 +69,16 @@ class ShardedIndex {
   using DocId = index::InvertedIndex::DocId;
 
   explicit ShardedIndex(std::size_t num_shards = 1);
+
+  // Copyable and movable despite the reader-writer lock: each instance owns
+  // a fresh lock; copying holds the source's reader side so a copy taken
+  // while another thread ingests observes a consistent state. Moves and
+  // assignments are setup-time operations — the destination must not have
+  // concurrent readers.
+  ShardedIndex(const ShardedIndex& other);
+  ShardedIndex(ShardedIndex&& other) noexcept;
+  ShardedIndex& operator=(const ShardedIndex& other);
+  ShardedIndex& operator=(ShardedIndex&& other) noexcept;
 
   /// Appends a document; returns its global id (dense, starting at 0).
   DocId add(const vsm::SparseVector& doc);
@@ -97,31 +121,47 @@ class ShardedIndex {
   static ShardedIndex load(std::istream& in, TaskPool* pool = nullptr);
 
   /// Freezes every shard (see index::InvertedIndex::freeze()); queries are
-  /// unchanged in results, faster in execution. Idempotent.
+  /// unchanged in results, faster in execution. Idempotent. Holds the
+  /// writer lock, so a freeze concurrent with an outstanding query or
+  /// stats scrape serializes instead of racing — the query sees the index
+  /// entirely before or entirely after the freeze, never mid-compaction.
   void freeze();
   /// True when every shard is fully frozen.
-  bool frozen() const noexcept;
+  bool frozen() const;
 
   std::size_t num_shards() const noexcept { return shards_.size(); }
   const index::InvertedIndex& shard(std::size_t s) const {
     return shards_.at(s);
   }
 
-  std::size_t size() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
+  /// Pins the reader side of the ingest/stats lock. QueryEngine holds one
+  /// across each batch; callers touching shard() directly while ingest may
+  /// be concurrent should do the same.
+  std::shared_lock<std::shared_mutex> read_lock() const {
+    return std::shared_lock<std::shared_mutex>(mutex_);
+  }
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  bool empty() const noexcept { return size() == 0; }
 
   /// Distinct terms with at least one posting in *any* shard (a term that
   /// appears in several shards counts once, unlike summing per-shard stats).
-  std::size_t num_terms() const noexcept { return nonempty_terms_; }
+  std::size_t num_terms() const noexcept {
+    return nonempty_terms_.load(std::memory_order_relaxed);
+  }
   /// Total postings across all shards (== sum of nnz over documents).
-  std::size_t num_postings() const noexcept;
+  std::size_t num_postings() const;
   /// Aggregate heap footprint: every shard's accounting plus this layer's
   /// term-occupancy bitmap.
-  std::size_t memory_bytes() const noexcept;
+  std::size_t memory_bytes() const;
   /// The same footprint split into postings / offsets / block-metadata /
   /// forward components, summed over shards (the bitmap counts as offsets).
-  MemoryBreakdown memory_breakdown() const noexcept;
+  MemoryBreakdown memory_breakdown() const;
 
+  /// Safe concurrent with add_batch/freeze: holds the reader lock, so the
+  /// scrape observes every shard at a consistent point, never mid-build.
   std::vector<ShardStats> shard_stats() const;
 
   /// Round-robin global↔local id mapping.
@@ -137,10 +177,19 @@ class ShardedIndex {
   }
 
  private:
+  /// Shared implementation of the save(writer) overloads; the caller holds
+  /// the reader lock (the lock is not recursive).
+  void save_locked(index::snapshot::Writer& writer) const;
+
   std::vector<index::InvertedIndex> shards_;
   std::vector<bool> term_seen_;  // global term occupancy, for num_terms()
-  std::size_t nonempty_terms_ = 0;
-  std::size_t size_ = 0;
+  /// Lock-free mirrors of the ingest bookkeeping, readable without the
+  /// lock (the dispatch cost model reads them on every batch).
+  std::atomic<std::size_t> nonempty_terms_{0};
+  std::atomic<std::size_t> size_{0};
+  /// Writer side: add/add_batch/freeze/assignment. Reader side: stats,
+  /// save, and QueryEngine batches. See the header comment.
+  mutable std::shared_mutex mutex_;
 };
 
 }  // namespace fmeter::exec

@@ -133,14 +133,26 @@ std::size_t SignatureDatabase::default_num_shards() noexcept {
 }
 
 SignatureDatabase::SignatureDatabase(const SignatureDatabase& other)
+    : SignatureDatabase(other,
+                        std::shared_lock<std::shared_mutex>(other.store_mutex_)) {
+  // The store lock (a temporary of the mem-initializer above) is already
+  // released here, so taking the cache mutex now cannot invert the
+  // syndrome_mutex_ → store_mutex_ lock order. The cache is an immutable
+  // snapshot; sharing the pointer is as good as a deep copy.
+  const std::lock_guard<std::mutex> lock(other.syndrome_mutex_);
+  syndrome_cache_ = other.syndrome_cache_;
+}
+
+SignatureDatabase::SignatureDatabase(
+    const SignatureDatabase& other,
+    std::shared_lock<std::shared_mutex>&& store_lock)
     : signatures_(other.signatures_),
       labels_(other.labels_),
       index_(other.index_),
       admission_(other.admission_) {
   // inflight_ deliberately starts at 0: in-flight queries belong to the
   // instance serving them, not to the data.
-  const std::lock_guard<std::mutex> lock(other.syndrome_mutex_);
-  syndrome_cache_ = other.syndrome_cache_;
+  (void)store_lock;  // held for the whole member-wise copy above
 }
 
 SignatureDatabase::SignatureDatabase(SignatureDatabase&& other) noexcept
@@ -162,26 +174,37 @@ SignatureDatabase& SignatureDatabase::operator=(
 
 std::size_t SignatureDatabase::add(vsm::SparseVector signature,
                                    std::string label) {
-  // Transactional: the three containers must stay aligned even if an
-  // allocation throws mid-add, or every later entry would pair with the
-  // wrong label / the indexed path would read out of bounds.
-  syndrome_cache_.reset();
-  labels_.push_back(std::move(label));
-  try {
-    signatures_.push_back(std::move(signature));
-  } catch (...) {
-    labels_.pop_back();
-    throw;
+  std::size_t id = 0;
+  {
+    // Transactional: the three containers must stay aligned even if an
+    // allocation throws mid-add, or every later entry would pair with the
+    // wrong label / the indexed path would read out of bounds.
+    const std::unique_lock<std::shared_mutex> store(store_mutex_);
+    labels_.push_back(std::move(label));
+    try {
+      signatures_.push_back(std::move(signature));
+    } catch (...) {
+      labels_.pop_back();
+      throw;
+    }
+    try {
+      index_.add(signatures_.back());
+    } catch (...) {
+      signatures_.pop_back();
+      labels_.pop_back();
+      throw;
+    }
+    id = signatures_.size() - 1;
   }
-  try {
-    index_.add(signatures_.back());
-  } catch (...) {
-    signatures_.pop_back();
-    labels_.pop_back();
-    throw;
+  // Invalidate *after* the append is visible: a classify racing this add
+  // that rebuilt the cache from the pre-append store would otherwise
+  // install a stale cache with no reset left to clear it.
+  {
+    const std::lock_guard<std::mutex> lock(syndrome_mutex_);
+    syndrome_cache_.reset();
   }
   db_metrics().docs_ingested->inc();
-  return signatures_.size() - 1;
+  return id;
 }
 
 void SignatureDatabase::validate_batch(
@@ -209,29 +232,46 @@ std::size_t SignatureDatabase::add_batch(
   // must leave the database exactly as it was, still usable (see the
   // header's two-tier failure contract).
   validate_batch(signatures, labels);
-  const std::size_t first = signatures_.size();
-  syndrome_cache_.reset();
-  signatures_.reserve(signatures_.size() + signatures.size());
-  labels_.reserve(labels_.size() + labels.size());
-  for (std::size_t i = 0; i < signatures.size(); ++i) {
-    signatures_.push_back(std::move(signatures[i]));
-    labels_.push_back(std::move(labels[i]));
-  }
-  // Pointers into signatures_ are stable from here: everything is appended.
-  std::vector<const vsm::SparseVector*> pointers;
-  pointers.reserve(signatures.size());
-  for (std::size_t id = first; id < signatures_.size(); ++id) {
-    pointers.push_back(&signatures_[id]);
-  }
+  std::size_t first = 0;
+  std::size_t appended = 0;
   {
-    const obs::StageSpan ingest_span(obs::Stage::kIngest);
-    index_.add_batch(std::span<const vsm::SparseVector* const>(pointers));
+    const std::unique_lock<std::shared_mutex> store(store_mutex_);
+    first = signatures_.size();
+    signatures_.reserve(signatures_.size() + signatures.size());
+    labels_.reserve(labels_.size() + labels.size());
+    for (std::size_t i = 0; i < signatures.size(); ++i) {
+      signatures_.push_back(std::move(signatures[i]));
+      labels_.push_back(std::move(labels[i]));
+    }
+    // Pointers into signatures_ are stable from here: everything is
+    // appended, and the store lock is held until the index has consumed
+    // them (a concurrent batch's reallocation would move them otherwise).
+    std::vector<const vsm::SparseVector*> pointers;
+    pointers.reserve(signatures.size());
+    for (std::size_t id = first; id < signatures_.size(); ++id) {
+      pointers.push_back(&signatures_[id]);
+    }
+    {
+      const obs::StageSpan ingest_span(obs::Stage::kIngest);
+      index_.add_batch(std::span<const vsm::SparseVector* const>(pointers));
+    }
+    appended = pointers.size();
   }
-  db_metrics().docs_ingested->inc(pointers.size());
+  // Invalidate after the append is visible — see add() for why.
+  {
+    const std::lock_guard<std::mutex> lock(syndrome_mutex_);
+    syndrome_cache_.reset();
+  }
+  db_metrics().docs_ingested->inc(appended);
   return first;
 }
 
 std::vector<std::string> SignatureDatabase::distinct_labels() const {
+  const std::shared_lock<std::shared_mutex> store(store_mutex_);
+  return distinct_labels_locked();
+}
+
+std::vector<std::string> SignatureDatabase::distinct_labels_locked() const {
   std::vector<std::string> out;
   for (const auto& label : labels_) {
     if (std::find(out.begin(), out.end(), label) == out.end()) {
@@ -333,6 +373,12 @@ std::vector<std::vector<SearchHit>> SignatureDatabase::search_batch(
                                       mode, stats, options);
   stamp_rejections();
   std::vector<std::vector<SearchHit>> results(batch.size());
+  // The label fill-in reads the forward store after the engine released
+  // the index's reader lock, so it needs its own reader side: a concurrent
+  // add_batch may be reallocating labels_. Every doc id the engine
+  // returned is already appended (the store grows before the index does),
+  // so the lookup itself cannot go out of bounds.
+  const std::shared_lock<std::shared_mutex> store(store_mutex_);
   for (std::size_t q = 0; q < batch.size(); ++q) {
     results[q].reserve(batch[q].size());
     for (const auto& index_hit : batch[q]) {
@@ -352,6 +398,7 @@ std::vector<SearchHit> SignatureDatabase::search_scan(
   // Same degenerate-query contract as the engine: no hits for k == 0 or an
   // all-zero/empty query.
   if (k == 0 || query.empty()) return {};
+  const std::shared_lock<std::shared_mutex> store(store_mutex_);
   std::vector<SearchHit> hits;
   hits.reserve(signatures_.size());
   for (std::size_t id = 0; id < signatures_.size(); ++id) {
@@ -370,34 +417,40 @@ std::vector<SearchHit> SignatureDatabase::search_scan(
   return hits;
 }
 
-const SignatureDatabase::SyndromeCache& SignatureDatabase::syndrome_cache()
-    const {
+std::shared_ptr<const SignatureDatabase::SyndromeCache>
+SignatureDatabase::syndrome_cache() const {
   const std::lock_guard<std::mutex> lock(syndrome_mutex_);
-  if (syndrome_cache_.has_value()) return *syndrome_cache_;
+  if (syndrome_cache_ != nullptr) return syndrome_cache_;
 
-  SyndromeCache cache;
-  for (const auto& label : distinct_labels()) {
-    Syndrome syndrome;
-    syndrome.label = label;
-    vsm::SparseVector sum;
-    for (std::size_t id = 0; id < signatures_.size(); ++id) {
-      if (labels_[id] != label) continue;
-      sum = sum.plus(signatures_[id]);
-      ++syndrome.support;
+  auto cache = std::make_shared<SyndromeCache>();
+  {
+    // Nested acquisition order: syndrome_mutex_ → store_mutex_ (shared).
+    // Writers take the store lock without the cache mutex, so the order
+    // cannot invert.
+    const std::shared_lock<std::shared_mutex> store(store_mutex_);
+    for (const auto& label : distinct_labels_locked()) {
+      Syndrome syndrome;
+      syndrome.label = label;
+      vsm::SparseVector sum;
+      for (std::size_t id = 0; id < signatures_.size(); ++id) {
+        if (labels_[id] != label) continue;
+        sum = sum.plus(signatures_[id]);
+        ++syndrome.support;
+      }
+      if (syndrome.support > 0) {
+        syndrome.centroid =
+            sum.scaled(1.0 / static_cast<double>(syndrome.support));
+      }
+      cache->centroid_index.add(syndrome.centroid);
+      cache->syndromes.push_back(std::move(syndrome));
     }
-    if (syndrome.support > 0) {
-      syndrome.centroid =
-          sum.scaled(1.0 / static_cast<double>(syndrome.support));
-    }
-    cache.centroid_index.add(syndrome.centroid);
-    cache.syndromes.push_back(std::move(syndrome));
   }
-  syndrome_cache_.emplace(std::move(cache));
-  return *syndrome_cache_;
+  syndrome_cache_ = std::move(cache);
+  return syndrome_cache_;
 }
 
 std::vector<Syndrome> SignatureDatabase::syndromes() const {
-  return syndrome_cache().syndromes;
+  return syndrome_cache()->syndromes;
 }
 
 std::string SignatureDatabase::classify_scan(
@@ -424,24 +477,30 @@ std::string SignatureDatabase::classify_by_syndrome(
   const DbMetrics& metrics = db_metrics();
   const ScopedTimer timer(*metrics.classify_ns);
   metrics.classifies->inc();
-  const auto& cache = syndrome_cache();
+  // Pinning the shared_ptr keeps this classify's cache alive even if a
+  // concurrent ingest invalidates it mid-call.
+  const auto cache = syndrome_cache();
   // The engine defines the empty query as "no hits", but classification of
   // a zero signature still has an answer (the scan's: score 0 cosine / the
   // smallest-norm centroid), so the empty query takes the scan in both
   // policies — keeping them in agreement.
   if (policy == ScanPolicy::kBruteForce || query.empty()) {
-    return classify_scan(query, metric, cache);
+    return classify_scan(query, metric, *cache);
   }
   // Nearest centroid via the engine (batch of one); the ascending-id
   // tie-break picks the first-seen label, matching the scan. kMaxScore is
   // honored for contract uniformity, though a handful of centroids gives
   // pruning nothing to win.
-  const exec::QueryEngine engine(cache.centroid_index);
+  const exec::QueryEngine engine(cache->centroid_index);
   const auto hits = engine.run(query, 1, to_index_metric(metric), mode);
-  return hits.empty() ? std::string() : cache.syndromes[hits[0].doc].label;
+  return hits.empty() ? std::string() : cache->syndromes[hits[0].doc].label;
 }
 
 void SignatureDatabase::save(std::ostream& out) const {
+  // Reader side for the whole serialization: a save concurrent with
+  // ingest emits a consistent point-in-time image (the index's own save
+  // additionally holds its reader lock, acquired nested under this one).
+  const std::shared_lock<std::shared_mutex> store(store_mutex_);
   index::snapshot::Writer writer(
       static_cast<std::uint32_t>(index_.num_shards()), signatures_.size(),
       index_.num_terms());
@@ -597,9 +656,11 @@ void SignatureDatabase::publish_gauges() const {
       .set(static_cast<double>(index_.num_shards()));
   r.gauge("fmeter_index_memory_bytes", "Heap footprint of the sharded index")
       .set(static_cast<double>(index_.memory_bytes()));
+  // Locked scrape instead of walking shard internals directly — safe
+  // concurrent with add_batch/freeze (the scrape serializes against them).
   std::size_t frozen = 0;
-  for (std::size_t s = 0; s < index_.num_shards(); ++s) {
-    frozen += index_.shard(s).frozen_docs();
+  for (const exec::ShardStats& s : index_.shard_stats()) {
+    frozen += s.frozen_docs;
   }
   r.gauge("fmeter_index_frozen_docs",
           "Documents compacted into frozen posting arenas")
@@ -608,7 +669,8 @@ void SignatureDatabase::publish_gauges() const {
 
 std::vector<std::size_t> SignatureDatabase::meta_cluster(
     std::size_t k, std::uint64_t seed) const {
-  const auto& all = syndrome_cache().syndromes;
+  const auto cache = syndrome_cache();  // pinned across the clustering
+  const auto& all = cache->syndromes;
   if (all.size() < k) {
     throw std::invalid_argument("meta_cluster: fewer syndromes than clusters");
   }

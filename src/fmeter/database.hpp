@@ -24,8 +24,9 @@
 #include <atomic>
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
-#include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -111,8 +112,17 @@ class SignatureDatabase {
   /// shard count — only query parallelism changes.
   explicit SignatureDatabase(std::size_t num_shards) : index_(num_shards) {}
 
-  // Copyable and movable despite the cache mutex: each instance owns a
-  // fresh mutex; data and any built cache travel with the object.
+  // Copyable and movable despite the locks: each instance owns fresh
+  // mutexes; data and any built cache travel with the object. Copying
+  // holds the source's reader side, so a copy taken mid-ingest is a
+  // consistent point-in-time snapshot. Moves require external
+  // synchronization, like any moved-from object.
+  //
+  // Thread safety mirrors the index layer's contract (see
+  // exec/sharded_index.hpp): ingest (add/add_batch) may run concurrently
+  // with searches, classifies, stats scrapes, and save() — writers hold
+  // the forward store's writer lock, readers its reader side, so queries
+  // see a consistent pre- or post-batch store, never a half-appended one.
   SignatureDatabase(const SignatureDatabase& other);
   SignatureDatabase(SignatureDatabase&& other) noexcept;
   SignatureDatabase& operator=(SignatureDatabase other) noexcept;
@@ -154,13 +164,26 @@ class SignatureDatabase {
   /// results before and after; the hot scoring loops just get faster.
   void freeze() { index_.freeze(); }
 
-  std::size_t size() const noexcept { return signatures_.size(); }
-  bool empty() const noexcept { return signatures_.empty(); }
+  std::size_t size() const {
+    const std::shared_lock<std::shared_mutex> lock(store_mutex_);
+    return signatures_.size();
+  }
+  bool empty() const {
+    const std::shared_lock<std::shared_mutex> lock(store_mutex_);
+    return signatures_.empty();
+  }
 
+  /// The store is append-only, so a returned reference stays valid under
+  /// concurrent ingest only until the next reallocation — callers that
+  /// hold one across their own ingest calls need external synchronization.
   const vsm::SparseVector& signature(std::size_t id) const {
+    const std::shared_lock<std::shared_mutex> lock(store_mutex_);
     return signatures_.at(id);
   }
-  const std::string& label(std::size_t id) const { return labels_.at(id); }
+  const std::string& label(std::size_t id) const {
+    const std::shared_lock<std::shared_mutex> lock(store_mutex_);
+    return labels_.at(id);
+  }
 
   std::vector<std::string> distinct_labels() const;
 
@@ -291,15 +314,28 @@ class SignatureDatabase {
  private:
   static std::size_t default_num_shards() noexcept;
 
+  /// Copy under the source's reader lock — the delegating public copy
+  /// constructor passes the held lock in so all members come from one
+  /// consistent snapshot.
+  SignatureDatabase(const SignatureDatabase& other,
+                    std::shared_lock<std::shared_mutex>&& store_lock);
+
   struct SyndromeCache {
     std::vector<Syndrome> syndromes;
     exec::ShardedIndex centroid_index;  // single shard: a handful of docs
   };
 
   /// Builds (or returns) the cached syndromes + centroid index. The lazy
-  /// build is mutex-guarded so concurrent const calls stay safe; once
-  /// built, the cache is immutable until the next (non-const) add().
-  const SyndromeCache& syndrome_cache() const;
+  /// build is mutex-guarded and the result is an immutable shared
+  /// snapshot: callers keep their shared_ptr pinned while ingest
+  /// invalidates the cache for the *next* classify, so a classify racing
+  /// add_batch reads a complete (possibly one-batch-stale) cache, never a
+  /// destroyed one.
+  std::shared_ptr<const SyndromeCache> syndrome_cache() const;
+
+  /// distinct_labels() body, for callers already holding store_mutex_
+  /// (shared_mutex acquisition is not recursive).
+  std::vector<std::string> distinct_labels_locked() const;
 
   std::vector<SearchHit> search_scan(const vsm::SparseVector& query,
                                      std::size_t k,
@@ -309,6 +345,13 @@ class SignatureDatabase {
                             SimilarityMetric metric,
                             const SyndromeCache& cache) const;
 
+  /// Guards the forward store (signatures_ + labels_) — the database-level
+  /// companion to the index's own reader/writer lock. Writers (add,
+  /// add_batch) hold it exclusively across the append; readers (label
+  /// fill-in after a query, brute-force scans, the syndrome build, save,
+  /// copies, accessors) hold the shared side. Lock order where nesting
+  /// occurs: syndrome_mutex_ → store_mutex_ → the index's lock.
+  mutable std::shared_mutex store_mutex_;
   std::vector<vsm::SparseVector> signatures_;
   std::vector<std::string> labels_;
   exec::ShardedIndex index_;
@@ -317,7 +360,7 @@ class SignatureDatabase {
   /// copied/moved — a fresh instance starts with nothing in flight.
   mutable std::atomic<std::size_t> inflight_{0};
   mutable std::mutex syndrome_mutex_;
-  mutable std::optional<SyndromeCache> syndrome_cache_;
+  mutable std::shared_ptr<const SyndromeCache> syndrome_cache_;
 };
 
 }  // namespace fmeter::core

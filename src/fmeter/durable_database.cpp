@@ -127,14 +127,14 @@ std::vector<std::byte> encode_manifest(const Manifest& m) {
   return out;
 }
 
+}  // namespace
+
 void write_manifest(io::Env& env, const std::string& dir, const Manifest& m) {
   const std::vector<std::byte> bytes = encode_manifest(m);
   io::AtomicFileWriter file(env, manifest_path(dir));
   file.file().append(bytes);
   file.commit();
 }
-
-}  // namespace
 
 std::string manifest_path(const std::string& dir) { return dir + "/MANIFEST"; }
 

@@ -95,6 +95,12 @@ struct Manifest {
 /// crash artifact).
 Manifest read_manifest(io::Env& env, const std::string& dir);
 
+/// Atomically swaps the directory's MANIFEST to `m` (write-temp → fsync →
+/// rename → fsync-dir) — the one commit point of every epoch transition.
+/// Shared with LiveDatabase, whose background re-freeze journals its epoch
+/// swap through the same manifest.
+void write_manifest(io::Env& env, const std::string& dir, const Manifest& m);
+
 class DurableDatabase {
  public:
   /// Opens `dir` (creating it if absent): loads the manifest's snapshot,

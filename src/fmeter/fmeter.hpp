@@ -19,6 +19,8 @@
 #include "fmeter/anomaly.hpp"      // IWYU pragma: export
 #include "fmeter/collector.hpp"    // IWYU pragma: export
 #include "fmeter/database.hpp"     // IWYU pragma: export
+#include "fmeter/durable_database.hpp"  // IWYU pragma: export
+#include "fmeter/live_database.hpp"  // IWYU pragma: export
 #include "fmeter/pipeline.hpp"     // IWYU pragma: export
 #include "fmeter/retrieval.hpp"    // IWYU pragma: export
 #include "fmeter/signature_gen.hpp"  // IWYU pragma: export

@@ -1,0 +1,584 @@
+#include "fmeter/live_database.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fmeter::core {
+namespace {
+
+struct LiveMetrics {
+  obs::Counter* batches;
+  obs::Counter* docs;
+  obs::Counter* refreezes;
+  obs::Counter* refreeze_failures;
+  obs::Histogram* publish_ns;
+  obs::Histogram* refreeze_ns;
+};
+
+const LiveMetrics& live_metrics() {
+  static const LiveMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    LiveMetrics out;
+    out.batches = &r.counter("fmeter_live_batches_total",
+                             "Batches sealed into live-archive segments");
+    out.docs = &r.counter("fmeter_live_docs_ingested_total",
+                          "Signatures ingested through the live archive");
+    out.refreezes = &r.counter("fmeter_live_refreezes_total",
+                               "Tail folds committed (epoch swaps)");
+    out.refreeze_failures =
+        &r.counter("fmeter_live_refreeze_failures_total",
+                   "Background re-freezes that died on an I/O error");
+    out.publish_ns = &r.histogram(
+        "fmeter_live_publish_ns",
+        "Wall time of the locked section of add_batch (journal + publish)");
+    out.refreeze_ns = &r.histogram("fmeter_live_refreeze_ns",
+                                   "Wall time of one committed re-freeze");
+    return out;
+  }();
+  return m;
+}
+
+std::uint64_t elapsed_ns(const std::chrono::steady_clock::time_point& start) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+
+/// The one shared ordering (index::ranks_better over global ids): score
+/// descending, ascending id as the tie-break. Merging per-part top-k lists
+/// with it reproduces the monolithic ranking exactly because per-document
+/// scores do not depend on which part holds the document.
+bool hit_ranks_better(const SearchHit& a, const SearchHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Snapshot
+
+std::size_t LiveDatabase::Snapshot::size() const noexcept {
+  return epoch_->total_docs;
+}
+
+std::uint64_t LiveDatabase::Snapshot::sequence() const noexcept {
+  return epoch_->sequence;
+}
+
+std::uint64_t LiveDatabase::Snapshot::manifest_epoch() const noexcept {
+  return epoch_->manifest_epoch;
+}
+
+std::size_t LiveDatabase::Snapshot::base_docs() const noexcept {
+  return epoch_->base_docs;
+}
+
+std::size_t LiveDatabase::Snapshot::tail_docs() const noexcept {
+  return epoch_->total_docs - epoch_->base_docs;
+}
+
+std::size_t LiveDatabase::Snapshot::num_segments() const noexcept {
+  return epoch_->segments.size();
+}
+
+const std::string& LiveDatabase::Snapshot::label(std::size_t id) const {
+  if (id < epoch_->base_docs) return epoch_->base->label(id);
+  // Segments are ordered by first_id; find the one whose range holds `id`.
+  const auto& segments = epoch_->segments;
+  auto it = std::upper_bound(
+      segments.begin(), segments.end(), id,
+      [](std::size_t value, const LiveSegment& seg) {
+        return value < seg.first_id;
+      });
+  if (it == segments.begin()) {
+    throw std::out_of_range("LiveDatabase: id out of range");
+  }
+  --it;
+  return it->db->label(id - it->first_id);
+}
+
+const vsm::SparseVector& LiveDatabase::Snapshot::signature(
+    std::size_t id) const {
+  if (id < epoch_->base_docs) return epoch_->base->signature(id);
+  const auto& segments = epoch_->segments;
+  auto it = std::upper_bound(
+      segments.begin(), segments.end(), id,
+      [](std::size_t value, const LiveSegment& seg) {
+        return value < seg.first_id;
+      });
+  if (it == segments.begin()) {
+    throw std::out_of_range("LiveDatabase: id out of range");
+  }
+  --it;
+  return it->db->signature(id - it->first_id);
+}
+
+std::vector<SearchHit> LiveDatabase::Snapshot::search(
+    const vsm::SparseVector& query, std::size_t k, SimilarityMetric metric,
+    PruningMode mode, QueryStats* stats, const SearchOptions& options) const {
+  auto results = search_batch({&query, 1}, k, metric, mode, stats, options);
+  return std::move(results.front());
+}
+
+std::vector<std::vector<SearchHit>> LiveDatabase::Snapshot::search_batch(
+    std::span<const vsm::SparseVector> queries, std::size_t k,
+    SimilarityMetric metric, PruningMode mode, QueryStats* stats,
+    const SearchOptions& options) const {
+  const LiveEpoch& epoch = *epoch_;
+  // The base probe carries the caller's full options — outcomes report the
+  // fate of the dominant probe; segment probes share the same deadline.
+  auto results = epoch.base->search_batch(queries, k, metric,
+                                          ScanPolicy::kIndexed, mode, stats,
+                                          options);
+  if (epoch.segments.empty() || k == 0) return results;
+
+  SearchOptions segment_options;
+  segment_options.deadline = options.deadline;
+  for (const LiveSegment& segment : epoch.segments) {
+    auto partial = segment.db->search_batch(queries, k, metric,
+                                            ScanPolicy::kIndexed, mode, stats,
+                                            segment_options);
+    for (std::size_t q = 0; q < partial.size(); ++q) {
+      for (SearchHit& hit : partial[q]) {
+        hit.id += segment.first_id;
+        results[q].push_back(std::move(hit));
+      }
+    }
+  }
+  // Each part contributed its own full top-k, so the global top-k is a
+  // subset of the union; one sort by the shared ordering recovers it.
+  for (auto& merged : results) {
+    std::sort(merged.begin(), merged.end(), hit_ranks_better);
+    if (merged.size() > k) merged.resize(k);
+  }
+  return results;
+}
+
+// ------------------------------------------------------------ LiveDatabase
+
+LiveDatabase::LiveDatabase(io::Env& env, std::string dir, LiveOptions options)
+    : env_(env), dir_(std::move(dir)), options_(options) {
+  open();
+}
+
+LiveDatabase::~LiveDatabase() {
+  wait_for_refreeze();
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  try {
+    if (journal_) journal_->close();
+  } catch (...) {
+    // Destructors do not throw; an unsynced tail under kNone was already
+    // lost by contract, and synced bytes survive a failed close.
+  }
+}
+
+void LiveDatabase::open() {
+  env_.create_dir(dir_);  // idempotent in every Env
+
+  auto base = std::make_shared<SignatureDatabase>(
+      options_.num_shards > 0 ? SignatureDatabase(options_.num_shards)
+                              : SignatureDatabase());
+  auto epoch = std::make_shared<LiveEpoch>();
+
+  Manifest manifest;
+  if (!env_.file_exists(manifest_path(dir_))) {
+    // Fresh directory — or a crash beat the very first manifest commit, in
+    // which case nothing was ever durable and fresh is the truth.
+    recovery_.created = true;
+    manifest.epoch = 0;
+    manifest.journal = journal_name(0);
+    if (options_.journaled) {
+      journal_ = std::make_unique<io::journal::Writer>(
+          env_, dir_ + "/" + manifest.journal, options_.sync_policy);
+    }
+    write_manifest(env_, dir_, manifest);
+  } else {
+    manifest = read_manifest(env_, dir_);
+    if (!manifest.snapshot.empty()) {
+      base->load(env_, dir_ + "/" + manifest.snapshot);
+      recovery_.snapshot_loaded = true;
+    }
+    // Replay: every intact journal record becomes one sealed segment, so
+    // the recovered epoch has exactly the shape the writer published —
+    // and searches bit-identical to a fresh bulk build of the same docs.
+    std::size_t next_id = base->size();
+    std::vector<LiveSegment> segments;
+    const std::string journal_path = dir_ + "/" + manifest.journal;
+    const auto replayed = io::journal::replay(
+        env_, journal_path,
+        [this, &next_id, &segments](std::span<const std::byte> payload) {
+          std::vector<vsm::SparseVector> signatures;
+          std::vector<std::string> labels;
+          decode_batch(payload, signatures, labels);
+          if (signatures.empty()) return;
+          auto record = std::make_shared<std::vector<std::byte>>(
+              payload.begin(), payload.end());
+          const std::size_t batch = signatures.size();
+          auto segment_db = std::make_shared<SignatureDatabase>(1);
+          segment_db->add_batch(std::move(signatures), std::move(labels));
+          LiveSegment segment;
+          segment.first_id = next_id;
+          segment.db = std::move(segment_db);
+          segment.journal_payload = std::move(record);
+          segments.push_back(std::move(segment));
+          next_id += batch;
+        },
+        /*repair=*/true);
+    recovery_.journal_records_replayed = replayed.records;
+    recovery_.journal_truncated = replayed.truncated_tail;
+    recovery_.journal_bytes_dropped = replayed.dropped_bytes;
+    recovery_.truncate_reason = replayed.truncate_reason;
+    if (options_.journaled) {
+      journal_ = std::make_unique<io::journal::Writer>(
+          env_, journal_path, options_.sync_policy);
+    }
+    epoch->segments = std::move(segments);
+    epoch->total_docs = next_id - base->size();  // tail; base added below
+  }
+
+  manifest_epoch_ = manifest.epoch;
+  recovery_.epoch = manifest.epoch;
+  base_shards_ = base->num_shards();
+  epoch->manifest_epoch = manifest.epoch;
+  epoch->base_docs = base->size();
+  epoch->total_docs += epoch->base_docs;
+  epoch->base = std::move(base);
+  publish(std::move(epoch));
+
+  // Sweep crash leftovers: everything the manifest does not name is
+  // garbage — torn atomic-commit temps, a superseded epoch's files.
+  bool removed_any = false;
+  for (const std::string& name : env_.list_dir(dir_)) {
+    if (name == "MANIFEST" || name == manifest.snapshot ||
+        name == manifest.journal) {
+      continue;
+    }
+    env_.remove_file(dir_ + "/" + name);
+    recovery_.removed_files.push_back(name);
+    removed_any = true;
+  }
+  if (removed_any) env_.sync_dir(dir_);
+}
+
+std::shared_ptr<const LiveDatabase::LiveEpoch> LiveDatabase::acquire() const {
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  return published_;
+}
+
+void LiveDatabase::publish(std::shared_ptr<const LiveEpoch> epoch) {
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  published_ = std::move(epoch);
+}
+
+void LiveDatabase::check_not_poisoned() const {
+  if (commit_poisoned_) {
+    throw DurabilityError(
+        "LiveDatabase: a re-freeze commit failed between the manifest swap "
+        "and the in-memory swap; disk and RAM may disagree about the "
+        "current journal. Reopen the directory to recover.");
+  }
+}
+
+LiveDatabase::Snapshot LiveDatabase::snapshot() const {
+  return Snapshot(acquire());
+}
+
+std::size_t LiveDatabase::add_batch(std::vector<vsm::SparseVector> signatures,
+                                    std::vector<std::string> labels) {
+  // Validate before journaling *and* before sealing, so every record that
+  // reaches the journal replays cleanly and a bad batch changes nothing.
+  SignatureDatabase::validate_batch(signatures, labels);
+  if (signatures.empty()) return acquire()->total_docs;
+
+  // Seal outside the writer lock: concurrent ingests encode and build
+  // their segments in parallel; only the journal append + pointer swap
+  // serialize.
+  std::shared_ptr<const std::vector<std::byte>> payload;
+  if (options_.journaled) {
+    payload = std::make_shared<const std::vector<std::byte>>(
+        encode_batch(signatures, labels));
+  }
+  const std::size_t batch = signatures.size();
+  auto segment_db = std::make_shared<SignatureDatabase>(1);
+  segment_db->add_batch(std::move(signatures), std::move(labels));
+
+  std::size_t first = 0;
+  {
+    const std::lock_guard<std::mutex> lock(writer_mutex_);
+    check_not_poisoned();
+    const auto start = std::chrono::steady_clock::now();
+    if (journal_) {
+      journal_->append(*payload);
+      if (options_.sync_each_epoch &&
+          options_.sync_policy == io::journal::SyncPolicy::kNone) {
+        // Group commit: one fsync per published epoch, the contract that
+        // bounds a crash to losing at most the current epoch.
+        journal_->sync();
+      }
+    }
+    const auto current = acquire();
+    auto next = std::make_shared<LiveEpoch>(*current);
+    next->sequence = current->sequence + 1;
+    first = current->total_docs;
+    LiveSegment segment;
+    segment.first_id = first;
+    segment.db = std::move(segment_db);
+    segment.journal_payload = std::move(payload);
+    next->segments.push_back(std::move(segment));
+    next->total_docs = current->total_docs + batch;
+    publish(std::move(next));
+    live_metrics().publish_ns->record(elapsed_ns(start));
+  }
+
+  live_metrics().batches->inc();
+  live_metrics().docs->inc(batch);
+  maybe_schedule_refreeze();
+  return first;
+}
+
+void LiveDatabase::sync() {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  check_not_poisoned();
+  if (journal_) journal_->sync();
+}
+
+void LiveDatabase::maybe_schedule_refreeze() {
+  if (!options_.background_refreeze) return;
+  const auto current = acquire();
+  const std::size_t tail = current->total_docs - current->base_docs;
+  if (tail < options_.refreeze_min_docs) return;
+  if (static_cast<double>(tail) <
+      options_.refreeze_fraction * static_cast<double>(current->base_docs)) {
+    return;
+  }
+  if (refreeze_inflight_.exchange(true)) return;  // single-flight
+  exec::TaskPool& pool =
+      options_.pool != nullptr ? *options_.pool : exec::TaskPool::shared();
+  try {
+    const std::lock_guard<std::mutex> lock(refreeze_mutex_);
+    refreeze_future_ = pool.submit([this] {
+      try {
+        do_refreeze();
+      } catch (const std::exception&) {
+        // Background folds fail soft: the published epoch is untouched,
+        // ingest continues, the next qualifying batch retries. Torn files
+        // are unreferenced and swept at the next open.
+        live_metrics().refreeze_failures->inc();
+      }
+      refreeze_inflight_.store(false);
+    });
+  } catch (...) {
+    refreeze_inflight_.store(false);
+    throw;
+  }
+}
+
+bool LiveDatabase::refreeze_now() {
+  if (refreeze_inflight_.exchange(true)) {
+    wait_for_refreeze();
+    return false;
+  }
+  bool committed = false;
+  try {
+    committed = do_refreeze();
+  } catch (...) {
+    refreeze_inflight_.store(false);
+    throw;
+  }
+  refreeze_inflight_.store(false);
+  return committed;
+}
+
+void LiveDatabase::wait_for_refreeze() {
+  std::future<void> pending;
+  {
+    const std::lock_guard<std::mutex> lock(refreeze_mutex_);
+    if (refreeze_future_.valid()) pending = std::move(refreeze_future_);
+  }
+  if (pending.valid()) pending.wait();
+}
+
+bool LiveDatabase::do_refreeze() {
+  const auto capture = acquire();
+  if (capture->segments.empty()) return false;
+  if (options_.after_refreeze_capture) options_.after_refreeze_capture();
+  const auto start = std::chrono::steady_clock::now();
+  const obs::StageSpan span(obs::Stage::kRefreeze);
+
+  // 1. Rebuild one fresh sharded base from the pinned capture — no locks
+  //    held, ingest keeps publishing segments meanwhile. The rebuild goes
+  //    through add_batch, so the new base is byte-for-byte the database a
+  //    bulk build of the same documents would produce.
+  std::vector<vsm::SparseVector> signatures;
+  std::vector<std::string> labels;
+  signatures.reserve(capture->total_docs);
+  labels.reserve(capture->total_docs);
+  const SignatureDatabase& old_base = *capture->base;
+  for (std::size_t i = 0; i < old_base.size(); ++i) {
+    signatures.push_back(old_base.signature(i));
+    labels.push_back(old_base.label(i));
+  }
+  for (const LiveSegment& segment : capture->segments) {
+    for (std::size_t i = 0; i < segment.db->size(); ++i) {
+      signatures.push_back(segment.db->signature(i));
+      labels.push_back(segment.db->label(i));
+    }
+  }
+  auto fresh = std::make_shared<SignatureDatabase>(base_shards_);
+  fresh->add_batch(std::move(signatures), std::move(labels));
+
+  // 2. Write the new base as the next epoch's snapshot — still no locks;
+  //    the file is atomic-committed and unreferenced until the manifest
+  //    swap, so a crash (or failure) here leaves garbage for the sweep,
+  //    never a torn archive.
+  const std::uint64_t next_epoch = manifest_epoch_ + 1;
+  const std::string snapshot_file = snapshot_name(next_epoch);
+  fresh->save(env_, dir_ + "/" + snapshot_file);
+
+  // 3. The commit section, under the writer lock (ingest pauses for the
+  //    duration of a journal rotation + manifest swap, not the rebuild).
+  {
+    const std::lock_guard<std::mutex> lock(writer_mutex_);
+    check_not_poisoned();
+    const auto current = acquire();
+
+    // Segments sealed after the capture survive the fold. Their journal
+    // records move to the fresh journal *before* the manifest swap — the
+    // old journal dies with the old epoch, and a synced batch must not
+    // lose its durable copy in the swap.
+    std::vector<LiveSegment> survivors;
+    for (const LiveSegment& segment : current->segments) {
+      if (segment.first_id >= capture->total_docs) {
+        survivors.push_back(segment);
+      }
+    }
+    const std::string journal_file = journal_name(next_epoch);
+    std::unique_ptr<io::journal::Writer> fresh_journal;
+    if (options_.journaled) {
+      fresh_journal = std::make_unique<io::journal::Writer>(
+          env_, dir_ + "/" + journal_file, options_.sync_policy);
+      for (const LiveSegment& segment : survivors) {
+        fresh_journal->append(*segment.journal_payload);
+      }
+      fresh_journal->sync();
+    }
+
+    // The manifest swap is the one commit point. Failing *during* it is
+    // ambiguous (the rename may or may not have landed), so the archive
+    // is poisoned until RAM provably matches disk again — add_batch fails
+    // loudly instead of appending to a journal the manifest may no longer
+    // reference.
+    commit_poisoned_ = true;
+    Manifest next;
+    next.epoch = next_epoch;
+    next.snapshot = snapshot_file;
+    next.journal = journal_file;
+    write_manifest(env_, dir_, next);
+
+    const std::uint64_t old_epoch = manifest_epoch_;
+    auto old_journal = std::move(journal_);
+    journal_ = std::move(fresh_journal);
+    manifest_epoch_ = next_epoch;
+
+    auto published = std::make_shared<LiveEpoch>();
+    published->sequence = current->sequence + 1;
+    published->manifest_epoch = next_epoch;
+    published->base = fresh;
+    published->base_docs = capture->total_docs;
+    published->segments = std::move(survivors);
+    published->total_docs = current->total_docs;
+    publish(std::move(published));
+    commit_poisoned_ = false;
+
+    // The new epoch is in force; retire the old one. Failures here leave
+    // stale-but-unreferenced files, swept at the next open — not worth
+    // failing a committed fold over.
+    try {
+      if (old_journal) old_journal->close();
+      const std::string old_journal_path =
+          dir_ + "/" + journal_name(old_epoch);
+      const std::string old_snapshot_path =
+          dir_ + "/" + snapshot_name(old_epoch);
+      if (env_.file_exists(old_journal_path)) {
+        env_.remove_file(old_journal_path);
+      }
+      if (env_.file_exists(old_snapshot_path)) {
+        env_.remove_file(old_snapshot_path);
+      }
+      env_.sync_dir(dir_);
+    } catch (const io::IoError&) {
+    }
+  }
+
+  refreezes_.fetch_add(1, std::memory_order_relaxed);
+  live_metrics().refreezes->inc();
+  live_metrics().refreeze_ns->record(elapsed_ns(start));
+  return true;
+}
+
+std::vector<SearchHit> LiveDatabase::search(const vsm::SparseVector& query,
+                                            std::size_t k,
+                                            SimilarityMetric metric,
+                                            PruningMode mode,
+                                            QueryStats* stats,
+                                            const SearchOptions& options)
+    const {
+  return snapshot().search(query, k, metric, mode, stats, options);
+}
+
+std::vector<std::vector<SearchHit>> LiveDatabase::search_batch(
+    std::span<const vsm::SparseVector> queries, std::size_t k,
+    SimilarityMetric metric, PruningMode mode, QueryStats* stats,
+    const SearchOptions& options) const {
+  return snapshot().search_batch(queries, k, metric, mode, stats, options);
+}
+
+std::uint64_t LiveDatabase::manifest_epoch() const {
+  return acquire()->manifest_epoch;
+}
+
+LiveStats LiveDatabase::stats() const {
+  const auto epoch = acquire();
+  LiveStats out;
+  out.published_sequence = epoch->sequence;
+  out.manifest_epoch = epoch->manifest_epoch;
+  out.refreezes = refreezes();
+  out.total_docs = epoch->total_docs;
+  out.base_docs = epoch->base_docs;
+  out.tail_docs = epoch->total_docs - epoch->base_docs;
+  out.segments = epoch->segments.size();
+  out.base_shards = epoch->base->index().shard_stats();
+  out.memory_bytes = epoch->base->index().memory_bytes();
+  for (const LiveSegment& segment : epoch->segments) {
+    out.memory_bytes += segment.db->index().memory_bytes();
+  }
+  return out;
+}
+
+void LiveDatabase::publish_gauges() const {
+  const LiveStats s = stats();
+  obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+  r.gauge("fmeter_live_published_sequence",
+          "Publish sequence of the current epoch")
+      .set(static_cast<double>(s.published_sequence));
+  r.gauge("fmeter_live_manifest_epoch", "Durable manifest epoch")
+      .set(static_cast<double>(s.manifest_epoch));
+  r.gauge("fmeter_live_total_docs", "Signatures visible to readers")
+      .set(static_cast<double>(s.total_docs));
+  r.gauge("fmeter_live_base_docs", "Signatures in the frozen sharded base")
+      .set(static_cast<double>(s.base_docs));
+  r.gauge("fmeter_live_tail_docs", "Signatures in sealed tail segments")
+      .set(static_cast<double>(s.tail_docs));
+  r.gauge("fmeter_live_segments", "Sealed tail segments in the epoch")
+      .set(static_cast<double>(s.segments));
+  r.gauge("fmeter_live_memory_bytes", "Index footprint of the epoch")
+      .set(static_cast<double>(s.memory_bytes));
+}
+
+}  // namespace fmeter::core

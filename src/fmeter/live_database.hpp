@@ -1,0 +1,284 @@
+// Live signature archive: epoch/RCU-style streaming ingest over the
+// durable substrate (ISSUE 10 — the ROADMAP's "live archive" item).
+//
+// The paper's whole point is *continuous* monitoring, but SignatureDatabase
+// ingest is batch-oriented: add() lands in a mutable tail that erodes the
+// frozen-arena pruning wins, and freeze() is a stop-the-world rebuild.
+// LiveDatabase makes ingest and query concurrent without either blocking
+// the other for longer than a pointer swap:
+//
+//   * Readers pin an immutable *published epoch* — a shared_ptr to a
+//     frozen base database plus a list of small frozen tail segments —
+//     and serve every query from that pinned state (cf. LevelDB's
+//     version-set swap and Lucene's near-real-time segment refresh).
+//     Nothing a reader can see is ever mutated; a pinned snapshot stays
+//     valid for as long as the caller holds it, across any number of
+//     ingests and re-freezes.
+//   * Writers seal each add_batch() into its own immutable single-shard
+//     segment (built and frozen *outside* the writer lock), journal it,
+//     and publish a new epoch that shares the base and all prior segments
+//     — publish cost is O(segments), independent of archive size.
+//   * A background TaskPool job *re-freezes* the archive when the tail
+//     grows past a fraction of the base: it rebuilds one fresh sharded
+//     base from a pinned epoch (concurrent ingest keeps landing in new
+//     segments meanwhile), writes it as a snapshot, and commits the swap
+//     through the same MANIFEST machinery as DurableDatabase — snapshot
+//     file + fresh journal carrying any segments sealed after the capture,
+//     then the atomic manifest swap as the one commit point. A crash at
+//     any instant recovers to either the old epoch's files or the new
+//     ones, never a torn mix (enforced by the crash-matrix test).
+//
+// Durability contract (same vocabulary as DurableDatabase):
+//   * under SyncPolicy::kEachRecord, or kNone with sync_each_epoch (the
+//     default), a batch is durable when add_batch() returns;
+//   * under kNone with sync_each_epoch off ("async" ingest), a crash loses
+//     at most the epochs published since the last sync()/re-freeze — the
+//     journal's group-commit contract, chosen per LiveOptions;
+//   * recovery replays the manifest's snapshot + journal and always yields
+//     a database whose search results are bit-identical to a fresh bulk
+//     build of exactly the recovered documents.
+//
+// Search equivalence: per-document scores are pure functions of
+// (query, document), so probing the base and each segment independently
+// and merging by the one shared ordering (index::ranks_better — score
+// desc, global id asc) returns bit-identical hits to a monolithic index
+// over the same documents, in every pruning mode.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exec/task_pool.hpp"
+#include "fmeter/database.hpp"
+#include "fmeter/durable_database.hpp"
+#include "io/env.hpp"
+#include "io/journal.hpp"
+
+namespace fmeter::core {
+
+struct LiveOptions {
+  /// Shard count of the *base* database (0 = SignatureDatabase default).
+  /// Opening an existing directory adopts the snapshot's shard count.
+  std::size_t num_shards = 0;
+  /// false = no journal: ingest mutates only RAM and durability comes
+  /// solely from re-freeze snapshots. The bench's no-durability baseline.
+  bool journaled = true;
+  /// Journal sync policy (see io/journal.hpp).
+  io::journal::SyncPolicy sync_policy = io::journal::SyncPolicy::kNone;
+  /// Under kNone, fsync the journal once per published epoch (i.e. per
+  /// add_batch — group commit). Off = pure async: sync only at re-freeze
+  /// commits and explicit sync() calls.
+  bool sync_each_epoch = true;
+  /// Re-freeze triggers when tail docs exceed both this fraction of the
+  /// base and refreeze_min_docs. The fraction bounds steady-state tail
+  /// overhead; the floor keeps small archives from folding constantly.
+  double refreeze_fraction = 0.125;
+  std::size_t refreeze_min_docs = 4096;
+  /// Schedule re-freezes automatically on the pool after qualifying
+  /// ingests. Off = fold only on explicit refreeze_now() calls (tests,
+  /// crash matrix).
+  bool background_refreeze = true;
+  /// Pool for background re-freezes (TaskPool::shared() when null).
+  exec::TaskPool* pool = nullptr;
+  /// Deterministic test seam, in the spirit of RunOptions::inject_cell_fault:
+  /// when set, invoked by a re-freeze right after it pins its capture and
+  /// before it rebuilds — the one place the crash matrix and the
+  /// survivor-segment tests need to seal a batch "concurrently" without
+  /// nondeterministic threads. Runs on the folding thread with no locks
+  /// held, so it may call add_batch. Null in production.
+  std::function<void()> after_refreeze_capture{};
+};
+
+/// Point-in-time shape of the live archive, read entirely from one pinned
+/// epoch — safe concurrent with ingest and re-freeze by construction.
+struct LiveStats {
+  std::uint64_t published_sequence = 0;  ///< bumps on every publish
+  std::uint64_t manifest_epoch = 0;      ///< durable epoch (re-freeze commits)
+  std::uint64_t refreezes = 0;           ///< folds committed this lifetime
+  std::size_t total_docs = 0;
+  std::size_t base_docs = 0;             ///< docs in the frozen sharded base
+  std::size_t tail_docs = 0;             ///< docs in sealed tail segments
+  std::size_t segments = 0;
+  std::size_t memory_bytes = 0;          ///< base + segment index footprint
+  std::vector<exec::ShardStats> base_shards;
+};
+
+class LiveDatabase {
+  struct LiveEpoch;
+
+ public:
+  /// A pinned, immutable view of one published epoch. Copyable, cheap to
+  /// acquire (one mutex-guarded shared_ptr copy), valid for as long as the
+  /// caller holds it regardless of concurrent ingest or re-freeze. All
+  /// search paths mirror SignatureDatabase's contract (bit-identical hits
+  /// in every mode, ascending-id tie-break, k == 0 / empty query → no
+  /// hits).
+  class Snapshot {
+   public:
+    std::size_t size() const noexcept;
+    bool empty() const noexcept { return size() == 0; }
+
+    const std::string& label(std::size_t id) const;
+    const vsm::SparseVector& signature(std::size_t id) const;
+
+    /// Top-k over every document in this epoch (base + segments), merged
+    /// by the shared ordering — bit-identical to SignatureDatabase::search
+    /// over the same documents. `options.deadline` bounds the probes
+    /// cooperatively; `options.outcomes` reports per-query outcomes from
+    /// the base probe (segment probes are bounded by the same deadline).
+    std::vector<SearchHit> search(const vsm::SparseVector& query,
+                                  std::size_t k,
+                                  SimilarityMetric metric =
+                                      SimilarityMetric::kCosine,
+                                  PruningMode mode = PruningMode::kAuto,
+                                  QueryStats* stats = nullptr,
+                                  const SearchOptions& options = {}) const;
+
+    std::vector<std::vector<SearchHit>> search_batch(
+        std::span<const vsm::SparseVector> queries, std::size_t k,
+        SimilarityMetric metric = SimilarityMetric::kCosine,
+        PruningMode mode = PruningMode::kAuto, QueryStats* stats = nullptr,
+        const SearchOptions& options = {}) const;
+
+    std::uint64_t sequence() const noexcept;
+    std::uint64_t manifest_epoch() const noexcept;
+    std::size_t base_docs() const noexcept;
+    std::size_t tail_docs() const noexcept;
+    std::size_t num_segments() const noexcept;
+
+   private:
+    friend class LiveDatabase;
+    explicit Snapshot(std::shared_ptr<const LiveEpoch> epoch)
+        : epoch_(std::move(epoch)) {}
+    std::shared_ptr<const LiveEpoch> epoch_;
+  };
+
+  /// Opens `dir` (creating it if absent): loads the manifest's snapshot as
+  /// the base epoch, replays the journal — each intact record becomes one
+  /// sealed segment, a torn tail is truncated — sweeps unreferenced files,
+  /// and opens the journal for appending. Everything goes through `env` so
+  /// the crash-matrix test can drive the lifecycle on FaultInjectingEnv.
+  LiveDatabase(io::Env& env, std::string dir, LiveOptions options = {});
+  ~LiveDatabase();
+
+  LiveDatabase(const LiveDatabase&) = delete;
+  LiveDatabase& operator=(const LiveDatabase&) = delete;
+
+  /// Streaming ingest: validate → seal the batch into a frozen segment
+  /// (outside the writer lock — concurrent ingests build concurrently) →
+  /// journal append (+ per-epoch sync) → publish the new epoch. Returns
+  /// the id of the first inserted signature. Thread-safe against
+  /// concurrent add_batch/sync/refreeze/readers. May schedule a background
+  /// re-freeze; throws std::invalid_argument on malformed input with the
+  /// archive unchanged (strong guarantee).
+  std::size_t add_batch(std::vector<vsm::SparseVector> signatures,
+                        std::vector<std::string> labels);
+
+  /// Explicit journal fsync — the pure-async caller's commit point.
+  void sync();
+
+  /// Pins the currently published epoch.
+  Snapshot snapshot() const;
+
+  /// Convenience: search on a freshly pinned snapshot.
+  std::vector<SearchHit> search(const vsm::SparseVector& query, std::size_t k,
+                                SimilarityMetric metric =
+                                    SimilarityMetric::kCosine,
+                                PruningMode mode = PruningMode::kAuto,
+                                QueryStats* stats = nullptr,
+                                const SearchOptions& options = {}) const;
+  std::vector<std::vector<SearchHit>> search_batch(
+      std::span<const vsm::SparseVector> queries, std::size_t k,
+      SimilarityMetric metric = SimilarityMetric::kCosine,
+      PruningMode mode = PruningMode::kAuto, QueryStats* stats = nullptr,
+      const SearchOptions& options = {}) const;
+
+  /// Synchronous re-freeze: folds the pinned epoch's segments into a fresh
+  /// sharded base and commits the swap durably. Returns true when a fold
+  /// committed, false when there was nothing to fold or another re-freeze
+  /// was already in flight (the call then waits for it). Throws on I/O
+  /// failure — the published epoch is unchanged and the directory recovers
+  /// to old-or-new on reopen.
+  bool refreeze_now();
+
+  /// Blocks until any scheduled background re-freeze has finished.
+  void wait_for_refreeze();
+
+  std::size_t size() const noexcept { return snapshot().size(); }
+  LiveStats stats() const;
+  /// Publishes epoch/tail/segment gauges into the global registry — reads
+  /// only a pinned epoch, so it is always safe to call from a scrape
+  /// thread.
+  void publish_gauges() const;
+
+  const RecoveryInfo& recovery() const noexcept { return recovery_; }
+  const std::string& dir() const noexcept { return dir_; }
+  std::uint64_t manifest_epoch() const;
+  std::uint64_t refreezes() const noexcept {
+    return refreezes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One sealed, immutable tail segment: the batch as a tiny frozen
+  /// single-shard database plus its encoded journal record, kept so a
+  /// re-freeze can re-journal segments sealed after its capture without
+  /// re-encoding (byte-identical records by construction).
+  struct LiveSegment {
+    std::size_t first_id = 0;
+    std::shared_ptr<const SignatureDatabase> db;
+    std::shared_ptr<const std::vector<std::byte>> journal_payload;
+  };
+
+  struct LiveEpoch {
+    std::uint64_t sequence = 0;
+    std::uint64_t manifest_epoch = 0;
+    std::shared_ptr<const SignatureDatabase> base;
+    std::size_t base_docs = 0;
+    std::vector<LiveSegment> segments;
+    std::size_t total_docs = 0;
+  };
+
+  void open();
+  std::shared_ptr<const LiveEpoch> acquire() const;
+  void publish(std::shared_ptr<const LiveEpoch> epoch);
+  void maybe_schedule_refreeze();
+  /// The fold itself; single-flight (guarded by refreeze_inflight_).
+  bool do_refreeze();
+  /// Throws DurabilityError when a previous commit attempt died between
+  /// the manifest swap and the in-memory state swap (disk and RAM may
+  /// disagree about which journal is current — appending further batches
+  /// could silently lose them; reopen the directory instead).
+  void check_not_poisoned() const;
+
+  io::Env& env_;
+  std::string dir_;
+  LiveOptions options_;
+  std::size_t base_shards_ = 1;  ///< adopted from the snapshot on open
+
+  /// Guards only the published-epoch pointer; held for a pointer copy.
+  mutable std::mutex publish_mutex_;
+  std::shared_ptr<const LiveEpoch> published_;
+
+  /// Serializes add_batch / sync / the re-freeze commit section.
+  std::mutex writer_mutex_;
+  std::unique_ptr<io::journal::Writer> journal_;
+  std::uint64_t manifest_epoch_ = 0;
+  bool commit_poisoned_ = false;
+
+  std::atomic<bool> refreeze_inflight_{false};
+  std::mutex refreeze_mutex_;  ///< guards refreeze_future_
+  std::future<void> refreeze_future_;
+  std::atomic<std::uint64_t> refreezes_{0};
+
+  RecoveryInfo recovery_;
+};
+
+}  // namespace fmeter::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace fmeter::core {
 
@@ -36,6 +37,20 @@ ml::Dataset binary_dataset(const vsm::Corpus& corpus,
       out.push_back({vectors[i], -1});
     }
   }
+  return out;
+}
+
+LivePipeline::LivePipeline(SignatureCollector& collector,
+                           vsm::TfIdfModel model, LiveDatabase& archive)
+    : collector_(collector), model_(std::move(model)), archive_(archive) {}
+
+LivePipeline::IngestedInterval LivePipeline::ingest_interval(
+    const std::string& label, double duration_s) {
+  const auto doc = collector_.roll_interval(label, duration_s);
+  IngestedInterval out;
+  out.signature = model_.transform(doc);
+  out.id = archive_.add_batch({out.signature}, {label});
+  ++intervals_;
   return out;
 }
 

@@ -1,12 +1,16 @@
 // Corpus-to-dataset plumbing shared by the evaluation benches, the examples
 // and the tests: raw count documents -> tf-idf signatures -> labeled ML
-// datasets in the paper's +1/-1 convention.
+// datasets in the paper's +1/-1 convention — plus the streaming twin that
+// wires the tracer's counters into the live archive (ISSUE 10).
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "fmeter/collector.hpp"
+#include "fmeter/live_database.hpp"
 #include "ml/dataset.hpp"
 #include "vsm/document.hpp"
 #include "vsm/sparse_vector.hpp"
@@ -34,5 +38,41 @@ ml::Dataset binary_dataset(const vsm::Corpus& corpus,
 ml::Dataset multiclass_dataset(const vsm::Corpus& corpus,
                                std::span<const vsm::SparseVector> vectors,
                                std::span<const std::string> labels);
+
+/// The always-on half of the plumbing: tracer counters -> tf-idf ->
+/// live archive, one interval at a time. The collector diffs the kernel's
+/// debugfs counters (paper §3's logging daemon), the model — fitted once
+/// at bootstrap — keeps unseen intervals in the same vector space as the
+/// bootstrap corpus, and every interval lands in the LiveDatabase, which
+/// journals it and publishes a new epoch without blocking readers.
+class LivePipeline {
+ public:
+  /// Borrows `collector` and `archive` (both must outlive the pipeline);
+  /// copies the fitted model. The collector must have an open interval
+  /// (begin_interval) before the first ingest_interval call.
+  LivePipeline(SignatureCollector& collector, vsm::TfIdfModel model,
+               LiveDatabase& archive);
+
+  struct IngestedInterval {
+    std::size_t id = 0;            ///< archive id the interval landed at
+    vsm::SparseVector signature;   ///< the transformed interval, for alerts
+  };
+
+  /// Rolls the collector's interval, transforms the diffed counts through
+  /// the bootstrap model and appends the signature to the archive under
+  /// `label`. Durable per the archive's sync policy when this returns.
+  IngestedInterval ingest_interval(const std::string& label,
+                                   double duration_s);
+
+  const vsm::TfIdfModel& model() const noexcept { return model_; }
+  LiveDatabase& archive() noexcept { return archive_; }
+  std::size_t intervals_ingested() const noexcept { return intervals_; }
+
+ private:
+  SignatureCollector& collector_;
+  vsm::TfIdfModel model_;
+  LiveDatabase& archive_;
+  std::size_t intervals_ = 0;
+};
 
 }  // namespace fmeter::core

@@ -20,6 +20,8 @@ const char* stage_name(Stage stage) noexcept {
       return "snapshot_save";
     case Stage::kSnapshotLoad:
       return "snapshot_load";
+    case Stage::kRefreeze:
+      return "refreeze";
     case Stage::kStageCount_:
       break;
   }

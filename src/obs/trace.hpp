@@ -32,6 +32,7 @@ enum class Stage : int {
   kIngest,            ///< add_batch document ingestion
   kSnapshotSave,      ///< snapshot write + finish
   kSnapshotLoad,      ///< snapshot open + validate
+  kRefreeze,          ///< live-archive background tail fold + epoch swap
   kStageCount_,       ///< sentinel — not a stage
 };
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fmeter/durable_database.hpp"
+#include "fmeter/live_database.hpp"
 #include "io/env.hpp"
 #include "util/rng.hpp"
 #include "vsm/sparse_vector.hpp"
@@ -385,6 +386,152 @@ TEST(DurableDatabase, RecoveryItselfSurvivesCrashes) {
     EXPECT_EQ(recovered.recovery().journal_records_replayed, 2u) << context;
     expect_equivalent(recovered.db(), build_reference(batches, 2, 2), context);
   }
+}
+
+// ---------------------------------------------------------------------------
+// The live epoch-swap crash matrix (ISSUE 10)
+// ---------------------------------------------------------------------------
+
+/// Bit-identical results between a recovered live archive and a fresh bulk
+/// build — the live twin of expect_equivalent.
+void expect_live_equivalent(const LiveDatabase::Snapshot& got,
+                            const SignatureDatabase& want,
+                            const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t id = 0; id < want.size(); ++id) {
+    ASSERT_EQ(got.label(id), want.label(id)) << context << " id " << id;
+    ASSERT_TRUE(got.signature(id) == want.signature(id))
+        << context << " id " << id;
+  }
+  util::Rng rng(0x9e17);
+  for (int q = 0; q < 4; ++q) {
+    const auto query = random_sparse(rng, 64, 10);
+    const auto got_hits = got.search(query, 5);
+    const auto want_hits = want.search(query, 5);
+    ASSERT_EQ(got_hits.size(), want_hits.size()) << context << " q " << q;
+    for (std::size_t r = 0; r < want_hits.size(); ++r) {
+      EXPECT_EQ(got_hits[r].id, want_hits[r].id) << context << " rank " << r;
+      EXPECT_EQ(got_hits[r].score, want_hits[r].score)
+          << context << " rank " << r;
+    }
+  }
+}
+
+std::size_t live_recovered_prefix(const LiveDatabase::Snapshot& got,
+                                  const std::vector<Batch>& batches,
+                                  const std::string& context) {
+  const std::size_t docs_each = batches.front().labels.size();
+  EXPECT_EQ(got.size() % docs_each, 0u)
+      << context << ": a torn batch was half-applied";
+  const std::size_t prefix = got.size() / docs_each;
+  EXPECT_LE(prefix, batches.size()) << context;
+  std::size_t id = 0;
+  for (std::size_t b = 0; b < prefix; ++b) {
+    for (std::size_t d = 0; d < docs_each; ++d, ++id) {
+      EXPECT_EQ(got.label(id), batches[b].labels[d]) << context;
+    }
+  }
+  return prefix;
+}
+
+/// The live lifecycle whose every fault point the matrix kills: open
+/// fresh, two committed batches, a re-freeze whose capture is raced by a
+/// batch sealed mid-fold (the survivor re-journal path), one more batch,
+/// and a second re-freeze. `committed` is updated as each add_batch
+/// returns — under kNone + sync_each_epoch that return IS the commit
+/// point — so the caller knows the durability floor even when a fault
+/// unwinds the lifecycle.
+void run_live_lifecycle(io::Env& env, const std::vector<Batch>& batches,
+                        std::size_t& committed) {
+  LiveOptions options;
+  options.num_shards = 2;
+  options.background_refreeze = false;
+  LiveDatabase* handle = nullptr;
+  bool sealed_mid_fold = false;
+  options.after_refreeze_capture = [&] {
+    if (sealed_mid_fold) return;
+    sealed_mid_fold = true;
+    handle->add_batch(batches[2].signatures, batches[2].labels);
+    ++committed;
+  };
+  LiveDatabase db(env, "live", options);
+  handle = &db;
+  for (std::size_t b = 0; b < 2; ++b) {
+    db.add_batch(batches[b].signatures, batches[b].labels);
+    ++committed;
+  }
+  db.refreeze_now();  // folds 0+1, re-journals the mid-fold batch 2
+  db.add_batch(batches[3].signatures, batches[3].labels);
+  ++committed;
+  db.refreeze_now();  // folds 2+3
+}
+
+TEST(LiveDatabase, EpochSwapCrashMatrixEveryFaultPointBothCrashModes) {
+  const auto batches = make_batches(4, 3);
+
+  FaultInjectingEnv counter;
+  std::size_t clean_committed = 0;
+  run_live_lifecycle(counter, batches, clean_committed);
+  ASSERT_EQ(clean_committed, 4u);
+  const std::uint64_t total_ops = counter.ops_seen();
+  ASSERT_GT(total_ops, 20u) << "lifecycle too small to be a real matrix";
+
+  std::size_t faulted_runs = 0;
+  std::size_t tolerated_runs = 0;
+  for (std::uint64_t n = 0; n < total_ops; ++n) {
+    for (const auto mode : {InMemoryEnv::CrashMode::kDropUnsynced,
+                            InMemoryEnv::CrashMode::kPersistEverything}) {
+      const std::string context = "live op " + std::to_string(n) +
+                                  (mode == InMemoryEnv::CrashMode::kDropUnsynced
+                                       ? " drop-unsynced"
+                                       : " persist-everything");
+      FaultInjectingEnv env;
+      env.set_tear(FaultInjectingEnv::TearMode::kHalf);
+      env.fail_at_op(n);
+      std::size_t committed = 0;
+      try {
+        run_live_lifecycle(env, batches, committed);
+        // A fault in the post-commit retirement section (deleting the old
+        // epoch's files) is deliberately tolerated: the swap has already
+        // committed, so ingest must not fail over a leftover file the
+        // next open sweeps anyway. Every other fault point must throw.
+        ++tolerated_runs;
+        EXPECT_EQ(committed, 4u) << context << ": swallowed pre-commit fault";
+      } catch (const IoError&) {
+        ++faulted_runs;
+      } catch (const index::snapshot::SnapshotError&) {
+        ++faulted_runs;  // re-freeze wraps snapshot-write IoErrors
+      } catch (const DurabilityError&) {
+        ++faulted_runs;  // poisoned commit: manifest swap died ambiguously
+      }
+      env.disarm();
+      env.crash(mode);
+
+      // ALWAYS openable: recovery lands on whatever epoch the manifest
+      // names — the old one or the new one, never a torn mix.
+      LiveOptions reopen_options;
+      reopen_options.num_shards = 2;
+      reopen_options.background_refreeze = false;
+      LiveDatabase recovered(env, "live", reopen_options);
+      EXPECT_LE(recovered.recovery().epoch, 2u) << context;
+
+      // Committed batches survive, contents are a whole-batch prefix, and
+      // the recovered archive is bit-identical to a fresh bulk build.
+      const std::size_t prefix =
+          live_recovered_prefix(recovered.snapshot(), batches, context);
+      EXPECT_GE(prefix, committed) << context << ": committed batch lost";
+      expect_live_equivalent(recovered.snapshot(),
+                             build_reference(batches, prefix, 2), context);
+
+      // And the recovered archive still ingests + re-freezes.
+      recovered.add_batch(batches[0].signatures, batches[0].labels);
+      recovered.refreeze_now();
+      EXPECT_EQ(recovered.size(), (prefix + 1) * 3) << context;
+    }
+  }
+  EXPECT_EQ(faulted_runs + tolerated_runs, 2 * total_ops);
+  EXPECT_GT(faulted_runs, tolerated_runs)
+      << "most fault points must be pre-commit";
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,468 @@
+// LiveDatabase battery (fmeter/live_database.hpp) — the live-archive
+// contract under test:
+//
+//   * streaming ingest answers bit-identically to a fresh bulk build of
+//     the same documents, before and after any number of re-freezes;
+//   * a pinned Snapshot stays valid and answers from its own epoch no
+//     matter how much ingest / re-freezing happens after the pin;
+//   * a re-freeze folds the tail into the base, bumps the manifest epoch,
+//     and keeps segments sealed after its capture (the survivor path);
+//   * reopening a directory replays snapshot + journal back to the same
+//     archive.
+//
+// The concurrency tests at the bottom run under the TSan CI job and are
+// the regression tests for the stats-scrape-vs-ingest race and the
+// freeze-during-query race (ISSUE 10 satellites): stats(), shard_stats(),
+// memory_bytes() and publish_gauges() must be safe against concurrent
+// add_batch/freeze, and queries must be safe against concurrent re-freeze.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/task_pool.hpp"
+#include "fmeter/database.hpp"
+#include "fmeter/live_database.hpp"
+#include "io/env.hpp"
+#include "util/rng.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace fmeter::core {
+namespace {
+
+using io::InMemoryEnv;
+
+vsm::SparseVector random_sparse(util::Rng& rng, std::uint32_t dimension,
+                                std::size_t max_nnz) {
+  std::vector<vsm::SparseVector::Entry> entries;
+  const std::size_t nnz = 1 + rng.below(max_nnz);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    entries.emplace_back(
+        static_cast<vsm::SparseVector::Index>(rng.below(dimension)),
+        rng.uniform(0.05, 1.0));
+  }
+  return vsm::SparseVector::from_entries(std::move(entries));
+}
+
+struct Batch {
+  std::vector<vsm::SparseVector> signatures;
+  std::vector<std::string> labels;
+};
+
+std::vector<Batch> make_batches(std::size_t count, std::size_t docs_each,
+                                std::uint64_t seed = 0x11fe) {
+  util::Rng rng(seed);
+  std::vector<Batch> batches(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    for (std::size_t d = 0; d < docs_each; ++d) {
+      batches[b].signatures.push_back(random_sparse(rng, 64, 10));
+      batches[b].labels.push_back("batch-" + std::to_string(b) + "-doc-" +
+                                  std::to_string(d));
+    }
+  }
+  return batches;
+}
+
+SignatureDatabase build_reference(const std::vector<Batch>& batches,
+                                  std::size_t prefix, std::size_t shards) {
+  SignatureDatabase db(shards);
+  for (std::size_t b = 0; b < prefix; ++b) {
+    db.add_batch(batches[b].signatures, batches[b].labels);
+  }
+  return db;
+}
+
+/// Bit-identical results between a pinned live snapshot and a fresh bulk
+/// build of the documents it should hold — across both pruning modes and
+/// both metrics, since the segment-merge path must preserve every mode's
+/// guarantee, not just the default's.
+void expect_live_equivalent(const LiveDatabase::Snapshot& got,
+                            const SignatureDatabase& want,
+                            const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t id = 0; id < want.size(); ++id) {
+    ASSERT_EQ(got.label(id), want.label(id)) << context << " id " << id;
+    ASSERT_TRUE(got.signature(id) == want.signature(id))
+        << context << " id " << id;
+  }
+  util::Rng rng(0x9e17);
+  for (int q = 0; q < 4; ++q) {
+    const auto query = random_sparse(rng, 64, 10);
+    for (const auto metric :
+         {SimilarityMetric::kCosine, SimilarityMetric::kEuclidean}) {
+      for (const auto mode : {index::PruningMode::kExact,
+                              index::PruningMode::kMaxScore}) {
+        const auto got_hits = got.search(query, 5, metric, mode);
+        const auto want_hits = want.search(query, 5, metric,
+                                           ScanPolicy::kIndexed, mode);
+        ASSERT_EQ(got_hits.size(), want_hits.size())
+            << context << " q " << q;
+        for (std::size_t r = 0; r < want_hits.size(); ++r) {
+          EXPECT_EQ(got_hits[r].id, want_hits[r].id)
+              << context << " q " << q << " rank " << r;
+          EXPECT_EQ(got_hits[r].label, want_hits[r].label)
+              << context << " q " << q << " rank " << r;
+          EXPECT_NEAR(got_hits[r].score, want_hits[r].score, 1e-9)
+              << context << " q " << q << " rank " << r;
+        }
+      }
+    }
+  }
+}
+
+LiveOptions foreground_options(std::size_t shards = 2) {
+  LiveOptions options;
+  options.num_shards = shards;
+  options.background_refreeze = false;  // tests fold explicitly
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Functional: ingest, fold, pin, reopen
+// ---------------------------------------------------------------------------
+
+TEST(LiveDatabase, StreamingIngestMatchesBulkBuild) {
+  InMemoryEnv env;
+  const auto batches = make_batches(6, 8);
+  LiveDatabase db(env, "live", foreground_options());
+  EXPECT_TRUE(db.recovery().created);
+  EXPECT_EQ(db.size(), 0u);
+
+  std::size_t expected_first = 0;
+  for (const Batch& b : batches) {
+    EXPECT_EQ(db.add_batch(b.signatures, b.labels), expected_first);
+    expected_first += b.signatures.size();
+  }
+
+  const auto stats = db.stats();
+  EXPECT_EQ(stats.total_docs, 48u);
+  EXPECT_EQ(stats.base_docs, 0u);
+  EXPECT_EQ(stats.tail_docs, 48u);
+  EXPECT_EQ(stats.segments, 6u);
+  EXPECT_EQ(stats.manifest_epoch, 0u);
+  EXPECT_GT(stats.memory_bytes, 0u);
+
+  expect_live_equivalent(db.snapshot(), build_reference(batches, 6, 2),
+                         "pure-tail archive");
+}
+
+TEST(LiveDatabase, RefreezeFoldsTailAndPreservesResults) {
+  InMemoryEnv env;
+  const auto batches = make_batches(6, 8);
+  LiveDatabase db(env, "live", foreground_options());
+  for (std::size_t b = 0; b < 4; ++b) {
+    db.add_batch(batches[b].signatures, batches[b].labels);
+  }
+
+  ASSERT_TRUE(db.refreeze_now());
+  EXPECT_EQ(db.refreezes(), 1u);
+  EXPECT_EQ(db.manifest_epoch(), 1u);
+  auto stats = db.stats();
+  EXPECT_EQ(stats.base_docs, 32u);
+  EXPECT_EQ(stats.tail_docs, 0u);
+  EXPECT_EQ(stats.segments, 0u);
+  EXPECT_EQ(stats.base_shards.size(), 2u);
+  expect_live_equivalent(db.snapshot(), build_reference(batches, 4, 2),
+                         "post-fold");
+
+  // Nothing to fold → false, no epoch bump.
+  EXPECT_FALSE(db.refreeze_now());
+  EXPECT_EQ(db.manifest_epoch(), 1u);
+
+  // Mixed base + tail keeps answering bit-identically.
+  for (std::size_t b = 4; b < 6; ++b) {
+    db.add_batch(batches[b].signatures, batches[b].labels);
+  }
+  stats = db.stats();
+  EXPECT_EQ(stats.base_docs, 32u);
+  EXPECT_EQ(stats.tail_docs, 16u);
+  expect_live_equivalent(db.snapshot(), build_reference(batches, 6, 2),
+                         "base+tail archive");
+
+  ASSERT_TRUE(db.refreeze_now());
+  EXPECT_EQ(db.manifest_epoch(), 2u);
+  expect_live_equivalent(db.snapshot(), build_reference(batches, 6, 2),
+                         "second fold");
+}
+
+TEST(LiveDatabase, PinnedSnapshotSurvivesIngestAndRefreeze) {
+  InMemoryEnv env;
+  const auto batches = make_batches(6, 8);
+  LiveDatabase db(env, "live", foreground_options());
+  for (std::size_t b = 0; b < 3; ++b) {
+    db.add_batch(batches[b].signatures, batches[b].labels);
+  }
+
+  const auto pinned = db.snapshot();
+  const std::uint64_t pinned_sequence = pinned.sequence();
+
+  for (std::size_t b = 3; b < 6; ++b) {
+    db.add_batch(batches[b].signatures, batches[b].labels);
+  }
+  ASSERT_TRUE(db.refreeze_now());
+  db.add_batch(batches[0].signatures, batches[0].labels);
+
+  // The pin still answers from its own epoch, untouched.
+  EXPECT_EQ(pinned.sequence(), pinned_sequence);
+  EXPECT_EQ(pinned.size(), 24u);
+  EXPECT_EQ(pinned.manifest_epoch(), 0u);
+  expect_live_equivalent(pinned, build_reference(batches, 3, 2),
+                         "pinned epoch");
+
+  // A fresh pin sees everything.
+  EXPECT_EQ(db.snapshot().size(), 56u);
+}
+
+TEST(LiveDatabase, ReopenReplaysSnapshotAndJournal) {
+  InMemoryEnv env;
+  const auto batches = make_batches(5, 6);
+  {
+    LiveDatabase db(env, "live", foreground_options());
+    for (std::size_t b = 0; b < 3; ++b) {
+      db.add_batch(batches[b].signatures, batches[b].labels);
+    }
+    ASSERT_TRUE(db.refreeze_now());
+    for (std::size_t b = 3; b < 5; ++b) {
+      db.add_batch(batches[b].signatures, batches[b].labels);
+    }
+  }
+
+  LiveDatabase reopened(env, "live", foreground_options());
+  EXPECT_FALSE(reopened.recovery().created);
+  EXPECT_TRUE(reopened.recovery().snapshot_loaded);
+  EXPECT_EQ(reopened.recovery().epoch, 1u);
+  EXPECT_EQ(reopened.recovery().journal_records_replayed, 2u);
+  const auto stats = reopened.stats();
+  EXPECT_EQ(stats.base_docs, 18u);   // the folded snapshot
+  EXPECT_EQ(stats.tail_docs, 12u);   // replayed journal records
+  EXPECT_EQ(stats.segments, 2u);
+  expect_live_equivalent(reopened.snapshot(), build_reference(batches, 5, 2),
+                         "reopened archive");
+
+  // The reopened archive still ingests and folds.
+  reopened.add_batch(batches[0].signatures, batches[0].labels);
+  ASSERT_TRUE(reopened.refreeze_now());
+  EXPECT_EQ(reopened.manifest_epoch(), 2u);
+  EXPECT_EQ(reopened.size(), 36u);
+}
+
+TEST(LiveDatabase, BackgroundRefreezeTriggersOnTailGrowth) {
+  InMemoryEnv env;
+  const auto batches = make_batches(8, 16);
+  exec::TaskPool pool(2);
+  LiveOptions options;
+  options.num_shards = 2;
+  options.refreeze_min_docs = 32;   // trip quickly
+  options.refreeze_fraction = 0.25;
+  options.pool = &pool;
+  LiveDatabase db(env, "live", options);
+
+  for (const Batch& b : batches) db.add_batch(b.signatures, b.labels);
+  db.wait_for_refreeze();
+
+  EXPECT_GE(db.refreezes(), 1u);
+  EXPECT_GE(db.manifest_epoch(), 1u);
+  const auto stats = db.stats();
+  EXPECT_EQ(stats.total_docs, 128u);
+  EXPECT_GT(stats.base_docs, 0u);
+  expect_live_equivalent(db.snapshot(), build_reference(batches, 8, 2),
+                         "after background folds");
+}
+
+TEST(LiveDatabase, SegmentsSealedDuringRefreezeSurviveTheSwap) {
+  // The survivor path: a batch sealed between the fold's capture and its
+  // commit must stay in the tail of the new epoch AND keep its durable
+  // journal copy (it is re-journaled into the new epoch's journal).
+  InMemoryEnv env;
+  const auto batches = make_batches(4, 8);
+  auto options = foreground_options();
+  LiveDatabase* handle = nullptr;
+  options.after_refreeze_capture = [&] {
+    handle->add_batch(batches[2].signatures, batches[2].labels);
+  };
+  LiveDatabase db(env, "live", options);
+  handle = &db;
+
+  db.add_batch(batches[0].signatures, batches[0].labels);
+  db.add_batch(batches[1].signatures, batches[1].labels);
+  ASSERT_TRUE(db.refreeze_now());  // seals batch 2 mid-fold
+
+  const auto stats = db.stats();
+  EXPECT_EQ(stats.base_docs, 16u);  // batches 0+1 folded
+  EXPECT_EQ(stats.tail_docs, 8u);   // batch 2 survived as tail
+  EXPECT_EQ(stats.segments, 1u);
+  expect_live_equivalent(db.snapshot(), build_reference(batches, 3, 2),
+                         "survivor epoch");
+
+  // Its re-journaled copy must replay on reopen.
+  LiveDatabase reopened(env, "live", foreground_options());
+  EXPECT_EQ(reopened.recovery().journal_records_replayed, 1u);
+  expect_live_equivalent(reopened.snapshot(), build_reference(batches, 3, 2),
+                         "survivor reopen");
+}
+
+TEST(LiveDatabase, MalformedBatchLeavesArchiveUnchanged) {
+  InMemoryEnv env;
+  const auto batches = make_batches(2, 4);
+  LiveDatabase db(env, "live", foreground_options());
+  db.add_batch(batches[0].signatures, batches[0].labels);
+
+  std::vector<vsm::SparseVector> signatures = batches[1].signatures;
+  std::vector<std::string> labels = batches[1].labels;
+  labels.pop_back();  // size mismatch
+  EXPECT_THROW(db.add_batch(std::move(signatures), std::move(labels)),
+               std::invalid_argument);
+
+  EXPECT_EQ(db.size(), 4u);
+  EXPECT_EQ(db.add_batch({}, {}), 4u);  // empty batch: no-op, returns next id
+  expect_live_equivalent(db.snapshot(), build_reference(batches, 1, 2),
+                         "after rejected batch");
+}
+
+TEST(LiveDatabase, SearchEdgeCases) {
+  InMemoryEnv env;
+  const auto batches = make_batches(2, 6);
+  LiveDatabase db(env, "live", foreground_options());
+  EXPECT_TRUE(db.search(batches[0].signatures[0], 5).empty());  // empty db
+
+  db.add_batch(batches[0].signatures, batches[0].labels);
+  db.add_batch(batches[1].signatures, batches[1].labels);
+  EXPECT_TRUE(db.search(batches[0].signatures[0], 0).empty());  // k == 0
+  EXPECT_TRUE(db.search(vsm::SparseVector{}, 5).empty());       // empty query
+
+  // k larger than the archive returns everything, ranked.
+  const auto hits = db.search(batches[0].signatures[0], 100);
+  EXPECT_EQ(hits.size(), 12u);
+  for (std::size_t r = 1; r < hits.size(); ++r) {
+    EXPECT_TRUE(hits[r - 1].score > hits[r].score ||
+                (hits[r - 1].score == hits[r].score &&
+                 hits[r - 1].id < hits[r].id))
+        << "rank " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (runs under the TSan CI job)
+// ---------------------------------------------------------------------------
+
+// Regression: ShardedIndex::shard_stats()/memory_bytes()/stats() used to
+// read shard internals racily against concurrent add_batch. A scrape
+// thread hammering every stats surface during parallel ingest must be
+// TSan-clean and never observe torn state.
+TEST(LiveDatabase, StatsScrapeDuringParallelIngestIsSafe) {
+  const auto batches = make_batches(32, 8, 0xabba);
+  SignatureDatabase db(4);
+
+  std::thread ingester([&] {
+    for (const Batch& b : batches) db.add_batch(b.signatures, b.labels);
+    db.freeze();
+  });
+  std::thread scraper([&] {
+    for (int i = 0; i < 200; ++i) {
+      const auto shard_stats = db.index().shard_stats();
+      std::size_t docs = 0;
+      for (const auto& s : shard_stats) docs += s.docs;
+      EXPECT_LE(docs, 256u);
+      (void)db.index().memory_bytes();
+      (void)db.index().memory_breakdown();
+      (void)db.index().num_postings();
+      db.publish_gauges();
+    }
+  });
+  ingester.join();
+  scraper.join();
+  EXPECT_EQ(db.size(), 256u);
+}
+
+// Regression: freeze() concurrent with an outstanding query used to be
+// undefined. Queries and freezes now serialize on the index's
+// reader/writer lock — every query sees a consistent pre- or post-freeze
+// index, never a half-frozen shard.
+TEST(LiveDatabase, FreezeDuringQueryIsSafe) {
+  const auto batches = make_batches(16, 8, 0xf0f0);
+  SignatureDatabase db(4);
+  for (std::size_t b = 0; b < 8; ++b) {
+    db.add_batch(batches[b].signatures, batches[b].labels);
+  }
+
+  std::thread freezer([&] {
+    for (std::size_t b = 8; b < 16; ++b) {
+      db.add_batch(batches[b].signatures, batches[b].labels);
+      db.freeze();
+    }
+  });
+  std::thread querier([&] {
+    util::Rng rng(0x51ca);
+    for (int q = 0; q < 100; ++q) {
+      const auto query = random_sparse(rng, 64, 10);
+      const auto hits = db.search(query, 5);
+      EXPECT_LE(hits.size(), 5u);
+      for (const auto& hit : hits) EXPECT_LT(hit.id, 128u);
+    }
+  });
+  freezer.join();
+  querier.join();
+  EXPECT_EQ(db.size(), 128u);
+}
+
+// The live archive's full concurrent surface: ingest, snapshot queries,
+// explicit re-freezes, and stats scrapes all at once, then a reopen that
+// must see every batch (ingest is synchronous and journaled).
+TEST(LiveDatabase, ConcurrentIngestQueryRefreezeScrape) {
+  InMemoryEnv env;
+  const auto batches = make_batches(24, 8, 0xcafe);
+  exec::TaskPool pool(2);
+  LiveOptions options;
+  options.num_shards = 2;
+  options.refreeze_min_docs = 24;
+  options.refreeze_fraction = 0.125;
+  options.pool = &pool;
+  {
+    LiveDatabase db(env, "live", options);
+
+    std::thread ingester([&] {
+      for (const Batch& b : batches) db.add_batch(b.signatures, b.labels);
+    });
+    std::thread querier([&] {
+      util::Rng rng(0xbead);
+      for (int q = 0; q < 100; ++q) {
+        const auto snapshot = db.snapshot();
+        const auto query = random_sparse(rng, 64, 10);
+        const auto hits = snapshot.search(query, 5);
+        EXPECT_LE(hits.size(), 5u);
+        for (const auto& hit : hits) EXPECT_LT(hit.id, snapshot.size());
+      }
+    });
+    std::thread folder([&] {
+      for (int i = 0; i < 4; ++i) db.refreeze_now();
+    });
+    std::thread scraper([&] {
+      for (int i = 0; i < 100; ++i) {
+        const auto stats = db.stats();
+        EXPECT_EQ(stats.base_docs + stats.tail_docs, stats.total_docs);
+        EXPECT_LE(stats.total_docs, 192u);
+        db.publish_gauges();
+      }
+    });
+    ingester.join();
+    querier.join();
+    folder.join();
+    scraper.join();
+
+    EXPECT_EQ(db.size(), 192u);
+    expect_live_equivalent(db.snapshot(), build_reference(batches, 24, 2),
+                           "post-concurrency");
+  }
+
+  LiveDatabase reopened(env, "live", options);
+  EXPECT_EQ(reopened.size(), 192u);
+  expect_live_equivalent(reopened.snapshot(),
+                         build_reference(batches, 24, 2),
+                         "post-concurrency reopen");
+}
+
+}  // namespace
+}  // namespace fmeter::core

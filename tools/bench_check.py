@@ -51,6 +51,11 @@ MEASURED_FIELDS = {
     # sweep and the shed-load rejection count (both deterministic, but
     # measured, not identity).
     "checkpoint_polls", "rejected", "deadline_exceeded",
+    # live_ingest_scaling: sustained ingest throughput while serving a
+    # concurrent query load, and the paired same-run ratio of the served
+    # query p99 against the idle-ingest p99 (machine-relative, like
+    # speedup_vs_scalar, so it gates off the baseline machine).
+    "sigs_per_sec", "p99_vs_idle", "refreezes", "queries_served",
 }
 # Lower-is-better metrics, in preference order; each file is gated on the
 # first one its rows actually carry (query benches emit us_per_query, the
@@ -66,13 +71,18 @@ def pick_metric(rows):
 
 
 def load_rows(path):
+    # Exit 2 (usage/schema), matching the documented contract — a bare
+    # SystemExit(str) would exit 1 and masquerade as a perf regression.
     try:
         with open(path) as handle:
             payload = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
-        raise SystemExit(f"bench_check: cannot read {path}: {error}")
+        print(f"bench_check: cannot read {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
     if not isinstance(payload, dict) or "rows" not in payload:
-        raise SystemExit(f"bench_check: {path} is not an emit_json file")
+        print(f"bench_check: {path} is not an emit_json file",
+              file=sys.stderr)
+        raise SystemExit(2)
     return payload.get("bench", "?"), payload["rows"]
 
 
@@ -105,6 +115,17 @@ def main():
                              "(robustness: armed checkpoints) at docs >= "
                              "min-docs — fsync overhead is storage-bound "
                              "and only tracked")
+    parser.add_argument("--p99-ratio-ceiling", type=float, default=None,
+                        help="fail when a fresh row's p99_vs_idle exceeds "
+                             "this ratio (query p99 under concurrent ingest "
+                             "vs the idle p99 of the same run — a paired "
+                             "same-run ratio, enforceable off the baseline "
+                             "machine); enforced at docs >= min-docs")
+    parser.add_argument("--require-rows", action="store_true",
+                        help="treat a baseline row missing from the fresh "
+                             "file as a failure instead of a truncation "
+                             "warning (full-ladder runs; smoke runs "
+                             "legitimately truncate)")
     args = parser.parse_args()
 
     fresh_name, fresh_rows = load_rows(args.fresh)
@@ -124,11 +145,20 @@ def main():
 
     failures = 0
     compared = 0
+    missing_failures = 0
     for key, base in sorted(base_by_key.items()):
         fresh = fresh_by_key.get(key)
         ident = ", ".join(f"{f}={v}" for f, v in key)
         if fresh is None:
-            print(f"  [missing] {ident} (fresh run truncated?)")
+            # Never a bare KeyError: a row the baseline has but the fresh
+            # file lacks is either a truncated smoke ladder (warn) or, under
+            # --require-rows, a hard failure with the row spelled out.
+            if args.require_rows:
+                print(f"bench_check: missing baseline row ({ident})",
+                      file=sys.stderr)
+                missing_failures += 1
+            else:
+                print(f"  [missing] {ident} (fresh run truncated?)")
             continue
         if metric not in base or metric not in fresh:
             continue
@@ -198,6 +228,25 @@ def main():
                       f"{overhead:+.1%} > {args.overhead_ceiling:.1%}")
                 ceiling_failures += 1
 
+    p99_failures = 0
+    if args.p99_ratio_ceiling is not None:
+        # Paired same-run ratio like the overhead ceiling: the live bench
+        # measures query p99 idle and under concurrent ingest in one run,
+        # so the ratio gates on any machine.
+        for row in fresh_rows:
+            if "p99_vs_idle" not in row:
+                continue
+            if row.get("docs", 0) < args.min_docs:
+                continue
+            ratio = row["p99_vs_idle"]
+            if ratio > args.p99_ratio_ceiling:
+                ident = ", ".join(f"{f}={row[f]}" for f in
+                                  ("docs", "shards", "mode")
+                                  if f in row)
+                print(f"  [CEILING] {ident}: p99_vs_idle {ratio:.3f} "
+                      f"> {args.p99_ratio_ceiling:.3f}")
+                p99_failures += 1
+
     print(f"bench_check: {fresh_name}: {compared} rows compared, "
           f"{failures} enforced regressions "
           f"(threshold {args.threshold:.0%} at docs >= {args.min_docs:g})"
@@ -206,8 +255,14 @@ def main():
              else "")
           + (f", {ceiling_failures} above overhead ceiling "
              f"{args.overhead_ceiling:g}" if args.overhead_ceiling is not None
-             else ""))
-    return 1 if failures or floor_failures or ceiling_failures else 0
+             else "")
+          + (f", {p99_failures} above p99 ratio ceiling "
+             f"{args.p99_ratio_ceiling:g}"
+             if args.p99_ratio_ceiling is not None else "")
+          + (f", {missing_failures} required rows missing"
+             if args.require_rows else ""))
+    return 1 if (failures or floor_failures or ceiling_failures or
+                 p99_failures or missing_failures) else 0
 
 
 if __name__ == "__main__":
